@@ -1,0 +1,62 @@
+//! Monitoring-path performance (§3.2–§3.3): workload estimation,
+//! diagnosis, and the whole policy decision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wasp_core::prelude::*;
+use wasp_netsim::prelude::*;
+use wasp_streamsim::prelude::*;
+use wasp_workloads::prelude::*;
+use wasp_workloads::scenarios::build_engine;
+
+fn bench_estimation(c: &mut Criterion) {
+    let tb = Testbed::paper(42);
+    let (mut engine, _) = build_engine(
+        QueryKind::TopK,
+        &tb,
+        DynamicsScript::none(),
+        EngineConfig::default(),
+    );
+    engine.run(120.0);
+    let plan = engine.plan().clone();
+    let snap = engine.snapshot();
+    let caps: Vec<Option<f64>> = vec![Some(100_000.0); plan.len()];
+
+    let mut group = c.benchmark_group("monitoring");
+    group.bench_function("workload_estimate", |b| {
+        b.iter(|| std::hint::black_box(WorkloadEstimate::from_snapshot(&plan, &snap)))
+    });
+    let est = WorkloadEstimate::from_snapshot(&plan, &snap);
+    group.bench_function("diagnose", |b| {
+        b.iter(|| {
+            std::hint::black_box(diagnose(
+                &plan,
+                &snap,
+                &est,
+                &caps,
+                &DiagnosisConfig::default(),
+            ))
+        })
+    });
+    group.bench_function("policy_decide", |b| {
+        let physical = engine.physical().clone();
+        let diag = diagnose(&plan, &snap, &est, &caps, &DiagnosisConfig::default());
+        let replanner = GenericReplanner::new();
+        b.iter(|| {
+            let mut policy = Policy::new(PolicyConfig::default());
+            std::hint::black_box(policy.decide(
+                &plan,
+                &physical,
+                &snap,
+                &est,
+                &diag,
+                engine.network(),
+                engine.now(),
+                &replanner,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Min-max state-migration planner performance (§5) across problem
+//! sizes and strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wasp_netsim::prelude::*;
+use wasp_optimizer::migration::{plan_migration, MigrationStrategy};
+
+fn bench_migration(c: &mut Criterion) {
+    let tb = Testbed::paper(42);
+    let net = tb.static_network();
+    let dcs = tb.data_centers();
+    let mut group = c.benchmark_group("migration_minmax");
+    for n in [1usize, 2, 4] {
+        let sources: Vec<(SiteId, MegaBytes)> = (0..n)
+            .map(|i| (dcs[i], MegaBytes(60.0 + i as f64 * 10.0)))
+            .collect();
+        let dests: Vec<SiteId> = (n..2 * n).map(|i| dcs[i]).collect();
+        group.bench_with_input(BenchmarkId::new("network_aware", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(plan_migration(
+                    &sources,
+                    &dests,
+                    &net,
+                    SimTime::ZERO,
+                    MigrationStrategy::NetworkAware,
+                ))
+            })
+        });
+    }
+    let sources: Vec<(SiteId, MegaBytes)> =
+        (0..4).map(|i| (dcs[i], MegaBytes(60.0))).collect();
+    let dests: Vec<SiteId> = (4..8).map(|i| dcs[i]).collect();
+    for (label, strategy) in [
+        ("random", MigrationStrategy::Random(7)),
+        ("distant", MigrationStrategy::Distant),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                std::hint::black_box(plan_migration(
+                    &sources,
+                    &dests,
+                    &net,
+                    SimTime::ZERO,
+                    strategy,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration);
+criterion_main!(benches);

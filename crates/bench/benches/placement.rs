@@ -1,0 +1,56 @@
+//! Placement-ILP solver performance (§4.1): build + solve across
+//! parallelism values and site counts, plus the scale-out search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use wasp_netsim::prelude::*;
+use wasp_optimizer::placement::{PlacementProblem, PlacementRequest};
+
+fn request(tb: &Testbed, p: u32) -> PlacementRequest {
+    let mut req = PlacementRequest::new(p);
+    req.upstream = tb.edges().iter().map(|&e| (e, 1.6)).collect();
+    req.downstream = vec![(tb.data_centers()[0], 0.2)];
+    let mut slots = BTreeMap::new();
+    for s in tb.topology().site_ids() {
+        slots.insert(s, tb.topology().site(s).slots());
+    }
+    req.available_slots = slots;
+    req
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let tb = Testbed::paper(42);
+    let net = tb.static_network();
+    let mut group = c.benchmark_group("placement_ilp");
+    for p in [1u32, 4, 16] {
+        let req = request(&tb, p);
+        group.bench_with_input(BenchmarkId::new("build_and_solve", p), &p, |b, _| {
+            b.iter(|| {
+                let problem = PlacementProblem::build(&req, &net, SimTime::ZERO);
+                std::hint::black_box(problem.solve())
+            })
+        });
+    }
+    let req = request(&tb, 1);
+    group.bench_function("exhaustive_reference_p4", |b| {
+        let mut r = req.clone();
+        r.parallelism = 4;
+        let problem = PlacementProblem::build(&r, &net, SimTime::ZERO);
+        b.iter(|| std::hint::black_box(problem.solve_exhaustive()))
+    });
+    group.bench_function("scale_out_search", |b| {
+        b.iter(|| {
+            std::hint::black_box(PlacementProblem::minimal_feasible_parallelism(
+                &req,
+                &net,
+                SimTime::ZERO,
+                1,
+                8,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

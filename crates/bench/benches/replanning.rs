@@ -1,0 +1,48 @@
+//! Join-order re-planning performance (§4.3): subset-DP over leaf
+//! counts and candidate-site counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wasp_netsim::prelude::*;
+use wasp_optimizer::replan::{ReplanProblem, StreamLeaf};
+
+fn problem(n_leaves: usize, n_sites: usize) -> (Network, ReplanProblem) {
+    let mut b = TopologyBuilder::new();
+    for i in 0..n_sites.max(n_leaves) {
+        b.add_site(format!("s{i}"), SiteKind::DataCenter, 8);
+    }
+    b.set_all_links(Mbps(100.0), Millis(20.0));
+    let net = Network::new(b.build().unwrap());
+    let leaves = (0..n_leaves)
+        .map(|i| StreamLeaf::new(format!("S{i}"), SiteId(i as u16), 10.0 + i as f64 * 5.0))
+        .collect();
+    let problem = ReplanProblem {
+        leaves,
+        join_selectivity: 0.6,
+        alpha: 0.8,
+        required_subtrees: vec![],
+        candidate_sites: (0..n_sites as u16).map(SiteId).collect(),
+    };
+    (net, problem)
+}
+
+fn bench_replanning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_order_dp");
+    for (leaves, sites) in [(3usize, 4usize), (4, 8), (5, 8), (6, 8)] {
+        let (net, p) = problem(leaves, sites);
+        group.bench_with_input(
+            BenchmarkId::new("solve", format!("{leaves}leaves_{sites}sites")),
+            &leaves,
+            |b, _| b.iter(|| std::hint::black_box(p.solve(&net, SimTime::ZERO))),
+        );
+    }
+    // Constrained search (stateful sub-plan).
+    let (net, mut p) = problem(4, 8);
+    p.required_subtrees = vec![vec![2, 3]];
+    group.bench_function("solve_with_required_subtree", |b| {
+        b.iter(|| std::hint::black_box(p.solve(&net, SimTime::ZERO)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replanning);
+criterion_main!(benches);

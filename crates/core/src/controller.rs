@@ -1,0 +1,442 @@
+//! Adaptation controllers: WASP and the paper's baselines.
+//!
+//! A [`Controller`] is invoked once per monitoring interval (the paper
+//! used 40 s, §8.2) with mutable access to the engine — the role of
+//! the Reconfiguration Manager in Fig. 3. Shipping controllers:
+//!
+//! * [`WaspController`] — the full §6 policy (and, via
+//!   [`PolicyConfig`] flags, the `Re-assign` / `Scale` / `Re-plan`
+//!   single-technique variants of §8.5);
+//! * [`NoAdaptController`] — never adapts;
+//! * [`DegradeController`] — drops late events against an SLO instead
+//!   of adapting (the degradation baseline).
+
+use crate::diagnose::{diagnose_with_history, DiagnosisConfig};
+use crate::estimator::WorkloadEstimate;
+use crate::policy::{Policy, PolicyConfig};
+use crate::replanner::{GenericReplanner, QueryReplanner};
+use wasp_streamsim::engine::{Command, Engine};
+
+/// A reconfiguration manager driven by monitoring rounds.
+pub trait Controller {
+    /// Display name (used in experiment reports).
+    fn name(&self) -> &str;
+
+    /// Called once per monitoring interval.
+    fn on_monitor(&mut self, engine: &mut Engine);
+}
+
+/// Runs an engine under a controller for `duration_s`, invoking the
+/// controller every `interval_s` of simulated time.
+pub fn run_controlled(
+    engine: &mut Engine,
+    controller: &mut dyn Controller,
+    duration_s: f64,
+    interval_s: f64,
+) {
+    let end = engine.now().secs() + duration_s;
+    while engine.now().secs() < end - 1e-9 {
+        let chunk = interval_s.min(end - engine.now().secs());
+        engine.run(chunk);
+        if engine.now().secs() < end - 1e-9 {
+            controller.on_monitor(engine);
+        }
+    }
+}
+
+/// The static baseline: never adapts (the paper's `No Adapt`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoAdaptController;
+
+impl Controller for NoAdaptController {
+    fn name(&self) -> &str {
+        "No Adapt"
+    }
+
+    fn on_monitor(&mut self, _engine: &mut Engine) {}
+}
+
+/// The degradation baseline: drop events that would miss the SLO
+/// (§8.4 used a 10 s SLO). Never re-optimizes.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradeController {
+    slo_s: f64,
+    armed: bool,
+}
+
+impl DegradeController {
+    /// Creates the baseline with the given SLO in seconds.
+    pub fn new(slo_s: f64) -> DegradeController {
+        DegradeController {
+            slo_s,
+            armed: false,
+        }
+    }
+}
+
+impl Controller for DegradeController {
+    fn name(&self) -> &str {
+        "Degrade"
+    }
+
+    fn on_monitor(&mut self, engine: &mut Engine) {
+        if !self.armed {
+            engine
+                .apply(Command::SetDropSlo(Some(self.slo_s)))
+                .expect("setting the drop SLO cannot fail");
+            self.armed = true;
+        }
+    }
+}
+
+/// The WASP adaptation controller (§6): monitors, estimates the actual
+/// workload, diagnoses, and applies the policy's decision.
+pub struct WaspController {
+    policy: Policy,
+    diagnosis_cfg: DiagnosisConfig,
+    replanner: Box<dyn QueryReplanner>,
+    label: String,
+    /// Per-source unsent backlog at the previous round (for the
+    /// growth-gated lag check).
+    source_backlogs: std::collections::BTreeMap<wasp_streamsim::ids::OpId, f64>,
+    /// Background re-planning period for long-term dynamics (§6.2),
+    /// if enabled.
+    periodic_replan_s: Option<f64>,
+    last_periodic_replan_s: f64,
+    /// Automatic α tuning (the paper's stated future work), if
+    /// enabled.
+    alpha_tuner: Option<crate::tuning::AlphaTuner>,
+}
+
+impl std::fmt::Debug for WaspController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaspController")
+            .field("label", &self.label)
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WaspController {
+    /// Full WASP with the paper's defaults and the generic physical
+    /// replanner.
+    pub fn new(cfg: PolicyConfig) -> WaspController {
+        WaspController::with_replanner(cfg, Box::new(GenericReplanner::new()))
+    }
+
+    /// Full WASP with a custom replanner (e.g. the join-order
+    /// replanner for join queries).
+    pub fn with_replanner(cfg: PolicyConfig, replanner: Box<dyn QueryReplanner>) -> WaspController {
+        let label = match (cfg.allow_reassign, cfg.allow_scale, cfg.allow_replan) {
+            (true, true, true) => "WASP",
+            (true, false, false) => "Re-assign",
+            (true, true, false) => "Scale",
+            (false, false, true) => "Re-plan",
+            _ => "WASP (custom)",
+        }
+        .to_string();
+        WaspController {
+            policy: Policy::new(cfg),
+            diagnosis_cfg: DiagnosisConfig::default(),
+            replanner,
+            label,
+            source_backlogs: std::collections::BTreeMap::new(),
+            periodic_replan_s: None,
+            last_periodic_replan_s: 0.0,
+            alpha_tuner: None,
+        }
+    }
+
+    /// Enables automatic α tuning: quick re-adaptations lower α (more
+    /// headroom), long stable streaks raise it (better utilization).
+    pub fn with_adaptive_alpha(mut self) -> WaspController {
+        self.alpha_tuner = Some(crate::tuning::AlphaTuner::starting_at(
+            self.policy.config().alpha,
+        ));
+        self
+    }
+
+    /// The α currently in force (tuned or fixed).
+    pub fn current_alpha(&self) -> f64 {
+        self.policy.config().alpha
+    }
+
+    /// Enables periodic *background* re-planning every `period_s`
+    /// seconds of simulated time — the paper's answer to long-term,
+    /// predictable dynamics such as daily workload shifts (§6.2):
+    /// even a healthy query is periodically re-evaluated against the
+    /// current environment.
+    pub fn with_periodic_replan(mut self, period_s: f64) -> WaspController {
+        self.periodic_replan_s = Some(period_s);
+        self
+    }
+
+    /// The §8.5 `Re-assign` variant: only task re-assignment.
+    pub fn reassign_only() -> WaspController {
+        WaspController::new(PolicyConfig {
+            allow_scale: false,
+            allow_replan: false,
+            scale_down: false,
+            ..PolicyConfig::default()
+        })
+    }
+
+    /// The §8.5 `Scale` variant: re-assignment first, scaling when no
+    /// placement exists (and gradual scale-down).
+    pub fn scale_only() -> WaspController {
+        WaspController::new(PolicyConfig {
+            allow_replan: false,
+            ..PolicyConfig::default()
+        })
+    }
+
+    /// The §8.5 `Re-plan` variant: whole-pipeline re-planning only,
+    /// never changing parallelism.
+    pub fn replan_only() -> WaspController {
+        WaspController::new(PolicyConfig {
+            allow_reassign: false,
+            allow_scale: false,
+            scale_down: false,
+            ..PolicyConfig::default()
+        })
+    }
+
+    /// Access to the policy (e.g. capacity estimates) for inspection.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+}
+
+impl Controller for WaspController {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn on_monitor(&mut self, engine: &mut Engine) {
+        let snap = engine.snapshot();
+        // Mid-transition or mid-failure rounds are skipped: rates are
+        // not meaningful and slots are not stable.
+        if engine.in_transition() || !snap.failed_sites.is_empty() {
+            return;
+        }
+        let plan = engine.plan().clone();
+        self.policy.observe(&plan, &snap);
+        let est = WorkloadEstimate::from_snapshot(&plan, &snap);
+        let diag = diagnose_with_history(
+            &plan,
+            &snap,
+            &est,
+            self.policy.capacity_estimates(),
+            &self.diagnosis_cfg,
+            Some(&self.source_backlogs),
+        );
+        for src in plan.sources() {
+            self.source_backlogs
+                .insert(src, snap.stage(src).queue_events);
+        }
+        let physical = engine.physical().clone();
+        let action = self.policy.decide(
+            &plan,
+            &physical,
+            &snap,
+            &est,
+            &diag,
+            engine.network(),
+            engine.now(),
+            self.replanner.as_ref(),
+        );
+        let acted = action.is_some();
+        if let Some(action) = action {
+            match engine.apply(action.command) {
+                Ok(()) => engine.annotate(action.label),
+                Err(err) => engine.annotate(format!("{} failed: {err}", action.label)),
+            }
+        }
+        if let Some(tuner) = &mut self.alpha_tuner {
+            let alpha = tuner.on_round(acted);
+            self.policy.set_alpha(alpha);
+        }
+        if acted {
+            return;
+        }
+        // Long-term dynamics: periodically re-evaluate the plan in the
+        // background even when no bottleneck is present (§6.2).
+        if let Some(period) = self.periodic_replan_s {
+            let now = engine.now().secs();
+            if now - self.last_periodic_replan_s >= period {
+                self.last_periodic_replan_s = now;
+                if let Some(switch) = self.replanner.replan(
+                    &plan,
+                    engine.physical(),
+                    &snap,
+                    &est,
+                    engine.network(),
+                    engine.now(),
+                    self.policy.config(),
+                ) {
+                    match engine.apply(Command::SwitchPlan(Box::new(switch))) {
+                        Ok(()) => engine.annotate("periodic re-plan"),
+                        Err(err) => engine.annotate(format!("periodic re-plan failed: {err}")),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::*;
+    use wasp_netsim::dynamics::DynamicsScript;
+    use wasp_netsim::trace::FactorSeries;
+    use wasp_streamsim::prelude::*;
+
+    /// Workload doubles at t=120: No-Adapt degrades, WASP recovers.
+    fn doubled_workload_world() -> (DynamicsScript, f64) {
+        (
+            DynamicsScript::none()
+                .with_global_workload(FactorSeries::steps(1.0, &[(120.0, 2.0)])),
+            600.0,
+        )
+    }
+
+    #[test]
+    fn wasp_resolves_compute_bottleneck_by_scaling_up() {
+        // Filter capacity 1250 ev/s per task; workload 1000→2000 ev/s.
+        let (script, dur) = doubled_workload_world();
+        let (net, edge, dc) = two_site_world(100.0);
+        let plan = linear_plan(edge, 1000.0, 800.0, 0.5);
+        let mut eng = engine_with_script(net, plan, dc, script);
+        let mut wasp = WaspController::new(PolicyConfig::default());
+        run_controlled(&mut eng, &mut wasp, dur, 40.0);
+        // Parallelism grew.
+        assert!(
+            eng.physical().parallelism(OpId(1)) >= 2,
+            "filter parallelism {}",
+            eng.physical().parallelism(OpId(1))
+        );
+        // And the query keeps up at the end (ratio ≈ 1 over the last
+        // 100 s).
+        let m = eng.metrics();
+        let gen_late: f64 = m.ticks().iter().filter(|r| r.t > 500.0).map(|r| r.generated).sum();
+        let del_late: f64 = m.ticks().iter().filter(|r| r.t > 500.0).map(|r| r.delivered).sum();
+        assert!(
+            del_late / (gen_late * 0.5) > 0.85,
+            "late ratio {}",
+            del_late / (gen_late * 0.5)
+        );
+        // The action was annotated.
+        assert!(m.actions().iter().any(|(_, l)| l.contains("scale")));
+    }
+
+    #[test]
+    fn wasp_resolves_network_bottleneck() {
+        // 5000 ev/s × 100 B = 4 Mbps; edge→dc1 drops to 2 Mbps at
+        // t=120 while edge→dc2 stays at 10 Mbps: WASP must move or
+        // scale the filter away from the dead path.
+        let (mut net, edge, dc1, dc2) = three_site_world(10.0);
+        net.set_pair_factor(edge, dc1, FactorSeries::steps(1.0, &[(120.0, 0.2)]));
+        let plan = linear_plan(edge, 5000.0, 5.0, 0.5);
+        let mut eng = engine(net, plan, dc1);
+        let mut wasp = WaspController::new(PolicyConfig::default());
+        run_controlled(&mut eng, &mut wasp, 600.0, 40.0);
+        let m = eng.metrics();
+        // Some adaptation happened…
+        assert!(
+            m.actions()
+                .iter()
+                .any(|(_, l)| l.contains("re-assign") || l.contains("scale") || l.contains("re-plan")),
+            "actions: {:?}",
+            m.actions()
+        );
+        // …and the filter no longer sits (only) behind the degraded
+        // link.
+        let sites = eng.physical().placement(OpId(1)).sites();
+        assert!(
+            sites != vec![dc1],
+            "filter still only at the degraded site"
+        );
+        let _ = dc2;
+        // Delivery keeps up late in the run.
+        let gen_late: f64 = m.ticks().iter().filter(|r| r.t > 500.0).map(|r| r.generated).sum();
+        let del_late: f64 = m.ticks().iter().filter(|r| r.t > 500.0).map(|r| r.delivered).sum();
+        assert!(
+            del_late / (gen_late * 0.5) > 0.8,
+            "late ratio {}",
+            del_late / (gen_late * 0.5)
+        );
+    }
+
+    #[test]
+    fn wasp_scales_down_after_load_drops() {
+        // Workload spikes ×4 between t=120 and t=400, then returns to
+        // baseline: WASP should scale up then reclaim tasks.
+        let script = DynamicsScript::none().with_global_workload(FactorSeries::steps(
+            1.0,
+            &[(120.0, 4.0), (400.0, 1.0)],
+        ));
+        let (net, edge, dc) = two_site_world(100.0);
+        let plan = linear_plan(edge, 1000.0, 800.0, 0.5);
+        let mut eng = engine_with_script(net, plan, dc, script);
+        let mut wasp = WaspController::new(PolicyConfig::default());
+        run_controlled(&mut eng, &mut wasp, 1000.0, 40.0);
+        let m = eng.metrics();
+        let peak = m.ticks().iter().map(|r| r.total_tasks).max().unwrap();
+        let final_tasks = m.ticks().last().unwrap().total_tasks;
+        assert!(peak >= 4, "peak tasks {peak}"); // 3 base + scale-up
+        assert!(
+            final_tasks < peak,
+            "should scale down: final {final_tasks} peak {peak}"
+        );
+        assert!(m.actions().iter().any(|(_, l)| l == "scale down"));
+    }
+
+    #[test]
+    fn no_adapt_suffers_degrade_drops_wasp_keeps_all() {
+        // The §8.4 contrast in miniature: double workload over a
+        // saturating link.
+        let run = |mk: &mut dyn Controller, slo: Option<f64>| {
+            let (net, edge, dc) = two_site_world(6.0);
+            let plan = linear_plan(edge, 5000.0, 5.0, 0.5);
+            let physical = PhysicalPlan::initial(&plan, dc);
+            let cfg = EngineConfig {
+                drop_slo: slo,
+                ..EngineConfig::default()
+            };
+            let script = DynamicsScript::none()
+                .with_global_workload(FactorSeries::steps(1.0, &[(120.0, 2.0)]));
+            let mut eng = Engine::new(net, script, plan, physical, cfg).unwrap();
+            run_controlled(&mut eng, mk, 600.0, 40.0);
+            let m = eng.metrics();
+            (
+                m.delay_quantile_between(500.0, 600.0, 0.5).unwrap_or(0.0),
+                m.dropped_fraction(),
+                m.total_delivered() / (m.total_generated() * 0.5),
+            )
+        };
+        let (na_delay, na_drop, _na_ratio) = run(&mut NoAdaptController, None);
+        let (dg_delay, dg_drop, dg_ratio) = run(&mut DegradeController::new(10.0), None);
+        let (w_delay, w_drop, w_ratio) =
+            run(&mut WaspController::new(PolicyConfig::default()), None);
+        // No Adapt: no drops but huge delay.
+        assert!(na_drop == 0.0 && na_delay > 50.0, "na {na_delay} {na_drop}");
+        // Degrade: bounded delay but loses events.
+        assert!(dg_delay < 15.0, "degrade delay {dg_delay}");
+        assert!(dg_drop > 0.05 && dg_ratio < 0.98, "degrade drop {dg_drop}");
+        // WASP: low delay AND no loss.
+        assert!(w_delay < 15.0, "wasp delay {w_delay}");
+        assert!(w_drop == 0.0, "wasp dropped {w_drop}");
+        assert!(w_ratio > 0.9, "wasp ratio {w_ratio}");
+    }
+
+    #[test]
+    fn controller_names() {
+        assert_eq!(NoAdaptController.name(), "No Adapt");
+        assert_eq!(DegradeController::new(10.0).name(), "Degrade");
+        assert_eq!(WaspController::new(PolicyConfig::default()).name(), "WASP");
+        assert_eq!(WaspController::reassign_only().name(), "Re-assign");
+        assert_eq!(WaspController::scale_only().name(), "Scale");
+        assert_eq!(WaspController::replan_only().name(), "Re-plan");
+    }
+}

@@ -1,0 +1,556 @@
+//! Execution-health diagnosis (§3.2).
+//!
+//! WASP considers an execution healthy when no backpressure is
+//! observed and (1) each operator's processing rate equals its input
+//! rate (enough compute) and (2) its input rate matches the aggregate
+//! output of its upstream operators (enough network). Violations
+//! classify the bottleneck, which drives the adaptation decision
+//! (Fig. 6): `λP < λI` → compute-constrained; `λI < Σ λO[u]` →
+//! network-constrained.
+
+use crate::estimator::WorkloadEstimate;
+use serde::{Deserialize, Serialize};
+use wasp_streamsim::ids::OpId;
+use wasp_streamsim::metrics::QuerySnapshot;
+use wasp_streamsim::plan::LogicalPlan;
+
+/// Health state of one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Health {
+    /// Unconstrained by its allocated resources.
+    Healthy,
+    /// Cannot process as fast as data arrives (`λP < λI`). `severity`
+    /// is `λ̂I / λP` — the DS2-style scale factor numerator.
+    ComputeConstrained {
+        /// Ratio of expected input rate to achieved processing rate.
+        severity: f64,
+    },
+    /// Data cannot reach the operator (`λI < Σ λO[u]`). `severity` is
+    /// `λ̂I / λI`.
+    NetworkConstrained {
+        /// Ratio of expected input rate to observed arrival rate.
+        severity: f64,
+    },
+    /// Allocated much more capacity than the workload needs; a
+    /// scale-down candidate. `utilization` is expected input over
+    /// estimated capacity.
+    Overprovisioned {
+        /// λ̂I divided by the stage's estimated total capacity.
+        utilization: f64,
+    },
+}
+
+impl Health {
+    /// True for any constrained state.
+    pub fn is_bottleneck(&self) -> bool {
+        matches!(
+            self,
+            Health::ComputeConstrained { .. } | Health::NetworkConstrained { .. }
+        )
+    }
+}
+
+/// Tunables of the diagnosis.
+#[derive(Debug, Clone)]
+pub struct DiagnosisConfig {
+    /// Relative shortfall tolerated before flagging (the paper's
+    /// "approximately equal"). Default 0.1.
+    pub tolerance: f64,
+    /// Absolute events/s below which shortfalls are ignored.
+    pub min_rate: f64,
+    /// Utilization below which a multi-task stage counts as
+    /// over-provisioned. Default 0.5.
+    pub low_utilization: f64,
+    /// A constrained stage holding more than this many seconds of
+    /// unprocessed local work is compute-bound (the work arrived but
+    /// cannot be processed); less means the work never arrived —
+    /// network-bound. Default 1.0.
+    pub compute_queue_s: f64,
+    /// A source whose unsent backlog exceeds this many seconds of its
+    /// rate marks its consumer network-constrained, even when the
+    /// consumer's *aggregate* shortfall sits inside the tolerance (a
+    /// single starved link among many dilutes below any aggregate
+    /// threshold). Default 8.0.
+    pub source_lag_s: f64,
+    /// A stage persistently holding more than this many seconds of
+    /// unprocessed local work is constrained even when its rate
+    /// deficit sits inside the tolerance — a sliver-level shortfall
+    /// (e.g. capacity 2% below the workload) accumulates unboundedly
+    /// but never trips a rate threshold. Default 3.0.
+    pub queue_flag_s: f64,
+}
+
+impl Default for DiagnosisConfig {
+    fn default() -> Self {
+        DiagnosisConfig {
+            tolerance: 0.1,
+            min_rate: 5.0,
+            low_utilization: 0.5,
+            compute_queue_s: 1.0,
+            source_lag_s: 8.0,
+            queue_flag_s: 3.0,
+        }
+    }
+}
+
+/// Full diagnosis of a query.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// Per-operator health, indexed by [`OpId`].
+    pub per_op: Vec<Health>,
+    /// The most upstream bottleneck, if any — the operator WASP adapts
+    /// first.
+    pub bottleneck: Option<(OpId, Health)>,
+}
+
+impl Diagnosis {
+    /// True when every operator is healthy or merely over-provisioned.
+    pub fn is_healthy(&self) -> bool {
+        self.bottleneck.is_none()
+    }
+
+    /// Operators flagged over-provisioned.
+    pub fn overprovisioned(&self) -> Vec<OpId> {
+        self.per_op
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| matches!(h, Health::Overprovisioned { .. }))
+            .map(|(i, _)| OpId(i as u32))
+            .collect()
+    }
+}
+
+/// Diagnoses a snapshot. `capacity_per_task` supplies the controller's
+/// running estimate of each operator's per-task processing capacity
+/// (events/s); operators without an estimate are never flagged
+/// over-provisioned.
+///
+/// The source-lag check fires on any backlog above the threshold; use
+/// [`diagnose_with_history`] to require *growing* backlogs (the
+/// controller does), which prevents re-triggering during a recovery
+/// drain.
+pub fn diagnose(
+    plan: &LogicalPlan,
+    snap: &QuerySnapshot,
+    est: &WorkloadEstimate,
+    capacity_per_task: &[Option<f64>],
+    cfg: &DiagnosisConfig,
+) -> Diagnosis {
+    diagnose_with_history(plan, snap, est, capacity_per_task, cfg, None)
+}
+
+/// [`diagnose`] with the previous round's per-source backlogs: a
+/// source only trips the lag check when its backlog exceeds the
+/// threshold *and* has grown by at least one second's worth of events
+/// since the previous round. A backlog that is merely draining after
+/// an adaptation is healthy catch-up, not a new bottleneck.
+pub fn diagnose_with_history(
+    plan: &LogicalPlan,
+    snap: &QuerySnapshot,
+    est: &WorkloadEstimate,
+    capacity_per_task: &[Option<f64>],
+    cfg: &DiagnosisConfig,
+    prev_source_backlog: Option<&std::collections::BTreeMap<OpId, f64>>,
+) -> Diagnosis {
+    let mut per_op = vec![Health::Healthy; plan.len()];
+    for &op in plan.topo_order() {
+        let spec = plan.op(op);
+        if spec.kind().is_source() || spec.kind().is_sink() {
+            continue;
+        }
+        let stage = snap.stage(op);
+        if stage.suspended {
+            continue; // mid-transition: rates are not meaningful
+        }
+        let expected = est.input(op);
+        let observed_in = stage.lambda_i;
+        let processed = stage.lambda_p;
+        if expected < cfg.min_rate {
+            continue;
+        }
+        // Constrained: the stage cannot sustain the expected rate.
+        // (When arrivals are throttled by backpressure, λP tracks the
+        // throttled λI, so the deficit is measured against λ̂I —
+        // exactly why §3.3 estimates the actual workload.)
+        if processed < (1.0 - cfg.tolerance) * expected
+            && expected - processed > cfg.min_rate
+        {
+            if stage.out_blocked {
+                // The stall comes from a downstream stage's buffers;
+                // this stage is not the bottleneck.
+                continue;
+            }
+            // Classification: plenty of unprocessed *local* work means
+            // the CPU is the limit; an empty queue means the data
+            // never arrived — the network is the limit.
+            let queued_work_s = stage.queue_events / processed.max(1.0);
+            per_op[op.index()] = if queued_work_s > cfg.compute_queue_s {
+                Health::ComputeConstrained {
+                    severity: expected / processed.max(1e-9),
+                }
+            } else {
+                Health::NetworkConstrained {
+                    severity: expected / observed_in.max(1e-9),
+                }
+            };
+            continue;
+        }
+        // Slow-burn check: a queue persistently holding several
+        // seconds of work means the stage cannot keep up even if the
+        // rate deficit is below the tolerance.
+        let queued_work_s = stage.queue_events / processed.max(1.0);
+        if !stage.out_blocked
+            && queued_work_s > cfg.queue_flag_s
+            && stage.queue_events > cfg.min_rate
+        {
+            per_op[op.index()] = Health::ComputeConstrained {
+                severity: (expected / processed.max(1e-9)).max(1.01),
+            };
+            continue;
+        }
+        // Over-provisioning: would one task fewer still cope?
+        let p = stage.placement.parallelism();
+        if p > 1 {
+            if let Some(cap) = capacity_per_task[op.index()] {
+                let utilization = expected / (cap * p as f64).max(1e-9);
+                if utilization < cfg.low_utilization {
+                    per_op[op.index()] = Health::Overprovisioned { utilization };
+                }
+            }
+        }
+    }
+    // Source-lag check: a growing unsent backlog at a source means the
+    // path from that source is starved even if the consumer's
+    // aggregate rates look acceptable.
+    for src in plan.sources() {
+        let stage = snap.stage(src);
+        let rate = snap
+            .source_rates
+            .iter()
+            .find(|(s, _)| *s == src)
+            .map(|&(_, r)| r)
+            .unwrap_or(0.0);
+        if rate < cfg.min_rate {
+            continue;
+        }
+        let growing = match prev_source_backlog.and_then(|m| m.get(&src)) {
+            Some(&prev) => stage.queue_events > prev + rate,
+            None => true,
+        };
+        if growing && stage.queue_events > cfg.source_lag_s * rate {
+            for &consumer in plan.downstream(src) {
+                let c = snap.stage(consumer);
+                if c.suspended || c.out_blocked {
+                    continue;
+                }
+                if !per_op[consumer.index()].is_bottleneck() {
+                    per_op[consumer.index()] = Health::NetworkConstrained {
+                        severity: (est.input(consumer) / c.lambda_p.max(1e-9)).max(1.1),
+                    };
+                }
+            }
+        }
+    }
+    let bottleneck = plan
+        .topo_order()
+        .iter()
+        .find(|op| per_op[op.index()].is_bottleneck())
+        .map(|&op| (op, per_op[op.index()]));
+    Diagnosis { per_op, bottleneck }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::*;
+    use wasp_streamsim::prelude::*;
+
+    fn diagnose_run(link_mbps: f64, cost_us: f64, secs: f64) -> (Diagnosis, QuerySnapshot) {
+        let (net, edge, dc) = two_site_world(link_mbps);
+        let plan = linear_plan(edge, 10_000.0, cost_us, 0.5);
+        let mut eng = engine(net, plan.clone(), dc);
+        eng.run(secs);
+        let snap = eng.snapshot();
+        let est = WorkloadEstimate::from_snapshot(&plan, &snap);
+        let caps = vec![None; plan.len()];
+        (
+            diagnose(&plan, &snap, &est, &caps, &DiagnosisConfig::default()),
+            snap,
+        )
+    }
+
+    #[test]
+    fn healthy_when_unconstrained() {
+        let (diag, _) = diagnose_run(100.0, 5.0, 120.0);
+        assert!(diag.is_healthy(), "{diag:?}");
+    }
+
+    #[test]
+    fn network_bottleneck_detected() {
+        // 10k ev/s × 100 B = 8 Mbps over a 4 Mbps link.
+        let (diag, _) = diagnose_run(4.0, 5.0, 120.0);
+        let (op, health) = diag.bottleneck.expect("must find bottleneck");
+        assert_eq!(op, OpId(1));
+        match health {
+            Health::NetworkConstrained { severity } => {
+                assert!(severity > 1.5, "severity {severity}")
+            }
+            other => panic!("expected network, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compute_bottleneck_detected() {
+        // 10k ev/s against a 500 ev/s filter task.
+        let (diag, _) = diagnose_run(100.0, 2000.0, 120.0);
+        let (op, health) = diag.bottleneck.expect("must find bottleneck");
+        assert_eq!(op, OpId(1));
+        match health {
+            Health::ComputeConstrained { severity } => {
+                assert!(severity > 2.0, "severity {severity}")
+            }
+            other => panic!("expected compute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overprovisioned_flagged_with_capacity_estimate() {
+        let (net, edge, dc1, dc2) = three_site_world(100.0);
+        let plan = linear_plan(edge, 1000.0, 5.0, 0.5);
+        let mut physical = PhysicalPlan::initial(&plan, dc1);
+        physical.set_placement(OpId(1), Placement::from_pairs([(dc1, 2), (dc2, 2)]));
+        let mut eng = Engine::new(
+            net,
+            wasp_netsim::dynamics::DynamicsScript::none(),
+            plan.clone(),
+            physical,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        eng.run(60.0);
+        let snap = eng.snapshot();
+        let est = crate::estimator::WorkloadEstimate::from_snapshot(&plan, &snap);
+        // Say we've learned each task can do 200k ev/s: 4 tasks for
+        // 1000 ev/s is grossly over-provisioned.
+        let caps = vec![None, Some(200_000.0), None];
+        let diag = diagnose(&plan, &snap, &est, &caps, &DiagnosisConfig::default());
+        assert!(diag.is_healthy());
+        assert_eq!(diag.overprovisioned(), vec![OpId(1)]);
+        // Without a capacity estimate nothing is flagged.
+        let diag2 = diagnose(&plan, &snap, &est, &[None, None, None], &DiagnosisConfig::default());
+        assert!(diag2.overprovisioned().is_empty());
+    }
+
+    #[test]
+    fn suspended_stages_are_skipped() {
+        let (net, edge, dc) = two_site_world(4.0);
+        let plan = linear_plan(edge, 10_000.0, 5.0, 0.5);
+        let mut eng = engine(net, plan.clone(), dc);
+        eng.run(60.0);
+        eng.apply(Command::Redeploy {
+            op: OpId(1),
+            placement: Placement::single(edge, 1),
+            transfers: vec![Transfer::new(dc, edge, wasp_netsim::units::MegaBytes(500.0))],
+            skip_state: false,
+        })
+        .unwrap();
+        eng.run(2.0);
+        let snap = eng.snapshot();
+        let est = WorkloadEstimate::from_snapshot(&plan, &snap);
+        let diag = diagnose(
+            &plan,
+            &snap,
+            &est,
+            &vec![None; plan.len()],
+            &DiagnosisConfig::default(),
+        );
+        assert_eq!(diag.per_op[1], Health::Healthy, "suspended stage skipped");
+    }
+}
+
+#[cfg(test)]
+mod synthetic_tests {
+    //! Hand-built snapshots exercising each diagnosis rule in
+    //! isolation (the engine-based tests above cover the integrated
+    //! behaviour).
+    use super::*;
+    use std::collections::BTreeMap;
+    use wasp_netsim::site::SiteId;
+    use wasp_netsim::units::SimTime;
+    use wasp_streamsim::metrics::StageObs;
+    use wasp_streamsim::operator::{OperatorKind, OperatorSpec};
+    use wasp_streamsim::physical::Placement;
+    use wasp_streamsim::plan::{LogicalPlan, LogicalPlanBuilder};
+
+    /// src → a → b → sink.
+    fn plan() -> LogicalPlan {
+        let mut p = LogicalPlanBuilder::new("synthetic");
+        let s = p.add(OperatorSpec::new(
+            "src",
+            OperatorKind::Source {
+                site: SiteId(0),
+                base_rate: 1000.0,
+                event_bytes: 100.0,
+            },
+        ));
+        let a = p.add(OperatorSpec::new("a", OperatorKind::Map).with_cost_us(5.0));
+        let b = p.add(OperatorSpec::new("b", OperatorKind::Map).with_cost_us(5.0));
+        let k = p.add(OperatorSpec::new("sink", OperatorKind::Sink { site: None }));
+        p.connect(s, a);
+        p.connect(a, b);
+        p.connect(b, k);
+        p.build().unwrap()
+    }
+
+    fn stage(op: u32, name: &str, rates: (f64, f64, f64), queue: f64) -> StageObs {
+        StageObs {
+            op: OpId(op),
+            name: name.to_string(),
+            stateful: false,
+            parallelizable: true,
+            placement: Placement::single(SiteId(1), 1),
+            lambda_i: rates.0,
+            lambda_p: rates.1,
+            lambda_o: rates.2,
+            sigma: if rates.1 > 0.0 { rates.2 / rates.1 } else { 1.0 },
+            queue_events: queue,
+            backpressure: false,
+            out_blocked: false,
+            state_mb: BTreeMap::new(),
+            suspended: false,
+        }
+    }
+
+    fn snapshot(stages: Vec<StageObs>, source_rate: f64, src_backlog: f64) -> QuerySnapshot {
+        let mut stages = stages;
+        stages[0].queue_events = src_backlog;
+        QuerySnapshot {
+            at: SimTime(100.0),
+            interval_s: 40.0,
+            stages,
+            source_rates: vec![(OpId(0), source_rate)],
+            free_slots: BTreeMap::from([(SiteId(0), 2), (SiteId(1), 4)]),
+            failed_sites: vec![],
+        }
+    }
+
+    fn healthy_stages() -> Vec<StageObs> {
+        vec![
+            stage(0, "src", (1000.0, 1000.0, 1000.0), 0.0),
+            stage(1, "a", (1000.0, 1000.0, 1000.0), 0.0),
+            stage(2, "b", (1000.0, 1000.0, 1000.0), 0.0),
+            stage(3, "sink", (1000.0, 1000.0, 1000.0), 0.0),
+        ]
+    }
+
+    fn run(snap: &QuerySnapshot) -> Diagnosis {
+        let plan = plan();
+        let est = crate::estimator::WorkloadEstimate::from_snapshot(&plan, snap);
+        diagnose(&plan, snap, &est, &[None; 4], &DiagnosisConfig::default())
+    }
+
+    #[test]
+    fn synthetic_healthy() {
+        let snap = snapshot(healthy_stages(), 1000.0, 0.0);
+        assert!(run(&snap).is_healthy());
+    }
+
+    #[test]
+    fn slow_burn_queue_flags_compute_even_within_tolerance() {
+        // Stage b runs only 4% below the expected rate (inside the 10%
+        // tolerance) but holds 4 s of unprocessed work → compute.
+        let mut stages = healthy_stages();
+        stages[2] = stage(2, "b", (960.0, 960.0, 960.0), 4.0 * 960.0);
+        let snap = snapshot(stages, 1000.0, 0.0);
+        let diag = run(&snap);
+        match diag.bottleneck {
+            Some((op, Health::ComputeConstrained { .. })) => assert_eq!(op, OpId(2)),
+            other => panic!("expected compute at b, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_blocked_stage_defers_to_its_downstream() {
+        // Stage a is stalled by b's buffers (out_blocked); b starves.
+        // The bottleneck must be attributed to b, not a.
+        let mut stages = healthy_stages();
+        stages[1] = stage(1, "a", (500.0, 500.0, 500.0), 6000.0);
+        stages[1].out_blocked = true;
+        stages[2] = stage(2, "b", (500.0, 500.0, 500.0), 5000.0);
+        let snap = snapshot(stages, 1000.0, 0.0);
+        let diag = run(&snap);
+        match diag.bottleneck {
+            Some((op, _)) => assert_eq!(op, OpId(2), "a must be skipped"),
+            None => panic!("expected a bottleneck"),
+        }
+    }
+
+    #[test]
+    fn starved_stage_with_empty_queue_is_network_constrained() {
+        let mut stages = healthy_stages();
+        stages[1] = stage(1, "a", (600.0, 600.0, 600.0), 0.0);
+        stages[2] = stage(2, "b", (600.0, 600.0, 600.0), 0.0);
+        stages[3] = stage(3, "sink", (600.0, 600.0, 600.0), 0.0);
+        let snap = snapshot(stages, 1000.0, 0.0);
+        let diag = run(&snap);
+        match diag.bottleneck {
+            Some((op, Health::NetworkConstrained { severity })) => {
+                assert_eq!(op, OpId(1));
+                assert!(severity > 1.5, "severity {severity}");
+            }
+            other => panic!("expected network at a, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_lag_requires_growth_when_history_is_available() {
+        // Large but *shrinking* source backlog: healthy catch-up, no
+        // flag.
+        let snap = snapshot(healthy_stages(), 1000.0, 50_000.0);
+        let plan = plan();
+        let est = crate::estimator::WorkloadEstimate::from_snapshot(&plan, &snap);
+        let prev = BTreeMap::from([(OpId(0), 80_000.0)]);
+        let diag = diagnose_with_history(
+            &plan,
+            &snap,
+            &est,
+            &[None; 4],
+            &DiagnosisConfig::default(),
+            Some(&prev),
+        );
+        assert!(diag.is_healthy(), "draining backlog must not re-trigger");
+        // The same backlog, growing → the consumer is flagged.
+        let prev = BTreeMap::from([(OpId(0), 20_000.0)]);
+        let diag = diagnose_with_history(
+            &plan,
+            &snap,
+            &est,
+            &[None; 4],
+            &DiagnosisConfig::default(),
+            Some(&prev),
+        );
+        match diag.bottleneck {
+            Some((op, Health::NetworkConstrained { .. })) => assert_eq!(op, OpId(1)),
+            other => panic!("expected network at the consumer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suspended_stage_is_never_flagged() {
+        let mut stages = healthy_stages();
+        stages[1] = stage(1, "a", (0.0, 0.0, 0.0), 0.0);
+        stages[1].suspended = true;
+        let snap = snapshot(stages, 1000.0, 0.0);
+        // Stage b also shows zero rates (everything is mid-transition),
+        // but b is not suspended; with min_rate filtering the expected
+        // rate is still 1000 so b gets flagged — the controller skips
+        // whole rounds during transitions, which the engine-based tests
+        // cover. Here we only assert a itself is skipped.
+        let diag = run(&snap);
+        assert_ne!(
+            diag.bottleneck.map(|(op, _)| op),
+            Some(OpId(1)),
+            "suspended stage must not be the bottleneck"
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Actual-workload estimation under backpressure (§3.3).
+//!
+//! When a bottleneck operator triggers backpressure, the *observed*
+//! rates of every operator upstream of it are throttled and no longer
+//! reflect the actual workload. WASP therefore reconstructs the
+//! expected rates from the source rates (which are always observable)
+//! and the measured selectivities:
+//!
+//! ```text
+//! λ̂P = λ̂I = Σ_u λ̂O[u]   (or λO[src] at sources)
+//! λ̂O = σ · λ̂I
+//! ```
+
+use wasp_streamsim::ids::OpId;
+use wasp_streamsim::metrics::QuerySnapshot;
+use wasp_streamsim::plan::LogicalPlan;
+
+/// Expected per-operator rates reconstructed from the actual workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEstimate {
+    /// Expected input rate λ̂I per operator, events/s.
+    pub lambda_i: Vec<f64>,
+    /// Expected output rate λ̂O per operator, events/s.
+    pub lambda_o: Vec<f64>,
+}
+
+impl WorkloadEstimate {
+    /// Runs the §3.3 recursion over the plan topology using the
+    /// snapshot's true source rates and measured selectivities.
+    pub fn from_snapshot(plan: &LogicalPlan, snap: &QuerySnapshot) -> WorkloadEstimate {
+        let n = plan.len();
+        let mut lambda_i = vec![0.0; n];
+        let mut lambda_o = vec![0.0; n];
+        for &op in plan.topo_order() {
+            let stage = snap.stage(op);
+            let input = if plan.op(op).kind().is_source() {
+                snap.source_rates
+                    .iter()
+                    .find(|(s, _)| *s == op)
+                    .map(|&(_, r)| r)
+                    .unwrap_or(0.0)
+            } else {
+                plan.upstream(op)
+                    .iter()
+                    .map(|u| lambda_o[u.index()])
+                    .sum()
+            };
+            // Sources pass events through unchanged; other operators
+            // apply their measured selectivity.
+            let sigma = if plan.op(op).kind().is_source() {
+                1.0
+            } else {
+                stage.sigma
+            };
+            lambda_i[op.index()] = input;
+            lambda_o[op.index()] = sigma * input;
+        }
+        WorkloadEstimate { lambda_i, lambda_o }
+    }
+
+    /// Expected input rate of an operator.
+    pub fn input(&self, op: OpId) -> f64 {
+        self.lambda_i[op.index()]
+    }
+
+    /// Expected output rate of an operator.
+    pub fn output(&self, op: OpId) -> f64 {
+        self.lambda_o[op.index()]
+    }
+
+    /// Expected inbound stream of `op` in Mbps, split per upstream
+    /// *site* proportionally to the upstream stages' placements —
+    /// the per-link form the placement ILP consumes.
+    pub fn inbound_mbps_by_site(
+        &self,
+        plan: &LogicalPlan,
+        snap: &QuerySnapshot,
+        op: OpId,
+    ) -> Vec<(wasp_netsim::site::SiteId, f64)> {
+        let mut out: Vec<(wasp_netsim::site::SiteId, f64)> = Vec::new();
+        for &u in plan.upstream(op) {
+            let bytes = plan.out_bytes(u);
+            let rate_mbps = self.output(u) * bytes * 8.0 / 1e6;
+            let placement = &snap.stage(u).placement;
+            for (site, _) in placement.iter() {
+                let share = placement.share(site);
+                if share > 0.0 {
+                    match out.iter_mut().find(|(s, _)| *s == site) {
+                        Some((_, r)) => *r += rate_mbps * share,
+                        None => out.push((site, rate_mbps * share)),
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Expected outbound stream of `op` in Mbps, split per downstream
+    /// *site* proportionally to the downstream stages' placements.
+    pub fn outbound_mbps_by_site(
+        &self,
+        plan: &LogicalPlan,
+        snap: &QuerySnapshot,
+        op: OpId,
+    ) -> Vec<(wasp_netsim::site::SiteId, f64)> {
+        let bytes = plan.out_bytes(op);
+        let rate_mbps = self.output(op) * bytes * 8.0 / 1e6;
+        let mut out: Vec<(wasp_netsim::site::SiteId, f64)> = Vec::new();
+        for &d in plan.downstream(op) {
+            let placement = &snap.stage(d).placement;
+            for (site, _) in placement.iter() {
+                let share = placement.share(site);
+                if share > 0.0 {
+                    match out.iter_mut().find(|(s, _)| *s == site) {
+                        Some((_, r)) => *r += rate_mbps * share,
+                        None => out.push((site, rate_mbps * share)),
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::*;
+    
+
+    #[test]
+    fn estimate_recovers_true_rates_under_backpressure() {
+        // Compute-bound filter: observed λI at the filter lags, but
+        // the estimate must recover the true 1000 ev/s.
+        let (net, edge, dc) = two_site_world(100.0);
+        let plan = linear_plan(edge, 1000.0, 2000.0, 0.5);
+        let mut eng = engine(net, plan.clone(), dc);
+        eng.run(120.0);
+        let snap = eng.snapshot();
+        let est = WorkloadEstimate::from_snapshot(&plan, &snap);
+        assert!(
+            (est.input(OpId(1)) - 1000.0).abs() < 60.0,
+            "λ̂I {}",
+            est.input(OpId(1))
+        );
+        // Observed is visibly lower (the backpressure effect).
+        assert!(snap.stage(OpId(1)).lambda_i < 0.8 * est.input(OpId(1)));
+        // λ̂O applies the measured σ.
+        assert!(
+            (est.output(OpId(1)) - 500.0).abs() < 60.0,
+            "λ̂O {}",
+            est.output(OpId(1))
+        );
+    }
+
+    #[test]
+    fn estimate_equals_observed_when_healthy() {
+        let (net, edge, dc) = two_site_world(100.0);
+        let plan = linear_plan(edge, 1000.0, 5.0, 0.5);
+        let mut eng = engine(net, plan.clone(), dc);
+        eng.run(120.0);
+        let snap = eng.snapshot();
+        let est = WorkloadEstimate::from_snapshot(&plan, &snap);
+        let obs = snap.stage(OpId(1)).lambda_i;
+        assert!(
+            (est.input(OpId(1)) - obs).abs() / obs < 0.1,
+            "est {} vs obs {obs}",
+            est.input(OpId(1))
+        );
+    }
+
+    #[test]
+    fn inbound_split_follows_upstream_placement() {
+        let (net, edge, dc) = two_site_world(100.0);
+        let plan = linear_plan(edge, 1000.0, 5.0, 0.5);
+        let mut eng = engine(net, plan.clone(), dc);
+        eng.run(60.0);
+        let snap = eng.snapshot();
+        let est = WorkloadEstimate::from_snapshot(&plan, &snap);
+        let inbound = est.inbound_mbps_by_site(&plan, &snap, OpId(1));
+        // All input comes from the source's site.
+        assert_eq!(inbound.len(), 1);
+        assert_eq!(inbound[0].0, edge);
+        // 1000 ev/s × 100 B × 8 / 1e6 = 0.8 Mbps.
+        assert!((inbound[0].1 - 0.8).abs() < 0.1, "{}", inbound[0].1);
+        let outbound = est.outbound_mbps_by_site(&plan, &snap, OpId(1));
+        assert_eq!(outbound.len(), 1);
+        assert_eq!(outbound[0].0, dc);
+        // 500 ev/s × 100 B × 8 / 1e6 = 0.4 Mbps.
+        assert!((outbound[0].1 - 0.4).abs() < 0.05, "{}", outbound[0].1);
+    }
+}

@@ -1,0 +1,76 @@
+//! # wasp-core — WASP: Wide-area Adaptive Stream Processing
+//!
+//! The primary contribution of the [WASP (Middleware 2020)] paper,
+//! reimplemented on the simulation substrates of this workspace:
+//!
+//! * [`estimator`] — actual-workload estimation under backpressure
+//!   (§3.3): reconstructs λ̂I/λ̂O from source rates and measured
+//!   selectivities;
+//! * [`diagnose`] — execution-health diagnosis (§3.2): classifies
+//!   compute vs. network bottlenecks and over-provisioning;
+//! * [`scaling`] — DS2-style scale factors, state-partitioning
+//!   transfers, and the `t_adapt` overhead estimate (§4.2, §5, §6.2);
+//! * [`tuning`] — automatic α tuning (the paper's stated future work);
+//! * [`policy`] — the adaptation decision tree of Fig. 6: task
+//!   re-assignment vs. operator scaling vs. query re-planning, chosen
+//!   by bottleneck type, operator statefulness, overhead and
+//!   parallelism thresholds;
+//! * [`replanner`] — query re-planning hooks (§4.3), including joint
+//!   physical re-optimization of the whole pipeline;
+//! * [`controller`] — the Reconfiguration Manager: the full
+//!   [`WaspController`](controller::WaspController) plus the paper's
+//!   baselines (`No Adapt`, `Degrade`) and single-technique variants
+//!   (`Re-assign` / `Scale` / `Re-plan`, §8.5).
+//!
+//! # Example
+//!
+//! ```
+//! use wasp_core::prelude::*;
+//! use wasp_core::test_util::{engine_with_script, linear_plan, two_site_world};
+//! use wasp_netsim::prelude::*;
+//!
+//! // A query whose workload doubles at t = 120 s…
+//! let (net, edge, dc) = two_site_world(100.0);
+//! let plan = linear_plan(edge, 1_000.0, 800.0, 0.5);
+//! let script = DynamicsScript::none()
+//!     .with_global_workload(FactorSeries::steps(1.0, &[(120.0, 2.0)]));
+//! let mut engine = engine_with_script(net, plan, dc, script);
+//!
+//! // …kept healthy by the WASP controller.
+//! let mut wasp = WaspController::new(PolicyConfig::default());
+//! run_controlled(&mut engine, &mut wasp, 400.0, 40.0);
+//! assert!(engine.metrics().total_delivered() > 0.0);
+//! ```
+//!
+//! [WASP (Middleware 2020)]: https://doi.org/10.1145/3423211.3425668
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod controller;
+pub mod diagnose;
+pub mod estimator;
+pub mod policy;
+pub mod replanner;
+pub mod scaling;
+pub mod tuning;
+
+#[doc(hidden)]
+pub mod test_util;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::controller::{
+        run_controlled, Controller, DegradeController, NoAdaptController, WaspController,
+    };
+    pub use crate::diagnose::{diagnose, Diagnosis, DiagnosisConfig, Health};
+    pub use crate::estimator::WorkloadEstimate;
+    pub use crate::policy::{Action, Policy, PolicyConfig};
+    pub use crate::replanner::{GenericReplanner, NoReplanner, QueryReplanner};
+    pub use crate::scaling::{
+        bandwidth_scale_out, ds2_parallelism, estimate_overhead, partition_transfers,
+        scale_down_site,
+    };
+    pub use crate::tuning::AlphaTuner;
+    pub use wasp_optimizer::migration::MigrationStrategy;
+}

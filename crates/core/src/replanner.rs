@@ -1,0 +1,391 @@
+//! Query re-planning hooks (§4.3).
+//!
+//! Re-planning is the one adaptation whose search space is
+//! query-specific: only the query knows which alternative logical
+//! plans are semantically equivalent. [`QueryReplanner`] is the hook
+//! the policy calls; two implementations ship here and a join-order
+//! replanner (backed by [`wasp_optimizer::replan`]) ships with the
+//! workloads crate.
+//!
+//! [`GenericReplanner`] keeps the logical plan fixed and jointly
+//! re-optimizes the *physical* plan of every stage (coordinate descent
+//! over the placement ILP, §4.1, until a fixpoint) — "re-evaluating
+//! the execution plan based on the observed workload and resource
+//! availability" for queries without reorderable joins.
+
+use crate::estimator::WorkloadEstimate;
+use crate::policy::PolicyConfig;
+use crate::scaling::partition_transfers;
+use std::collections::BTreeMap;
+use wasp_netsim::network::Network;
+use wasp_netsim::site::SiteId;
+use wasp_netsim::units::SimTime;
+use wasp_optimizer::placement::{PlacementProblem, PlacementRequest};
+use wasp_streamsim::engine::{PlanSwitch, Transfer};
+use wasp_streamsim::metrics::QuerySnapshot;
+use wasp_streamsim::operator::OperatorKind;
+use wasp_streamsim::physical::PhysicalPlan;
+use wasp_streamsim::plan::LogicalPlan;
+
+/// Produces an alternative plan for the current situation, or `None`
+/// when no better plan exists.
+pub trait QueryReplanner: std::fmt::Debug {
+    /// Proposes a [`PlanSwitch`] improving on the current deployment.
+    #[allow(clippy::too_many_arguments)]
+    fn replan(
+        &self,
+        plan: &LogicalPlan,
+        physical: &PhysicalPlan,
+        snap: &QuerySnapshot,
+        est: &WorkloadEstimate,
+        net: &Network,
+        t: SimTime,
+        cfg: &PolicyConfig,
+    ) -> Option<PlanSwitch>;
+}
+
+/// A replanner that never proposes anything (disables re-planning).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoReplanner;
+
+impl QueryReplanner for NoReplanner {
+    fn replan(
+        &self,
+        _plan: &LogicalPlan,
+        _physical: &PhysicalPlan,
+        _snap: &QuerySnapshot,
+        _est: &WorkloadEstimate,
+        _net: &Network,
+        _t: SimTime,
+        _cfg: &PolicyConfig,
+    ) -> Option<PlanSwitch> {
+        None
+    }
+}
+
+/// Joint physical re-optimization of the whole pipeline with the
+/// logical plan unchanged.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GenericReplanner {
+    /// Coordinate-descent passes over the stages (2 is usually enough
+    /// to propagate placement decisions both ways).
+    pub passes: u32,
+}
+
+impl GenericReplanner {
+    /// Creates a replanner with the default two passes.
+    pub fn new() -> GenericReplanner {
+        GenericReplanner { passes: 2 }
+    }
+}
+
+impl QueryReplanner for GenericReplanner {
+    fn replan(
+        &self,
+        plan: &LogicalPlan,
+        physical: &PhysicalPlan,
+        snap: &QuerySnapshot,
+        est: &WorkloadEstimate,
+        net: &Network,
+        t: SimTime,
+        cfg: &PolicyConfig,
+    ) -> Option<PlanSwitch> {
+        let mut new_physical = physical.clone();
+        // Track slot usage as we move stages around.
+        let mut free: BTreeMap<SiteId, u32> = snap.free_slots.clone();
+        let passes = self.passes.max(1);
+        for _ in 0..passes {
+            for &op in plan.topo_order() {
+                let spec = plan.op(op);
+                let pinned = matches!(
+                    spec.kind(),
+                    OperatorKind::Source { .. } | OperatorKind::Sink { site: Some(_) }
+                );
+                if pinned {
+                    continue;
+                }
+                let current = new_physical.placement(op).clone();
+                let p = current.parallelism();
+                // Expected streams, but against the *evolving*
+                // physical plan rather than the snapshot's.
+                let upstream = mbps_by_site_for(plan, &new_physical, est, op, true);
+                let downstream = mbps_by_site_for(plan, &new_physical, est, op, false);
+                let mut available: BTreeMap<SiteId, u32> = BTreeMap::new();
+                for (&site, &f) in &free {
+                    let own = current.tasks_at(site);
+                    if f + own > 0 {
+                        available.insert(site, f + own);
+                    }
+                }
+                let req = PlacementRequest {
+                    parallelism: p,
+                    upstream,
+                    downstream,
+                    available_slots: available,
+                    alpha: cfg.alpha,
+                    reserved_mbps: link_flows(plan, &new_physical, est, Some(op)),
+                };
+                let problem = PlacementProblem::build(&req, net, t);
+                if let Some((placement, _)) = problem.solve() {
+                    if placement != current {
+                        // Update the free-slot ledger.
+                        for (site, n) in current.iter() {
+                            *free.entry(site).or_insert(0) += n;
+                        }
+                        for (site, n) in placement.iter() {
+                            let f = free.entry(site).or_insert(0);
+                            *f = f.saturating_sub(n);
+                        }
+                        new_physical.set_placement(op, placement);
+                    }
+                }
+            }
+        }
+        if new_physical == *physical {
+            return None;
+        }
+        // Global acceptance gate: only propose plans that reduce the
+        // whole-pipeline congestion cost by a meaningful margin (the
+        // per-stage descent can otherwise trade one link's congestion
+        // for another's).
+        let before = plan_cost(plan, physical, est, net, t, cfg.alpha);
+        let after = plan_cost(plan, &new_physical, est, net, t, cfg.alpha);
+        if after >= before * 0.95 {
+            return None;
+        }
+        // State transfers for every stateful stage whose layout
+        // changed.
+        let mut transfers: Vec<Transfer> = Vec::new();
+        if !cfg.skip_state {
+            for op in plan.op_ids() {
+                let stage = snap.stage(op);
+                if !stage.stateful {
+                    continue;
+                }
+                let new_placement = new_physical.placement(op);
+                if *new_placement != stage.placement {
+                    transfers.extend(partition_transfers(
+                        &stage.state_mb,
+                        new_placement,
+                        net,
+                        t,
+                    ));
+                }
+            }
+        }
+        // Same logical plan: every operator carries over (common
+        // sub-plan trivially satisfied).
+        let carry = plan.op_ids().map(|op| (op, op)).collect();
+        Some(PlanSwitch {
+            plan: plan.clone(),
+            physical: new_physical,
+            carry,
+            transfers,
+        })
+    }
+}
+
+/// Expected WAN flow per directed link implied by a physical plan,
+/// excluding the flows into/out of `exclude` (the stage being placed).
+/// Used to reserve bandwidth for the rest of the pipeline when solving
+/// one stage's ILP.
+pub fn link_flows(
+    plan: &LogicalPlan,
+    physical: &PhysicalPlan,
+    est: &WorkloadEstimate,
+    exclude: Option<wasp_streamsim::ids::OpId>,
+) -> BTreeMap<(SiteId, SiteId), f64> {
+    let mut flows: BTreeMap<(SiteId, SiteId), f64> = BTreeMap::new();
+    for u in plan.op_ids() {
+        let mbps = est.output(u) * plan.out_bytes(u) * 8.0 / 1e6;
+        if mbps <= 0.0 {
+            continue;
+        }
+        let up = physical.placement(u);
+        for &v in plan.downstream(u) {
+            if Some(u) == exclude || Some(v) == exclude {
+                continue;
+            }
+            let vp = physical.placement(v);
+            for (su, _) in up.iter() {
+                for (sv, _) in vp.iter() {
+                    if su != sv {
+                        *flows.entry((su, sv)).or_insert(0.0) +=
+                            mbps * up.share(su) * vp.share(sv);
+                    }
+                }
+            }
+        }
+    }
+    flows
+}
+
+/// Whole-plan congestion cost: every WAN link carrying flow `f`
+/// contributes `f × latency / (1 − util)` (with a large penalty once
+/// `util = f / (α·B)` reaches 1). Lower is better; used to accept or
+/// reject a candidate physical plan.
+pub fn plan_cost(
+    plan: &LogicalPlan,
+    physical: &PhysicalPlan,
+    est: &WorkloadEstimate,
+    net: &Network,
+    t: SimTime,
+    alpha: f64,
+) -> f64 {
+    let mut cost = 0.0;
+    for ((from, to), flow) in link_flows(plan, physical, est, None) {
+        let cap = alpha * net.available(from, to, t).0;
+        let latency = net.latency(from, to).secs().max(1e-3);
+        if cap <= 0.0 || flow >= cap {
+            cost += 1e6 * (flow - cap.max(0.0) + 1.0);
+        } else {
+            let util = flow / cap;
+            cost += flow * latency / (1.0 - util);
+        }
+    }
+    cost
+}
+
+/// Expected in/outbound Mbps of `op` per peer site, computed against
+/// an explicit physical plan (used while the plan is being rewritten).
+fn mbps_by_site_for(
+    plan: &LogicalPlan,
+    physical: &PhysicalPlan,
+    est: &WorkloadEstimate,
+    op: wasp_streamsim::ids::OpId,
+    inbound: bool,
+) -> Vec<(SiteId, f64)> {
+    let mut out: Vec<(SiteId, f64)> = Vec::new();
+    let peers: &[wasp_streamsim::ids::OpId] = if inbound {
+        plan.upstream(op)
+    } else {
+        plan.downstream(op)
+    };
+    for &peer in peers {
+        let rate_mbps = if inbound {
+            est.output(peer) * plan.out_bytes(peer) * 8.0 / 1e6
+        } else {
+            est.output(op) * plan.out_bytes(op) * 8.0 / 1e6
+        };
+        let placement = physical.placement(peer);
+        for (site, _) in placement.iter() {
+            let share = placement.share(site);
+            if share > 0.0 {
+                match out.iter_mut().find(|(s, _)| *s == site) {
+                    Some((_, r)) => *r += rate_mbps * share,
+                    None => out.push((site, rate_mbps * share)),
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnose::DiagnosisConfig;
+    use crate::test_util::*;
+    use wasp_netsim::trace::FactorSeries;
+    use wasp_streamsim::prelude::*;
+
+    #[test]
+    fn no_replanner_returns_none() {
+        let (net, edge, dc) = two_site_world(10.0);
+        let plan = linear_plan(edge, 1000.0, 5.0, 0.5);
+        let mut eng = engine(net, plan.clone(), dc);
+        eng.run(60.0);
+        let snap = eng.snapshot();
+        let est = crate::estimator::WorkloadEstimate::from_snapshot(&plan, &snap);
+        let sw = NoReplanner.replan(
+            &plan,
+            eng.physical(),
+            &snap,
+            &est,
+            eng.network(),
+            eng.now(),
+            &PolicyConfig::default(),
+        );
+        assert!(sw.is_none());
+    }
+
+    #[test]
+    fn generic_replanner_moves_work_off_a_degraded_path() {
+        // Filter sits at dc1; the edge→dc1 link collapses while
+        // edge→dc2 stays healthy: the replanner should move the filter
+        // (and keep the pipeline consistent).
+        let (mut net, edge, dc1, dc2) = three_site_world(10.0);
+        net.set_pair_factor(edge, dc1, FactorSeries::constant(0.05));
+        let plan = linear_plan(edge, 5000.0, 5.0, 0.5);
+        let mut eng = engine(net, plan.clone(), dc1);
+        eng.run(120.0);
+        let snap = eng.snapshot();
+        let est = crate::estimator::WorkloadEstimate::from_snapshot(&plan, &snap);
+        // Sanity: the estimator sees the bottleneck.
+        let diag = crate::diagnose::diagnose(
+            &plan,
+            &snap,
+            &est,
+            &vec![None; plan.len()],
+            &DiagnosisConfig::default(),
+        );
+        assert!(!diag.is_healthy());
+        let sw = GenericReplanner::new()
+            .replan(
+                &plan,
+                eng.physical(),
+                &snap,
+                &est,
+                eng.network(),
+                eng.now(),
+                &PolicyConfig::default(),
+            )
+            .expect("should find a better physical plan");
+        // The filter leaves dc1.
+        let filter_sites = sw.physical.placement(OpId(1)).sites();
+        assert!(
+            !filter_sites.contains(&dc1) || filter_sites.contains(&dc2) || filter_sites.contains(&edge),
+            "filter should avoid the degraded path: {filter_sites:?}"
+        );
+        assert_eq!(sw.carry.len(), plan.len());
+        // Applying the switch keeps the engine running.
+        eng.apply(Command::SwitchPlan(Box::new(sw))).unwrap();
+        eng.run(60.0);
+        assert!(eng.metrics().total_delivered() > 0.0);
+    }
+
+    #[test]
+    fn generic_replanner_is_a_noop_when_placement_is_optimal() {
+        let (net, edge, dc) = two_site_world(100.0);
+        let plan = linear_plan(edge, 100.0, 5.0, 0.5);
+        // Optimal-ish: filter at the edge (co-located with source),
+        // sink at dc.
+        let mut physical = PhysicalPlan::initial(&plan, dc);
+        physical.set_placement(OpId(1), Placement::single(edge, 1));
+        let mut eng = Engine::new(
+            net,
+            wasp_netsim::dynamics::DynamicsScript::none(),
+            plan.clone(),
+            physical,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        eng.run(60.0);
+        let snap = eng.snapshot();
+        let est = crate::estimator::WorkloadEstimate::from_snapshot(&plan, &snap);
+        let sw = GenericReplanner::new().replan(
+            &plan,
+            eng.physical(),
+            &snap,
+            &est,
+            eng.network(),
+            eng.now(),
+            &PolicyConfig::default(),
+        );
+        if let Some(sw) = sw {
+            // If it proposes anything, it must differ from the status
+            // quo (the contract of `replan`).
+            assert_ne!(sw.physical, *eng.physical());
+        }
+    }
+}

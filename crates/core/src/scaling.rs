@@ -1,0 +1,235 @@
+//! Operator-scaling arithmetic (§4.2) and state partitioning (§5).
+//!
+//! * the DS2-style scale-up factor `p' = ⌈(λ̂I / λP) · p⌉`;
+//! * state re-partitioning transfers when a stage's placement changes
+//!   (each site should end up holding `state_total × p[s]/p'`);
+//! * the adaptation-overhead estimate `t_adapt = max |state|/B` (§6.2);
+//! * gradual scale-down: pick one task to retire, preferring sites not
+//!   co-located with neighbouring stages.
+
+use std::collections::BTreeMap;
+use wasp_netsim::network::Network;
+use wasp_netsim::site::SiteId;
+use wasp_netsim::units::{MegaBytes, SimTime};
+use wasp_streamsim::engine::Transfer;
+use wasp_streamsim::physical::Placement;
+
+/// The DS2-style minimum parallelism that resolves a compute
+/// bottleneck: `p' = ⌈(λ̂I / λP) · p⌉` (§4.2).
+///
+/// Returns at least `p` (never scales below the current parallelism)
+/// and at least 1.
+pub fn ds2_parallelism(expected_input: f64, processing_rate: f64, p: u32) -> u32 {
+    if processing_rate <= 0.0 || expected_input <= 0.0 {
+        return p.max(1);
+    }
+    let target = (expected_input / processing_rate * p as f64).ceil() as u32;
+    target.max(p).max(1)
+}
+
+/// Scale-out increment for a network bottleneck: the unhandled stream
+/// rate divided by the per-link bandwidth availability (§4.2 —
+/// "computed as the ratio between the stream rate that cannot be
+/// handled over the bandwidth availability").
+pub fn bandwidth_scale_out(unhandled_mbps: f64, per_link_mbps: f64) -> u32 {
+    if unhandled_mbps <= 0.0 {
+        return 0;
+    }
+    if per_link_mbps <= 0.0 {
+        return 1;
+    }
+    (unhandled_mbps / per_link_mbps).ceil() as u32
+}
+
+/// Plans the state transfers that re-partition a stage's state from
+/// its current per-site layout to a new placement.
+///
+/// Sites keep `min(current, target)` locally; surpluses flow to
+/// deficits, pairing each surplus with the fastest available link
+/// first (greedy bandwidth-aware matching).
+pub fn partition_transfers(
+    old_state_mb: &BTreeMap<SiteId, f64>,
+    new_placement: &Placement,
+    net: &Network,
+    t: SimTime,
+) -> Vec<Transfer> {
+    let total: f64 = old_state_mb.values().sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let p = new_placement.parallelism().max(1) as f64;
+    // Deltas: positive = must send, negative = must receive.
+    let mut senders: Vec<(SiteId, f64)> = Vec::new();
+    let mut receivers: Vec<(SiteId, f64)> = Vec::new();
+    let mut sites: Vec<SiteId> = old_state_mb.keys().copied().collect();
+    for site in new_placement.sites() {
+        if !sites.contains(&site) {
+            sites.push(site);
+        }
+    }
+    for site in sites {
+        let have = old_state_mb.get(&site).copied().unwrap_or(0.0);
+        let want = total * new_placement.tasks_at(site) as f64 / p;
+        let delta = have - want;
+        if delta > 1e-9 {
+            senders.push((site, delta));
+        } else if delta < -1e-9 {
+            receivers.push((site, -delta));
+        }
+    }
+    let mut transfers = Vec::new();
+    // Repeatedly ship the largest surplus over its fastest link.
+    senders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    for (from, mut surplus) in senders {
+        while surplus > 1e-9 {
+            // Fastest link from `from` to any receiver with deficit.
+            let Some((idx, _)) = receivers
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, need))| *need > 1e-9)
+                .max_by(|(_, (a, _)), (_, (b, _))| {
+                    let ba = net.available(from, *a, t).0;
+                    let bb = net.available(from, *b, t).0;
+                    ba.partial_cmp(&bb).expect("finite")
+                })
+            else {
+                break;
+            };
+            let (to, need) = &mut receivers[idx];
+            let amount = surplus.min(*need);
+            transfers.push(Transfer::new(from, *to, MegaBytes(amount)));
+            *need -= amount;
+            surplus -= amount;
+        }
+    }
+    transfers
+}
+
+/// The paper's adaptation-overhead estimate: the slowest transfer,
+/// `t_adapt = max(|state_s1| / B(s1→s2))` (§6.2).
+pub fn estimate_overhead(transfers: &[Transfer], net: &Network, t: SimTime) -> f64 {
+    transfers
+        .iter()
+        .map(|tr| tr.mb.transfer_time(net.available(tr.from, tr.to, t)))
+        .fold(0.0, f64::max)
+}
+
+/// Picks which site loses a task when scaling down by one (§4.2):
+/// prefer sites *not* co-located with upstream/downstream tasks (to
+/// cut inter-site traffic), breaking ties toward the site with the
+/// fewest tasks. Returns `None` when the stage has a single task.
+pub fn scale_down_site(
+    placement: &Placement,
+    neighbour_sites: &[SiteId],
+) -> Option<SiteId> {
+    if placement.parallelism() <= 1 {
+        return None;
+    }
+    placement
+        .sites()
+        .into_iter()
+        .min_by_key(|s| {
+            let colocated = neighbour_sites.contains(s);
+            (colocated, placement.tasks_at(*s))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::two_site_world;
+    use wasp_netsim::site::SiteKind;
+    use wasp_netsim::topology::TopologyBuilder;
+    use wasp_netsim::units::{Mbps, Millis};
+
+    #[test]
+    fn ds2_formula_matches_paper() {
+        // λ̂I = 2000, λP = 900, p = 1 → p' = ⌈2.22⌉ = 3.
+        assert_eq!(ds2_parallelism(2000.0, 900.0, 1), 3);
+        // Exactly keeping up → unchanged.
+        assert_eq!(ds2_parallelism(1000.0, 1000.0, 2), 2);
+        // Never shrinks.
+        assert_eq!(ds2_parallelism(100.0, 1000.0, 2), 2);
+        // Degenerate inputs.
+        assert_eq!(ds2_parallelism(0.0, 0.0, 0), 1);
+    }
+
+    #[test]
+    fn bandwidth_scale_out_ratio() {
+        // 6 Mbps unhandled over 4 Mbps links → 2 more links needed.
+        assert_eq!(bandwidth_scale_out(6.0, 4.0), 2);
+        assert_eq!(bandwidth_scale_out(0.0, 4.0), 0);
+        assert_eq!(bandwidth_scale_out(5.0, 0.0), 1);
+    }
+
+    #[test]
+    fn partition_transfers_balance_state() {
+        let (net, edge, dc) = two_site_world(10.0);
+        // All 90 MB at dc; new placement 2 tasks dc + 1 task edge →
+        // edge should receive 30 MB.
+        let old: BTreeMap<SiteId, f64> = BTreeMap::from([(dc, 90.0)]);
+        let new = Placement::from_pairs([(dc, 2), (edge, 1)]);
+        let ts = partition_transfers(&old, &new, &net, SimTime::ZERO);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].from, dc);
+        assert_eq!(ts[0].to, edge);
+        assert!((ts[0].mb.0 - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_transfers_when_layout_already_matches() {
+        let (net, edge, dc) = two_site_world(10.0);
+        let old: BTreeMap<SiteId, f64> = BTreeMap::from([(dc, 50.0), (edge, 50.0)]);
+        let new = Placement::from_pairs([(dc, 1), (edge, 1)]);
+        assert!(partition_transfers(&old, &new, &net, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn full_move_when_site_departs() {
+        let (net, edge, dc) = two_site_world(10.0);
+        let old: BTreeMap<SiteId, f64> = BTreeMap::from([(dc, 60.0)]);
+        let new = Placement::single(edge, 1);
+        let ts = partition_transfers(&old, &new, &net, SimTime::ZERO);
+        assert_eq!(ts.len(), 1);
+        assert!((ts[0].mb.0 - 60.0).abs() < 1e-9);
+        // Overhead estimate: 60 MB over 10 Mbps = 48 s.
+        let overhead = estimate_overhead(&ts, &net, SimTime::ZERO);
+        assert!((overhead - 48.0).abs() < 1e-6, "{overhead}");
+    }
+
+    #[test]
+    fn surplus_prefers_fast_links() {
+        // from sends to two receivers: fast (100 Mbps) and slow
+        // (5 Mbps). The single surplus goes over the fast link first.
+        let mut b = TopologyBuilder::new();
+        let from = b.add_site("from", SiteKind::DataCenter, 4);
+        let fast = b.add_site("fast", SiteKind::DataCenter, 4);
+        let slow = b.add_site("slow", SiteKind::DataCenter, 4);
+        b.set_all_links(Mbps(5.0), Millis(10.0));
+        b.set_link(from, fast, Mbps(100.0), Millis(10.0));
+        let net = Network::new(b.build().unwrap());
+        let old: BTreeMap<SiteId, f64> = BTreeMap::from([(from, 90.0)]);
+        let new = Placement::from_pairs([(fast, 1), (slow, 1), (from, 1)]);
+        let ts = partition_transfers(&old, &new, &net, SimTime::ZERO);
+        // 30 MB stays, 30 MB to fast, 30 MB to slow; fast gets matched
+        // first (order of transfers) and both deficits are filled.
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].to, fast);
+        let total_moved: f64 = ts.iter().map(|t| t.mb.0).sum();
+        assert!((total_moved - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_down_prefers_remote_sites() {
+        let p = Placement::from_pairs([(SiteId(0), 2), (SiteId(1), 1)]);
+        // Neighbours live at site 0 → retire the task at site 1.
+        assert_eq!(scale_down_site(&p, &[SiteId(0)]), Some(SiteId(1)));
+        // Neighbours at both → fewest tasks wins.
+        assert_eq!(
+            scale_down_site(&p, &[SiteId(0), SiteId(1)]),
+            Some(SiteId(1))
+        );
+        // Single task → nothing to retire.
+        assert_eq!(scale_down_site(&Placement::single(SiteId(0), 1), &[]), None);
+    }
+}

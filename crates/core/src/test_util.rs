@@ -1,0 +1,73 @@
+//! Shared fixtures for wasp-core's unit tests (also reused by the
+//! workspace integration tests).
+
+#![allow(missing_docs)]
+
+use wasp_netsim::dynamics::DynamicsScript;
+use wasp_netsim::network::Network;
+use wasp_netsim::site::{SiteId, SiteKind};
+use wasp_netsim::topology::TopologyBuilder;
+use wasp_netsim::units::{Mbps, Millis};
+use wasp_streamsim::engine::{Engine, EngineConfig};
+use wasp_streamsim::operator::{OperatorKind, OperatorSpec};
+use wasp_streamsim::physical::PhysicalPlan;
+use wasp_streamsim::plan::{LogicalPlan, LogicalPlanBuilder};
+
+/// Two sites — an edge (4 slots) and a DC (8 slots) — joined by a
+/// symmetric link of the given bandwidth and 20 ms latency.
+pub fn two_site_world(link_mbps: f64) -> (Network, SiteId, SiteId) {
+    let mut b = TopologyBuilder::new();
+    let edge = b.add_site("edge", SiteKind::Edge, 4);
+    let dc = b.add_site("dc", SiteKind::DataCenter, 8);
+    b.set_symmetric_link(edge, dc, Mbps(link_mbps), Millis(20.0));
+    (Network::new(b.build().unwrap()), edge, dc)
+}
+
+/// Three sites: an edge plus two DCs, fully connected.
+pub fn three_site_world(link_mbps: f64) -> (Network, SiteId, SiteId, SiteId) {
+    let mut b = TopologyBuilder::new();
+    let edge = b.add_site("edge", SiteKind::Edge, 4);
+    let dc1 = b.add_site("dc1", SiteKind::DataCenter, 8);
+    let dc2 = b.add_site("dc2", SiteKind::DataCenter, 8);
+    b.set_all_links(Mbps(link_mbps), Millis(20.0));
+    b.set_symmetric_link(dc1, dc2, Mbps(200.0), Millis(5.0));
+    (Network::new(b.build().unwrap()), edge, dc1, dc2)
+}
+
+/// `src(edge) → filter(cost, σ) → sink`. 100-byte events.
+pub fn linear_plan(edge: SiteId, rate: f64, filter_cost_us: f64, sigma: f64) -> LogicalPlan {
+    let mut p = LogicalPlanBuilder::new("linear");
+    let s = p.add(OperatorSpec::new(
+        "src",
+        OperatorKind::Source {
+            site: edge,
+            base_rate: rate,
+            event_bytes: 100.0,
+        },
+    ));
+    let f = p.add(
+        OperatorSpec::new("filter", OperatorKind::Filter)
+            .with_selectivity(sigma)
+            .with_cost_us(filter_cost_us),
+    );
+    let k = p.add(OperatorSpec::new("sink", OperatorKind::Sink { site: None }));
+    p.connect(s, f);
+    p.connect(f, k);
+    p.build().unwrap()
+}
+
+/// Deploys `plan` with everything non-pinned at `at`, no dynamics.
+pub fn engine(net: Network, plan: LogicalPlan, at: SiteId) -> Engine {
+    engine_with_script(net, plan, at, DynamicsScript::none())
+}
+
+/// Deploys `plan` with everything non-pinned at `at` under a script.
+pub fn engine_with_script(
+    net: Network,
+    plan: LogicalPlan,
+    at: SiteId,
+    script: DynamicsScript,
+) -> Engine {
+    let physical = PhysicalPlan::initial(&plan, at);
+    Engine::new(net, script, plan, physical, EngineConfig::default()).unwrap()
+}

@@ -1,0 +1,173 @@
+//! Automatic tuning of the bandwidth-headroom parameter α.
+//!
+//! The paper fixes α = 0.8 and notes (§4.1): *"Setting the α parameter
+//! too high (∼1) leads to greater impact of misestimation and makes
+//! the system unstable, while setting it too low leads to a
+//! non-optimal optimization. The automatic determination of the α
+//! parameter could probably benefit from the use of machine-learning
+//! techniques, an optimization that we leave for future work."*
+//!
+//! [`AlphaTuner`] implements that future work with a simple,
+//! explainable feedback rule instead of ML:
+//!
+//! * adaptations arriving in *quick succession* mean the previous
+//!   placement immediately proved inadequate — a symptom of too little
+//!   headroom — so α steps **down** (more headroom, more stability);
+//! * a *long stable streak* means headroom is being wasted, so α creeps
+//!   **up** toward its ceiling (better utilization).
+//!
+//! The asymmetric step sizes (fast down, slow up) follow the paper's
+//! own stability-over-utilization preference (§4.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Feedback controller for α. See the module docs for the rule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlphaTuner {
+    alpha: f64,
+    /// Lower bound (never give up more headroom than this).
+    pub min_alpha: f64,
+    /// Upper bound (never run closer to the wire than this).
+    pub max_alpha: f64,
+    /// Decrease applied when instability is detected.
+    pub down_step: f64,
+    /// Increase applied after a stable streak.
+    pub up_step: f64,
+    /// Two actions within this many rounds count as instability.
+    pub relapse_rounds: u32,
+    /// Healthy rounds required before α may creep up.
+    pub stable_rounds: u32,
+    rounds_since_action: u32,
+    stable_streak: u32,
+}
+
+impl AlphaTuner {
+    /// Creates a tuner starting from the paper's default α = 0.8.
+    pub fn new() -> AlphaTuner {
+        AlphaTuner::starting_at(0.8)
+    }
+
+    /// Creates a tuner with an explicit starting α.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    pub fn starting_at(alpha: f64) -> AlphaTuner {
+        assert!(alpha > 0.0 && alpha < 1.0, "α must lie in (0, 1)");
+        AlphaTuner {
+            alpha,
+            min_alpha: 0.5,
+            max_alpha: 0.95,
+            down_step: 0.05,
+            up_step: 0.01,
+            relapse_rounds: 3,
+            stable_rounds: 10,
+            rounds_since_action: u32::MAX,
+            stable_streak: 0,
+        }
+    }
+
+    /// Current α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Feeds one monitoring round's outcome (`acted` = an adaptation
+    /// was applied this round) and returns the α to use next round.
+    pub fn on_round(&mut self, acted: bool) -> f64 {
+        if acted {
+            // A relapse — a new action shortly after the previous one —
+            // means the last decision under-provisioned headroom.
+            if self.rounds_since_action <= self.relapse_rounds {
+                self.alpha = (self.alpha - self.down_step).max(self.min_alpha);
+            }
+            self.rounds_since_action = 0;
+            self.stable_streak = 0;
+        } else {
+            self.rounds_since_action = self.rounds_since_action.saturating_add(1);
+            self.stable_streak += 1;
+            if self.stable_streak >= self.stable_rounds {
+                self.alpha = (self.alpha + self.up_step).min(self.max_alpha);
+                self.stable_streak = 0;
+            }
+        }
+        self.alpha
+    }
+}
+
+impl Default for AlphaTuner {
+    fn default() -> Self {
+        AlphaTuner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_the_paper_default() {
+        assert_eq!(AlphaTuner::new().alpha(), 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "α must lie in (0, 1)")]
+    fn rejects_out_of_range_alpha() {
+        let _ = AlphaTuner::starting_at(1.0);
+    }
+
+    #[test]
+    fn rapid_readaptation_lowers_alpha() {
+        let mut t = AlphaTuner::new();
+        t.on_round(true); // first action: no penalty (no prior action)
+        assert_eq!(t.alpha(), 0.8);
+        t.on_round(true); // immediate relapse → step down
+        assert!((t.alpha() - 0.75).abs() < 1e-12);
+        t.on_round(false);
+        t.on_round(true); // relapse within 3 rounds → step down again
+        assert!((t.alpha() - 0.70).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_actions_do_not_lower_alpha() {
+        let mut t = AlphaTuner::new();
+        t.on_round(true);
+        for _ in 0..5 {
+            t.on_round(false);
+        }
+        t.on_round(true); // 5 calm rounds in between: not a relapse
+        assert_eq!(t.alpha(), 0.8);
+    }
+
+    #[test]
+    fn long_stability_raises_alpha_to_the_ceiling() {
+        let mut t = AlphaTuner::new();
+        for _ in 0..1000 {
+            t.on_round(false);
+        }
+        assert!((t.alpha() - t.max_alpha).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_never_leaves_its_bounds() {
+        let mut t = AlphaTuner::new();
+        for _ in 0..100 {
+            t.on_round(true); // pathological thrash
+        }
+        assert!(t.alpha() >= t.min_alpha - 1e-12);
+        for _ in 0..10_000 {
+            t.on_round(false);
+        }
+        assert!(t.alpha() <= t.max_alpha + 1e-12);
+    }
+
+    #[test]
+    fn action_resets_the_stable_streak() {
+        let mut t = AlphaTuner::new();
+        for _ in 0..9 {
+            t.on_round(false);
+        }
+        t.on_round(true); // streak broken at 9 < 10
+        assert_eq!(t.alpha(), 0.8);
+    }
+}

@@ -1,0 +1,234 @@
+//! Extension features: straggler handling and periodic background
+//! re-planning for long-term dynamics (§6.2).
+
+use wasp_core::prelude::*;
+use wasp_core::test_util::*;
+use wasp_netsim::dynamics::DynamicsScript;
+use wasp_netsim::trace::FactorSeries;
+use wasp_streamsim::prelude::*;
+
+#[test]
+fn straggler_slows_processing() {
+    // A 4× slowdown at the filter's site caps λP at 1/4 capacity.
+    let (net, edge, dc) = two_site_world(100.0);
+    let plan = linear_plan(edge, 1000.0, 800.0, 0.5); // capacity 1250/s
+    let script =
+        DynamicsScript::none().with_straggler(dc, FactorSeries::steps(1.0, &[(60.0, 0.25)]));
+    let mut eng = engine_with_script(net, plan, dc, script);
+    eng.run(60.0);
+    let healthy = eng.snapshot().stage(OpId(1)).lambda_p;
+    assert!((healthy - 1000.0).abs() < 100.0, "healthy λP {healthy}");
+    eng.run(120.0);
+    let straggling = eng.snapshot().stage(OpId(1)).lambda_p;
+    // 1250/4 ≈ 312 events/s is all the straggler can do.
+    assert!(
+        straggling < 400.0,
+        "straggler λP {straggling} should cap near 312"
+    );
+}
+
+#[test]
+fn wasp_recovers_from_a_straggler() {
+    // The filter's host becomes a straggler at t = 120; WASP must
+    // diagnose the compute bottleneck and scale up/out or re-assign.
+    let (net, edge, dc1, dc2) = three_site_world(100.0);
+    let script =
+        DynamicsScript::none().with_straggler(dc1, FactorSeries::steps(1.0, &[(120.0, 0.3)]));
+    let plan = linear_plan(edge, 1000.0, 800.0, 0.5);
+    let mut eng = engine_with_script(net, plan, dc1, script);
+    let mut wasp = WaspController::new(PolicyConfig::default());
+    run_controlled(&mut eng, &mut wasp, 800.0, 40.0);
+    let m = eng.metrics();
+    assert!(
+        m.actions()
+            .iter()
+            .any(|(_, a)| a.contains("scale") || a.contains("re-")),
+        "no adaptation against the straggler: {:?}",
+        m.actions()
+    );
+    // Late in the run the query keeps up again.
+    let gen_late: f64 = m.ticks().iter().filter(|r| r.t > 700.0).map(|r| r.generated).sum();
+    let del_late: f64 = m.ticks().iter().filter(|r| r.t > 700.0).map(|r| r.delivered).sum();
+    assert!(
+        del_late / (gen_late * 0.5) > 0.85,
+        "late ratio {}",
+        del_late / (gen_late * 0.5)
+    );
+    let _ = dc2;
+}
+
+#[test]
+fn periodic_replan_improves_a_stale_but_healthy_deployment() {
+    // The filter sits at dc1. The path edge→dc1 degrades to 60% — still
+    // adequate (no bottleneck, no flags), but dc2's path is now clearly
+    // better. Reactive WASP never moves; periodic background
+    // re-planning does.
+    let build = || {
+        let (mut net, edge, dc1, dc2) = three_site_world(10.0);
+        net.set_pair_factor(edge, dc1, FactorSeries::steps(1.0, &[(100.0, 0.6)]));
+        let plan = linear_plan(edge, 5000.0, 5.0, 0.5); // 4 Mbps demand
+        (engine(net, plan, dc1), dc1, dc2, edge)
+    };
+
+    // Reactive-only control: no action (the query stays healthy).
+    let (mut reactive_engine, dc1, _, _) = build();
+    let mut reactive = WaspController::new(PolicyConfig::default());
+    run_controlled(&mut reactive_engine, &mut reactive, 600.0, 40.0);
+    assert!(
+        reactive_engine
+            .metrics()
+            .actions()
+            .iter()
+            .all(|(_, a)| a.starts_with("transition") || !a.contains("re-plan")),
+        "reactive control should not re-plan a healthy query: {:?}",
+        reactive_engine.metrics().actions()
+    );
+    assert_eq!(
+        reactive_engine.physical().placement(OpId(1)).sites(),
+        vec![dc1]
+    );
+
+    // Periodic background re-planning finds the better deployment.
+    let (mut periodic_engine, dc1, _dc2, edge) = build();
+    let mut periodic =
+        WaspController::new(PolicyConfig::default()).with_periodic_replan(200.0);
+    run_controlled(&mut periodic_engine, &mut periodic, 600.0, 40.0);
+    let acted = periodic_engine
+        .metrics()
+        .actions()
+        .iter()
+        .any(|(_, a)| a == "periodic re-plan");
+    assert!(
+        acted,
+        "periodic re-planning should fire: {:?}",
+        periodic_engine.metrics().actions()
+    );
+    let sites = periodic_engine.physical().placement(OpId(1)).sites();
+    assert_ne!(sites, vec![dc1], "filter should leave the degraded path");
+    let _ = edge;
+}
+
+#[test]
+fn periodic_replan_leaves_optimal_deployments_alone() {
+    // With nothing degraded, periodic re-planning should find nothing
+    // meaningfully better round after round (no oscillation).
+    let (net, edge, dc1, _) = three_site_world(100.0);
+    let plan = linear_plan(edge, 1000.0, 5.0, 0.5);
+    let mut eng = engine(net, plan, dc1);
+    let mut wasp = WaspController::new(PolicyConfig::default()).with_periodic_replan(100.0);
+    run_controlled(&mut eng, &mut wasp, 800.0, 40.0);
+    let replans = eng
+        .metrics()
+        .actions()
+        .iter()
+        .filter(|(_, a)| a == "periodic re-plan")
+        .count();
+    assert!(
+        replans <= 1,
+        "healthy deployment re-planned {replans} times: {:?}",
+        eng.metrics().actions()
+    );
+}
+
+#[test]
+fn wasp_routes_around_cross_traffic() {
+    // Another tenant's 9.5 Mbps transfer appears on edge→dc1 at
+    // t = 120 (§3.2: "bandwidth contention with other executions"),
+    // squeezing our 4 Mbps stream; WASP must move the filter off the
+    // contended path.
+    let (mut net, edge, dc1, dc2) = three_site_world(10.0);
+    net.add_cross_traffic(
+        edge,
+        dc1,
+        FactorSeries::from_samples(120.0, vec![0.0, 9.5]),
+    );
+    let plan = linear_plan(edge, 5000.0, 5.0, 0.5); // 4 Mbps demand
+    let mut eng = engine(net, plan, dc1);
+    let mut wasp = WaspController::new(PolicyConfig::default());
+    run_controlled(&mut eng, &mut wasp, 600.0, 40.0);
+    let m = eng.metrics();
+    assert!(
+        m.actions()
+            .iter()
+            .any(|(_, a)| a.contains("re-") || a.contains("scale")),
+        "no adaptation against cross traffic: {:?}",
+        m.actions()
+    );
+    let sites = eng.physical().placement(OpId(1)).sites();
+    assert_ne!(sites, vec![dc1], "filter should leave the contended path");
+    // Delivery keeps up at the end of the run.
+    let gen_late: f64 = m.ticks().iter().filter(|r| r.t > 500.0).map(|r| r.generated).sum();
+    let del_late: f64 = m.ticks().iter().filter(|r| r.t > 500.0).map(|r| r.delivered).sum();
+    assert!(
+        del_late / (gen_late * 0.5) > 0.85,
+        "late ratio {}",
+        del_late / (gen_late * 0.5)
+    );
+    let _ = dc2;
+}
+
+#[test]
+fn remote_checkpointing_costs_wan_bandwidth() {
+    // §5: WASP checkpoints locally precisely because shipping state to
+    // rendezvous storage over the WAN is expensive. Here a 60 MB
+    // stateful stage at the edge checkpoints every 30 s to the DC,
+    // and its 6 Mbps result stream shares the same 10 Mbps uplink:
+    // under max-min fairness the upload squeezes the data stream below
+    // its demand, so backlog (and delay) grows — unlike the local
+    // scheme.
+    use wasp_streamsim::engine::CheckpointTarget;
+    let build = |target: CheckpointTarget| {
+        let (net, edge, dc) = two_site_world(10.0);
+        let mut p = LogicalPlanBuilder::new("ckpt");
+        let s = p.add(OperatorSpec::new(
+            "src",
+            OperatorKind::Source {
+                site: edge,
+                base_rate: 5000.0,
+                event_bytes: 20.0,
+            },
+        ));
+        // Partial aggregation at the edge: halves the event count but
+        // emits fat records — 2500 ev/s × 300 B = 6 Mbps to the sink.
+        let w = p.add(
+            OperatorSpec::new("agg", OperatorKind::WindowAggregate { window_s: 10.0 })
+                .with_selectivity(0.5)
+                .with_out_bytes(300.0)
+                .with_state(StateModel::Fixed(wasp_netsim::units::MegaBytes(60.0))),
+        );
+        let k = p.add(OperatorSpec::new("sink", OperatorKind::Sink { site: Some(dc) }));
+        p.connect(s, w);
+        p.connect(w, k);
+        let plan = p.build().unwrap();
+        let mut physical = PhysicalPlan::initial(&plan, dc);
+        physical.set_placement(w, Placement::single(edge, 1));
+        let cfg = EngineConfig {
+            dt: 0.5,
+            checkpoint_target: target,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(
+            net,
+            wasp_netsim::dynamics::DynamicsScript::none(),
+            plan,
+            physical,
+            cfg,
+        )
+        .unwrap();
+        engine.run(300.0);
+        engine
+    };
+    let local = build(CheckpointTarget::Local);
+    let (_, _edge, dc) = two_site_world(10.0);
+    let remote = build(CheckpointTarget::Remote(dc));
+    // Local checkpointing: no uploads at all.
+    assert_eq!(local.pending_checkpoint_upload_mb(), 0.0);
+    // Remote checkpointing congests the shared uplink: the data
+    // stream's delay suffers visibly.
+    let d_local = local.metrics().delay_quantile(0.95).unwrap();
+    let d_remote = remote.metrics().delay_quantile(0.95).unwrap();
+    assert!(
+        d_remote > 2.0 * d_local,
+        "remote checkpointing should hurt: local p95 {d_local} vs remote {d_remote}"
+    );
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the adaptation layer: estimator linearity,
+//! scaling arithmetic, and state-partitioning conservation.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use wasp_core::scaling::{
+    bandwidth_scale_out, ds2_parallelism, estimate_overhead, partition_transfers,
+    scale_down_site,
+};
+use wasp_netsim::network::Network;
+use wasp_netsim::site::{SiteId, SiteKind};
+use wasp_netsim::topology::TopologyBuilder;
+use wasp_netsim::units::{Mbps, Millis, SimTime};
+use wasp_streamsim::physical::Placement;
+
+fn network(n: u16, cap: f64) -> Network {
+    let mut b = TopologyBuilder::new();
+    for i in 0..n {
+        b.add_site(format!("s{i}"), SiteKind::DataCenter, 8);
+    }
+    b.set_all_links(Mbps(cap), Millis(10.0));
+    Network::new(b.build().expect("valid topology"))
+}
+
+proptest! {
+    /// DS2 parallelism is the minimal p' with p'·λP/p ≥ λ̂I (ceiling
+    /// semantics), never shrinks, and is monotone in the input rate.
+    #[test]
+    fn ds2_is_minimal_and_monotone(
+        expected in 1.0f64..1e6,
+        processed in 1.0f64..1e6,
+        p in 1u32..32,
+    ) {
+        let p2 = ds2_parallelism(expected, processed, p);
+        prop_assert!(p2 >= p);
+        // p2 suffices: per-task share of expected ≤ measured per-task rate.
+        let per_task = processed / p as f64;
+        prop_assert!(p2 as f64 * per_task + 1e-6 >= expected.min(p2 as f64 * per_task + 1.0)
+            || p2 as f64 * per_task >= expected - 1e-6 * expected);
+        // Minimality: p2-1 would not suffice (when p2 > p).
+        if p2 > p {
+            prop_assert!(((p2 - 1) as f64) * per_task < expected + 1e-6 * expected);
+        }
+        // Monotonicity in expected rate.
+        let bigger = ds2_parallelism(expected * 1.5, processed, p);
+        prop_assert!(bigger >= p2);
+    }
+
+    /// Bandwidth scale-out covers the unhandled stream.
+    #[test]
+    fn bandwidth_scale_out_covers(unhandled in 0.0f64..1e4, per_link in 0.1f64..1e3) {
+        let extra = bandwidth_scale_out(unhandled, per_link);
+        prop_assert!(extra as f64 * per_link + 1e-9 >= unhandled);
+        if extra > 0 {
+            prop_assert!((extra - 1) as f64 * per_link < unhandled);
+        }
+    }
+
+    /// State re-partitioning conserves total volume and achieves the
+    /// target layout: after applying the transfers, each site holds
+    /// `total × tasks/p` (up to float error).
+    #[test]
+    fn partition_transfers_achieve_target(
+        old in proptest::collection::btree_map(0u16..6, 0.1f64..500.0, 1..5),
+        new in proptest::collection::btree_map(0u16..6, 1u32..4, 1..5),
+    ) {
+        let net = network(6, 100.0);
+        let old_mb: BTreeMap<SiteId, f64> =
+            old.iter().map(|(&s, &m)| (SiteId(s), m)).collect();
+        let placement: Placement = new.iter().map(|(&s, &n)| (SiteId(s), n)).collect();
+        let transfers = partition_transfers(&old_mb, &placement, &net, SimTime::ZERO);
+        // Apply.
+        let mut state = old_mb.clone();
+        for t in &transfers {
+            *state.entry(t.from).or_insert(0.0) -= t.mb.0;
+            *state.entry(t.to).or_insert(0.0) += t.mb.0;
+        }
+        let total: f64 = old_mb.values().sum();
+        let after: f64 = state.values().sum();
+        prop_assert!((after - total).abs() < 1e-6 * total, "mass not conserved");
+        let p = placement.parallelism() as f64;
+        for (site, mb) in &state {
+            let target = total * placement.tasks_at(*site) as f64 / p;
+            prop_assert!((mb - target).abs() < 1e-6 * total.max(1.0),
+                "site {site}: {mb} vs target {target}");
+        }
+        // No negative intermediate transfer.
+        for t in &transfers {
+            prop_assert!(t.mb.0 > 0.0);
+        }
+    }
+
+    /// Overhead estimation equals the slowest single transfer.
+    #[test]
+    fn overhead_is_max_transfer(
+        sizes in proptest::collection::vec(0.1f64..300.0, 1..6),
+        cap in 1.0f64..200.0,
+    ) {
+        let net = network(6, cap);
+        let transfers: Vec<wasp_streamsim::engine::Transfer> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &mb)| wasp_streamsim::engine::Transfer::new(
+                SiteId(i as u16),
+                SiteId(((i + 1) % 6) as u16),
+                wasp_netsim::units::MegaBytes(mb),
+            ))
+            .collect();
+        let overhead = estimate_overhead(&transfers, &net, SimTime::ZERO);
+        let expected = sizes.iter().cloned().fold(0.0f64, f64::max) * 8.0 / cap;
+        prop_assert!((overhead - expected).abs() < 1e-9, "{overhead} vs {expected}");
+    }
+
+    /// The scale-down victim is always a currently-used site, and
+    /// non-co-located sites are preferred whenever one exists.
+    #[test]
+    fn scale_down_victim_is_valid(
+        placement in proptest::collection::btree_map(0u16..6, 1u32..4, 2..5),
+        neighbours in proptest::collection::btree_set(0u16..6, 0..4),
+    ) {
+        let p: Placement = placement.iter().map(|(&s, &n)| (SiteId(s), n)).collect();
+        let nb: Vec<SiteId> = neighbours.iter().map(|&s| SiteId(s)).collect();
+        let victim = scale_down_site(&p, &nb).expect("p ≥ 2 has a victim");
+        prop_assert!(p.tasks_at(victim) > 0);
+        let remote_exists = p.sites().iter().any(|s| !nb.contains(s));
+        if remote_exists {
+            prop_assert!(!nb.contains(&victim), "co-located victim chosen over remote");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # wasp-netsim — wide-area network substrate
+//!
+//! The network layer of the [WASP (Middleware 2020)] reproduction. The
+//! paper evaluates on a 16-node testbed whose links are shaped from a
+//! 1-day EC2 bandwidth measurement and Akamai edge statistics; this
+//! crate rebuilds that environment as a deterministic model:
+//!
+//! * [`site`] / [`topology`] — sites with compute slots, directed
+//!   pair-wise latency/bandwidth matrices;
+//! * [`network`] — time-varying available bandwidth plus max-min fair
+//!   allocation of concurrent flows;
+//! * [`trace`] — bandwidth factor traces (scripted steps, EC2-style
+//!   daily variation, live bounded random walks);
+//! * [`dynamics`] — whole-experiment scripts (workload factors,
+//!   bandwidth factors, failures) matching §8.4–§8.6 of the paper;
+//! * [`testbed`] — the paper's 8-DC + 8-edge testbed (Fig. 7);
+//! * [`stats`] — deterministic distribution helpers (normal, Zipf,
+//!   bounded walks, quantiles).
+//!
+//! # Example
+//!
+//! ```
+//! use wasp_netsim::prelude::*;
+//!
+//! let tb = Testbed::paper(42);
+//! let net = tb.network_with_ec2_dynamics();
+//! let (a, c) = (tb.data_centers()[0], tb.data_centers()[1]);
+//! let bw = net.available(a, c, SimTime(600.0));
+//! assert!(bw.0 > 0.0);
+//! ```
+//!
+//! [WASP (Middleware 2020)]: https://doi.org/10.1145/3423211.3425668
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dynamics;
+pub mod network;
+pub mod site;
+pub mod stats;
+pub mod testbed;
+pub mod topology;
+pub mod trace;
+pub mod units;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::dynamics::{DynamicsScript, Failure};
+    pub use crate::network::{FlowDemand, Network};
+    pub use crate::site::{Site, SiteId, SiteKind};
+    pub use crate::testbed::{Testbed, TestbedConfig};
+    pub use crate::topology::{Topology, TopologyBuilder, TopologyError};
+    pub use crate::trace::{Ec2TraceGenerator, FactorSeries, WalkTraceGenerator};
+    pub use crate::units::{Mbps, MegaBytes, Millis, SimTime};
+}

@@ -1,0 +1,140 @@
+//! Sites (edge clusters and data centers) and their compute slots.
+//!
+//! WASP abstracts computational resources at each location as
+//! *computing slots*, each able to host exactly one task (§7 of the
+//! paper: "Homogeneous compute power across slots"). Sites only differ
+//! in how many slots they offer and how they are connected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a site (edge cluster or data center) in a topology.
+///
+/// Site ids index the topology's latency/bandwidth matrices and are
+/// assigned densely from zero by [`TopologyBuilder`].
+///
+/// [`TopologyBuilder`]: crate::topology::TopologyBuilder
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SiteId(pub u16);
+
+impl SiteId {
+    /// The matrix index of this site.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site-{}", self.0)
+    }
+}
+
+impl From<u16> for SiteId {
+    fn from(v: u16) -> Self {
+        SiteId(v)
+    }
+}
+
+/// The class of a site, which determines its typical resources.
+///
+/// The paper's testbed (§8.2) uses 8 edge nodes with 2–4 slots each and
+/// 8 data-center nodes with 8 slots each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteKind {
+    /// A small edge cluster connected over the public Internet.
+    Edge,
+    /// A well-provisioned cloud data center.
+    DataCenter,
+}
+
+impl fmt::Display for SiteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiteKind::Edge => write!(f, "edge"),
+            SiteKind::DataCenter => write!(f, "data-center"),
+        }
+    }
+}
+
+/// A site in the wide-area deployment.
+///
+/// # Examples
+///
+/// ```
+/// use wasp_netsim::site::{Site, SiteKind};
+///
+/// let s = Site::new("oregon", SiteKind::DataCenter, 8);
+/// assert_eq!(s.slots(), 8);
+/// assert_eq!(s.kind(), SiteKind::DataCenter);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Site {
+    name: String,
+    kind: SiteKind,
+    slots: u32,
+}
+
+impl Site {
+    /// Creates a site with the given name, kind and number of compute
+    /// slots.
+    pub fn new(name: impl Into<String>, kind: SiteKind, slots: u32) -> Site {
+        Site {
+            name: name.into(),
+            kind,
+            slots,
+        }
+    }
+
+    /// Human-readable site name (e.g. `"oregon"` or `"edge-3"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this is an edge cluster or a data center.
+    pub fn kind(&self) -> SiteKind {
+        self.kind
+    }
+
+    /// Total number of computing slots provided by this site's Task
+    /// Manager.
+    pub fn slots(&self) -> u32 {
+        self.slots
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {} slots)", self.name, self.kind, self.slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_id_roundtrip() {
+        let id: SiteId = 5u16.into();
+        assert_eq!(id.index(), 5);
+        assert_eq!(format!("{id}"), "site-5");
+    }
+
+    #[test]
+    fn site_accessors() {
+        let s = Site::new("edge-0", SiteKind::Edge, 3);
+        assert_eq!(s.name(), "edge-0");
+        assert_eq!(s.kind(), SiteKind::Edge);
+        assert_eq!(s.slots(), 3);
+        assert!(format!("{s}").contains("edge-0"));
+    }
+
+    #[test]
+    fn site_ids_order_by_index() {
+        assert!(SiteId(1) < SiteId(2));
+        assert_eq!(SiteId(3), SiteId(3));
+    }
+}

@@ -1,0 +1,348 @@
+//! Deterministic statistical helpers used by the generators.
+//!
+//! The sanctioned dependency set does not include `rand_distr`, so the
+//! handful of distributions the reproduction needs (Gaussian, Zipf,
+//! bounded random walk) are implemented here from first principles, on
+//! top of any [`rand::Rng`].
+
+use rand::Rng;
+
+/// Draws a standard-normal sample using the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let x = wasp_netsim::stats::normal(&mut rng, 0.0, 1.0);
+/// assert!(x.is_finite());
+/// ```
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    // Avoid ln(0) by sampling u1 in (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + std_dev * mag * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal sample truncated to `[lo, hi]` by rejection (with a
+/// clamping fallback after 64 attempts, which keeps the function total).
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    debug_assert!(lo <= hi);
+    for _ in 0..64 {
+        let x = normal(rng, mean, std_dev);
+        if x >= lo && x <= hi {
+            return x;
+        }
+    }
+    mean.clamp(lo, hi)
+}
+
+/// A Zipf(α) sampler over ranks `0..n`, built once and sampled many
+/// times via binary search over the precomputed CDF.
+///
+/// Used for topic popularity and country skew in the synthetic Twitter
+/// trace (the real trace exhibits strongly skewed spatial distribution,
+/// §8.3, citation 37 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use wasp_netsim::stats::Zipf;
+///
+/// let zipf = Zipf::new(100, 1.1);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "invalid Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // constructed with n > 0
+    }
+
+    /// Probability mass of rank `k` (0-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        let hi = self.cdf[k];
+        let lo = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        hi - lo
+    }
+
+    /// Samples a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// A bounded multiplicative random walk, used for "live" bandwidth and
+/// workload variation (§8.6: bandwidth factor 0.51–2.36, workload
+/// factor 0.8–2.4).
+///
+/// Each [`step`](BoundedWalk::step) multiplies the current value by a
+/// log-normal-ish perturbation and reflects it back into `[lo, hi]`.
+#[derive(Debug, Clone)]
+pub struct BoundedWalk {
+    value: f64,
+    lo: f64,
+    hi: f64,
+    volatility: f64,
+}
+
+impl BoundedWalk {
+    /// Creates a walk starting at `start`, constrained to `[lo, hi]`,
+    /// with per-step log-volatility `volatility`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not ordered or `start` lies outside
+    /// them.
+    pub fn new(start: f64, lo: f64, hi: f64, volatility: f64) -> BoundedWalk {
+        assert!(lo > 0.0 && lo <= hi, "bounds must satisfy 0 < lo <= hi");
+        assert!(
+            (lo..=hi).contains(&start),
+            "start must lie within the bounds"
+        );
+        BoundedWalk {
+            value: start,
+            lo,
+            hi,
+            volatility,
+        }
+    }
+
+    /// Current value of the walk.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Advances the walk one step and returns the new value.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let shock = normal(rng, 0.0, self.volatility);
+        let mut next = self.value * shock.exp();
+        // Reflect into bounds; at most a couple of iterations for sane
+        // volatilities.
+        for _ in 0..8 {
+            if next < self.lo {
+                next = self.lo + (self.lo - next);
+            } else if next > self.hi {
+                next = self.hi - (next - self.hi);
+            } else {
+                break;
+            }
+        }
+        self.value = next.clamp(self.lo, self.hi);
+        self.value
+    }
+}
+
+/// Simple descriptive statistics over a slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+/// Computes mean/std-dev/min/max of `xs`. Returns `None` for an empty
+/// slice.
+pub fn summarize(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Some(Summary {
+        mean,
+        std_dev: var.sqrt(),
+        min,
+        max,
+    })
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `xs` using linear
+/// interpolation, or `None` when empty. `xs` need not be sorted.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Quantile over an already-sorted slice (ascending).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn quantile_sorted(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty());
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (xs.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        xs[lo]
+    } else {
+        let frac = pos - lo as f64;
+        xs[lo] * (1.0 - frac) + xs[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_right_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let s = summarize(&xs).unwrap();
+        assert!((s.mean - 5.0).abs() < 0.1, "mean {}", s.mean);
+        assert!((s.std_dev - 2.0).abs() < 0.1, "std {}", s.std_dev);
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = truncated_normal(&mut rng, 0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_normalized() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 10];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: emp {emp} pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_zero_ranks() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn bounded_walk_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut walk = BoundedWalk::new(1.0, 0.51, 2.36, 0.25);
+        for _ in 0..10_000 {
+            let v = walk.step(&mut rng);
+            assert!((0.51..=2.36).contains(&v), "escaped: {v}");
+        }
+    }
+
+    #[test]
+    fn bounded_walk_actually_moves() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut walk = BoundedWalk::new(1.0, 0.5, 2.0, 0.2);
+        let values: Vec<f64> = (0..100).map(|_| walk.step(&mut rng)).collect();
+        let s = summarize(&values).unwrap();
+        assert!(s.std_dev > 0.01, "walk did not move");
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [4.0, 1.0, 2.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(quantile(&xs, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn summary_of_constants() {
+        let s = summarize(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert!(summarize(&[]).is_none());
+    }
+}

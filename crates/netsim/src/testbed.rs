@@ -1,0 +1,384 @@
+//! The paper's 16-node evaluation testbed (§8.2, Fig. 7).
+//!
+//! 8 data-center nodes model the Amazon EC2 regions the authors
+//! measured (Oregon, Ohio, Ireland, Frankfurt, Seoul, Singapore,
+//! Mumbai, São Paulo; 8 slots each) and 8 edge nodes (2–4 slots each)
+//! are attached over public-Internet links whose bandwidth follows the
+//! Akamai-reported average of <10 Mbps. Inter-DC bandwidths are drawn
+//! deterministically from the measured range, and latencies come from a
+//! hard-coded matrix of realistic one-way delays.
+
+use crate::network::Network;
+use crate::site::{SiteId, SiteKind};
+use crate::topology::{Topology, TopologyBuilder};
+use crate::trace::Ec2TraceGenerator;
+use crate::units::{Mbps, Millis};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Names of the 8 EC2 regions used in the paper's measurement.
+pub const REGIONS: [&str; 8] = [
+    "oregon",
+    "ohio",
+    "ireland",
+    "frankfurt",
+    "seoul",
+    "singapore",
+    "mumbai",
+    "sao-paulo",
+];
+
+/// Approximate round-trip times (ms) between the 8 regions, upper
+/// triangle; one-way latency is half the RTT.
+const RTT_MS: [[f64; 8]; 8] = [
+    //  OR     OH     IR     FR     SE     SG     MU     SP
+    [0.0, 70.0, 130.0, 150.0, 130.0, 170.0, 220.0, 180.0], // oregon
+    [70.0, 0.0, 80.0, 100.0, 180.0, 220.0, 200.0, 140.0],  // ohio
+    [130.0, 80.0, 0.0, 25.0, 250.0, 180.0, 120.0, 180.0],  // ireland
+    [150.0, 100.0, 25.0, 0.0, 240.0, 160.0, 110.0, 200.0], // frankfurt
+    [130.0, 180.0, 250.0, 240.0, 0.0, 70.0, 130.0, 300.0], // seoul
+    [170.0, 220.0, 180.0, 160.0, 70.0, 0.0, 60.0, 330.0],  // singapore
+    [220.0, 200.0, 120.0, 110.0, 130.0, 60.0, 0.0, 300.0], // mumbai
+    [180.0, 140.0, 180.0, 200.0, 300.0, 330.0, 300.0, 0.0], // sao-paulo
+];
+
+/// The paper's 16-node testbed: site ids grouped by role plus the
+/// frozen topology.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    topology: Topology,
+    edges: Vec<SiteId>,
+    data_centers: Vec<SiteId>,
+    seed: u64,
+}
+
+/// Configuration for building a [`Testbed`].
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Number of data-center sites (the paper used 8).
+    pub data_centers: usize,
+    /// Number of edge sites (the paper used 8).
+    pub edges: usize,
+    /// Slots per data-center node (the paper used 8).
+    pub dc_slots: u32,
+    /// Slots per edge node cycle through this list (the paper used
+    /// 2–4).
+    pub edge_slot_cycle: Vec<u32>,
+    /// Inter-DC bandwidth range (Fig. 7a shows roughly 25–250 Mbps).
+    pub dc_bandwidth_range: (f64, f64),
+    /// Edge link bandwidth range (Akamai: average <10 Mbps).
+    pub edge_bandwidth_range: (f64, f64),
+    /// Seed for deterministic bandwidth draws.
+    pub seed: u64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            data_centers: 8,
+            edges: 8,
+            dc_slots: 8,
+            edge_slot_cycle: vec![2, 3, 4],
+            dc_bandwidth_range: (40.0, 240.0),
+            edge_bandwidth_range: (2.0, 10.0),
+            seed: 0x5741_5350, // "WASP"
+        }
+    }
+}
+
+impl Testbed {
+    /// Builds the paper's default 16-node testbed with the given seed.
+    pub fn paper(seed: u64) -> Testbed {
+        Testbed::with_config(TestbedConfig {
+            seed,
+            ..TestbedConfig::default()
+        })
+    }
+
+    /// Builds a testbed from an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration asks for more data centers than
+    /// there are region latencies (8) with zero sites, or empty slot
+    /// cycle.
+    pub fn with_config(cfg: TestbedConfig) -> Testbed {
+        assert!(cfg.data_centers >= 1 && cfg.data_centers <= 8);
+        assert!(!cfg.edge_slot_cycle.is_empty());
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut b = TopologyBuilder::new();
+
+        let mut dcs = Vec::new();
+        for region in REGIONS.iter().take(cfg.data_centers) {
+            dcs.push(b.add_site(*region, SiteKind::DataCenter, cfg.dc_slots));
+        }
+        let mut edges = Vec::new();
+        for e in 0..cfg.edges {
+            let slots = cfg.edge_slot_cycle[e % cfg.edge_slot_cycle.len()];
+            edges.push(b.add_site(format!("edge-{e}"), SiteKind::Edge, slots));
+        }
+
+        // DC <-> DC links: latency from the RTT matrix, bandwidth drawn
+        // per *directed* pair (WAN bandwidth is asymmetric in
+        // practice).
+        let (dlo, dhi) = cfg.dc_bandwidth_range;
+        for i in 0..cfg.data_centers {
+            for j in 0..cfg.data_centers {
+                if i == j {
+                    continue;
+                }
+                let lat = Millis(RTT_MS[i][j] / 2.0);
+                let bw = Mbps(rng.gen_range(dlo..=dhi));
+                b.set_link(dcs[i], dcs[j], bw, lat);
+            }
+        }
+
+        // Edge links: each edge has a home region; public-Internet
+        // paths differ per destination, so bandwidth is drawn per
+        // (edge, DC) pair.
+        let (elo, ehi) = cfg.edge_bandwidth_range;
+        for (e, &edge) in edges.iter().enumerate() {
+            let home = e % cfg.data_centers;
+            for (r, &dc) in dcs.iter().enumerate() {
+                let up = Mbps(rng.gen_range(elo..=ehi));
+                let down = Mbps(rng.gen_range(elo..=ehi));
+                let base = Millis(RTT_MS[home][r] / 2.0);
+                let access = Millis(rng.gen_range(5.0..=25.0));
+                b.set_link(edge, dc, up, base + access);
+                b.set_link(dc, edge, down, base + access);
+            }
+        }
+        // Edge <-> edge links route over the public Internet through
+        // their home regions.
+        for (e1, &a) in edges.iter().enumerate() {
+            for (e2, &c) in edges.iter().enumerate() {
+                if e1 == e2 {
+                    continue;
+                }
+                let h1 = e1 % cfg.data_centers;
+                let h2 = e2 % cfg.data_centers;
+                let lat = Millis(RTT_MS[h1][h2] / 2.0 + rng.gen_range(10.0..=50.0));
+                let bw = Mbps(rng.gen_range(elo..=ehi));
+                b.set_link(a, c, bw, lat);
+            }
+        }
+
+        Testbed {
+            topology: b.build().expect("testbed construction is internally valid"),
+            edges,
+            data_centers: dcs,
+            seed: cfg.seed,
+        }
+    }
+
+    /// The frozen topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Ids of the edge sites.
+    pub fn edges(&self) -> &[SiteId] {
+        &self.edges
+    }
+
+    /// Ids of the data-center sites.
+    pub fn data_centers(&self) -> &[SiteId] {
+        &self.data_centers
+    }
+
+    /// A static network (no bandwidth variation) over this testbed.
+    pub fn static_network(&self) -> Network {
+        Network::new(self.topology.clone())
+    }
+
+    /// A network whose inter-DC links follow 1-day EC2-style variation
+    /// traces (Fig. 2 statistics), seeded deterministically per pair.
+    pub fn network_with_ec2_dynamics(&self) -> Network {
+        let mut net = Network::new(self.topology.clone());
+        let gen = Ec2TraceGenerator::default();
+        for (i, &a) in self.data_centers.iter().enumerate() {
+            for (j, &c) in self.data_centers.iter().enumerate() {
+                if a != c {
+                    let pair_seed = self
+                        .seed
+                        .wrapping_mul(1_000_003)
+                        .wrapping_add((i * 64 + j) as u64);
+                    net.set_pair_factor(a, c, gen.generate(pair_seed));
+                }
+            }
+        }
+        net
+    }
+
+    /// All inter-site bandwidths of a role class, for the Fig. 7a CDF.
+    ///
+    /// As in the paper, "edge" considers only links between an edge
+    /// node and data centers in its region plus other edges, while "dc"
+    /// considers DC-to-DC links.
+    pub fn bandwidth_samples(&self, kind: SiteKind) -> Vec<f64> {
+        let mut out = Vec::new();
+        match kind {
+            SiteKind::DataCenter => {
+                for &a in &self.data_centers {
+                    for &c in &self.data_centers {
+                        if a != c {
+                            out.push(self.topology.capacity(a, c).0);
+                        }
+                    }
+                }
+            }
+            SiteKind::Edge => {
+                for &a in &self.edges {
+                    for c in self.topology.site_ids() {
+                        if a != c {
+                            out.push(self.topology.capacity(a, c).0);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All inter-site latencies of a role class, for the Fig. 7b CDF.
+    pub fn latency_samples(&self, kind: SiteKind) -> Vec<f64> {
+        let mut out = Vec::new();
+        match kind {
+            SiteKind::DataCenter => {
+                for &a in &self.data_centers {
+                    for &c in &self.data_centers {
+                        if a != c {
+                            out.push(self.topology.latency(a, c).0);
+                        }
+                    }
+                }
+            }
+            SiteKind::Edge => {
+                for &a in &self.edges {
+                    for c in self.topology.site_ids() {
+                        if a != c {
+                            out.push(self.topology.latency(a, c).0);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+use std::fmt;
+impl fmt::Display for Testbed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "testbed: {} DCs + {} edges, {} slots total",
+            self.data_centers.len(),
+            self.edges.len(),
+            self.topology.total_slots()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::summarize;
+    use crate::units::SimTime;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let tb = Testbed::paper(1);
+        assert_eq!(tb.data_centers().len(), 8);
+        assert_eq!(tb.edges().len(), 8);
+        assert_eq!(tb.topology().num_sites(), 16);
+        // 8 DC * 8 slots + edges cycling 2,3,4 = 64 + (2+3+4)*2 + 2+3 = 64+23
+        let edge_slots: u32 = tb
+            .edges()
+            .iter()
+            .map(|&e| tb.topology().site(e).slots())
+            .sum();
+        assert_eq!(edge_slots, 2 + 3 + 4 + 2 + 3 + 4 + 2 + 3);
+        for &e in tb.edges() {
+            assert!((2..=4).contains(&tb.topology().site(e).slots()));
+        }
+    }
+
+    #[test]
+    fn dc_bandwidths_match_measured_range() {
+        let tb = Testbed::paper(2);
+        let bws = tb.bandwidth_samples(SiteKind::DataCenter);
+        assert_eq!(bws.len(), 8 * 7);
+        let s = summarize(&bws).unwrap();
+        assert!(s.min >= 40.0 && s.max <= 240.0, "range {s:?}");
+    }
+
+    #[test]
+    fn edge_bandwidths_are_sub_10mbps() {
+        let tb = Testbed::paper(2);
+        let bws = tb.bandwidth_samples(SiteKind::Edge);
+        let s = summarize(&bws).unwrap();
+        assert!(s.max <= 10.0, "edge links must be <10 Mbps, got {}", s.max);
+        assert!(s.min >= 2.0);
+    }
+
+    #[test]
+    fn latencies_are_heterogeneous() {
+        // The paper stresses that WAN links vary by orders of
+        // magnitude; the testbed's latency spread should be wide.
+        let tb = Testbed::paper(3);
+        let lats = tb.latency_samples(SiteKind::DataCenter);
+        let s = summarize(&lats).unwrap();
+        assert!(s.min <= 15.0, "closest pair {}", s.min);
+        assert!(s.max >= 150.0, "farthest pair {}", s.max);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Testbed::paper(7);
+        let b = Testbed::paper(7);
+        let c = Testbed::paper(8);
+        let pair = (a.data_centers()[0], a.data_centers()[1]);
+        assert_eq!(
+            a.topology().capacity(pair.0, pair.1),
+            b.topology().capacity(pair.0, pair.1)
+        );
+        // Different seeds draw different bandwidths somewhere.
+        let diff = a
+            .topology()
+            .directed_pairs()
+            .iter()
+            .any(|&(x, y)| a.topology().capacity(x, y) != c.topology().capacity(x, y));
+        assert!(diff);
+    }
+
+    #[test]
+    fn ec2_dynamics_vary_dc_links_only() {
+        let tb = Testbed::paper(4);
+        let net = tb.network_with_ec2_dynamics();
+        let a = tb.data_centers()[0];
+        let c = tb.data_centers()[1];
+        let base = tb.topology().capacity(a, c);
+        let mut saw_change = false;
+        for k in 0..48 {
+            let t = SimTime(k as f64 * 1800.0);
+            if (net.available(a, c, t) / base - 1.0).abs() > 0.05 {
+                saw_change = true;
+            }
+        }
+        assert!(saw_change, "EC2 trace should move the DC link");
+        // Edge links keep their base capacity.
+        let e = tb.edges()[0];
+        assert_eq!(net.available(e, a, SimTime(4000.0)), tb.topology().capacity(e, a));
+    }
+
+    #[test]
+    fn latency_symmetry_between_dcs() {
+        let tb = Testbed::paper(5);
+        for &a in tb.data_centers() {
+            for &c in tb.data_centers() {
+                assert_eq!(tb.topology().latency(a, c), tb.topology().latency(c, a));
+            }
+        }
+    }
+}

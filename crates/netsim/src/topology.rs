@@ -1,0 +1,373 @@
+//! Static wide-area topology: sites plus pair-wise latency and
+//! bandwidth-capacity matrices.
+//!
+//! The matrices are directed (`B[s1→s2]` may differ from `B[s2→s1]`),
+//! matching the paper's notation `ℓ_{s2,s1}` / `B_{s2,s1}` (Table 1).
+//! Dynamic bandwidth variation is layered on top by
+//! [`crate::network::Network`].
+
+use crate::site::{Site, SiteId, SiteKind};
+use crate::units::{Mbps, Millis};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when a topology is constructed inconsistently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A matrix entry referenced a site id outside the topology.
+    UnknownSite(SiteId),
+    /// A latency or bandwidth value was negative or non-finite.
+    InvalidValue(String),
+    /// The topology has no sites.
+    Empty,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownSite(s) => write!(f, "unknown site {s}"),
+            TopologyError::InvalidValue(msg) => write!(f, "invalid value: {msg}"),
+            TopologyError::Empty => write!(f, "topology has no sites"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An immutable wide-area topology.
+///
+/// # Examples
+///
+/// ```
+/// use wasp_netsim::topology::TopologyBuilder;
+/// use wasp_netsim::site::SiteKind;
+/// use wasp_netsim::units::{Mbps, Millis};
+///
+/// let mut b = TopologyBuilder::new();
+/// let a = b.add_site("a", SiteKind::DataCenter, 8);
+/// let c = b.add_site("c", SiteKind::Edge, 2);
+/// b.set_link(a, c, Mbps(50.0), Millis(40.0));
+/// b.set_link(c, a, Mbps(10.0), Millis(40.0));
+/// let topo = b.build()?;
+/// assert_eq!(topo.capacity(a, c), Mbps(50.0));
+/// assert_eq!(topo.capacity(c, a), Mbps(10.0));
+/// # Ok::<(), wasp_netsim::topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    sites: Vec<Site>,
+    /// Row-major `m × m`: `latency_ms[from * m + to]`, one-way.
+    latency_ms: Vec<f64>,
+    /// Row-major `m × m`: `capacity_mbps[from * m + to]`. The diagonal
+    /// is `f64::INFINITY` (intra-site), which JSON cannot represent —
+    /// hence the adapter.
+    #[serde(with = "serde_inf")]
+    capacity_mbps: Vec<f64>,
+}
+
+/// Serde adapter encoding `f64::INFINITY` entries as `null` (JSON has
+/// no infinity literal).
+mod serde_inf {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &[f64], s: S) -> Result<S::Ok, S::Error> {
+        let opts: Vec<Option<f64>> = v
+            .iter()
+            .map(|&x| if x.is_finite() { Some(x) } else { None })
+            .collect();
+        opts.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
+        let opts: Vec<Option<f64>> = Vec::deserialize(d)?;
+        Ok(opts
+            .into_iter()
+            .map(|x| x.unwrap_or(f64::INFINITY))
+            .collect())
+    }
+}
+
+impl Topology {
+    /// Number of sites `m`.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// All sites, indexable by [`SiteId::index`].
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// Iterator over all site ids in index order.
+    pub fn site_ids(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.sites.len() as u16).map(SiteId)
+    }
+
+    /// The site with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not part of this topology.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.index()]
+    }
+
+    /// One-way latency from `from` to `to`.
+    ///
+    /// The self-latency `latency(s, s)` is zero unless explicitly set.
+    pub fn latency(&self, from: SiteId, to: SiteId) -> Millis {
+        Millis(self.latency_ms[from.index() * self.num_sites() + to.index()])
+    }
+
+    /// Base (maximum) bandwidth capacity from `from` to `to`.
+    ///
+    /// Intra-site transfers (`from == to`) are treated as effectively
+    /// unconstrained and report `f64::INFINITY` unless a finite value
+    /// was set explicitly.
+    pub fn capacity(&self, from: SiteId, to: SiteId) -> Mbps {
+        Mbps(self.capacity_mbps[from.index() * self.num_sites() + to.index()])
+    }
+
+    /// Total slots across all sites.
+    pub fn total_slots(&self) -> u32 {
+        self.sites.iter().map(Site::slots).sum()
+    }
+
+    /// Ids of all sites of the given kind.
+    pub fn sites_of_kind(&self, kind: SiteKind) -> Vec<SiteId> {
+        self.site_ids()
+            .filter(|s| self.site(*s).kind() == kind)
+            .collect()
+    }
+
+    /// All ordered pairs of distinct sites.
+    pub fn directed_pairs(&self) -> Vec<(SiteId, SiteId)> {
+        let mut out = Vec::new();
+        for a in self.site_ids() {
+            for b in self.site_ids() {
+                if a != b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Incremental builder for [`Topology`].
+///
+/// Links default to infinite intra-site bandwidth / zero latency on the
+/// diagonal and zero bandwidth elsewhere, so every inter-site link used
+/// by an experiment must be set explicitly (or via
+/// [`TopologyBuilder::set_all_links`]).
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    sites: Vec<Site>,
+    links: Vec<(SiteId, SiteId, Mbps, Millis)>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Adds a site and returns its id.
+    pub fn add_site(&mut self, name: impl Into<String>, kind: SiteKind, slots: u32) -> SiteId {
+        let id = SiteId(self.sites.len() as u16);
+        self.sites.push(Site::new(name, kind, slots));
+        id
+    }
+
+    /// Sets the directed link `from → to`.
+    pub fn set_link(
+        &mut self,
+        from: SiteId,
+        to: SiteId,
+        capacity: Mbps,
+        latency: Millis,
+    ) -> &mut Self {
+        self.links.push((from, to, capacity, latency));
+        self
+    }
+
+    /// Sets both directions of a link symmetrically.
+    pub fn set_symmetric_link(
+        &mut self,
+        a: SiteId,
+        b: SiteId,
+        capacity: Mbps,
+        latency: Millis,
+    ) -> &mut Self {
+        self.set_link(a, b, capacity, latency);
+        self.set_link(b, a, capacity, latency);
+        self
+    }
+
+    /// Sets every inter-site link to the same capacity and latency.
+    pub fn set_all_links(&mut self, capacity: Mbps, latency: Millis) -> &mut Self {
+        let n = self.sites.len() as u16;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    self.set_link(SiteId(a), SiteId(b), capacity, latency);
+                }
+            }
+        }
+        self
+    }
+
+    /// Validates and freezes the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] if no sites were added, a link
+    /// references an unknown site, or a capacity/latency value is
+    /// negative or NaN.
+    pub fn build(&self) -> Result<Topology, TopologyError> {
+        let m = self.sites.len();
+        if m == 0 {
+            return Err(TopologyError::Empty);
+        }
+        let mut latency_ms = vec![0.0; m * m];
+        let mut capacity_mbps = vec![0.0; m * m];
+        for i in 0..m {
+            capacity_mbps[i * m + i] = f64::INFINITY;
+        }
+        for &(from, to, cap, lat) in &self.links {
+            if from.index() >= m {
+                return Err(TopologyError::UnknownSite(from));
+            }
+            if to.index() >= m {
+                return Err(TopologyError::UnknownSite(to));
+            }
+            if cap.0.is_nan() || cap.0 < 0.0 {
+                return Err(TopologyError::InvalidValue(format!(
+                    "capacity {cap} on {from}->{to}"
+                )));
+            }
+            if lat.0.is_nan() || lat.0 < 0.0 || !lat.0.is_finite() {
+                return Err(TopologyError::InvalidValue(format!(
+                    "latency {lat} on {from}->{to}"
+                )));
+            }
+            capacity_mbps[from.index() * m + to.index()] = cap.0;
+            latency_ms[from.index() * m + to.index()] = lat.0;
+        }
+        Ok(Topology {
+            sites: self.sites.clone(),
+            latency_ms,
+            capacity_mbps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_sites() -> (Topology, SiteId, SiteId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_site("a", SiteKind::DataCenter, 8);
+        let c = b.add_site("c", SiteKind::Edge, 2);
+        b.set_link(a, c, Mbps(100.0), Millis(50.0));
+        b.set_link(c, a, Mbps(10.0), Millis(55.0));
+        (b.build().unwrap(), a, c)
+    }
+
+    #[test]
+    fn directed_links_are_independent() {
+        let (t, a, c) = two_sites();
+        assert_eq!(t.capacity(a, c), Mbps(100.0));
+        assert_eq!(t.capacity(c, a), Mbps(10.0));
+        assert_eq!(t.latency(a, c), Millis(50.0));
+        assert_eq!(t.latency(c, a), Millis(55.0));
+    }
+
+    #[test]
+    fn diagonal_is_unconstrained() {
+        let (t, a, _) = two_sites();
+        assert_eq!(t.capacity(a, a).0, f64::INFINITY);
+        assert_eq!(t.latency(a, a), Millis(0.0));
+    }
+
+    #[test]
+    fn unset_links_have_zero_capacity() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_site("a", SiteKind::Edge, 1);
+        let c = b.add_site("c", SiteKind::Edge, 1);
+        let t = b.build().unwrap();
+        assert_eq!(t.capacity(a, c), Mbps::ZERO);
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        assert_eq!(TopologyBuilder::new().build().unwrap_err(), TopologyError::Empty);
+    }
+
+    #[test]
+    fn negative_capacity_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_site("a", SiteKind::Edge, 1);
+        let c = b.add_site("c", SiteKind::Edge, 1);
+        b.set_link(a, c, Mbps(-1.0), Millis(1.0));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TopologyError::InvalidValue(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_site_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_site("a", SiteKind::Edge, 1);
+        b.set_link(a, SiteId(9), Mbps(1.0), Millis(1.0));
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::UnknownSite(SiteId(9))
+        );
+    }
+
+    #[test]
+    fn totals_and_filters() {
+        let (t, _, _) = two_sites();
+        assert_eq!(t.total_slots(), 10);
+        assert_eq!(t.sites_of_kind(SiteKind::Edge).len(), 1);
+        assert_eq!(t.directed_pairs().len(), 2);
+    }
+
+    #[test]
+    fn symmetric_and_all_links_helpers() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_site("a", SiteKind::Edge, 1);
+        let c = b.add_site("c", SiteKind::Edge, 1);
+        let d = b.add_site("d", SiteKind::Edge, 1);
+        b.set_all_links(Mbps(5.0), Millis(10.0));
+        b.set_symmetric_link(a, c, Mbps(20.0), Millis(1.0));
+        let t = b.build().unwrap();
+        assert_eq!(t.capacity(a, c), Mbps(20.0));
+        assert_eq!(t.capacity(c, a), Mbps(20.0));
+        assert_eq!(t.capacity(a, d), Mbps(5.0));
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn topology_survives_a_serde_round_trip() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_site("a", SiteKind::DataCenter, 8);
+        let c = b.add_site("c", SiteKind::Edge, 2);
+        b.set_link(a, c, Mbps(50.0), Millis(40.0));
+        b.set_link(c, a, Mbps(10.0), Millis(45.0));
+        let topo = b.build().unwrap();
+        let json = serde_json::to_string(&topo).expect("serializes");
+        let back: Topology = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.num_sites(), 2);
+        assert_eq!(back.capacity(a, c), Mbps(50.0));
+        assert_eq!(back.latency(c, a), Millis(45.0));
+        assert_eq!(back.site(c).kind(), SiteKind::Edge);
+    }
+}

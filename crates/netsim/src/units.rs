@@ -1,0 +1,399 @@
+//! Strongly-typed physical units used throughout the WASP reproduction.
+//!
+//! The simulation mixes three families of quantities — bandwidth, data
+//! volume, and time — whose raw representations are all `f64`. Newtypes
+//! keep them from being confused (e.g. passing a latency where a
+//! bandwidth is expected) while remaining free at runtime.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Bandwidth in megabits per second.
+///
+/// This is the unit used by the paper (iperf measurements, Fig. 2/7).
+///
+/// # Examples
+///
+/// ```
+/// use wasp_netsim::units::{Mbps, MegaBytes};
+///
+/// let link = Mbps(80.0);
+/// let state = MegaBytes(60.0);
+/// // Transferring 60 MB over an 80 Mbps link takes 6 seconds.
+/// assert!((state.transfer_time(link) - 6.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Mbps(pub f64);
+
+impl Mbps {
+    /// Zero bandwidth.
+    pub const ZERO: Mbps = Mbps(0.0);
+
+    /// Bytes per second carried by this bandwidth.
+    #[inline]
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0 * 1_000_000.0 / 8.0
+    }
+
+    /// Megabytes per second carried by this bandwidth.
+    #[inline]
+    pub fn mb_per_sec(self) -> f64 {
+        self.0 / 8.0
+    }
+
+    /// Returns the smaller of two bandwidths.
+    #[inline]
+    pub fn min(self, other: Mbps) -> Mbps {
+        Mbps(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two bandwidths.
+    #[inline]
+    pub fn max(self, other: Mbps) -> Mbps {
+        Mbps(self.0.max(other.0))
+    }
+
+    /// True if the value is a finite, non-negative bandwidth.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl fmt::Display for Mbps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} Mbps", self.0)
+    }
+}
+
+impl Add for Mbps {
+    type Output = Mbps;
+    fn add(self, rhs: Mbps) -> Mbps {
+        Mbps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Mbps {
+    fn add_assign(&mut self, rhs: Mbps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Mbps {
+    type Output = Mbps;
+    fn sub(self, rhs: Mbps) -> Mbps {
+        Mbps(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Mbps {
+    fn sub_assign(&mut self, rhs: Mbps) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Mbps {
+    type Output = Mbps;
+    fn mul(self, rhs: f64) -> Mbps {
+        Mbps(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Mbps {
+    type Output = Mbps;
+    fn div(self, rhs: f64) -> Mbps {
+        Mbps(self.0 / rhs)
+    }
+}
+
+impl Div for Mbps {
+    type Output = f64;
+    fn div(self, rhs: Mbps) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Mbps {
+    fn sum<I: Iterator<Item = Mbps>>(iter: I) -> Mbps {
+        Mbps(iter.map(|m| m.0).sum())
+    }
+}
+
+/// Data volume in megabytes (MB, base 10⁶ bytes).
+///
+/// Used for operator state sizes (§5, §8.7 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct MegaBytes(pub f64);
+
+impl MegaBytes {
+    /// Zero volume.
+    pub const ZERO: MegaBytes = MegaBytes(0.0);
+
+    /// Construct from raw bytes.
+    #[inline]
+    pub fn from_bytes(bytes: f64) -> MegaBytes {
+        MegaBytes(bytes / 1_000_000.0)
+    }
+
+    /// Raw byte count.
+    #[inline]
+    pub fn bytes(self) -> f64 {
+        self.0 * 1_000_000.0
+    }
+
+    /// Seconds needed to transfer this volume over `bw`.
+    ///
+    /// Returns `f64::INFINITY` when `bw` is zero (an unreachable link),
+    /// mirroring the paper's `|state| / B` overhead estimate (§6.2).
+    #[inline]
+    pub fn transfer_time(self, bw: Mbps) -> f64 {
+        if bw.0 <= 0.0 {
+            if self.0 <= 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.0 * 8.0 / bw.0
+        }
+    }
+
+    /// Returns the larger of two volumes.
+    #[inline]
+    pub fn max(self, other: MegaBytes) -> MegaBytes {
+        MegaBytes(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for MegaBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} MB", self.0)
+    }
+}
+
+impl Add for MegaBytes {
+    type Output = MegaBytes;
+    fn add(self, rhs: MegaBytes) -> MegaBytes {
+        MegaBytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MegaBytes {
+    fn add_assign(&mut self, rhs: MegaBytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for MegaBytes {
+    type Output = MegaBytes;
+    fn sub(self, rhs: MegaBytes) -> MegaBytes {
+        MegaBytes(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for MegaBytes {
+    type Output = MegaBytes;
+    fn mul(self, rhs: f64) -> MegaBytes {
+        MegaBytes(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for MegaBytes {
+    type Output = MegaBytes;
+    fn div(self, rhs: f64) -> MegaBytes {
+        MegaBytes(self.0 / rhs)
+    }
+}
+
+impl Sum for MegaBytes {
+    fn sum<I: Iterator<Item = MegaBytes>>(iter: I) -> MegaBytes {
+        MegaBytes(iter.map(|m| m.0).sum())
+    }
+}
+
+/// A point on the simulated clock, in seconds since the experiment start.
+///
+/// All experiment timelines in the paper are expressed in seconds
+/// (t = 300, 600, …), so a second-resolution `f64` wall clock is the
+/// natural representation.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// The experiment origin, t = 0.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Seconds since the experiment start.
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// Advance the clock by `dt` seconds.
+    #[inline]
+    pub fn advance(self, dt: f64) -> SimTime {
+        SimTime(self.0 + dt)
+    }
+
+    /// Time elapsed since `earlier` (may be negative).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> f64 {
+        self.0 - earlier.0
+    }
+
+    /// Returns the later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.1}s", self.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+/// One-way network latency in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Millis(pub f64);
+
+impl Millis {
+    /// Zero latency.
+    pub const ZERO: Millis = Millis(0.0);
+
+    /// The latency expressed in seconds.
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// Returns the larger of two latencies.
+    #[inline]
+    pub fn max(self, other: Millis) -> Millis {
+        Millis(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Millis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} ms", self.0)
+    }
+}
+
+impl Add for Millis {
+    type Output = Millis;
+    fn add(self, rhs: Millis) -> Millis {
+        Millis(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for Millis {
+    type Output = Millis;
+    fn mul(self, rhs: f64) -> Millis {
+        Millis(self.0 * rhs)
+    }
+}
+
+impl Sum for Millis {
+    fn sum<I: Iterator<Item = Millis>>(iter: I) -> Millis {
+        Millis(iter.map(|m| m.0).sum())
+    }
+}
+
+impl Neg for Mbps {
+    type Output = Mbps;
+    fn neg(self) -> Mbps {
+        Mbps(-self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbps_byte_conversions() {
+        let bw = Mbps(8.0);
+        assert_eq!(bw.bytes_per_sec(), 1_000_000.0);
+        assert_eq!(bw.mb_per_sec(), 1.0);
+    }
+
+    #[test]
+    fn mbps_arithmetic() {
+        assert_eq!(Mbps(3.0) + Mbps(4.0), Mbps(7.0));
+        assert_eq!(Mbps(10.0) - Mbps(4.0), Mbps(6.0));
+        assert_eq!(Mbps(10.0) * 0.5, Mbps(5.0));
+        assert_eq!(Mbps(10.0) / 2.0, Mbps(5.0));
+        assert_eq!(Mbps(10.0) / Mbps(5.0), 2.0);
+        let total: Mbps = [Mbps(1.0), Mbps(2.0)].into_iter().sum();
+        assert_eq!(total, Mbps(3.0));
+    }
+
+    #[test]
+    fn mbps_min_max_and_validity() {
+        assert_eq!(Mbps(1.0).min(Mbps(2.0)), Mbps(1.0));
+        assert_eq!(Mbps(1.0).max(Mbps(2.0)), Mbps(2.0));
+        assert!(Mbps(1.0).is_valid());
+        assert!(!Mbps(-1.0).is_valid());
+        assert!(!Mbps(f64::NAN).is_valid());
+    }
+
+    #[test]
+    fn transfer_time_matches_paper_formula() {
+        // |state| / B : 60 MB over 48 Mbps = 10 s.
+        let t = MegaBytes(60.0).transfer_time(Mbps(48.0));
+        assert!((t - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_zero_bandwidth_is_infinite() {
+        assert_eq!(MegaBytes(1.0).transfer_time(Mbps::ZERO), f64::INFINITY);
+        assert_eq!(MegaBytes(0.0).transfer_time(Mbps::ZERO), 0.0);
+    }
+
+    #[test]
+    fn megabytes_bytes_roundtrip() {
+        let mb = MegaBytes::from_bytes(2_500_000.0);
+        assert!((mb.0 - 2.5).abs() < 1e-12);
+        assert!((mb.bytes() - 2_500_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sim_time_advances() {
+        let t = SimTime::ZERO.advance(1.5).advance(2.5);
+        assert_eq!(t.secs(), 4.0);
+        assert_eq!(t.since(SimTime(1.0)), 3.0);
+        assert_eq!(t - SimTime(1.0), 3.0);
+    }
+
+    #[test]
+    fn millis_to_secs() {
+        assert_eq!(Millis(250.0).secs(), 0.25);
+        assert_eq!(Millis(10.0) + Millis(5.0), Millis(15.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Mbps(1.0)).is_empty());
+        assert!(!format!("{}", MegaBytes(1.0)).is_empty());
+        assert!(!format!("{}", SimTime(1.0)).is_empty());
+        assert!(!format!("{}", Millis(1.0)).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the network substrate: max-min fairness
+//! invariants, trace algebra, and statistics helpers.
+
+use proptest::prelude::*;
+use wasp_netsim::network::{FlowDemand, Network};
+use wasp_netsim::site::{SiteId, SiteKind};
+use wasp_netsim::stats::{quantile, summarize, Zipf};
+use wasp_netsim::topology::TopologyBuilder;
+use wasp_netsim::trace::FactorSeries;
+use wasp_netsim::units::{Mbps, MegaBytes, Millis, SimTime};
+
+/// A small fully-connected network with the given uniform capacity.
+fn network(n_sites: u16, capacity: f64) -> Network {
+    let mut b = TopologyBuilder::new();
+    for i in 0..n_sites {
+        b.add_site(format!("s{i}"), SiteKind::DataCenter, 4);
+    }
+    b.set_all_links(Mbps(capacity), Millis(10.0));
+    Network::new(b.build().expect("valid topology"))
+}
+
+fn flow_strategy(n_sites: u16) -> impl Strategy<Value = FlowDemand> {
+    (0..n_sites, 0..n_sites, 0.0f64..50.0).prop_map(|(a, b, d)| {
+        FlowDemand::new(SiteId(a), SiteId(b), Mbps(d))
+    })
+}
+
+proptest! {
+    /// Max-min allocation never exceeds a flow's demand nor any link's
+    /// capacity, and never goes negative.
+    #[test]
+    fn allocation_respects_demand_and_capacity(
+        flows in proptest::collection::vec(flow_strategy(4), 1..20),
+        capacity in 1.0f64..100.0,
+    ) {
+        let net = network(4, capacity);
+        let rates = net.allocate(&flows, SimTime::ZERO);
+        prop_assert_eq!(rates.len(), flows.len());
+        for (f, r) in flows.iter().zip(&rates) {
+            prop_assert!(r.0 >= -1e-9);
+            prop_assert!(r.0 <= f.demand.0 + 1e-6);
+        }
+        for a in 0..4u16 {
+            for b in 0..4u16 {
+                if a == b { continue; }
+                let used: f64 = flows.iter().zip(&rates)
+                    .filter(|(f, _)| f.from == SiteId(a) && f.to == SiteId(b))
+                    .map(|(_, r)| r.0)
+                    .sum();
+                prop_assert!(used <= capacity + 1e-6, "link {a}->{b} used {used}");
+            }
+        }
+    }
+
+    /// Max-min allocations are Pareto-efficient on congested links: if
+    /// a flow got less than its demand, its link is (near) saturated.
+    #[test]
+    fn unsatisfied_flows_sit_on_saturated_links(
+        flows in proptest::collection::vec(flow_strategy(3), 1..12),
+        capacity in 1.0f64..40.0,
+    ) {
+        let net = network(3, capacity);
+        let rates = net.allocate(&flows, SimTime::ZERO);
+        for (i, (f, r)) in flows.iter().zip(&rates).enumerate() {
+            if f.from == f.to { continue; }
+            if r.0 + 1e-6 < f.demand.0 {
+                let used: f64 = flows.iter().zip(&rates)
+                    .filter(|(g, _)| g.from == f.from && g.to == f.to)
+                    .map(|(_, r)| r.0)
+                    .sum();
+                prop_assert!(
+                    used + 1e-6 >= capacity,
+                    "flow {i} starved on unsaturated link ({used} < {capacity})"
+                );
+            }
+        }
+    }
+
+    /// Combining factor series is pointwise multiplication on the
+    /// combined series' own sample grid (a zero-order-hold resampling
+    /// cannot represent change points that fall between grid points,
+    /// so off-grid equality is not guaranteed in general).
+    #[test]
+    fn factor_series_combine_is_pointwise_product(
+        a_samples in proptest::collection::vec(0.1f64..3.0, 1..20),
+        b_samples in proptest::collection::vec(0.1f64..3.0, 1..20),
+        a_int in 1u32..60,
+        b_int in 1u32..60,
+        idx in 0usize..64,
+    ) {
+        let a = FactorSeries::from_samples(a_int as f64, a_samples);
+        let b = FactorSeries::from_samples(b_int as f64, b_samples);
+        let c = a.combine(&b);
+        let grid = if c.interval_s().is_finite() { c.interval_s() } else { 1.0 };
+        // Probe mid-cell: ZOH equality holds away from cell edges.
+        let t = SimTime((idx as f64 + 0.5) * grid);
+        let expected = a.factor_at(t) * b.factor_at(t);
+        prop_assert!((c.factor_at(t) - expected).abs() < 1e-9,
+            "combine mismatch at {t}: {} vs {expected}", c.factor_at(t));
+    }
+
+    /// Transfer time scales linearly in volume and inversely in
+    /// bandwidth.
+    #[test]
+    fn transfer_time_scaling(mb in 0.1f64..1000.0, bw in 0.1f64..500.0) {
+        let t = MegaBytes(mb).transfer_time(Mbps(bw));
+        let t2 = MegaBytes(2.0 * mb).transfer_time(Mbps(bw));
+        let th = MegaBytes(mb).transfer_time(Mbps(2.0 * bw));
+        prop_assert!((t2 - 2.0 * t).abs() < 1e-6);
+        prop_assert!((th - t / 2.0).abs() < 1e-6);
+    }
+
+    /// Zipf PMFs are normalized and monotone non-increasing in rank.
+    #[test]
+    fn zipf_pmf_invariants(n in 1usize..200, alpha in 0.0f64..3.0) {
+        let z = Zipf::new(n, alpha);
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..n {
+            prop_assert!(z.pmf(k - 1) + 1e-12 >= z.pmf(k));
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantile_invariants(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo).unwrap();
+        let b = quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        let s = summarize(&xs).unwrap();
+        prop_assert!(a >= s.min - 1e-9 && b <= s.max + 1e-9);
+    }
+}

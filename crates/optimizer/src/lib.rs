@@ -1,0 +1,51 @@
+//! # wasp-optimizer — optimization substrate
+//!
+//! The solvers WASP's adaptation layer relies on, built from scratch
+//! (the paper used Gurobi for the ILP; our instances are small enough
+//! to solve exactly):
+//!
+//! * [`placement`] — the WAN-aware task-placement ILP of §4.1
+//!   (Eq. 1–5), solved exactly via its separable structure, plus the
+//!   scale-out search for the minimal feasible parallelism (§4.2);
+//! * [`migration`] — the min-max network-aware state-migration
+//!   assignment of §5 (binary search + bipartite matching), with the
+//!   `Random` and `Distant` baselines of §8.7.1;
+//! * [`matching`] — Hopcroft–Karp maximum bipartite matching;
+//! * [`replan`] — the joint join-order/placement search of §4.3
+//!   (subset DP), honoring stateful common-sub-plan constraints.
+//!
+//! # Example
+//!
+//! ```
+//! use wasp_netsim::prelude::*;
+//! use wasp_optimizer::placement::{PlacementProblem, PlacementRequest};
+//!
+//! let tb = Testbed::paper(1);
+//! let net = tb.static_network();
+//! let mut req = PlacementRequest::new(2);
+//! req.upstream = vec![(tb.edges()[0], 4.0)];
+//! req.downstream = vec![(tb.data_centers()[0], 0.5)];
+//! for &dc in tb.data_centers() {
+//!     req.available_slots.insert(dc, 8);
+//! }
+//! let problem = PlacementProblem::build(&req, &net, SimTime::ZERO);
+//! let (placement, cost) = problem.solve().expect("feasible");
+//! assert_eq!(placement.parallelism(), 2);
+//! assert!(cost >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod matching;
+pub mod migration;
+pub mod placement;
+pub mod replan;
+
+/// Convenient glob-import of the crate's main types.
+pub mod prelude {
+    pub use crate::matching::Bipartite;
+    pub use crate::migration::{plan_migration, MigrationPlan, MigrationStrategy};
+    pub use crate::placement::{PlacementProblem, PlacementRequest, DEFAULT_ALPHA};
+    pub use crate::replan::{JoinTree, PlanChoice, ReplanProblem, StreamLeaf};
+}

@@ -1,0 +1,226 @@
+//! Maximum bipartite matching (Hopcroft–Karp).
+//!
+//! Used by the min-max state-migration planner (§5): feasibility of a
+//! bottleneck value `T` reduces to finding a perfect matching in the
+//! bipartite graph that keeps only migrations finishing within `T`.
+
+/// A bipartite graph with `n_left` left vertices and `n_right` right
+/// vertices, edges added explicitly.
+#[derive(Debug, Clone)]
+pub struct Bipartite {
+    n_left: usize,
+    n_right: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl Bipartite {
+    /// Creates an empty bipartite graph.
+    pub fn new(n_left: usize, n_right: usize) -> Bipartite {
+        Bipartite {
+            n_left,
+            n_right,
+            adj: vec![Vec::new(); n_left],
+        }
+    }
+
+    /// Adds an edge between left vertex `l` and right vertex `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.n_left && r < self.n_right, "vertex out of range");
+        self.adj[l].push(r);
+    }
+
+    /// Number of left vertices.
+    pub fn n_left(&self) -> usize {
+        self.n_left
+    }
+
+    /// Number of right vertices.
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// Computes a maximum matching; returns `match_of_left` where
+    /// `match_of_left[l] = Some(r)`.
+    ///
+    /// Runs Hopcroft–Karp in `O(E √V)`.
+    pub fn maximum_matching(&self) -> Vec<Option<usize>> {
+        const NIL: usize = usize::MAX;
+        let mut pair_l = vec![NIL; self.n_left];
+        let mut pair_r = vec![NIL; self.n_right];
+        let mut dist = vec![0usize; self.n_left];
+
+        loop {
+            // BFS layering from free left vertices.
+            let mut queue = std::collections::VecDeque::new();
+            let mut found_augmenting = false;
+            for l in 0..self.n_left {
+                if pair_l[l] == NIL {
+                    dist[l] = 0;
+                    queue.push_back(l);
+                } else {
+                    dist[l] = usize::MAX;
+                }
+            }
+            let mut layer_limit = usize::MAX;
+            while let Some(l) = queue.pop_front() {
+                if dist[l] >= layer_limit {
+                    continue;
+                }
+                for &r in &self.adj[l] {
+                    let next = pair_r[r];
+                    if next == NIL {
+                        layer_limit = layer_limit.min(dist[l] + 1);
+                        found_augmenting = true;
+                    } else if dist[next] == usize::MAX {
+                        dist[next] = dist[l] + 1;
+                        queue.push_back(next);
+                    }
+                }
+            }
+            if !found_augmenting {
+                break;
+            }
+            // DFS augmentation along the layering.
+            fn dfs(
+                l: usize,
+                adj: &[Vec<usize>],
+                pair_l: &mut [usize],
+                pair_r: &mut [usize],
+                dist: &mut [usize],
+            ) -> bool {
+                const NIL: usize = usize::MAX;
+                for i in 0..adj[l].len() {
+                    let r = adj[l][i];
+                    let next = pair_r[r];
+                    let ok = if next == NIL {
+                        true
+                    } else if dist[next] == dist[l] + 1 {
+                        dfs(next, adj, pair_l, pair_r, dist)
+                    } else {
+                        false
+                    };
+                    if ok {
+                        pair_l[l] = r;
+                        pair_r[r] = l;
+                        return true;
+                    }
+                }
+                dist[l] = usize::MAX;
+                false
+            }
+            for l in 0..self.n_left {
+                if pair_l[l] == NIL {
+                    dfs(l, &self.adj, &mut pair_l, &mut pair_r, &mut dist);
+                }
+            }
+        }
+        pair_l
+            .into_iter()
+            .map(|r| if r == NIL { None } else { Some(r) })
+            .collect()
+    }
+
+    /// Size of the maximum matching.
+    pub fn matching_size(&self) -> usize {
+        self.maximum_matching().iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_found() {
+        let mut g = Bipartite::new(3, 3);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 1);
+        g.add_edge(2, 2);
+        let m = g.maximum_matching();
+        assert_eq!(m.iter().flatten().count(), 3);
+        // The only perfect matching is 0→0, 1→1, 2→2.
+        assert_eq!(m, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // 0–{0,1}, 1–{0}: greedy 0→0 blocks 1; HK must flip to 0→1,
+        // 1→0.
+        let mut g = Bipartite::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.matching_size(), 2);
+    }
+
+    #[test]
+    fn unmatchable_vertex() {
+        let mut g = Bipartite::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        let m = g.maximum_matching();
+        assert_eq!(m.iter().flatten().count(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Bipartite::new(3, 2);
+        assert_eq!(g.matching_size(), 0);
+        assert_eq!(Bipartite::new(0, 0).matching_size(), 0);
+    }
+
+    #[test]
+    fn matching_matches_bruteforce_on_random_graphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        fn brute(n_left: usize, edges: &[(usize, usize)], n_right: usize) -> usize {
+            // Try all subsets of rights per left via permutations —
+            // small sizes only. Simple recursive max matching.
+            fn rec(
+                l: usize,
+                n_left: usize,
+                adj: &[Vec<usize>],
+                used: &mut [bool],
+            ) -> usize {
+                if l == n_left {
+                    return 0;
+                }
+                // Option 1: leave l unmatched.
+                let mut best = rec(l + 1, n_left, adj, used);
+                for &r in &adj[l] {
+                    if !used[r] {
+                        used[r] = true;
+                        best = best.max(1 + rec(l + 1, n_left, adj, used));
+                        used[r] = false;
+                    }
+                }
+                best
+            }
+            let mut adj = vec![Vec::new(); n_left];
+            for &(l, r) in edges {
+                adj[l].push(r);
+            }
+            rec(0, n_left, &adj, &mut vec![false; n_right])
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let nl = rng.gen_range(1..6);
+            let nr = rng.gen_range(1..6);
+            let mut g = Bipartite::new(nl, nr);
+            let mut edges = Vec::new();
+            for l in 0..nl {
+                for r in 0..nr {
+                    if rng.gen_bool(0.4) {
+                        g.add_edge(l, r);
+                        edges.push((l, r));
+                    }
+                }
+            }
+            assert_eq!(g.matching_size(), brute(nl, &edges, nr));
+        }
+    }
+}

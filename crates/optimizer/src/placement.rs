@@ -1,0 +1,418 @@
+//! The WAN-aware task-placement optimization of §4.1 (Eq. 1–5).
+//!
+//! WASP re-computes how many tasks of a stage to run at each site by
+//! solving:
+//!
+//! ```text
+//! min  Σ_s p[s] · (Σ_u ℓ(u→s) + Σ_d ℓ(s→d))            (1)
+//! s.t. (p[s]/p) · λ̂I[u] < α · B(u→s)   ∀ s, ∀ u ≠ s     (2)
+//!      (p[s]/p) · λ̂O[d] < α · B(s→d)   ∀ s, ∀ d ≠ s     (3)
+//!      0 ≤ p[s] ≤ A[s]                                   (4)
+//!      Σ_s p[s] = p                                      (5)
+//! ```
+//!
+//! Unlike one-stage-at-a-time schedulers, both the *upstream* and
+//! *downstream* deployments enter the objective and the constraints,
+//! avoiding the cascading sub-optimality the paper describes.
+//!
+//! Because each `p[s]` appears alone in its constraints, the program is
+//! separable: every site gets a cost `c[s]` and an upper bound
+//! `ub[s]`, and the optimum is a greedy fill of the cheapest sites
+//! ([`PlacementProblem::solve`]). An exhaustive solver
+//! ([`PlacementProblem::solve_exhaustive`]) exists to cross-check the
+//! greedy one in tests, standing in for the Gurobi solver the paper
+//! used.
+
+use std::collections::BTreeMap;
+use wasp_netsim::network::Network;
+use wasp_netsim::site::SiteId;
+use wasp_netsim::units::SimTime;
+use wasp_streamsim::physical::Placement;
+
+/// The paper's default bandwidth-utilization headroom (§4.1).
+pub const DEFAULT_ALPHA: f64 = 0.8;
+
+/// Inputs of the placement ILP for one stage.
+///
+/// Stream rates are expressed in Mbps (events/s × record bytes),
+/// matching the bandwidth constraints' units.
+#[derive(Debug, Clone)]
+pub struct PlacementRequest {
+    /// Required parallelism `p` (Constraint 5).
+    pub parallelism: u32,
+    /// Expected inbound stream per upstream site: `(site, Mbps)`
+    /// (`λ̂I` split by where the upstream tasks run).
+    pub upstream: Vec<(SiteId, f64)>,
+    /// Expected outbound stream per downstream site: `(site, Mbps)`.
+    pub downstream: Vec<(SiteId, f64)>,
+    /// Free slots per site (`A[s]`, Constraint 4). Sites absent from
+    /// the map are unusable.
+    pub available_slots: BTreeMap<SiteId, u32>,
+    /// Bandwidth-utilization threshold α in (0, 1].
+    pub alpha: f64,
+    /// Bandwidth already consumed by *other* stages per directed link,
+    /// Mbps — subtracted from the measured availability so co-deployed
+    /// stages do not double-book a link.
+    pub reserved_mbps: BTreeMap<(SiteId, SiteId), f64>,
+}
+
+impl PlacementRequest {
+    /// Creates a request with the default α = 0.8.
+    pub fn new(parallelism: u32) -> PlacementRequest {
+        PlacementRequest {
+            parallelism,
+            upstream: Vec::new(),
+            downstream: Vec::new(),
+            available_slots: BTreeMap::new(),
+            alpha: DEFAULT_ALPHA,
+            reserved_mbps: BTreeMap::new(),
+        }
+    }
+}
+
+/// The separable form of the ILP: per-site cost and upper bound.
+#[derive(Debug, Clone)]
+pub struct PlacementProblem {
+    sites: Vec<SiteId>,
+    /// `c[s]`: summed one-way latencies to upstream and downstream
+    /// sites, ms.
+    costs: Vec<f64>,
+    /// `ub[s]`: largest feasible `p[s]` from Constraints 2–4.
+    upper_bounds: Vec<u32>,
+    parallelism: u32,
+}
+
+impl PlacementProblem {
+    /// Builds the separable problem from a request and the WAN Monitor
+    /// view (`net` at time `t`).
+    ///
+    /// For every candidate site the bound from Constraint 2 is
+    /// `p[s] < α·B(u→s)·p / λ̂I[u]` for each upstream site `u` (and the
+    /// symmetric bound from Constraint 3); the site bound is the floor
+    /// of the tightest one, further capped by the free slots `A[s]`.
+    pub fn build(req: &PlacementRequest, net: &Network, t: SimTime) -> PlacementProblem {
+        let p = req.parallelism.max(1) as f64;
+        let mut sites = Vec::new();
+        let mut costs = Vec::new();
+        let mut upper_bounds = Vec::new();
+        for (&site, &slots) in &req.available_slots {
+            let mut cost = 0.0;
+            let mut bound = slots as f64;
+            for &(u, rate) in &req.upstream {
+                cost += net.latency(u, site).0;
+                if u != site && rate > 0.0 {
+                    let reserved = req.reserved_mbps.get(&(u, site)).copied().unwrap_or(0.0);
+                    let b = (net.available(u, site, t).0 - reserved).max(0.0);
+                    bound = bound.min(strict_bound(req.alpha * b * p / rate));
+                }
+            }
+            for &(d, rate) in &req.downstream {
+                cost += net.latency(site, d).0;
+                if d != site && rate > 0.0 {
+                    let reserved = req.reserved_mbps.get(&(site, d)).copied().unwrap_or(0.0);
+                    let b = (net.available(site, d, t).0 - reserved).max(0.0);
+                    bound = bound.min(strict_bound(req.alpha * b * p / rate));
+                }
+            }
+            sites.push(site);
+            costs.push(cost);
+            upper_bounds.push(bound.max(0.0) as u32);
+        }
+        PlacementProblem {
+            sites,
+            costs,
+            upper_bounds,
+            parallelism: req.parallelism,
+        }
+    }
+
+    /// Candidate sites in map order.
+    pub fn sites(&self) -> &[SiteId] {
+        &self.sites
+    }
+
+    /// Per-site latency cost `c[s]` (ms).
+    pub fn cost(&self, i: usize) -> f64 {
+        self.costs[i]
+    }
+
+    /// Per-site upper bound `ub[s]`.
+    pub fn upper_bound(&self, i: usize) -> u32 {
+        self.upper_bounds[i]
+    }
+
+    /// Total capacity `Σ ub[s]` — the problem is feasible iff this is
+    /// at least `p`.
+    pub fn capacity(&self) -> u32 {
+        self.upper_bounds.iter().sum()
+    }
+
+    /// Exact solution by greedy fill in ascending cost (optimal for
+    /// the separable program by an exchange argument).
+    ///
+    /// Returns `None` when infeasible — the signal that triggers
+    /// operator scaling in WASP's policy (§6.2).
+    pub fn solve(&self) -> Option<(Placement, f64)> {
+        if self.parallelism == 0 || self.capacity() < self.parallelism {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..self.sites.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.costs[a]
+                .partial_cmp(&self.costs[b])
+                .expect("costs are finite")
+                .then(self.sites[a].cmp(&self.sites[b]))
+        });
+        let mut remaining = self.parallelism;
+        let mut placement = Placement::empty();
+        let mut cost = 0.0;
+        for i in order {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(self.upper_bounds[i]);
+            if take > 0 {
+                placement.add(self.sites[i], take);
+                cost += take as f64 * self.costs[i];
+                remaining -= take;
+            }
+        }
+        debug_assert_eq!(remaining, 0);
+        Some((placement, cost))
+    }
+
+    /// Exhaustive optimal solution by depth-first enumeration — the
+    /// reference the greedy solver is property-tested against. Only
+    /// intended for small instances.
+    pub fn solve_exhaustive(&self) -> Option<(Placement, f64)> {
+        fn rec(
+            prob: &PlacementProblem,
+            i: usize,
+            remaining: u32,
+            cost: f64,
+            current: &mut Vec<u32>,
+            best: &mut Option<(Vec<u32>, f64)>,
+        ) {
+            if i == prob.sites.len() {
+                if remaining == 0 && best.as_ref().map(|(_, c)| cost < *c).unwrap_or(true) {
+                    *best = Some((current.clone(), cost));
+                }
+                return;
+            }
+            let max_here = prob.upper_bounds[i].min(remaining);
+            for take in 0..=max_here {
+                current.push(take);
+                rec(
+                    prob,
+                    i + 1,
+                    remaining - take,
+                    cost + take as f64 * prob.costs[i],
+                    current,
+                    best,
+                );
+                current.pop();
+            }
+        }
+        let mut best = None;
+        rec(
+            self,
+            0,
+            self.parallelism,
+            0.0,
+            &mut Vec::new(),
+            &mut best,
+        );
+        best.map(|(takes, cost)| {
+            let placement = self
+                .sites
+                .iter()
+                .zip(takes)
+                .filter(|(_, n)| *n > 0)
+                .map(|(&s, n)| (s, n))
+                .collect();
+            (placement, cost)
+        })
+    }
+
+    /// Smallest parallelism `p' ≥ p_min` for which the bandwidth
+    /// constraints become satisfiable, together with its placement —
+    /// the scale-out search (§4.2: a larger `p` spreads the stream
+    /// over more links, so each site's bound grows with `p`).
+    ///
+    /// The per-site bounds must be rebuilt for every candidate `p`, so
+    /// this takes the original request/network rather than the frozen
+    /// problem. Returns `None` if even `max_p` is infeasible.
+    pub fn minimal_feasible_parallelism(
+        req: &PlacementRequest,
+        net: &Network,
+        t: SimTime,
+        p_min: u32,
+        max_p: u32,
+    ) -> Option<(u32, Placement, f64)> {
+        for p in p_min..=max_p {
+            let mut r = req.clone();
+            r.parallelism = p;
+            let prob = PlacementProblem::build(&r, net, t);
+            if let Some((placement, cost)) = prob.solve() {
+                return Some((p, placement, cost));
+            }
+        }
+        None
+    }
+}
+
+/// Largest integer `n` with `n < x` (the ILP uses strict inequalities).
+fn strict_bound(x: f64) -> f64 {
+    if !x.is_finite() {
+        return f64::INFINITY;
+    }
+    let f = (x - 1e-9).floor();
+    f.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasp_netsim::site::SiteKind;
+    use wasp_netsim::topology::TopologyBuilder;
+    use wasp_netsim::units::{Mbps, Millis};
+
+    /// 4 sites in a line: uniform 100 Mbps links, latency grows with
+    /// index distance; site 0 is upstream.
+    fn net4() -> (Network, Vec<SiteId>) {
+        let mut b = TopologyBuilder::new();
+        let s: Vec<SiteId> = (0..4)
+            .map(|i| b.add_site(format!("s{i}"), SiteKind::DataCenter, 8))
+            .collect();
+        for i in 0..4u16 {
+            for j in 0..4u16 {
+                if i != j {
+                    let dist = (i as f64 - j as f64).abs();
+                    b.set_link(SiteId(i), SiteId(j), Mbps(100.0), Millis(10.0 * dist));
+                }
+            }
+        }
+        (Network::new(b.build().unwrap()), s)
+    }
+
+    fn request(sites: &[SiteId], p: u32, in_rate: f64) -> PlacementRequest {
+        let mut req = PlacementRequest::new(p);
+        req.upstream = vec![(sites[0], in_rate)];
+        req.downstream = vec![(sites[0], in_rate * 0.1)];
+        for &s in sites {
+            req.available_slots.insert(s, 8);
+        }
+        req
+    }
+
+    #[test]
+    fn prefers_low_latency_sites() {
+        let (net, s) = net4();
+        let req = request(&s, 2, 10.0);
+        let prob = PlacementProblem::build(&req, &net, SimTime::ZERO);
+        let (placement, _) = prob.solve().unwrap();
+        // Site 0 itself has zero latency to the upstream/downstream.
+        assert_eq!(placement.tasks_at(s[0]), 2);
+    }
+
+    #[test]
+    fn bandwidth_constraint_forces_spreading() {
+        let (net, s) = net4();
+        // 150 Mbps inbound with p=2: each remote site may carry at
+        // most floor-strict(0.8·100·2/150) = 1 task.
+        let mut req = request(&s, 2, 150.0);
+        // Do not allow the co-located site (infinite bandwidth there).
+        req.available_slots.remove(&s[0]);
+        let prob = PlacementProblem::build(&req, &net, SimTime::ZERO);
+        let (placement, _) = prob.solve().unwrap();
+        assert_eq!(placement.parallelism(), 2);
+        assert!(placement.sites().len() == 2, "must spread: {placement}");
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let (net, s) = net4();
+        let mut req = request(&s, 6, 500.0);
+        req.available_slots.remove(&s[0]);
+        let prob = PlacementProblem::build(&req, &net, SimTime::ZERO);
+        assert!(prob.solve().is_none());
+    }
+
+    #[test]
+    fn slot_constraint_respected() {
+        let (net, s) = net4();
+        let mut req = request(&s, 10, 1.0);
+        req.available_slots = BTreeMap::from([(s[0], 3), (s[1], 3), (s[2], 4)]);
+        let prob = PlacementProblem::build(&req, &net, SimTime::ZERO);
+        let (placement, _) = prob.solve().unwrap();
+        assert_eq!(placement.parallelism(), 10);
+        assert!(placement.tasks_at(s[0]) <= 3);
+        assert!(placement.tasks_at(s[1]) <= 3);
+        assert!(placement.tasks_at(s[2]) <= 4);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let (net, s) = net4();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let mut req = request(&s, rng.gen_range(1..8), rng.gen_range(1.0..300.0));
+            for &site in &s {
+                if rng.gen_bool(0.3) {
+                    req.available_slots.remove(&site);
+                } else {
+                    req.available_slots.insert(site, rng.gen_range(0..6));
+                }
+            }
+            let prob = PlacementProblem::build(&req, &net, SimTime::ZERO);
+            let greedy = prob.solve();
+            let exact = prob.solve_exhaustive();
+            match (greedy, exact) {
+                (None, None) => {}
+                (Some((_, cg)), Some((_, ce))) => {
+                    assert!((cg - ce).abs() < 1e-6, "greedy {cg} vs exact {ce}");
+                }
+                (g, e) => panic!("feasibility mismatch: {g:?} vs {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scale_out_search_finds_feasible_parallelism() {
+        let (net, s) = net4();
+        // 150 Mbps from site 0: with p=1 no single remote site can
+        // carry it (needs > α·B); p=2 splits it 75/75.
+        let mut req = request(&s, 1, 150.0);
+        req.available_slots.remove(&s[0]);
+        let prob = PlacementProblem::build(&req, &net, SimTime::ZERO);
+        assert!(prob.solve().is_none(), "p=1 must be infeasible");
+        let (p, placement, _) =
+            PlacementProblem::minimal_feasible_parallelism(&req, &net, SimTime::ZERO, 1, 8)
+                .unwrap();
+        assert_eq!(p, 2);
+        assert_eq!(placement.parallelism(), 2);
+    }
+
+    #[test]
+    fn strict_bound_is_strict() {
+        assert_eq!(strict_bound(3.0), 2.0);
+        assert_eq!(strict_bound(3.7), 3.0);
+        assert_eq!(strict_bound(0.5), 0.0);
+        assert_eq!(strict_bound(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn alpha_tightens_bounds() {
+        let (net, s) = net4();
+        let mut lo = request(&s, 4, 100.0);
+        lo.alpha = 0.4;
+        let mut hi = request(&s, 4, 100.0);
+        hi.alpha = 1.0;
+        lo.available_slots.remove(&s[0]);
+        hi.available_slots.remove(&s[0]);
+        let cap_lo = PlacementProblem::build(&lo, &net, SimTime::ZERO).capacity();
+        let cap_hi = PlacementProblem::build(&hi, &net, SimTime::ZERO).capacity();
+        assert!(cap_lo < cap_hi, "α=0.4 cap {cap_lo} vs α=1.0 cap {cap_hi}");
+    }
+}

@@ -1,0 +1,481 @@
+//! Query re-planning: joint join-order and placement search (§4.3).
+//!
+//! The Query Planner and Scheduler jointly evaluate alternative
+//! aggregation/join orders — the operators that move data across the
+//! WAN — and pick the plan/placement pair with the lowest estimated
+//! delay. Computing all combinations is NP-hard, so like the paper we
+//! restrict attention to the ordering of the join operators and solve
+//! the restricted problem exactly with dynamic programming over
+//! `(leaf subset, root site)` pairs.
+//!
+//! Stateful operators constrain the search: only trees in which every
+//! *required sub-plan* (the stateful operators' inputs) appears as an
+//! exact subtree are admissible, so their state can be recovered by
+//! the new plan (the paper's "common sub-plans" rule).
+
+use wasp_netsim::network::Network;
+use wasp_netsim::site::SiteId;
+use wasp_netsim::units::SimTime;
+
+/// A source stream feeding the join: where it is generated and how
+/// much it sends (Mbps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamLeaf {
+    /// Stream name (e.g. `"A"`).
+    pub name: String,
+    /// Site where the stream originates.
+    pub site: SiteId,
+    /// Stream rate in Mbps.
+    pub rate_mbps: f64,
+}
+
+impl StreamLeaf {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, site: SiteId, rate_mbps: f64) -> StreamLeaf {
+        StreamLeaf {
+            name: name.into(),
+            site,
+            rate_mbps,
+        }
+    }
+}
+
+/// A binary join tree over the leaves, with the site each join runs
+/// at.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinTree {
+    /// A source stream (index into the problem's leaves).
+    Leaf(usize),
+    /// A join of two subtrees, executed at `site`.
+    Node {
+        /// Left input.
+        left: Box<JoinTree>,
+        /// Right input.
+        right: Box<JoinTree>,
+        /// Execution site of this join.
+        site: SiteId,
+    },
+}
+
+impl JoinTree {
+    /// Bitmask of the leaves under this tree.
+    pub fn leaf_mask(&self) -> u32 {
+        match self {
+            JoinTree::Leaf(i) => 1 << i,
+            JoinTree::Node { left, right, .. } => left.leaf_mask() | right.leaf_mask(),
+        }
+    }
+
+    /// True when `mask` appears as the exact leaf set of some subtree.
+    pub fn contains_subtree(&self, mask: u32) -> bool {
+        if self.leaf_mask() == mask {
+            return true;
+        }
+        match self {
+            JoinTree::Leaf(_) => false,
+            JoinTree::Node { left, right, .. } => {
+                left.contains_subtree(mask) || right.contains_subtree(mask)
+            }
+        }
+    }
+
+    /// All internal-node leaf masks, bottom-up.
+    pub fn internal_masks(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        fn rec(t: &JoinTree, out: &mut Vec<u32>) {
+            if let JoinTree::Node { left, right, .. } = t {
+                rec(left, out);
+                rec(right, out);
+                out.push(t.leaf_mask());
+            }
+        }
+        rec(self, &mut out);
+        out
+    }
+
+    /// Renders the tree as e.g. `"((A ⋈ B)@s2 ⋈ (C ⋈ D)@s0)@s2"`.
+    pub fn render(&self, leaves: &[StreamLeaf]) -> String {
+        match self {
+            JoinTree::Leaf(i) => leaves[*i].name.clone(),
+            JoinTree::Node { left, right, site } => format!(
+                "({} ⋈ {})@{}",
+                left.render(leaves),
+                right.render(leaves),
+                site
+            ),
+        }
+    }
+}
+
+/// A re-planning problem instance.
+#[derive(Debug, Clone)]
+pub struct ReplanProblem {
+    /// Source streams (≤ 16).
+    pub leaves: Vec<StreamLeaf>,
+    /// Join selectivity: output rate = `selectivity × (sum of input
+    /// rates)`.
+    pub join_selectivity: f64,
+    /// Bandwidth headroom α (as in the placement ILP).
+    pub alpha: f64,
+    /// Leaf-index sets that must appear as exact subtrees (stateful
+    /// common sub-plans). Singletons are trivially satisfied.
+    pub required_subtrees: Vec<Vec<usize>>,
+    /// Sites allowed to host join operators.
+    pub candidate_sites: Vec<SiteId>,
+}
+
+/// The chosen plan: a join tree plus its estimated delay cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanChoice {
+    /// The join tree with per-node sites.
+    pub tree: JoinTree,
+    /// Estimated delay cost (heuristic units; lower is better).
+    pub cost: f64,
+    /// Site of the root join.
+    pub root_site: SiteId,
+    /// Estimated output rate of the root, Mbps.
+    pub out_rate_mbps: f64,
+}
+
+/// Estimated delay of shipping `rate` Mbps over the link `from → to`:
+/// the one-way latency inflated by an M/M/1-style congestion factor,
+/// with a large penalty once the α-headroom capacity is exceeded.
+/// Free (zero) for co-located operators.
+fn edge_cost(net: &Network, t: SimTime, from: SiteId, to: SiteId, rate: f64, alpha: f64) -> f64 {
+    if from == to {
+        return 0.0;
+    }
+    let bw = net.available(from, to, t).0 * alpha;
+    let latency = net.latency(from, to).secs();
+    if bw <= 0.0 {
+        return 1e9;
+    }
+    let util = rate / bw;
+    if util >= 1.0 {
+        1e6 * util + latency
+    } else {
+        latency / (1.0 - util)
+    }
+}
+
+impl ReplanProblem {
+    /// Evaluates the heuristic delay cost of an *explicit* tree (with
+    /// its embedded per-join sites) under the current network — used
+    /// to compare the running plan against a freshly solved one.
+    /// Returns `(cost, output rate at the root site, root site)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree references a leaf outside the problem.
+    pub fn evaluate(&self, tree: &JoinTree, net: &Network, t: SimTime) -> (f64, f64, SiteId) {
+        match tree {
+            JoinTree::Leaf(i) => {
+                let leaf = &self.leaves[*i];
+                (0.0, leaf.rate_mbps, leaf.site)
+            }
+            JoinTree::Node { left, right, site } => {
+                let (lc, lr, ls) = self.evaluate(left, net, t);
+                let (rc, rr, rs) = self.evaluate(right, net, t);
+                let cost = lc
+                    + rc
+                    + edge_cost(net, t, ls, *site, lr, self.alpha)
+                    + edge_cost(net, t, rs, *site, rr, self.alpha);
+                (cost, self.join_selectivity * (lr + rr), *site)
+            }
+        }
+    }
+
+    /// True when `mask` is compatible with every required subtree:
+    /// disjoint from it, contained in it, or containing it.
+    fn mask_allowed(&self, mask: u32) -> bool {
+        for req in &self.required_subtrees {
+            let r: u32 = req.iter().map(|i| 1u32 << i).sum();
+            let inter = mask & r;
+            if inter != 0 && inter != r && inter != mask {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Solves the joint join-order/placement problem by subset DP.
+    ///
+    /// Returns `None` when no admissible tree exists (e.g. conflicting
+    /// required subtrees) or there are fewer than two leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 16 leaves.
+    pub fn solve(&self, net: &Network, t: SimTime) -> Option<PlanChoice> {
+        let n = self.leaves.len();
+        assert!(n <= 16, "subset DP supports at most 16 streams");
+        if n < 2 || self.candidate_sites.is_empty() {
+            return None;
+        }
+        let full: u32 = (1 << n) - 1;
+        let m = self.candidate_sites.len();
+        // dp[mask][site] = Some((cost, rate, tree)) — the cheapest way
+        // to produce `mask`'s join result *at* `site`.
+        let mut dp: Vec<Vec<Option<(f64, f64, JoinTree)>>> =
+            vec![vec![None; m]; (full + 1) as usize];
+        for (i, leaf) in self.leaves.iter().enumerate() {
+            let mask = 1u32 << i;
+            for (j, &site) in self.candidate_sites.iter().enumerate() {
+                let cost = edge_cost(net, t, leaf.site, site, leaf.rate_mbps, self.alpha);
+                dp[mask as usize][j] = Some((cost, leaf.rate_mbps, JoinTree::Leaf(i)));
+            }
+        }
+        // Iterate masks in increasing popcount order (any increasing
+        // numeric order works since submasks are smaller).
+        for mask in 1..=full {
+            if mask.count_ones() < 2 || !self.mask_allowed(mask) {
+                continue;
+            }
+            // Enumerate splits: sub iterates proper non-empty submasks;
+            // to avoid double work only take splits where sub contains
+            // the lowest set bit.
+            let low = mask & mask.wrapping_neg();
+            let mut sub = (mask - 1) & mask;
+            while sub != 0 {
+                if sub & low != 0 {
+                    let rest = mask ^ sub;
+                    if self.mask_allowed(sub) && self.mask_allowed(rest) {
+                        for (j, &site) in self.candidate_sites.iter().enumerate() {
+                            let Some((lc, lr, _)) = dp[sub as usize][j].as_ref().map(|x| {
+                                (x.0, x.1, ())
+                            }) else {
+                                continue;
+                            };
+                            let Some((rc, rr, _)) = dp[rest as usize][j].as_ref().map(|x| {
+                                (x.0, x.1, ())
+                            }) else {
+                                continue;
+                            };
+                            let rate = self.join_selectivity * (lr + rr);
+                            let cost = lc + rc;
+                            let better = dp[mask as usize][j]
+                                .as_ref()
+                                .map(|(c, _, _)| cost < *c)
+                                .unwrap_or(true);
+                            if better {
+                                let tree = JoinTree::Node {
+                                    left: Box::new(
+                                        dp[sub as usize][j].as_ref().expect("checked").2.clone(),
+                                    ),
+                                    right: Box::new(
+                                        dp[rest as usize][j].as_ref().expect("checked").2.clone(),
+                                    ),
+                                    site,
+                                };
+                                dp[mask as usize][j] = Some((cost, rate, tree));
+                            }
+                        }
+                    }
+                }
+                sub = (sub - 1) & mask;
+            }
+            // Allow relocating the completed join result to a cheaper
+            // site (the result stream then ships over the WAN).
+            let snapshot: Vec<Option<(f64, f64)>> = dp[mask as usize]
+                .iter()
+                .map(|e| e.as_ref().map(|(c, r, _)| (*c, *r)))
+                .collect();
+            for (j, entry) in snapshot.iter().enumerate() {
+                let Some((c_from, rate)) = entry else { continue };
+                for (k, &to) in self.candidate_sites.iter().enumerate() {
+                    if k == j {
+                        continue;
+                    }
+                    let move_cost = edge_cost(
+                        net,
+                        t,
+                        self.candidate_sites[j],
+                        to,
+                        *rate,
+                        self.alpha,
+                    );
+                    let cost = c_from + move_cost;
+                    let better = dp[mask as usize][k]
+                        .as_ref()
+                        .map(|(c, _, _)| cost < *c)
+                        .unwrap_or(true);
+                    if better {
+                        let tree = dp[mask as usize][j].as_ref().expect("snapshot").2.clone();
+                        dp[mask as usize][k] = Some((cost, *rate, tree));
+                    }
+                }
+            }
+        }
+        // Best root site.
+        let mut best: Option<PlanChoice> = None;
+        for (j, entry) in dp[full as usize].iter().enumerate() {
+            if let Some((cost, rate, tree)) = entry {
+                if best.as_ref().map(|b| *cost < b.cost).unwrap_or(true) {
+                    best = Some(PlanChoice {
+                        tree: tree.clone(),
+                        cost: *cost,
+                        root_site: self.candidate_sites[j],
+                        out_rate_mbps: *rate,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasp_netsim::site::SiteKind;
+    use wasp_netsim::topology::TopologyBuilder;
+    use wasp_netsim::trace::FactorSeries;
+    use wasp_netsim::units::{Mbps, Millis};
+
+    /// The paper's Fig. 5 setting: four streams A–D at sites 0–3.
+    fn fig5() -> (Network, Vec<StreamLeaf>) {
+        let mut b = TopologyBuilder::new();
+        for i in 0..4 {
+            b.add_site(format!("s{i}"), SiteKind::DataCenter, 8);
+        }
+        b.set_all_links(Mbps(100.0), Millis(20.0));
+        let net = Network::new(b.build().unwrap());
+        let leaves = vec![
+            StreamLeaf::new("A", SiteId(0), 20.0),
+            StreamLeaf::new("B", SiteId(1), 10.0),
+            StreamLeaf::new("C", SiteId(2), 40.0),
+            StreamLeaf::new("D", SiteId(3), 10.0),
+        ];
+        (net, leaves)
+    }
+
+    fn problem(leaves: Vec<StreamLeaf>, required: Vec<Vec<usize>>) -> ReplanProblem {
+        ReplanProblem {
+            leaves,
+            join_selectivity: 0.6,
+            alpha: 0.8,
+            required_subtrees: required,
+            candidate_sites: (0..4).map(SiteId).collect(),
+        }
+    }
+
+    #[test]
+    fn finds_a_plan_for_four_streams() {
+        let (net, leaves) = fig5();
+        let choice = problem(leaves.clone(), vec![]).solve(&net, SimTime::ZERO).unwrap();
+        assert_eq!(choice.tree.leaf_mask(), 0b1111);
+        assert!(choice.cost.is_finite());
+        assert!(!choice.tree.render(&leaves).is_empty());
+    }
+
+    /// Site of the join that directly consumes leaf `i`.
+    fn parent_site_of_leaf(tree: &JoinTree, i: usize) -> Option<SiteId> {
+        match tree {
+            JoinTree::Leaf(_) => None,
+            JoinTree::Node { left, right, site } => {
+                if **left == JoinTree::Leaf(i) || **right == JoinTree::Leaf(i) {
+                    Some(*site)
+                } else {
+                    parent_site_of_leaf(left, i).or_else(|| parent_site_of_leaf(right, i))
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_link_keeps_heavy_stream_local() {
+        // Degrade C's outbound links to s0/s1 to 5 Mbps: C's 40 Mbps
+        // stream can no longer be shipped there, so the planner must
+        // consume C at s2 or s3 (the §4.3 Fig. 5 scenario).
+        let (mut net, leaves) = fig5();
+        net.set_pair_factor(SiteId(2), SiteId(0), FactorSeries::constant(0.05));
+        net.set_pair_factor(SiteId(2), SiteId(1), FactorSeries::constant(0.05));
+        let constrained = problem(leaves, vec![]).solve(&net, SimTime::ZERO).unwrap();
+        assert!(constrained.cost < 1e6, "cost {}", constrained.cost);
+        let parent = parent_site_of_leaf(&constrained.tree, 2).expect("C is joined");
+        assert!(
+            parent == SiteId(2) || parent == SiteId(3),
+            "C must be consumed near its site, got {parent} in {:?}",
+            constrained.tree
+        );
+    }
+
+    #[test]
+    fn required_subtree_is_respected() {
+        let (net, leaves) = fig5();
+        // σ(C ⋈ D) is stateful: any new plan must contain C ⋈ D as an
+        // exact subtree.
+        let choice = problem(leaves, vec![vec![2, 3]])
+            .solve(&net, SimTime::ZERO)
+            .unwrap();
+        assert!(
+            choice.tree.contains_subtree(0b1100),
+            "plan {:?} must contain C⋈D",
+            choice.tree
+        );
+    }
+
+    #[test]
+    fn conflicting_requirements_yield_none() {
+        let (net, leaves) = fig5();
+        // {A,B,C} and {B,C,D} cannot both be exact subtrees.
+        let p = problem(leaves, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+        assert!(p.solve(&net, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn single_stream_has_no_join_plan() {
+        let (net, leaves) = fig5();
+        let p = problem(leaves[..1].to_vec(), vec![]);
+        assert!(p.solve(&net, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn two_streams_join_at_bigger_side() {
+        let (net, leaves) = fig5();
+        // A (20 Mbps at s0) ⋈ C (40 Mbps at s2): cheapest is to ship A
+        // to s2 rather than C to s0.
+        let p = ReplanProblem {
+            leaves: vec![leaves[0].clone(), leaves[2].clone()],
+            join_selectivity: 0.6,
+            alpha: 0.8,
+            required_subtrees: vec![],
+            candidate_sites: vec![SiteId(0), SiteId(2)],
+        };
+        let choice = p.solve(&net, SimTime::ZERO).unwrap();
+        match &choice.tree {
+            JoinTree::Node { site, .. } => assert_eq!(*site, SiteId(2)),
+            _ => panic!("expected a join"),
+        }
+    }
+
+    #[test]
+    fn required_subtree_appears_even_when_suboptimal() {
+        let (net, leaves) = fig5();
+        let free = problem(leaves.clone(), vec![]).solve(&net, SimTime::ZERO).unwrap();
+        // Force A ⋈ C to exist (it is not part of the free optimum
+        // in general); the constrained cost can only be ≥ the free
+        // cost.
+        let forced = problem(leaves, vec![vec![0, 2]])
+            .solve(&net, SimTime::ZERO)
+            .unwrap();
+        assert!(forced.tree.contains_subtree(0b0101));
+        assert!(forced.cost >= free.cost - 1e-9);
+    }
+
+    #[test]
+    fn internal_masks_enumerate_joins() {
+        let tree = JoinTree::Node {
+            left: Box::new(JoinTree::Node {
+                left: Box::new(JoinTree::Leaf(0)),
+                right: Box::new(JoinTree::Leaf(1)),
+                site: SiteId(0),
+            }),
+            right: Box::new(JoinTree::Leaf(2)),
+            site: SiteId(1),
+        };
+        assert_eq!(tree.internal_masks(), vec![0b011, 0b111]);
+        assert!(tree.contains_subtree(0b011));
+        assert!(!tree.contains_subtree(0b110));
+    }
+}

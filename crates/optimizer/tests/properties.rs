@@ -1,0 +1,303 @@
+//! Property-based tests for the optimization substrate: the greedy ILP
+//! against exhaustive search, min-max migration against brute force,
+//! matching maximality, and join-order DP self-consistency.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use wasp_netsim::network::Network;
+use wasp_netsim::site::{SiteId, SiteKind};
+use wasp_netsim::topology::TopologyBuilder;
+use wasp_netsim::units::{Mbps, MegaBytes, Millis, SimTime};
+use wasp_optimizer::matching::Bipartite;
+use wasp_optimizer::migration::{plan_migration, MigrationStrategy};
+use wasp_optimizer::placement::{PlacementProblem, PlacementRequest};
+use wasp_optimizer::replan::{ReplanProblem, StreamLeaf};
+
+/// A random fully-connected network over `n` sites.
+fn random_network(n: u16, caps: &[f64], lats: &[f64]) -> Network {
+    let mut b = TopologyBuilder::new();
+    for i in 0..n {
+        b.add_site(format!("s{i}"), SiteKind::DataCenter, 8);
+    }
+    let mut k = 0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                b.set_link(
+                    SiteId(i),
+                    SiteId(j),
+                    Mbps(caps[k % caps.len()]),
+                    Millis(lats[k % lats.len()]),
+                );
+                k += 1;
+            }
+        }
+    }
+    Network::new(b.build().expect("valid topology"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The greedy placement solver is exactly optimal (matches the
+    /// exhaustive reference) and both agree on feasibility.
+    #[test]
+    fn greedy_placement_matches_exhaustive(
+        caps in proptest::collection::vec(1.0f64..200.0, 12..20),
+        lats in proptest::collection::vec(1.0f64..200.0, 12..20),
+        p in 1u32..6,
+        in_rate in 1.0f64..150.0,
+        out_rate in 0.0f64..50.0,
+        slots in proptest::collection::vec(0u32..5, 4),
+    ) {
+        let net = random_network(4, &caps, &lats);
+        let mut req = PlacementRequest::new(p);
+        req.upstream = vec![(SiteId(0), in_rate)];
+        req.downstream = vec![(SiteId(1), out_rate)];
+        for (i, &s) in slots.iter().enumerate() {
+            if s > 0 {
+                req.available_slots.insert(SiteId(i as u16), s);
+            }
+        }
+        let prob = PlacementProblem::build(&req, &net, SimTime::ZERO);
+        match (prob.solve(), prob.solve_exhaustive()) {
+            (None, None) => {}
+            (Some((pg, cg)), Some((pe, ce))) => {
+                prop_assert!((cg - ce).abs() < 1e-6, "greedy {cg} vs exhaustive {ce}");
+                prop_assert_eq!(pg.parallelism(), p);
+                prop_assert_eq!(pe.parallelism(), p);
+            }
+            (g, e) => prop_assert!(false, "feasibility mismatch: {g:?} vs {e:?}"),
+        }
+    }
+
+    /// The min-max migration plan is optimal against brute force over
+    /// all permutations (≤ 4 sources).
+    #[test]
+    fn minmax_migration_is_optimal(
+        caps in proptest::collection::vec(1.0f64..200.0, 20..40),
+        sizes in proptest::collection::vec(1.0f64..300.0, 2..4),
+    ) {
+        let n_src = sizes.len();
+        let net = random_network(2 * n_src as u16, &caps, &[10.0]);
+        let sources: Vec<(SiteId, MegaBytes)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &mb)| (SiteId(i as u16), MegaBytes(mb)))
+            .collect();
+        let dests: Vec<SiteId> = (n_src..2 * n_src).map(|i| SiteId(i as u16)).collect();
+        let plan = plan_migration(&sources, &dests, &net, SimTime::ZERO,
+            MigrationStrategy::NetworkAware);
+        // Brute force over all permutations.
+        fn perms(n: usize) -> Vec<Vec<usize>> {
+            fn rec(n: usize, used: &mut Vec<bool>, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+                if cur.len() == n {
+                    out.push(cur.clone());
+                    return;
+                }
+                for i in 0..n {
+                    if !used[i] {
+                        used[i] = true;
+                        cur.push(i);
+                        rec(n, used, cur, out);
+                        cur.pop();
+                        used[i] = false;
+                    }
+                }
+            }
+            let mut out = Vec::new();
+            rec(n, &mut vec![false; n], &mut Vec::new(), &mut out);
+            out
+        }
+        let best = perms(n_src)
+            .into_iter()
+            .map(|perm| {
+                sources
+                    .iter()
+                    .zip(perm)
+                    .map(|(&(s, mb), j)| mb.transfer_time(net.available(s, dests[j], SimTime::ZERO)))
+                    .fold(0.0f64, f64::max)
+            })
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((plan.bottleneck_s - best).abs() < 1e-9,
+            "minmax {} vs brute {best}", plan.bottleneck_s);
+    }
+
+    /// Hopcroft–Karp matchings are valid (no shared endpoints) and not
+    /// smaller than a greedy matching.
+    #[test]
+    fn matching_is_valid_and_maximal(
+        edges in proptest::collection::btree_set((0usize..6, 0usize..6), 0..20),
+    ) {
+        let mut g = Bipartite::new(6, 6);
+        for &(l, r) in &edges {
+            g.add_edge(l, r);
+        }
+        let m = g.maximum_matching();
+        let mut used_r = std::collections::BTreeSet::new();
+        for (l, r) in m.iter().enumerate() {
+            if let Some(r) = r {
+                prop_assert!(edges.contains(&(l, *r)), "matched non-edge");
+                prop_assert!(used_r.insert(*r), "right vertex reused");
+            }
+        }
+        // Greedy lower bound.
+        let mut used = [false; 6];
+        let mut greedy = 0;
+        for l in 0..6 {
+            for &(el, r) in &edges {
+                if el == l && !used[r] {
+                    used[r] = true;
+                    greedy += 1;
+                    break;
+                }
+            }
+        }
+        prop_assert!(m.iter().flatten().count() >= greedy);
+    }
+
+    /// The join-order DP's chosen plan evaluates to its claimed cost,
+    /// and honors required sub-trees.
+    #[test]
+    fn join_dp_self_consistent(
+        caps in proptest::collection::vec(5.0f64..200.0, 20..40),
+        rates in proptest::collection::vec(1.0f64..40.0, 4),
+        selectivity in 0.1f64..1.0,
+        require_cd in proptest::bool::ANY,
+    ) {
+        let net = random_network(5, &caps, &[20.0]);
+        let leaves: Vec<StreamLeaf> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| StreamLeaf::new(format!("S{i}"), SiteId(i as u16), r))
+            .collect();
+        let problem = ReplanProblem {
+            leaves,
+            join_selectivity: selectivity,
+            alpha: 0.8,
+            required_subtrees: if require_cd { vec![vec![2, 3]] } else { vec![] },
+            candidate_sites: (0..5).map(SiteId).collect(),
+        };
+        if let Some(choice) = problem.solve(&net, SimTime::ZERO) {
+            let (cost, rate, site) = problem.evaluate(&choice.tree, &net, SimTime::ZERO);
+            prop_assert!((cost - choice.cost).abs() < 1e-6 * choice.cost.max(1.0),
+                "claimed {} vs evaluated {cost}", choice.cost);
+            prop_assert!((rate - choice.out_rate_mbps).abs() < 1e-9);
+            prop_assert_eq!(site, choice.root_site);
+            if require_cd {
+                prop_assert!(choice.tree.contains_subtree(0b1100));
+            }
+        }
+    }
+
+    /// Scale-out search returns the minimal feasible parallelism.
+    #[test]
+    fn scale_out_search_is_minimal(
+        caps in proptest::collection::vec(1.0f64..100.0, 12..20),
+        in_rate in 10.0f64..200.0,
+    ) {
+        let net = random_network(4, &caps, &[10.0]);
+        let mut req = PlacementRequest::new(1);
+        req.upstream = vec![(SiteId(0), in_rate)];
+        let mut slots = BTreeMap::new();
+        for i in 1..4u16 {
+            slots.insert(SiteId(i), 4u32);
+        }
+        req.available_slots = slots;
+        if let Some((p, placement, _)) =
+            PlacementProblem::minimal_feasible_parallelism(&req, &net, SimTime::ZERO, 1, 12)
+        {
+            prop_assert_eq!(placement.parallelism(), p);
+            // p-1 must be infeasible (when p > 1).
+            if p > 1 {
+                let mut r = req.clone();
+                r.parallelism = p - 1;
+                let prob = PlacementProblem::build(&r, &net, SimTime::ZERO);
+                prop_assert!(prob.solve().is_none(), "p-1={} should be infeasible", p - 1);
+            }
+        }
+    }
+}
+
+/// Enumerates every binary join tree over `n` leaves with every
+/// per-node site assignment, returning the minimum evaluated cost —
+/// the reference for the subset DP.
+fn brute_force_best(problem: &ReplanProblem, net: &Network) -> Option<f64> {
+    use wasp_optimizer::replan::JoinTree;
+    fn trees(leaves: &[usize], sites: &[SiteId]) -> Vec<JoinTree> {
+        if leaves.len() == 1 {
+            return vec![JoinTree::Leaf(leaves[0])];
+        }
+        let mut out = Vec::new();
+        // Every split of the leaf set into two non-empty halves (the
+        // first leaf stays left to avoid mirror duplicates).
+        let n = leaves.len();
+        for mask in 0..(1u32 << (n - 1)) {
+            let mut left = vec![leaves[0]];
+            let mut right = Vec::new();
+            for (i, &leaf) in leaves.iter().enumerate().skip(1) {
+                if mask & (1 << (i - 1)) != 0 {
+                    left.push(leaf);
+                } else {
+                    right.push(leaf);
+                }
+            }
+            if right.is_empty() {
+                continue;
+            }
+            for l in trees(&left, sites) {
+                for r in trees(&right, sites) {
+                    for &site in sites {
+                        out.push(JoinTree::Node {
+                            left: Box::new(l.clone()),
+                            right: Box::new(r.clone()),
+                            site,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+    let leaves: Vec<usize> = (0..problem.leaves.len()).collect();
+    let candidates = trees(&leaves, &problem.candidate_sites);
+    candidates
+        .into_iter()
+        .map(|t| problem.evaluate(&t, net, SimTime::ZERO).0)
+        .min_by(|a, b| a.partial_cmp(b).expect("finite costs"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The subset DP finds the globally optimal (tree, placement)
+    /// combination: it matches exhaustive enumeration of all binary
+    /// trees × per-join site assignments.
+    #[test]
+    fn join_dp_matches_bruteforce(
+        caps in proptest::collection::vec(5.0f64..200.0, 6..12),
+        rates in proptest::collection::vec(1.0f64..40.0, 3),
+        selectivity in 0.1f64..1.0,
+    ) {
+        let net = random_network(3, &caps, &[20.0]);
+        let leaves: Vec<StreamLeaf> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| StreamLeaf::new(format!("S{i}"), SiteId(i as u16), r))
+            .collect();
+        let problem = ReplanProblem {
+            leaves,
+            join_selectivity: selectivity,
+            alpha: 0.8,
+            required_subtrees: vec![],
+            candidate_sites: (0..3).map(SiteId).collect(),
+        };
+        let dp = problem.solve(&net, SimTime::ZERO).expect("solvable");
+        let brute = brute_force_best(&problem, &net).expect("non-empty");
+        prop_assert!(
+            (dp.cost - brute).abs() < 1e-6 * brute.max(1.0),
+            "dp {} vs brute force {brute}",
+            dp.cost
+        );
+    }
+}

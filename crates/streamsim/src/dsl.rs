@@ -1,0 +1,292 @@
+//! A compact textual DSL for building logical plans.
+//!
+//! Handy for experiments and CLIs: a pipeline is a `|`-separated chain
+//! of operator terms; multiple sources fan into the first interior
+//! operator.
+//!
+//! ```text
+//! src(0, 10000, 20) | filter(0.8) | map | window(30, 4.2e-5) | sink(1)
+//! src(0,1000,20) + src(1,2000,20) | union | project | sink
+//! ```
+//!
+//! Terms:
+//!
+//! | term | meaning |
+//! |---|---|
+//! | `src(SITE, RATE[, BYTES])` | source at site `SITE`, `RATE` events/s, `BYTES`-byte records (default 100) |
+//! | `filter(σ)` | stateless filter with selectivity σ |
+//! | `map` / `project` / `union` | stateless 1:1 operators |
+//! | `window(SECS, σ[, MB])` | tumbling-window aggregation, optional fixed state in MB |
+//! | `reduce(σ)` | incremental reduce |
+//! | `topk(K)` | top-K per key |
+//! | `sink[(SITE)]` | sink, optionally pinned to `SITE` |
+//!
+//! Several `+`-joined sources before the first `|` all feed the first
+//! interior operator.
+//!
+//! # Examples
+//!
+//! ```
+//! use wasp_streamsim::dsl::parse_plan;
+//!
+//! let plan = parse_plan(
+//!     "src(0, 10000, 20) + src(1, 10000, 20) | filter(0.8) | window(30, 4.2e-5, 100) | sink(2)",
+//! )?;
+//! assert_eq!(plan.sources().len(), 2);
+//! assert_eq!(plan.stateful_ops().len(), 1);
+//! # Ok::<(), wasp_streamsim::dsl::DslError>(())
+//! ```
+
+use crate::operator::{OperatorKind, OperatorSpec, StateModel};
+use crate::plan::{LogicalPlan, LogicalPlanBuilder, PlanError};
+use std::fmt;
+use wasp_netsim::site::SiteId;
+use wasp_netsim::units::MegaBytes;
+
+/// Error produced while parsing a plan string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DslError {
+    /// A term could not be parsed.
+    BadTerm(String),
+    /// A numeric argument was malformed.
+    BadNumber(String),
+    /// A term had the wrong number of arguments.
+    BadArity(String),
+    /// The pipeline's shape is invalid (e.g. source after the first
+    /// stage, missing sink).
+    BadShape(String),
+    /// The assembled plan failed validation.
+    Plan(PlanError),
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::BadTerm(t) => write!(f, "cannot parse term `{t}`"),
+            DslError::BadNumber(t) => write!(f, "bad number in `{t}`"),
+            DslError::BadArity(t) => write!(f, "wrong argument count in `{t}`"),
+            DslError::BadShape(msg) => write!(f, "invalid pipeline shape: {msg}"),
+            DslError::Plan(e) => write!(f, "plan validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+impl From<PlanError> for DslError {
+    fn from(e: PlanError) -> Self {
+        DslError::Plan(e)
+    }
+}
+
+/// One parsed term: the operator name and its numeric arguments.
+fn split_term(term: &str) -> Result<(&str, Vec<f64>), DslError> {
+    let term = term.trim();
+    if let Some(open) = term.find('(') {
+        let close = term
+            .rfind(')')
+            .ok_or_else(|| DslError::BadTerm(term.to_string()))?;
+        let name = term[..open].trim();
+        let args: Result<Vec<f64>, DslError> = term[open + 1..close]
+            .split(',')
+            .filter(|a| !a.trim().is_empty())
+            .map(|a| {
+                a.trim()
+                    .parse::<f64>()
+                    .map_err(|_| DslError::BadNumber(term.to_string()))
+            })
+            .collect();
+        Ok((name, args?))
+    } else {
+        Ok((term, Vec::new()))
+    }
+}
+
+fn spec_for(name: &str, args: &[f64], index: usize) -> Result<OperatorSpec, DslError> {
+    let label = format!("{name}-{index}");
+    let spec = match (name, args.len()) {
+        ("src", 2) | ("src", 3) => {
+            let bytes = args.get(2).copied().unwrap_or(100.0);
+            OperatorSpec::new(
+                label,
+                OperatorKind::Source {
+                    site: SiteId(args[0] as u16),
+                    base_rate: args[1],
+                    event_bytes: bytes,
+                },
+            )
+        }
+        ("filter", 1) => OperatorSpec::new(label, OperatorKind::Filter).with_selectivity(args[0]),
+        ("map", 0) => OperatorSpec::new(label, OperatorKind::Map),
+        ("project", 0) => OperatorSpec::new(label, OperatorKind::Project),
+        ("union", 0) => OperatorSpec::new(label, OperatorKind::Union),
+        ("window", 2) | ("window", 3) => {
+            let mut spec = OperatorSpec::new(
+                label,
+                OperatorKind::WindowAggregate { window_s: args[0] },
+            )
+            .with_selectivity(args[1]);
+            if let Some(&mb) = args.get(2) {
+                spec = spec.with_state(StateModel::Fixed(MegaBytes(mb)));
+            }
+            spec
+        }
+        ("reduce", 1) => OperatorSpec::new(label, OperatorKind::Reduce).with_selectivity(args[0]),
+        ("topk", 1) => OperatorSpec::new(label, OperatorKind::TopK { k: args[0] as usize }),
+        ("sink", 0) => OperatorSpec::new(label, OperatorKind::Sink { site: None }),
+        ("sink", 1) => OperatorSpec::new(
+            label,
+            OperatorKind::Sink {
+                site: Some(SiteId(args[0] as u16)),
+            },
+        ),
+        ("src" | "filter" | "map" | "project" | "union" | "window" | "reduce" | "topk"
+        | "sink", _) => return Err(DslError::BadArity(name.to_string())),
+        _ => return Err(DslError::BadTerm(name.to_string())),
+    };
+    Ok(spec)
+}
+
+/// Parses a pipeline string into a validated [`LogicalPlan`].
+///
+/// # Errors
+///
+/// Returns [`DslError`] on malformed terms or an invalid pipeline
+/// shape (see the module docs for the grammar).
+pub fn parse_plan(input: &str) -> Result<LogicalPlan, DslError> {
+    let stages: Vec<&str> = input.split('|').map(str::trim).collect();
+    if stages.len() < 2 {
+        return Err(DslError::BadShape(
+            "need at least a source stage and a sink stage".into(),
+        ));
+    }
+    let mut b = LogicalPlanBuilder::new(input.trim().to_string());
+    // First stage: one or more '+'-joined sources.
+    let mut heads = Vec::new();
+    for (i, term) in stages[0].split('+').enumerate() {
+        let (name, args) = split_term(term)?;
+        if name != "src" {
+            return Err(DslError::BadShape(format!(
+                "the first stage must contain only src terms, found `{name}`"
+            )));
+        }
+        heads.push(b.add(spec_for(name, &args, i)?));
+    }
+    // Remaining stages chain linearly.
+    for (si, stage) in stages[1..].iter().enumerate() {
+        let (name, args) = split_term(stage)?;
+        if name == "src" {
+            return Err(DslError::BadShape(
+                "sources may only appear in the first stage".into(),
+            ));
+        }
+        let op = b.add(spec_for(name, &args, si)?);
+        for h in heads.drain(..) {
+            b.connect(h, op);
+        }
+        heads.push(op);
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_linear_pipeline() {
+        let plan = parse_plan("src(0, 1000, 20) | filter(0.5) | sink(1)").unwrap();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.sources().len(), 1);
+        assert!((plan.end_to_end_selectivity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_multiple_sources_and_state() {
+        let plan = parse_plan(
+            "src(0,1000,20) + src(1,2000,20) | union | window(30, 1e-3, 100) | sink",
+        )
+        .unwrap();
+        assert_eq!(plan.sources().len(), 2);
+        let stateful = plan.stateful_ops();
+        assert_eq!(stateful.len(), 1);
+        assert_eq!(
+            plan.op(stateful[0]).state(),
+            StateModel::Fixed(MegaBytes(100.0))
+        );
+        // Unpinned sink.
+        assert!(matches!(
+            plan.op(plan.sinks()[0]).kind(),
+            OperatorKind::Sink { site: None }
+        ));
+    }
+
+    #[test]
+    fn default_source_bytes_apply() {
+        let plan = parse_plan("src(0, 1000) | map | sink").unwrap();
+        assert_eq!(plan.out_bytes(plan.sources()[0]), 100.0);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(
+            parse_plan("src(0,1000)"),
+            Err(DslError::BadShape(_))
+        ));
+        assert!(matches!(
+            parse_plan("src(0,1000) | blah | sink"),
+            Err(DslError::BadTerm(_))
+        ));
+        assert!(matches!(
+            parse_plan("src(0,1000) | filter(a) | sink"),
+            Err(DslError::BadNumber(_))
+        ));
+        assert!(matches!(
+            parse_plan("src(0,1000) | filter(0.5, 3) | sink"),
+            Err(DslError::BadArity(_))
+        ));
+        assert!(matches!(
+            parse_plan("src(0,1000) | src(1,10) | sink"),
+            Err(DslError::BadShape(_))
+        ));
+        // Shape errors from plan validation surface as Plan errors:
+        // a sink mid-pipeline leaves the tail dangling.
+        assert!(matches!(
+            parse_plan("src(0,1000) | sink | map | sink"),
+            Err(DslError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn parsed_plan_runs_in_the_engine() {
+        use crate::engine::{Engine, EngineConfig};
+        use crate::physical::PhysicalPlan;
+        use wasp_netsim::dynamics::DynamicsScript;
+        use wasp_netsim::network::Network;
+        use wasp_netsim::site::SiteKind;
+        use wasp_netsim::topology::TopologyBuilder;
+        use wasp_netsim::units::{Mbps, Millis};
+
+        let mut tb = TopologyBuilder::new();
+        let a = tb.add_site("a", SiteKind::Edge, 2);
+        let b = tb.add_site("b", SiteKind::DataCenter, 4);
+        tb.set_symmetric_link(a, b, Mbps(20.0), Millis(20.0));
+        let net = Network::new(tb.build().unwrap());
+        let plan = parse_plan("src(0, 1000, 20) | filter(0.5) | sink(1)").unwrap();
+        let physical = PhysicalPlan::initial(&plan, b);
+        let mut engine =
+            Engine::new(net, DynamicsScript::none(), plan, physical, EngineConfig::default())
+                .unwrap();
+        engine.run(60.0);
+        assert!(engine.metrics().total_delivered() > 0.0);
+    }
+
+    #[test]
+    fn every_operator_kind_parses() {
+        let plan = parse_plan(
+            "src(0, 1000, 20) | filter(0.9) | map | project | reduce(1.0) | topk(10) | sink(1)",
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 7);
+    }
+}

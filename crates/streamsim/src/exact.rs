@@ -1,0 +1,319 @@
+//! Record-at-a-time reference executor.
+//!
+//! The fluid engine ([`crate::engine`]) models rates and delays; this
+//! module executes operator *semantics* on individual records. It
+//! exists to validate the semantic claims the adaptation layer relies
+//! on — above all that the alternative join orders explored by query
+//! re-planning (§4.3) produce identical results, and that windowed
+//! aggregation/top-k semantics match their fluid counterparts'
+//! selectivity model.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A concrete stream record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Event time (seconds).
+    pub time: f64,
+    /// Partitioning / join key.
+    pub key: u64,
+    /// Numeric payload (e.g. a count or measurement).
+    pub value: f64,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(time: f64, key: u64, value: f64) -> Event {
+        Event { time, key, value }
+    }
+}
+
+/// Index of the tumbling window containing `time`.
+///
+/// # Panics
+///
+/// Panics if `window_s` is not positive.
+pub fn window_index(time: f64, window_s: f64) -> i64 {
+    assert!(window_s > 0.0, "window length must be positive");
+    (time / window_s).floor() as i64
+}
+
+/// Groups events into tumbling windows: `(window index, events)`,
+/// ordered by window index.
+pub fn tumbling_windows(events: &[Event], window_s: f64) -> Vec<(i64, Vec<Event>)> {
+    let mut map: BTreeMap<i64, Vec<Event>> = BTreeMap::new();
+    for &e in events {
+        map.entry(window_index(e.time, window_s)).or_default().push(e);
+    }
+    map.into_iter().collect()
+}
+
+/// Stateless filter.
+pub fn filter(events: &[Event], pred: impl Fn(&Event) -> bool) -> Vec<Event> {
+    events.iter().copied().filter(|e| pred(e)).collect()
+}
+
+/// Merges streams (stateless union), preserving event-time order.
+pub fn union(streams: &[Vec<Event>]) -> Vec<Event> {
+    let mut out: Vec<Event> = streams.iter().flatten().copied().collect();
+    out.sort_by(|a, b| {
+        a.time
+            .partial_cmp(&b.time)
+            .expect("event times are finite")
+            .then(a.key.cmp(&b.key))
+    });
+    out
+}
+
+/// Per-key tumbling-window aggregation: one output event per
+/// `(window, key)` with the values combined by `agg` and the timestamp
+/// of the *latest* constituent event — exactly the event-time rule the
+/// paper uses for its delay metric (§8.3).
+pub fn window_aggregate(
+    events: &[Event],
+    window_s: f64,
+    agg: impl Fn(&[f64]) -> f64,
+) -> Vec<Event> {
+    let mut out = Vec::new();
+    for (_, group) in tumbling_windows(events, window_s) {
+        let mut by_key: BTreeMap<u64, (f64, Vec<f64>)> = BTreeMap::new();
+        for e in group {
+            let entry = by_key
+                .entry(e.key)
+                .or_insert((f64::NEG_INFINITY, Vec::new()));
+            entry.0 = entry.0.max(e.time);
+            entry.1.push(e.value);
+        }
+        for (key, (time, values)) in by_key {
+            out.push(Event::new(time, key, agg(&values)));
+        }
+    }
+    out
+}
+
+/// Windowed equi-join of two streams: within each tumbling window,
+/// matching keys produce the cross product; each joined event carries
+/// the *max* constituent time and the *sum* of values. With these
+/// combiners the n-way join is associative and commutative, which is
+/// what lets the Query Planner reorder joins freely (§4.3).
+pub fn hash_join(left: &[Event], right: &[Event], window_s: f64) -> Vec<Event> {
+    let mut out = Vec::new();
+    let lw = tumbling_windows(left, window_s);
+    let rw: BTreeMap<i64, Vec<Event>> = tumbling_windows(right, window_s).into_iter().collect();
+    for (w, lgroup) in lw {
+        let Some(rgroup) = rw.get(&w) else { continue };
+        let mut rindex: BTreeMap<u64, Vec<&Event>> = BTreeMap::new();
+        for e in rgroup {
+            rindex.entry(e.key).or_default().push(e);
+        }
+        for l in &lgroup {
+            if let Some(matches) = rindex.get(&l.key) {
+                for r in matches {
+                    out.push(Event::new(l.time.max(r.time), l.key, l.value + r.value));
+                }
+            }
+        }
+    }
+    canonicalize(&mut out);
+    out
+}
+
+/// N-way windowed equi-join evaluated left-to-right (the reference
+/// answer all join orders must agree with).
+///
+/// # Panics
+///
+/// Panics when fewer than two streams are supplied.
+pub fn multi_hash_join(streams: &[Vec<Event>], window_s: f64) -> Vec<Event> {
+    assert!(streams.len() >= 2, "need at least two streams to join");
+    let mut acc = streams[0].clone();
+    for s in &streams[1..] {
+        acc = hash_join(&acc, s, window_s);
+    }
+    canonicalize(&mut acc);
+    acc
+}
+
+/// Top-k values per key over each tumbling window: counts events per
+/// `(window, key, value-bucket)` and keeps the `k` most frequent
+/// buckets per key (the Top-K Popular Topics query of Table 3, where
+/// the value identifies a topic and the key a country).
+pub fn top_k(events: &[Event], window_s: f64, k: usize) -> Vec<Event> {
+    let mut out = Vec::new();
+    for (_, group) in tumbling_windows(events, window_s) {
+        // (key, topic) -> (count, latest time)
+        let mut counts: BTreeMap<(u64, u64), (u64, f64)> = BTreeMap::new();
+        for e in &group {
+            let entry = counts
+                .entry((e.key, e.value as u64))
+                .or_insert((0, f64::NEG_INFINITY));
+            entry.0 += 1;
+            entry.1 = entry.1.max(e.time);
+        }
+        let mut per_key: BTreeMap<u64, Vec<(u64, u64, f64)>> = BTreeMap::new();
+        for ((key, topic), (count, time)) in counts {
+            per_key.entry(key).or_default().push((count, topic, time));
+        }
+        for (key, mut entries) in per_key {
+            entries.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            for &(count, _topic, time) in entries.iter().take(k) {
+                out.push(Event::new(time, key, count as f64));
+            }
+        }
+    }
+    out
+}
+
+/// Sorts a result multiset into canonical order so plans can be
+/// compared with `assert_eq!`.
+pub fn canonicalize(events: &mut [Event]) {
+    events.sort_by(|a, b| {
+        a.key
+            .cmp(&b.key)
+            .then(a.time.partial_cmp(&b.time).expect("finite times"))
+            .then(a.value.partial_cmp(&b.value).expect("finite values"))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn stream(seed: u64, n: usize, keys: u64, horizon: f64) -> Vec<Event> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Event::new(
+                    rng.gen_range(0.0..horizon),
+                    rng.gen_range(0..keys),
+                    rng.gen_range(0..5) as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn window_index_boundaries() {
+        assert_eq!(window_index(0.0, 10.0), 0);
+        assert_eq!(window_index(9.999, 10.0), 0);
+        assert_eq!(window_index(10.0, 10.0), 1);
+    }
+
+    #[test]
+    fn filter_and_union() {
+        let a = vec![Event::new(1.0, 1, 1.0), Event::new(2.0, 2, 2.0)];
+        let b = vec![Event::new(1.5, 3, 3.0)];
+        let f = filter(&a, |e| e.key == 1);
+        assert_eq!(f.len(), 1);
+        let u = union(&[a, b]);
+        assert_eq!(u.len(), 3);
+        assert!(u.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn aggregate_takes_latest_event_time() {
+        let events = vec![
+            Event::new(1.0, 7, 10.0),
+            Event::new(8.0, 7, 20.0),
+            Event::new(12.0, 7, 5.0),
+        ];
+        let out = window_aggregate(&events, 10.0, |vs| vs.iter().sum());
+        assert_eq!(out.len(), 2);
+        // First window: events at t=1 and t=8 → timestamp 8, sum 30.
+        assert_eq!(out[0], Event::new(8.0, 7, 30.0));
+        assert_eq!(out[1], Event::new(12.0, 7, 5.0));
+    }
+
+    #[test]
+    fn join_is_commutative() {
+        let a = stream(1, 200, 10, 30.0);
+        let b = stream(2, 200, 10, 30.0);
+        let ab = hash_join(&a, &b, 10.0);
+        let ba = hash_join(&b, &a, 10.0);
+        assert_eq!(ab, ba);
+        assert!(!ab.is_empty());
+    }
+
+    #[test]
+    fn join_is_associative() {
+        let a = stream(3, 100, 5, 20.0);
+        let b = stream(4, 100, 5, 20.0);
+        let c = stream(5, 100, 5, 20.0);
+        let left = hash_join(&hash_join(&a, &b, 10.0), &c, 10.0);
+        let right = hash_join(&a, &hash_join(&b, &c, 10.0), 10.0);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn replanning_preserves_results_for_4_way_join() {
+        // The §4.3 example: Plan 1 = (A ⋈ B) ⋈ (C ⋈ D),
+        // Plan 2 = A ⋈ (B ⋈ (C ⋈ D)) — must emit the same results.
+        let streams: Vec<Vec<Event>> = (0..4).map(|i| stream(10 + i, 80, 4, 20.0)).collect();
+        let w = 10.0;
+        let plan1 = hash_join(
+            &hash_join(&streams[0], &streams[1], w),
+            &hash_join(&streams[2], &streams[3], w),
+            w,
+        );
+        let plan2 = multi_hash_join(&streams, w);
+        assert_eq!(plan1, plan2);
+        assert!(!plan1.is_empty());
+    }
+
+    #[test]
+    fn join_respects_window_boundaries() {
+        let a = vec![Event::new(1.0, 1, 1.0)];
+        let b = vec![Event::new(11.0, 1, 1.0)];
+        // Same key, different 10 s windows → no match.
+        assert!(hash_join(&a, &b, 10.0).is_empty());
+        // One big window → match.
+        assert_eq!(hash_join(&a, &b, 20.0).len(), 1);
+    }
+
+    #[test]
+    fn top_k_keeps_most_frequent() {
+        let mut events = Vec::new();
+        // topic 1 × 5, topic 2 × 3, topic 3 × 1 (key 0, window 0).
+        for i in 0..5 {
+            events.push(Event::new(i as f64 * 0.1, 0, 1.0));
+        }
+        for i in 0..3 {
+            events.push(Event::new(i as f64 * 0.1, 0, 2.0));
+        }
+        events.push(Event::new(0.5, 0, 3.0));
+        let out = top_k(&events, 10.0, 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value, 5.0);
+        assert_eq!(out[1].value, 3.0);
+    }
+
+    #[test]
+    fn top_k_selectivity_matches_fluid_model() {
+        // With many events per (window,key) the fluid σ of top-k is
+        // k·keys·windows / events; check the exact executor agrees.
+        let events = stream(42, 20_000, 8, 100.0);
+        let k = 3;
+        let out = top_k(&events, 10.0, k);
+        let expected = (k * 8 * 10) as f64;
+        assert!((out.len() as f64 - expected).abs() / expected < 0.05);
+    }
+
+    #[test]
+    fn aggregate_selectivity_matches_fluid_model() {
+        // σ of a keyed 10 s window over 8 keys: 8 events per window.
+        let events = stream(7, 20_000, 8, 100.0);
+        let out = window_aggregate(&events, 10.0, |vs| vs.len() as f64);
+        assert_eq!(out.len(), 8 * 10);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(tumbling_windows(&[], 5.0).is_empty());
+        assert!(window_aggregate(&[], 5.0, |v| v.len() as f64).is_empty());
+        assert!(hash_join(&[], &[Event::new(0.0, 1, 1.0)], 5.0).is_empty());
+        assert!(top_k(&[], 5.0, 3).is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Identifiers for queries, operators/stages, and tasks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a logical operator in a query plan. Because WASP (like
+/// Flink) maps each logical operator to one execution stage, the same
+/// id indexes both the logical and the physical plan.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// Index into plan-ordered vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op-{}", self.0)
+    }
+}
+
+impl From<u32> for OpId {
+    fn from(v: u32) -> Self {
+        OpId(v)
+    }
+}
+
+/// Identifier of a deployed query.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct QueryId(pub u32);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(format!("{}", OpId(3)), "op-3");
+        assert_eq!(OpId(3).index(), 3);
+        assert_eq!(format!("{}", QueryId(1)), "query-1");
+        assert_eq!(OpId::from(2u32), OpId(2));
+    }
+}

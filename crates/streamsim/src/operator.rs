@@ -1,0 +1,327 @@
+//! Stream operators and their execution models.
+//!
+//! Each operator is described by the quantities the paper's runtime
+//! monitoring tracks (§3.2): its selectivity `σ = λO/λP`, its per-event
+//! compute cost (which bounds the processing rate per slot), its output
+//! record size (which determines WAN demand), and its state model
+//! (which determines migration overhead, §5).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wasp_netsim::site::SiteId;
+use wasp_netsim::units::MegaBytes;
+
+/// How an operator's processing state grows.
+///
+/// State size is the central quantity of the paper's §5/§8.7: it
+/// determines how expensive task re-assignment and re-planning are.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StateModel {
+    /// No state at all (filter, map, project, union).
+    Stateless,
+    /// A fixed total state for the whole stage, split evenly across
+    /// tasks (e.g. a keyed aggregation whose key space is saturated —
+    /// this is what §8.7 controls directly).
+    Fixed(MegaBytes),
+    /// State proportional to the events buffered in the current
+    /// tumbling window: `bytes_per_event × events_in_window`, reset at
+    /// every window boundary.
+    Window {
+        /// Bytes retained per buffered event.
+        bytes_per_event: f64,
+    },
+}
+
+impl StateModel {
+    /// True for [`StateModel::Stateless`].
+    pub fn is_stateless(&self) -> bool {
+        matches!(self, StateModel::Stateless)
+    }
+}
+
+/// The behavioural class of an operator.
+///
+/// The kinds cover the operators used by the paper's three queries
+/// (Table 3): filter, map, project, union, windowed aggregation /
+/// reduce, join, top-k, plus sources and sinks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// An external stream source pinned at a site, generating
+    /// `base_rate` events/s of `event_bytes`-byte records.
+    Source {
+        /// The site where this source's data is generated.
+        site: SiteId,
+        /// Baseline event rate (before dynamics factors), events/s.
+        base_rate: f64,
+        /// Record size in bytes.
+        event_bytes: f64,
+    },
+    /// Stateless predicate; passes a `selectivity` fraction of events.
+    Filter,
+    /// Stateless 1:1 transformation.
+    Map,
+    /// Stateless projection that shrinks records.
+    Project,
+    /// Stateless merge of several input streams.
+    Union,
+    /// Keyed tumbling-window aggregation emitting once per window.
+    WindowAggregate {
+        /// Window length in seconds.
+        window_s: f64,
+    },
+    /// Streaming (windowed) join of two or more inputs.
+    Join {
+        /// Window length in seconds over which inputs are joined.
+        window_s: f64,
+    },
+    /// Incremental reduce (running aggregation).
+    Reduce,
+    /// Top-K selection per key group.
+    TopK {
+        /// Number of results kept per group.
+        k: usize,
+    },
+    /// Terminal operator delivering results, optionally pinned to a
+    /// site (e.g. the analyst's data center).
+    Sink {
+        /// Pinned delivery site, if any.
+        site: Option<SiteId>,
+    },
+}
+
+impl OperatorKind {
+    /// True if the operator is a source.
+    pub fn is_source(&self) -> bool {
+        matches!(self, OperatorKind::Source { .. })
+    }
+
+    /// True if the operator is a sink.
+    pub fn is_sink(&self) -> bool {
+        matches!(self, OperatorKind::Sink { .. })
+    }
+
+    /// Tumbling-window length, for windowed operators.
+    pub fn window_s(&self) -> Option<f64> {
+        match self {
+            OperatorKind::WindowAggregate { window_s } | OperatorKind::Join { window_s } => {
+                Some(*window_s)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Full execution model of one operator.
+///
+/// # Examples
+///
+/// ```
+/// use wasp_streamsim::operator::{OperatorKind, OperatorSpec, StateModel};
+///
+/// let f = OperatorSpec::new("lang-filter", OperatorKind::Filter)
+///     .with_selectivity(0.1)
+///     .with_cost_us(5.0);
+/// assert_eq!(f.selectivity(), 0.1);
+/// // A 1-CPU slot processes 200k events/s at 5 µs/event.
+/// assert_eq!(f.capacity_per_task(), 200_000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorSpec {
+    name: String,
+    kind: OperatorKind,
+    selectivity: f64,
+    cost_us_per_event: f64,
+    out_event_bytes: Option<f64>,
+    state: StateModel,
+    /// Whether the operator can be split without changing the plan
+    /// (§6.2: splitting e.g. a global counter or sink needs a
+    /// re-plan).
+    parallelizable: bool,
+}
+
+impl OperatorSpec {
+    /// Creates an operator with neutral defaults: selectivity 1.0,
+    /// 5 µs/event, inherited record size, stateless, parallelizable.
+    ///
+    /// Sinks and sources get sensible defaults for their kind (sources
+    /// cost nothing to "process"; sinks are not parallelizable).
+    pub fn new(name: impl Into<String>, kind: OperatorKind) -> OperatorSpec {
+        let parallelizable = !kind.is_sink();
+        let cost = if kind.is_source() { 0.0 } else { 5.0 };
+        let state = match &kind {
+            OperatorKind::WindowAggregate { .. } | OperatorKind::Join { .. } => {
+                StateModel::Window {
+                    bytes_per_event: 64.0,
+                }
+            }
+            _ => StateModel::Stateless,
+        };
+        OperatorSpec {
+            name: name.into(),
+            kind,
+            selectivity: 1.0,
+            cost_us_per_event: cost,
+            out_event_bytes: None,
+            state,
+            parallelizable,
+        }
+    }
+
+    /// Sets the selectivity σ (output events per processed event).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ σ` and σ is finite.
+    pub fn with_selectivity(mut self, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "invalid selectivity");
+        self.selectivity = sigma;
+        self
+    }
+
+    /// Sets the per-event compute cost in microseconds.
+    pub fn with_cost_us(mut self, us: f64) -> Self {
+        assert!(us.is_finite() && us >= 0.0, "invalid cost");
+        self.cost_us_per_event = us;
+        self
+    }
+
+    /// Sets the output record size in bytes (default: inherited from
+    /// the largest input).
+    pub fn with_out_bytes(mut self, bytes: f64) -> Self {
+        assert!(bytes.is_finite() && bytes >= 0.0, "invalid record size");
+        self.out_event_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the state model.
+    pub fn with_state(mut self, state: StateModel) -> Self {
+        self.state = state;
+        self
+    }
+
+    /// Marks the operator as non-splittable (forces re-planning rather
+    /// than scaling, §6.2).
+    pub fn non_parallelizable(mut self) -> Self {
+        self.parallelizable = false;
+        self
+    }
+
+    /// Operator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operator kind.
+    pub fn kind(&self) -> &OperatorKind {
+        &self.kind
+    }
+
+    /// Selectivity σ = λO / λP.
+    pub fn selectivity(&self) -> f64 {
+        self.selectivity
+    }
+
+    /// Per-event compute cost in µs.
+    pub fn cost_us(&self) -> f64 {
+        self.cost_us_per_event
+    }
+
+    /// Explicit output record size, if set.
+    pub fn out_bytes(&self) -> Option<f64> {
+        self.out_event_bytes
+    }
+
+    /// State model.
+    pub fn state(&self) -> StateModel {
+        self.state
+    }
+
+    /// Whether the operator keeps state.
+    pub fn is_stateful(&self) -> bool {
+        !self.state.is_stateless()
+    }
+
+    /// Whether the operator may be scaled without a plan change.
+    pub fn is_parallelizable(&self) -> bool {
+        self.parallelizable
+    }
+
+    /// Events/s one slot (1 CPU) can process: `1e6 / cost_us`.
+    /// Sources and zero-cost operators report `f64::INFINITY`.
+    pub fn capacity_per_task(&self) -> f64 {
+        if self.cost_us_per_event <= 0.0 {
+            f64::INFINITY
+        } else {
+            1_000_000.0 / self.cost_us_per_event
+        }
+    }
+}
+
+impl fmt::Display for OperatorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (σ={:.3})", self.name, self.selectivity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_per_kind() {
+        let src = OperatorSpec::new(
+            "src",
+            OperatorKind::Source {
+                site: SiteId(0),
+                base_rate: 1000.0,
+                event_bytes: 100.0,
+            },
+        );
+        assert_eq!(src.capacity_per_task(), f64::INFINITY);
+        assert!(!src.is_stateful());
+
+        let win = OperatorSpec::new("w", OperatorKind::WindowAggregate { window_s: 10.0 });
+        assert!(win.is_stateful());
+        assert_eq!(win.kind().window_s(), Some(10.0));
+
+        let sink = OperatorSpec::new("sink", OperatorKind::Sink { site: None });
+        assert!(!sink.is_parallelizable());
+    }
+
+    #[test]
+    fn capacity_follows_cost() {
+        let op = OperatorSpec::new("m", OperatorKind::Map).with_cost_us(10.0);
+        assert_eq!(op.capacity_per_task(), 100_000.0);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let op = OperatorSpec::new("f", OperatorKind::Filter)
+            .with_selectivity(0.25)
+            .with_cost_us(2.0)
+            .with_out_bytes(40.0)
+            .with_state(StateModel::Fixed(MegaBytes(100.0)))
+            .non_parallelizable();
+        assert_eq!(op.selectivity(), 0.25);
+        assert_eq!(op.cost_us(), 2.0);
+        assert_eq!(op.out_bytes(), Some(40.0));
+        assert!(op.is_stateful());
+        assert!(!op.is_parallelizable());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid selectivity")]
+    fn negative_selectivity_rejected() {
+        let _ = OperatorSpec::new("f", OperatorKind::Filter).with_selectivity(-0.1);
+    }
+
+    #[test]
+    fn state_model_classification() {
+        assert!(StateModel::Stateless.is_stateless());
+        assert!(!StateModel::Fixed(MegaBytes(1.0)).is_stateless());
+        assert!(!StateModel::Window {
+            bytes_per_event: 8.0
+        }
+        .is_stateless());
+    }
+}

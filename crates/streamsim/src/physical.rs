@@ -1,0 +1,407 @@
+//! Physical plans: how many tasks of each stage run at which site.
+//!
+//! A logical operator becomes an execution *stage* whose `p` parallel
+//! tasks are spread over sites (`p[s]` in the paper's Table 1). The
+//! placement granularity is the site, matching WASP's balanced-
+//! partitioning assumption (§7): all tasks of a stage at the same site
+//! behave identically.
+
+use crate::ids::OpId;
+use crate::operator::OperatorKind;
+use crate::plan::LogicalPlan;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use wasp_netsim::site::SiteId;
+use wasp_netsim::topology::Topology;
+
+/// Tasks-per-site assignment for one stage.
+///
+/// # Examples
+///
+/// ```
+/// use wasp_streamsim::physical::Placement;
+/// use wasp_netsim::site::SiteId;
+///
+/// let p = Placement::from_pairs([(SiteId(0), 2), (SiteId(3), 1)]);
+/// assert_eq!(p.parallelism(), 3);
+/// assert_eq!(p.tasks_at(SiteId(0)), 2);
+/// assert_eq!(p.tasks_at(SiteId(1)), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Placement {
+    tasks: BTreeMap<SiteId, u32>,
+}
+
+impl Placement {
+    /// An empty placement (no tasks anywhere).
+    pub fn empty() -> Placement {
+        Placement::default()
+    }
+
+    /// All tasks at a single site.
+    pub fn single(site: SiteId, tasks: u32) -> Placement {
+        let mut p = Placement::empty();
+        if tasks > 0 {
+            p.tasks.insert(site, tasks);
+        }
+        p
+    }
+
+    /// Builds from `(site, tasks)` pairs; zero-task entries are
+    /// dropped, duplicate sites accumulate.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (SiteId, u32)>) -> Placement {
+        let mut p = Placement::empty();
+        for (s, n) in pairs {
+            p.add(s, n);
+        }
+        p
+    }
+
+    /// Adds `n` tasks at `site`.
+    pub fn add(&mut self, site: SiteId, n: u32) {
+        if n > 0 {
+            *self.tasks.entry(site).or_insert(0) += n;
+        }
+    }
+
+    /// Removes up to `n` tasks from `site`, returning how many were
+    /// actually removed.
+    pub fn remove(&mut self, site: SiteId, n: u32) -> u32 {
+        match self.tasks.get_mut(&site) {
+            Some(cur) => {
+                let removed = n.min(*cur);
+                *cur -= removed;
+                if *cur == 0 {
+                    self.tasks.remove(&site);
+                }
+                removed
+            }
+            None => 0,
+        }
+    }
+
+    /// Total parallelism `p = Σ_s p[s]`.
+    pub fn parallelism(&self) -> u32 {
+        self.tasks.values().sum()
+    }
+
+    /// Number of tasks at `site`.
+    pub fn tasks_at(&self, site: SiteId) -> u32 {
+        self.tasks.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Sites hosting at least one task, ascending.
+    pub fn sites(&self) -> Vec<SiteId> {
+        self.tasks.keys().copied().collect()
+    }
+
+    /// Iterator over `(site, tasks)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, u32)> + '_ {
+        self.tasks.iter().map(|(&s, &n)| (s, n))
+    }
+
+    /// Fraction of this stage's tasks at `site` (the paper's
+    /// `p[s] / p`). Zero when the placement is empty.
+    pub fn share(&self, site: SiteId) -> f64 {
+        let p = self.parallelism();
+        if p == 0 {
+            0.0
+        } else {
+            self.tasks_at(site) as f64 / p as f64
+        }
+    }
+
+    /// Sites used by `self` but not by `new` — the tasks that must be
+    /// migrated on a re-assignment (the paper's `S − S'`).
+    pub fn sites_removed(&self, new: &Placement) -> Vec<SiteId> {
+        self.sites()
+            .into_iter()
+            .filter(|s| new.tasks_at(*s) == 0)
+            .collect()
+    }
+
+    /// Sites used by `new` but not by `self` (the paper's `S' − S`).
+    pub fn sites_added(&self, new: &Placement) -> Vec<SiteId> {
+        new.sites()
+            .into_iter()
+            .filter(|s| self.tasks_at(*s) == 0)
+            .collect()
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (s, n)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}:{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(SiteId, u32)> for Placement {
+    fn from_iter<I: IntoIterator<Item = (SiteId, u32)>>(iter: I) -> Placement {
+        Placement::from_pairs(iter)
+    }
+}
+
+/// Error validating a physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalError {
+    /// A stage has zero tasks.
+    EmptyStage(OpId),
+    /// A source/sink stage is not placed at its pinned site.
+    PinnedMismatch(OpId),
+    /// Aggregate tasks at a site exceed its slots.
+    SlotOverflow(SiteId, u32, u32),
+    /// The physical plan's stage count differs from the logical plan.
+    ShapeMismatch,
+}
+
+impl fmt::Display for PhysicalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysicalError::EmptyStage(id) => write!(f, "stage {id} has no tasks"),
+            PhysicalError::PinnedMismatch(id) => {
+                write!(f, "stage {id} must run at its pinned site")
+            }
+            PhysicalError::SlotOverflow(s, used, avail) => {
+                write!(f, "site {s} needs {used} slots but offers {avail}")
+            }
+            PhysicalError::ShapeMismatch => write!(f, "stage count mismatch with logical plan"),
+        }
+    }
+}
+
+impl std::error::Error for PhysicalError {}
+
+/// A physical plan: one [`Placement`] per logical operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalPlan {
+    placements: Vec<Placement>,
+}
+
+impl PhysicalPlan {
+    /// Builds a physical plan from per-stage placements (indexed by
+    /// [`OpId`]).
+    pub fn new(placements: Vec<Placement>) -> PhysicalPlan {
+        PhysicalPlan { placements }
+    }
+
+    /// The trivial initial deployment used by the paper's experiments:
+    /// every operator at parallelism 1 (`p = 1`, §8.3); sources pinned
+    /// at their sites, everything else at `default_site`.
+    pub fn initial(plan: &LogicalPlan, default_site: SiteId) -> PhysicalPlan {
+        let placements = plan
+            .op_ids()
+            .map(|id| match plan.op(id).kind() {
+                OperatorKind::Source { site, .. } => Placement::single(*site, 1),
+                OperatorKind::Sink { site: Some(s), .. } => Placement::single(*s, 1),
+                _ => Placement::single(default_site, 1),
+            })
+            .collect();
+        PhysicalPlan { placements }
+    }
+
+    /// Placement of a stage.
+    pub fn placement(&self, id: OpId) -> &Placement {
+        &self.placements[id.index()]
+    }
+
+    /// Mutable placement of a stage.
+    pub fn placement_mut(&mut self, id: OpId) -> &mut Placement {
+        &mut self.placements[id.index()]
+    }
+
+    /// Replaces the placement of a stage.
+    pub fn set_placement(&mut self, id: OpId, p: Placement) {
+        self.placements[id.index()] = p;
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// True when there are no stages.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Parallelism of a stage.
+    pub fn parallelism(&self, id: OpId) -> u32 {
+        self.placements[id.index()].parallelism()
+    }
+
+    /// Total slots used per site across all stages.
+    pub fn slots_used(&self) -> BTreeMap<SiteId, u32> {
+        let mut used = BTreeMap::new();
+        for p in &self.placements {
+            for (s, n) in p.iter() {
+                *used.entry(s).or_insert(0) += n;
+            }
+        }
+        used
+    }
+
+    /// Total number of tasks across all stages.
+    pub fn total_tasks(&self) -> u32 {
+        self.placements.iter().map(Placement::parallelism).sum()
+    }
+
+    /// Free slots at `site` given the topology.
+    pub fn free_slots(&self, topology: &Topology, site: SiteId) -> u32 {
+        let used = self.slots_used().get(&site).copied().unwrap_or(0);
+        topology.site(site).slots().saturating_sub(used)
+    }
+
+    /// Validates the physical plan against its logical plan and the
+    /// topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicalError`] when a stage is empty, a pinned
+    /// source/sink strays from its site, or a site's slots overflow.
+    pub fn validate(&self, plan: &LogicalPlan, topology: &Topology) -> Result<(), PhysicalError> {
+        if self.placements.len() != plan.len() {
+            return Err(PhysicalError::ShapeMismatch);
+        }
+        for id in plan.op_ids() {
+            let placement = self.placement(id);
+            if placement.parallelism() == 0 {
+                return Err(PhysicalError::EmptyStage(id));
+            }
+            match plan.op(id).kind() {
+                OperatorKind::Source { site, .. }
+                    if placement.sites() != vec![*site] => {
+                        return Err(PhysicalError::PinnedMismatch(id));
+                    }
+                OperatorKind::Sink { site: Some(s) }
+                    if placement.sites() != vec![*s] => {
+                        return Err(PhysicalError::PinnedMismatch(id));
+                    }
+                _ => {}
+            }
+        }
+        for (site, used) in self.slots_used() {
+            let avail = topology.site(site).slots();
+            if used > avail {
+                return Err(PhysicalError::SlotOverflow(site, used, avail));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::OperatorSpec;
+    use crate::plan::LogicalPlanBuilder;
+    use wasp_netsim::site::SiteKind;
+    use wasp_netsim::topology::TopologyBuilder;
+    use wasp_netsim::units::{Mbps, Millis};
+
+    fn topo3() -> Topology {
+        let mut b = TopologyBuilder::new();
+        b.add_site("s0", SiteKind::Edge, 2);
+        b.add_site("s1", SiteKind::DataCenter, 4);
+        b.add_site("s2", SiteKind::DataCenter, 4);
+        b.set_all_links(Mbps(100.0), Millis(10.0));
+        b.build().unwrap()
+    }
+
+    fn plan() -> LogicalPlan {
+        let mut b = LogicalPlanBuilder::new("p");
+        let s = b.add(OperatorSpec::new(
+            "src",
+            OperatorKind::Source {
+                site: SiteId(0),
+                base_rate: 100.0,
+                event_bytes: 10.0,
+            },
+        ));
+        let f = b.add(OperatorSpec::new("f", OperatorKind::Filter));
+        let k = b.add(OperatorSpec::new("k", OperatorKind::Sink { site: None }));
+        b.connect(s, f);
+        b.connect(f, k);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn placement_accounting() {
+        let mut p = Placement::from_pairs([(SiteId(0), 2), (SiteId(1), 1)]);
+        assert_eq!(p.parallelism(), 3);
+        assert!((p.share(SiteId(0)) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.remove(SiteId(0), 5), 2);
+        assert_eq!(p.parallelism(), 1);
+        assert_eq!(p.sites(), vec![SiteId(1)]);
+        assert_eq!(p.remove(SiteId(2), 1), 0);
+    }
+
+    #[test]
+    fn placement_set_difference_matches_paper_example() {
+        // §4.1: S = {s1,s2,s3,s4}, S' = {s3,s4,s5,s6} ⇒ migrate
+        // {s1,s2} → {s5,s6}.
+        let old = Placement::from_pairs((1..=4).map(|i| (SiteId(i), 1)));
+        let new = Placement::from_pairs((3..=6).map(|i| (SiteId(i), 1)));
+        assert_eq!(old.sites_removed(&new), vec![SiteId(1), SiteId(2)]);
+        assert_eq!(old.sites_added(&new), vec![SiteId(5), SiteId(6)]);
+    }
+
+    #[test]
+    fn initial_deployment_pins_sources() {
+        let plan = plan();
+        let phys = PhysicalPlan::initial(&plan, SiteId(1));
+        assert_eq!(phys.placement(OpId(0)).sites(), vec![SiteId(0)]);
+        assert_eq!(phys.placement(OpId(1)).sites(), vec![SiteId(1)]);
+        assert_eq!(phys.total_tasks(), 3);
+        phys.validate(&plan, &topo3()).unwrap();
+    }
+
+    #[test]
+    fn validate_catches_slot_overflow() {
+        let plan = plan();
+        let mut phys = PhysicalPlan::initial(&plan, SiteId(1));
+        phys.set_placement(OpId(1), Placement::single(SiteId(0), 5));
+        let err = phys.validate(&plan, &topo3()).unwrap_err();
+        // 5 filter tasks + the source's task at site 0, which has 2 slots.
+        assert!(matches!(err, PhysicalError::SlotOverflow(s, 6, 2) if s == SiteId(0)));
+    }
+
+    #[test]
+    fn validate_catches_unpinned_source() {
+        let plan = plan();
+        let mut phys = PhysicalPlan::initial(&plan, SiteId(1));
+        phys.set_placement(OpId(0), Placement::single(SiteId(2), 1));
+        assert_eq!(
+            phys.validate(&plan, &topo3()).unwrap_err(),
+            PhysicalError::PinnedMismatch(OpId(0))
+        );
+    }
+
+    #[test]
+    fn validate_catches_empty_stage() {
+        let plan = plan();
+        let mut phys = PhysicalPlan::initial(&plan, SiteId(1));
+        phys.set_placement(OpId(1), Placement::empty());
+        assert_eq!(
+            phys.validate(&plan, &topo3()).unwrap_err(),
+            PhysicalError::EmptyStage(OpId(1))
+        );
+    }
+
+    #[test]
+    fn free_slots_subtracts_usage() {
+        let plan = plan();
+        let phys = PhysicalPlan::initial(&plan, SiteId(1));
+        let topo = topo3();
+        assert_eq!(phys.free_slots(&topo, SiteId(1)), 2); // filter + sink there
+        assert_eq!(phys.free_slots(&topo, SiteId(2)), 4);
+        assert_eq!(phys.free_slots(&topo, SiteId(0)), 1);
+    }
+}

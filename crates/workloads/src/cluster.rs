@@ -1,0 +1,242 @@
+//! Multi-query co-scheduling over one shared WAN.
+//!
+//! The paper's Job Manager serves *multiple* queries (§2.1), and §3.2
+//! names "bandwidth contention with other executions" as a source of
+//! dynamics. [`CoupledCluster`] runs several engines in lock-step over
+//! the same testbed and couples them through the network: after every
+//! tick, each engine's measured per-link usage is installed into every
+//! *other* engine's network as transient cross traffic, so one tenant's
+//! load spike genuinely squeezes its neighbours — and each tenant's
+//! controller adapts independently, exactly as WASP's per-query
+//! Reconfiguration Managers would.
+
+use std::collections::BTreeMap;
+use wasp_core::controller::Controller;
+use wasp_netsim::site::SiteId;
+use wasp_streamsim::engine::Engine;
+
+/// One tenant: an engine plus its adaptation controller.
+pub struct Tenant {
+    /// Display name.
+    pub name: String,
+    /// The tenant's engine.
+    pub engine: Engine,
+    /// The tenant's controller.
+    pub controller: Box<dyn Controller>,
+}
+
+impl std::fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tenant").field("name", &self.name).finish()
+    }
+}
+
+/// Several queries sharing one WAN, coupled through cross traffic.
+#[derive(Debug, Default)]
+pub struct CoupledCluster {
+    tenants: Vec<Tenant>,
+    /// Monitoring interval (per tenant), seconds.
+    pub monitor_interval_s: f64,
+    elapsed_since_monitor: f64,
+}
+
+impl CoupledCluster {
+    /// Creates an empty cluster with the paper's 40 s monitoring
+    /// interval.
+    pub fn new() -> CoupledCluster {
+        CoupledCluster {
+            tenants: Vec::new(),
+            monitor_interval_s: 40.0,
+            elapsed_since_monitor: 0.0,
+        }
+    }
+
+    /// Adds a tenant.
+    ///
+    /// Every tenant's engine should be built over the *same* testbed
+    /// topology (each holds its own [`wasp_netsim::network::Network`]
+    /// clone; the coupling keeps their views consistent).
+    pub fn add_tenant(
+        &mut self,
+        name: impl Into<String>,
+        engine: Engine,
+        controller: Box<dyn Controller>,
+    ) {
+        self.tenants.push(Tenant {
+            name: name.into(),
+            engine,
+            controller,
+        });
+    }
+
+    /// The tenants.
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Consumes the cluster, returning the tenants (e.g. to extract
+    /// their metrics).
+    pub fn into_tenants(self) -> Vec<Tenant> {
+        self.tenants
+    }
+
+    /// Advances every tenant by one tick and exchanges link usage.
+    pub fn step(&mut self) {
+        // 1. Step every engine on its current view.
+        let mut dt = 0.0;
+        for t in &mut self.tenants {
+            let before = t.engine.now().secs();
+            t.engine.step();
+            dt = t.engine.now().secs() - before;
+        }
+        // 2. Exchange usage: tenant i sees Σ_{j≠i} usage_j as cross
+        //    traffic next tick.
+        let usages: Vec<BTreeMap<(SiteId, SiteId), f64>> = self
+            .tenants
+            .iter()
+            .map(|t| t.engine.last_link_usage().clone())
+            .collect();
+        for (i, t) in self.tenants.iter_mut().enumerate() {
+            let mut others: BTreeMap<(SiteId, SiteId), f64> = BTreeMap::new();
+            for (j, usage) in usages.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                for (&link, &mbps) in usage {
+                    *others.entry(link).or_insert(0.0) += mbps;
+                }
+            }
+            t.engine.network_mut().set_transient_cross_traffic(others);
+        }
+        // 3. Fire the controllers on the monitoring cadence.
+        self.elapsed_since_monitor += dt;
+        if self.elapsed_since_monitor + 1e-9 >= self.monitor_interval_s {
+            self.elapsed_since_monitor = 0.0;
+            for t in &mut self.tenants {
+                t.controller.on_monitor(&mut t.engine);
+            }
+        }
+    }
+
+    /// Runs the cluster for `duration_s` simulated seconds.
+    pub fn run(&mut self, duration_s: f64) {
+        let Some(first) = self.tenants.first() else {
+            return;
+        };
+        let end = first.engine.now().secs() + duration_s;
+        while self
+            .tenants
+            .first()
+            .map(|t| t.engine.now().secs() < end - 1e-9)
+            .unwrap_or(false)
+        {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use crate::scenarios::build_engine;
+    use wasp_core::controller::{NoAdaptController, WaspController};
+    use wasp_core::policy::PolicyConfig;
+    use wasp_netsim::dynamics::DynamicsScript;
+    use wasp_netsim::prelude::*;
+    use wasp_netsim::trace::FactorSeries;
+    use wasp_streamsim::prelude::*;
+
+    fn engine_cfg() -> EngineConfig {
+        EngineConfig {
+            dt: 0.5,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn coupled_tenants_both_run() {
+        let tb = Testbed::paper(42);
+        let mut cluster = CoupledCluster::new();
+        for (i, kind) in [QueryKind::TopK, QueryKind::EventsOfInterest]
+            .into_iter()
+            .enumerate()
+        {
+            let (engine, _) = build_engine(kind, &tb, DynamicsScript::none(), engine_cfg());
+            cluster.add_tenant(format!("q{i}"), engine, Box::new(NoAdaptController));
+        }
+        cluster.run(120.0);
+        for t in cluster.tenants() {
+            assert!(
+                t.engine.metrics().total_delivered() > 0.0,
+                "{} delivered nothing",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_spike_squeezes_its_neighbour() {
+        // Tenant B's workload quadruples at t = 120; with the coupling
+        // its streams eat into the shared edge links, so tenant A
+        // observes less available bandwidth than without B.
+        let tb = Testbed::paper(42);
+        let run = |couple: bool| {
+            let mut cluster = CoupledCluster::new();
+            let (a, _) = build_engine(QueryKind::TopK, &tb, DynamicsScript::none(), engine_cfg());
+            cluster.add_tenant("a", a, Box::new(NoAdaptController));
+            if couple {
+                let script = DynamicsScript::none()
+                    .with_global_workload(FactorSeries::steps(1.0, &[(120.0, 4.0)]));
+                let (b, _) = build_engine(QueryKind::EventsOfInterest, &tb, script, engine_cfg());
+                cluster.add_tenant("b", b, Box::new(NoAdaptController));
+            }
+            cluster.run(400.0);
+            let t = cluster.into_tenants().into_iter().next().expect("tenant a");
+            t.engine
+                .into_metrics()
+                .delay_quantile_between(200.0, 400.0, 0.95)
+                .expect("deliveries")
+        };
+        let alone = run(false);
+        let squeezed = run(true);
+        assert!(
+            squeezed > alone,
+            "contention should hurt: alone {alone} vs squeezed {squeezed}"
+        );
+    }
+
+    #[test]
+    fn wasp_tenant_adapts_to_neighbour_contention() {
+        // Same squeeze, but tenant A runs WASP: it should adapt and
+        // keep its delay bounded.
+        let tb = Testbed::paper(42);
+        let mut cluster = CoupledCluster::new();
+        let (a, _) = build_engine(QueryKind::TopK, &tb, DynamicsScript::none(), engine_cfg());
+        cluster.add_tenant(
+            "a",
+            a,
+            Box::new(WaspController::new(PolicyConfig::default())),
+        );
+        let script = DynamicsScript::none()
+            .with_global_workload(FactorSeries::steps(1.0, &[(120.0, 4.0)]));
+        let (b, _) = build_engine(QueryKind::EventsOfInterest, &tb, script, engine_cfg());
+        cluster.add_tenant("b", b, Box::new(NoAdaptController));
+        cluster.run(900.0);
+        let a = cluster.into_tenants().into_iter().next().expect("tenant a");
+        let m = a.engine.metrics();
+        let adapted = m
+            .actions()
+            .iter()
+            .any(|(_, act)| act.contains("re-") || act.contains("scale"));
+        let end_delay = m
+            .delay_quantile_between(700.0, 900.0, 0.95)
+            .expect("deliveries");
+        assert!(
+            adapted || end_delay < 15.0,
+            "tenant A neither adapted nor stayed healthy: p95 {end_delay}, actions {:?}",
+            m.actions()
+        );
+        assert!(end_delay < 30.0, "end-of-run p95 {end_delay}");
+    }
+}

@@ -1,0 +1,189 @@
+//! WAN-aware initial deployment (§2.1).
+//!
+//! Queries are initially deployed one stage at a time in topological
+//! order, each stage solving the placement ILP against the stages
+//! already placed — the scheduling style of prior wide-area schedulers
+//! the paper builds on (Iridium/Clarinet). WASP's contribution is
+//! *re*-optimizing this deployment at runtime; the initial deployment
+//! itself only needs to be reasonable.
+
+use std::collections::BTreeMap;
+use wasp_netsim::network::Network;
+use wasp_netsim::site::SiteId;
+use wasp_netsim::units::SimTime;
+use wasp_optimizer::placement::{PlacementProblem, PlacementRequest};
+use wasp_streamsim::operator::OperatorKind;
+use wasp_streamsim::physical::{PhysicalPlan, Placement};
+use wasp_streamsim::plan::LogicalPlan;
+
+/// Error returned when no feasible initial deployment exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeployError {
+    /// The stage that could not be placed.
+    pub op: wasp_streamsim::ids::OpId,
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no feasible placement for stage {}", self.op)
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// Computes a WAN-aware initial physical plan: every operator at
+/// parallelism 1 (§8.3), sources/pinned sinks at their sites, interior
+/// stages placed by the ILP in topological order using the plan's
+/// expected base rates.
+///
+/// # Errors
+///
+/// Returns [`DeployError`] when some stage has no feasible site (e.g.
+/// all links too small for the expected stream under α).
+pub fn initial_deployment(
+    plan: &LogicalPlan,
+    net: &Network,
+    alpha: f64,
+) -> Result<PhysicalPlan, DeployError> {
+    let topo = net.topology();
+    let rates = plan.expected_rates(&[]);
+    let mut placements: Vec<Placement> = vec![Placement::empty(); plan.len()];
+    let mut used: BTreeMap<SiteId, u32> = BTreeMap::new();
+
+    for &op in plan.topo_order() {
+        let spec = plan.op(op);
+        let placement = match spec.kind() {
+            OperatorKind::Source { site, .. } => Placement::single(*site, 1),
+            OperatorKind::Sink { site: Some(s) } => Placement::single(*s, 1),
+            _ => {
+                // Expected inbound Mbps per upstream site, given the
+                // upstream placements chosen so far.
+                let mut upstream: Vec<(SiteId, f64)> = Vec::new();
+                for &u in plan.upstream(op) {
+                    let mbps = rates[u.index()].1 * plan.out_bytes(u) * 8.0 / 1e6;
+                    let up_placement = &placements[u.index()];
+                    for (site, _) in up_placement.iter() {
+                        let share = up_placement.share(site);
+                        match upstream.iter_mut().find(|(s, _)| *s == site) {
+                            Some((_, r)) => *r += mbps * share,
+                            None => upstream.push((site, mbps * share)),
+                        }
+                    }
+                }
+                // Downstream stages are not placed yet (one-stage-at-
+                // a-time): only pinned sinks inform the cost.
+                let mut downstream: Vec<(SiteId, f64)> = Vec::new();
+                for &d in plan.downstream(op) {
+                    if let OperatorKind::Sink { site: Some(s) } = plan.op(d).kind() {
+                        let mbps = rates[op.index()].1 * plan.out_bytes(op) * 8.0 / 1e6;
+                        downstream.push((*s, mbps));
+                    }
+                }
+                let mut available: BTreeMap<SiteId, u32> = BTreeMap::new();
+                for site in topo.site_ids() {
+                    let free = topo
+                        .site(site)
+                        .slots()
+                        .saturating_sub(used.get(&site).copied().unwrap_or(0));
+                    if free > 0 {
+                        available.insert(site, free);
+                    }
+                }
+                let req = PlacementRequest {
+                    parallelism: 1,
+                    upstream,
+                    downstream,
+                    available_slots: available,
+                    alpha,
+                    reserved_mbps: std::collections::BTreeMap::new(),
+                };
+                let problem = PlacementProblem::build(&req, net, SimTime::ZERO);
+                let (placement, _) = problem.solve().ok_or(DeployError { op })?;
+                placement
+            }
+        };
+        for (site, n) in placement.iter() {
+            *used.entry(site).or_insert(0) += n;
+        }
+        placements[op.index()] = placement;
+    }
+    Ok(PhysicalPlan::new(placements))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasp_netsim::prelude::*;
+    use wasp_streamsim::operator::OperatorSpec;
+    use wasp_streamsim::plan::LogicalPlanBuilder;
+
+    fn simple_plan(src_site: SiteId, sink_site: SiteId, rate: f64, bytes: f64) -> LogicalPlan {
+        let mut b = LogicalPlanBuilder::new("p");
+        let s = b.add(OperatorSpec::new(
+            "src",
+            OperatorKind::Source {
+                site: src_site,
+                base_rate: rate,
+                event_bytes: bytes,
+            },
+        ));
+        let f = b.add(OperatorSpec::new("f", OperatorKind::Filter).with_selectivity(0.2));
+        let k = b.add(OperatorSpec::new(
+            "sink",
+            OperatorKind::Sink {
+                site: Some(sink_site),
+            },
+        ));
+        b.connect(s, f);
+        b.connect(f, k);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deploys_on_the_paper_testbed() {
+        let tb = Testbed::paper(3);
+        let net = tb.static_network();
+        let plan = simple_plan(tb.edges()[0], tb.data_centers()[0], 5_000.0, 16.0);
+        let phys = initial_deployment(&plan, &net, 0.8).unwrap();
+        phys.validate(&plan, net.topology()).unwrap();
+        // Everything at parallelism 1.
+        for op in plan.op_ids() {
+            assert_eq!(phys.parallelism(op), 1);
+        }
+    }
+
+    #[test]
+    fn respects_bandwidth_feasibility() {
+        // A stream too big for every inter-site link can only be
+        // consumed at the source's own site.
+        let mut b = TopologyBuilder::new();
+        let a = b.add_site("a", SiteKind::Edge, 4);
+        let c = b.add_site("c", SiteKind::DataCenter, 8);
+        b.set_all_links(Mbps(2.0), Millis(10.0));
+        let net = Network::new(b.build().unwrap());
+        // 5000 ev/s × 100 B × 8 = 4 Mbps ≫ α·2 Mbps links, but the
+        // filtered 0.8 Mbps output fits.
+        let plan = simple_plan(a, c, 5_000.0, 100.0);
+        let phys = initial_deployment(&plan, &net, 0.8).unwrap();
+        // The filter must land at the source site; only its σ=0.2
+        // output (0.8 Mbps) crosses the WAN.
+        assert_eq!(
+            phys.placement(wasp_streamsim::ids::OpId(1)).sites(),
+            vec![a]
+        );
+    }
+
+    #[test]
+    fn error_when_truly_infeasible() {
+        // Source site has 1 slot (taken by the source itself) and
+        // zero-bandwidth links: the filter cannot go anywhere.
+        let mut b = TopologyBuilder::new();
+        let a = b.add_site("a", SiteKind::Edge, 1);
+        let c = b.add_site("c", SiteKind::DataCenter, 8);
+        let _ = c;
+        let net = Network::new(b.build().unwrap());
+        let plan = simple_plan(a, c, 5_000.0, 100.0);
+        let err = initial_deployment(&plan, &net, 0.8).unwrap_err();
+        assert_eq!(err.op, wasp_streamsim::ids::OpId(1));
+    }
+}

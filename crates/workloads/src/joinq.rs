@@ -1,0 +1,643 @@
+//! Multi-stream windowed join queries and the join-order replanner —
+//! the §4.3 (Fig. 5) scenario.
+//!
+//! A [`JoinQuery`] describes N geo-distributed streams joined by a
+//! commutative windowed hash join. Any binary [`JoinTree`] over the
+//! streams is a valid logical plan (the record-level proof lives in
+//! `wasp_streamsim::exact`), so the [`JoinOrderReplanner`] can switch
+//! trees at runtime when the WAN shifts — subject to the common-
+//! sub-plan rule for joins with long-lived state.
+
+use crate::queries::DEFAULT_RATE;
+use wasp_core::estimator::WorkloadEstimate;
+use wasp_core::policy::PolicyConfig;
+use wasp_core::replanner::QueryReplanner;
+use wasp_netsim::network::Network;
+use wasp_netsim::site::SiteId;
+use wasp_netsim::units::{MegaBytes, SimTime};
+use wasp_optimizer::replan::{JoinTree, ReplanProblem, StreamLeaf};
+use wasp_streamsim::engine::{PlanSwitch, Transfer};
+use wasp_streamsim::ids::OpId;
+use wasp_streamsim::metrics::QuerySnapshot;
+use wasp_streamsim::operator::{OperatorKind, OperatorSpec, StateModel};
+use wasp_streamsim::physical::{PhysicalPlan, Placement};
+use wasp_streamsim::plan::{LogicalPlan, LogicalPlanBuilder};
+
+/// One input stream of a join query.
+#[derive(Debug, Clone)]
+pub struct JoinStream {
+    /// Stream name (`"A"`, `"B"`, …).
+    pub name: String,
+    /// Origin site.
+    pub site: SiteId,
+    /// Base rate, events/s.
+    pub rate: f64,
+    /// Record size, bytes.
+    pub event_bytes: f64,
+}
+
+impl JoinStream {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, site: SiteId, rate: f64, event_bytes: f64) -> JoinStream {
+        JoinStream {
+            name: name.into(),
+            site,
+            rate,
+            event_bytes,
+        }
+    }
+}
+
+/// A full N-way windowed join query.
+#[derive(Debug, Clone)]
+pub struct JoinQuery {
+    /// The input streams (2–16).
+    pub streams: Vec<JoinStream>,
+    /// Tumbling-window length of every join.
+    pub window_s: f64,
+    /// Join selectivity: output events = σ × (sum of input events).
+    pub join_selectivity: f64,
+    /// Result sink site.
+    pub sink: SiteId,
+    /// Leaf-index sets whose joins hold long-lived state and must
+    /// appear as exact subtrees in every alternative plan (§4.3).
+    pub required_subtrees: Vec<Vec<usize>>,
+    /// Long-lived state attached to each *required* join, MB.
+    pub stateful_join_mb: f64,
+}
+
+impl JoinQuery {
+    /// The Fig. 5 example: streams A–D at four sites with rates
+    /// 20/10/40/10 (scaled to `rate_scale × DEFAULT_RATE` events/s),
+    /// where σ(C ⋈ D) is the stateful sub-plan.
+    pub fn fig5(sites: [SiteId; 4], sink: SiteId, rate_scale: f64) -> JoinQuery {
+        let base = DEFAULT_RATE * rate_scale;
+        JoinQuery {
+            streams: vec![
+                JoinStream::new("A", sites[0], base * 2.0, 16.0),
+                JoinStream::new("B", sites[1], base, 16.0),
+                JoinStream::new("C", sites[2], base * 4.0, 16.0),
+                JoinStream::new("D", sites[3], base, 16.0),
+            ],
+            window_s: 10.0,
+            join_selectivity: 0.6,
+            sink,
+            required_subtrees: vec![vec![2, 3]],
+            stateful_join_mb: 20.0,
+        }
+    }
+
+    /// The left-deep default tree `(((s0 ⋈ s1) ⋈ s2) … )`, with every
+    /// join initially at the sink site.
+    pub fn default_tree(&self) -> JoinTree {
+        let mut tree = JoinTree::Leaf(0);
+        for i in 1..self.streams.len() {
+            tree = JoinTree::Node {
+                left: Box::new(tree),
+                right: Box::new(JoinTree::Leaf(i)),
+                site: self.sink,
+            };
+        }
+        tree
+    }
+
+    /// Canonical name of the join over `mask` (sorted member names),
+    /// stable across trees so common sub-plans share operator names —
+    /// and therefore sub-plan fingerprints.
+    fn join_name(&self, mask: u32) -> String {
+        let mut names: Vec<&str> = (0..self.streams.len())
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| self.streams[i].name.as_str())
+            .collect();
+        names.sort_unstable();
+        format!("join[{}]", names.join(","))
+    }
+
+    /// True when the join over `mask` carries long-lived state.
+    fn is_required(&self, mask: u32) -> bool {
+        self.required_subtrees.iter().any(|req| {
+            let r: u32 = req.iter().map(|i| 1u32 << i).sum();
+            r == mask
+        })
+    }
+
+    /// Materializes a join tree into a logical + physical plan.
+    ///
+    /// Join operators are placed at their tree sites at parallelism 1;
+    /// the expected per-node rates set each join's selectivity so the
+    /// fluid engine reproduces the tree's stream volumes.
+    pub fn plan_from_tree(&self, tree: &JoinTree) -> (LogicalPlan, PhysicalPlan) {
+        let mut b = LogicalPlanBuilder::new(format!("join-{}", self.streams.len()));
+        let mut placements: Vec<(OpId, Placement)> = Vec::new();
+        let leaf_ids: Vec<OpId> = self
+            .streams
+            .iter()
+            .map(|s| {
+                let id = b.add(OperatorSpec::new(
+                    format!("src-{}", s.name),
+                    OperatorKind::Source {
+                        site: s.site,
+                        base_rate: s.rate,
+                        event_bytes: s.event_bytes,
+                    },
+                ));
+                placements.push((id, Placement::single(s.site, 1)));
+                id
+            })
+            .collect();
+
+        // Recursively add join operators bottom-up.
+        fn build(
+            q: &JoinQuery,
+            tree: &JoinTree,
+            b: &mut LogicalPlanBuilder,
+            leaf_ids: &[OpId],
+            placements: &mut Vec<(OpId, Placement)>,
+        ) -> (OpId, f64, f64) {
+            match tree {
+                JoinTree::Leaf(i) => (
+                    leaf_ids[*i],
+                    q.streams[*i].rate,
+                    q.streams[*i].event_bytes,
+                ),
+                JoinTree::Node { left, right, site } => {
+                    let (l_id, l_rate, l_bytes) = build(q, left, b, leaf_ids, placements);
+                    let (r_id, r_rate, r_bytes) = build(q, right, b, leaf_ids, placements);
+                    let mask = tree.leaf_mask();
+                    let state = if q.is_required(mask) {
+                        StateModel::Fixed(MegaBytes(q.stateful_join_mb))
+                    } else {
+                        StateModel::Window {
+                            bytes_per_event: (l_bytes + r_bytes) / 2.0,
+                        }
+                    };
+                    let spec = OperatorSpec::new(
+                        q.join_name(mask),
+                        OperatorKind::Join {
+                            window_s: q.window_s,
+                        },
+                    )
+                    .with_selectivity(q.join_selectivity)
+                    .with_cost_us(10.0)
+                    .with_out_bytes(l_bytes + r_bytes)
+                    .with_state(state);
+                    let id = b.add(spec);
+                    b.connect(l_id, id);
+                    b.connect(r_id, id);
+                    placements.push((id, Placement::single(*site, 1)));
+                    (id, q.join_selectivity * (l_rate + r_rate), l_bytes + r_bytes)
+                }
+            }
+        }
+        let (root, _, _) = build(self, tree, &mut b, &leaf_ids, &mut placements);
+        let sink = b.add(OperatorSpec::new(
+            "sink",
+            OperatorKind::Sink {
+                site: Some(self.sink),
+            },
+        ));
+        b.connect(root, sink);
+        placements.push((sink, Placement::single(self.sink, 1)));
+        let plan = b.build().expect("join plan is well-formed");
+        let mut phys = vec![Placement::empty(); plan.len()];
+        for (id, p) in placements {
+            phys[id.index()] = p;
+        }
+        (plan, PhysicalPlan::new(phys))
+    }
+
+    /// Reconstructs the join tree of a deployed plan (inverse of
+    /// [`JoinQuery::plan_from_tree`]). Returns `None` when the plan's
+    /// shape is not a binary join tree over this query's streams.
+    pub fn tree_from_plan(&self, plan: &LogicalPlan, physical: &PhysicalPlan) -> Option<JoinTree> {
+        let root = *plan.upstream(plan.sinks()[0]).first()?;
+        self.tree_from_op(plan, physical, root)
+    }
+
+    fn tree_from_op(
+        &self,
+        plan: &LogicalPlan,
+        physical: &PhysicalPlan,
+        op: OpId,
+    ) -> Option<JoinTree> {
+        match plan.op(op).kind() {
+            OperatorKind::Source { .. } => {
+                let name = plan.op(op).name().strip_prefix("src-")?;
+                let i = self.streams.iter().position(|s| s.name == name)?;
+                Some(JoinTree::Leaf(i))
+            }
+            OperatorKind::Join { .. } => {
+                let ups = plan.upstream(op);
+                if ups.len() != 2 {
+                    return None;
+                }
+                let left = self.tree_from_op(plan, physical, ups[0])?;
+                let right = self.tree_from_op(plan, physical, ups[1])?;
+                let site = *physical.placement(op).sites().first()?;
+                Some(JoinTree::Node {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    site,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Join-order replanner: re-solves the joint join-order/placement
+/// problem against the live WAN and proposes a plan switch when it
+/// beats the running tree by a margin.
+#[derive(Debug, Clone)]
+pub struct JoinOrderReplanner {
+    query: JoinQuery,
+    /// Required relative improvement before switching (hysteresis).
+    pub improvement_threshold: f64,
+}
+
+impl JoinOrderReplanner {
+    /// Creates a replanner for the query with a 10 % improvement
+    /// threshold.
+    pub fn new(query: JoinQuery) -> JoinOrderReplanner {
+        JoinOrderReplanner {
+            query,
+            improvement_threshold: 0.10,
+        }
+    }
+
+    fn problem(
+        &self,
+        est: &WorkloadEstimate,
+        plan: &LogicalPlan,
+        snap: &QuerySnapshot,
+        cfg: &PolicyConfig,
+    ) -> ReplanProblem {
+        // Leaves with *estimated* rates (actual workload, §3.3).
+        let leaves: Vec<StreamLeaf> = self
+            .query
+            .streams
+            .iter()
+            .map(|s| {
+                let rate = plan
+                    .sources()
+                    .into_iter()
+                    .find(|&src| plan.op(src).name() == format!("src-{}", s.name))
+                    .map(|src| est.output(src))
+                    .unwrap_or(s.rate);
+                StreamLeaf::new(&s.name, s.site, rate * s.event_bytes * 8.0 / 1e6)
+            })
+            .collect();
+        let candidate_sites: Vec<SiteId> = snap
+            .free_slots
+            .iter()
+            .filter(|(_, &free)| free > 0)
+            .map(|(&s, _)| s)
+            .chain(self.query.streams.iter().map(|s| s.site))
+            .collect();
+        ReplanProblem {
+            leaves,
+            join_selectivity: self.query.join_selectivity,
+            alpha: cfg.alpha,
+            required_subtrees: self.query.required_subtrees.clone(),
+            candidate_sites,
+        }
+    }
+}
+
+impl QueryReplanner for JoinOrderReplanner {
+    fn replan(
+        &self,
+        plan: &LogicalPlan,
+        physical: &PhysicalPlan,
+        snap: &QuerySnapshot,
+        est: &WorkloadEstimate,
+        net: &Network,
+        t: SimTime,
+        cfg: &PolicyConfig,
+    ) -> Option<PlanSwitch> {
+        let current_tree = self.query.tree_from_plan(plan, physical)?;
+        let problem = self.problem(est, plan, snap, cfg);
+        let (current_cost, _, _) = problem.evaluate(&current_tree, net, t);
+        let best = problem.solve(net, t)?;
+        if best.cost >= current_cost * (1.0 - self.improvement_threshold) {
+            return None;
+        }
+        let (new_plan, new_physical) = self.query.plan_from_tree(&best.tree);
+        // Carry every operator whose sub-plan fingerprint also exists
+        // in the new plan (sources and common sub-plan joins).
+        let mut carry: Vec<(OpId, OpId)> = Vec::new();
+        let mut transfers: Vec<Transfer> = Vec::new();
+        for old_op in plan.op_ids() {
+            let fp = plan.subplan_fingerprint(old_op);
+            if let Some(new_op) = new_plan
+                .op_ids()
+                .find(|&n| new_plan.subplan_fingerprint(n) == fp)
+            {
+                carry.push((old_op, new_op));
+                // Long-lived state that changes site must be migrated.
+                if plan.op(old_op).is_stateful()
+                    && matches!(plan.op(old_op).state(), StateModel::Fixed(_))
+                {
+                    let old_site = physical.placement(old_op).sites();
+                    let new_site = new_physical.placement(new_op).sites();
+                    if let (Some(&from), Some(&to)) = (old_site.first(), new_site.first()) {
+                        if from != to {
+                            let mb = snap.stage(old_op).total_state_mb();
+                            transfers.push(Transfer::new(from, to, MegaBytes(mb)));
+                        }
+                    }
+                }
+            }
+        }
+        Some(PlanSwitch {
+            plan: new_plan,
+            physical: new_physical,
+            carry,
+            transfers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasp_netsim::prelude::*;
+    use wasp_streamsim::prelude::*;
+
+    fn fig5_world() -> (Network, JoinQuery) {
+        let mut b = TopologyBuilder::new();
+        let sites: Vec<SiteId> = (0..4)
+            .map(|i| b.add_site(format!("s{i}"), SiteKind::DataCenter, 8))
+            .collect();
+        let sink = b.add_site("sink", SiteKind::DataCenter, 8);
+        b.set_all_links(Mbps(60.0), Millis(20.0));
+        let net = Network::new(b.build().unwrap());
+        let q = JoinQuery::fig5([sites[0], sites[1], sites[2], sites[3]], sink, 0.05);
+        (net, q)
+    }
+
+    #[test]
+    fn plan_from_tree_roundtrips() {
+        let (net, q) = fig5_world();
+        let tree = q.default_tree();
+        let (plan, phys) = q.plan_from_tree(&tree);
+        phys.validate(&plan, net.topology()).unwrap();
+        // 4 sources + 3 joins + 1 sink.
+        assert_eq!(plan.len(), 8);
+        let recovered = q.tree_from_plan(&plan, &phys).unwrap();
+        assert_eq!(recovered, tree);
+    }
+
+    #[test]
+    fn stateful_join_has_fixed_state() {
+        let (_, q) = fig5_world();
+        // Tree containing C⋈D explicitly.
+        let tree = JoinTree::Node {
+            left: Box::new(JoinTree::Node {
+                left: Box::new(JoinTree::Leaf(0)),
+                right: Box::new(JoinTree::Leaf(1)),
+                site: q.streams[0].site,
+            }),
+            right: Box::new(JoinTree::Node {
+                left: Box::new(JoinTree::Leaf(2)),
+                right: Box::new(JoinTree::Leaf(3)),
+                site: q.streams[2].site,
+            }),
+            site: q.sink,
+        };
+        let (plan, _) = q.plan_from_tree(&tree);
+        let stateful: Vec<&str> = plan
+            .stateful_ops()
+            .iter()
+            .filter(|&&op| matches!(plan.op(op).state(), StateModel::Fixed(_)))
+            .map(|&op| plan.op(op).name())
+            .collect();
+        assert_eq!(stateful, vec!["join[C,D]"]);
+    }
+
+    #[test]
+    fn common_subplan_fingerprints_match_across_trees() {
+        let (_, q) = fig5_world();
+        let t1 = JoinTree::Node {
+            left: Box::new(JoinTree::Node {
+                left: Box::new(JoinTree::Leaf(0)),
+                right: Box::new(JoinTree::Leaf(1)),
+                site: q.streams[0].site,
+            }),
+            right: Box::new(JoinTree::Node {
+                left: Box::new(JoinTree::Leaf(2)),
+                right: Box::new(JoinTree::Leaf(3)),
+                site: q.streams[2].site,
+            }),
+            site: q.sink,
+        };
+        let t2 = JoinTree::Node {
+            left: Box::new(JoinTree::Node {
+                left: Box::new(JoinTree::Leaf(3)), // commuted
+                right: Box::new(JoinTree::Leaf(2)),
+                site: q.streams[3].site,
+            }),
+            right: Box::new(JoinTree::Node {
+                left: Box::new(JoinTree::Leaf(1)),
+                right: Box::new(JoinTree::Leaf(0)),
+                site: q.streams[1].site,
+            }),
+            site: q.sink,
+        };
+        let (p1, _) = q.plan_from_tree(&t1);
+        let (p2, _) = q.plan_from_tree(&t2);
+        let find = |p: &LogicalPlan, name: &str| {
+            p.op_ids()
+                .find(|&op| p.op(op).name() == name)
+                .map(|op| p.subplan_fingerprint(op))
+        };
+        assert_eq!(find(&p1, "join[C,D]"), find(&p2, "join[C,D]"));
+        assert_eq!(find(&p1, "join[A,B]"), find(&p2, "join[A,B]"));
+    }
+
+    #[test]
+    fn replanner_switches_when_a_link_collapses() {
+        let (mut net, q) = fig5_world();
+        let tree = q.default_tree(); // everything joins at the sink
+        let (plan, phys) = q.plan_from_tree(&tree);
+        // Stream C's path to the sink collapses.
+        net.set_pair_factor(q.streams[2].site, q.sink, FactorSeries::constant(0.02));
+        let mut eng = Engine::new(
+            net,
+            wasp_netsim::dynamics::DynamicsScript::none(),
+            plan.clone(),
+            phys,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        eng.run(120.0);
+        let snap = eng.snapshot();
+        let est = wasp_core::estimator::WorkloadEstimate::from_snapshot(&plan, &snap);
+        let replanner = JoinOrderReplanner::new(q.clone());
+        let sw = replanner
+            .replan(
+                &plan,
+                eng.physical(),
+                &snap,
+                &est,
+                eng.network(),
+                eng.now(),
+                &wasp_core::policy::PolicyConfig::default(),
+            )
+            .expect("a better plan must exist");
+        // The new plan still contains the stateful common sub-plan.
+        let has_cd = sw
+            .plan
+            .op_ids()
+            .any(|op| sw.plan.op(op).name() == "join[C,D]");
+        assert!(has_cd, "C⋈D must be preserved");
+        // Applying the switch keeps the query running.
+        eng.apply(Command::SwitchPlan(Box::new(sw))).unwrap();
+        eng.run(120.0);
+        let late: f64 = eng
+            .metrics()
+            .ticks()
+            .iter()
+            .filter(|r| r.t > 180.0)
+            .map(|r| r.delivered)
+            .sum();
+        assert!(late > 0.0, "query must deliver after the switch");
+    }
+
+    #[test]
+    fn replanner_keeps_good_plans() {
+        let (net, q) = fig5_world();
+        // Solve for the best plan first, deploy it, then ask again:
+        // no switch should be proposed.
+        let (plan0, phys0) = q.plan_from_tree(&q.default_tree());
+        let mut eng = Engine::new(
+            net,
+            wasp_netsim::dynamics::DynamicsScript::none(),
+            plan0.clone(),
+            phys0,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        eng.run(60.0);
+        let snap = eng.snapshot();
+        let est = wasp_core::estimator::WorkloadEstimate::from_snapshot(&plan0, &snap);
+        let replanner = JoinOrderReplanner::new(q.clone());
+        let cfg = wasp_core::policy::PolicyConfig::default();
+        if let Some(sw) = replanner.replan(
+            &plan0,
+            eng.physical(),
+            &snap,
+            &est,
+            eng.network(),
+            eng.now(),
+            &cfg,
+        ) {
+            // Deploy the improvement, then the replanner must go
+            // quiet.
+            let plan1 = sw.plan.clone();
+            eng.apply(Command::SwitchPlan(Box::new(sw))).unwrap();
+            eng.run(60.0);
+            let snap1 = eng.snapshot();
+            let est1 = wasp_core::estimator::WorkloadEstimate::from_snapshot(&plan1, &snap1);
+            let again = replanner.replan(
+                &plan1,
+                eng.physical(),
+                &snap1,
+                &est1,
+                eng.network(),
+                eng.now(),
+                &cfg,
+            );
+            assert!(again.is_none(), "should converge after one switch");
+        }
+    }
+}
+
+#[cfg(test)]
+mod record_level_tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use wasp_netsim::prelude::*;
+    use wasp_streamsim::exact::Event;
+    use wasp_streamsim::exact_engine::ExactEngine;
+    use wasp_streamsim::prelude::*;
+
+    /// The §4.3 guarantee, end to end: the plan proposed by the
+    /// join-order replanner delivers *identical records* to the plan
+    /// it replaces.
+    #[test]
+    fn replanned_join_produces_identical_records() {
+        let mut b = TopologyBuilder::new();
+        let sites: Vec<SiteId> = (0..4)
+            .map(|i| b.add_site(format!("s{i}"), SiteKind::DataCenter, 8))
+            .collect();
+        let sink = b.add_site("sink", SiteKind::DataCenter, 8);
+        b.set_all_links(Mbps(60.0), Millis(20.0));
+        let mut net = Network::new(b.build().unwrap());
+        net.set_pair_factor(sites[2], sink, FactorSeries::constant(0.02));
+
+        let q = JoinQuery::fig5([sites[0], sites[1], sites[2], sites[3]], sink, 0.5);
+        let (old_plan, old_phys) = q.plan_from_tree(&q.default_tree());
+
+        // Get a proposal from the replanner (via a short fluid run for
+        // the snapshot it needs).
+        let mut eng = Engine::new(
+            net,
+            wasp_netsim::dynamics::DynamicsScript::none(),
+            old_plan.clone(),
+            old_phys,
+            EngineConfig { dt: 0.5, ..EngineConfig::default() },
+        )
+        .unwrap();
+        eng.run(120.0);
+        let snap = eng.snapshot();
+        let est = wasp_core::estimator::WorkloadEstimate::from_snapshot(&old_plan, &snap);
+        let sw = JoinOrderReplanner::new(q.clone())
+            .replan(
+                &old_plan,
+                eng.physical(),
+                &snap,
+                &est,
+                eng.network(),
+                eng.now(),
+                &wasp_core::policy::PolicyConfig::default(),
+            )
+            .expect("a better plan exists over the degraded link");
+        assert_ne!(sw.plan.name(), "", "proposal produced");
+
+        // Execute both plans at record level over the same streams.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut streams: Vec<Vec<Event>> = Vec::new();
+        for _ in 0..4 {
+            let mut ev: Vec<Event> = (0..200)
+                .map(|_| {
+                    Event::new(rng.gen_range(0.0..30.0), rng.gen_range(0..4u64), 1.0)
+                })
+                .collect();
+            ev.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite"));
+            streams.push(ev);
+        }
+        let feed = |plan: &LogicalPlan| -> BTreeMap<OpId, Vec<Event>> {
+            // Match streams to sources by name (src-A … src-D).
+            plan.sources()
+                .into_iter()
+                .map(|src| {
+                    let name = plan.op(src).name();
+                    let idx = match name {
+                        "src-A" => 0,
+                        "src-B" => 1,
+                        "src-C" => 2,
+                        "src-D" => 3,
+                        other => panic!("unexpected source {other}"),
+                    };
+                    (src, streams[idx].clone())
+                })
+                .collect()
+        };
+        let old_out = ExactEngine::new(&old_plan).execute(&feed(&old_plan));
+        let new_out = ExactEngine::new(&sw.plan).execute(&feed(&sw.plan));
+        assert_eq!(old_out, new_out, "§4.3: alternative plans must agree");
+        assert!(!old_out.is_empty());
+    }
+}

@@ -1,0 +1,323 @@
+//! The paper's three location-based queries (Table 3).
+//!
+//! | Application          | State   | Operators                         | Dataset          |
+//! |----------------------|---------|-----------------------------------|------------------|
+//! | Advertising Campaign | < 10 MB | filter, map, window, join         | YSB (synthetic)  |
+//! | Top-K Topics         | ~100 MB | filter, map, union, window,reduce | Twitter (scaled) |
+//! | Events of Interest   | 0 MB    | filter, union, project            | Twitter (scaled) |
+//!
+//! Rates follow §8.4: 10 000 events/second per source, all operators
+//! initially at parallelism 1, 30 s checkpoint interval. Record sizes
+//! are calibrated so the testbed's edge uplinks (2–10 Mbps) sit at a
+//! comfortable utilization at the base rate and saturate under the
+//! scripted ×2 workload / ×0.5 bandwidth dynamics — the regime the
+//! paper's Fig. 8/9 exercises.
+
+use serde::{Deserialize, Serialize};
+use wasp_netsim::site::SiteId;
+use wasp_netsim::units::MegaBytes;
+use wasp_streamsim::operator::{OperatorKind, OperatorSpec, StateModel};
+use wasp_streamsim::plan::{LogicalPlan, LogicalPlanBuilder};
+
+/// Default per-source rate (events/second), per §8.4.
+pub const DEFAULT_RATE: f64 = 10_000.0;
+
+/// The number of YSB advertising campaigns.
+pub const YSB_CAMPAIGNS: usize = 100;
+
+/// Countries tracked by the Top-K query (one per edge region).
+pub const TOPK_COUNTRIES: usize = 8;
+
+/// `K` of the Top-K query (top 10 topics per country, §8.3).
+pub const TOPK_K: usize = 10;
+
+/// Which of the paper's queries to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// YSB Advertising Campaign (stateful, small state).
+    Advertising,
+    /// Top-K Popular Topics over the Twitter trace (stateful, ~100 MB
+    /// state).
+    TopK,
+    /// Events of Interest (stateless).
+    EventsOfInterest,
+}
+
+impl QueryKind {
+    /// All three queries, in Table 3 order.
+    pub const ALL: [QueryKind; 3] = [
+        QueryKind::Advertising,
+        QueryKind::TopK,
+        QueryKind::EventsOfInterest,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::Advertising => "Advertising Campaign",
+            QueryKind::TopK => "Top-K Popular Topics",
+            QueryKind::EventsOfInterest => "Events of Interest",
+        }
+    }
+
+    /// Table 3 row: (application, state, operators, dataset).
+    pub fn table3_row(&self) -> (&'static str, &'static str, &'static str, &'static str) {
+        match self {
+            QueryKind::Advertising => (
+                "Advertising Campaign",
+                "<10 MB",
+                "filter, map, window, join",
+                "YSB synthetic data",
+            ),
+            QueryKind::TopK => (
+                "Top-K Topics",
+                "~100 MB",
+                "filter, map, union, window, reduce",
+                "Twitter trace (scaled)",
+            ),
+            QueryKind::EventsOfInterest => (
+                "Events of Interest",
+                "0 MB",
+                "filter, union, project",
+                "Twitter trace (scaled)",
+            ),
+        }
+    }
+
+    /// True when the query keeps operator state.
+    pub fn is_stateful(&self) -> bool {
+        !matches!(self, QueryKind::EventsOfInterest)
+    }
+
+    /// Builds the query over the given sources (with per-source rates)
+    /// and result sink.
+    pub fn build(&self, sources: &[(SiteId, f64)], sink: SiteId) -> LogicalPlan {
+        match self {
+            QueryKind::Advertising => advertising_campaign(sources, sink),
+            QueryKind::TopK => topk_topics(sources, sink),
+            QueryKind::EventsOfInterest => events_of_interest(sources, sink),
+        }
+    }
+
+    /// Builds with the default 10 000 ev/s at every source.
+    pub fn build_default(&self, sources: &[SiteId], sink: SiteId) -> LogicalPlan {
+        let with_rates: Vec<(SiteId, f64)> =
+            sources.iter().map(|&s| (s, DEFAULT_RATE)).collect();
+        self.build(&with_rates, sink)
+    }
+}
+
+fn add_sources(b: &mut LogicalPlanBuilder, sources: &[(SiteId, f64)], bytes: f64) -> Vec<wasp_streamsim::ids::OpId> {
+    sources
+        .iter()
+        .enumerate()
+        .map(|(i, &(site, rate))| {
+            b.add(OperatorSpec::new(
+                format!("src-{i}"),
+                OperatorKind::Source {
+                    site,
+                    base_rate: rate,
+                    event_bytes: bytes,
+                },
+            ))
+        })
+        .collect()
+}
+
+/// YSB Advertising Campaign: monitors view events per campaign every
+/// 10 s. Following the paper's setup, Kafka/Redis I/O is replaced by
+/// in-memory operations, so the pipeline is
+/// `filter(event_type) → join with the static campaign table (a map) →
+/// 10 s windowed count per campaign → sink`.
+pub fn advertising_campaign(sources: &[(SiteId, f64)], sink: SiteId) -> LogicalPlan {
+    let mut b = LogicalPlanBuilder::new("ysb-advertising");
+    let total_rate: f64 = sources.iter().map(|(_, r)| r).sum();
+    let srcs = add_sources(&mut b, sources, 20.0);
+    // One in three events is a "view" event.
+    let filter = b.add(
+        OperatorSpec::new("filter-views", OperatorKind::Filter)
+            .with_selectivity(1.0 / 3.0)
+            .with_cost_us(4.0)
+            .with_out_bytes(16.0),
+    );
+    // Static-table join: project ad_id → campaign_id (in-memory map).
+    let join_campaign = b.add(
+        OperatorSpec::new("join-campaign", OperatorKind::Map)
+            .with_cost_us(6.0)
+            .with_out_bytes(8.0),
+    );
+    // 10 s tumbling window: one count per campaign per window.
+    let window_rate = total_rate / 3.0;
+    let sigma = YSB_CAMPAIGNS as f64 / (window_rate * 10.0).max(1.0);
+    let window = b.add(
+        OperatorSpec::new("campaign-window", OperatorKind::WindowAggregate { window_s: 10.0 })
+            .with_selectivity(sigma)
+            .with_cost_us(8.0)
+            .with_out_bytes(32.0)
+            .with_state(StateModel::Fixed(MegaBytes(8.0))),
+    );
+    let sink = b.add(OperatorSpec::new("sink", OperatorKind::Sink { site: Some(sink) }));
+    for s in srcs {
+        b.connect(s, filter);
+    }
+    b.connect(filter, join_campaign);
+    b.connect(join_campaign, window);
+    b.connect(window, sink);
+    b.build().expect("advertising plan is well-formed")
+}
+
+/// Top-K Popular Topics: the top 10 topics per country over 30 s
+/// windows of the geo-tagged Twitter trace. Stateful: source offsets
+/// plus ~100 MB of intermediate aggregation state.
+pub fn topk_topics(sources: &[(SiteId, f64)], sink: SiteId) -> LogicalPlan {
+    let mut b = LogicalPlanBuilder::new("twitter-topk");
+    let total_rate: f64 = sources.iter().map(|(_, r)| r).sum();
+    let srcs = add_sources(&mut b, sources, 20.0);
+    let filter = b.add(
+        OperatorSpec::new("filter-geo", OperatorKind::Filter)
+            .with_selectivity(0.8)
+            .with_cost_us(5.0)
+            .with_out_bytes(12.0),
+    );
+    let map = b.add(
+        OperatorSpec::new("extract-topic", OperatorKind::Map)
+            .with_cost_us(5.0)
+            .with_out_bytes(12.0),
+    );
+    let union = b.add(
+        OperatorSpec::new("union", OperatorKind::Union)
+            .with_cost_us(1.0)
+            .with_out_bytes(12.0),
+    );
+    let window_rate = total_rate * 0.8;
+    let sigma = (TOPK_COUNTRIES * TOPK_K) as f64 / (window_rate * 30.0).max(1.0);
+    let window = b.add(
+        OperatorSpec::new("topk-window", OperatorKind::WindowAggregate { window_s: 30.0 })
+            .with_selectivity(sigma)
+            .with_cost_us(8.0)
+            .with_out_bytes(64.0)
+            .with_state(StateModel::Fixed(MegaBytes(100.0))),
+    );
+    let sink = b.add(OperatorSpec::new("sink", OperatorKind::Sink { site: Some(sink) }));
+    for s in srcs {
+        b.connect(s, filter);
+    }
+    b.connect(filter, map);
+    b.connect(map, union);
+    b.connect(union, window);
+    b.connect(window, sink);
+    b.build().expect("top-k plan is well-formed")
+}
+
+/// Events of Interest: stateless filtering of tweets by attributes
+/// (language, topic, country of origin) — `filter → union → project`.
+pub fn events_of_interest(sources: &[(SiteId, f64)], sink: SiteId) -> LogicalPlan {
+    let mut b = LogicalPlanBuilder::new("twitter-interest");
+    let srcs = add_sources(&mut b, sources, 20.0);
+    let filter = b.add(
+        OperatorSpec::new("filter-attrs", OperatorKind::Filter)
+            .with_selectivity(0.1)
+            .with_cost_us(4.0)
+            .with_out_bytes(20.0),
+    );
+    let union = b.add(
+        OperatorSpec::new("union", OperatorKind::Union)
+            .with_cost_us(1.0)
+            .with_out_bytes(20.0),
+    );
+    let project = b.add(
+        OperatorSpec::new("project", OperatorKind::Project)
+            .with_cost_us(2.0)
+            .with_out_bytes(10.0),
+    );
+    let sink = b.add(OperatorSpec::new("sink", OperatorKind::Sink { site: Some(sink) }));
+    for s in srcs {
+        b.connect(s, filter);
+    }
+    b.connect(filter, union);
+    b.connect(union, project);
+    b.connect(project, sink);
+    b.build().expect("events-of-interest plan is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sources() -> Vec<(SiteId, f64)> {
+        (0..8).map(|i| (SiteId(i), DEFAULT_RATE)).collect()
+    }
+
+    #[test]
+    fn advertising_shape() {
+        let plan = advertising_campaign(&sources(), SiteId(8));
+        assert_eq!(plan.sources().len(), 8);
+        assert_eq!(plan.sinks().len(), 1);
+        // filter, map, window are the interior operators.
+        assert_eq!(plan.len(), 8 + 3 + 1);
+        assert_eq!(plan.stateful_ops().len(), 1);
+        // ~100 campaign records per 10 s window.
+        let rates = plan.expected_rates(&[]);
+        let sink_in = rates[plan.sinks()[0].index()].0;
+        assert!((sink_in - 10.0).abs() < 0.5, "sink rate {sink_in}/s");
+    }
+
+    #[test]
+    fn topk_shape_and_state() {
+        let plan = topk_topics(&sources(), SiteId(8));
+        assert_eq!(plan.len(), 8 + 4 + 1);
+        let stateful = plan.stateful_ops();
+        assert_eq!(stateful.len(), 1);
+        assert_eq!(
+            plan.op(stateful[0]).state(),
+            StateModel::Fixed(MegaBytes(100.0))
+        );
+        // Top-10 per 8 countries every 30 s ≈ 2.7 records/s.
+        let rates = plan.expected_rates(&[]);
+        let sink_in = rates[plan.sinks()[0].index()].0;
+        assert!((sink_in - 80.0 / 30.0).abs() < 0.2, "sink rate {sink_in}/s");
+    }
+
+    #[test]
+    fn events_of_interest_is_stateless() {
+        let plan = events_of_interest(&sources(), SiteId(8));
+        assert!(plan.stateful_ops().is_empty());
+        assert!((plan.end_to_end_selectivity() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_kind_dispatch() {
+        let sites: Vec<SiteId> = (0..8).map(SiteId).collect();
+        for kind in QueryKind::ALL {
+            let plan = kind.build_default(&sites, SiteId(8));
+            assert_eq!(plan.sources().len(), 8, "{}", kind.name());
+            assert_eq!(kind.is_stateful(), !plan.stateful_ops().is_empty());
+            let (_, state, ops, _) = kind.table3_row();
+            assert!(!state.is_empty() && !ops.is_empty());
+        }
+    }
+
+    #[test]
+    fn edge_streams_fit_testbed_uplinks_at_base_rate() {
+        // Design check: one source's stream must fit a median edge
+        // uplink (≈6 Mbps) with α=0.8 headroom at the base rate.
+        for kind in QueryKind::ALL {
+            let sites: Vec<SiteId> = (0..8).map(SiteId).collect();
+            let plan = kind.build_default(&sites, SiteId(8));
+            let src = plan.sources()[0];
+            let mbps = DEFAULT_RATE * plan.out_bytes(src) * 8.0 / 1e6;
+            assert!(
+                mbps < 0.8 * 6.0,
+                "{}: per-source stream {mbps} Mbps too large",
+                kind.name()
+            );
+            // …but saturates a weak (2 Mbps) uplink under ×2 load —
+            // otherwise the Fig. 8 dynamics would be invisible.
+            assert!(
+                2.0 * mbps > 0.8 * 2.0,
+                "{}: per-source stream {mbps} Mbps never bottlenecks",
+                kind.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! End-to-end experiment scenarios — the runs behind every figure of
+//! §8.
+//!
+//! Each function deploys one of the Table 3 queries on the paper's
+//! 16-node testbed, drives it with the section's dynamics script, runs
+//! it under a chosen controller, and returns the recording the figure
+//! harness (and the integration tests) consume.
+
+use crate::deploy::initial_deployment;
+use crate::queries::QueryKind;
+use crate::twitter::TwitterTrace;
+use serde::{Deserialize, Serialize};
+use wasp_core::controller::{
+    run_controlled, Controller, DegradeController, NoAdaptController, WaspController,
+};
+use wasp_core::policy::PolicyConfig;
+use wasp_netsim::dynamics::DynamicsScript;
+use wasp_netsim::testbed::Testbed;
+use wasp_netsim::trace::FactorSeries;
+use wasp_netsim::units::MegaBytes;
+use wasp_optimizer::migration::MigrationStrategy;
+use wasp_streamsim::engine::{Engine, EngineConfig};
+use wasp_streamsim::metrics::RunMetrics;
+use wasp_streamsim::operator::StateModel;
+use wasp_streamsim::physical::PhysicalPlan;
+use wasp_streamsim::plan::LogicalPlan;
+
+/// Which controller to run a scenario under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ControllerKind {
+    /// Never adapts.
+    NoAdapt,
+    /// Drops late events against a 10 s SLO.
+    Degrade,
+    /// Full WASP (all techniques, Fig. 6 policy).
+    Wasp,
+    /// §8.5: task re-assignment only.
+    ReassignOnly,
+    /// §8.5: re-assignment + scaling, no re-planning.
+    ScaleOnly,
+    /// §8.5: whole-pipeline re-planning only.
+    ReplanOnly,
+}
+
+impl ControllerKind {
+    /// Display label, matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ControllerKind::NoAdapt => "No Adapt",
+            ControllerKind::Degrade => "Degrade",
+            ControllerKind::Wasp => "WASP",
+            ControllerKind::ReassignOnly => "Re-assign",
+            ControllerKind::ScaleOnly => "Scale",
+            ControllerKind::ReplanOnly => "Re-plan",
+        }
+    }
+
+    /// Instantiates the controller.
+    pub fn instantiate(&self, slo_s: f64) -> Box<dyn Controller> {
+        match self {
+            ControllerKind::NoAdapt => Box::new(NoAdaptController),
+            ControllerKind::Degrade => Box::new(DegradeController::new(slo_s)),
+            ControllerKind::Wasp => Box::new(WaspController::new(PolicyConfig::default())),
+            ControllerKind::ReassignOnly => Box::new(WaspController::reassign_only()),
+            ControllerKind::ScaleOnly => Box::new(WaspController::scale_only()),
+            ControllerKind::ReplanOnly => Box::new(WaspController::replan_only()),
+        }
+    }
+}
+
+/// Common scenario parameters (§8.2 defaults).
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Testbed / dynamics seed.
+    pub seed: u64,
+    /// Simulation tick.
+    pub dt: f64,
+    /// Monitoring interval (the paper used 40 s).
+    pub monitor_interval_s: f64,
+    /// Degrade's SLO.
+    pub slo_s: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 42,
+            dt: 0.25,
+            monitor_interval_s: 40.0,
+            slo_s: 10.0,
+        }
+    }
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Controller label.
+    pub label: String,
+    /// Query name.
+    pub query: String,
+    /// Full recording.
+    pub metrics: RunMetrics,
+    /// End-to-end selectivity for processing-ratio normalization.
+    pub e2e_selectivity: f64,
+}
+
+impl ExperimentResult {
+    /// Processing-ratio series with the query's own normalization.
+    pub fn ratio_series(&self, bucket_s: f64) -> Vec<(f64, f64)> {
+        self.metrics.ratio_series(bucket_s, self.e2e_selectivity)
+    }
+}
+
+fn engine_config(cfg: &ScenarioConfig, controller: ControllerKind) -> EngineConfig {
+    EngineConfig {
+        dt: cfg.dt,
+        drop_slo: match controller {
+            ControllerKind::Degrade => Some(cfg.slo_s),
+            _ => None,
+        },
+        ..EngineConfig::default()
+    }
+}
+
+/// Builds a query engine on the paper testbed: sources at the 8 edge
+/// sites, sink at the first data center, WAN-aware initial deployment.
+pub fn build_engine(
+    kind: QueryKind,
+    tb: &Testbed,
+    script: DynamicsScript,
+    engine_cfg: EngineConfig,
+) -> (Engine, f64) {
+    let sink = tb.data_centers()[0];
+    let plan = kind.build_default(tb.edges(), sink);
+    let net = tb.static_network();
+    let physical = initial_deployment(&plan, &net, 0.8)
+        .unwrap_or_else(|_| PhysicalPlan::initial(&plan, sink));
+    let e2e = plan.end_to_end_selectivity();
+    let engine =
+        Engine::new(net, script, plan, physical, engine_cfg).expect("deployment validated");
+    (engine, e2e)
+}
+
+fn run_scenario(
+    kind: QueryKind,
+    script: DynamicsScript,
+    controller: ControllerKind,
+    duration_s: f64,
+    cfg: &ScenarioConfig,
+) -> ExperimentResult {
+    let tb = Testbed::paper(cfg.seed);
+    let (mut engine, e2e) = build_engine(kind, &tb, script, engine_config(cfg, controller));
+    let mut ctrl = controller.instantiate(cfg.slo_s);
+    run_controlled(&mut engine, ctrl.as_mut(), duration_s, cfg.monitor_interval_s);
+    ExperimentResult {
+        label: controller.label().to_string(),
+        query: kind.name().to_string(),
+        metrics: engine.into_metrics(),
+        e2e_selectivity: e2e,
+    }
+}
+
+/// §8.4 (Figs. 8–9): workload 10k→20k→10k ev/s at t = 300/600,
+/// bandwidth ×0.5 at t = 900 restored at t = 1200; 1500 s total.
+pub fn run_section_8_4(
+    kind: QueryKind,
+    controller: ControllerKind,
+    cfg: &ScenarioConfig,
+) -> ExperimentResult {
+    run_scenario(kind, DynamicsScript::section_8_4(), controller, 1500.0, cfg)
+}
+
+/// §8.5 (Fig. 10): Top-K under workload ×{1,2,2,1,1} and bandwidth
+/// ×{1,1,0.5,0.5,1} per 300 s interval; 1500 s total.
+pub fn run_section_8_5(controller: ControllerKind, cfg: &ScenarioConfig) -> ExperimentResult {
+    run_scenario(
+        QueryKind::TopK,
+        DynamicsScript::section_8_5(),
+        controller,
+        1500.0,
+        cfg,
+    )
+}
+
+/// §8.6 (Figs. 11–12): the live trace-driven environment — per-source
+/// workload walks in [0.8, 2.4] combined with the Twitter diurnal
+/// pattern, an all-link bandwidth walk in [0.51, 2.36], and a full
+/// failure at t = 540 restored after 60 s; 1800 s total.
+pub fn run_section_8_6(controller: ControllerKind, cfg: &ScenarioConfig) -> ExperimentResult {
+    let tb = Testbed::paper(cfg.seed);
+    let mut script = DynamicsScript::section_8_6(tb.edges(), 1800.0, cfg.seed);
+    // Layer the Twitter trace's diurnal variation on top of the walks.
+    let trace = TwitterTrace {
+        seed: cfg.seed,
+        ..TwitterTrace::default()
+    };
+    for (c, &site) in tb.edges().iter().enumerate() {
+        let samples: Vec<f64> = (0..60)
+            .map(|i| trace.diurnal_factor(c, i as f64 * 30.0))
+            .collect();
+        script = script.with_workload(site, FactorSeries::from_samples(30.0, samples));
+    }
+    run_scenario(QueryKind::TopK, script, controller, 1800.0, cfg)
+}
+
+/// A fully parameterized scenario run, used by the ablation studies
+/// (α, monitoring interval, checkpoint interval, adaptive α).
+#[derive(Debug, Clone)]
+pub struct CustomRun {
+    /// Query under test.
+    pub kind: QueryKind,
+    /// Dynamics script.
+    pub script: DynamicsScript,
+    /// Run length, seconds.
+    pub duration_s: f64,
+    /// Policy configuration (α, t_max, technique flags, …).
+    pub policy: PolicyConfig,
+    /// Enable the automatic α tuner.
+    pub adaptive_alpha: bool,
+    /// Checkpoint interval override.
+    pub checkpoint_interval_s: f64,
+    /// Monitoring interval override.
+    pub monitor_interval_s: f64,
+    /// Checkpoint destination (local storage per §5, or a rendezvous
+    /// site).
+    pub checkpoint_target: wasp_streamsim::engine::CheckpointTarget,
+}
+
+impl CustomRun {
+    /// The §8.4 run under full WASP with default knobs.
+    pub fn section_8_4(kind: QueryKind) -> CustomRun {
+        CustomRun {
+            kind,
+            script: DynamicsScript::section_8_4(),
+            duration_s: 1500.0,
+            policy: PolicyConfig::default(),
+            adaptive_alpha: false,
+            checkpoint_interval_s: 30.0,
+            monitor_interval_s: 40.0,
+            checkpoint_target: wasp_streamsim::engine::CheckpointTarget::Local,
+        }
+    }
+
+    /// The §8.6 live run under full WASP with default knobs.
+    pub fn section_8_6(seed: u64) -> CustomRun {
+        let tb = Testbed::paper(seed);
+        CustomRun {
+            kind: QueryKind::TopK,
+            script: DynamicsScript::section_8_6(tb.edges(), 1800.0, seed),
+            duration_s: 1800.0,
+            policy: PolicyConfig::default(),
+            adaptive_alpha: false,
+            checkpoint_interval_s: 30.0,
+            monitor_interval_s: 40.0,
+            checkpoint_target: wasp_streamsim::engine::CheckpointTarget::Local,
+        }
+    }
+}
+
+/// Runs a [`CustomRun`] under the WASP controller and returns the
+/// recording plus the final α in force (interesting when the tuner is
+/// enabled).
+pub fn run_custom(run: CustomRun, cfg: &ScenarioConfig) -> (ExperimentResult, f64) {
+    let tb = Testbed::paper(cfg.seed);
+    let engine_cfg = EngineConfig {
+        dt: cfg.dt,
+        checkpoint_interval_s: run.checkpoint_interval_s,
+        checkpoint_target: run.checkpoint_target,
+        ..EngineConfig::default()
+    };
+    let (mut engine, e2e) = build_engine(run.kind, &tb, run.script, engine_cfg);
+    let mut ctrl = WaspController::new(run.policy);
+    if run.adaptive_alpha {
+        ctrl = ctrl.with_adaptive_alpha();
+    }
+    wasp_core::controller::run_controlled(
+        &mut engine,
+        &mut ctrl,
+        run.duration_s,
+        run.monitor_interval_s,
+    );
+    let final_alpha = ctrl.current_alpha();
+    (
+        ExperimentResult {
+            label: format!("WASP(α={:.2})", final_alpha),
+            query: run.kind.name().to_string(),
+            metrics: engine.into_metrics(),
+            e2e_selectivity: e2e,
+        },
+        final_alpha,
+    )
+}
+
+/// Breakdown of one adaptation's overhead (§8.7): transition time
+/// (execution suspended for state migration) and stabilizing time
+/// (draining the events queued during the transition).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadBreakdown {
+    /// When the adaptation began.
+    pub start_s: f64,
+    /// Seconds the execution was suspended.
+    pub transition_s: f64,
+    /// Seconds from resumption until the delay returned to its
+    /// pre-adaptation level.
+    pub stabilize_s: f64,
+}
+
+impl OverheadBreakdown {
+    /// Total overhead.
+    pub fn total_s(&self) -> f64 {
+        self.transition_s + self.stabilize_s
+    }
+}
+
+/// Extracts the first adaptation's overhead breakdown from a
+/// recording. `steady_delay` is the pre-adaptation delay level used to
+/// decide when the execution has stabilized.
+pub fn overhead_breakdown(metrics: &RunMetrics) -> Option<OverheadBreakdown> {
+    let start = metrics
+        .actions()
+        .iter()
+        .find(|(_, l)| l == "transition-start")
+        .map(|&(t, _)| t)?;
+    let end = metrics
+        .actions()
+        .iter()
+        .find(|(t, l)| l == "transition-end" && *t >= start)
+        .map(|&(t, _)| t)
+        .unwrap_or(start);
+    // Steady delay: median over the window before the adaptation.
+    let steady = metrics
+        .delay_quantile_between(0.0, start.max(1.0), 0.5)
+        .unwrap_or(1.0);
+    let threshold = (steady * 2.0).max(steady + 2.0);
+    // First time after resumption where the delay is back to normal
+    // and stays there for 5 consecutive seconds of delivering ticks.
+    let mut stable_at = None;
+    let mut streak_start: Option<f64> = None;
+    for row in metrics.ticks().iter().filter(|r| r.t > end) {
+        match row.mean_delay {
+            Some(d) if d <= threshold => {
+                let s = *streak_start.get_or_insert(row.t);
+                if row.t - s >= 5.0 {
+                    stable_at = Some(s);
+                    break;
+                }
+            }
+            Some(_) => streak_start = None,
+            None => {}
+        }
+    }
+    // Censor at the end of the recording when the execution never
+    // re-stabilized within the run.
+    let run_end = metrics.ticks().last().map(|r| r.t).unwrap_or(end);
+    let stable_at = stable_at.or(streak_start).unwrap_or(run_end);
+    Some(OverheadBreakdown {
+        start_s: start,
+        transition_s: end - start,
+        stabilize_s: (stable_at - end).max(0.0),
+    })
+}
+
+/// How §8.7 experiments migrate state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MigrationVariant {
+    /// WASP's network-aware min-max mapping.
+    Wasp,
+    /// Ignore bandwidth: random mapping.
+    Random,
+    /// Worst-case mapping (slowest links).
+    Distant,
+    /// Do not migrate state at all (loses accuracy).
+    NoMigrate,
+}
+
+impl MigrationVariant {
+    /// Display label (Fig. 13).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MigrationVariant::Wasp => "WASP",
+            MigrationVariant::Random => "Random",
+            MigrationVariant::Distant => "Distant",
+            MigrationVariant::NoMigrate => "No Migrate",
+        }
+    }
+}
+
+/// Result of a §8.7 migration experiment.
+#[derive(Debug)]
+pub struct MigrationResult {
+    /// Variant label.
+    pub label: String,
+    /// Full recording.
+    pub metrics: RunMetrics,
+    /// Overhead breakdown of the adaptation.
+    pub breakdown: Option<OverheadBreakdown>,
+    /// 95th-percentile delay over the adaptation-affected window.
+    pub p95_delay: f64,
+    /// Cumulative state abandoned (only non-zero for `NoMigrate`).
+    pub lost_state_mb: f64,
+}
+
+/// §8.7 common scaffold: a stateful Top-K-style query whose windowed
+/// stage holds `state_mb` of state; at `t = 150` the links from the
+/// upstream sites into the stage's host degrade sharply, so the
+/// monitor (interval 40 s → next round ≈ t = 160–180) must move the
+/// stage. `t_max` controls whether large states force scale-out +
+/// partitioning (§8.7.2).
+pub fn run_migration_experiment(
+    variant: MigrationVariant,
+    state_mb: f64,
+    t_max_s: f64,
+    cfg: &ScenarioConfig,
+) -> MigrationResult {
+    let tb = Testbed::paper(cfg.seed);
+    let sink = tb.data_centers()[0];
+    let mut plan = QueryKind::TopK.build_default(tb.edges(), sink);
+    // Override the stateful stage's size to the experiment's value.
+    plan = override_state(plan, state_mb);
+    let net0 = tb.static_network();
+    let physical = initial_deployment(&plan, &net0, 0.8)
+        .unwrap_or_else(|_| PhysicalPlan::initial(&plan, sink));
+    // Find the stateful stage's host and degrade its inbound links
+    // from the upstream union/map sites (and from the edges) at t=150.
+    let stateful_op = plan.stateful_ops()[0];
+    let host = physical.placement(stateful_op).sites()[0];
+    let mut net = tb.static_network();
+    for site in net0.topology().site_ids() {
+        if site != host {
+            net.set_pair_factor(site, host, FactorSeries::steps(1.0, &[(150.0, 0.01)]));
+        }
+    }
+    let _e2e = plan.end_to_end_selectivity();
+    let engine_cfg = EngineConfig {
+        dt: cfg.dt,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(net, DynamicsScript::none(), plan, physical, engine_cfg)
+        .expect("validated deployment");
+    let policy = PolicyConfig {
+        migration: match variant {
+            MigrationVariant::Random => MigrationStrategy::Random(cfg.seed),
+            MigrationVariant::Distant => MigrationStrategy::Distant,
+            _ => MigrationStrategy::NetworkAware,
+        },
+        skip_state: variant == MigrationVariant::NoMigrate,
+        t_max_s,
+        allow_replan: false,
+        scale_down: false,
+        ..PolicyConfig::default()
+    };
+    let mut ctrl = WaspController::new(policy);
+    run_controlled(&mut engine, &mut ctrl, 500.0, cfg.monitor_interval_s);
+    let metrics = engine.into_metrics();
+    let breakdown = overhead_breakdown(&metrics);
+    // 95th-percentile delay over the adaptation-affected window (the
+    // degradation hits at t = 150; Fig. 14a measures the damage).
+    let p95 = metrics
+        .delay_quantile_between(150.0, 500.0, 0.95)
+        .or_else(|| metrics.delay_quantile(0.95))
+        .unwrap_or(0.0);
+    let lost = metrics.ticks().last().map(|r| r.lost_state_mb).unwrap_or(0.0);
+    MigrationResult {
+        label: variant.label().to_string(),
+        metrics,
+        breakdown,
+        p95_delay: p95,
+        lost_state_mb: lost,
+    }
+}
+
+/// Rebuilds a plan with its (single) fixed-state stage resized.
+fn override_state(plan: LogicalPlan, state_mb: f64) -> LogicalPlan {
+    use wasp_streamsim::plan::LogicalPlanBuilder;
+    let mut b = LogicalPlanBuilder::new(plan.name().to_string());
+    for op in plan.op_ids() {
+        let mut spec = plan.op(op).clone();
+        if matches!(spec.state(), StateModel::Fixed(_)) {
+            spec = spec.with_state(StateModel::Fixed(MegaBytes(state_mb)));
+        }
+        b.add(spec);
+    }
+    for op in plan.op_ids() {
+        for &d in plan.downstream(op) {
+            b.connect(op, d);
+        }
+    }
+    b.build().expect("rebuilt plan matches the original shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ScenarioConfig {
+        ScenarioConfig {
+            dt: 0.5,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn build_engine_deploys_all_queries() {
+        let tb = Testbed::paper(1);
+        for kind in QueryKind::ALL {
+            let (engine, e2e) = build_engine(
+                kind,
+                &tb,
+                DynamicsScript::none(),
+                EngineConfig::default(),
+            );
+            assert!(e2e > 0.0, "{}", kind.name());
+            assert!(engine.physical().total_tasks() >= 10);
+        }
+    }
+
+    #[test]
+    fn override_state_resizes_only_fixed_state() {
+        let tb = Testbed::paper(1);
+        let plan = QueryKind::TopK.build_default(tb.edges(), tb.data_centers()[0]);
+        let resized = override_state(plan.clone(), 256.0);
+        let op = resized.stateful_ops()[0];
+        assert_eq!(
+            resized.op(op).state(),
+            StateModel::Fixed(MegaBytes(256.0))
+        );
+        assert_eq!(resized.len(), plan.len());
+    }
+
+    #[test]
+    fn controller_kinds_have_distinct_labels() {
+        let labels: Vec<&str> = [
+            ControllerKind::NoAdapt,
+            ControllerKind::Degrade,
+            ControllerKind::Wasp,
+            ControllerKind::ReassignOnly,
+            ControllerKind::ScaleOnly,
+            ControllerKind::ReplanOnly,
+        ]
+        .iter()
+        .map(|c| c.label())
+        .collect();
+        let unique: std::collections::BTreeSet<&&str> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    fn migration_experiment_adapts_and_reports_breakdown() {
+        let res = run_migration_experiment(MigrationVariant::Wasp, 60.0, f64::INFINITY, &quick_cfg());
+        let b = res.breakdown.expect("an adaptation must happen");
+        assert!(b.start_s > 150.0 && b.start_s < 300.0, "start {}", b.start_s);
+        assert!(b.transition_s > 0.0, "breakdown {b:?}");
+        assert_eq!(res.lost_state_mb, 0.0);
+    }
+
+    #[test]
+    fn no_migrate_loses_state_but_transitions_fast() {
+        let wasp = run_migration_experiment(MigrationVariant::Wasp, 60.0, f64::INFINITY, &quick_cfg());
+        let nomig =
+            run_migration_experiment(MigrationVariant::NoMigrate, 60.0, f64::INFINITY, &quick_cfg());
+        assert!(nomig.lost_state_mb >= 60.0, "lost {}", nomig.lost_state_mb);
+        let bw = wasp.breakdown.unwrap();
+        let bn = nomig.breakdown.unwrap();
+        assert!(
+            bn.transition_s < bw.transition_s,
+            "no-migrate {bn:?} vs wasp {bw:?}"
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Synthetic geo-tagged Twitter trace (the §8.3 dataset substitute).
+//!
+//! The paper replays a real geo-tagged Twitter trace whose published
+//! properties are: strong *spatial* skew (tweets concentrate in a few
+//! countries), Zipfian *topic* popularity, and a *temporal* diurnal
+//! pattern with day hours carrying about 2× the night-hour load
+//! (citation 37 of the paper). The real trace is not redistributable, so this generator
+//! reproduces those three properties deterministically:
+//!
+//! * country weights follow Zipf(`country_skew`);
+//! * topic choices follow Zipf(`topic_skew`);
+//! * each country's rate follows a sinusoidal diurnal cycle, phase-
+//!   shifted by the country's longitude (its index), optionally
+//!   time-compressed so a "day" fits an experiment.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wasp_netsim::dynamics::DynamicsScript;
+use wasp_netsim::site::SiteId;
+use wasp_netsim::stats::Zipf;
+use wasp_netsim::trace::FactorSeries;
+use wasp_streamsim::exact::Event;
+
+/// Configuration of the synthetic trace.
+#[derive(Debug, Clone)]
+pub struct TwitterTrace {
+    /// Number of countries (mapped 1:1 onto edge sites).
+    pub countries: usize,
+    /// Number of distinct topics.
+    pub topics: usize,
+    /// Zipf exponent of the country (spatial) skew.
+    pub country_skew: f64,
+    /// Zipf exponent of the topic popularity.
+    pub topic_skew: f64,
+    /// Peak-to-trough ratio of the diurnal cycle (the paper cites
+    /// day ≈ 2× night).
+    pub day_night_ratio: f64,
+    /// Seconds of simulated time per 24-hour cycle (86 400 = real
+    /// time; smaller values compress the day into an experiment).
+    pub day_length_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TwitterTrace {
+    fn default() -> Self {
+        TwitterTrace {
+            countries: 8,
+            topics: 1000,
+            country_skew: 0.6,
+            topic_skew: 1.1,
+            day_night_ratio: 2.0,
+            day_length_s: 1800.0,
+            seed: 7,
+        }
+    }
+}
+
+impl TwitterTrace {
+    /// Normalized spatial weights per country (sum = 1, rank 0
+    /// heaviest).
+    pub fn country_weights(&self) -> Vec<f64> {
+        let zipf = Zipf::new(self.countries, self.country_skew);
+        (0..self.countries).map(|k| zipf.pmf(k)).collect()
+    }
+
+    /// Per-country base rates scaled so they sum to `total_rate`
+    /// events/s — how the trace is "scaled" onto the testbed.
+    pub fn source_rates(&self, total_rate: f64) -> Vec<f64> {
+        self.country_weights()
+            .into_iter()
+            .map(|w| w * total_rate)
+            .collect()
+    }
+
+    /// The diurnal factor of country `c` at time `t` (mean 1.0, peak/
+    /// trough = `day_night_ratio`, phase shifted per country).
+    pub fn diurnal_factor(&self, country: usize, t: f64) -> f64 {
+        let r = self.day_night_ratio.max(1.0);
+        // amplitude a with (1+a)/(1-a) = r.
+        let a = (r - 1.0) / (r + 1.0);
+        let phase = country as f64 / self.countries as f64;
+        let angle = 2.0 * std::f64::consts::PI * (t / self.day_length_s + phase);
+        1.0 + a * angle.sin()
+    }
+
+    /// A per-source workload script spanning `duration_s` with the
+    /// trace's diurnal variation (sampled every 30 s).
+    pub fn workload_script(&self, sources: &[SiteId], duration_s: f64) -> DynamicsScript {
+        let mut script = DynamicsScript::none();
+        let interval = 30.0;
+        let n = (duration_s / interval).ceil().max(1.0) as usize;
+        for (c, &site) in sources.iter().enumerate() {
+            let samples: Vec<f64> = (0..n)
+                .map(|i| self.diurnal_factor(c, i as f64 * interval))
+                .collect();
+            script = script.with_workload(site, FactorSeries::from_samples(interval, samples));
+        }
+        script
+    }
+
+    /// Generates `n` exact tweet events for one country across
+    /// `[0, horizon_s)` — the record-level form consumed by
+    /// [`wasp_streamsim::exact::top_k`]. `key` is the country, the
+    /// payload the topic.
+    pub fn events(&self, country: usize, n: usize, horizon_s: f64) -> Vec<Event> {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(country as u64 * 7919));
+        let topics = Zipf::new(self.topics, self.topic_skew);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Time drawn from the diurnal intensity by rejection.
+            let t = loop {
+                let cand: f64 = rng.gen_range(0.0..horizon_s);
+                let accept = self.diurnal_factor(country, cand)
+                    / (1.0 + (self.day_night_ratio - 1.0) / (self.day_night_ratio + 1.0));
+                if rng.gen::<f64>() < accept {
+                    break cand;
+                }
+            };
+            out.push(Event::new(t, country as u64, topics.sample(&mut rng) as f64));
+        }
+        out.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasp_netsim::units::SimTime;
+
+    #[test]
+    fn spatial_skew_is_zipfian() {
+        let trace = TwitterTrace::default();
+        let w = trace.country_weights();
+        assert_eq!(w.len(), 8);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w[0] > w[3] && w[3] > w[7], "skew: {w:?}");
+    }
+
+    #[test]
+    fn rates_scale_to_total() {
+        let trace = TwitterTrace::default();
+        let rates = trace.source_rates(80_000.0);
+        assert!((rates.iter().sum::<f64>() - 80_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diurnal_cycle_matches_day_night_ratio() {
+        let trace = TwitterTrace::default();
+        let xs: Vec<f64> = (0..1800)
+            .map(|t| trace.diurnal_factor(0, t as f64))
+            .collect();
+        let max = xs.iter().copied().fold(f64::MIN, f64::max);
+        let min = xs.iter().copied().fold(f64::MAX, f64::min);
+        assert!((max / min - 2.0).abs() < 0.05, "ratio {}", max / min);
+    }
+
+    #[test]
+    fn countries_peak_at_different_times() {
+        let trace = TwitterTrace::default();
+        let peak_of = |c: usize| {
+            (0..1800)
+                .map(|t| (t, trace.diurnal_factor(c, t as f64)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .map(|(t, _)| t)
+                .expect("nonempty")
+        };
+        assert_ne!(peak_of(0), peak_of(4), "phase shift expected");
+    }
+
+    #[test]
+    fn workload_script_stays_positive_and_varies() {
+        let trace = TwitterTrace::default();
+        let sources: Vec<SiteId> = (0..8).map(SiteId).collect();
+        let script = trace.workload_script(&sources, 1800.0);
+        let mut seen = Vec::new();
+        for k in 0..60 {
+            let f = script.workload_factor(sources[0], SimTime(k as f64 * 30.0));
+            assert!(f > 0.3 && f < 3.0, "factor {f}");
+            seen.push(f);
+        }
+        let spread = seen.iter().copied().fold(f64::MIN, f64::max)
+            - seen.iter().copied().fold(f64::MAX, f64::min);
+        assert!(spread > 0.3, "diurnal spread {spread}");
+    }
+
+    #[test]
+    fn exact_events_are_sorted_and_skewed() {
+        let trace = TwitterTrace::default();
+        let events = trace.events(0, 5000, 600.0);
+        assert_eq!(events.len(), 5000);
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        // Topic 0 (most popular) appears more than topic 50.
+        let count = |topic: f64| events.iter().filter(|e| e.value == topic).count();
+        assert!(count(0.0) > count(50.0));
+        // Deterministic.
+        assert_eq!(events, trace.events(0, 5000, 600.0));
+    }
+}

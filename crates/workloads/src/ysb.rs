@@ -1,0 +1,236 @@
+//! Record-level Yahoo! Streaming Benchmark (YSB) generator.
+//!
+//! The fluid engine consumes the rate/selectivity model of the
+//! Advertising Campaign query ([`crate::queries`]); this module
+//! additionally provides the *record-level* benchmark — event schema,
+//! campaign table, and the reference query semantics — used by the
+//! examples and by tests that check the fluid model's selectivities
+//! against real record streams. As in the paper, Kafka/Redis I/O is
+//! replaced by in-memory operations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wasp_streamsim::exact::{window_aggregate, Event};
+
+/// The YSB ad-event types; the query keeps only views.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventType {
+    /// An ad was viewed.
+    View,
+    /// An ad was clicked.
+    Click,
+    /// A purchase followed an ad.
+    Purchase,
+}
+
+/// One YSB advertising event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdEvent {
+    /// Originating user.
+    pub user_id: u64,
+    /// Page the ad appeared on.
+    pub page_id: u64,
+    /// The ad shown.
+    pub ad_id: u64,
+    /// View / click / purchase.
+    pub event_type: EventType,
+    /// Event time, seconds.
+    pub event_time: f64,
+}
+
+/// Deterministic YSB workload generator with an in-memory campaign
+/// table (`ad_id → campaign_id`).
+#[derive(Debug, Clone)]
+pub struct YsbGenerator {
+    campaigns: u64,
+    ads_per_campaign: u64,
+    seed: u64,
+}
+
+impl YsbGenerator {
+    /// The benchmark's standard shape: 100 campaigns × 10 ads.
+    pub fn new(seed: u64) -> YsbGenerator {
+        YsbGenerator {
+            campaigns: 100,
+            ads_per_campaign: 10,
+            seed,
+        }
+    }
+
+    /// Number of campaigns.
+    pub fn campaigns(&self) -> u64 {
+        self.campaigns
+    }
+
+    /// The static campaign table lookup (the "join" of Table 3).
+    pub fn campaign_of(&self, ad_id: u64) -> u64 {
+        ad_id / self.ads_per_campaign
+    }
+
+    /// Generates `n` events uniformly over `[0, horizon_s)`, sorted by
+    /// time. Event types are uniform over view/click/purchase, so the
+    /// view filter has selectivity 1/3 — the σ the fluid model uses.
+    pub fn generate(&self, n: usize, horizon_s: f64) -> Vec<AdEvent> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut events: Vec<AdEvent> = (0..n)
+            .map(|_| AdEvent {
+                user_id: rng.gen_range(0..100_000),
+                page_id: rng.gen_range(0..10_000),
+                ad_id: rng.gen_range(0..self.campaigns * self.ads_per_campaign),
+                event_type: match rng.gen_range(0..3) {
+                    0 => EventType::View,
+                    1 => EventType::Click,
+                    _ => EventType::Purchase,
+                },
+                event_time: rng.gen_range(0.0..horizon_s),
+            })
+            .collect();
+        events.sort_by(|a, b| {
+            a.event_time
+                .partial_cmp(&b.event_time)
+                .expect("finite times")
+        });
+        events
+    }
+
+    /// The reference Advertising Campaign query at record level:
+    /// filter views → join the campaign table → count per campaign per
+    /// 10 s window. Returns `(campaign, window-latest-event-time,
+    /// count)` triples via [`Event`] (`key` = campaign, `value` =
+    /// count).
+    pub fn campaign_counts(&self, events: &[AdEvent], window_s: f64) -> Vec<Event> {
+        let views: Vec<Event> = events
+            .iter()
+            .filter(|e| e.event_type == EventType::View)
+            .map(|e| Event::new(e.event_time, self.campaign_of(e.ad_id), 1.0))
+            .collect();
+        window_aggregate(&views, window_s, |vs| vs.len() as f64)
+    }
+}
+
+/// Aggregates a record-level result into per-campaign totals (handy
+/// for assertions and example output).
+pub fn totals_by_campaign(counts: &[Event]) -> BTreeMap<u64, f64> {
+    let mut out = BTreeMap::new();
+    for e in counts {
+        *out.entry(e.key).or_insert(0.0) += e.value;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let g = YsbGenerator::new(5);
+        assert_eq!(g.generate(100, 10.0), g.generate(100, 10.0));
+    }
+
+    #[test]
+    fn campaign_table_maps_ten_ads_per_campaign() {
+        let g = YsbGenerator::new(1);
+        assert_eq!(g.campaign_of(0), 0);
+        assert_eq!(g.campaign_of(9), 0);
+        assert_eq!(g.campaign_of(10), 1);
+        assert_eq!(g.campaign_of(999), 99);
+    }
+
+    #[test]
+    fn view_filter_selectivity_is_one_third() {
+        let g = YsbGenerator::new(2);
+        let events = g.generate(30_000, 100.0);
+        let views = events
+            .iter()
+            .filter(|e| e.event_type == EventType::View)
+            .count();
+        let sigma = views as f64 / events.len() as f64;
+        assert!((sigma - 1.0 / 3.0).abs() < 0.02, "σ {sigma}");
+    }
+
+    #[test]
+    fn window_counts_match_fluid_selectivity() {
+        // 30 000 events over 100 s → 10 windows × ≤100 campaigns.
+        let g = YsbGenerator::new(3);
+        let events = g.generate(30_000, 100.0);
+        let counts = g.campaign_counts(&events, 10.0);
+        assert_eq!(counts.len(), 10 * 100);
+        // Conservation: summed counts equal the number of views.
+        let total: f64 = counts.iter().map(|e| e.value).sum();
+        let views = events
+            .iter()
+            .filter(|e| e.event_type == EventType::View)
+            .count();
+        assert_eq!(total as usize, views);
+    }
+
+    #[test]
+    fn totals_accumulate_over_windows() {
+        let g = YsbGenerator::new(4);
+        let events = g.generate(9_000, 30.0);
+        let counts = g.campaign_counts(&events, 10.0);
+        let totals = totals_by_campaign(&counts);
+        assert_eq!(totals.len(), 100);
+        let sum: f64 = totals.values().sum();
+        let views = events
+            .iter()
+            .filter(|e| e.event_type == EventType::View)
+            .count();
+        assert_eq!(sum as usize, views);
+    }
+}
+
+/// Converts YSB ad events to [`Event`]s for the record-level plan
+/// executor: `key` = ad id, `value` encodes the event type (0 = view,
+/// 1 = click, 2 = purchase).
+pub fn to_exact_events(events: &[AdEvent]) -> Vec<Event> {
+    events
+        .iter()
+        .map(|e| {
+            let ty = match e.event_type {
+                EventType::View => 0.0,
+                EventType::Click => 1.0,
+                EventType::Purchase => 2.0,
+            };
+            Event::new(e.event_time, e.ad_id, ty)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod exact_bridge_tests {
+    use super::*;
+    use crate::queries::advertising_campaign;
+    use std::collections::BTreeMap;
+    use wasp_netsim::site::SiteId;
+    use wasp_streamsim::exact_engine::ExactEngine;
+
+    /// The real Advertising Campaign plan, executed at record level
+    /// over the YSB generator's events with the benchmark's actual
+    /// semantics, reproduces the reference implementation exactly.
+    #[test]
+    fn plan_level_execution_matches_reference_query() {
+        let gen = YsbGenerator::new(11);
+        let ad_events = gen.generate(30_000, 60.0);
+        let reference = gen.campaign_counts(&ad_events, 10.0);
+
+        let sources: Vec<(SiteId, f64)> = vec![(SiteId(0), 10_000.0)];
+        let plan = advertising_campaign(&sources, SiteId(1));
+        let src = plan.sources()[0];
+        let g = gen.clone();
+        let out = ExactEngine::new(&plan)
+            .with_predicate("filter-views", |e| e.value == 0.0)
+            .with_mapper("join-campaign", move |e| {
+                Event::new(e.time, g.campaign_of(e.key), e.value)
+            })
+            .execute(&BTreeMap::from([(src, to_exact_events(&ad_events))]));
+        // Same number of (window, campaign) results, same total count.
+        assert_eq!(out.len(), reference.len());
+        let total_out: f64 = out.iter().map(|e| e.value).sum();
+        let total_ref: f64 = reference.iter().map(|e| e.value).sum();
+        assert_eq!(total_out, total_ref);
+    }
+}

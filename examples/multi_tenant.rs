@@ -1,0 +1,64 @@
+//! Multi-query contention: two tenants share the 16-node testbed's
+//! WAN. Tenant B's workload quadruples mid-run; its streams squeeze
+//! the links tenant A depends on, and each tenant's WASP controller
+//! adapts independently (§2.1 multi-query Job Manager, §3.2
+//! "bandwidth contention with other executions").
+//!
+//! ```text
+//! cargo run --release --example multi_tenant
+//! ```
+
+use wasp_core::prelude::*;
+use wasp_netsim::prelude::*;
+use wasp_streamsim::prelude::*;
+use wasp_workloads::prelude::*;
+use wasp_workloads::scenarios::build_engine;
+
+fn main() {
+    let tb = Testbed::paper(42);
+    let engine_cfg = EngineConfig {
+        dt: 0.25,
+        ..EngineConfig::default()
+    };
+
+    let mut cluster = CoupledCluster::new();
+
+    // Tenant A: a steady Top-K query under WASP.
+    let (a, a_e2e) = build_engine(QueryKind::TopK, &tb, DynamicsScript::none(), engine_cfg.clone());
+    cluster.add_tenant(
+        "topk",
+        a,
+        Box::new(WaspController::new(PolicyConfig::default())),
+    );
+
+    // Tenant B: an Events-of-Interest query whose workload quadruples
+    // at t = 300.
+    let script =
+        DynamicsScript::none().with_global_workload(FactorSeries::steps(1.0, &[(300.0, 4.0)]));
+    let (b, b_e2e) = build_engine(QueryKind::EventsOfInterest, &tb, script, engine_cfg);
+    cluster.add_tenant(
+        "interest",
+        b,
+        Box::new(WaspController::new(PolicyConfig::default())),
+    );
+
+    println!("running two coupled tenants for 900 s …\n");
+    cluster.run(900.0);
+
+    for (tenant, e2e) in cluster.into_tenants().into_iter().zip([a_e2e, b_e2e]) {
+        let m = tenant.engine.metrics();
+        println!("tenant {:<9}", tenant.name);
+        println!(
+            "  delivered {:.1}% of expected, mean delay {:.1}s, p95 {:.1}s",
+            100.0 * m.total_delivered() / (m.total_generated() * e2e),
+            m.mean_delay().unwrap_or(0.0),
+            m.delay_quantile(0.95).unwrap_or(0.0),
+        );
+        for (t, a) in m.actions() {
+            if !a.starts_with("transition") {
+                println!("  adaptation at t={t:>5.0}s: {a}");
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,106 @@
+//! Quickstart: deploy a small wide-area query, inject a workload
+//! spike, and watch WASP keep it healthy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use wasp_core::prelude::*;
+use wasp_netsim::prelude::*;
+use wasp_streamsim::prelude::*;
+use wasp_workloads::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A tiny wide-area world: two edge clusters and two data
+    //    centers, modest public-Internet uplinks.
+    let mut b = TopologyBuilder::new();
+    let edge_a = b.add_site("edge-a", SiteKind::Edge, 3);
+    let edge_b = b.add_site("edge-b", SiteKind::Edge, 3);
+    let dc1 = b.add_site("dc-1", SiteKind::DataCenter, 8);
+    let dc2 = b.add_site("dc-2", SiteKind::DataCenter, 8);
+    b.set_all_links(Mbps(4.0), Millis(40.0));
+    b.set_symmetric_link(dc1, dc2, Mbps(150.0), Millis(10.0));
+    let net = Network::new(b.build()?);
+
+    // 2. A streaming query: two geo-distributed sources, a filter, a
+    //    10-second windowed aggregation, and a sink at dc-1.
+    let mut p = LogicalPlanBuilder::new("quickstart");
+    let sources: Vec<OpId> = [edge_a, edge_b]
+        .iter()
+        .enumerate()
+        .map(|(i, &site)| {
+            p.add(OperatorSpec::new(
+                format!("src-{i}"),
+                OperatorKind::Source {
+                    site,
+                    base_rate: 10_000.0,
+                    event_bytes: 20.0,
+                },
+            ))
+        })
+        .collect();
+    let filter = p.add(
+        OperatorSpec::new("filter", OperatorKind::Filter)
+            .with_selectivity(0.25)
+            .with_cost_us(5.0),
+    );
+    let window = p.add(
+        OperatorSpec::new("agg", OperatorKind::WindowAggregate { window_s: 10.0 })
+            .with_selectivity(0.002)
+            .with_state(StateModel::Fixed(MegaBytes(20.0))),
+    );
+    let sink = p.add(OperatorSpec::new("sink", OperatorKind::Sink { site: Some(dc1) }));
+    for s in sources {
+        p.connect(s, filter);
+    }
+    p.connect(filter, window);
+    p.connect(window, sink);
+    let plan = p.build()?;
+
+    // 3. WAN-aware initial deployment (one task per operator).
+    let physical = initial_deployment(&plan, &net, 0.8)?;
+    println!("initial deployment:");
+    for op in plan.op_ids() {
+        println!("  {:<8} -> {}", plan.op(op).name(), physical.placement(op));
+    }
+
+    // 4. The workload triples at t = 120 s.
+    let script = DynamicsScript::none()
+        .with_global_workload(FactorSeries::steps(1.0, &[(120.0, 3.0)]));
+    let mut engine = Engine::new(net, script, plan, physical, EngineConfig::default())?;
+
+    // 5. Run under the WASP controller with a 40 s monitoring
+    //    interval.
+    let mut wasp = WaspController::new(PolicyConfig::default());
+    run_controlled(&mut engine, &mut wasp, 600.0, 40.0);
+
+    // 6. Report.
+    let final_placement = engine.physical().clone();
+    let plan = engine.plan().clone();
+    let metrics = engine.into_metrics();
+    println!("\nadaptations taken:");
+    for (t, action) in metrics.actions() {
+        if !action.starts_with("transition") {
+            println!("  t={t:>6.0}s  {action}");
+        }
+    }
+    println!("\nfinal deployment:");
+    for op in plan.op_ids() {
+        println!(
+            "  {:<8} -> {}",
+            plan.op(op).name(),
+            final_placement.placement(op)
+        );
+    }
+    println!("\ndelay over time (60 s buckets):");
+    for (t, d) in metrics.delay_series(60.0) {
+        println!("  t={t:>6.0}s  mean delay {d:>6.2}s");
+    }
+    println!(
+        "\ndelivered {:.0} of {:.0} generated events ({} dropped)",
+        metrics.total_delivered(),
+        metrics.total_generated(),
+        metrics.total_dropped()
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Top-K Popular Topics over the synthetic geo-tagged Twitter trace.
+//!
+//! Shows the trace generator's spatial/temporal properties, computes
+//! the exact top-10 topics per country at record level, and then runs
+//! the fluid query on the testbed with the trace's diurnal workload to
+//! demonstrate WASP absorbing the daily shift.
+//!
+//! ```text
+//! cargo run --release --example twitter_topk
+//! ```
+
+use wasp_core::prelude::*;
+use wasp_netsim::prelude::*;
+use wasp_streamsim::exact::top_k;
+use wasp_streamsim::prelude::*;
+use wasp_workloads::prelude::*;
+use wasp_workloads::scenarios::build_engine;
+
+fn main() {
+    let trace = TwitterTrace::default();
+
+    // --- Trace properties ---------------------------------------------
+    println!("spatial skew (fraction of tweets per country):");
+    for (c, w) in trace.country_weights().iter().enumerate() {
+        let bar = "#".repeat((w * 120.0) as usize);
+        println!("  country {c}: {:>5.1}% {bar}", w * 100.0);
+    }
+    println!("\ndiurnal factor of country 0 over one (compressed) day:");
+    for i in 0..12 {
+        let t = i as f64 * 150.0;
+        let f = trace.diurnal_factor(0, t);
+        println!("  t={t:>5.0}s factor {f:.2} {}", "#".repeat((f * 20.0) as usize));
+    }
+
+    // --- Record-level top-k ---------------------------------------------
+    let events = trace.events(0, 30_000, 300.0);
+    let top = top_k(&events, 30.0, 10);
+    println!(
+        "\nexact top-10 topics for country 0: {} results over {} windows",
+        top.len(),
+        10
+    );
+    let first_window: Vec<&wasp_streamsim::exact::Event> =
+        top.iter().filter(|e| e.time < 30.0).collect();
+    println!("first window's topic frequencies (descending):");
+    for e in &first_window {
+        println!("  {:>5.0} occurrences", e.value);
+    }
+
+    // --- Fluid run with the diurnal workload ---------------------------
+    println!("\nrunning Top-K on the testbed under the diurnal workload…");
+    let tb = Testbed::paper(42);
+    let script = trace.workload_script(tb.edges(), 1800.0);
+    let (mut engine, e2e) = build_engine(
+        QueryKind::TopK,
+        &tb,
+        script,
+        EngineConfig {
+            dt: 0.25,
+            ..EngineConfig::default()
+        },
+    );
+    let mut wasp = WaspController::new(PolicyConfig::default());
+    run_controlled(&mut engine, &mut wasp, 1800.0, 40.0);
+    let m = engine.metrics();
+    println!(
+        "WASP: mean delay {:.1}s, p95 {:.1}s, delivered {:.1}% of expected",
+        m.mean_delay().unwrap_or(0.0),
+        m.delay_quantile(0.95).unwrap_or(0.0),
+        100.0 * m.total_delivered() / (m.total_generated() * e2e)
+    );
+    for (t, a) in m.actions() {
+        if !a.starts_with("transition") {
+            println!("  adaptation at t={t:.0}: {a}");
+        }
+    }
+}

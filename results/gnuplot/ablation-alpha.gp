@@ -1,0 +1,26 @@
+# ablation-alpha — Bandwidth headroom α: stability vs. utilization (§4.1)
+# α=0.50: p95 delay    3.7 s, 8 adaptations, peak tasks 17
+# α=0.65: p95 delay    3.7 s, 7 adaptations, peak tasks 15
+# α=0.80: p95 delay    3.7 s, 5 adaptations, peak tasks 14
+# α=0.95: p95 delay    3.7 s, 5 adaptations, peak tasks 14
+# adaptive: p95 delay    3.7 s, 5 adaptations, final α = 0.75
+set title "Bandwidth headroom α: stability vs. utilization (§4.1)"
+set key outside
+set grid
+set xlabel "α"
+set ylabel "p95 delay (s) / adaptations"
+$data0 << EOD
+0.5 3.7128176594991897
+0.65 3.7363040193047596
+0.8 3.7483784081328566
+0.95 3.7483784081328566
+EOD
+$data1 << EOD
+0.5 8
+0.65 7
+0.8 5
+0.95 5
+EOD
+plot $data0 using 1:2 with linespoints title "p95-delay", \
+     $data1 using 1:2 with linespoints title "adaptations"
+pause -1 "press enter"

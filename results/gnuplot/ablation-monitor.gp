@@ -1,0 +1,28 @@
+# ablation-monitor — Monitoring interval: detection latency vs. noise (§8.2)
+# interval    10 s: detection latency   10.0 s, p95 delay    2.2 s, 6 adaptations
+# interval    20 s: detection latency   40.0 s, p95 delay    3.7 s, 5 adaptations
+# interval    40 s: detection latency   60.0 s, p95 delay    3.7 s, 5 adaptations
+# interval    80 s: detection latency  100.0 s, p95 delay   10.9 s, 5 adaptations
+# interval   160 s: detection latency   20.0 s, p95 delay   20.9 s, 4 adaptations
+set title "Monitoring interval: detection latency vs. noise (§8.2)"
+set key outside
+set grid
+set xlabel "interval (s)"
+set ylabel "detection latency (s) / p95 delay (s)"
+$data0 << EOD
+10 10
+20 40
+40 60
+80 100
+160 20
+EOD
+$data1 << EOD
+10 2.195703606061324
+20 3.7483784081328566
+40 3.7483784081328566
+80 10.94426353503763
+160 20.896132530275132
+EOD
+plot $data0 using 1:2 with linespoints title "detection-latency", \
+     $data1 using 1:2 with linespoints title "p95-delay"
+pause -1 "press enter"

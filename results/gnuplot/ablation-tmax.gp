@@ -1,0 +1,18 @@
+# ablation-tmax — Migration-time threshold t_max at 256 MB state (§6.2)
+# t_max    5: transition  14.0 s + stabilize   7.8 s =  21.8 s, p95   3.4 s
+# t_max   10: transition  14.0 s + stabilize   7.8 s =  21.8 s, p95   3.4 s
+# t_max   30: transition  11.0 s + stabilize  40.5 s =  51.5 s, p95   5.6 s
+# t_max  inf: transition  11.0 s + stabilize  40.5 s =  51.5 s, p95   5.6 s
+set title "Migration-time threshold t_max at 256 MB state (§6.2)"
+set key outside
+set grid
+set xlabel "t_max (s)"
+set ylabel "total overhead (s)"
+$data0 << EOD
+5 21.75
+10 21.75
+30 51.5
+1000 51.5
+EOD
+plot $data0 using 1:2 with linespoints title "total-overhead"
+pause -1 "press enter"

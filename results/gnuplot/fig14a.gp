@@ -1,0 +1,25 @@
+# fig14a — 95th-percentile delay vs state size
+set title "95th-percentile delay vs state size"
+set key outside
+set grid
+set xlabel "state (MB)"
+set ylabel "delay (s)"
+$data0 << EOD
+0 3.239447934101566
+32 3.301084842848482
+64 3.301084842848482
+128 3.301084842848482
+256 5.614077226719889
+512 10.564077226719883
+EOD
+$data1 << EOD
+0 3.239447934101566
+32 3.301084842848482
+64 3.301084842848482
+128 3.301084842848482
+256 3.3769479341015662
+512 9.839154644782816
+EOD
+plot $data0 using 1:2 with linespoints title "Default", \
+     $data1 using 1:2 with linespoints title "Partitioned"
+pause -1 "press enter"

@@ -1,0 +1,44 @@
+# fig14b — Adaptation overhead vs state size
+# Partitioned forces scale-out + state partitioning when the estimated transition exceeds 10 s
+set title "Adaptation overhead vs state size"
+set key outside
+set grid
+set xlabel "state (MB)"
+set ylabel "seconds"
+$data0 << EOD
+0 2
+32 2
+64 2.75
+128 5.5
+256 11
+512 22
+EOD
+$data1 << EOD
+0 19.5
+32 19.5
+64 18.75
+128 16
+256 40.5
+512 29.5
+EOD
+$data2 << EOD
+0 2
+32 2
+64 2.75
+128 5.5
+256 14
+512 27.75
+EOD
+$data3 << EOD
+0 19.5
+32 19.5
+64 18.75
+128 16
+256 7.75
+512 23.75
+EOD
+plot $data0 using 1:2 with linespoints title "Transition-Default", \
+     $data1 using 1:2 with linespoints title "Stabilize-Default", \
+     $data2 using 1:2 with linespoints title "Transition-Partitioned", \
+     $data3 using 1:2 with linespoints title "Stabilize-Partitioned"
+pause -1 "press enter"

@@ -1,0 +1,284 @@
+//! The figure harness produces well-formed, paper-shaped reports.
+//!
+//! Runs every figure function (at a coarse tick to stay fast) and
+//! checks structural invariants: non-empty series, monotone CDFs, and
+//! the headline relationships each figure exists to show.
+
+use wasp_bench::*;
+
+fn cfg() -> HarnessConfig {
+    HarnessConfig {
+        dt: 0.5,
+        ..HarnessConfig::default()
+    }
+}
+
+fn series<'a>(r: &'a FigureReport, label: &str) -> &'a Series {
+    r.series
+        .iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| panic!("{}: missing series {label}", r.id))
+}
+
+#[test]
+fn fig2_matches_paper_statistics() {
+    let r = fig2_bandwidth_variability(&cfg());
+    assert_eq!(r.series[0].points.len(), 48);
+    assert!(r.series[0].points.iter().all(|&(_, bw)| bw > 0.0));
+    // The note reports the deviation range.
+    assert!(r.notes[0].contains("mean"));
+}
+
+#[test]
+fn fig7_cdfs_are_valid_and_separated() {
+    let reports = fig7_testbed_distributions(&cfg());
+    for r in &reports {
+        for s in &r.series {
+            assert!(!s.points.is_empty(), "{}: {}", r.id, s.label);
+            // CDF y-values increase to 1.
+            assert!(s.points.windows(2).all(|w| w[0].1 <= w[1].1));
+            assert!((s.points.last().unwrap().1 - 1.0).abs() < 1e-9);
+        }
+    }
+    // Edge links are categorically slower than DC links (Fig. 7a).
+    let bw = &reports[0];
+    let edge_max = series(bw, "Edge")
+        .points
+        .iter()
+        .map(|&(x, _)| x)
+        .fold(f64::MIN, f64::max);
+    let dc_median = series(bw, "Data Center").points
+        [series(bw, "Data Center").points.len() / 2]
+        .0;
+    assert!(edge_max <= 10.0);
+    assert!(dc_median > edge_max);
+}
+
+#[test]
+fn table3_lists_all_queries() {
+    let r = table3_queries(&cfg());
+    assert_eq!(r.notes.len(), 3);
+    assert!(r.notes[0].contains("Advertising"));
+    assert!(r.notes[1].contains("Top-K"));
+    assert!(r.notes[2].contains("Events of Interest"));
+}
+
+#[test]
+fn fig8_9_reopt_dominates() {
+    let reports = fig8_9_adaptation(&cfg());
+    assert_eq!(reports.len(), 6);
+    for pair in reports.chunks(2) {
+        let delay = &pair[0];
+        // Peak delay: No Adapt ≫ Re-opt (who wins).
+        let peak = |label: &str| {
+            series(delay, label)
+                .points
+                .iter()
+                .map(|&(_, y)| y)
+                .fold(f64::MIN, f64::max)
+        };
+        assert!(
+            peak("No Adapt") > 4.0 * peak("Re-opt"),
+            "{}: NoAdapt {} vs Re-opt {}",
+            delay.id,
+            peak("No Adapt"),
+            peak("Re-opt")
+        );
+        assert!(peak("Degrade") < 15.0, "{}", delay.id);
+        // The ratio figure records the Degrade drop percentage.
+        let ratio = &pair[1];
+        assert!(ratio.notes.iter().any(|n| n.contains("dropped")));
+    }
+}
+
+#[test]
+fn fig10_scale_has_best_tail() {
+    let reports = fig10_techniques(&cfg());
+    let cdf = &reports[0];
+    // Read p93-ish from each CDF series: the x where y crosses 0.93.
+    let tail = |label: &str| {
+        series(cdf, label)
+            .points
+            .iter()
+            .find(|&&(_, y)| y >= 0.93)
+            .map(|&(x, _)| x)
+            .unwrap_or(f64::INFINITY)
+    };
+    assert!(tail("Scale") < tail("Re-assign"));
+    assert!(tail("Scale") < tail("Re-plan"));
+    assert!(tail("Scale") < tail("No Adapt"));
+    // Parallelism: only Scale moves.
+    let par = &reports[2];
+    let moved = |label: &str| {
+        series(par, label)
+            .points
+            .iter()
+            .any(|&(_, y)| y.abs() > 0.5)
+    };
+    assert!(moved("Scale"));
+    assert!(!moved("Re-assign"));
+    assert!(!moved("Re-plan"));
+    assert!(!moved("No Adapt"));
+}
+
+#[test]
+fn fig11_12_live_tradeoff() {
+    let reports = fig11_12_live(&cfg());
+    assert_eq!(reports.len(), 5);
+    // Variation factors stay in their envelopes.
+    let variations = &reports[0];
+    for &(_, f) in &series(variations, "Bandwidth").points {
+        assert!((0.51..=2.36).contains(&f));
+    }
+    // Processed events: WASP ≈ 100%, Degrade visibly lower.
+    let processed = &reports[3];
+    let pct = |label: &str| {
+        processed
+            .notes
+            .iter()
+            .find(|n| n.contains(label))
+            .and_then(|n| {
+                n.split_whitespace()
+                    .find(|w| w.ends_with('%'))
+                    .and_then(|w| w.trim_end_matches('%').parse::<f64>().ok())
+            })
+            .unwrap_or_else(|| panic!("missing processed% for {label}"))
+    };
+    assert!(pct("WASP") > 99.0);
+    assert!(pct("Degrade") < 95.0);
+    assert!(pct("No Adapt") > 99.0); // No Adapt never drops, only delays.
+}
+
+#[test]
+fn fig13_network_awareness_matters() {
+    let reports = fig13_migration(&cfg());
+    let overhead = &reports[1];
+    let total = |label: &str| {
+        overhead
+            .notes
+            .iter()
+            .find(|n| n.trim_start().starts_with(label) && n.contains("transition"))
+            .and_then(|n| n.rsplit('=').next())
+            .and_then(|t| t.trim().trim_end_matches(" s").trim().parse::<f64>().ok())
+            .unwrap_or_else(|| panic!("missing total for {label}: {:?}", overhead.notes))
+    };
+    assert!(total("WASP") < total("Distant"));
+    assert!(total("No Migrate") <= total("WASP") + 1.0);
+    // The accuracy cost of skipping migration is reported.
+    assert!(overhead.notes.iter().any(|n| n.contains("abandoned")));
+}
+
+#[test]
+fn fig14_partitioning_helps_large_state() {
+    let reports = fig14_partitioning(&cfg());
+    let p95 = &reports[0];
+    let at = |label: &str, mb: f64| {
+        series(p95, label)
+            .points
+            .iter()
+            .find(|&&(x, _)| (x - mb).abs() < 1e-9)
+            .map(|&(_, y)| y)
+            .expect("point exists")
+    };
+    // Default's delay grows with state; Partitioned flattens it at the
+    // large sizes.
+    assert!(at("Default", 512.0) > at("Default", 0.0));
+    assert!(at("Partitioned", 256.0) < at("Default", 256.0));
+    assert!(at("Partitioned", 512.0) <= at("Default", 512.0));
+}
+
+#[test]
+fn table2_rows_are_complete() {
+    let r = table2_comparison(&cfg());
+    // Header + 4 technique rows.
+    assert_eq!(r.notes.len(), 5);
+    for label in ["Re-assign", "Scale", "Re-plan", "Degradation"] {
+        assert!(
+            r.notes.iter().any(|n| n.contains(label)),
+            "missing {label}"
+        );
+    }
+    // Only degradation sacrifices quality.
+    let kept: Vec<f64> = r
+        .notes
+        .iter()
+        .skip(1)
+        .map(|n| {
+            n.rsplit('|')
+                .next()
+                .unwrap()
+                .trim()
+                .trim_end_matches('%')
+                .parse::<f64>()
+                .expect("quality column")
+        })
+        .collect();
+    assert!(kept[0] > 99.9 && kept[1] > 99.9 && kept[2] > 99.9);
+    assert!(kept[3] < 99.0);
+}
+
+#[test]
+fn ablations_show_expected_tradeoffs() {
+    use wasp_bench::ablation::*;
+    let cfg = HarnessConfig {
+        dt: 0.5,
+        ..HarnessConfig::default()
+    };
+    // α: a lower headroom margin costs more adaptations/resources.
+    let alpha = ablation_alpha(&cfg);
+    let actions = series(&alpha, "adaptations");
+    let at = |x: f64| {
+        actions
+            .points
+            .iter()
+            .find(|&&(a, _)| (a - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+            .expect("α point exists")
+    };
+    assert!(at(0.5) >= at(0.8), "α=0.5 should adapt at least as often");
+    // The adaptive tuner reports its final α.
+    assert!(alpha.notes.iter().any(|n| n.contains("final α")));
+
+    // Monitoring: longer intervals worsen the p95 delay.
+    let monitor = ablation_monitor_interval(&cfg);
+    let p95 = series(&monitor, "p95-delay");
+    let first = p95.points.first().expect("points").1;
+    let last = p95.points.last().expect("points").1;
+    assert!(last > first, "p95 must grow with the interval: {first} vs {last}");
+
+    // Checkpoints: post-failure damage grows with the interval.
+    let ckpt = ablation_checkpoint_interval(&cfg);
+    let pf = series(&ckpt, "post-failure-p95");
+    assert!(
+        pf.points.last().expect("points").1 >= pf.points.first().expect("points").1,
+        "{pf:?}"
+    );
+
+    // t_max: a threshold below the estimated transition time cuts the
+    // total overhead via partitioning.
+    let tmax = ablation_tmax(&cfg);
+    let total = series(&tmax, "total-overhead");
+    let lowest = total.points.first().expect("points").1;
+    let unbounded = total.points.last().expect("points").1;
+    assert!(lowest < unbounded, "partitioning should pay off: {total:?}");
+}
+
+#[test]
+fn gnuplot_rendering_is_well_formed() {
+    let r = fig2_bandwidth_variability(&cfg());
+    let gp = r.render_gnuplot();
+    assert!(gp.contains("set title"));
+    assert!(gp.contains("$data0 << EOD"));
+    assert!(gp.contains("plot $data0"));
+    // One data line per point.
+    let data_lines = gp
+        .lines()
+        .skip_while(|l| !l.starts_with("$data0"))
+        .skip(1)
+        .take_while(|l| *l != "EOD")
+        .count();
+    assert_eq!(data_lines, r.series[0].points.len());
+    // Log-scale figures request it.
+    let reports = fig7_testbed_distributions(&cfg());
+    assert!(!reports[0].render_gnuplot().contains("logscale")); // CDF axes are linear
+}

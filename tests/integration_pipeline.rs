@@ -1,0 +1,223 @@
+//! Cross-crate integration: testbed + queries + engine fundamentals.
+//!
+//! These tests span wasp-netsim, wasp-streamsim, wasp-optimizer and
+//! wasp-workloads: they deploy the paper's real queries on the real
+//! testbed and check conservation, determinism, and that the fluid
+//! model agrees with the record-level reference implementations.
+
+use wasp_netsim::dynamics::DynamicsScript;
+use wasp_netsim::prelude::*;
+use wasp_streamsim::prelude::*;
+use wasp_workloads::prelude::*;
+use wasp_workloads::scenarios::build_engine;
+use wasp_workloads::ysb::YsbGenerator;
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig {
+        dt: 0.5,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn all_queries_deploy_and_conserve_events() {
+    let tb = Testbed::paper(42);
+    for kind in QueryKind::ALL {
+        let (mut engine, e2e) = build_engine(kind, &tb, DynamicsScript::none(), engine_cfg());
+        engine.run(400.0);
+        let m = engine.metrics();
+        let expected = m.total_generated() * e2e;
+        let ratio = m.total_delivered() / expected;
+        // Pipeline fill and open windows keep some events in flight,
+        // but a steady run must deliver the bulk of the stream.
+        assert!(
+            ratio > 0.85 && ratio < 1.05,
+            "{}: delivered ratio {ratio}",
+            kind.name()
+        );
+        assert_eq!(m.total_dropped(), 0.0, "{}", kind.name());
+    }
+}
+
+#[test]
+fn deployments_respect_slots_and_pins_across_seeds() {
+    for seed in [1, 7, 42, 1234] {
+        let tb = Testbed::paper(seed);
+        let net = tb.static_network();
+        for kind in QueryKind::ALL {
+            let plan = kind.build_default(tb.edges(), tb.data_centers()[0]);
+            let physical = initial_deployment(&plan, &net, 0.8)
+                .unwrap_or_else(|_| panic!("{}: seed {seed} must deploy", kind.name()));
+            physical
+                .validate(&plan, net.topology())
+                .expect("valid placement");
+            // Sources pinned at the edges.
+            for (src, &site) in plan.sources().iter().zip(tb.edges()) {
+                assert_eq!(physical.placement(*src).sites(), vec![site]);
+            }
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = |seed: u64| {
+        let tb = Testbed::paper(seed);
+        let (mut engine, _) =
+            build_engine(QueryKind::TopK, &tb, DynamicsScript::section_8_4(), engine_cfg());
+        engine.run(600.0);
+        (
+            engine.metrics().total_delivered(),
+            engine.metrics().delay_quantile(0.9),
+            engine.metrics().total_generated(),
+        )
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42).0, run(43).0);
+}
+
+#[test]
+fn fluid_selectivity_matches_record_level_ysb() {
+    // Record level: σ(filter) measured from real events.
+    let gen = YsbGenerator::new(3);
+    let events = gen.generate(60_000, 60.0);
+    let views = events
+        .iter()
+        .filter(|e| e.event_type == EventType::View)
+        .count();
+    let sigma_records = views as f64 / events.len() as f64;
+
+    // Fluid level: σ measured by the engine's monitor.
+    let tb = Testbed::paper(42);
+    let (mut engine, _) =
+        build_engine(QueryKind::Advertising, &tb, DynamicsScript::none(), engine_cfg());
+    engine.run(120.0);
+    let snap = engine.snapshot();
+    let filter = engine
+        .plan()
+        .op_ids()
+        .find(|&op| engine.plan().op(op).name() == "filter-views")
+        .expect("filter exists");
+    let sigma_fluid = snap.stage(filter).sigma;
+    assert!(
+        (sigma_fluid - sigma_records).abs() < 0.02,
+        "fluid σ {sigma_fluid} vs record σ {sigma_records}"
+    );
+}
+
+#[test]
+fn window_delay_metric_uses_latest_event_time() {
+    // In a healthy run, a 30 s tumbling window must NOT add ~30 s to
+    // the measured delay: the result carries the latest constituent
+    // event time (§8.3).
+    let tb = Testbed::paper(42);
+    let (mut engine, _) = build_engine(QueryKind::TopK, &tb, DynamicsScript::none(), engine_cfg());
+    engine.run(300.0);
+    let p50 = engine
+        .metrics()
+        .delay_quantile(0.5)
+        .expect("events delivered");
+    assert!(
+        p50 < 10.0,
+        "median delay {p50} should not include the window span"
+    );
+}
+
+#[test]
+fn backlog_events_surface_as_late_deliveries() {
+    // Constrain the network for a while; once it recovers, the queued
+    // events must be delivered with large measured delays (no silent
+    // loss, no delay hiding).
+    let tb = Testbed::paper(42);
+    let script = DynamicsScript::none().with_bandwidth(FactorSeries::steps(
+        1.0,
+        &[(100.0, 0.25), (400.0, 1.0)],
+    ));
+    let (mut engine, e2e) = build_engine(QueryKind::TopK, &tb, script, engine_cfg());
+    engine.run(1600.0);
+    let m = engine.metrics();
+    let p99 = m.delay_quantile(0.99).expect("events delivered");
+    assert!(p99 > 60.0, "p99 {p99} should reflect the backlog");
+    let ratio = m.total_delivered() / (m.total_generated() * e2e);
+    assert!(ratio > 0.85, "catch-up must deliver the backlog: {ratio}");
+}
+
+#[test]
+fn twitter_trace_drives_per_site_rates() {
+    let tb = Testbed::paper(42);
+    let trace = TwitterTrace::default();
+    let script = trace.workload_script(tb.edges(), 600.0);
+    let (mut engine, _) = build_engine(QueryKind::TopK, &tb, script, engine_cfg());
+    engine.run(120.0);
+    let snap = engine.snapshot();
+    // Diurnal factors differ across countries, so source rates differ.
+    let rates: Vec<f64> = snap.source_rates.iter().map(|&(_, r)| r).collect();
+    let min = rates.iter().copied().fold(f64::MAX, f64::min);
+    let max = rates.iter().copied().fold(f64::MIN, f64::max);
+    assert!(max / min > 1.1, "rates should vary: {rates:?}");
+}
+
+#[test]
+fn join_query_runs_on_the_testbed() {
+    let tb = Testbed::paper(42);
+    let dcs = tb.data_centers();
+    let q = JoinQuery::fig5([dcs[1], dcs[2], dcs[3], dcs[4]], dcs[0], 0.2);
+    let (plan, physical) = q.plan_from_tree(&q.default_tree());
+    let mut engine = Engine::new(
+        tb.static_network(),
+        DynamicsScript::none(),
+        plan,
+        physical,
+        engine_cfg(),
+    )
+    .expect("join query deploys");
+    engine.run(200.0);
+    assert!(engine.metrics().total_delivered() > 0.0);
+}
+
+#[test]
+fn exact_engine_validates_fluid_selectivity_model() {
+    // Run the real Advertising Campaign plan at record level and
+    // check that the delivered record count matches the fluid model's
+    // end-to-end selectivity prediction.
+    use std::collections::BTreeMap;
+    use wasp_streamsim::exact::Event;
+    let tb = Testbed::paper(42);
+    let plan = QueryKind::Advertising.build_default(tb.edges(), tb.data_centers()[0]);
+    let e2e = plan.end_to_end_selectivity();
+
+    // 60 s of events at the full 10 000 ev/s per source, keys = ad ids
+    // in 0..1000 (100 campaigns × 10 ads, as in the YSB generator).
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(9);
+    let horizon = 60.0;
+    let per_source = 10_000usize * 60;
+    let mut sources: BTreeMap<OpId, Vec<Event>> = BTreeMap::new();
+    for src in plan.sources() {
+        let mut events: Vec<Event> = (0..per_source)
+            .map(|_| {
+                Event::new(
+                    rng.gen_range(0.0..horizon),
+                    rng.gen_range(0..1000u64),
+                    1.0,
+                )
+            })
+            .collect();
+        events.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite"));
+        sources.insert(src, events);
+    }
+    let total: usize = sources.values().map(Vec::len).sum();
+    // The "join-campaign" map resolves ad → campaign (10 ads per
+    // campaign), exactly as the record-level YSB generator does.
+    let out = ExactEngine::new(&plan)
+        .with_mapper("join-campaign", |e| Event::new(e.time, e.key / 10, e.value))
+        .execute(&sources);
+    // Fluid prediction: total × e2e selectivity = 100 campaigns per
+    // 10 s window over 60 s = 600 records.
+    let predicted = total as f64 * e2e;
+    let measured = out.len() as f64;
+    assert!(
+        (0.9..=1.1).contains(&(measured / predicted)),
+        "record-level {measured} vs fluid prediction {predicted}"
+    );
+}
