@@ -27,8 +27,7 @@ fn bench_migration(c: &mut Criterion) {
             })
         });
     }
-    let sources: Vec<(SiteId, MegaBytes)> =
-        (0..4).map(|i| (dcs[i], MegaBytes(60.0))).collect();
+    let sources: Vec<(SiteId, MegaBytes)> = (0..4).map(|i| (dcs[i], MegaBytes(60.0))).collect();
     let dests: Vec<SiteId> = (4..8).map(|i| dcs[i]).collect();
     for (label, strategy) in [
         ("random", MigrationStrategy::Random(7)),

@@ -50,11 +50,7 @@ fn bench_simulator(c: &mut Criterion) {
                 dt: 1.0,
                 ..ScenarioConfig::default()
             };
-            std::hint::black_box(run_section_8_4(
-                QueryKind::TopK,
-                ControllerKind::Wasp,
-                &cfg,
-            ))
+            std::hint::black_box(run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, &cfg))
         })
     });
     group.finish();

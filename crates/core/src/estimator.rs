@@ -40,10 +40,7 @@ impl WorkloadEstimate {
                     .map(|&(_, r)| r)
                     .unwrap_or(0.0)
             } else {
-                plan.upstream(op)
-                    .iter()
-                    .map(|u| lambda_o[u.index()])
-                    .sum()
+                plan.upstream(op).iter().map(|u| lambda_o[u.index()]).sum()
             };
             // Sources pass events through unchanged; other operators
             // apply their measured selectivity.
@@ -126,7 +123,6 @@ impl WorkloadEstimate {
 mod tests {
     use super::*;
     use crate::test_util::*;
-    
 
     #[test]
     fn estimate_recovers_true_rates_under_backpressure() {

@@ -22,9 +22,7 @@
 use crate::diagnose::{Diagnosis, Health};
 use crate::estimator::WorkloadEstimate;
 use crate::replanner::QueryReplanner;
-use crate::scaling::{
-    ds2_parallelism, partition_transfers, scale_down_site,
-};
+use crate::scaling::{ds2_parallelism, partition_transfers, scale_down_site};
 use std::collections::BTreeMap;
 use wasp_netsim::network::Network;
 use wasp_netsim::site::SiteId;
@@ -67,6 +65,11 @@ pub struct PolicyConfig {
     /// Abandon state instead of migrating it (the `No Migrate`
     /// baseline of §8.7.1). Loses accuracy; only for experiments.
     pub skip_state: bool,
+    /// Minimum seconds between emergency re-assignments of the same
+    /// operator. Prevents oscillation when a site flaps: after moving
+    /// tasks off a failed site, the controller will not move that
+    /// operator again (for failure reasons) until the cooldown ends.
+    pub emergency_cooldown_s: f64,
 }
 
 impl Default for PolicyConfig {
@@ -83,6 +86,7 @@ impl Default for PolicyConfig {
             scale_down: true,
             stability_rounds: 2,
             skip_state: false,
+            emergency_cooldown_s: 60.0,
         }
     }
 }
@@ -407,9 +411,7 @@ impl Policy {
                     MigrationStrategy::NetworkAware => candidates
                         .iter()
                         .copied()
-                        .min_by(|&a, &b| {
-                            time_to(a).partial_cmp(&time_to(b)).expect("finite times")
-                        })
+                        .min_by(|&a, &b| time_to(a).partial_cmp(&time_to(b)).expect("finite times"))
                         .expect("candidates non-empty"),
                     MigrationStrategy::Random(seed) => {
                         let idx = (seed
@@ -422,9 +424,7 @@ impl Policy {
                         .iter()
                         .copied()
                         .filter(|&s| time_to(s).is_finite())
-                        .max_by(|&a, &b| {
-                            time_to(a).partial_cmp(&time_to(b)).expect("finite times")
-                        })
+                        .max_by(|&a, &b| time_to(a).partial_cmp(&time_to(b)).expect("finite times"))
                         .unwrap_or(candidates[0]),
                 };
                 placement = Placement::single(chosen, 1);
@@ -539,6 +539,148 @@ impl Policy {
         })
     }
 
+    /// Emergency re-assignment after site failures (the
+    /// failure-reactive path, §8.6): for every operator with tasks on
+    /// a currently-failed site, re-solve the placement ILP over the
+    /// *surviving* slots and move the operator off the dead sites.
+    ///
+    /// Unlike [`Policy::decide`], this path does not wait for a
+    /// bottleneck diagnosis — tasks on a dead site process nothing, so
+    /// every monitoring round spent waiting adds directly to recovery
+    /// time. Differences from the regular re-assignment:
+    ///
+    /// * available slots exclude the operator's own tasks at failed
+    ///   sites (they are gone, not reusable);
+    /// * state transfers originate only from *surviving* departed
+    ///   sites — a dead site's state is unreadable and falls back to
+    ///   its last checkpoint plus redo replay inside the engine;
+    /// * if no placement exists at the current parallelism, the
+    ///   operator is restarted at the smallest feasible parallelism
+    ///   (degraded capacity beats no capacity; the normal policy
+    ///   scales back up once the emergency is over).
+    ///
+    /// Sources and pinned sinks are skipped (pinned to their sites),
+    /// as are operators with no tasks on failed sites.
+    pub fn emergency_actions(
+        &self,
+        plan: &LogicalPlan,
+        snap: &QuerySnapshot,
+        est: &WorkloadEstimate,
+        net: &Network,
+        t: SimTime,
+    ) -> Vec<(OpId, Action)> {
+        let mut actions = Vec::new();
+        if snap.failed_sites.is_empty() {
+            return actions;
+        }
+        let sources = plan.sources();
+        for op in plan.op_ids() {
+            if sources.contains(&op) {
+                continue;
+            }
+            // Pinned sinks can no more move than sources can: the
+            // engine rejects any placement away from their site.
+            if matches!(
+                plan.op(op).kind(),
+                wasp_streamsim::operator::OperatorKind::Sink { site: Some(_) }
+            ) {
+                continue;
+            }
+            let stage = snap.stage(op);
+            let hit = stage
+                .placement
+                .sites()
+                .iter()
+                .any(|s| snap.failed_sites.contains(s));
+            if !hit {
+                continue;
+            }
+            let p = stage.placement.parallelism();
+            // Surviving slots only: free slots are already zero at
+            // failed sites, and the operator's own tasks there are
+            // lost rather than reusable.
+            let mut available: BTreeMap<SiteId, u32> = BTreeMap::new();
+            for (&site, &free) in &snap.free_slots {
+                if snap.failed_sites.contains(&site) {
+                    continue;
+                }
+                let own = stage.placement.tasks_at(site);
+                if free + own > 0 {
+                    available.insert(site, free + own);
+                }
+            }
+            let physical = wasp_streamsim::physical::PhysicalPlan::new(
+                snap.stages.iter().map(|s| s.placement.clone()).collect(),
+            );
+            let reserved = crate::replanner::link_flows(plan, &physical, est, Some(op));
+            let req = PlacementRequest {
+                parallelism: p,
+                upstream: est.inbound_mbps_by_site(plan, snap, op),
+                downstream: est.outbound_mbps_by_site(plan, snap, op),
+                available_slots: available,
+                alpha: self.cfg.alpha,
+                reserved_mbps: reserved,
+            };
+            let solved = PlacementProblem::build(&req, net, t)
+                .solve()
+                .map(|(placement, _)| placement)
+                .or_else(|| {
+                    PlacementProblem::minimal_feasible_parallelism(&req, net, t, 1, p)
+                        .map(|(_, placement, _)| placement)
+                });
+            let Some(placement) = solved else {
+                continue; // no surviving placement at all — wait for restore
+            };
+            if placement
+                .sites()
+                .iter()
+                .any(|s| snap.failed_sites.contains(s))
+                || placement == stage.placement
+            {
+                continue;
+            }
+            // Only surviving departed sites can ship state; the dead
+            // sites' shares recover from the last checkpoint.
+            let departed: Vec<(SiteId, wasp_netsim::units::MegaBytes)> = stage
+                .placement
+                .sites_removed(&placement)
+                .into_iter()
+                .filter(|s| !snap.failed_sites.contains(s))
+                .filter_map(|s| {
+                    stage
+                        .state_mb
+                        .get(&s)
+                        .map(|&mb| (s, wasp_netsim::units::MegaBytes(mb)))
+                })
+                .collect();
+            let added = stage.placement.sites_added(&placement);
+            let dests: Vec<SiteId> = if added.is_empty() {
+                placement.sites()
+            } else {
+                added
+            };
+            let migration = plan_migration(&departed, &dests, net, t, self.cfg.migration);
+            let transfers = if self.cfg.skip_state {
+                Vec::new()
+            } else {
+                migration.transfers
+            };
+            actions.push((
+                op,
+                Action {
+                    label: "emergency re-assign".into(),
+                    command: Command::Redeploy {
+                        op,
+                        placement,
+                        transfers,
+                        skip_state: self.cfg.skip_state,
+                    },
+                },
+            ));
+        }
+        actions
+    }
+
     /// Builds the ILP request for `op` at parallelism `p`: expected
     /// per-site streams from the estimator, per-site slot availability
     /// (free slots plus the stage's own current slots), and the
@@ -615,10 +757,7 @@ mod tests {
 
     /// Runs an engine, snapshots it, and asks the policy for a
     /// decision.
-    fn decide_with(
-        engine: &mut Engine,
-        cfg: PolicyConfig,
-    ) -> (Option<Action>, Policy) {
+    fn decide_with(engine: &mut Engine, cfg: PolicyConfig) -> (Option<Action>, Policy) {
         let plan = engine.plan().clone();
         let snap = engine.snapshot();
         let mut policy = Policy::new(cfg);
@@ -717,7 +856,10 @@ mod tests {
                 .with_selectivity(0.01)
                 .with_state(StateModel::Fixed(wasp_netsim::units::MegaBytes(40.0))),
         );
-        let k = p.add(OperatorSpec::new("sink", OperatorKind::Sink { site: Some(dc2) }));
+        let k = p.add(OperatorSpec::new(
+            "sink",
+            OperatorKind::Sink { site: Some(dc2) },
+        ));
         p.connect(s, w);
         p.connect(w, k);
         let plan = p.build().unwrap();

@@ -164,12 +164,7 @@ impl QueryReplanner for GenericReplanner {
                 }
                 let new_placement = new_physical.placement(op);
                 if *new_placement != stage.placement {
-                    transfers.extend(partition_transfers(
-                        &stage.state_mb,
-                        new_placement,
-                        net,
-                        t,
-                    ));
+                    transfers.extend(partition_transfers(&stage.state_mb, new_placement, net, t));
                 }
             }
         }
@@ -210,8 +205,7 @@ pub fn link_flows(
             for (su, _) in up.iter() {
                 for (sv, _) in vp.iter() {
                     if su != sv {
-                        *flows.entry((su, sv)).or_insert(0.0) +=
-                            mbps * up.share(su) * vp.share(sv);
+                        *flows.entry((su, sv)).or_insert(0.0) += mbps * up.share(su) * vp.share(sv);
                     }
                 }
             }
@@ -344,7 +338,9 @@ mod tests {
         // The filter leaves dc1.
         let filter_sites = sw.physical.placement(OpId(1)).sites();
         assert!(
-            !filter_sites.contains(&dc1) || filter_sites.contains(&dc2) || filter_sites.contains(&edge),
+            !filter_sites.contains(&dc1)
+                || filter_sites.contains(&dc2)
+                || filter_sites.contains(&edge),
             "filter should avoid the degraded path: {filter_sites:?}"
         );
         assert_eq!(sw.carry.len(), plan.len());

@@ -118,20 +118,14 @@ pub fn estimate_overhead(transfers: &[Transfer], net: &Network, t: SimTime) -> f
 /// prefer sites *not* co-located with upstream/downstream tasks (to
 /// cut inter-site traffic), breaking ties toward the site with the
 /// fewest tasks. Returns `None` when the stage has a single task.
-pub fn scale_down_site(
-    placement: &Placement,
-    neighbour_sites: &[SiteId],
-) -> Option<SiteId> {
+pub fn scale_down_site(placement: &Placement, neighbour_sites: &[SiteId]) -> Option<SiteId> {
     if placement.parallelism() <= 1 {
         return None;
     }
-    placement
-        .sites()
-        .into_iter()
-        .min_by_key(|s| {
-            let colocated = neighbour_sites.contains(s);
-            (colocated, placement.tasks_at(*s))
-        })
+    placement.sites().into_iter().min_by_key(|s| {
+        let colocated = neighbour_sites.contains(s);
+        (colocated, placement.tasks_at(*s))
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,382 @@
+//! Seeded chaos campaigns: randomized fault timelines against the
+//! full WASP controller, with per-round invariant checks.
+//!
+//! Each campaign compiles a [`ChaosInjector`] timeline (site crashes
+//! with restore, flapping sites, link blackouts, straggler episodes)
+//! onto the engine's dynamics script and drives WASP through it. The
+//! harness asserts, every monitoring round:
+//!
+//! * **no action targets a failed site** — any task newly placed by
+//!   this round's actions sits on a site that is alive right now;
+//! * **transitions terminate** — the engine is never stuck
+//!   `in_transition()` across many consecutive rounds (mid-flight
+//!   aborts must clean up after endpoint failures);
+//!
+//! and, per campaign:
+//!
+//! * **tuple conservation** — delivery over the whole run stays within
+//!   the redo window of `generated × selectivity` (no silent loss onto
+//!   dead sites, no unbounded duplication from redo replay);
+//! * **bounded recovery** — after every site-crash outage ends,
+//!   delivery returns to at least half the nominal rate within a
+//!   bounded window.
+
+use wasp_core::prelude::*;
+use wasp_core::test_util::linear_plan;
+use wasp_netsim::chaos::{ChaosConfig, ChaosEvent, ChaosInjector};
+use wasp_netsim::dynamics::DynamicsScript;
+use wasp_netsim::network::Network;
+use wasp_netsim::site::{SiteId, SiteKind};
+use wasp_netsim::topology::TopologyBuilder;
+use wasp_netsim::units::{Mbps, Millis};
+use wasp_streamsim::engine::{Engine, EngineConfig};
+use wasp_streamsim::physical::PhysicalPlan;
+
+const MONITOR_INTERVAL_S: f64 = 40.0;
+const HORIZON_S: f64 = 900.0;
+/// Nominal source rate × end-to-end selectivity.
+const NOMINAL_DELIVERY_RATE: f64 = 1000.0 * 0.5;
+
+/// Four sites: an edge holding the source plus three DCs, fully
+/// connected at 50 Mbps. Faults only ever hit the DCs, so the source
+/// keeps generating through every campaign.
+fn chaos_world() -> (Network, SiteId, Vec<SiteId>) {
+    let mut b = TopologyBuilder::new();
+    let edge = b.add_site("edge", SiteKind::Edge, 4);
+    let dc1 = b.add_site("dc1", SiteKind::DataCenter, 8);
+    let dc2 = b.add_site("dc2", SiteKind::DataCenter, 8);
+    let dc3 = b.add_site("dc3", SiteKind::DataCenter, 8);
+    b.set_all_links(Mbps(50.0), Millis(20.0));
+    (Network::new(b.build().unwrap()), edge, vec![dc1, dc2, dc3])
+}
+
+/// Directed inter-DC links plus the edge uplinks — the blackout
+/// candidates.
+fn chaos_links(edge: SiteId, dcs: &[SiteId]) -> Vec<(SiteId, SiteId)> {
+    let mut links = Vec::new();
+    for &d in dcs {
+        links.push((edge, d));
+    }
+    for &a in dcs {
+        for &b in dcs {
+            if a != b {
+                links.push((a, b));
+            }
+        }
+    }
+    links
+}
+
+struct CampaignResult {
+    events: Vec<ChaosEvent>,
+    engine: Engine,
+    emergency_actions: usize,
+}
+
+/// Runs one seeded campaign under the given controller, checking the
+/// per-round invariants as it goes.
+fn run_campaign(seed: u64, cfg: ChaosConfig, controller: &mut dyn Controller) -> CampaignResult {
+    let (net, edge, dcs) = chaos_world();
+    let links = chaos_links(edge, &dcs);
+    let (script, events) =
+        ChaosInjector::with_config(seed, cfg).compile(DynamicsScript::none(), &dcs, &links);
+    // Filter capacity 2500 ev/s per task at 1000 ev/s nominal load:
+    // enough surplus to drain blackout backlogs inside the quiet tail.
+    let plan = linear_plan(edge, 1000.0, 400.0, 0.5);
+    let physical = PhysicalPlan::initial(&plan, dcs[0]);
+    let mut engine = Engine::new(net, script, plan, physical, EngineConfig::default()).unwrap();
+
+    let mut stuck_rounds = 0u32;
+    let mut t = 0.0;
+    while t + 1e-9 < HORIZON_S {
+        let chunk = MONITOR_INTERVAL_S.min(HORIZON_S - t);
+        engine.run(chunk);
+        t += chunk;
+        if t + 1e-9 >= HORIZON_S {
+            break;
+        }
+        let before: Vec<Vec<(SiteId, u32)>> = engine
+            .plan()
+            .op_ids()
+            .map(|op| engine.physical().placement(op).iter().collect())
+            .collect();
+        controller.on_monitor(&mut engine);
+        // Invariant: any task newly placed by this round's actions is
+        // on a site that is alive right now.
+        let now = engine.now();
+        for (i, op) in engine.plan().op_ids().enumerate() {
+            for (site, tasks) in engine.physical().placement(op).iter() {
+                let had = before[i]
+                    .iter()
+                    .find(|(s, _)| *s == site)
+                    .map(|&(_, n)| n)
+                    .unwrap_or(0);
+                if tasks > had {
+                    assert!(
+                        !engine.script().site_failed(site, now),
+                        "seed {seed}: round at t={} placed {op:?} onto failed site {site:?}",
+                        now.secs()
+                    );
+                }
+            }
+        }
+        // Invariant: transitions terminate (aborts clean up after
+        // endpoint failures instead of stalling forever).
+        if engine.in_transition() {
+            stuck_rounds += 1;
+            assert!(
+                stuck_rounds <= 5,
+                "seed {seed}: stuck in transition for {stuck_rounds} rounds at t={}",
+                now.secs()
+            );
+        } else {
+            stuck_rounds = 0;
+        }
+    }
+
+    let emergency_actions = engine
+        .metrics()
+        .actions()
+        .iter()
+        .filter(|(_, l)| l == "emergency re-assign")
+        .count();
+    CampaignResult {
+        events,
+        engine,
+        emergency_actions,
+    }
+}
+
+/// Campaign-level invariants: tuple conservation and bounded recovery.
+fn check_campaign(seed: u64, result: &CampaignResult) {
+    let m = result.engine.metrics();
+    // Tuple conservation: no loss beyond the redo window, no unbounded
+    // duplication from redo replay.
+    let expected = m.total_generated() * 0.5;
+    let ratio = m.total_delivered() / expected;
+    assert!(
+        (0.9..=1.2).contains(&ratio),
+        "seed {seed}: conservation ratio {ratio} (delivered {} expected {expected})",
+        m.total_delivered()
+    );
+    // Bounded recovery: after every crash outage ends, delivery gets
+    // back to ≥ 50% of nominal within 240 s (sustained over 30 s).
+    for e in &result.events {
+        let ChaosEvent::SiteCrash { at, outage_s, site } = e else {
+            continue;
+        };
+        let end = at + outage_s;
+        if end + 270.0 > HORIZON_S {
+            continue; // recovery window would overrun the campaign
+        }
+        let recovered = (0..)
+            .map(|k| end + k as f64 * 10.0)
+            .take_while(|w0| w0 + 30.0 <= end + 270.0)
+            .any(|w0| {
+                let delivered: f64 = m
+                    .ticks()
+                    .iter()
+                    .filter(|r| r.t > w0 && r.t <= w0 + 30.0)
+                    .map(|r| r.delivered)
+                    .sum();
+                delivered >= 0.5 * NOMINAL_DELIVERY_RATE * 30.0
+            });
+        assert!(
+            recovered,
+            "seed {seed}: no recovery within 240 s of the crash of {site:?} ending at {end}"
+        );
+    }
+}
+
+#[test]
+fn twenty_seed_chaos_campaign_holds_invariants() {
+    for seed in 0..20 {
+        let mut wasp = WaspController::new(PolicyConfig::default());
+        let result = run_campaign(seed, ChaosConfig::full(HORIZON_S), &mut wasp);
+        check_campaign(seed, &result);
+    }
+}
+
+/// CI smoke: a quick 10-seed sweep on a disjoint seed range, gated
+/// behind the `chaos-smoke` feature so the default test run stays
+/// fast.
+#[cfg(feature = "chaos-smoke")]
+#[test]
+fn chaos_smoke_ten_seeds() {
+    for seed in 100..110 {
+        let mut wasp = WaspController::new(PolicyConfig::default());
+        let result = run_campaign(seed, ChaosConfig::full(HORIZON_S), &mut wasp);
+        check_campaign(seed, &result);
+    }
+}
+
+/// §8.6's headline claim under randomized single-site crashes: WASP's
+/// post-failure recovery beats No-Adapt on every seed. Outages are
+/// drawn well above the monitoring interval, so reacting (moving the
+/// pipeline off the dead site) must beat waiting for the restore.
+#[test]
+fn wasp_recovers_faster_than_no_adapt_after_single_crash() {
+    let cfg = ChaosConfig {
+        crash_outage_s: (90.0, 150.0),
+        ..ChaosConfig::single_crash(HORIZON_S)
+    };
+    let recovery_time = |result: &CampaignResult| -> f64 {
+        let ChaosEvent::SiteCrash { at, .. } = result.events[0] else {
+            panic!("single-crash campaign must schedule a crash");
+        };
+        let m = result.engine.metrics();
+        let mut w0 = at;
+        while w0 + 30.0 <= HORIZON_S {
+            let delivered: f64 = m
+                .ticks()
+                .iter()
+                .filter(|r| r.t > w0 && r.t <= w0 + 30.0)
+                .map(|r| r.delivered)
+                .sum();
+            if delivered >= 0.8 * NOMINAL_DELIVERY_RATE * 30.0 {
+                return w0 - at;
+            }
+            w0 += 5.0;
+        }
+        f64::INFINITY
+    };
+    for seed in 0..10 {
+        // The crash must hit the site actually hosting the pipeline
+        // (dcs[0]) for recovery to mean anything; restrict the
+        // candidate set to it.
+        let (_, edge, dcs) = chaos_world();
+        let links = chaos_links(edge, &dcs);
+        let (script, events) = ChaosInjector::with_config(seed, cfg.clone()).compile(
+            DynamicsScript::none(),
+            &dcs[..1],
+            &links,
+        );
+        let run = |controller: &mut dyn Controller| -> CampaignResult {
+            let (net, edge2, dcs2) = chaos_world();
+            let plan = linear_plan(edge2, 1000.0, 400.0, 0.5);
+            let physical = PhysicalPlan::initial(&plan, dcs2[0]);
+            let mut engine =
+                Engine::new(net, script.clone(), plan, physical, EngineConfig::default()).unwrap();
+            run_controlled(&mut engine, controller, HORIZON_S, MONITOR_INTERVAL_S);
+            CampaignResult {
+                events: events.clone(),
+                engine,
+                emergency_actions: 0,
+            }
+        };
+        let wasp_result = run(&mut WaspController::new(PolicyConfig::default()));
+        let na_result = run(&mut NoAdaptController);
+        let wasp_rec = recovery_time(&wasp_result);
+        let na_rec = recovery_time(&na_result);
+        assert!(
+            wasp_rec < na_rec,
+            "seed {seed}: WASP recovery {wasp_rec}s must beat No-Adapt {na_rec}s"
+        );
+    }
+}
+
+/// Flapping regression: two short outages of the pipeline's site
+/// inside one adaptation period. The emergency path must not bounce
+/// the operators back and forth (per-operator cooldown), and the
+/// query must finish healthy.
+#[test]
+fn flapping_site_does_not_cause_oscillation() {
+    use wasp_netsim::dynamics::Failure;
+    use wasp_netsim::units::SimTime;
+    let (net, edge, dcs) = chaos_world();
+    // Outages at t∈[115,125) and t∈[155,165): each covers one monitor
+    // round (t=120, t=160) and both fit inside ~one adaptation period.
+    let script = DynamicsScript::none()
+        .with_failure(Failure {
+            at: SimTime(115.0),
+            restore_after: 10.0,
+            site: Some(dcs[0]),
+        })
+        .with_failure(Failure {
+            at: SimTime(155.0),
+            restore_after: 10.0,
+            site: Some(dcs[0]),
+        });
+    let plan = linear_plan(edge, 1000.0, 400.0, 0.5);
+    let physical = PhysicalPlan::initial(&plan, dcs[0]);
+    let mut engine = Engine::new(net, script, plan, physical, EngineConfig::default()).unwrap();
+    let mut wasp = WaspController::new(PolicyConfig::default());
+    run_controlled(&mut engine, &mut wasp, 600.0, MONITOR_INTERVAL_S);
+    let m = engine.metrics();
+    let emergencies = m
+        .actions()
+        .iter()
+        .filter(|(_, l)| l == "emergency re-assign")
+        .count();
+    assert!(
+        emergencies <= 2,
+        "flapping must not bounce operators: {:?}",
+        m.actions()
+    );
+    // Healthy finish: the last 100 s deliver at the nominal rate.
+    let late: f64 = m
+        .ticks()
+        .iter()
+        .filter(|r| r.t > 500.0)
+        .map(|r| r.delivered)
+        .sum();
+    assert!(
+        late >= 0.85 * NOMINAL_DELIVERY_RATE * 100.0,
+        "late delivery {late}"
+    );
+}
+
+/// Redo-replay determinism: a run interrupted by a crash+restore must
+/// end up having delivered (within the redo window) what the
+/// failure-free run delivers — recovery neither loses the
+/// since-checkpoint work nor invents unbounded duplicates.
+#[test]
+fn redo_replay_matches_failure_free_run() {
+    use wasp_netsim::dynamics::Failure;
+    use wasp_netsim::units::SimTime;
+    let run = |with_failure: bool| -> f64 {
+        let (net, edge, dcs) = chaos_world();
+        let mut script = DynamicsScript::none();
+        if with_failure {
+            script = script.with_failure(Failure {
+                at: SimTime(200.0),
+                restore_after: 60.0,
+                site: Some(dcs[0]),
+            });
+        }
+        let plan = linear_plan(edge, 1000.0, 400.0, 0.5);
+        let physical = PhysicalPlan::initial(&plan, dcs[0]);
+        let mut engine = Engine::new(net, script, plan, physical, EngineConfig::default()).unwrap();
+        // No controller: this isolates the engine's checkpoint + redo
+        // semantics from adaptation decisions.
+        engine.run(900.0);
+        engine.metrics().total_delivered()
+    };
+    let clean = run(false);
+    let failed = run(true);
+    let diff = (clean - failed).abs() / clean;
+    assert!(
+        diff < 0.05,
+        "post-recovery delivery must match the failure-free run: clean {clean} failed {failed}"
+    );
+}
+
+/// Chaos campaigns are reproducible: the same seed yields the same
+/// timeline and byte-identical delivery metrics.
+#[test]
+fn campaigns_are_deterministic() {
+    let run = || {
+        let mut wasp = WaspController::new(PolicyConfig::default());
+        let r = run_campaign(7, ChaosConfig::full(HORIZON_S), &mut wasp);
+        (
+            r.events.clone(),
+            r.engine.metrics().total_delivered(),
+            r.emergency_actions,
+        )
+    };
+    let (e1, d1, a1) = run();
+    let (e2, d2, a2) = run();
+    assert_eq!(e1, e2);
+    assert_eq!(d1, d2);
+    assert_eq!(a1, a2);
+}

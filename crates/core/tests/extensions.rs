@@ -47,8 +47,18 @@ fn wasp_recovers_from_a_straggler() {
         m.actions()
     );
     // Late in the run the query keeps up again.
-    let gen_late: f64 = m.ticks().iter().filter(|r| r.t > 700.0).map(|r| r.generated).sum();
-    let del_late: f64 = m.ticks().iter().filter(|r| r.t > 700.0).map(|r| r.delivered).sum();
+    let gen_late: f64 = m
+        .ticks()
+        .iter()
+        .filter(|r| r.t > 700.0)
+        .map(|r| r.generated)
+        .sum();
+    let del_late: f64 = m
+        .ticks()
+        .iter()
+        .filter(|r| r.t > 700.0)
+        .map(|r| r.delivered)
+        .sum();
     assert!(
         del_late / (gen_late * 0.5) > 0.85,
         "late ratio {}",
@@ -90,8 +100,7 @@ fn periodic_replan_improves_a_stale_but_healthy_deployment() {
 
     // Periodic background re-planning finds the better deployment.
     let (mut periodic_engine, dc1, _dc2, edge) = build();
-    let mut periodic =
-        WaspController::new(PolicyConfig::default()).with_periodic_replan(200.0);
+    let mut periodic = WaspController::new(PolicyConfig::default()).with_periodic_replan(200.0);
     run_controlled(&mut periodic_engine, &mut periodic, 600.0, 40.0);
     let acted = periodic_engine
         .metrics()
@@ -137,11 +146,7 @@ fn wasp_routes_around_cross_traffic() {
     // squeezing our 4 Mbps stream; WASP must move the filter off the
     // contended path.
     let (mut net, edge, dc1, dc2) = three_site_world(10.0);
-    net.add_cross_traffic(
-        edge,
-        dc1,
-        FactorSeries::from_samples(120.0, vec![0.0, 9.5]),
-    );
+    net.add_cross_traffic(edge, dc1, FactorSeries::from_samples(120.0, vec![0.0, 9.5]));
     let plan = linear_plan(edge, 5000.0, 5.0, 0.5); // 4 Mbps demand
     let mut eng = engine(net, plan, dc1);
     let mut wasp = WaspController::new(PolicyConfig::default());
@@ -157,8 +162,18 @@ fn wasp_routes_around_cross_traffic() {
     let sites = eng.physical().placement(OpId(1)).sites();
     assert_ne!(sites, vec![dc1], "filter should leave the contended path");
     // Delivery keeps up at the end of the run.
-    let gen_late: f64 = m.ticks().iter().filter(|r| r.t > 500.0).map(|r| r.generated).sum();
-    let del_late: f64 = m.ticks().iter().filter(|r| r.t > 500.0).map(|r| r.delivered).sum();
+    let gen_late: f64 = m
+        .ticks()
+        .iter()
+        .filter(|r| r.t > 500.0)
+        .map(|r| r.generated)
+        .sum();
+    let del_late: f64 = m
+        .ticks()
+        .iter()
+        .filter(|r| r.t > 500.0)
+        .map(|r| r.delivered)
+        .sum();
     assert!(
         del_late / (gen_late * 0.5) > 0.85,
         "late ratio {}",
@@ -196,7 +211,10 @@ fn remote_checkpointing_costs_wan_bandwidth() {
                 .with_out_bytes(300.0)
                 .with_state(StateModel::Fixed(wasp_netsim::units::MegaBytes(60.0))),
         );
-        let k = p.add(OperatorSpec::new("sink", OperatorKind::Sink { site: Some(dc) }));
+        let k = p.add(OperatorSpec::new(
+            "sink",
+            OperatorKind::Sink { site: Some(dc) },
+        ));
         p.connect(s, w);
         p.connect(w, k);
         let plan = p.build().unwrap();

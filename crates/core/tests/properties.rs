@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use wasp_core::scaling::{
-    bandwidth_scale_out, ds2_parallelism, estimate_overhead, partition_transfers,
-    scale_down_site,
+    bandwidth_scale_out, ds2_parallelism, estimate_overhead, partition_transfers, scale_down_site,
 };
 use wasp_netsim::network::Network;
 use wasp_netsim::site::{SiteId, SiteKind};

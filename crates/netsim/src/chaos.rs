@@ -1,0 +1,438 @@
+//! Seeded chaos injection: randomized fault timelines for robustness
+//! campaigns.
+//!
+//! WASP's evaluation scripts each failure by hand (§8.6 revokes every
+//! slot at t = 540 for 60 s). That exercises *one* failure shape; the
+//! recovery path also has to survive crash–restore races, flapping
+//! sites, link blackouts and stragglers, in combination and at
+//! arbitrary phases of the adaptation loop. [`ChaosInjector`]
+//! generates such timelines deterministically from a `u64` seed and
+//! compiles them down onto the existing [`DynamicsScript`] — the
+//! engine needs no new input format, and a campaign is reproduced
+//! exactly by re-running its seed.
+//!
+//! Fault classes generated:
+//!
+//! * **site crashes** — all slots of one site revoked, restored after
+//!   a bounded outage ([`Failure`] entries);
+//! * **flapping sites** — several short outages of one site in quick
+//!   succession, designed to land inside a single adaptation period;
+//! * **link blackouts** — one directed pair's bandwidth forced to a
+//!   near-zero factor for a bounded interval (per-link
+//!   [`FactorSeries`] entries);
+//! * **straggler episodes** — one site's compute speed reduced to a
+//!   factor < 1 for a bounded interval (§1's "degrading nodes").
+
+use crate::dynamics::{DynamicsScript, Failure};
+use crate::site::SiteId;
+use crate::trace::FactorSeries;
+use crate::units::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One fault scheduled by the injector — returned alongside the
+/// compiled script so harnesses can assert against the timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChaosEvent {
+    /// A site loses all slots at `at` for `outage_s` seconds.
+    SiteCrash {
+        /// The crashed site.
+        site: SiteId,
+        /// Crash time, seconds.
+        at: f64,
+        /// Outage length, seconds.
+        outage_s: f64,
+    },
+    /// A site suffers several short outages in quick succession.
+    Flap {
+        /// The flapping site.
+        site: SiteId,
+        /// `(start, length)` of each short outage, seconds.
+        outages: Vec<(f64, f64)>,
+    },
+    /// A directed link's bandwidth collapses to `factor` (≈ 0).
+    LinkBlackout {
+        /// Sending site.
+        from: SiteId,
+        /// Receiving site.
+        to: SiteId,
+        /// Blackout start, seconds.
+        at: f64,
+        /// Blackout length, seconds.
+        outage_s: f64,
+        /// Residual bandwidth factor during the blackout.
+        factor: f64,
+    },
+    /// A site's compute slows to `factor` of nominal speed.
+    Straggler {
+        /// The slowed site.
+        site: SiteId,
+        /// Episode start, seconds.
+        at: f64,
+        /// Episode length, seconds.
+        duration_s: f64,
+        /// Compute-speed factor (< 1.0).
+        factor: f64,
+    },
+}
+
+/// Bounds of the generated fault timeline. All ranges are inclusive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Campaign length, seconds; every fault (including its recovery)
+    /// is scheduled inside `[quiet_head_s, horizon_s - quiet_tail_s]`.
+    pub horizon_s: f64,
+    /// No faults before this time (the query warms up undisturbed).
+    pub quiet_head_s: f64,
+    /// No fault extends past `horizon_s - quiet_tail_s` (recovery is
+    /// observable before the run ends).
+    pub quiet_tail_s: f64,
+    /// How many site crashes to schedule.
+    pub crashes: u32,
+    /// Crash outage length range, seconds.
+    pub crash_outage_s: (f64, f64),
+    /// How many sites flap.
+    pub flapping_sites: u32,
+    /// Short outages per flapping site.
+    pub flaps_per_site: (u32, u32),
+    /// Length of each short outage, seconds.
+    pub flap_outage_s: (f64, f64),
+    /// Gap between consecutive short outages, seconds.
+    pub flap_gap_s: (f64, f64),
+    /// How many directed links black out.
+    pub link_blackouts: u32,
+    /// Blackout length range, seconds.
+    pub blackout_s: (f64, f64),
+    /// Residual bandwidth factor during a blackout.
+    pub blackout_factor: f64,
+    /// How many straggler episodes to schedule.
+    pub stragglers: u32,
+    /// Straggler episode length range, seconds.
+    pub straggler_s: (f64, f64),
+    /// Compute-factor range of a straggler episode (< 1.0).
+    pub straggler_factor: (f64, f64),
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            horizon_s: 900.0,
+            quiet_head_s: 120.0,
+            quiet_tail_s: 240.0,
+            crashes: 1,
+            crash_outage_s: (30.0, 120.0),
+            flapping_sites: 1,
+            flaps_per_site: (2, 3),
+            flap_outage_s: (5.0, 15.0),
+            flap_gap_s: (10.0, 30.0),
+            link_blackouts: 1,
+            blackout_s: (30.0, 90.0),
+            blackout_factor: 0.0,
+            stragglers: 1,
+            straggler_s: (60.0, 180.0),
+            straggler_factor: (0.25, 0.75),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A campaign with exactly one site crash and nothing else — the
+    /// shape of the paper's §8.6 failure experiment, used for
+    /// recovery-time comparisons against the non-adaptive baseline.
+    pub fn single_crash(horizon_s: f64) -> ChaosConfig {
+        ChaosConfig {
+            horizon_s,
+            flapping_sites: 0,
+            link_blackouts: 0,
+            stragglers: 0,
+            ..ChaosConfig::default()
+        }
+    }
+
+    /// The full fault mix at the given horizon.
+    pub fn full(horizon_s: f64) -> ChaosConfig {
+        ChaosConfig {
+            horizon_s,
+            ..ChaosConfig::default()
+        }
+    }
+}
+
+/// Deterministic fault-timeline generator: one `u64` seed in, one
+/// reproducible timeline out, compiled onto a [`DynamicsScript`].
+#[derive(Debug, Clone)]
+pub struct ChaosInjector {
+    seed: u64,
+    cfg: ChaosConfig,
+}
+
+impl ChaosInjector {
+    /// An injector with the default fault mix.
+    pub fn new(seed: u64) -> ChaosInjector {
+        ChaosInjector {
+            seed,
+            cfg: ChaosConfig::default(),
+        }
+    }
+
+    /// An injector with an explicit configuration.
+    pub fn with_config(seed: u64, cfg: ChaosConfig) -> ChaosInjector {
+        ChaosInjector { seed, cfg }
+    }
+
+    /// The campaign seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// Generates the fault timeline and compiles it onto `base`.
+    ///
+    /// `sites` are the crash / flap / straggle candidates (callers
+    /// exclude sites that must survive, e.g. pinned source and sink
+    /// sites); `links` are the directed pairs eligible for blackouts.
+    /// Returns the augmented script plus the scheduled events for
+    /// assertions and logging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty while site faults are requested, or
+    /// `links` is empty while blackouts are requested.
+    pub fn compile(
+        &self,
+        base: DynamicsScript,
+        sites: &[SiteId],
+        links: &[(SiteId, SiteId)],
+    ) -> (DynamicsScript, Vec<ChaosEvent>) {
+        let cfg = &self.cfg;
+        let needs_sites = cfg.crashes + cfg.flapping_sites + cfg.stragglers > 0;
+        assert!(
+            !needs_sites || !sites.is_empty(),
+            "chaos: site faults requested but no candidate sites"
+        );
+        assert!(
+            cfg.link_blackouts == 0 || !links.is_empty(),
+            "chaos: link blackouts requested but no candidate links"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut script = base;
+        let mut events = Vec::new();
+        let window_end = cfg.horizon_s - cfg.quiet_tail_s;
+
+        // Site crashes with restore.
+        for _ in 0..cfg.crashes {
+            let site = sites[rng.gen_range(0..sites.len())];
+            let outage = rng.gen_range(cfg.crash_outage_s.0..=cfg.crash_outage_s.1);
+            let latest = (window_end - outage).max(cfg.quiet_head_s);
+            let at = rng.gen_range(cfg.quiet_head_s..=latest);
+            script = script.with_failure(Failure {
+                at: SimTime(at),
+                restore_after: outage,
+                site: Some(site),
+            });
+            events.push(ChaosEvent::SiteCrash {
+                site,
+                at,
+                outage_s: outage,
+            });
+        }
+
+        // Flapping sites: several short outages in quick succession.
+        for _ in 0..cfg.flapping_sites {
+            let site = sites[rng.gen_range(0..sites.len())];
+            let n = rng.gen_range(cfg.flaps_per_site.0..=cfg.flaps_per_site.1);
+            // Budget the worst-case train length so it fits the window.
+            let worst = n as f64 * (cfg.flap_outage_s.1 + cfg.flap_gap_s.1);
+            let latest = (window_end - worst).max(cfg.quiet_head_s);
+            let mut t = rng.gen_range(cfg.quiet_head_s..=latest);
+            let mut outages = Vec::new();
+            for _ in 0..n {
+                let outage = rng.gen_range(cfg.flap_outage_s.0..=cfg.flap_outage_s.1);
+                script = script.with_failure(Failure {
+                    at: SimTime(t),
+                    restore_after: outage,
+                    site: Some(site),
+                });
+                outages.push((t, outage));
+                t += outage + rng.gen_range(cfg.flap_gap_s.0..=cfg.flap_gap_s.1);
+            }
+            events.push(ChaosEvent::Flap { site, outages });
+        }
+
+        // Per-link blackouts.
+        for _ in 0..cfg.link_blackouts {
+            let (from, to) = links[rng.gen_range(0..links.len())];
+            let outage = rng.gen_range(cfg.blackout_s.0..=cfg.blackout_s.1);
+            let latest = (window_end - outage).max(cfg.quiet_head_s);
+            let at = rng.gen_range(cfg.quiet_head_s..=latest);
+            let series = FactorSeries::steps(1.0, &[(at, cfg.blackout_factor), (at + outage, 1.0)]);
+            script = script.with_link_bandwidth(from, to, series);
+            events.push(ChaosEvent::LinkBlackout {
+                from,
+                to,
+                at,
+                outage_s: outage,
+                factor: cfg.blackout_factor,
+            });
+        }
+
+        // Straggler episodes: compute factor < 1 for a while.
+        for _ in 0..cfg.stragglers {
+            let site = sites[rng.gen_range(0..sites.len())];
+            let dur = rng.gen_range(cfg.straggler_s.0..=cfg.straggler_s.1);
+            let latest = (window_end - dur).max(cfg.quiet_head_s);
+            let at = rng.gen_range(cfg.quiet_head_s..=latest);
+            let factor = rng.gen_range(cfg.straggler_factor.0..=cfg.straggler_factor.1);
+            script = script.with_straggler(
+                site,
+                FactorSeries::steps(1.0, &[(at, factor), (at + dur, 1.0)]),
+            );
+            events.push(ChaosEvent::Straggler {
+                site,
+                at,
+                duration_s: dur,
+                factor,
+            });
+        }
+
+        (script, events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites() -> Vec<SiteId> {
+        (0..4).map(SiteId).collect()
+    }
+
+    fn links() -> Vec<(SiteId, SiteId)> {
+        vec![(SiteId(0), SiteId(1)), (SiteId(2), SiteId(3))]
+    }
+
+    #[test]
+    fn same_seed_same_timeline() {
+        let a = ChaosInjector::new(7).compile(DynamicsScript::none(), &sites(), &links());
+        let b = ChaosInjector::new(7).compile(DynamicsScript::none(), &sites(), &links());
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.0.failures(), b.0.failures());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let timelines: Vec<Vec<ChaosEvent>> = (0..10)
+            .map(|s| {
+                ChaosInjector::new(s)
+                    .compile(DynamicsScript::none(), &sites(), &links())
+                    .1
+            })
+            .collect();
+        assert!(
+            timelines.windows(2).any(|w| w[0] != w[1]),
+            "ten seeds produced identical timelines"
+        );
+    }
+
+    #[test]
+    fn events_respect_config_bounds() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..20 {
+            let (_, events) = ChaosInjector::with_config(seed, cfg.clone()).compile(
+                DynamicsScript::none(),
+                &sites(),
+                &links(),
+            );
+            let window_end = cfg.horizon_s - cfg.quiet_tail_s;
+            for e in &events {
+                match e {
+                    ChaosEvent::SiteCrash { at, outage_s, .. } => {
+                        assert!(*at >= cfg.quiet_head_s);
+                        assert!(at + outage_s <= window_end + 1e-9);
+                        assert!((cfg.crash_outage_s.0..=cfg.crash_outage_s.1).contains(outage_s));
+                    }
+                    ChaosEvent::Flap { outages, .. } => {
+                        assert!(outages.len() >= cfg.flaps_per_site.0 as usize);
+                        for &(at, len) in outages {
+                            assert!(at >= cfg.quiet_head_s);
+                            assert!(at + len <= window_end + 1e-9);
+                        }
+                    }
+                    ChaosEvent::LinkBlackout { at, outage_s, .. } => {
+                        assert!(*at >= cfg.quiet_head_s);
+                        assert!(at + outage_s <= window_end + 1e-9);
+                    }
+                    ChaosEvent::Straggler {
+                        at,
+                        duration_s,
+                        factor,
+                        ..
+                    } => {
+                        assert!(*at >= cfg.quiet_head_s);
+                        assert!(at + duration_s <= window_end + 1e-9);
+                        assert!(*factor < 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_script_reflects_the_events() {
+        let (script, events) =
+            ChaosInjector::new(3).compile(DynamicsScript::none(), &sites(), &links());
+        for e in &events {
+            match e {
+                ChaosEvent::SiteCrash { site, at, outage_s } => {
+                    let mid = SimTime(at + outage_s / 2.0);
+                    assert!(script.site_failed(*site, mid));
+                    assert!(!script.site_failed(*site, SimTime(at + outage_s + 1.0)));
+                }
+                ChaosEvent::Flap { site, outages } => {
+                    for &(at, len) in outages {
+                        assert!(script.site_failed(*site, SimTime(at + len / 2.0)));
+                    }
+                }
+                ChaosEvent::LinkBlackout {
+                    from,
+                    to,
+                    at,
+                    factor,
+                    ..
+                } => {
+                    let entry = script
+                        .link_bandwidth()
+                        .iter()
+                        .find(|((f, t), _)| f == from && t == to)
+                        .expect("blackout entry exists");
+                    assert_eq!(entry.1.factor_at(SimTime(at + 1.0)), *factor);
+                }
+                ChaosEvent::Straggler {
+                    site, at, factor, ..
+                } => {
+                    assert!(
+                        (script.compute_factor(*site, SimTime(at + 1.0)) - factor).abs() < 1e-12
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_crash_preset_generates_exactly_one_fault() {
+        let cfg = ChaosConfig::single_crash(600.0);
+        let (script, events) =
+            ChaosInjector::with_config(11, cfg).compile(DynamicsScript::none(), &[SiteId(2)], &[]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(script.failures().len(), 1);
+        match &events[0] {
+            ChaosEvent::SiteCrash { site, .. } => assert_eq!(*site, SiteId(2)),
+            other => panic!("expected a crash, got {other:?}"),
+        }
+    }
+}

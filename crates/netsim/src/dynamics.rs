@@ -42,8 +42,10 @@ impl Failure {
 /// * `workload` — per-source multiplicative rate factors (missing
 ///   sources default to 1.0);
 /// * `global_workload` — a factor applied to every source;
-/// * `bandwidth` — a factor applied to every link (per-link factors
-///   live on [`crate::network::Network`] directly);
+/// * `bandwidth` — a factor applied to every link;
+/// * `link_bandwidth` — factors applied to single directed links
+///   (blackouts and per-path degradations; the engine installs them
+///   onto [`crate::network::Network`] at construction);
 /// * `failures` — scheduled slot revocations.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DynamicsScript {
@@ -53,6 +55,9 @@ pub struct DynamicsScript {
     failures: Vec<Failure>,
     /// Per-site compute-speed factors (< 1.0 models a straggler site).
     compute: Vec<(SiteId, FactorSeries)>,
+    /// Per-directed-link bandwidth factors (0.0 = blackout).
+    #[serde(default)]
+    link_bandwidth: Vec<((SiteId, SiteId), FactorSeries)>,
 }
 
 impl DynamicsScript {
@@ -124,6 +129,19 @@ impl DynamicsScript {
     pub fn with_bandwidth(mut self, series: FactorSeries) -> Self {
         self.bandwidth = Some(series);
         self
+    }
+
+    /// Applies a factor series to one directed link (builder style).
+    /// A factor of 0.0 blacks the link out entirely — the chaos
+    /// injector uses this for per-link blackouts.
+    pub fn with_link_bandwidth(mut self, from: SiteId, to: SiteId, series: FactorSeries) -> Self {
+        self.link_bandwidth.push(((from, to), series));
+        self
+    }
+
+    /// Per-directed-link bandwidth factor entries.
+    pub fn link_bandwidth(&self) -> &[((SiteId, SiteId), FactorSeries)] {
+        &self.link_bandwidth
     }
 
     /// Adds a failure (builder style).

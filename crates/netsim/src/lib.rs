@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod dynamics;
 pub mod network;
 pub mod site;
@@ -45,6 +46,7 @@ pub mod units;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
+    pub use crate::chaos::{ChaosConfig, ChaosEvent, ChaosInjector};
     pub use crate::dynamics::{DynamicsScript, Failure};
     pub use crate::network::{FlowDemand, Network};
     pub use crate::site::{Site, SiteId, SiteKind};

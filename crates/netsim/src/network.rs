@@ -143,6 +143,17 @@ impl Network {
         self.pair_factors.insert((from, to), series);
     }
 
+    /// Multiplies `series` into the factor trace of one directed pair,
+    /// preserving any factor already installed (used when a dynamics
+    /// script layers link blackouts over existing per-link dynamics).
+    pub fn combine_pair_factor(&mut self, from: SiteId, to: SiteId, series: &FactorSeries) {
+        let combined = match self.pair_factors.get(&(from, to)) {
+            Some(existing) => existing.combine(series),
+            None => series.clone(),
+        };
+        self.pair_factors.insert((from, to), combined);
+    }
+
     /// Sets a factor trace applied to *every* link (used by the §8.4
     /// "halve the bandwidth of every link" script).
     pub fn set_global_factor(&mut self, series: FactorSeries) {

@@ -369,7 +369,10 @@ mod tests {
         assert!(saw_change, "EC2 trace should move the DC link");
         // Edge links keep their base capacity.
         let e = tb.edges()[0];
-        assert_eq!(net.available(e, a, SimTime(4000.0)), tb.topology().capacity(e, a));
+        assert_eq!(
+            net.available(e, a, SimTime(4000.0)),
+            tb.topology().capacity(e, a)
+        );
     }
 
     #[test]

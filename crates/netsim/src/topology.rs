@@ -302,7 +302,10 @@ mod tests {
 
     #[test]
     fn empty_topology_rejected() {
-        assert_eq!(TopologyBuilder::new().build().unwrap_err(), TopologyError::Empty);
+        assert_eq!(
+            TopologyBuilder::new().build().unwrap_err(),
+            TopologyError::Empty
+        );
     }
 
     #[test]

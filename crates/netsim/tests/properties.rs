@@ -20,9 +20,8 @@ fn network(n_sites: u16, capacity: f64) -> Network {
 }
 
 fn flow_strategy(n_sites: u16) -> impl Strategy<Value = FlowDemand> {
-    (0..n_sites, 0..n_sites, 0.0f64..50.0).prop_map(|(a, b, d)| {
-        FlowDemand::new(SiteId(a), SiteId(b), Mbps(d))
-    })
+    (0..n_sites, 0..n_sites, 0.0f64..50.0)
+        .prop_map(|(a, b, d)| FlowDemand::new(SiteId(a), SiteId(b), Mbps(d)))
 }
 
 proptest! {

@@ -180,12 +180,7 @@ mod tests {
         fn brute(n_left: usize, edges: &[(usize, usize)], n_right: usize) -> usize {
             // Try all subsets of rights per left via permutations —
             // small sizes only. Simple recursive max matching.
-            fn rec(
-                l: usize,
-                n_left: usize,
-                adj: &[Vec<usize>],
-                used: &mut [bool],
-            ) -> usize {
+            fn rec(l: usize, n_left: usize, adj: &[Vec<usize>], used: &mut [bool]) -> usize {
                 if l == n_left {
                     return 0;
                 }

@@ -214,14 +214,7 @@ impl PlacementProblem {
             }
         }
         let mut best = None;
-        rec(
-            self,
-            0,
-            self.parallelism,
-            0.0,
-            &mut Vec::new(),
-            &mut best,
-        );
+        rec(self, 0, self.parallelism, 0.0, &mut Vec::new(), &mut best);
         best.map(|(takes, cost)| {
             let placement = self
                 .sites

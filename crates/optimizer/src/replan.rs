@@ -241,14 +241,14 @@ impl ReplanProblem {
                     let rest = mask ^ sub;
                     if self.mask_allowed(sub) && self.mask_allowed(rest) {
                         for (j, &site) in self.candidate_sites.iter().enumerate() {
-                            let Some((lc, lr, _)) = dp[sub as usize][j].as_ref().map(|x| {
-                                (x.0, x.1, ())
-                            }) else {
+                            let Some((lc, lr, _)) =
+                                dp[sub as usize][j].as_ref().map(|x| (x.0, x.1, ()))
+                            else {
                                 continue;
                             };
-                            let Some((rc, rr, _)) = dp[rest as usize][j].as_ref().map(|x| {
-                                (x.0, x.1, ())
-                            }) else {
+                            let Some((rc, rr, _)) =
+                                dp[rest as usize][j].as_ref().map(|x| (x.0, x.1, ()))
+                            else {
                                 continue;
                             };
                             let rate = self.join_selectivity * (lr + rr);
@@ -281,19 +281,15 @@ impl ReplanProblem {
                 .map(|e| e.as_ref().map(|(c, r, _)| (*c, *r)))
                 .collect();
             for (j, entry) in snapshot.iter().enumerate() {
-                let Some((c_from, rate)) = entry else { continue };
+                let Some((c_from, rate)) = entry else {
+                    continue;
+                };
                 for (k, &to) in self.candidate_sites.iter().enumerate() {
                     if k == j {
                         continue;
                     }
-                    let move_cost = edge_cost(
-                        net,
-                        t,
-                        self.candidate_sites[j],
-                        to,
-                        *rate,
-                        self.alpha,
-                    );
+                    let move_cost =
+                        edge_cost(net, t, self.candidate_sites[j], to, *rate, self.alpha);
                     let cost = c_from + move_cost;
                     let better = dp[mask as usize][k]
                         .as_ref()
@@ -362,7 +358,9 @@ mod tests {
     #[test]
     fn finds_a_plan_for_four_streams() {
         let (net, leaves) = fig5();
-        let choice = problem(leaves.clone(), vec![]).solve(&net, SimTime::ZERO).unwrap();
+        let choice = problem(leaves.clone(), vec![])
+            .solve(&net, SimTime::ZERO)
+            .unwrap();
         assert_eq!(choice.tree.leaf_mask(), 0b1111);
         assert!(choice.cost.is_finite());
         assert!(!choice.tree.render(&leaves).is_empty());
@@ -452,7 +450,9 @@ mod tests {
     #[test]
     fn required_subtree_appears_even_when_suboptimal() {
         let (net, leaves) = fig5();
-        let free = problem(leaves.clone(), vec![]).solve(&net, SimTime::ZERO).unwrap();
+        let free = problem(leaves.clone(), vec![])
+            .solve(&net, SimTime::ZERO)
+            .unwrap();
         // Force A ⋈ C to exist (it is not part of the free optimum
         // in general); the constrained cost can only be ≥ the free
         // cost.

@@ -282,7 +282,10 @@ mod tests {
 
     #[test]
     fn scaled_applies_selectivity() {
-        let cs = [Cohort::new(SimTime(0.0), 10.0), Cohort::new(SimTime(1.0), 4.0)];
+        let cs = [
+            Cohort::new(SimTime(0.0), 10.0),
+            Cohort::new(SimTime(1.0), 4.0),
+        ];
         let out = CohortQueue::scaled(&cs, 0.5);
         assert_eq!(out[0].count, 5.0);
         assert_eq!(out[1].count, 2.0);

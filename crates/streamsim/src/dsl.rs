@@ -121,18 +121,21 @@ fn spec_for(name: &str, args: &[f64], index: usize) -> Result<OperatorSpec, DslE
         ("project", 0) => OperatorSpec::new(label, OperatorKind::Project),
         ("union", 0) => OperatorSpec::new(label, OperatorKind::Union),
         ("window", 2) | ("window", 3) => {
-            let mut spec = OperatorSpec::new(
-                label,
-                OperatorKind::WindowAggregate { window_s: args[0] },
-            )
-            .with_selectivity(args[1]);
+            let mut spec =
+                OperatorSpec::new(label, OperatorKind::WindowAggregate { window_s: args[0] })
+                    .with_selectivity(args[1]);
             if let Some(&mb) = args.get(2) {
                 spec = spec.with_state(StateModel::Fixed(MegaBytes(mb)));
             }
             spec
         }
         ("reduce", 1) => OperatorSpec::new(label, OperatorKind::Reduce).with_selectivity(args[0]),
-        ("topk", 1) => OperatorSpec::new(label, OperatorKind::TopK { k: args[0] as usize }),
+        ("topk", 1) => OperatorSpec::new(
+            label,
+            OperatorKind::TopK {
+                k: args[0] as usize,
+            },
+        ),
         ("sink", 0) => OperatorSpec::new(label, OperatorKind::Sink { site: None }),
         ("sink", 1) => OperatorSpec::new(
             label,
@@ -140,8 +143,10 @@ fn spec_for(name: &str, args: &[f64], index: usize) -> Result<OperatorSpec, DslE
                 site: Some(SiteId(args[0] as u16)),
             },
         ),
-        ("src" | "filter" | "map" | "project" | "union" | "window" | "reduce" | "topk"
-        | "sink", _) => return Err(DslError::BadArity(name.to_string())),
+        (
+            "src" | "filter" | "map" | "project" | "union" | "window" | "reduce" | "topk" | "sink",
+            _,
+        ) => return Err(DslError::BadArity(name.to_string())),
         _ => return Err(DslError::BadTerm(name.to_string())),
     };
     Ok(spec)
@@ -203,10 +208,9 @@ mod tests {
 
     #[test]
     fn parses_multiple_sources_and_state() {
-        let plan = parse_plan(
-            "src(0,1000,20) + src(1,2000,20) | union | window(30, 1e-3, 100) | sink",
-        )
-        .unwrap();
+        let plan =
+            parse_plan("src(0,1000,20) + src(1,2000,20) | union | window(30, 1e-3, 100) | sink")
+                .unwrap();
         assert_eq!(plan.sources().len(), 2);
         let stateful = plan.stateful_ops();
         assert_eq!(stateful.len(), 1);
@@ -274,9 +278,14 @@ mod tests {
         let net = Network::new(tb.build().unwrap());
         let plan = parse_plan("src(0, 1000, 20) | filter(0.5) | sink(1)").unwrap();
         let physical = PhysicalPlan::initial(&plan, b);
-        let mut engine =
-            Engine::new(net, DynamicsScript::none(), plan, physical, EngineConfig::default())
-                .unwrap();
+        let mut engine = Engine::new(
+            net,
+            DynamicsScript::none(),
+            plan,
+            physical,
+            EngineConfig::default(),
+        )
+        .unwrap();
         engine.run(60.0);
         assert!(engine.metrics().total_delivered() > 0.0);
     }

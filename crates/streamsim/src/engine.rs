@@ -25,7 +25,7 @@
 
 use crate::cohort::{Cohort, CohortQueue};
 use crate::ids::OpId;
-use crate::metrics::{QuerySnapshot, RunMetrics, StageObs, TickRow};
+use crate::metrics::{FailureEvent, QuerySnapshot, RunMetrics, StageObs, TickRow};
 use crate::operator::{OperatorKind, StateModel};
 use crate::physical::{PhysicalError, PhysicalPlan, Placement};
 use crate::plan::LogicalPlan;
@@ -104,6 +104,9 @@ pub enum EngineError {
     /// Sources cannot be re-deployed (they are pinned to where data is
     /// generated).
     SourceImmovable(OpId),
+    /// The command targets a site that is currently failed (placing
+    /// tasks on a dead site would silently lose them).
+    SiteFailed(SiteId),
 }
 
 impl fmt::Display for EngineError {
@@ -113,6 +116,9 @@ impl fmt::Display for EngineError {
             EngineError::UnknownOp(op) => write!(f, "unknown stage {op}"),
             EngineError::Busy(op) => write!(f, "stage {op} is mid-transition"),
             EngineError::SourceImmovable(op) => write!(f, "source {op} cannot move"),
+            EngineError::SiteFailed(site) => {
+                write!(f, "site {site} is currently failed")
+            }
         }
     }
 }
@@ -349,6 +355,10 @@ pub struct Engine {
     /// superseded before completing.
     ckpt_rounds: u32,
     ckpt_incomplete: u32,
+    /// Failure-related events accumulated since the last snapshot.
+    pending_events: Vec<FailureEvent>,
+    /// Failed-site set as of the previous tick, for edge detection.
+    prev_failed: Vec<SiteId>,
 }
 
 impl Engine {
@@ -373,6 +383,9 @@ impl Engine {
             let combined = net.global_factor().combine(series);
             net.set_global_factor(combined);
         }
+        for ((from, to), series) in script.link_bandwidth() {
+            net.combine_pair_factor(*from, *to, series);
+        }
         let drop_slo = cfg.drop_slo;
         let failure_applied = vec![false; script.failures().len()];
         let mut engine = Engine {
@@ -395,6 +408,8 @@ impl Engine {
             checkpoint_uploads: Vec::new(),
             ckpt_rounds: 0,
             ckpt_incomplete: 0,
+            pending_events: Vec::new(),
+            prev_failed: Vec::new(),
         };
         engine.build_groups();
         Ok(engine)
@@ -498,6 +513,7 @@ impl Engine {
         let t0 = self.now;
         let t1 = t0 + dt;
 
+        self.detect_failure_edges(t0);
         self.apply_failure_transitions(t0);
         self.maybe_checkpoint(t0);
         self.complete_migrations(t0);
@@ -635,6 +651,7 @@ impl Engine {
             source_rates,
             free_slots,
             failed_sites,
+            events: std::mem::take(&mut self.pending_events),
         }
     }
 
@@ -657,9 +674,7 @@ impl Engine {
         g.state_mb = match self.plan.op(op).state() {
             StateModel::Stateless => 0.0,
             StateModel::Fixed(total) => total.0 * g.tasks as f64 / p as f64,
-            StateModel::Window { bytes_per_event } => {
-                g.window_events() * bytes_per_event / 1e6
-            }
+            StateModel::Window { bytes_per_event } => g.window_events() * bytes_per_event / 1e6,
         };
     }
 
@@ -678,6 +693,13 @@ impl Engine {
         }
         if self.is_suspended(op) {
             return Err(EngineError::Busy(op));
+        }
+        if let Some(site) = placement
+            .sites()
+            .into_iter()
+            .find(|&s| self.site_failed(s, self.now))
+        {
+            return Err(EngineError::SiteFailed(site));
         }
         let mut candidate = self.physical.clone();
         candidate.set_placement(op, placement.clone());
@@ -725,7 +747,8 @@ impl Engine {
                     g.absorb_into_window(c, w, sigma);
                 }
             } else {
-                g.input.push_all(CohortQueue::scaled(&window_cohorts, share));
+                g.input
+                    .push_all(CohortQueue::scaled(&window_cohorts, share));
             }
             self.init_state(op, &mut g);
             self.groups.insert((op, site), g);
@@ -735,8 +758,7 @@ impl Engine {
         self.rekey_in_edges(op);
 
         let effective_transfers = if skip_state { Vec::new() } else { transfers };
-        self.metrics
-            .annotate(SimTime(self.now), "transition-start");
+        self.metrics.annotate(SimTime(self.now), "transition-start");
         self.migrations.push(Migration {
             op: Some(op),
             transfers: effective_transfers
@@ -819,6 +841,17 @@ impl Engine {
         if self.in_transition() {
             return Err(EngineError::Busy(OpId(0)));
         }
+        for op in sw.plan.op_ids() {
+            if let Some(site) = sw
+                .physical
+                .placement(op)
+                .sites()
+                .into_iter()
+                .find(|&s| self.site_failed(s, self.now))
+            {
+                return Err(EngineError::SiteFailed(site));
+            }
+        }
         sw.physical.validate(&sw.plan, self.net.topology())?;
 
         // Classify old in-flight data: carried ops keep it; the rest is
@@ -885,7 +918,10 @@ impl Engine {
         for key in edge_keys {
             let mut q = self.edges.remove(&key).expect("key just listed");
             if let Some(&new_op) = carry_map.get(&key.from_op) {
-                carried_pendings.entry(new_op).or_default().extend(q.drain());
+                carried_pendings
+                    .entry(new_op)
+                    .or_default()
+                    .extend(q.drain());
                 continue;
             }
             let out_factor = if total_src > 0.0 {
@@ -945,10 +981,7 @@ impl Engine {
         // their base rates.
         let new_rates = self.plan.expected_rates(&[]);
         let new_sources = self.plan.sources();
-        let new_total: f64 = new_sources
-            .iter()
-            .map(|s| new_rates[s.index()].1)
-            .sum();
+        let new_total: f64 = new_sources.iter().map(|s| new_rates[s.index()].1).sum();
         if new_total > 0.0 {
             for &src in &new_sources {
                 let share = new_rates[src.index()].1 / new_total;
@@ -961,8 +994,7 @@ impl Engine {
             }
         }
 
-        self.metrics
-            .annotate(SimTime(self.now), "transition-start");
+        self.metrics.annotate(SimTime(self.now), "transition-start");
         self.migrations.push(Migration {
             op: None,
             transfers: sw
@@ -986,6 +1018,37 @@ impl Engine {
         self.script.site_failed(site, SimTime(t))
     }
 
+    /// Compares the current failed-site set against the previous
+    /// tick's and queues [`FailureEvent::SiteDown`] /
+    /// [`FailureEvent::SiteRestored`] for every transition, so the
+    /// controller sees outages *and* recoveries even when both fall
+    /// inside one monitoring interval (flapping).
+    fn detect_failure_edges(&mut self, t0: f64) {
+        let failed: Vec<SiteId> = self
+            .net
+            .topology()
+            .site_ids()
+            .filter(|&s| self.site_failed(s, t0))
+            .collect();
+        for &site in &failed {
+            if !self.prev_failed.contains(&site) {
+                self.pending_events.push(FailureEvent::SiteDown {
+                    site,
+                    at: SimTime(t0),
+                });
+            }
+        }
+        for &site in &self.prev_failed {
+            if !failed.contains(&site) {
+                self.pending_events.push(FailureEvent::SiteRestored {
+                    site,
+                    at: SimTime(t0),
+                });
+            }
+        }
+        self.prev_failed = failed;
+    }
+
     fn apply_failure_transitions(&mut self, t0: f64) {
         let failures: Vec<_> = self.script.failures().to_vec();
         for (i, f) in failures.iter().enumerate() {
@@ -1004,28 +1067,52 @@ impl Engine {
     }
 
     fn maybe_checkpoint(&mut self, t0: f64) {
-        if t0 - self.last_ckpt + 1e-9 >= self.cfg.checkpoint_interval_s {
-            self.last_ckpt = t0;
-            for g in self.groups.values_mut() {
-                g.since_ckpt.drain();
+        if t0 - self.last_ckpt + 1e-9 < self.cfg.checkpoint_interval_s {
+            return;
+        }
+        self.last_ckpt = t0;
+        if let CheckpointTarget::Remote(target) = self.cfg.checkpoint_target {
+            self.ckpt_rounds += 1;
+            // Rendezvous target down: nothing durable can be written
+            // this round. Keep every group's since-checkpoint work (it
+            // must still be redone on failure) and leave in-flight
+            // uploads stalled rather than pretending they landed.
+            if self.site_failed(target, t0) {
+                self.ckpt_incomplete += 1;
+                self.pending_events.push(FailureEvent::CheckpointStalled {
+                    target,
+                    at: SimTime(t0),
+                });
+                self.metrics.annotate(SimTime(t0), "checkpoint-stalled");
+                return;
             }
-            // Remote checkpointing ships every group's state to the
-            // rendezvous site; a new round supersedes any unfinished
-            // uploads (the stale snapshot is abandoned).
-            if let CheckpointTarget::Remote(target) = self.cfg.checkpoint_target {
-                self.ckpt_rounds += 1;
-                if !self.checkpoint_uploads.is_empty() {
-                    self.ckpt_incomplete += 1;
+            if !self.checkpoint_uploads.is_empty() {
+                self.ckpt_incomplete += 1;
+            }
+            // A new round supersedes any unfinished uploads (the stale
+            // snapshot is abandoned).
+            self.checkpoint_uploads.clear();
+            for (&(_, site), g) in self.groups.iter_mut() {
+                // A failed site can neither snapshot its state nor
+                // upload it — its since-checkpoint window stays open.
+                if self.script.site_failed(site, SimTime(t0)) {
+                    continue;
                 }
-                self.checkpoint_uploads.clear();
-                for (&(_, site), g) in &self.groups {
-                    if site != target && g.state_mb > 0.0 {
-                        self.checkpoint_uploads.push(TransferProgress {
-                            from: site,
-                            to: target,
-                            remaining_mb: g.state_mb,
-                        });
-                    }
+                g.since_ckpt.drain();
+                if site != target && g.state_mb > 0.0 {
+                    self.checkpoint_uploads.push(TransferProgress {
+                        from: site,
+                        to: target,
+                        remaining_mb: g.state_mb,
+                    });
+                }
+            }
+        } else {
+            // Localized checkpointing: every healthy site snapshots in
+            // place; failed sites keep their redo window open.
+            for (&(_, site), g) in self.groups.iter_mut() {
+                if !self.script.site_failed(site, SimTime(t0)) {
+                    g.since_ckpt.drain();
                 }
             }
         }
@@ -1034,10 +1121,7 @@ impl Engine {
     /// Megabytes of checkpoint uploads still in flight (remote
     /// checkpointing only).
     pub fn pending_checkpoint_upload_mb(&self) -> f64 {
-        self.checkpoint_uploads
-            .iter()
-            .map(|t| t.remaining_mb)
-            .sum()
+        self.checkpoint_uploads.iter().map(|t| t.remaining_mb).sum()
     }
 
     /// `(rounds, superseded)`: how many remote checkpoint rounds were
@@ -1047,15 +1131,80 @@ impl Engine {
         (self.ckpt_rounds, self.ckpt_incomplete)
     }
 
+    /// Completes finished migrations — and *aborts* any migration
+    /// whose transfer endpoints or destination sites failed mid-flight.
+    ///
+    /// Without the abort check, an empty-transfer migration would
+    /// complete by wall-clock even when its destination died during
+    /// the restart penalty, and a migration with in-flight transfers
+    /// would stall forever (its transfers never drain past a dead
+    /// endpoint), freezing the controller behind `in_transition()`.
+    /// Aborting models the real recovery: the move is cancelled, the
+    /// operator falls back to its last checkpoint, and the
+    /// since-checkpoint window is replayed (redo, §5).
     fn complete_migrations(&mut self, t0: f64) {
         let mut finished: Vec<usize> = Vec::new();
+        let mut aborted: Vec<(usize, Option<OpId>, SiteId)> = Vec::new();
         for (i, m) in self.migrations.iter().enumerate() {
-            if m.done(t0) {
+            let dead_endpoint = m
+                .transfers
+                .iter()
+                .filter(|t| t.remaining_mb > 1e-9)
+                .flat_map(|t| [t.from, t.to])
+                .find(|&s| self.site_failed(s, t0));
+            let dead_destination = m.op.and_then(|op| {
+                self.physical
+                    .placement(op)
+                    .sites()
+                    .into_iter()
+                    .find(|&s| self.site_failed(s, t0))
+            });
+            if let Some(site) = dead_endpoint.or(dead_destination) {
+                aborted.push((i, m.op, site));
+            } else if m.done(t0) {
                 finished.push(i);
             }
         }
-        for &i in finished.iter().rev() {
+        // Remove in one descending index sweep so earlier removals
+        // don't shift later indices.
+        let mut removals: Vec<usize> = finished.clone();
+        removals.extend(aborted.iter().map(|&(i, _, _)| i));
+        removals.sort_unstable();
+        for &i in removals.iter().rev() {
             self.migrations.remove(i);
+        }
+        for &(_, op, site) in &aborted {
+            self.metrics.annotate(SimTime(t0), "transition-abort");
+            if let Some(op) = op {
+                // Redo replay: the moved state is only durable up to
+                // the last checkpoint, so everything processed since
+                // re-enters the input.
+                for (&(gop, _), g) in self.groups.iter_mut() {
+                    if gop == op {
+                        let lost = g.since_ckpt.drain();
+                        g.redo.push_all(lost);
+                    }
+                }
+                self.pending_events.push(FailureEvent::MigrationAborted {
+                    op: Some(op),
+                    site,
+                    at: SimTime(t0),
+                });
+            } else {
+                // Whole-query transition: every stage redoes its
+                // since-checkpoint window.
+                for g in self.groups.values_mut() {
+                    let lost = g.since_ckpt.drain();
+                    g.redo.push_all(lost);
+                }
+                self.pending_events.push(FailureEvent::MigrationAborted {
+                    op: None,
+                    site,
+                    at: SimTime(t0),
+                });
+            }
+        }
+        for _ in &finished {
             self.metrics.annotate(SimTime(t0), "transition-end");
         }
     }
@@ -1195,10 +1344,7 @@ impl Engine {
         let rates = self.net.allocate(&flows, SimTime(t0));
         for (f, r) in flows.iter().zip(&rates) {
             if f.from != f.to && r.0 > 0.0 {
-                *self
-                    .last_link_usage
-                    .entry((f.from, f.to))
-                    .or_insert(0.0) += r.0;
+                *self.last_link_usage.entry((f.from, f.to)).or_insert(0.0) += r.0;
             }
         }
         // Move events along data flows.
@@ -1321,8 +1467,7 @@ impl Engine {
                                 g.absorb_into_window(c, w, sigma);
                             }
                         } else {
-                            g.pending_out
-                                .push_all(CohortQueue::scaled(&cohorts, sigma));
+                            g.pending_out.push_all(CohortQueue::scaled(&cohorts, sigma));
                         }
                     }
                     // --- event-time window firing ---
@@ -1371,11 +1516,8 @@ impl Engine {
                                         to_op: d,
                                         to_site: sd,
                                     };
-                                    let used = self
-                                        .edges
-                                        .get(&key)
-                                        .map(|q| q.len_events())
-                                        .unwrap_or(0.0);
+                                    let used =
+                                        self.edges.get(&key).map(|q| q.len_events()).unwrap_or(0.0);
                                     let free = (self.cfg.edge_buffer_events - used).max(0.0);
                                     limit = limit.min(free / share);
                                 }
@@ -1443,6 +1585,7 @@ mod tests {
     use super::*;
     use crate::operator::OperatorSpec;
     use crate::plan::LogicalPlanBuilder;
+    use wasp_netsim::dynamics::Failure;
     use wasp_netsim::site::SiteKind;
     use wasp_netsim::topology::TopologyBuilder;
     use wasp_netsim::trace::FactorSeries;
@@ -1480,12 +1623,7 @@ mod tests {
         p.build().unwrap()
     }
 
-    fn engine_for(
-        net: Network,
-        script: DynamicsScript,
-        plan: LogicalPlan,
-        dc: SiteId,
-    ) -> Engine {
+    fn engine_for(net: Network, script: DynamicsScript, plan: LogicalPlan, dc: SiteId) -> Engine {
         let physical = PhysicalPlan::initial(&plan, dc);
         Engine::new(net, script, plan, physical, EngineConfig::default()).unwrap()
     }
@@ -1588,8 +1726,8 @@ mod tests {
     fn workload_factor_scales_generation() {
         let (net, edge, dc) = world(10.0);
         let plan = linear_plan(edge, 1000.0, 5.0);
-        let script = DynamicsScript::none()
-            .with_global_workload(FactorSeries::steps(1.0, &[(50.0, 2.0)]));
+        let script =
+            DynamicsScript::none().with_global_workload(FactorSeries::steps(1.0, &[(50.0, 2.0)]));
         let mut eng = engine_for(net, script, plan, dc);
         eng.run(49.0);
         let g1 = eng.metrics().total_generated();
@@ -1829,13 +1967,11 @@ mod tests {
     fn failure_halts_and_recovery_catches_up() {
         let (net, edge, dc) = world(20.0);
         let plan = linear_plan(edge, 1000.0, 5.0);
-        let script = DynamicsScript::none().with_failure(
-            wasp_netsim::dynamics::Failure {
-                at: SimTime(60.0),
-                restore_after: 30.0,
-                site: None,
-            },
-        );
+        let script = DynamicsScript::none().with_failure(wasp_netsim::dynamics::Failure {
+            at: SimTime(60.0),
+            restore_after: 30.0,
+            site: None,
+        });
         let mut eng = engine_for(net, script, plan, dc);
         eng.run(200.0);
         let m = eng.metrics();
@@ -1861,8 +1997,7 @@ mod tests {
             .iter()
             .filter(|r| r.t > 90.0)
             .map(|r| r.delivered)
-            .fold(0.0, f64::max)
-            ;
+            .fold(0.0, f64::max);
         assert!(max_after > 700.0, "max burst {max_after}");
     }
 
@@ -1933,7 +2068,6 @@ mod tests {
         assert!(late > 4000.0, "late deliveries {late}");
     }
 
-
     #[test]
     fn transition_annotations_bracket_each_adaptation() {
         let (net, edge, dc) = world(10.0);
@@ -1948,12 +2082,26 @@ mod tests {
         .unwrap();
         eng.run(20.0);
         let actions = eng.metrics().actions();
-        let starts = actions.iter().filter(|(_, a)| a == "transition-start").count();
-        let ends = actions.iter().filter(|(_, a)| a == "transition-end").count();
+        let starts = actions
+            .iter()
+            .filter(|(_, a)| a == "transition-start")
+            .count();
+        let ends = actions
+            .iter()
+            .filter(|(_, a)| a == "transition-end")
+            .count();
         assert_eq!(starts, 1);
         assert_eq!(ends, 1);
-        let t_start = actions.iter().find(|(_, a)| a == "transition-start").unwrap().0;
-        let t_end = actions.iter().find(|(_, a)| a == "transition-end").unwrap().0;
+        let t_start = actions
+            .iter()
+            .find(|(_, a)| a == "transition-start")
+            .unwrap()
+            .0;
+        let t_end = actions
+            .iter()
+            .find(|(_, a)| a == "transition-end")
+            .unwrap()
+            .0;
         assert!(t_end > t_start);
     }
 
@@ -2022,8 +2170,7 @@ mod tests {
         let plan = p.build().unwrap();
         let script = DynamicsScript::none();
         let physical = PhysicalPlan::initial(&plan, dc);
-        let mut eng =
-            Engine::new(net, script, plan, physical, EngineConfig::default()).unwrap();
+        let mut eng = Engine::new(net, script, plan, physical, EngineConfig::default()).unwrap();
         eng.run(120.0);
         let m = eng.metrics();
         // With σ=1 everything is delivered; conservation holds even
@@ -2092,8 +2239,14 @@ mod tests {
             },
         ));
         let f = p.add(OperatorSpec::new("f", OperatorKind::Filter).with_selectivity(0.5));
-        let k1 = p.add(OperatorSpec::new("sink-a", OperatorKind::Sink { site: None }));
-        let k2 = p.add(OperatorSpec::new("sink-b", OperatorKind::Sink { site: None }));
+        let k1 = p.add(OperatorSpec::new(
+            "sink-a",
+            OperatorKind::Sink { site: None },
+        ));
+        let k2 = p.add(OperatorSpec::new(
+            "sink-b",
+            OperatorKind::Sink { site: None },
+        ));
         p.connect(s, f);
         p.connect(f, k1);
         p.connect(f, k2);
@@ -2168,5 +2321,236 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// Three-site world for failure tests: edge (source) plus two DCs.
+    /// The dc1↔dc2 link is slow (10 Mbps) so state migrations take
+    /// long enough for a failure to strike mid-transfer.
+    fn failure_world() -> (Network, SiteId, SiteId, SiteId) {
+        let mut b = TopologyBuilder::new();
+        let edge = b.add_site("edge", SiteKind::Edge, 4);
+        let dc1 = b.add_site("dc1", SiteKind::DataCenter, 8);
+        let dc2 = b.add_site("dc2", SiteKind::DataCenter, 8);
+        b.set_symmetric_link(edge, dc1, Mbps(50.0), Millis(20.0));
+        b.set_symmetric_link(edge, dc2, Mbps(50.0), Millis(20.0));
+        b.set_symmetric_link(dc1, dc2, Mbps(10.0), Millis(30.0));
+        (Network::new(b.build().unwrap()), edge, dc1, dc2)
+    }
+
+    /// src(edge) → agg(60 MB state) → sink, agg and sink at dc1.
+    fn stateful_failure_setup(
+        script: DynamicsScript,
+        cfg: EngineConfig,
+    ) -> (Engine, SiteId, SiteId, OpId) {
+        let (net, edge, dc1, dc2) = failure_world();
+        let mut p = LogicalPlanBuilder::new("fail");
+        let s = p.add(OperatorSpec::new(
+            "src",
+            OperatorKind::Source {
+                site: edge,
+                base_rate: 500.0,
+                event_bytes: 100.0,
+            },
+        ));
+        let w = p.add(
+            OperatorSpec::new("agg", OperatorKind::WindowAggregate { window_s: 10.0 })
+                .with_selectivity(0.1)
+                .with_state(StateModel::Fixed(MegaBytes(60.0))),
+        );
+        let k = p.add(OperatorSpec::new("sink", OperatorKind::Sink { site: None }));
+        p.connect(s, w);
+        p.connect(w, k);
+        let plan = p.build().unwrap();
+        let physical = PhysicalPlan::initial(&plan, dc1);
+        let eng = Engine::new(net, script, plan, physical, cfg).unwrap();
+        (eng, dc1, dc2, w)
+    }
+
+    #[test]
+    fn migration_aborts_when_destination_fails_mid_transfer() {
+        // 60 MB over the 10 Mbps dc1→dc2 link needs ~48 s; dc2 dies
+        // 2 s into the transfer. Without the abort the transfer would
+        // stall forever behind the dead endpoint, pinning the engine
+        // in `in_transition()`.
+        let script = DynamicsScript::none().with_failure(Failure {
+            at: SimTime(52.0),
+            restore_after: 30.0,
+            site: Some(SiteId(2)),
+        });
+        let (mut eng, dc1, dc2, w) = stateful_failure_setup(script, EngineConfig::default());
+        eng.run(50.0);
+        eng.apply(Command::Redeploy {
+            op: w,
+            placement: Placement::single(dc2, 1),
+            transfers: vec![Transfer::new(dc1, dc2, MegaBytes(60.0))],
+            skip_state: false,
+        })
+        .unwrap();
+        assert!(eng.in_transition());
+        eng.run(5.0);
+        assert!(!eng.in_transition(), "must abort, not stall");
+        let actions = eng.metrics().actions().to_vec();
+        assert!(
+            actions.iter().any(|(_, l)| l == "transition-abort"),
+            "actions: {actions:?}"
+        );
+        assert!(
+            !actions.iter().any(|(_, l)| l == "transition-end"),
+            "the aborted migration must not also complete: {actions:?}"
+        );
+        let snap = eng.snapshot();
+        assert!(
+            snap.events.iter().any(|e| matches!(
+                e,
+                FailureEvent::MigrationAborted { op: Some(op), site, .. }
+                    if *op == w && *site == dc2
+            )),
+            "events: {:?}",
+            snap.events
+        );
+    }
+
+    #[test]
+    fn empty_transfer_migration_does_not_complete_onto_dead_site() {
+        // A migration with no transfers completes by wall clock alone
+        // (the restart penalty). If the destination dies inside that
+        // window, completing would deploy tasks onto a dead site.
+        let script = DynamicsScript::none().with_failure(Failure {
+            at: SimTime(51.0),
+            restore_after: 30.0,
+            site: Some(SiteId(2)),
+        });
+        let (mut eng, _dc1, dc2, w) = stateful_failure_setup(script, EngineConfig::default());
+        eng.run(50.0);
+        eng.apply(Command::Redeploy {
+            op: w,
+            placement: Placement::single(dc2, 1),
+            transfers: Vec::new(),
+            skip_state: true,
+        })
+        .unwrap();
+        eng.run(5.0); // restart penalty ends at t=52, dc2 dead from t=51
+        assert!(!eng.in_transition());
+        let actions = eng.metrics().actions().to_vec();
+        assert!(
+            actions.iter().any(|(_, l)| l == "transition-abort"),
+            "actions: {actions:?}"
+        );
+        assert!(!actions.iter().any(|(_, l)| l == "transition-end"));
+    }
+
+    #[test]
+    fn redeploy_onto_failed_site_is_rejected() {
+        let script = DynamicsScript::none().with_failure(Failure {
+            at: SimTime(40.0),
+            restore_after: 30.0,
+            site: Some(SiteId(2)),
+        });
+        let (mut eng, dc1, dc2, w) = stateful_failure_setup(script, EngineConfig::default());
+        eng.run(50.0);
+        let err = eng
+            .apply(Command::Redeploy {
+                op: w,
+                placement: Placement::single(dc2, 1),
+                transfers: vec![Transfer::new(dc1, dc2, MegaBytes(60.0))],
+                skip_state: false,
+            })
+            .unwrap_err();
+        assert_eq!(err, EngineError::SiteFailed(dc2));
+        // After the site restores the same command is accepted.
+        eng.run(25.0);
+        eng.apply(Command::Redeploy {
+            op: w,
+            placement: Placement::single(dc2, 1),
+            transfers: vec![Transfer::new(dc1, dc2, MegaBytes(60.0))],
+            skip_state: false,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn remote_checkpoint_stalls_while_target_down() {
+        // Rendezvous target dc2 is down across the t=60 and t=90
+        // checkpoint rounds: both rounds must count as incomplete and
+        // no uploads may be created toward the dead site.
+        let script = DynamicsScript::none().with_failure(Failure {
+            at: SimTime(55.0),
+            restore_after: 40.0,
+            site: Some(SiteId(2)),
+        });
+        let cfg = EngineConfig {
+            checkpoint_target: CheckpointTarget::Remote(SiteId(2)),
+            ..EngineConfig::default()
+        };
+        let (mut eng, _dc1, dc2, _w) = stateful_failure_setup(script, cfg);
+        eng.run(130.0);
+        let (rounds, incomplete) = eng.checkpoint_stats();
+        assert!(rounds >= 4, "rounds {rounds}");
+        assert!(incomplete >= 2, "stalled rounds must count: {incomplete}");
+        let snap = eng.snapshot();
+        let stalled: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    FailureEvent::CheckpointStalled { target, .. } if *target == dc2
+                )
+            })
+            .collect();
+        assert_eq!(stalled.len(), 2, "events: {:?}", snap.events);
+    }
+
+    #[test]
+    fn snapshot_surfaces_site_down_and_restore_events() {
+        let script = DynamicsScript::none().with_failure(Failure {
+            at: SimTime(40.0),
+            restore_after: 20.0,
+            site: Some(SiteId(1)),
+        });
+        let (mut eng, dc1, _dc2, _w) = stateful_failure_setup(script, EngineConfig::default());
+        eng.run(100.0);
+        let snap = eng.snapshot();
+        assert!(snap.events.iter().any(|e| matches!(
+            e,
+            FailureEvent::SiteDown { site, .. } if *site == dc1
+        )));
+        assert!(snap.events.iter().any(|e| matches!(
+            e,
+            FailureEvent::SiteRestored { site, .. } if *site == dc1
+        )));
+        // Events are drained: a second snapshot starts clean.
+        let snap2 = eng.snapshot();
+        assert!(snap2.events.is_empty());
+    }
+
+    #[test]
+    fn link_blackout_from_script_throttles_the_stream() {
+        // Blacking out edge→dc for 100 s must cut delivery during the
+        // blackout and let it recover afterwards.
+        let (net, edge, dc) = world(10.0);
+        let plan = linear_plan(edge, 1000.0, 5.0);
+        let script = DynamicsScript::none().with_link_bandwidth(
+            edge,
+            dc,
+            FactorSeries::steps(1.0, &[(100.0, 0.0), (200.0, 1.0)]),
+        );
+        let mut eng = engine_for(net, script, plan, dc);
+        eng.run(300.0);
+        let m = eng.metrics();
+        let during: f64 = m
+            .ticks()
+            .iter()
+            .filter(|r| r.t > 110.0 && r.t <= 190.0)
+            .map(|r| r.delivered)
+            .sum();
+        let after: f64 = m
+            .ticks()
+            .iter()
+            .filter(|r| r.t > 210.0 && r.t <= 290.0)
+            .map(|r| r.delivered)
+            .sum();
+        assert!(during < 1.0, "no delivery through a black link: {during}");
+        assert!(after > 1000.0, "delivery must resume: {after}");
     }
 }

@@ -44,7 +44,9 @@ pub fn window_index(time: f64, window_s: f64) -> i64 {
 pub fn tumbling_windows(events: &[Event], window_s: f64) -> Vec<(i64, Vec<Event>)> {
     let mut map: BTreeMap<i64, Vec<Event>> = BTreeMap::new();
     for &e in events {
-        map.entry(window_index(e.time, window_s)).or_default().push(e);
+        map.entry(window_index(e.time, window_s))
+            .or_default()
+            .push(e);
     }
     map.into_iter().collect()
 }

@@ -126,9 +126,7 @@ impl<'a> ExactEngine<'a> {
                     .then(a.key.cmp(&b.key))
             });
             let out = match spec.kind() {
-                OperatorKind::Source { .. } => {
-                    sources.get(&op).cloned().unwrap_or_default()
-                }
+                OperatorKind::Source { .. } => sources.get(&op).cloned().unwrap_or_default(),
                 OperatorKind::Filter => {
                     if let Some(pred) = self.predicates.get(spec.name()) {
                         input.into_iter().filter(|e| pred(e)).collect()
@@ -144,12 +142,10 @@ impl<'a> ExactEngine<'a> {
                             .collect()
                     }
                 }
-                OperatorKind::Map | OperatorKind::Project => {
-                    match self.mappers.get(spec.name()) {
-                        Some(mapper) => input.into_iter().map(mapper).collect(),
-                        None => input,
-                    }
-                }
+                OperatorKind::Map | OperatorKind::Project => match self.mappers.get(spec.name()) {
+                    Some(mapper) => input.into_iter().map(mapper).collect(),
+                    None => input,
+                },
                 OperatorKind::Union => input,
                 OperatorKind::WindowAggregate { window_s } => {
                     match self.aggregates.get(spec.name()) {
@@ -315,9 +311,18 @@ mod tests {
         let build = |shape: u8| {
             let mut b = LogicalPlanBuilder::new(format!("join-{shape}"));
             let srcs: Vec<OpId> = (0..4).map(|i| b.add(source_spec(i))).collect();
-            let j1 = b.add(OperatorSpec::new("j1", OperatorKind::Join { window_s: window }));
-            let j2 = b.add(OperatorSpec::new("j2", OperatorKind::Join { window_s: window }));
-            let j3 = b.add(OperatorSpec::new("j3", OperatorKind::Join { window_s: window }));
+            let j1 = b.add(OperatorSpec::new(
+                "j1",
+                OperatorKind::Join { window_s: window },
+            ));
+            let j2 = b.add(OperatorSpec::new(
+                "j2",
+                OperatorKind::Join { window_s: window },
+            ));
+            let j3 = b.add(OperatorSpec::new(
+                "j3",
+                OperatorKind::Join { window_s: window },
+            ));
             let k = b.add(OperatorSpec::new("sink", OperatorKind::Sink { site: None }));
             match shape {
                 // ((A ⋈ B) ⋈ (C ⋈ D))

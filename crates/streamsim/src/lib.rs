@@ -76,7 +76,7 @@ pub mod prelude {
     };
     pub use crate::exact_engine::ExactEngine;
     pub use crate::ids::{OpId, QueryId};
-    pub use crate::metrics::{QuerySnapshot, RunMetrics, StageObs, TickRow};
+    pub use crate::metrics::{FailureEvent, QuerySnapshot, RunMetrics, StageObs, TickRow};
     pub use crate::operator::{OperatorKind, OperatorSpec, StateModel};
     pub use crate::physical::{PhysicalError, PhysicalPlan, Placement};
     pub use crate::plan::{LogicalPlan, LogicalPlanBuilder, PlanError};

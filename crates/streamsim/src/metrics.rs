@@ -62,6 +62,48 @@ impl StageObs {
     }
 }
 
+/// A failure-related event the engine observed since the previous
+/// snapshot. The controller's emergency path keys off these rather
+/// than re-deriving them from raw per-stage observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FailureEvent {
+    /// A site lost all its slots at `at`.
+    SiteDown {
+        /// The failed site.
+        site: SiteId,
+        /// When the engine observed the failure.
+        at: SimTime,
+    },
+    /// A previously failed site came back at `at`.
+    SiteRestored {
+        /// The restored site.
+        site: SiteId,
+        /// When the engine observed the restore.
+        at: SimTime,
+    },
+    /// An in-flight migration was aborted because a transfer endpoint
+    /// or destination site failed mid-flight; the operator's state
+    /// fell back to its last checkpoint plus redo replay.
+    MigrationAborted {
+        /// The operator whose migration was aborted (`None` for a
+        /// whole-query plan switch).
+        op: Option<OpId>,
+        /// The failed site that forced the abort.
+        site: SiteId,
+        /// When the abort happened.
+        at: SimTime,
+    },
+    /// A remote-checkpoint round could not complete because the
+    /// rendezvous target site was down; uploads are stalled, not
+    /// silently dropped.
+    CheckpointStalled {
+        /// The unreachable rendezvous site.
+        target: SiteId,
+        /// When the stalled round was attempted.
+        at: SimTime,
+    },
+}
+
 /// The Global Metric Monitor's periodic view of a whole query.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QuerySnapshot {
@@ -78,6 +120,9 @@ pub struct QuerySnapshot {
     pub free_slots: BTreeMap<SiteId, u32>,
     /// Sites currently failed.
     pub failed_sites: Vec<SiteId>,
+    /// Failure-related events since the previous snapshot (drained on
+    /// every snapshot).
+    pub events: Vec<FailureEvent>,
 }
 
 impl QuerySnapshot {
@@ -228,7 +273,10 @@ impl RunMetrics {
         for row in &self.ticks {
             if row.t > bucket_end {
                 let expected = gen * e2e_selectivity;
-                out.push((bucket_end, if expected > 0.0 { del / expected } else { 1.0 }));
+                out.push((
+                    bucket_end,
+                    if expected > 0.0 { del / expected } else { 1.0 },
+                ));
                 gen = 0.0;
                 del = 0.0;
                 while row.t > bucket_end {
@@ -240,7 +288,10 @@ impl RunMetrics {
         }
         if gen > 0.0 {
             let expected = gen * e2e_selectivity;
-            out.push((bucket_end, if expected > 0.0 { del / expected } else { 1.0 }));
+            out.push((
+                bucket_end,
+                if expected > 0.0 { del / expected } else { 1.0 },
+            ));
         }
         out
     }
@@ -307,13 +358,7 @@ impl RunMetrics {
         if total_w <= 0.0 {
             return None;
         }
-        Some(
-            self.delay_samples
-                .iter()
-                .map(|(d, w)| d * w)
-                .sum::<f64>()
-                / total_w,
-        )
+        Some(self.delay_samples.iter().map(|(d, w)| d * w).sum::<f64>() / total_w)
     }
 
     /// Unweighted per-tick quantile of `mean_delay` rows within

@@ -276,14 +276,12 @@ impl PhysicalPlan {
                 return Err(PhysicalError::EmptyStage(id));
             }
             match plan.op(id).kind() {
-                OperatorKind::Source { site, .. }
-                    if placement.sites() != vec![*site] => {
-                        return Err(PhysicalError::PinnedMismatch(id));
-                    }
-                OperatorKind::Sink { site: Some(s) }
-                    if placement.sites() != vec![*s] => {
-                        return Err(PhysicalError::PinnedMismatch(id));
-                    }
+                OperatorKind::Source { site, .. } if placement.sites() != vec![*site] => {
+                    return Err(PhysicalError::PinnedMismatch(id));
+                }
+                OperatorKind::Sink { site: Some(s) } if placement.sites() != vec![*s] => {
+                    return Err(PhysicalError::PinnedMismatch(id));
+                }
                 _ => {}
             }
         }

@@ -179,11 +179,7 @@ impl LogicalPlan {
     /// processing-ratio metric.
     pub fn end_to_end_selectivity(&self) -> f64 {
         let rates = self.expected_rates(&[]);
-        let src: f64 = self
-            .sources()
-            .iter()
-            .map(|s| rates[s.index()].1)
-            .sum();
+        let src: f64 = self.sources().iter().map(|s| rates[s.index()].1).sum();
         let sink: f64 = self.sinks().iter().map(|s| rates[s.index()].0).sum();
         if src <= 0.0 {
             0.0
@@ -194,7 +190,9 @@ impl LogicalPlan {
 
     /// The set of stateful operator ids.
     pub fn stateful_ops(&self) -> Vec<OpId> {
-        self.op_ids().filter(|&id| self.op(id).is_stateful()).collect()
+        self.op_ids()
+            .filter(|&id| self.op(id).is_stateful())
+            .collect()
     }
 
     /// A structural fingerprint of the sub-plan rooted at `id`: the
@@ -413,7 +411,7 @@ mod tests {
         assert_eq!(rates[0], (1000.0, 1000.0)); // source
         assert_eq!(rates[1], (1000.0, 500.0)); // filter σ=0.5
         assert_eq!(rates[2], (500.0, 500.0)); // sink (σ=1)
-        // Overriding the source rate scales everything.
+                                              // Overriding the source rate scales everything.
         let rates = p.expected_rates(&[(OpId(0), 2000.0)]);
         assert_eq!(rates[1], (2000.0, 1000.0));
     }
@@ -442,7 +440,10 @@ mod tests {
     fn join_needs_two_inputs() {
         let mut b = LogicalPlanBuilder::new("bad-join");
         let s = b.add(source(0, 1.0));
-        let j = b.add(OperatorSpec::new("j", OperatorKind::Join { window_s: 10.0 }));
+        let j = b.add(OperatorSpec::new(
+            "j",
+            OperatorKind::Join { window_s: 10.0 },
+        ));
         let k = b.add(OperatorSpec::new("sink", OperatorKind::Sink { site: None }));
         b.connect(s, j);
         b.connect(j, k);
@@ -477,7 +478,10 @@ mod tests {
         let k = b.add(OperatorSpec::new("sink", OperatorKind::Sink { site: None }));
         b.connect(s, k);
         b.connect(s, k);
-        assert!(matches!(b.build().unwrap_err(), PlanError::DuplicateEdge(_, _)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            PlanError::DuplicateEdge(_, _)
+        ));
     }
 
     #[test]
@@ -512,7 +516,10 @@ mod tests {
                 OperatorSpec::new("jCD", OperatorKind::Join { window_s: 5.0 })
                     .with_state(StateModel::Fixed(MegaBytes(10.0))),
             );
-            let top = b.add(OperatorSpec::new("top", OperatorKind::Join { window_s: 5.0 }));
+            let top = b.add(OperatorSpec::new(
+                "top",
+                OperatorKind::Join { window_s: 5.0 },
+            ));
             let k = b.add(OperatorSpec::new("sink", OperatorKind::Sink { site: None }));
             b.connect(s[first_pair.0 as usize], j1);
             b.connect(s[first_pair.1 as usize], j1);
@@ -525,7 +532,7 @@ mod tests {
         };
         let (p1, p1_j1, p1_j2) = build((0, 1));
         let (p2, p2_j1, p2_j2) = build((1, 0)); // commuted inputs
-        // σ(C ⋈ D) has the same fingerprint in both plans.
+                                                // σ(C ⋈ D) has the same fingerprint in both plans.
         assert_eq!(p1.subplan_fingerprint(p1_j2), p2.subplan_fingerprint(p2_j2));
         // And the commuted join fingerprints match because inputs are
         // sorted (joins are commutative).

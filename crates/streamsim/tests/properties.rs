@@ -187,12 +187,7 @@ mod engine_props {
     use wasp_streamsim::plan::{LogicalPlan, LogicalPlanBuilder};
 
     /// A random linear pipeline over a small fully-connected world.
-    fn build(
-        n_sites: u16,
-        link_mbps: f64,
-        rate: f64,
-        sigmas: &[f64],
-    ) -> (Network, LogicalPlan) {
+    fn build(n_sites: u16, link_mbps: f64, rate: f64, sigmas: &[f64]) -> (Network, LogicalPlan) {
         let mut b = TopologyBuilder::new();
         for i in 0..n_sites {
             b.add_site(format!("s{i}"), SiteKind::DataCenter, 8);

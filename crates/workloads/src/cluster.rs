@@ -218,8 +218,8 @@ mod tests {
             a,
             Box::new(WaspController::new(PolicyConfig::default())),
         );
-        let script = DynamicsScript::none()
-            .with_global_workload(FactorSeries::steps(1.0, &[(120.0, 4.0)]));
+        let script =
+            DynamicsScript::none().with_global_workload(FactorSeries::steps(1.0, &[(120.0, 4.0)]));
         let (b, _) = build_engine(QueryKind::EventsOfInterest, &tb, script, engine_cfg());
         cluster.add_tenant("b", b, Box::new(NoAdaptController));
         cluster.run(900.0);

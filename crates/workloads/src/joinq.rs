@@ -155,11 +155,7 @@ impl JoinQuery {
             placements: &mut Vec<(OpId, Placement)>,
         ) -> (OpId, f64, f64) {
             match tree {
-                JoinTree::Leaf(i) => (
-                    leaf_ids[*i],
-                    q.streams[*i].rate,
-                    q.streams[*i].event_bytes,
-                ),
+                JoinTree::Leaf(i) => (leaf_ids[*i], q.streams[*i].rate, q.streams[*i].event_bytes),
                 JoinTree::Node { left, right, site } => {
                     let (l_id, l_rate, l_bytes) = build(q, left, b, leaf_ids, placements);
                     let (r_id, r_rate, r_bytes) = build(q, right, b, leaf_ids, placements);
@@ -185,7 +181,11 @@ impl JoinQuery {
                     b.connect(l_id, id);
                     b.connect(r_id, id);
                     placements.push((id, Placement::single(*site, 1)));
-                    (id, q.join_selectivity * (l_rate + r_rate), l_bytes + r_bytes)
+                    (
+                        id,
+                        q.join_selectivity * (l_rate + r_rate),
+                        l_bytes + r_bytes,
+                    )
                 }
             }
         }
@@ -586,7 +586,10 @@ mod record_level_tests {
             wasp_netsim::dynamics::DynamicsScript::none(),
             old_plan.clone(),
             old_phys,
-            EngineConfig { dt: 0.5, ..EngineConfig::default() },
+            EngineConfig {
+                dt: 0.5,
+                ..EngineConfig::default()
+            },
         )
         .unwrap();
         eng.run(120.0);
@@ -611,9 +614,7 @@ mod record_level_tests {
         let mut streams: Vec<Vec<Event>> = Vec::new();
         for _ in 0..4 {
             let mut ev: Vec<Event> = (0..200)
-                .map(|_| {
-                    Event::new(rng.gen_range(0.0..30.0), rng.gen_range(0..4u64), 1.0)
-                })
+                .map(|_| Event::new(rng.gen_range(0.0..30.0), rng.gen_range(0..4u64), 1.0))
                 .collect();
             ev.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite"));
             streams.push(ev);

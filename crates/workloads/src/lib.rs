@@ -47,10 +47,9 @@ pub mod prelude {
         advertising_campaign, events_of_interest, topk_topics, QueryKind, DEFAULT_RATE,
     };
     pub use crate::scenarios::{
-        build_engine, overhead_breakdown, run_custom, run_migration_experiment,
-        run_section_8_4, run_section_8_5, run_section_8_6, ControllerKind, CustomRun,
-        ExperimentResult, MigrationResult, MigrationVariant, OverheadBreakdown,
-        ScenarioConfig,
+        build_engine, overhead_breakdown, run_custom, run_migration_experiment, run_section_8_4,
+        run_section_8_5, run_section_8_6, ControllerKind, CustomRun, ExperimentResult,
+        MigrationResult, MigrationVariant, OverheadBreakdown, ScenarioConfig,
     };
     pub use crate::twitter::TwitterTrace;
     pub use crate::ysb::{AdEvent, EventType, YsbGenerator};

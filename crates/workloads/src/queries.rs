@@ -101,13 +101,16 @@ impl QueryKind {
 
     /// Builds with the default 10 000 ev/s at every source.
     pub fn build_default(&self, sources: &[SiteId], sink: SiteId) -> LogicalPlan {
-        let with_rates: Vec<(SiteId, f64)> =
-            sources.iter().map(|&s| (s, DEFAULT_RATE)).collect();
+        let with_rates: Vec<(SiteId, f64)> = sources.iter().map(|&s| (s, DEFAULT_RATE)).collect();
         self.build(&with_rates, sink)
     }
 }
 
-fn add_sources(b: &mut LogicalPlanBuilder, sources: &[(SiteId, f64)], bytes: f64) -> Vec<wasp_streamsim::ids::OpId> {
+fn add_sources(
+    b: &mut LogicalPlanBuilder,
+    sources: &[(SiteId, f64)],
+    bytes: f64,
+) -> Vec<wasp_streamsim::ids::OpId> {
     sources
         .iter()
         .enumerate()
@@ -150,13 +153,19 @@ pub fn advertising_campaign(sources: &[(SiteId, f64)], sink: SiteId) -> LogicalP
     let window_rate = total_rate / 3.0;
     let sigma = YSB_CAMPAIGNS as f64 / (window_rate * 10.0).max(1.0);
     let window = b.add(
-        OperatorSpec::new("campaign-window", OperatorKind::WindowAggregate { window_s: 10.0 })
-            .with_selectivity(sigma)
-            .with_cost_us(8.0)
-            .with_out_bytes(32.0)
-            .with_state(StateModel::Fixed(MegaBytes(8.0))),
+        OperatorSpec::new(
+            "campaign-window",
+            OperatorKind::WindowAggregate { window_s: 10.0 },
+        )
+        .with_selectivity(sigma)
+        .with_cost_us(8.0)
+        .with_out_bytes(32.0)
+        .with_state(StateModel::Fixed(MegaBytes(8.0))),
     );
-    let sink = b.add(OperatorSpec::new("sink", OperatorKind::Sink { site: Some(sink) }));
+    let sink = b.add(OperatorSpec::new(
+        "sink",
+        OperatorKind::Sink { site: Some(sink) },
+    ));
     for s in srcs {
         b.connect(s, filter);
     }
@@ -192,13 +201,19 @@ pub fn topk_topics(sources: &[(SiteId, f64)], sink: SiteId) -> LogicalPlan {
     let window_rate = total_rate * 0.8;
     let sigma = (TOPK_COUNTRIES * TOPK_K) as f64 / (window_rate * 30.0).max(1.0);
     let window = b.add(
-        OperatorSpec::new("topk-window", OperatorKind::WindowAggregate { window_s: 30.0 })
-            .with_selectivity(sigma)
-            .with_cost_us(8.0)
-            .with_out_bytes(64.0)
-            .with_state(StateModel::Fixed(MegaBytes(100.0))),
+        OperatorSpec::new(
+            "topk-window",
+            OperatorKind::WindowAggregate { window_s: 30.0 },
+        )
+        .with_selectivity(sigma)
+        .with_cost_us(8.0)
+        .with_out_bytes(64.0)
+        .with_state(StateModel::Fixed(MegaBytes(100.0))),
     );
-    let sink = b.add(OperatorSpec::new("sink", OperatorKind::Sink { site: Some(sink) }));
+    let sink = b.add(OperatorSpec::new(
+        "sink",
+        OperatorKind::Sink { site: Some(sink) },
+    ));
     for s in srcs {
         b.connect(s, filter);
     }
@@ -230,7 +245,10 @@ pub fn events_of_interest(sources: &[(SiteId, f64)], sink: SiteId) -> LogicalPla
             .with_cost_us(2.0)
             .with_out_bytes(10.0),
     );
-    let sink = b.add(OperatorSpec::new("sink", OperatorKind::Sink { site: Some(sink) }));
+    let sink = b.add(OperatorSpec::new(
+        "sink",
+        OperatorKind::Sink { site: Some(sink) },
+    ));
     for s in srcs {
         b.connect(s, filter);
     }

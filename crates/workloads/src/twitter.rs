@@ -118,7 +118,11 @@ impl TwitterTrace {
                     break cand;
                 }
             };
-            out.push(Event::new(t, country as u64, topics.sample(&mut rng) as f64));
+            out.push(Event::new(
+                t,
+                country as u64,
+                topics.sample(&mut rng) as f64,
+            ));
         }
         out.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
         out

@@ -14,7 +14,9 @@ use wasp_workloads::prelude::*;
 fn main() {
     // --- Part 1: the live Top-K run -----------------------------------
     let cfg = ScenarioConfig::default();
-    println!("live environment (bandwidth walk 0.51–2.36×, workload 0.8–2.4×, failure at t=540):\n");
+    println!(
+        "live environment (bandwidth walk 0.51–2.36×, workload 0.8–2.4×, failure at t=540):\n"
+    );
     for ctrl in [
         ControllerKind::NoAdapt,
         ControllerKind::Degrade,
@@ -55,9 +57,7 @@ fn main() {
     let (plan, physical) = query.plan_from_tree(&query.default_tree());
     println!(
         "  initial plan: {}",
-        query
-            .default_tree()
-            .render(&query_leaves(&query))
+        query.default_tree().render(&query_leaves(&query))
     );
     let mut engine = Engine::new(
         net,

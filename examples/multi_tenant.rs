@@ -24,7 +24,12 @@ fn main() {
     let mut cluster = CoupledCluster::new();
 
     // Tenant A: a steady Top-K query under WASP.
-    let (a, a_e2e) = build_engine(QueryKind::TopK, &tb, DynamicsScript::none(), engine_cfg.clone());
+    let (a, a_e2e) = build_engine(
+        QueryKind::TopK,
+        &tb,
+        DynamicsScript::none(),
+        engine_cfg.clone(),
+    );
     cluster.add_tenant(
         "topk",
         a,

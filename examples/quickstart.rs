@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_selectivity(0.002)
             .with_state(StateModel::Fixed(MegaBytes(20.0))),
     );
-    let sink = p.add(OperatorSpec::new("sink", OperatorKind::Sink { site: Some(dc1) }));
+    let sink = p.add(OperatorSpec::new(
+        "sink",
+        OperatorKind::Sink { site: Some(dc1) },
+    ));
     for s in sources {
         p.connect(s, filter);
     }
@@ -65,8 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. The workload triples at t = 120 s.
-    let script = DynamicsScript::none()
-        .with_global_workload(FactorSeries::steps(1.0, &[(120.0, 3.0)]));
+    let script =
+        DynamicsScript::none().with_global_workload(FactorSeries::steps(1.0, &[(120.0, 3.0)]));
     let mut engine = Engine::new(net, script, plan, physical, EngineConfig::default())?;
 
     // 5. Run under the WASP controller with a 40 s monitoring

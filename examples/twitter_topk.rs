@@ -29,7 +29,10 @@ fn main() {
     for i in 0..12 {
         let t = i as f64 * 150.0;
         let f = trace.diurnal_factor(0, t);
-        println!("  t={t:>5.0}s factor {f:.2} {}", "#".repeat((f * 20.0) as usize));
+        println!(
+            "  t={t:>5.0}s factor {f:.2} {}",
+            "#".repeat((f * 20.0) as usize)
+        );
     }
 
     // --- Record-level top-k ---------------------------------------------

@@ -181,7 +181,10 @@ fn join_replanner_preserves_stateful_subplan_end_to_end() {
         wasp_netsim::dynamics::DynamicsScript::none(),
         plan,
         physical,
-        EngineConfig { dt: 0.5, ..EngineConfig::default() },
+        EngineConfig {
+            dt: 0.5,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
     let mut wasp = WaspController::with_replanner(

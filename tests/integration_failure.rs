@@ -66,7 +66,10 @@ fn live_run_baselines_show_the_tradeoff() {
     let base = tasks[0].1;
     let peak = tasks.iter().map(|&(_, p)| p).max().unwrap();
     let last = tasks.last().unwrap().1;
-    assert!(peak > base && last <= peak, "base {base} peak {peak} last {last}");
+    assert!(
+        peak > base && last <= peak,
+        "base {base} peak {peak} last {last}"
+    );
 }
 
 #[test]

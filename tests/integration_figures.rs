@@ -47,9 +47,7 @@ fn fig7_cdfs_are_valid_and_separated() {
         .iter()
         .map(|&(x, _)| x)
         .fold(f64::MIN, f64::max);
-    let dc_median = series(bw, "Data Center").points
-        [series(bw, "Data Center").points.len() / 2]
-        .0;
+    let dc_median = series(bw, "Data Center").points[series(bw, "Data Center").points.len() / 2].0;
     assert!(edge_max <= 10.0);
     assert!(dc_median > edge_max);
 }
@@ -193,10 +191,7 @@ fn table2_rows_are_complete() {
     // Header + 4 technique rows.
     assert_eq!(r.notes.len(), 5);
     for label in ["Re-assign", "Scale", "Re-plan", "Degradation"] {
-        assert!(
-            r.notes.iter().any(|n| n.contains(label)),
-            "missing {label}"
-        );
+        assert!(r.notes.iter().any(|n| n.contains(label)), "missing {label}");
     }
     // Only degradation sacrifices quality.
     let kept: Vec<f64> = r
@@ -244,7 +239,10 @@ fn ablations_show_expected_tradeoffs() {
     let p95 = series(&monitor, "p95-delay");
     let first = p95.points.first().expect("points").1;
     let last = p95.points.last().expect("points").1;
-    assert!(last > first, "p95 must grow with the interval: {first} vs {last}");
+    assert!(
+        last > first,
+        "p95 must grow with the interval: {first} vs {last}"
+    );
 
     // Checkpoints: post-failure damage grows with the interval.
     let ckpt = ablation_checkpoint_interval(&cfg);

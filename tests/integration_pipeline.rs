@@ -63,8 +63,12 @@ fn deployments_respect_slots_and_pins_across_seeds() {
 fn runs_are_deterministic() {
     let run = |seed: u64| {
         let tb = Testbed::paper(seed);
-        let (mut engine, _) =
-            build_engine(QueryKind::TopK, &tb, DynamicsScript::section_8_4(), engine_cfg());
+        let (mut engine, _) = build_engine(
+            QueryKind::TopK,
+            &tb,
+            DynamicsScript::section_8_4(),
+            engine_cfg(),
+        );
         engine.run(600.0);
         (
             engine.metrics().total_delivered(),
@@ -89,8 +93,12 @@ fn fluid_selectivity_matches_record_level_ysb() {
 
     // Fluid level: σ measured by the engine's monitor.
     let tb = Testbed::paper(42);
-    let (mut engine, _) =
-        build_engine(QueryKind::Advertising, &tb, DynamicsScript::none(), engine_cfg());
+    let (mut engine, _) = build_engine(
+        QueryKind::Advertising,
+        &tb,
+        DynamicsScript::none(),
+        engine_cfg(),
+    );
     engine.run(120.0);
     let snap = engine.snapshot();
     let filter = engine
@@ -129,10 +137,8 @@ fn backlog_events_surface_as_late_deliveries() {
     // events must be delivered with large measured delays (no silent
     // loss, no delay hiding).
     let tb = Testbed::paper(42);
-    let script = DynamicsScript::none().with_bandwidth(FactorSeries::steps(
-        1.0,
-        &[(100.0, 0.25), (400.0, 1.0)],
-    ));
+    let script = DynamicsScript::none()
+        .with_bandwidth(FactorSeries::steps(1.0, &[(100.0, 0.25), (400.0, 1.0)]));
     let (mut engine, e2e) = build_engine(QueryKind::TopK, &tb, script, engine_cfg());
     engine.run(1600.0);
     let m = engine.metrics();
@@ -195,13 +201,7 @@ fn exact_engine_validates_fluid_selectivity_model() {
     let mut sources: BTreeMap<OpId, Vec<Event>> = BTreeMap::new();
     for src in plan.sources() {
         let mut events: Vec<Event> = (0..per_source)
-            .map(|_| {
-                Event::new(
-                    rng.gen_range(0.0..horizon),
-                    rng.gen_range(0..1000u64),
-                    1.0,
-                )
-            })
+            .map(|_| Event::new(rng.gen_range(0.0..horizon), rng.gen_range(0..1000u64), 1.0))
             .collect();
         events.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite"));
         sources.insert(src, events);

@@ -1,0 +1,81 @@
+//! The self-describing value tree every (de)serialization funnels
+//! through, plus the bridging `ContentSerializer`/`ContentDeserializer`
+//! used by derived code and `with = "module"` adapters.
+
+use std::marker::PhantomData;
+
+/// A dynamically typed value, the common currency between `Serialize`
+/// implementations and format writers (and the reverse).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `None` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (array, tuple, tuple struct).
+    Seq(Vec<Content>),
+    /// Map (struct fields, map entries, enum variant wrapper).
+    Map(Vec<(Content, Content)>),
+}
+
+/// A [`crate::Serializer`] whose output *is* the content tree. Derived
+/// code and `with`-adapters use it to lower nested values.
+pub struct ContentSerializer<E> {
+    marker: PhantomData<E>,
+}
+
+impl<E> ContentSerializer<E> {
+    /// A fresh content serializer.
+    pub fn new() -> Self {
+        ContentSerializer {
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<E> Default for ContentSerializer<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: crate::ser::Error> crate::Serializer for ContentSerializer<E> {
+    type Ok = Content;
+    type Error = E;
+
+    fn serialize_content(self, content: Content) -> Result<Content, E> {
+        Ok(content)
+    }
+}
+
+/// A [`crate::Deserializer`] reading from an in-memory content tree.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wrap a content tree for deserialization.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: crate::de::Error> crate::Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}

@@ -1,0 +1,66 @@
+//! Deserialization traits and helpers for derived code.
+
+use crate::content::{Content, ContentDeserializer};
+
+/// Error constraint for deserializers, mirroring `serde::de::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a display-able message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A data format producing a content tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Parse the input into a content tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self` from `deserializer`.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// Rebuild a `T` from a content tree.
+pub fn from_content<T, E>(content: Content) -> Result<T, E>
+where
+    T: for<'de> Deserialize<'de>,
+    E: Error,
+{
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+/// Unwrap a map content, erroring otherwise. Used by derived struct
+/// impls.
+pub fn into_map<E: Error>(content: Content) -> Result<Vec<(Content, Content)>, E> {
+    match content {
+        Content::Map(entries) => Ok(entries),
+        other => Err(E::custom(format!("expected a map, got {other:?}"))),
+    }
+}
+
+/// Remove the entry for `key` from a struct's field map, returning its
+/// content (missing fields deserialize from `Null`, which lets
+/// `Option` fields default to `None`).
+pub fn take<E: Error>(entries: &mut Vec<(Content, Content)>, key: &str) -> Result<Content, E> {
+    let idx = entries
+        .iter()
+        .position(|(k, _)| matches!(k, Content::Str(s) if s == key));
+    Ok(match idx {
+        Some(i) => entries.remove(i).1,
+        None => Content::Null,
+    })
+}
+
+/// `take` + deserialize, the common case for derived struct fields.
+pub fn field<T, E>(entries: &mut Vec<(Content, Content)>, key: &str) -> Result<T, E>
+where
+    T: for<'de> Deserialize<'de>,
+    E: Error,
+{
+    from_content(take::<E>(entries, key)?)
+}

@@ -1,0 +1,315 @@
+//! `Serialize`/`Deserialize` implementations for primitives and the
+//! standard containers the workspace serializes.
+
+use crate::content::Content;
+use crate::de::{self, Deserialize, Deserializer};
+use crate::ser::{to_content, Serialize, Serializer};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+// ---------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Bool(*self))
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::U64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    serializer.serialize_content(Content::U64(v as u64))
+                } else {
+                    serializer.serialize_content(Content::I64(v))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::F64(*self as f64))
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_content(Content::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+fn ser_iter<'a, T, S, I>(iter: I, serializer: S) -> Result<S::Ok, S::Error>
+where
+    T: Serialize + 'a,
+    S: Serializer,
+    I: Iterator<Item = &'a T>,
+{
+    let mut seq = Vec::new();
+    for item in iter {
+        seq.push(to_content::<T, S::Error>(item)?);
+    }
+    serializer.serialize_content(Content::Seq(seq))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ser_iter(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ser_iter(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ser_iter(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ser_iter(self.iter(), serializer)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::new();
+        for (k, v) in self {
+            entries.push((to_content::<K, S::Error>(k)?, to_content::<V, S::Error>(v)?));
+        }
+        serializer.serialize_content(Content::Map(entries))
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let seq = vec![$(to_content::<$t, S::Error>(&self.$n)?),+];
+                serializer.serialize_content(Content::Seq(seq))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 W, 1 X, 2 Y, 3 Z)
+}
+
+// ---------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------
+
+fn type_err<E: de::Error>(expected: &str, got: &Content) -> E {
+    E::custom(format!("expected {expected}, got {got:?}"))
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(type_err("a bool", &other)),
+        }
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                match &content {
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| type_err(stringify!($t), &content)),
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| type_err(stringify!($t), &content)),
+                    // Stringified numeric map keys round-trip here.
+                    Content::Str(s) => s
+                        .parse::<$t>()
+                        .map_err(|_| type_err(stringify!($t), &content)),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(*v as $t),
+                    _ => Err(type_err(stringify!($t), &content)),
+                }
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! de_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.deserialize_content()?;
+                match &content {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::Str(s) => s
+                        .parse::<$t>()
+                        .map_err(|_| type_err(stringify!($t), &content)),
+                    _ => Err(type_err(stringify!($t), &content)),
+                }
+            }
+        }
+    )*};
+}
+de_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(type_err("a string", &other)),
+        }
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Option<T>
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            content => Ok(Some(de::from_content(content)?)),
+        }
+    }
+}
+
+fn de_seq<T, E>(content: Content) -> Result<Vec<T>, E>
+where
+    T: for<'a> Deserialize<'a>,
+    E: de::Error,
+{
+    match content {
+        Content::Seq(items) => items.into_iter().map(de::from_content).collect(),
+        other => Err(type_err("a sequence", &other)),
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Vec<T>
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        de_seq(deserializer.deserialize_content()?)
+    }
+}
+
+impl<'de, T> Deserialize<'de> for VecDeque<T>
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(de_seq::<T, D::Error>(deserializer.deserialize_content()?)?.into())
+    }
+}
+
+impl<'de, T> Deserialize<'de> for BTreeSet<T>
+where
+    T: for<'a> Deserialize<'a> + Ord,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(de_seq::<T, D::Error>(deserializer.deserialize_content()?)?
+            .into_iter()
+            .collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: for<'a> Deserialize<'a> + Ord,
+    V: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        de::from_content::<K, D::Error>(k)?,
+                        de::from_content::<V, D::Error>(v)?,
+                    ))
+                })
+                .collect(),
+            other => Err(type_err("a map", &other)),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal, $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t),+> Deserialize<'de> for ($($t,)+)
+        where
+            $($t: for<'a> Deserialize<'a>),+
+        {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            de::from_content::<$t, D::Error>(
+                                it.next().expect("length checked"),
+                            )?,
+                        )+))
+                    }
+                    other => Err(type_err(concat!("a tuple of ", $len), &other)),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (2, 0 A, 1 B)
+    (3, 0 A, 1 B, 2 C)
+    (4, 0 W, 1 X, 2 Y, 3 Z)
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`, covering the subset this workspace
+//! uses. The design funnels every value through a small self-describing
+//! content tree ([`content::Content`]) instead of serde's visitor
+//! machinery: `Serialize` lowers a value to `Content`, a `Serializer`
+//! consumes a `Content`, and the reverse for deserialization. The
+//! public trait *shapes* (`Serialize::serialize<S: Serializer>`,
+//! `Deserialize<'de>`, associated `Ok`/`Error` types, `with = "module"`
+//! adapters) match upstream serde closely enough that the workspace
+//! code and the doc examples compile unchanged.
+
+pub mod content;
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use crate::de::{Deserialize, Deserializer};
+pub use crate::ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,44 @@
+//! Serialization traits.
+
+use crate::content::{Content, ContentSerializer};
+
+/// Error constraint for serializers, mirroring `serde::ser::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a display-able message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A data format that can consume a content tree.
+///
+/// Upstream serde has ~30 `serialize_*` entry points; this stand-in
+/// funnels everything through [`Serializer::serialize_content`], with
+/// `Serialize` impls responsible for lowering values to
+/// [`Content`]. The associated `Ok`/`Error` types keep call-site
+/// signatures (`Result<S::Ok, S::Error>`) source compatible.
+pub trait Serializer: Sized {
+    /// Successful output of the serializer.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consume a fully lowered value.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value that can lower itself into any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self` into `serializer`.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+/// Lower a value to a [`Content`] tree (used by derived code and
+/// container impls to serialize nested values).
+pub fn to_content<T, E>(value: &T) -> Result<Content, E>
+where
+    T: Serialize + ?Sized,
+    E: Error,
+{
+    value.serialize(ContentSerializer::<E>::new())
+}

@@ -1,0 +1,528 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented with hand-rolled token-tree
+//! parsing (the environment has no `syn`/`quote`).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields (incl. `#[serde(with = "module")]`)
+//! - tuple / newtype structs
+//! - enums with unit, tuple and struct variants (externally tagged)
+//!
+//! Generics and the wider `#[serde(...)]` attribute language are not
+//! supported and fail loudly at compile time.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    with: Option<String>,
+    default: bool,
+}
+
+/// The shape of the deriving type.
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// Derives the content-tree `Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_type(input);
+    let body = gen_serialize(&name, &shape);
+    wrap(&body)
+}
+
+/// Derives the content-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_type(input);
+    let body = gen_deserialize(&name, &shape);
+    wrap(&body)
+}
+
+fn wrap(body: &str) -> TokenStream {
+    let out = format!(
+        "#[automatically_derived]\nconst _: () = {{\n extern crate serde as _serde;\n{body}\n}};"
+    );
+    out.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+/// Attributes recognised on a field: `#[serde(with = "path")]` and
+/// `#[serde(default)]`.
+#[derive(Default)]
+struct FieldAttrs {
+    with: Option<String>,
+    default: bool,
+}
+
+/// Skips `#[...]` attribute pairs starting at `i`, returning the new
+/// index and any recognised `#[serde(...)]` field attributes.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, FieldAttrs) {
+    let mut attrs = FieldAttrs::default();
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        if let TokenTree::Group(g) = &toks[i + 1] {
+            parse_serde_attr(g, &mut attrs);
+        }
+        i += 2;
+    }
+    (i, attrs)
+}
+
+/// Parses a `serde(...)` attribute bracket group into `attrs`, if the
+/// group is one.
+fn parse_serde_attr(attr: &Group, attrs: &mut FieldAttrs) {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    if toks.len() != 2 || !is_ident(&toks[0], "serde") {
+        return;
+    }
+    let inner = match &toks[1] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return,
+    };
+    let parts: Vec<TokenTree> = inner.stream().into_iter().collect();
+    if parts.len() == 3 && is_ident(&parts[0], "with") && is_punct(&parts[1], '=') {
+        if let TokenTree::Literal(lit) = &parts[2] {
+            let s = lit.to_string();
+            attrs.with = Some(s.trim_matches('"').to_string());
+            return;
+        }
+    }
+    if parts.len() == 1 && is_ident(&parts[0], "default") {
+        attrs.default = true;
+        return;
+    }
+    panic!(
+        "vendored serde_derive only supports #[serde(with = \"module\")] and \
+         #[serde(default)], got #[serde({})]",
+        inner
+    );
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility at `i`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Advances past a type (or any token run) until a top-level comma,
+/// tracking `<...>` nesting. Returns the index *after* the comma (or
+/// the end).
+fn skip_past_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < toks.len() {
+        if is_punct(&toks[i], '<') {
+            angle += 1;
+        } else if is_punct(&toks[i], '>') {
+            angle -= 1;
+        } else if is_punct(&toks[i], ',') && angle == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_type(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes / doc comments / visibility before the keyword.
+    loop {
+        assert!(i < toks.len(), "serde_derive: no struct/enum keyword found");
+        if is_punct(&toks[i], '#') {
+            i += 2;
+        } else if is_ident(&toks[i], "struct") || is_ident(&toks[i], "enum") {
+            break;
+        } else {
+            i += 1;
+        }
+    }
+    let is_enum = is_ident(&toks[i], "enum");
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("vendored serde_derive does not support generic types ({name})");
+    }
+    if is_enum {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g)))
+            }
+            other => panic!("serde_derive: expected enum body, got {other}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Shape::Tuple(count_tuple_fields(g)))
+            }
+            _ => (name, Shape::Unit),
+        }
+    }
+}
+
+fn parse_named_fields(body: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, attrs) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, j);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        assert!(
+            is_punct(&toks[i], ':'),
+            "serde_derive: expected ':' after field {name}"
+        );
+        i = skip_past_comma(&toks, i + 1);
+        fields.push(Field {
+            name,
+            with: attrs.with,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: &Group) -> usize {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, _) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, j);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        i = skip_past_comma(&toks, i);
+    }
+    count
+}
+
+fn parse_variants(body: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, _) = skip_attrs(&toks, i);
+        i = j;
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a possible discriminant and the separating comma.
+        i = skip_past_comma(&toks, i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+const CONTENT: &str = "_serde::content::Content";
+
+/// `("name", to_content(&EXPR)?)` — one field entry, honouring
+/// `with`-adapters.
+fn field_entry(field: &Field, expr: &str) -> String {
+    let name = &field.name;
+    let value = match &field.with {
+        Some(path) => format!(
+            "{path}::serialize({expr}, \
+             _serde::content::ContentSerializer::<S::Error>::new())?"
+        ),
+        None => format!("_serde::ser::to_content::<_, S::Error>({expr})?"),
+    };
+    format!("__fields.push(({CONTENT}::Str(::std::string::String::from(\"{name}\")), {value}));\n")
+}
+
+/// Field extraction expression for deserialization, honouring
+/// `with`-adapters.
+fn field_extract(field: &Field) -> String {
+    let name = &field.name;
+    match &field.with {
+        Some(path) => format!(
+            "{name}: {path}::deserialize(\
+             _serde::content::ContentDeserializer::<D::Error>::new(\
+             _serde::de::take::<D::Error>(&mut __map, \"{name}\")?))?,\n"
+        ),
+        None if field.default => format!(
+            "{name}: match _serde::de::take::<D::Error>(&mut __map, \"{name}\")? {{\n\
+             _serde::content::Content::Null => ::std::default::Default::default(),\n\
+             __c => _serde::de::from_content::<_, D::Error>(__c)?,\n}},\n"
+        ),
+        None => format!("{name}: _serde::de::field::<_, D::Error>(&mut __map, \"{name}\")?,\n"),
+    }
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(_serde::content::Content, \
+                 _serde::content::Content)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&field_entry(f, &format!("&self.{}", f.name)));
+            }
+            s.push_str(&format!(
+                "_serde::Serializer::serialize_content(__serializer, {CONTENT}::Map(__fields))"
+            ));
+            s
+        }
+        Shape::Tuple(1) => format!(
+            "_serde::Serializer::serialize_content(__serializer, \
+             _serde::ser::to_content::<_, S::Error>(&self.0)?)"
+        ),
+        Shape::Tuple(n) => {
+            let mut s = String::from(
+                "let mut __items: ::std::vec::Vec<_serde::content::Content> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "__items.push(_serde::ser::to_content::<_, S::Error>(&self.{i})?);\n"
+                ));
+            }
+            s.push_str(&format!(
+                "_serde::Serializer::serialize_content(__serializer, {CONTENT}::Seq(__items))"
+            ));
+            s
+        }
+        Shape::Unit => {
+            format!("_serde::Serializer::serialize_content(__serializer, {CONTENT}::Null)")
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => _serde::Serializer::serialize_content(\
+                         __serializer, {CONTENT}::Str(::std::string::String::from(\"{vname}\"))),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{\n\
+                         let __payload = _serde::ser::to_content::<_, S::Error>(__f0)?;\n\
+                         _serde::Serializer::serialize_content(__serializer, {CONTENT}::Map(\
+                         vec![({CONTENT}::Str(::std::string::String::from(\"{vname}\")), __payload)]))\n\
+                         }}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!("{name}::{vname}({}) => {{\n", binds.join(", "));
+                        arm.push_str(
+                            "let mut __items: ::std::vec::Vec<_serde::content::Content> = \
+                             ::std::vec::Vec::new();\n",
+                        );
+                        for b in &binds {
+                            arm.push_str(&format!(
+                                "__items.push(_serde::ser::to_content::<_, S::Error>({b})?);\n"
+                            ));
+                        }
+                        arm.push_str(&format!(
+                            "_serde::Serializer::serialize_content(__serializer, {CONTENT}::Map(\
+                             vec![({CONTENT}::Str(::std::string::String::from(\"{vname}\")), \
+                             {CONTENT}::Seq(__items))]))\n}}\n"
+                        ));
+                        arms.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut arm =
+                            format!("{name}::{vname} {{ {} }} => {{\n", binds.join(", "));
+                        arm.push_str(
+                            "let mut __fields: ::std::vec::Vec<(_serde::content::Content, \
+                             _serde::content::Content)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            arm.push_str(&field_entry(f, &f.name.clone()));
+                        }
+                        arm.push_str(&format!(
+                            "_serde::Serializer::serialize_content(__serializer, {CONTENT}::Map(\
+                             vec![({CONTENT}::Str(::std::string::String::from(\"{vname}\")), \
+                             {CONTENT}::Map(__fields))]))\n}}\n"
+                        ));
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl _serde::Serialize for {name} {{\n\
+         fn serialize<S>(&self, __serializer: S) -> ::std::result::Result<S::Ok, S::Error>\n\
+         where S: _serde::Serializer {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut s =
+                String::from("let mut __map = _serde::de::into_map::<D::Error>(__content)?;\n");
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&field_extract(f));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(\
+             _serde::de::from_content::<_, D::Error>(__content)?))"
+        ),
+        Shape::Tuple(n) => {
+            let mut s = format!(
+                "let __items = match __content {{\n\
+                 {CONTENT}::Seq(v) if v.len() == {n} => v,\n\
+                 other => return ::std::result::Result::Err(\
+                 <D::Error as _serde::de::Error>::custom(\
+                 format!(\"expected a {n}-tuple, got {{other:?}}\"))),\n}};\n\
+                 let mut __it = __items.into_iter();\n"
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name}(\n"));
+            for _ in 0..*n {
+                s.push_str(
+                    "_serde::de::from_content::<_, D::Error>(\
+                     __it.next().expect(\"length checked\"))?,\n",
+                );
+            }
+            s.push_str("))");
+            s
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         _serde::de::from_content::<_, D::Error>(__v)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => payload_arms.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                         let __items = match __v {{\n\
+                         {CONTENT}::Seq(v) if v.len() == {n} => v,\n\
+                         other => return ::std::result::Result::Err(\
+                         <D::Error as _serde::de::Error>::custom(\
+                         format!(\"bad payload for {name}::{vname}: {{other:?}}\"))),\n}};\n\
+                         let mut __it = __items.into_iter();\n\
+                         ::std::result::Result::Ok({name}::{vname}(\n\
+                         {fields}))\n}}\n",
+                        fields = "_serde::de::from_content::<_, D::Error>(\
+                                  __it.next().expect(\"length checked\"))?,\n"
+                            .repeat(*n),
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             let mut __map = _serde::de::into_map::<D::Error>(__v)?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&field_extract(f));
+                        }
+                        arm.push_str("})\n}\n");
+                        payload_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "match __content {{\n\
+                 {CONTENT}::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(\
+                 <D::Error as _serde::de::Error>::custom(\
+                 format!(\"unknown {name} variant {{other}}\"))),\n}},\n\
+                 {CONTENT}::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __v) = __entries.into_iter().next().expect(\"length checked\");\n\
+                 let __name = match __k {{\n\
+                 {CONTENT}::Str(s) => s,\n\
+                 other => return ::std::result::Result::Err(\
+                 <D::Error as _serde::de::Error>::custom(\
+                 format!(\"bad variant key {{other:?}}\"))),\n}};\n\
+                 match __name.as_str() {{\n\
+                 {payload_arms}\
+                 other => ::std::result::Result::Err(\
+                 <D::Error as _serde::de::Error>::custom(\
+                 format!(\"unknown {name} variant {{other}}\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(\
+                 <D::Error as _serde::de::Error>::custom(\
+                 format!(\"expected a {name}, got {{other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> _serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D>(__deserializer: D) -> ::std::result::Result<Self, D::Error>\n\
+         where D: _serde::Deserializer<'de> {{\n\
+         #[allow(unused_variables)]\n\
+         let __content = _serde::Deserializer::deserialize_content(__deserializer)?;\n{body}\n}}\n}}"
+    )
+}
