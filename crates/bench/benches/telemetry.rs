@@ -1,0 +1,70 @@
+//! Telemetry overhead: the acceptance bar is that an engine stepped
+//! with a `NullSink` attached stays within noise (<2%) of one with no
+//! telemetry at all, and the per-emit disabled dispatch cost is a few
+//! nanoseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wasp_netsim::prelude::*;
+use wasp_streamsim::prelude::*;
+use wasp_telemetry::{Event, Telemetry};
+use wasp_workloads::prelude::*;
+use wasp_workloads::scenarios::build_engine;
+
+fn warm_engine(tel: Telemetry) -> Engine {
+    let tb = Testbed::paper(42);
+    let (mut engine, _) = build_engine(
+        QueryKind::TopK,
+        &tb,
+        DynamicsScript::none(),
+        EngineConfig::default(),
+    );
+    engine.set_telemetry(tel);
+    engine.run(60.0); // warm-up: fill the pipeline
+    engine
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+
+    group.bench_function("emit_disabled", |b| {
+        let tel = Telemetry::disabled();
+        b.iter(|| {
+            tel.emit(1.0, || Event::Note {
+                text: String::from("never built"),
+            })
+        })
+    });
+    group.bench_function("emit_null_sink", |b| {
+        let tel = Telemetry::null();
+        b.iter(|| {
+            tel.emit(1.0, || Event::Note {
+                text: String::from("never built"),
+            })
+        })
+    });
+    group.bench_function("emit_recording", |b| {
+        let (tel, _rec) = Telemetry::recording();
+        b.iter(|| tel.emit(1.0, || Event::MigrationCompleted { op: Some(3) }))
+    });
+
+    // The <2% regression guard: compare these two against each other.
+    group.sample_size(20);
+    group.bench_function("engine_step_no_telemetry", |b| {
+        let mut engine = warm_engine(Telemetry::disabled());
+        b.iter(|| {
+            engine.step();
+            std::hint::black_box(engine.now())
+        })
+    });
+    group.bench_function("engine_step_null_sink", |b| {
+        let mut engine = warm_engine(Telemetry::null());
+        b.iter(|| {
+            engine.step();
+            std::hint::black_box(engine.now())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

@@ -6,7 +6,9 @@
 //! ```
 //!
 //! Prints each figure's data as aligned text and, when `--out` is
-//! given, writes one JSON file per figure for plotting.
+//! given, writes one JSON file per figure for plotting. `--trace-out`
+//! additionally records the §8.4 reference run (WASP, Top-K, the
+//! harness seed) with telemetry on and writes a Chrome trace of it.
 
 use std::io::Write as _;
 use wasp_bench::ablation::all_ablations;
@@ -16,11 +18,13 @@ use wasp_bench::{
     fig2_bandwidth_variability, fig7_testbed_distributions, fig8_9_adaptation, table2_comparison,
     table3_queries, FigureReport, HarnessConfig,
 };
+use wasp_telemetry::{to_chrome_trace, Telemetry};
+use wasp_workloads::prelude::{run_section_8_4, ControllerKind, QueryKind, ScenarioConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: figures <all|fig2|fig7|table3|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|ablations|ext> \
-         [--seed N] [--dt SECS] [--out DIR] [--gnuplot DIR]"
+         [--seed N] [--dt SECS] [--out DIR] [--gnuplot DIR] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -30,6 +34,10 @@ fn main() {
     let mut cfg = HarnessConfig::default();
     let mut out_dir: Option<String> = None;
     let mut gnuplot_dir: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    // Progress notices flow through the telemetry sink like every
+    // other diagnostic, instead of ad-hoc eprintln!s.
+    let progress = Telemetry::stderr();
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -48,6 +56,7 @@ fn main() {
             }
             "--out" => out_dir = Some(it.next().unwrap_or_else(|| usage())),
             "--gnuplot" => gnuplot_dir = Some(it.next().unwrap_or_else(|| usage())),
+            "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => targets.push(other.to_string()),
         }
@@ -93,7 +102,7 @@ fn main() {
             let path = format!("{dir}/{}.gp", report.id);
             std::fs::write(&path, report.render_gnuplot()).expect("write gnuplot script");
         }
-        eprintln!("wrote gnuplot scripts to {dir}");
+        progress.note(0.0, || format!("wrote gnuplot scripts to {dir}"));
     }
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(&dir).expect("create output directory");
@@ -103,6 +112,22 @@ fn main() {
             let json = serde_json::to_string_pretty(report).expect("figure serializes");
             f.write_all(json.as_bytes()).expect("write figure file");
         }
-        eprintln!("wrote {} JSON files to {dir}", reports.len());
+        progress.note(0.0, || {
+            format!("wrote {} JSON files to {dir}", reports.len())
+        });
+    }
+    if let Some(path) = trace_out {
+        let (tel, rec) = Telemetry::recording();
+        let scenario_cfg = ScenarioConfig {
+            seed: cfg.seed,
+            dt: cfg.dt,
+            telemetry: tel,
+            ..ScenarioConfig::default()
+        };
+        run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, &scenario_cfg);
+        std::fs::write(&path, to_chrome_trace(&rec.recording())).expect("write chrome trace");
+        progress.note(0.0, || {
+            format!("wrote chrome trace of the section 8.4 reference run to {path}")
+        });
     }
 }

@@ -1,0 +1,123 @@
+//! Replays a scenario with telemetry recording on and renders the
+//! decision audit trail.
+//!
+//! ```text
+//! wasp-report --scenario section_8_4 --seed 4
+//! wasp-report --scenario section_8_5 --trace-out trace.json --jsonl run.jsonl
+//! ```
+//!
+//! The report (decision audit, per-stage timeline, summary) goes to
+//! stdout, or to `--report FILE`. `--trace-out` writes a Chrome
+//! `about://tracing` JSON and `--jsonl` the raw event log. Because
+//! every timestamp is sim-time, the same (scenario, seed, dt) always
+//! produces byte-identical outputs.
+
+use wasp_workloads::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wasp-report --scenario <section_8_4|section_8_5|section_8_6> [--seed N] \
+         [--query <advertising|topk|events>] [--controller <wasp|reassign|scale|replan>] \
+         [--dt SECS] [--echo] [--trace-out FILE] [--jsonl FILE] [--report FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario: Option<String> = None;
+    let mut query = QueryKind::TopK;
+    let mut controller = ControllerKind::Wasp;
+    let mut cfg = ScenarioConfig::default();
+    let mut echo = false;
+    let mut trace_out: Option<String> = None;
+    let mut jsonl_out: Option<String> = None;
+    let mut report_out: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scenario" => scenario = Some(it.next().unwrap_or_else(|| usage())),
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--dt" => {
+                cfg.dt = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--query" => {
+                query = match it.next().as_deref() {
+                    Some("advertising") | Some("ysb") => QueryKind::Advertising,
+                    Some("topk") => QueryKind::TopK,
+                    Some("events") | Some("eoi") => QueryKind::EventsOfInterest,
+                    _ => usage(),
+                }
+            }
+            "--controller" => {
+                controller = match it.next().as_deref() {
+                    Some("wasp") => ControllerKind::Wasp,
+                    Some("reassign") => ControllerKind::ReassignOnly,
+                    Some("scale") => ControllerKind::ScaleOnly,
+                    Some("replan") => ControllerKind::ReplanOnly,
+                    Some("noadapt") => ControllerKind::NoAdapt,
+                    Some("degrade") => ControllerKind::Degrade,
+                    _ => usage(),
+                }
+            }
+            "--echo" => echo = true,
+            "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--jsonl" => jsonl_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--report" => report_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let scenario = scenario.unwrap_or_else(|| usage());
+
+    let (tel, rec) = if echo {
+        Telemetry::recording_echo()
+    } else {
+        Telemetry::recording()
+    };
+    cfg.telemetry = tel;
+
+    let result = match scenario.as_str() {
+        "section_8_4" => run_section_8_4(query, controller, &cfg),
+        "section_8_5" => run_section_8_5(controller, &cfg),
+        "section_8_6" => run_section_8_6(controller, &cfg),
+        _ => usage(),
+    };
+
+    let recording = rec.recording();
+    let title = format!(
+        "{scenario} — {} [{}] seed={} dt={}",
+        result.query, result.label, cfg.seed, cfg.dt
+    );
+    let progress = Telemetry::stderr();
+    let done = recording.end_time();
+
+    if let Some(path) = &trace_out {
+        std::fs::write(path, to_chrome_trace(&recording)).expect("write chrome trace");
+        progress.note(done, || {
+            format!("wrote chrome trace to {path} (open via about://tracing or ui.perfetto.dev)")
+        });
+    }
+    if let Some(path) = &jsonl_out {
+        std::fs::write(path, to_jsonl(&recording)).expect("write jsonl log");
+        progress.note(done, || format!("wrote event log to {path}"));
+    }
+
+    let report = render_report(&recording, &title);
+    match &report_out {
+        Some(path) => {
+            std::fs::write(path, &report).expect("write report");
+            progress.note(done, || format!("wrote report to {path}"));
+        }
+        None => print!("{report}"),
+    }
+}

@@ -11,11 +11,12 @@
 //! * [`DegradeController`] — drops late events against an SLO instead
 //!   of adapting (the degradation baseline).
 
-use crate::diagnose::{diagnose_with_history, DiagnosisConfig};
+use crate::diagnose::{diagnose_with_history, DiagnosisConfig, Health};
 use crate::estimator::WorkloadEstimate;
 use crate::policy::{Policy, PolicyConfig};
 use crate::replanner::{GenericReplanner, QueryReplanner};
 use wasp_streamsim::engine::{Command, Engine};
+use wasp_telemetry::{Event as TelEvent, RejectReason, Telemetry};
 
 /// A reconfiguration manager driven by monitoring rounds.
 pub trait Controller {
@@ -115,6 +116,9 @@ pub struct WaspController {
     emergency_next_attempt_s: f64,
     /// Current backoff delay, doubled on every failed attempt.
     emergency_backoff_s: f64,
+    /// Telemetry handle; shared with the policy so controller spans
+    /// and policy audit events interleave in one log.
+    tel: Telemetry,
 }
 
 /// Initial emergency-retry backoff; shorter than a monitoring
@@ -162,7 +166,17 @@ impl WaspController {
             emergency_cooldowns: std::collections::BTreeMap::new(),
             emergency_next_attempt_s: 0.0,
             emergency_backoff_s: EMERGENCY_BACKOFF_INITIAL_S,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink to the controller *and* its policy:
+    /// monitor-round spans, per-stage diagnoses, the decision audit
+    /// trail, and command outcomes are all emitted into it.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> WaspController {
+        self.policy.set_telemetry(tel.clone());
+        self.tel = tel;
+        self
     }
 
     /// Enables automatic α tuning: quick re-adaptations lower α (more
@@ -236,7 +250,14 @@ impl WaspController {
     ) {
         let now = engine.now().secs();
         if now < self.emergency_next_attempt_s {
-            return; // backing off after failed recovery attempts
+            // Backing off after failed recovery attempts.
+            let until_s = self.emergency_next_attempt_s;
+            self.tel.emit(now, || TelEvent::CandidateRejected {
+                action: "emergency re-assign".into(),
+                op: None,
+                reason: RejectReason::BackoffActive { until_s },
+            });
+            return;
         }
         let plan = engine.plan().clone();
         self.policy.observe(&plan, snap);
@@ -251,15 +272,29 @@ impl WaspController {
             // fails again in the meantime.
             let cooled_until = self.emergency_cooldowns.get(&op).copied().unwrap_or(0.0);
             if now < cooled_until {
+                self.tel.emit(now, || TelEvent::CandidateRejected {
+                    action: "emergency re-assign".into(),
+                    op: Some(op.0),
+                    reason: RejectReason::CooldownActive {
+                        until_s: cooled_until,
+                    },
+                });
                 continue;
             }
             match engine.apply(action.command) {
                 Ok(()) => {
+                    self.tel.emit(now, || TelEvent::CommandApplied {
+                        label: action.label.clone(),
+                    });
                     engine.annotate(action.label);
                     self.emergency_cooldowns
                         .insert(op, now + self.policy.config().emergency_cooldown_s);
                 }
                 Err(err) => {
+                    self.tel.emit(now, || TelEvent::CommandFailed {
+                        label: action.label.clone(),
+                        error: err.to_string(),
+                    });
                     engine.annotate(format!("{} failed: {err}", action.label));
                     any_failed = true;
                 }
@@ -281,23 +316,34 @@ impl Controller for WaspController {
     }
 
     fn on_monitor(&mut self, engine: &mut Engine) {
+        let tel = self.tel.clone();
+        let now = engine.now().secs();
+        let round = tel.span_begin(now, "monitor-round");
         let snap = engine.snapshot();
         // Failure-reactive path: tasks on a dead site process nothing,
         // so every round spent waiting for the site to come back adds
         // directly to recovery time. Move affected operators off the
         // dead sites now instead of skipping the round.
         if !snap.failed_sites.is_empty() {
+            let emergency = tel.span_begin(now, "emergency-round");
             self.handle_failures(engine, &snap);
+            tel.span_end(now, emergency);
+            tel.span_end(now, round);
             return;
         }
         // Mid-transition rounds are skipped: rates are not meaningful
         // and slots are not stable.
         if engine.in_transition() {
+            tel.emit(now, || TelEvent::NoActionTaken {
+                reason: "mid-transition: rates and slots not stable".into(),
+            });
+            tel.span_end(now, round);
             return;
         }
         let plan = engine.plan().clone();
         self.policy.observe(&plan, &snap);
         let est = WorkloadEstimate::from_snapshot(&plan, &snap);
+        let diagnosis_span = tel.span_begin(now, "diagnosis");
         let diag = diagnose_with_history(
             &plan,
             &snap,
@@ -306,11 +352,48 @@ impl Controller for WaspController {
             &self.diagnosis_cfg,
             Some(&self.source_backlogs),
         );
+        if tel.is_enabled() {
+            for op in plan.op_ids() {
+                let stage = snap.stage(op);
+                let (health, severity) = match diag.per_op[op.index()] {
+                    Health::Healthy => ("healthy", 0.0),
+                    Health::ComputeConstrained { severity } => ("compute", severity),
+                    Health::NetworkConstrained { severity } => ("network", severity),
+                    Health::Overprovisioned { utilization } => ("overprovisioned", utilization),
+                };
+                tel.emit(now, || TelEvent::Diagnosis {
+                    op: op.0,
+                    name: stage.name.clone(),
+                    health: health.to_string(),
+                    severity,
+                    lambda_i: stage.lambda_i,
+                    lambda_p: stage.lambda_p,
+                    lambda_o: stage.lambda_o,
+                    sigma: stage.sigma,
+                    queue_events: stage.queue_events,
+                    backpressure: stage.backpressure,
+                });
+            }
+            if let Some((op, health)) = diag.bottleneck {
+                let label = match health {
+                    Health::ComputeConstrained { .. } => "compute",
+                    Health::NetworkConstrained { .. } => "network",
+                    _ => "other",
+                };
+                tel.emit(now, || TelEvent::BottleneckPicked {
+                    op: op.0,
+                    name: snap.stage(op).name.clone(),
+                    health: label.to_string(),
+                });
+            }
+        }
+        tel.span_end(now, diagnosis_span);
         for src in plan.sources() {
             self.source_backlogs
                 .insert(src, snap.stage(src).queue_events);
         }
         let physical = engine.physical().clone();
+        let decide_span = tel.span_begin(now, "decide");
         let action = self.policy.decide(
             &plan,
             &physical,
@@ -321,18 +404,46 @@ impl Controller for WaspController {
             engine.now(),
             self.replanner.as_ref(),
         );
+        match &action {
+            Some(a) => tel.emit(now, || TelEvent::DecisionTaken {
+                action: a.label.clone(),
+                op: None,
+            }),
+            None => tel.emit(now, || TelEvent::NoActionTaken {
+                reason: if diag.bottleneck.is_none() {
+                    "no bottleneck diagnosed".into()
+                } else {
+                    "bottleneck diagnosed but every candidate was rejected".into()
+                },
+            }),
+        }
+        tel.span_end(now, decide_span);
         let acted = action.is_some();
         if let Some(action) = action {
+            let apply_span = tel.span_begin(now, "apply");
             match engine.apply(action.command) {
-                Ok(()) => engine.annotate(action.label),
-                Err(err) => engine.annotate(format!("{} failed: {err}", action.label)),
+                Ok(()) => {
+                    tel.emit(now, || TelEvent::CommandApplied {
+                        label: action.label.clone(),
+                    });
+                    engine.annotate(action.label);
+                }
+                Err(err) => {
+                    tel.emit(now, || TelEvent::CommandFailed {
+                        label: action.label.clone(),
+                        error: err.to_string(),
+                    });
+                    engine.annotate(format!("{} failed: {err}", action.label));
+                }
             }
+            tel.span_end(now, apply_span);
         }
         if let Some(tuner) = &mut self.alpha_tuner {
             let alpha = tuner.on_round(acted);
             self.policy.set_alpha(alpha);
         }
         if acted {
+            tel.span_end(now, round);
             return;
         }
         // Long-term dynamics: periodically re-evaluate the plan in the
@@ -351,12 +462,24 @@ impl Controller for WaspController {
                     self.policy.config(),
                 ) {
                     match engine.apply(Command::SwitchPlan(Box::new(switch))) {
-                        Ok(()) => engine.annotate("periodic re-plan"),
-                        Err(err) => engine.annotate(format!("periodic re-plan failed: {err}")),
+                        Ok(()) => {
+                            tel.emit(now, || TelEvent::CommandApplied {
+                                label: "periodic re-plan".into(),
+                            });
+                            engine.annotate("periodic re-plan");
+                        }
+                        Err(err) => {
+                            tel.emit(now, || TelEvent::CommandFailed {
+                                label: "periodic re-plan".into(),
+                                error: err.to_string(),
+                            });
+                            engine.annotate(format!("periodic re-plan failed: {err}"));
+                        }
                     }
                 }
             }
         }
+        tel.span_end(now, round);
     }
 }
 

@@ -34,6 +34,7 @@ use wasp_streamsim::ids::OpId;
 use wasp_streamsim::metrics::QuerySnapshot;
 use wasp_streamsim::physical::{PhysicalPlan, Placement};
 use wasp_streamsim::plan::LogicalPlan;
+use wasp_telemetry::{Event as TelEvent, RejectReason, Telemetry};
 
 /// Policy tunables (defaults follow the paper's §8.2 configuration).
 #[derive(Debug, Clone)]
@@ -108,6 +109,7 @@ pub struct Policy {
     cfg: PolicyConfig,
     capacity_est: Vec<Option<f64>>,
     overprov_streak: Vec<u32>,
+    tel: Telemetry,
 }
 
 impl Policy {
@@ -117,7 +119,39 @@ impl Policy {
             cfg,
             capacity_est: Vec::new(),
             overprov_streak: Vec::new(),
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink; every candidate action considered,
+    /// every ILP objective, and every rejection reason is emitted into
+    /// it — the decision audit trail.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    fn audit_considered(
+        &self,
+        t: SimTime,
+        action: &str,
+        op: Option<OpId>,
+        objective: Option<f64>,
+        detail: &str,
+    ) {
+        self.tel.emit(t.secs(), || TelEvent::CandidateConsidered {
+            action: action.to_string(),
+            op: op.map(|o| o.0),
+            objective,
+            detail: detail.to_string(),
+        });
+    }
+
+    fn audit_rejected(&self, t: SimTime, action: &str, op: Option<OpId>, reason: RejectReason) {
+        self.tel.emit(t.secs(), || TelEvent::CandidateRejected {
+            action: action.to_string(),
+            op: op.map(|o| o.0),
+            reason,
+        });
     }
 
     /// The configuration.
@@ -178,9 +212,11 @@ impl Policy {
             }
             return match health {
                 Health::ComputeConstrained { .. } => {
+                    let _span = self.tel.span_scope(t.secs(), "handle:compute");
                     self.handle_compute(plan, physical, snap, est, op, net, t, replanner)
                 }
                 Health::NetworkConstrained { .. } => {
+                    let _span = self.tel.span_scope(t.secs(), "handle:network");
                     self.handle_network(plan, physical, snap, est, op, net, t, replanner)
                 }
                 _ => None,
@@ -226,9 +262,11 @@ impl Policy {
     ) -> Option<Action> {
         let stage = snap.stage(op);
         if !stage.parallelizable {
+            self.audit_rejected(t, "scale up", Some(op), RejectReason::NotParallelizable);
             return self.try_replan(plan, physical, snap, est, net, t, replanner);
         }
         if !self.cfg.allow_scale {
+            self.audit_rejected(t, "scale up", Some(op), RejectReason::Disabled);
             // Without scaling the best we can do is re-assign (which
             // cannot add compute) — the paper's Re-assign baseline
             // simply attempts it.
@@ -240,10 +278,32 @@ impl Policy {
         let p = stage.placement.parallelism();
         let target = ds2_parallelism(est.input(op), stage.lambda_p, p);
         let target = target.min(p + self.cfg.max_step);
+        self.audit_considered(
+            t,
+            "scale up",
+            Some(op),
+            None,
+            &format!("DS2 parallelism target {target} (current {p})"),
+        );
         if target <= p {
+            self.audit_rejected(
+                t,
+                "scale up",
+                Some(op),
+                RejectReason::TargetNotAboveCurrent { target, current: p },
+            );
             return None;
         }
         if target > self.cfg.p_max && self.cfg.allow_replan {
+            self.audit_rejected(
+                t,
+                "scale up",
+                Some(op),
+                RejectReason::ParallelismCapExceeded {
+                    required: target,
+                    p_max: self.cfg.p_max,
+                },
+            );
             if let Some(action) = self.try_replan(plan, physical, snap, est, net, t, replanner) {
                 return Some(action);
             }
@@ -274,7 +334,22 @@ impl Policy {
         // parallelism (may scale out to remote sites).
         let req = self.request_for(plan, snap, est, op, target);
         let problem = PlacementProblem::build(&req, net, t);
-        let (placement, _) = problem.solve()?;
+        let Some((placement, objective)) = problem.solve() else {
+            self.audit_rejected(
+                t,
+                "scale up/out",
+                Some(op),
+                RejectReason::NoFeasiblePlacement,
+            );
+            return None;
+        };
+        self.audit_considered(
+            t,
+            "scale up/out",
+            Some(op),
+            Some(objective),
+            &format!("ILP placement at target {target}"),
+        );
         let transfers = if self.cfg.skip_state {
             Vec::new()
         } else {
@@ -310,11 +385,19 @@ impl Policy {
         if stateless_query && self.cfg.allow_replan {
             // Stateless: re-optimize the whole pipeline; nothing to
             // migrate.
+            self.audit_considered(
+                t,
+                "re-plan",
+                None,
+                None,
+                "stateless query: re-optimize the whole pipeline",
+            );
             if let Some(action) = self.try_replan(plan, physical, snap, est, net, t, replanner) {
                 return Some(action);
             }
         }
         if !stage.parallelizable {
+            self.audit_rejected(t, "re-assign", Some(op), RejectReason::NotParallelizable);
             return self.try_replan(plan, physical, snap, est, net, t, replanner);
         }
         // Stateful (or replanning unavailable): re-assign first.
@@ -330,6 +413,8 @@ impl Policy {
             ) {
                 return Some(action);
             }
+        } else {
+            self.audit_rejected(t, "re-assign", Some(op), RejectReason::Disabled);
         }
         // No placement at the current parallelism (or migration too
         // slow): scale out across more links.
@@ -337,17 +422,32 @@ impl Policy {
             let p = stage.placement.parallelism();
             let req = self.request_for(plan, snap, est, op, p);
             let hard_cap = p + self.cfg.max_step;
-            if let Some((p2, placement, _)) =
+            if let Some((p2, placement, objective)) =
                 PlacementProblem::minimal_feasible_parallelism(&req, net, t, p + 1, hard_cap)
             {
+                self.audit_considered(
+                    t,
+                    "scale out",
+                    Some(op),
+                    Some(objective),
+                    &format!("minimal feasible parallelism {p2} (current {p})"),
+                );
                 if p2 > self.cfg.p_max && self.cfg.allow_replan {
                     if let Some(action) =
                         self.try_replan(plan, physical, snap, est, net, t, replanner)
                     {
+                        self.audit_rejected(
+                            t,
+                            "scale out",
+                            Some(op),
+                            RejectReason::ParallelismCapExceeded {
+                                required: p2,
+                                p_max: self.cfg.p_max,
+                            },
+                        );
                         return Some(action);
                     }
                 }
-                let _ = p2;
                 let transfers = if self.cfg.skip_state {
                     Vec::new()
                 } else {
@@ -363,6 +463,9 @@ impl Policy {
                     },
                 });
             }
+            self.audit_rejected(t, "scale out", Some(op), RejectReason::NoFeasiblePlacement);
+        } else {
+            self.audit_rejected(t, "scale out", Some(op), RejectReason::Disabled);
         }
         // Last resort: re-plan.
         if self.cfg.allow_replan && !stateless_query {
@@ -386,11 +489,22 @@ impl Policy {
         t: SimTime,
         overhead_limit: Option<f64>,
     ) -> Option<Action> {
+        let _span = self.tel.span_scope(t.secs(), "candidate:re-assign");
         let stage = snap.stage(op);
         let p = stage.placement.parallelism();
         let req = self.request_for(plan, snap, est, op, p);
         let problem = PlacementProblem::build(&req, net, t);
-        let (mut placement, _) = problem.solve()?;
+        let Some((mut placement, objective)) = problem.solve() else {
+            self.audit_rejected(t, "re-assign", Some(op), RejectReason::NoFeasiblePlacement);
+            return None;
+        };
+        self.audit_considered(
+            t,
+            "re-assign",
+            Some(op),
+            Some(objective),
+            &format!("ILP placement at current parallelism {p}"),
+        );
         // For a single-task stateful stage, the migration strategy
         // chooses the *destination* among the feasible sites (§8.7.1):
         // network-aware picks the fastest state transfer, `Random`
@@ -431,6 +545,7 @@ impl Policy {
             }
         }
         if placement == stage.placement {
+            self.audit_rejected(t, "re-assign", Some(op), RejectReason::NoImprovement);
             return None; // nothing better than the status quo
         }
         // Only migrate state from departed sites (§4.1's S − S').
@@ -454,6 +569,15 @@ impl Policy {
         let migration = plan_migration(&departed, &dests, net, t, self.cfg.migration);
         if let Some(limit) = overhead_limit {
             if migration.bottleneck_s > limit {
+                self.audit_rejected(
+                    t,
+                    "re-assign",
+                    Some(op),
+                    RejectReason::MigrationTooSlow {
+                        est_s: migration.bottleneck_s,
+                        t_max_s: limit,
+                    },
+                );
                 return None;
             }
         }
@@ -484,10 +608,22 @@ impl Policy {
         t: SimTime,
         replanner: &dyn QueryReplanner,
     ) -> Option<Action> {
+        let _span = self.tel.span_scope(t.secs(), "candidate:re-plan");
         if !self.cfg.allow_replan {
+            self.audit_rejected(t, "re-plan", None, RejectReason::Disabled);
             return None;
         }
-        let switch = replanner.replan(plan, physical, snap, est, net, t, &self.cfg)?;
+        let Some(switch) = replanner.replan(plan, physical, snap, est, net, t, &self.cfg) else {
+            self.audit_rejected(t, "re-plan", None, RejectReason::ReplannerDeclined);
+            return None;
+        };
+        self.audit_considered(
+            t,
+            "re-plan",
+            None,
+            None,
+            "re-planner produced a better plan",
+        );
         Some(Action {
             label: "re-plan".into(),
             command: Command::SwitchPlan(Box::new(switch)),
@@ -520,9 +656,17 @@ impl Policy {
         let problem = PlacementProblem::build(&req, net, t);
         for (i, &site) in problem.sites().iter().enumerate() {
             if placement.tasks_at(site) > problem.upper_bound(i) {
+                self.audit_rejected(t, "scale down", Some(op), RejectReason::WouldOverload);
                 return None; // would overload a link or a site
             }
         }
+        self.audit_considered(
+            t,
+            "scale down",
+            Some(op),
+            None,
+            &format!("release one task at {}", net.topology().site(victim).name()),
+        );
         let transfers = if self.cfg.skip_state {
             Vec::new()
         } else {
@@ -629,7 +773,14 @@ impl Policy {
                         .map(|(_, placement, _)| placement)
                 });
             let Some(placement) = solved else {
-                continue; // no surviving placement at all — wait for restore
+                // No surviving placement at all — wait for restore.
+                self.audit_rejected(
+                    t,
+                    "emergency re-assign",
+                    Some(op),
+                    RejectReason::NoFeasiblePlacement,
+                );
+                continue;
             };
             if placement
                 .sites()
@@ -637,6 +788,12 @@ impl Policy {
                 .any(|s| snap.failed_sites.contains(s))
                 || placement == stage.placement
             {
+                self.audit_rejected(
+                    t,
+                    "emergency re-assign",
+                    Some(op),
+                    RejectReason::NoImprovement,
+                );
                 continue;
             }
             // Only surviving departed sites can ship state; the dead
@@ -665,6 +822,16 @@ impl Policy {
             } else {
                 migration.transfers
             };
+            self.audit_considered(
+                t,
+                "emergency re-assign",
+                Some(op),
+                None,
+                &format!(
+                    "move off failed site(s); {} transfer(s) from surviving sites",
+                    transfers.len()
+                ),
+            );
             actions.push((
                 op,
                 Action {

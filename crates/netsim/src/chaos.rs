@@ -30,6 +30,7 @@ use crate::units::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use wasp_telemetry::{Event as TelEvent, Telemetry};
 
 /// One fault scheduled by the injector — returned alongside the
 /// compiled script so harnesses can assert against the timeline.
@@ -75,6 +76,57 @@ pub enum ChaosEvent {
         /// Compute-speed factor (< 1.0).
         factor: f64,
     },
+}
+
+impl ChaosEvent {
+    /// Scheduled start time of the fault, seconds.
+    pub fn start(&self) -> f64 {
+        match self {
+            ChaosEvent::SiteCrash { at, .. }
+            | ChaosEvent::LinkBlackout { at, .. }
+            | ChaosEvent::Straggler { at, .. } => *at,
+            ChaosEvent::Flap { outages, .. } => outages.first().map_or(0.0, |&(start, _)| start),
+        }
+    }
+
+    /// One-line human rendering for telemetry and reports.
+    pub fn describe(&self) -> String {
+        match self {
+            ChaosEvent::SiteCrash { site, at, outage_s } => {
+                format!("site {site} crashes at t={at:.0}s for {outage_s:.0}s")
+            }
+            ChaosEvent::Flap { site, outages } => {
+                format!("site {site} flaps {} times: {outages:?}", outages.len())
+            }
+            ChaosEvent::LinkBlackout {
+                from,
+                to,
+                at,
+                outage_s,
+                factor,
+            } => format!(
+                "link {from}->{to} blackout at t={at:.0}s for {outage_s:.0}s (x{factor:.2})"
+            ),
+            ChaosEvent::Straggler {
+                site,
+                at,
+                duration_s,
+                factor,
+            } => format!("site {site} straggles at t={at:.0}s for {duration_s:.0}s (x{factor:.2})"),
+        }
+    }
+}
+
+/// Records a compiled chaos timeline into a telemetry sink, as a
+/// preamble at `t = 0`: the schedule is known before the run starts,
+/// and emitting it up front keeps the event log chronological (cause
+/// before effect; each fault also names its scheduled time).
+pub fn emit_chaos_schedule(tel: &Telemetry, events: &[ChaosEvent]) {
+    for ev in events {
+        tel.emit(0.0, || TelEvent::ChaosFault {
+            description: format!("scheduled: {}", ev.describe()),
+        });
+    }
 }
 
 /// Bounds of the generated fault timeline. All ranges are inclusive.

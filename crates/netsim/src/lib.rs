@@ -46,7 +46,7 @@ pub mod units;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
-    pub use crate::chaos::{ChaosConfig, ChaosEvent, ChaosInjector};
+    pub use crate::chaos::{emit_chaos_schedule, ChaosConfig, ChaosEvent, ChaosInjector};
     pub use crate::dynamics::{DynamicsScript, Failure};
     pub use crate::network::{FlowDemand, Network};
     pub use crate::site::{Site, SiteId, SiteKind};

@@ -35,6 +35,7 @@ use wasp_netsim::dynamics::DynamicsScript;
 use wasp_netsim::network::{FlowDemand, Network};
 use wasp_netsim::site::SiteId;
 use wasp_netsim::units::{Mbps, MegaBytes, SimTime};
+use wasp_telemetry::{Event as TelEvent, SpanId, Telemetry};
 
 /// A state transfer between two sites, part of an adaptation's
 /// transition phase.
@@ -318,6 +319,8 @@ struct Migration {
     op: Option<OpId>,
     transfers: Vec<TransferProgress>,
     resume_no_earlier: f64,
+    /// Telemetry span covering the transition, when recording.
+    span: Option<SpanId>,
 }
 
 impl Migration {
@@ -359,6 +362,11 @@ pub struct Engine {
     pending_events: Vec<FailureEvent>,
     /// Failed-site set as of the previous tick, for edge detection.
     prev_failed: Vec<SiteId>,
+    /// Telemetry handle (disabled by default; zero cost when off).
+    tel: Telemetry,
+    /// Last observed dynamics factors, for transition-edge detection
+    /// (only maintained while telemetry is enabled).
+    dyn_prev: BTreeMap<String, f64>,
 }
 
 impl Engine {
@@ -410,6 +418,8 @@ impl Engine {
             ckpt_incomplete: 0,
             pending_events: Vec::new(),
             prev_failed: Vec::new(),
+            tel: Telemetry::disabled(),
+            dyn_prev: BTreeMap::new(),
         };
         engine.build_groups();
         Ok(engine)
@@ -468,9 +478,25 @@ impl Engine {
         self.metrics
     }
 
+    /// Attaches a telemetry sink; engine transitions, checkpoints,
+    /// failures and dynamics shifts are emitted into it from now on.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// The engine's telemetry handle (cheap clone; controllers share
+    /// it so their spans and the engine's interleave in one log).
+    pub fn telemetry(&self) -> Telemetry {
+        self.tel.clone()
+    }
+
     /// Adds an annotation to the recording (controllers note their
     /// actions here).
     pub fn annotate(&mut self, label: impl Into<String>) {
+        let label = label.into();
+        self.tel.emit(self.now, || TelEvent::Note {
+            text: label.clone(),
+        });
         self.metrics.annotate(SimTime(self.now), label);
     }
 
@@ -514,6 +540,7 @@ impl Engine {
         let t1 = t0 + dt;
 
         self.detect_failure_edges(t0);
+        self.detect_dynamics_transitions(t0);
         self.apply_failure_transitions(t0);
         self.maybe_checkpoint(t0);
         self.complete_migrations(t0);
@@ -759,18 +786,31 @@ impl Engine {
 
         let effective_transfers = if skip_state { Vec::new() } else { transfers };
         self.metrics.annotate(SimTime(self.now), "transition-start");
+        let progress: Vec<TransferProgress> = effective_transfers
+            .into_iter()
+            .filter(|t| t.from != t.to && t.mb.0 > 0.0)
+            .map(|t| TransferProgress {
+                from: t.from,
+                to: t.to,
+                remaining_mb: t.mb.0,
+            })
+            .collect();
+        self.tel.emit(self.now, || TelEvent::MigrationStarted {
+            op: Some(op.0),
+            transfers: progress.len() as u32,
+            total_mb: progress.iter().map(|t| t.remaining_mb).sum::<f64>() + 0.0, // + 0.0: an empty sum is -0.0
+        });
+        let span = if self.tel.is_enabled() {
+            let name = format!("transition:{}", self.plan.op(op).name());
+            self.tel.span_begin(self.now, &name)
+        } else {
+            None
+        };
         self.migrations.push(Migration {
             op: Some(op),
-            transfers: effective_transfers
-                .into_iter()
-                .filter(|t| t.from != t.to && t.mb.0 > 0.0)
-                .map(|t| TransferProgress {
-                    from: t.from,
-                    to: t.to,
-                    remaining_mb: t.mb.0,
-                })
-                .collect(),
+            transfers: progress,
             resume_no_earlier: self.now + self.cfg.restart_penalty_s,
+            span,
         });
         Ok(())
     }
@@ -995,19 +1035,27 @@ impl Engine {
         }
 
         self.metrics.annotate(SimTime(self.now), "transition-start");
+        let progress: Vec<TransferProgress> = sw
+            .transfers
+            .into_iter()
+            .filter(|t| t.from != t.to && t.mb.0 > 0.0)
+            .map(|t| TransferProgress {
+                from: t.from,
+                to: t.to,
+                remaining_mb: t.mb.0,
+            })
+            .collect();
+        self.tel.emit(self.now, || TelEvent::MigrationStarted {
+            op: None,
+            transfers: progress.len() as u32,
+            total_mb: progress.iter().map(|t| t.remaining_mb).sum::<f64>() + 0.0, // + 0.0: an empty sum is -0.0
+        });
+        let span = self.tel.span_begin(self.now, "transition:plan-switch");
         self.migrations.push(Migration {
             op: None,
-            transfers: sw
-                .transfers
-                .into_iter()
-                .filter(|t| t.from != t.to && t.mb.0 > 0.0)
-                .map(|t| TransferProgress {
-                    from: t.from,
-                    to: t.to,
-                    remaining_mb: t.mb.0,
-                })
-                .collect(),
+            transfers: progress,
             resume_no_earlier: self.now + self.cfg.restart_penalty_s,
+            span,
         });
         Ok(())
     }
@@ -1036,6 +1084,10 @@ impl Engine {
                     site,
                     at: SimTime(t0),
                 });
+                self.tel.emit(t0, || TelEvent::SiteDown {
+                    site: site.0 as u32,
+                    name: self.net.topology().site(site).name().to_string(),
+                });
             }
         }
         for &site in &self.prev_failed {
@@ -1044,9 +1096,53 @@ impl Engine {
                     site,
                     at: SimTime(t0),
                 });
+                self.tel.emit(t0, || TelEvent::SiteRestored {
+                    site: site.0 as u32,
+                    name: self.net.topology().site(site).name().to_string(),
+                });
             }
         }
         self.prev_failed = failed;
+    }
+
+    /// Emits a [`TelEvent::DynamicsTransition`] whenever a scripted
+    /// factor (global bandwidth, per-source workload, per-site
+    /// compute) moves by more than 1% between ticks. Only runs while
+    /// telemetry is enabled, so the disabled path costs one branch.
+    fn detect_dynamics_transitions(&mut self, t0: f64) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let t = SimTime(t0);
+        let mut current: Vec<(String, f64)> = Vec::new();
+        if let Some(series) = self.script.bandwidth_series() {
+            current.push(("bandwidth".to_string(), series.factor_at(t)));
+        }
+        for op in self.plan.sources() {
+            if let OperatorKind::Source { site, .. } = self.plan.op(op).kind() {
+                let name = self.net.topology().site(*site).name();
+                current.push((
+                    format!("workload@{name}"),
+                    self.script.workload_factor(*site, t),
+                ));
+            }
+        }
+        for site in self.net.topology().site_ids() {
+            let factor = self.script.compute_factor(site, t);
+            if factor != 1.0 || self.dyn_prev.contains_key(&format!("compute@{site}")) {
+                current.push((format!("compute@{site}"), factor));
+            }
+        }
+        for (what, factor) in current {
+            let prev = self.dyn_prev.get(&what).copied().unwrap_or(1.0);
+            if (factor - prev).abs() > 0.01 * prev.max(0.01) {
+                self.tel.emit(t0, || TelEvent::DynamicsTransition {
+                    what: what.clone(),
+                    factor,
+                });
+            }
+            self.dyn_prev.insert(what, factor);
+        }
     }
 
     fn apply_failure_transitions(&mut self, t0: f64) {
@@ -1084,6 +1180,9 @@ impl Engine {
                     at: SimTime(t0),
                 });
                 self.metrics.annotate(SimTime(t0), "checkpoint-stalled");
+                self.tel.emit(t0, || TelEvent::CheckpointStalled {
+                    target: self.net.topology().site(target).name().to_string(),
+                });
                 return;
             }
             if !self.checkpoint_uploads.is_empty() {
@@ -1107,6 +1206,10 @@ impl Engine {
                     });
                 }
             }
+            self.tel.emit(t0, || TelEvent::CheckpointRound {
+                kind: "remote".to_string(),
+                uploaded_mb: self.checkpoint_uploads.iter().map(|t| t.remaining_mb).sum(),
+            });
         } else {
             // Localized checkpointing: every healthy site snapshots in
             // place; failed sites keep their redo window open.
@@ -1115,6 +1218,10 @@ impl Engine {
                     g.since_ckpt.drain();
                 }
             }
+            self.tel.emit(t0, || TelEvent::CheckpointRound {
+                kind: "local".to_string(),
+                uploaded_mb: 0.0,
+            });
         }
     }
 
@@ -1165,6 +1272,10 @@ impl Engine {
                 finished.push(i);
             }
         }
+        // Capture spans/ops by pre-removal index before the sweep
+        // shifts everything.
+        let spans: Vec<Option<SpanId>> = self.migrations.iter().map(|m| m.span).collect();
+        let ops: Vec<Option<OpId>> = self.migrations.iter().map(|m| m.op).collect();
         // Remove in one descending index sweep so earlier removals
         // don't shift later indices.
         let mut removals: Vec<usize> = finished.clone();
@@ -1172,6 +1283,13 @@ impl Engine {
         removals.sort_unstable();
         for &i in removals.iter().rev() {
             self.migrations.remove(i);
+        }
+        for &(i, op, site) in &aborted {
+            self.tel.emit(t0, || TelEvent::MigrationAborted {
+                op: op.map(|o| o.0),
+                site: site.0 as u32,
+            });
+            self.tel.span_end(t0, spans[i]);
         }
         for &(_, op, site) in &aborted {
             self.metrics.annotate(SimTime(t0), "transition-abort");
@@ -1204,8 +1322,12 @@ impl Engine {
                 });
             }
         }
-        for _ in &finished {
+        for &i in &finished {
             self.metrics.annotate(SimTime(t0), "transition-end");
+            self.tel.emit(t0, || TelEvent::MigrationCompleted {
+                op: ops[i].map(|o| o.0),
+            });
+            self.tel.span_end(t0, spans[i]);
         }
     }
 

@@ -1,0 +1,272 @@
+//! The typed event taxonomy.
+//!
+//! Events are the leaves of the telemetry stream: point-in-time facts
+//! emitted by the controller, the policy, the engine, and the network
+//! substrate. They deliberately carry *raw* identifiers (`u32` site and
+//! operator ids plus display names) instead of the domain newtypes so
+//! that this crate sits below every wasp crate in the dependency graph.
+//!
+//! All timestamps attached to events elsewhere in this crate are
+//! **simulated seconds**, never wall-clock time: a run with a fixed
+//! scenario and seed produces a byte-identical event log.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a candidate adaptation was not taken.
+///
+/// These mirror the guard clauses of the §6 policy (Fig. 6) and the
+/// emergency re-assignment path, so a run report can show the exact
+/// branch that eliminated each alternative.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The action class is disabled for this controller variant
+    /// (e.g. `ReassignOnly` never scales).
+    Disabled,
+    /// The ILP had no placement satisfying the constraints (Eq. 1–5).
+    NoFeasiblePlacement,
+    /// The solver returned the placement already in force.
+    NoImprovement,
+    /// The planned state migration would exceed `t_max`.
+    MigrationTooSlow { est_s: f64, t_max_s: f64 },
+    /// The required parallelism exceeds `p_max`.
+    ParallelismCapExceeded { required: u32, p_max: u32 },
+    /// DS2-style estimate did not ask for more tasks than we have.
+    TargetNotAboveCurrent { target: u32, current: u32 },
+    /// Removing a task would push a link or site past capacity.
+    WouldOverload,
+    /// The re-planner found no better plan (or none is installed).
+    ReplannerDeclined,
+    /// A recent action on this operator is still in its cooldown
+    /// window.
+    CooldownActive { until_s: f64 },
+    /// The emergency path is backing off after repeated failures.
+    BackoffActive { until_s: f64 },
+    /// The stage cannot be parallelized at all.
+    NotParallelizable,
+    /// The engine refused the command.
+    EngineRejected { error: String },
+}
+
+impl RejectReason {
+    /// Short human-readable rendering for the plain-text report.
+    pub fn describe(&self) -> String {
+        match self {
+            RejectReason::Disabled => "action class disabled".into(),
+            RejectReason::NoFeasiblePlacement => "no feasible placement (ILP infeasible)".into(),
+            RejectReason::NoImprovement => "solver kept the current placement".into(),
+            RejectReason::MigrationTooSlow { est_s, t_max_s } => {
+                format!("migration would take {est_s:.1}s > t_max {t_max_s:.1}s")
+            }
+            RejectReason::ParallelismCapExceeded { required, p_max } => {
+                format!("needs parallelism {required} > p_max {p_max}")
+            }
+            RejectReason::TargetNotAboveCurrent { target, current } => {
+                format!("DS2 target {target} <= current {current}")
+            }
+            RejectReason::WouldOverload => "would overload a link or site".into(),
+            RejectReason::ReplannerDeclined => "re-planner declined".into(),
+            RejectReason::CooldownActive { until_s } => {
+                format!("cooldown active until t={until_s:.0}s")
+            }
+            RejectReason::BackoffActive { until_s } => {
+                format!("emergency backoff until t={until_s:.0}s")
+            }
+            RejectReason::NotParallelizable => "stage is not parallelizable".into(),
+            RejectReason::EngineRejected { error } => format!("engine rejected: {error}"),
+        }
+    }
+}
+
+/// A single telemetry event.
+///
+/// The variants are grouped by emitter: diagnosis, policy audit,
+/// command lifecycle, engine transitions, checkpoints, failures and
+/// environment dynamics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Per-stage diagnosis inputs and verdict for one monitor round.
+    Diagnosis {
+        op: u32,
+        name: String,
+        /// "healthy" | "compute" | "network" | "overprovisioned".
+        health: String,
+        severity: f64,
+        lambda_i: f64,
+        lambda_p: f64,
+        lambda_o: f64,
+        sigma: f64,
+        queue_events: f64,
+        backpressure: bool,
+    },
+    /// The diagnosis engine singled out this stage as the bottleneck.
+    BottleneckPicked {
+        op: u32,
+        name: String,
+        health: String,
+    },
+    /// The policy evaluated a candidate action. `objective` carries the
+    /// ILP objective value when a placement problem was solved.
+    CandidateConsidered {
+        action: String,
+        op: Option<u32>,
+        objective: Option<f64>,
+        detail: String,
+    },
+    /// The policy eliminated a candidate action.
+    CandidateRejected {
+        action: String,
+        op: Option<u32>,
+        reason: RejectReason,
+    },
+    /// The policy settled on an action this round.
+    DecisionTaken {
+        action: String,
+        op: Option<u32>,
+    },
+    /// The round ended without an action.
+    NoActionTaken {
+        reason: String,
+    },
+    /// The engine accepted a command.
+    CommandApplied {
+        label: String,
+    },
+    /// The engine refused a command.
+    CommandFailed {
+        label: String,
+        error: String,
+    },
+    /// A state/task migration began.
+    MigrationStarted {
+        op: Option<u32>,
+        transfers: u32,
+        total_mb: f64,
+    },
+    MigrationCompleted {
+        op: Option<u32>,
+    },
+    MigrationAborted {
+        op: Option<u32>,
+        site: u32,
+    },
+    /// One checkpoint round finished ("local" or "remote").
+    CheckpointRound {
+        kind: String,
+        uploaded_mb: f64,
+    },
+    /// A checkpoint round could not finish within its interval.
+    CheckpointStalled {
+        target: String,
+    },
+    SiteDown {
+        site: u32,
+        name: String,
+    },
+    SiteRestored {
+        site: u32,
+        name: String,
+    },
+    /// A fault scheduled by the chaos engine (emitted at injection
+    /// time so traces show cause before effect).
+    ChaosFault {
+        description: String,
+    },
+    /// The scripted environment shifted (workload surge, bandwidth
+    /// drop, compute slowdown, …).
+    DynamicsTransition {
+        what: String,
+        factor: f64,
+    },
+    /// Free-form annotation (mirrors `RunMetrics::annotate`).
+    Note {
+        text: String,
+    },
+}
+
+impl Event {
+    /// Short name used for Chrome-trace instant events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Diagnosis { .. } => "diagnosis",
+            Event::BottleneckPicked { .. } => "bottleneck",
+            Event::CandidateConsidered { .. } => "candidate",
+            Event::CandidateRejected { .. } => "rejected",
+            Event::DecisionTaken { .. } => "decision",
+            Event::NoActionTaken { .. } => "no-action",
+            Event::CommandApplied { .. } => "command-applied",
+            Event::CommandFailed { .. } => "command-failed",
+            Event::MigrationStarted { .. } => "migration-start",
+            Event::MigrationCompleted { .. } => "migration-end",
+            Event::MigrationAborted { .. } => "migration-abort",
+            Event::CheckpointRound { .. } => "checkpoint",
+            Event::CheckpointStalled { .. } => "checkpoint-stalled",
+            Event::SiteDown { .. } => "site-down",
+            Event::SiteRestored { .. } => "site-restored",
+            Event::ChaosFault { .. } => "chaos",
+            Event::DynamicsTransition { .. } => "dynamics",
+            Event::Note { .. } => "note",
+        }
+    }
+
+    /// One-line human rendering for the plain-text report.
+    pub fn render(&self) -> String {
+        match self {
+            Event::Diagnosis {
+                name,
+                health,
+                severity,
+                lambda_i,
+                lambda_p,
+                lambda_o,
+                sigma,
+                queue_events,
+                backpressure,
+                ..
+            } => format!(
+                "diagnose {name}: {health} (severity {severity:.2}) \
+                 λI={lambda_i:.1} λP={lambda_p:.1} λO={lambda_o:.1} σ={sigma:.3} \
+                 queue={queue_events:.0}{}",
+                if *backpressure { " [backpressure]" } else { "" }
+            ),
+            Event::BottleneckPicked { name, health, .. } => {
+                format!("bottleneck: {name} ({health})")
+            }
+            Event::CandidateConsidered {
+                action,
+                objective,
+                detail,
+                ..
+            } => match objective {
+                Some(obj) => format!("considered {action}: {detail} (ILP objective {obj:.3})"),
+                None => format!("considered {action}: {detail}"),
+            },
+            Event::CandidateRejected { action, reason, .. } => {
+                format!("REJECTED {action}: {}", reason.describe())
+            }
+            Event::DecisionTaken { action, .. } => format!("CHOSE {action}"),
+            Event::NoActionTaken { reason } => format!("no action: {reason}"),
+            Event::CommandApplied { label } => format!("applied: {label}"),
+            Event::CommandFailed { label, error } => format!("FAILED {label}: {error}"),
+            Event::MigrationStarted {
+                transfers,
+                total_mb,
+                ..
+            } => format!("migration started: {transfers} transfers, {total_mb:.1} MB"),
+            Event::MigrationCompleted { .. } => "migration completed".into(),
+            Event::MigrationAborted { site, .. } => {
+                format!("migration ABORTED (site {site} failed)")
+            }
+            Event::CheckpointRound { kind, uploaded_mb } => {
+                format!("checkpoint round ({kind}): {uploaded_mb:.1} MB")
+            }
+            Event::CheckpointStalled { target } => format!("checkpoint STALLED ({target})"),
+            Event::SiteDown { name, .. } => format!("site DOWN: {name}"),
+            Event::SiteRestored { name, .. } => format!("site restored: {name}"),
+            Event::ChaosFault { description } => format!("chaos: {description}"),
+            Event::DynamicsTransition { what, factor } => {
+                format!("dynamics: {what} -> x{factor:.2}")
+            }
+            Event::Note { text } => format!("note: {text}"),
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Exporters: Chrome trace JSON, JSONL event log, plain-text report.
+//!
+//! All three are pure functions of a [`Recording`], and a recording is
+//! a pure function of (scenario, seed): timestamps are simulated
+//! seconds, so exports are byte-stable across runs and machines.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::Event;
+use crate::sink::{Entry, Recording};
+
+/// Span names that follow strict LIFO nesting on the control thread.
+/// These become `ph:"B"`/`ph:"E"` pairs; everything else (engine
+/// transitions, checkpoints — which may overlap) becomes `ph:"X"`
+/// complete events on the engine thread.
+fn is_control_span(name: &str) -> bool {
+    name.starts_with("scenario")
+        || name.starts_with("handle:")
+        || name.starts_with("candidate:")
+        || name == "monitor-round"
+        || name == "emergency-round"
+        || name == "diagnosis"
+        || name == "decide"
+        || name == "apply"
+}
+
+fn micros(t: f64) -> u64 {
+    (t * 1e6).round() as u64
+}
+
+fn json_str(s: &str) -> String {
+    serde_json::to_string(&s).expect("string serialization is infallible")
+}
+
+/// Export as Chrome `about://tracing` / Perfetto JSON.
+///
+/// Events are emitted in log order, so `ts` is monotonically
+/// non-decreasing; control spans nest via duration-begin/end pairs and
+/// engine spans are independent complete events.
+pub fn to_chrome_trace(rec: &Recording) -> String {
+    let spans = rec.spans();
+    let end_time = rec.end_time();
+    let mut lines: Vec<String> = Vec::new();
+    // Remember which control spans we opened so stragglers can be
+    // closed at the end of the trace (Chrome requires balanced B/E).
+    let mut open_control: Vec<u64> = Vec::new();
+
+    for e in &rec.log {
+        match &e.entry {
+            Entry::SpanBegin { id, name, .. } => {
+                if is_control_span(name) {
+                    lines.push(format!(
+                        "{{\"name\":{},\"cat\":\"control\",\"ph\":\"B\",\"ts\":{},\"pid\":0,\"tid\":1}}",
+                        json_str(name),
+                        micros(e.t)
+                    ));
+                    open_control.push(*id);
+                } else {
+                    let end = spans
+                        .iter()
+                        .find(|s| s.id == *id)
+                        .and_then(|s| s.end)
+                        .unwrap_or(end_time);
+                    lines.push(format!(
+                        "{{\"name\":{},\"cat\":\"engine\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":2}}",
+                        json_str(name),
+                        micros(e.t),
+                        micros(end).saturating_sub(micros(e.t))
+                    ));
+                }
+            }
+            Entry::SpanEnd { id } => {
+                if let Some(pos) = open_control.iter().rposition(|open| open == id) {
+                    open_control.remove(pos);
+                    lines.push(format!(
+                        "{{\"ph\":\"E\",\"ts\":{},\"pid\":0,\"tid\":1}}",
+                        micros(e.t)
+                    ));
+                }
+            }
+            Entry::Event(ev) => {
+                lines.push(format!(
+                    "{{\"name\":{},\"cat\":\"event\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":1,\"s\":\"t\",\"args\":{{\"detail\":{}}}}}",
+                    json_str(ev.kind()),
+                    micros(e.t),
+                    json_str(&ev.render())
+                ));
+            }
+        }
+    }
+    // Balance any spans still open when the run ended.
+    for _ in open_control.drain(..).rev() {
+        lines.push(format!(
+            "{{\"ph\":\"E\",\"ts\":{},\"pid\":0,\"tid\":1}}",
+            micros(end_time)
+        ));
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Export the raw log as JSON Lines, one entry per line.
+pub fn to_jsonl(rec: &Recording) -> String {
+    let mut out = String::new();
+    for entry in &rec.log {
+        out.push_str(&serde_json::to_string(entry).expect("log entries serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the plain-text run report: the decision audit (per monitor
+/// round), per-stage timelines, and a summary.
+pub fn render_report(rec: &Recording, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "WASP run report — {title}");
+    let _ = writeln!(out, "{}", "=".repeat(18 + title.chars().count()));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Decision audit");
+    let _ = writeln!(out, "--------------");
+
+    let mut rounds = 0usize;
+    let mut decisions = 0usize;
+    let mut rejections = 0usize;
+    let mut migrations = 0usize;
+    let mut aborted = 0usize;
+    let mut checkpoints = 0usize;
+
+    for e in &rec.log {
+        match &e.entry {
+            Entry::SpanBegin { name, .. }
+                if name == "monitor-round" || name == "emergency-round" =>
+            {
+                rounds += 1;
+                let _ = writeln!(out, "[t={:>7.1}] {}", e.t, name);
+            }
+            Entry::Event(ev) => {
+                match ev {
+                    Event::DecisionTaken { .. } => decisions += 1,
+                    Event::CandidateRejected { .. } => rejections += 1,
+                    Event::MigrationStarted { .. } => migrations += 1,
+                    Event::MigrationAborted { .. } => aborted += 1,
+                    Event::CheckpointRound { .. } => checkpoints += 1,
+                    _ => {}
+                }
+                match ev {
+                    // Engine-side events get their own timestamped
+                    // lines; controller-round events are indented under
+                    // the round header.
+                    Event::MigrationStarted { .. }
+                    | Event::MigrationCompleted { .. }
+                    | Event::MigrationAborted { .. }
+                    | Event::SiteDown { .. }
+                    | Event::SiteRestored { .. }
+                    | Event::CheckpointStalled { .. }
+                    | Event::ChaosFault { .. }
+                    | Event::DynamicsTransition { .. } => {
+                        let _ = writeln!(out, "[t={:>7.1}]   * {}", e.t, ev.render());
+                    }
+                    Event::CheckpointRound { .. } | Event::Note { .. } => {}
+                    _ => {
+                        let _ = writeln!(out, "            {}", ev.render());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Per-stage timeline");
+    let _ = writeln!(out, "------------------");
+    // Health transitions per operator, in operator order.
+    let mut last_health: BTreeMap<u32, String> = BTreeMap::new();
+    let mut per_op: BTreeMap<u32, (String, Vec<String>)> = BTreeMap::new();
+    for (t, _, ev) in rec.events() {
+        if let Event::Diagnosis {
+            op,
+            name,
+            health,
+            severity,
+            ..
+        } = ev
+        {
+            let slot = per_op
+                .entry(*op)
+                .or_insert_with(|| (name.clone(), Vec::new()));
+            if last_health.get(op) != Some(health) {
+                slot.1
+                    .push(format!("t={t:>7.1}  -> {health} (severity {severity:.2})"));
+                last_health.insert(*op, health.clone());
+            }
+        }
+    }
+    for (op, (name, transitions)) in &per_op {
+        let _ = writeln!(out, "op {op} ({name}):");
+        for line in transitions {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Summary");
+    let _ = writeln!(out, "-------");
+    let _ = writeln!(
+        out,
+        "monitor rounds: {rounds}  decisions: {decisions}  rejections: {rejections}"
+    );
+    let _ = writeln!(
+        out,
+        "migrations: {migrations} ({aborted} aborted)  checkpoint rounds: {checkpoints}"
+    );
+    let _ = writeln!(out, "max span depth: {}", rec.max_span_depth());
+    out
+}

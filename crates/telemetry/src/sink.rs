@@ -1,0 +1,232 @@
+//! Sinks: where telemetry goes.
+//!
+//! The [`TelemetrySink`] trait is the pluggable back end. Two
+//! implementations ship here:
+//!
+//! * [`NullSink`] — reports `enabled() == false`, so the [`Telemetry`]
+//!   handle (see the crate root) skips even *constructing* events.
+//! * [`RecordingSink`] — appends every entry to an in-memory ordered
+//!   log, from which the exporters in [`crate::export`] derive the
+//!   Chrome trace, the JSONL log, and the run report.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::Event;
+
+/// Opaque identifier for an open span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpanId(pub u64);
+
+/// One entry of the ordered telemetry log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Simulated time in seconds.
+    pub t: f64,
+    /// Innermost span open when the entry was recorded, if any.
+    pub span: Option<u64>,
+    pub entry: Entry,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Entry {
+    Event(Event),
+    SpanBegin {
+        id: u64,
+        parent: Option<u64>,
+        name: String,
+    },
+    SpanEnd {
+        id: u64,
+    },
+}
+
+/// A closed view over a span, reconstructed from the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanView {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub name: String,
+    pub start: f64,
+    /// `None` when the run ended with the span still open.
+    pub end: Option<f64>,
+    /// Root spans have depth 0.
+    pub depth: usize,
+}
+
+/// Pluggable telemetry back end.
+pub trait TelemetrySink: fmt::Debug {
+    /// When `false`, callers skip event construction entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+    fn record(&mut self, t: f64, event: Event);
+    fn span_begin(&mut self, t: f64, name: &str) -> SpanId;
+    fn span_end(&mut self, t: f64, id: SpanId);
+}
+
+/// Discards everything; `enabled()` is `false` so instrumented code
+/// pays only for the `Option` check and one virtual call per emit
+/// site.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&mut self, _t: f64, _event: Event) {}
+    fn span_begin(&mut self, _t: f64, _name: &str) -> SpanId {
+        SpanId(0)
+    }
+    fn span_end(&mut self, _t: f64, _id: SpanId) {}
+}
+
+/// Renders every event to stderr as a one-liner and records nothing —
+/// the structured replacement for ad-hoc `eprintln!` diagnostics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl TelemetrySink for StderrSink {
+    fn record(&mut self, t: f64, event: Event) {
+        eprintln!("[t={t:>7.1}] {}", event.render());
+    }
+    fn span_begin(&mut self, _t: f64, _name: &str) -> SpanId {
+        SpanId(0)
+    }
+    fn span_end(&mut self, _t: f64, _id: SpanId) {}
+}
+
+/// Records an ordered, deterministic log of events and spans.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    log: Vec<LogEntry>,
+    /// Stack of currently-open span ids; the top is the parent for new
+    /// spans and the attribution target for events.
+    open: Vec<u64>,
+    next_id: u64,
+    /// When set, every event is also rendered to stderr as it happens.
+    pub echo: bool,
+}
+
+impl RecordingSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn echoing() -> Self {
+        Self {
+            echo: true,
+            ..Self::default()
+        }
+    }
+
+    /// The finished log (clones; the sink stays usable).
+    pub fn recording(&self) -> Recording {
+        Recording {
+            log: self.log.clone(),
+        }
+    }
+}
+
+impl TelemetrySink for RecordingSink {
+    fn record(&mut self, t: f64, event: Event) {
+        if self.echo {
+            eprintln!("[t={t:>7.1}] {}", event.render());
+        }
+        self.log.push(LogEntry {
+            t,
+            span: self.open.last().copied(),
+            entry: Entry::Event(event),
+        });
+    }
+
+    fn span_begin(&mut self, t: f64, name: &str) -> SpanId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.log.push(LogEntry {
+            t,
+            span: self.open.last().copied(),
+            entry: Entry::SpanBegin {
+                id,
+                parent: self.open.last().copied(),
+                name: name.to_string(),
+            },
+        });
+        self.open.push(id);
+        SpanId(id)
+    }
+
+    fn span_end(&mut self, t: f64, id: SpanId) {
+        // Spans are not strictly LIFO: an engine migration span can
+        // outlive the controller round that opened it. Remove by id.
+        if let Some(pos) = self.open.iter().rposition(|&open| open == id.0) {
+            self.open.remove(pos);
+        }
+        self.log.push(LogEntry {
+            t,
+            span: self.open.last().copied(),
+            entry: Entry::SpanEnd { id: id.0 },
+        });
+    }
+}
+
+/// The completed, ordered telemetry log of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Recording {
+    pub log: Vec<LogEntry>,
+}
+
+impl Recording {
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// All point events with their timestamps, in log order.
+    pub fn events(&self) -> impl Iterator<Item = (f64, Option<u64>, &Event)> {
+        self.log.iter().filter_map(|e| match &e.entry {
+            Entry::Event(ev) => Some((e.t, e.span, ev)),
+            _ => None,
+        })
+    }
+
+    /// Reconstruct span views (start/end/depth) from the log.
+    pub fn spans(&self) -> Vec<SpanView> {
+        let mut spans: Vec<SpanView> = Vec::new();
+        for e in &self.log {
+            match &e.entry {
+                Entry::SpanBegin { id, parent, name } => {
+                    let depth = parent
+                        .and_then(|p| spans.iter().find(|s| s.id == p))
+                        .map_or(0, |p| p.depth + 1);
+                    spans.push(SpanView {
+                        id: *id,
+                        parent: *parent,
+                        name: name.clone(),
+                        start: e.t,
+                        end: None,
+                        depth,
+                    });
+                }
+                Entry::SpanEnd { id } => {
+                    if let Some(s) = spans.iter_mut().rev().find(|s| s.id == *id) {
+                        s.end = Some(e.t);
+                    }
+                }
+                Entry::Event(_) => {}
+            }
+        }
+        spans
+    }
+
+    /// Deepest nesting level in the run (a single root span counts 1).
+    pub fn max_span_depth(&self) -> usize {
+        self.spans().iter().map(|s| s.depth + 1).max().unwrap_or(0)
+    }
+
+    /// Timestamp of the last entry (0.0 for an empty log).
+    pub fn end_time(&self) -> f64 {
+        self.log.last().map_or(0.0, |e| e.t)
+    }
+}

@@ -53,4 +53,7 @@ pub mod prelude {
     };
     pub use crate::twitter::TwitterTrace;
     pub use crate::ysb::{AdEvent, EventType, YsbGenerator};
+    pub use wasp_telemetry::{
+        render_report, to_chrome_trace, to_jsonl, Recording, RecordingHandle, Telemetry,
+    };
 }

@@ -24,6 +24,7 @@ use wasp_streamsim::metrics::RunMetrics;
 use wasp_streamsim::operator::StateModel;
 use wasp_streamsim::physical::PhysicalPlan;
 use wasp_streamsim::plan::LogicalPlan;
+use wasp_telemetry::Telemetry;
 
 /// Which controller to run a scenario under.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,13 +58,26 @@ impl ControllerKind {
 
     /// Instantiates the controller.
     pub fn instantiate(&self, slo_s: f64) -> Box<dyn Controller> {
+        self.instantiate_with(slo_s, Telemetry::disabled())
+    }
+
+    /// Instantiates the controller with a telemetry sink attached (the
+    /// adaptive variants emit their decision audit trail into it; the
+    /// static baselines have nothing to say).
+    pub fn instantiate_with(&self, slo_s: f64, tel: Telemetry) -> Box<dyn Controller> {
         match self {
             ControllerKind::NoAdapt => Box::new(NoAdaptController),
             ControllerKind::Degrade => Box::new(DegradeController::new(slo_s)),
-            ControllerKind::Wasp => Box::new(WaspController::new(PolicyConfig::default())),
-            ControllerKind::ReassignOnly => Box::new(WaspController::reassign_only()),
-            ControllerKind::ScaleOnly => Box::new(WaspController::scale_only()),
-            ControllerKind::ReplanOnly => Box::new(WaspController::replan_only()),
+            ControllerKind::Wasp => {
+                Box::new(WaspController::new(PolicyConfig::default()).with_telemetry(tel))
+            }
+            ControllerKind::ReassignOnly => {
+                Box::new(WaspController::reassign_only().with_telemetry(tel))
+            }
+            ControllerKind::ScaleOnly => Box::new(WaspController::scale_only().with_telemetry(tel)),
+            ControllerKind::ReplanOnly => {
+                Box::new(WaspController::replan_only().with_telemetry(tel))
+            }
         }
     }
 }
@@ -79,6 +93,10 @@ pub struct ScenarioConfig {
     pub monitor_interval_s: f64,
     /// Degrade's SLO.
     pub slo_s: f64,
+    /// Telemetry sink shared by the engine and the controller
+    /// (disabled by default — recording costs nothing unless asked
+    /// for).
+    pub telemetry: Telemetry,
 }
 
 impl Default for ScenarioConfig {
@@ -95,6 +113,7 @@ impl Default for ScenarioConfig {
             dt: 0.25,
             monitor_interval_s: 40.0,
             slo_s: 10.0,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -150,6 +169,7 @@ pub fn build_engine(
 }
 
 fn run_scenario(
+    section: &str,
     kind: QueryKind,
     script: DynamicsScript,
     controller: ControllerKind,
@@ -158,13 +178,27 @@ fn run_scenario(
 ) -> ExperimentResult {
     let tb = Testbed::paper(cfg.seed);
     let (mut engine, e2e) = build_engine(kind, &tb, script, engine_config(cfg, controller));
-    let mut ctrl = controller.instantiate(cfg.slo_s);
+    let tel = cfg.telemetry.clone();
+    engine.set_telemetry(tel.clone());
+    let root = if tel.is_enabled() {
+        let name = format!(
+            "scenario:{section} {} [{}] seed={}",
+            kind.name(),
+            controller.label(),
+            cfg.seed
+        );
+        tel.span_begin(0.0, &name)
+    } else {
+        None
+    };
+    let mut ctrl = controller.instantiate_with(cfg.slo_s, tel.clone());
     run_controlled(
         &mut engine,
         ctrl.as_mut(),
         duration_s,
         cfg.monitor_interval_s,
     );
+    tel.span_end(engine.now().secs(), root);
     ExperimentResult {
         label: controller.label().to_string(),
         query: kind.name().to_string(),
@@ -180,13 +214,21 @@ pub fn run_section_8_4(
     controller: ControllerKind,
     cfg: &ScenarioConfig,
 ) -> ExperimentResult {
-    run_scenario(kind, DynamicsScript::section_8_4(), controller, 1500.0, cfg)
+    run_scenario(
+        "section_8_4",
+        kind,
+        DynamicsScript::section_8_4(),
+        controller,
+        1500.0,
+        cfg,
+    )
 }
 
 /// §8.5 (Fig. 10): Top-K under workload ×{1,2,2,1,1} and bandwidth
 /// ×{1,1,0.5,0.5,1} per 300 s interval; 1500 s total.
 pub fn run_section_8_5(controller: ControllerKind, cfg: &ScenarioConfig) -> ExperimentResult {
     run_scenario(
+        "section_8_5",
         QueryKind::TopK,
         DynamicsScript::section_8_5(),
         controller,
@@ -213,7 +255,14 @@ pub fn run_section_8_6(controller: ControllerKind, cfg: &ScenarioConfig) -> Expe
             .collect();
         script = script.with_workload(site, FactorSeries::from_samples(30.0, samples));
     }
-    run_scenario(QueryKind::TopK, script, controller, 1800.0, cfg)
+    run_scenario(
+        "section_8_6",
+        QueryKind::TopK,
+        script,
+        controller,
+        1800.0,
+        cfg,
+    )
 }
 
 /// A fully parameterized scenario run, used by the ablation studies
@@ -282,7 +331,8 @@ pub fn run_custom(run: CustomRun, cfg: &ScenarioConfig) -> (ExperimentResult, f6
         ..EngineConfig::default()
     };
     let (mut engine, e2e) = build_engine(run.kind, &tb, run.script, engine_cfg);
-    let mut ctrl = WaspController::new(run.policy);
+    engine.set_telemetry(cfg.telemetry.clone());
+    let mut ctrl = WaspController::new(run.policy).with_telemetry(cfg.telemetry.clone());
     if run.adaptive_alpha {
         ctrl = ctrl.with_adaptive_alpha();
     }
