@@ -63,6 +63,25 @@ fn bench_telemetry(c: &mut Criterion) {
             std::hint::black_box(engine.now())
         })
     });
+    // Same guard for the metrics hub: a disabled hub must keep the
+    // engine step within noise of `engine_step_no_telemetry`, and a
+    // recording hub's hot-path cost is a handful of Cell stores.
+    group.bench_function("engine_step_metrics_disabled", |b| {
+        let mut engine = warm_engine(Telemetry::disabled());
+        engine.set_metrics(MetricsHub::disabled());
+        b.iter(|| {
+            engine.step();
+            std::hint::black_box(engine.now())
+        })
+    });
+    group.bench_function("engine_step_metrics_recording", |b| {
+        let mut engine = warm_engine(Telemetry::disabled());
+        engine.set_metrics(MetricsHub::recording(10.0));
+        b.iter(|| {
+            engine.step();
+            std::hint::black_box(engine.now())
+        })
+    });
     group.finish();
 }
 

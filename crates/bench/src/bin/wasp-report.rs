@@ -23,6 +23,66 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Renders the SLO/metrics summary appended to the audit report: the
+/// per-query delay quantiles, throughput, recovery times, and the
+/// controller/engine instruments scraped by the metrics hub.
+fn metrics_summary(result: &ExperimentResult, hub: &MetricsHub) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let m = &result.metrics;
+    let sim_s = m.ticks().last().map(|r| r.t).unwrap_or(0.0);
+    let q = |p: f64| m.delay_quantile(p).unwrap_or(0.0);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Metrics summary");
+    let _ = writeln!(out, "---------------");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>9} {:>9} {:>9} {:>12} {:>9}",
+        "query", "p50 (s)", "p95 (s)", "p99 (s)", "sink ev/s", "dropped"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>9.2} {:>9.2} {:>9.2} {:>12.1} {:>8.1}%",
+        result.query,
+        q(0.5),
+        q(0.95),
+        q(0.99),
+        m.total_delivered() / sim_s.max(1e-9),
+        m.dropped_fraction() * 100.0
+    );
+    let recoveries = recovery_times(m);
+    if !recoveries.is_empty() {
+        let _ = writeln!(out);
+        for (at, rec_s) in &recoveries {
+            let _ = writeln!(out, "failure at t={at:.0}s: recovered in {rec_s:.1}s");
+        }
+    }
+    let snaps = hub.snapshots();
+    if !snaps.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "Instruments (final values)");
+        for s in snaps
+            .iter()
+            .filter(|s| !s.family.starts_with("wasp_op_") && !s.family.starts_with("wasp_link_"))
+        {
+            match s.summary {
+                Some((p50, p95, p99, _, _)) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<44} {:>12.3} (p50 {p50:.3} p95 {p95:.3} p99 {p99:.3})",
+                        s.display_name(),
+                        s.value,
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  {:<44} {:>12.3}", s.display_name(), s.value);
+                }
+            }
+        }
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scenario: Option<String> = None;
@@ -85,6 +145,8 @@ fn main() {
         Telemetry::recording()
     };
     cfg.telemetry = tel;
+    let hub = MetricsHub::recording(10.0);
+    cfg.metrics = hub.clone();
 
     let result = match scenario.as_str() {
         "section_8_4" => run_section_8_4(query, controller, &cfg),
@@ -112,7 +174,8 @@ fn main() {
         progress.note(done, || format!("wrote event log to {path}"));
     }
 
-    let report = render_report(&recording, &title);
+    let mut report = render_report(&recording, &title);
+    report.push_str(&metrics_summary(&result, &hub));
     match &report_out {
         Some(path) => {
             std::fs::write(path, &report).expect("write report");

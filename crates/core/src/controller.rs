@@ -15,7 +15,9 @@ use crate::diagnose::{diagnose_with_history, DiagnosisConfig, Health};
 use crate::estimator::WorkloadEstimate;
 use crate::policy::{Policy, PolicyConfig};
 use crate::replanner::{GenericReplanner, QueryReplanner};
+use wasp_metrics::{Counter, Gauge, Histogram, MetricsHub};
 use wasp_streamsim::engine::{Command, Engine};
+use wasp_streamsim::metrics::FailureEvent;
 use wasp_telemetry::{Event as TelEvent, RejectReason, Telemetry};
 
 /// A reconfiguration manager driven by monitoring rounds.
@@ -90,6 +92,62 @@ impl Controller for DegradeController {
     }
 }
 
+/// Pre-registered derived-SLO instruments for the controller.
+///
+/// All handles are resolved once in [`WaspController::with_metrics`]
+/// so the per-round cost is a handful of `Cell` stores; when the hub
+/// is disabled the handles are no-ops and nothing is registered.
+#[derive(Debug)]
+struct ControllerMetrics {
+    /// Monitoring rounds executed (including emergency rounds).
+    rounds: Counter,
+    /// Successfully applied normal-path adaptation commands.
+    actions: Counter,
+    /// Successfully applied emergency re-assignments.
+    emergency_actions: Counter,
+    /// End-to-end delivery delay quantiles over the whole run so far,
+    /// refreshed every round from the engine's streaming histogram.
+    delay_p50: Gauge,
+    delay_p95: Gauge,
+    delay_p99: Gauge,
+    /// Adaptation lag: seconds from an observed site failure to the
+    /// first successful emergency re-assignment (or to the site's
+    /// restoration, when the failure healed on its own first).
+    adaptation_lag: Histogram,
+}
+
+impl ControllerMetrics {
+    fn build(hub: &MetricsHub) -> ControllerMetrics {
+        const SLO_HELP: &str = "End-to-end delivery delay quantile over the run so far";
+        ControllerMetrics {
+            rounds: hub.counter(
+                "wasp_controller_rounds_total",
+                "Monitoring rounds executed by the controller",
+                &[],
+            ),
+            actions: hub.counter(
+                "wasp_controller_actions_total",
+                "Adaptation commands successfully applied on the normal path",
+                &[],
+            ),
+            emergency_actions: hub.counter(
+                "wasp_controller_emergency_actions_total",
+                "Emergency re-assignments successfully applied after site failures",
+                &[],
+            ),
+            delay_p50: hub.gauge("wasp_slo_delay_seconds", SLO_HELP, &[("quantile", "0.50")]),
+            delay_p95: hub.gauge("wasp_slo_delay_seconds", SLO_HELP, &[("quantile", "0.95")]),
+            delay_p99: hub.gauge("wasp_slo_delay_seconds", SLO_HELP, &[("quantile", "0.99")]),
+            adaptation_lag: hub.histogram(
+                "wasp_adaptation_lag_seconds",
+                "Seconds from an observed site failure to the first successful \
+                 emergency re-assignment (or restoration) resolving it",
+                &[],
+            ),
+        }
+    }
+}
+
 /// The WASP adaptation controller (§6): monitors, estimates the actual
 /// workload, diagnoses, and applies the policy's decision.
 pub struct WaspController {
@@ -119,6 +177,12 @@ pub struct WaspController {
     /// Telemetry handle; shared with the policy so controller spans
     /// and policy audit events interleave in one log.
     tel: Telemetry,
+    /// Derived SLO/adaptation instruments (`None` when no recording
+    /// hub was attached).
+    cm: Option<ControllerMetrics>,
+    /// Site failures observed but not yet resolved by a successful
+    /// emergency action or a restoration: `(site, observed_at_s)`.
+    pending_failures: Vec<(wasp_netsim::site::SiteId, f64)>,
 }
 
 /// Initial emergency-retry backoff; shorter than a monitoring
@@ -167,6 +231,8 @@ impl WaspController {
             emergency_next_attempt_s: 0.0,
             emergency_backoff_s: EMERGENCY_BACKOFF_INITIAL_S,
             tel: Telemetry::disabled(),
+            cm: None,
+            pending_failures: Vec::new(),
         }
     }
 
@@ -176,6 +242,15 @@ impl WaspController {
     pub fn with_telemetry(mut self, tel: Telemetry) -> WaspController {
         self.policy.set_telemetry(tel.clone());
         self.tel = tel;
+        self
+    }
+
+    /// Attaches a metrics hub: every round the controller refreshes
+    /// the derived SLO gauges (p50/p95/p99 delivery delay) and counts
+    /// rounds/actions; site failures feed the adaptation-lag
+    /// histogram. A disabled hub registers nothing and costs nothing.
+    pub fn with_metrics(mut self, hub: MetricsHub) -> WaspController {
+        self.cm = hub.is_enabled().then(|| ControllerMetrics::build(&hub));
         self
     }
 
@@ -238,6 +313,47 @@ impl WaspController {
         &self.policy
     }
 
+    /// Per-round metric refresh: the rounds counter, the derived SLO
+    /// delay gauges, and the pending-failure ledger that feeds the
+    /// adaptation-lag histogram. A no-op without an attached hub.
+    fn observe_round_metrics(
+        &mut self,
+        engine: &Engine,
+        snap: &wasp_streamsim::metrics::QuerySnapshot,
+    ) {
+        let Some(cm) = &self.cm else { return };
+        cm.rounds.inc();
+        let m = engine.metrics();
+        if let Some(p50) = m.delay_quantile(0.5) {
+            cm.delay_p50.set(p50);
+        }
+        if let Some(p95) = m.delay_quantile(0.95) {
+            cm.delay_p95.set(p95);
+        }
+        if let Some(p99) = m.delay_quantile(0.99) {
+            cm.delay_p99.set(p99);
+        }
+        for ev in &snap.events {
+            match ev {
+                FailureEvent::SiteDown { site, at }
+                    if !self.pending_failures.iter().any(|(s, _)| s == site) =>
+                {
+                    self.pending_failures.push((*site, at.secs()));
+                }
+                FailureEvent::SiteRestored { site, at } => {
+                    // The failure healed before (or without) an
+                    // emergency action: the lag is down→restored.
+                    if let Some(pos) = self.pending_failures.iter().position(|(s, _)| s == site) {
+                        let (_, down_at) = self.pending_failures.remove(pos);
+                        cm.adaptation_lag
+                            .observe((at.secs() - down_at).max(0.0), 1.0);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// The emergency re-assignment path (§8.6's failure reaction):
     /// re-solves placement over surviving slots for every operator
     /// with tasks on a failed site and applies the moves, with
@@ -266,6 +382,7 @@ impl WaspController {
             self.policy
                 .emergency_actions(&plan, snap, &est, engine.network(), engine.now());
         let mut any_failed = false;
+        let mut any_applied = false;
         for (op, action) in actions {
             // Cooldown: an operator just moved off a flapping site
             // stays put until the cooldown expires, even if the site
@@ -283,6 +400,7 @@ impl WaspController {
             }
             match engine.apply(action.command) {
                 Ok(()) => {
+                    any_applied = true;
                     self.tel.emit(now, || TelEvent::CommandApplied {
                         label: action.label.clone(),
                     });
@@ -297,6 +415,17 @@ impl WaspController {
                     });
                     engine.annotate(format!("{} failed: {err}", action.label));
                     any_failed = true;
+                }
+            }
+        }
+        if any_applied {
+            if let Some(cm) = &self.cm {
+                cm.emergency_actions.inc();
+                // The query is re-routed around every failed site at
+                // once, so one successful emergency round resolves
+                // all pending failures.
+                for (_, down_at) in self.pending_failures.drain(..) {
+                    cm.adaptation_lag.observe((now - down_at).max(0.0), 1.0);
                 }
             }
         }
@@ -320,6 +449,7 @@ impl Controller for WaspController {
         let now = engine.now().secs();
         let round = tel.span_begin(now, "monitor-round");
         let snap = engine.snapshot();
+        self.observe_round_metrics(engine, &snap);
         // Failure-reactive path: tasks on a dead site process nothing,
         // so every round spent waiting for the site to come back adds
         // directly to recovery time. Move affected operators off the
@@ -423,6 +553,9 @@ impl Controller for WaspController {
             let apply_span = tel.span_begin(now, "apply");
             match engine.apply(action.command) {
                 Ok(()) => {
+                    if let Some(cm) = &self.cm {
+                        cm.actions.inc();
+                    }
                     tel.emit(now, || TelEvent::CommandApplied {
                         label: action.label.clone(),
                     });
@@ -463,6 +596,9 @@ impl Controller for WaspController {
                 ) {
                     match engine.apply(Command::SwitchPlan(Box::new(switch))) {
                         Ok(()) => {
+                            if let Some(cm) = &self.cm {
+                                cm.actions.inc();
+                            }
                             tel.emit(now, || TelEvent::CommandApplied {
                                 label: "periodic re-plan".into(),
                             });
@@ -641,6 +777,40 @@ mod tests {
         assert!(w_delay < 15.0, "wasp delay {w_delay}");
         assert!(w_drop == 0.0, "wasp dropped {w_drop}");
         assert!(w_ratio > 0.9, "wasp ratio {w_ratio}");
+    }
+
+    #[test]
+    fn controller_records_slo_and_action_metrics() {
+        // Same world as the scale-up test, but with a recording hub
+        // attached to both the engine and the controller: the derived
+        // SLO gauges and action counters must be populated.
+        let (script, dur) = doubled_workload_world();
+        let (net, edge, dc) = two_site_world(100.0);
+        let plan = linear_plan(edge, 1000.0, 800.0, 0.5);
+        let mut eng = engine_with_script(net, plan, dc, script);
+        let hub = MetricsHub::recording(40.0);
+        eng.set_metrics(hub.clone());
+        let mut wasp = WaspController::new(PolicyConfig::default()).with_metrics(hub.clone());
+        run_controlled(&mut eng, &mut wasp, dur, 40.0);
+        let snaps = hub.snapshots();
+        let value = |family: &str, label: Option<(&str, &str)>| {
+            snaps
+                .iter()
+                .find(|s| {
+                    s.family == family
+                        && label
+                            .is_none_or(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+                })
+                .map(|s| s.value)
+        };
+        let rounds = value("wasp_controller_rounds_total", None).unwrap();
+        assert!(rounds >= 10.0, "rounds {rounds}");
+        let actions = value("wasp_controller_actions_total", None).unwrap();
+        assert!(actions >= 1.0, "actions {actions}");
+        let p95 = value("wasp_slo_delay_seconds", Some(("quantile", "0.95"))).unwrap();
+        assert!(p95 > 0.0, "p95 {p95}");
+        // Gauges refresh over scrape rows too.
+        assert!(hub.scrape_count() > 0);
     }
 
     #[test]

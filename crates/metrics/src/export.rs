@@ -1,0 +1,152 @@
+//! Exporters: Prometheus text exposition of the current instrument
+//! state, and long-format CSV of the scraped time series.
+
+use crate::registry::{Instrument, Registry};
+
+/// Formats a float the way Prometheus expects: `Inf`/`-Inf`/`NaN`
+/// specials, shortest-exact otherwise.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// `family{k="v",...}suffix` — the full sample name. Extra labels
+/// (e.g. `le`) are appended after the sorted registration labels.
+pub(crate) fn sample_name(family: &str, labels: &[(String, String)], suffix: &str) -> String {
+    sample_name_extra(family, labels, suffix, &[])
+}
+
+fn sample_name_extra(
+    family: &str,
+    labels: &[(String, String)],
+    suffix: &str,
+    extra: &[(&str, String)],
+) -> String {
+    let mut out = String::with_capacity(family.len() + suffix.len() + 16 * labels.len());
+    out.push_str(family);
+    out.push_str(suffix);
+    if labels.is_empty() && extra.is_empty() {
+        return out;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .chain(extra.iter().map(|(k, v)| (*k, v.clone())))
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        // Prometheus label-value escaping: backslash, quote, newline.
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Renders the registry's current state in the Prometheus text
+/// exposition format (`# HELP`/`# TYPE` headers per family, then one
+/// sample line per series; histograms expand to cumulative
+/// `_bucket{le=...}` plus `_sum`/`_count`).
+pub(crate) fn prometheus_text(reg: &Registry) -> String {
+    let mut out = String::new();
+    let mut seen_family: Vec<&str> = Vec::new();
+    for m in &reg.metrics {
+        if !seen_family.contains(&m.family.as_str()) {
+            seen_family.push(&m.family);
+            out.push_str(&format!("# HELP {} {}\n", m.family, m.help));
+            out.push_str(&format!(
+                "# TYPE {} {}\n",
+                m.family,
+                m.value.kind().prometheus_type()
+            ));
+        }
+        match &m.value {
+            Instrument::Counter(c) | Instrument::Gauge(c) => {
+                out.push_str(&format!(
+                    "{} {}\n",
+                    sample_name(&m.family, &m.labels, ""),
+                    fmt_value(c.get())
+                ));
+            }
+            Instrument::Histogram(h) => {
+                let h = h.borrow();
+                let mut cum = 0.0;
+                for (le, w) in h.nonzero_buckets() {
+                    cum += w;
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        sample_name_extra(
+                            &m.family,
+                            &m.labels,
+                            "_bucket",
+                            &[("le", fmt_value(le))]
+                        ),
+                        fmt_value(cum)
+                    ));
+                }
+                out.push_str(&format!(
+                    "{} {}\n",
+                    sample_name_extra(
+                        &m.family,
+                        &m.labels,
+                        "_bucket",
+                        &[("le", "+Inf".to_string())]
+                    ),
+                    fmt_value(h.count())
+                ));
+                out.push_str(&format!(
+                    "{} {}\n",
+                    sample_name(&m.family, &m.labels, "_sum"),
+                    fmt_value(h.sum())
+                ));
+                out.push_str(&format!(
+                    "{} {}\n",
+                    sample_name(&m.family, &m.labels, "_count"),
+                    fmt_value(h.count())
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the scraped time series as long-format CSV:
+/// `t,metric,value` with one row per sample per scrape. Long format
+/// keeps late-registered metrics (instruments appear when plans
+/// switch) trivially representable.
+pub(crate) fn csv_text(reg: &Registry) -> String {
+    let mut out = String::from("t,metric,value\n");
+    for row in &reg.series {
+        for s in &row.samples {
+            let m = &reg.metrics[s.metric];
+            let name = sample_name(&m.family, &m.labels, s.suffix);
+            out.push_str(&format!(
+                "{},\"{}\",{}\n",
+                row.t,
+                name.replace('"', "\"\""),
+                fmt_value(s.value)
+            ));
+        }
+    }
+    out
+}

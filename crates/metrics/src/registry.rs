@@ -1,0 +1,521 @@
+//! The metric registry: typed families × label sets → instruments,
+//! scraped on sim-time intervals into a time series.
+//!
+//! The design mirrors `wasp-telemetry`'s zero-cost-when-disabled
+//! handle: a [`MetricsHub`] is either live (shared `Rc<RefCell<..>>`
+//! registry) or disabled (`None`), and the instrument handles it hands
+//! out are either live (`Rc<Cell<f64>>` / `Rc<RefCell<LogHistogram>>`)
+//! or no-ops. Hot paths pre-resolve handles once and pay a single
+//! `Option` check per update — no map lookups, no allocation, no
+//! formatting. The simulator is single-threaded, so `Rc`/`Cell`
+//! interior mutability is all the synchronization needed, and
+//! everything (registration order, `BTreeMap` index, sim-time scrape
+//! clock) is deterministic: same run, same series, byte for byte.
+
+use crate::export;
+use crate::histogram::LogHistogram;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// What kind of instrument a metric is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically accumulating count.
+    Counter,
+    /// Last-write-wins level.
+    Gauge,
+    /// Log-bucketed weighted distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus `# TYPE` keyword.
+    pub fn prometheus_type(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A counter handle: monotone accumulation. No-op when obtained from
+/// a disabled hub.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Rc<Cell<f64>>>);
+
+impl Counter {
+    /// A handle that ignores updates.
+    pub fn noop() -> Counter {
+        Counter(None)
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: f64) {
+        if let Some(c) = &self.0 {
+            c.set(c.get() + n);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Current value (0 for no-op handles).
+    pub fn get(&self) -> f64 {
+        self.0.as_ref().map(|c| c.get()).unwrap_or(0.0)
+    }
+}
+
+/// A gauge handle: last-write-wins level. No-op when obtained from a
+/// disabled hub.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Rc<Cell<f64>>>);
+
+impl Gauge {
+    /// A handle that ignores updates.
+    pub fn noop() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(c) = &self.0 {
+            c.set(v);
+        }
+    }
+
+    /// Current value (0 for no-op handles).
+    pub fn get(&self) -> f64 {
+        self.0.as_ref().map(|c| c.get()).unwrap_or(0.0)
+    }
+}
+
+/// A histogram handle: weighted distribution. No-op when obtained
+/// from a disabled hub.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Rc<RefCell<LogHistogram>>>);
+
+impl Histogram {
+    /// A handle that ignores updates.
+    pub fn noop() -> Histogram {
+        Histogram(None)
+    }
+
+    /// Folds in `value` with weight `weight`.
+    #[inline]
+    pub fn observe(&self, value: f64, weight: f64) {
+        if let Some(h) = &self.0 {
+            h.borrow_mut().observe(value, weight);
+        }
+    }
+
+    /// A snapshot copy of the underlying histogram (empty for no-op
+    /// handles).
+    pub fn snapshot(&self) -> LogHistogram {
+        self.0
+            .as_ref()
+            .map(|h| h.borrow().clone())
+            .unwrap_or_default()
+    }
+}
+
+/// One registered metric: family name, help text, label set, and the
+/// live instrument.
+#[derive(Debug)]
+pub(crate) struct Metric {
+    pub(crate) family: String,
+    pub(crate) help: String,
+    pub(crate) labels: Vec<(String, String)>,
+    pub(crate) value: Instrument,
+}
+
+#[derive(Debug)]
+pub(crate) enum Instrument {
+    Counter(Rc<Cell<f64>>),
+    Gauge(Rc<Cell<f64>>),
+    Histogram(Rc<RefCell<LogHistogram>>),
+}
+
+impl Instrument {
+    pub(crate) fn kind(&self) -> MetricKind {
+        match self {
+            Instrument::Counter(_) => MetricKind::Counter,
+            Instrument::Gauge(_) => MetricKind::Gauge,
+            Instrument::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// One scraped sample: `(metric index, suffix, value)`. Scalar metrics
+/// scrape one sample (empty suffix); histograms scrape
+/// `count/sum/p50/p95/p99`.
+#[derive(Debug, Clone)]
+pub(crate) struct ScrapeSample {
+    pub(crate) metric: usize,
+    pub(crate) suffix: &'static str,
+    pub(crate) value: f64,
+}
+
+/// One scrape of every registered instrument at sim-time `t`.
+#[derive(Debug, Clone)]
+pub(crate) struct ScrapeRow {
+    pub(crate) t: f64,
+    pub(crate) samples: Vec<ScrapeSample>,
+}
+
+/// The live registry behind an enabled [`MetricsHub`].
+#[derive(Debug)]
+pub(crate) struct Registry {
+    pub(crate) metrics: Vec<Metric>,
+    index: BTreeMap<(String, Vec<(String, String)>), usize>,
+    pub(crate) series: Vec<ScrapeRow>,
+    scrape_interval_s: f64,
+    next_scrape_s: f64,
+}
+
+impl Registry {
+    fn new(scrape_interval_s: f64) -> Registry {
+        Registry {
+            metrics: Vec::new(),
+            index: BTreeMap::new(),
+            series: Vec::new(),
+            scrape_interval_s: scrape_interval_s.max(1e-9),
+            next_scrape_s: 0.0,
+        }
+    }
+
+    fn scrape(&mut self, t: f64) {
+        let mut samples = Vec::with_capacity(self.metrics.len());
+        for (i, m) in self.metrics.iter().enumerate() {
+            match &m.value {
+                Instrument::Counter(c) | Instrument::Gauge(c) => samples.push(ScrapeSample {
+                    metric: i,
+                    suffix: "",
+                    value: c.get(),
+                }),
+                Instrument::Histogram(h) => {
+                    let h = h.borrow();
+                    for (suffix, value) in [
+                        ("_count", h.count()),
+                        ("_sum", h.sum()),
+                        ("_p50", h.quantile(0.50).unwrap_or(0.0)),
+                        ("_p95", h.quantile(0.95).unwrap_or(0.0)),
+                        ("_p99", h.quantile(0.99).unwrap_or(0.0)),
+                    ] {
+                        samples.push(ScrapeSample {
+                            metric: i,
+                            suffix,
+                            value,
+                        });
+                    }
+                }
+            }
+        }
+        self.series.push(ScrapeRow { t, samples });
+    }
+}
+
+/// A point-in-time summary of one metric, for report tables and bench
+/// output.
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Family name (e.g. `wasp_delivery_latency_seconds`).
+    pub family: String,
+    /// Label set, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// Instrument kind.
+    pub kind: MetricKind,
+    /// Counter/gauge value, or the histogram's total weight.
+    pub value: f64,
+    /// `(p50, p95, p99, mean, max)` for histograms.
+    pub summary: Option<(f64, f64, f64, f64, f64)>,
+}
+
+impl MetricSnapshot {
+    /// `family{k="v",...}` display name.
+    pub fn display_name(&self) -> String {
+        export::sample_name(&self.family, &self.labels, "")
+    }
+}
+
+/// The shared metrics hub: cloneable, cheap, and a no-op when
+/// disabled. One hub is threaded through engine, network, controller
+/// and scenario; every clone shares the same registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHub {
+    inner: Option<Rc<RefCell<Registry>>>,
+}
+
+impl MetricsHub {
+    /// A hub that records nothing and hands out no-op handles.
+    pub fn disabled() -> MetricsHub {
+        MetricsHub { inner: None }
+    }
+
+    /// A live hub scraping every `scrape_interval_s` of sim time.
+    pub fn recording(scrape_interval_s: f64) -> MetricsHub {
+        MetricsHub {
+            inner: Some(Rc::new(RefCell::new(Registry::new(scrape_interval_s)))),
+        }
+    }
+
+    /// Whether this hub records anything. Hot paths with per-update
+    /// work beyond an instrument update should branch on this once.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn instrument(
+        &self,
+        family: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+    ) -> Option<Instrument> {
+        let reg = self.inner.as_ref()?;
+        let mut reg = reg.borrow_mut();
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        let key = (family.to_string(), labels.clone());
+        if let Some(&i) = reg.index.get(&key) {
+            let existing = &reg.metrics[i].value;
+            assert!(
+                existing.kind() == kind,
+                "metric {family} re-registered as {:?}, was {:?}",
+                kind,
+                existing.kind()
+            );
+            return Some(match existing {
+                Instrument::Counter(c) => Instrument::Counter(Rc::clone(c)),
+                Instrument::Gauge(g) => Instrument::Gauge(Rc::clone(g)),
+                Instrument::Histogram(h) => Instrument::Histogram(Rc::clone(h)),
+            });
+        }
+        let value = match kind {
+            MetricKind::Counter => Instrument::Counter(Rc::new(Cell::new(0.0))),
+            MetricKind::Gauge => Instrument::Gauge(Rc::new(Cell::new(0.0))),
+            MetricKind::Histogram => {
+                Instrument::Histogram(Rc::new(RefCell::new(LogHistogram::default())))
+            }
+        };
+        let handle = match &value {
+            Instrument::Counter(c) => Instrument::Counter(Rc::clone(c)),
+            Instrument::Gauge(g) => Instrument::Gauge(Rc::clone(g)),
+            Instrument::Histogram(h) => Instrument::Histogram(Rc::clone(h)),
+        };
+        reg.metrics.push(Metric {
+            family: family.to_string(),
+            help: help.to_string(),
+            labels,
+            value,
+        });
+        let slot = reg.metrics.len() - 1;
+        reg.index.insert(key, slot);
+        Some(handle)
+    }
+
+    /// Registers (or re-resolves) a counter for `family` × `labels`.
+    pub fn counter(&self, family: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.instrument(family, help, labels, MetricKind::Counter) {
+            Some(Instrument::Counter(c)) => Counter(Some(c)),
+            _ => Counter::noop(),
+        }
+    }
+
+    /// Registers (or re-resolves) a gauge for `family` × `labels`.
+    pub fn gauge(&self, family: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.instrument(family, help, labels, MetricKind::Gauge) {
+            Some(Instrument::Gauge(g)) => Gauge(Some(g)),
+            _ => Gauge::noop(),
+        }
+    }
+
+    /// Registers (or re-resolves) a histogram for `family` × `labels`.
+    pub fn histogram(&self, family: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.instrument(family, help, labels, MetricKind::Histogram) {
+            Some(Instrument::Histogram(h)) => Histogram(Some(h)),
+            _ => Histogram::noop(),
+        }
+    }
+
+    /// Scrapes every instrument into the time series when sim time has
+    /// crossed the next scrape boundary. Call once per engine step;
+    /// no-op (a single branch) when disabled.
+    #[inline]
+    pub fn maybe_scrape(&self, t: f64) {
+        if let Some(reg) = &self.inner {
+            let due = { t >= reg.borrow().next_scrape_s };
+            if due {
+                let mut reg = reg.borrow_mut();
+                reg.scrape(t);
+                let interval = reg.scrape_interval_s;
+                // Skip ahead past t so stalls do not burst-scrape.
+                let mut next = reg.next_scrape_s;
+                while next <= t {
+                    next += interval;
+                }
+                reg.next_scrape_s = next;
+            }
+        }
+    }
+
+    /// Unconditionally scrapes now (e.g. once at end of run).
+    pub fn force_scrape(&self, t: f64) {
+        if let Some(reg) = &self.inner {
+            reg.borrow_mut().scrape(t);
+        }
+    }
+
+    /// Number of scrapes taken so far.
+    pub fn scrape_count(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|r| r.borrow().series.len())
+            .unwrap_or(0)
+    }
+
+    /// Point-in-time snapshot of every registered metric, in
+    /// registration order.
+    pub fn snapshots(&self) -> Vec<MetricSnapshot> {
+        let Some(reg) = &self.inner else {
+            return Vec::new();
+        };
+        let reg = reg.borrow();
+        reg.metrics
+            .iter()
+            .map(|m| {
+                let (value, summary) = match &m.value {
+                    Instrument::Counter(c) | Instrument::Gauge(c) => (c.get(), None),
+                    Instrument::Histogram(h) => {
+                        let h = h.borrow();
+                        (
+                            h.count(),
+                            Some((
+                                h.quantile(0.50).unwrap_or(0.0),
+                                h.quantile(0.95).unwrap_or(0.0),
+                                h.quantile(0.99).unwrap_or(0.0),
+                                h.mean().unwrap_or(0.0),
+                                h.max().unwrap_or(0.0),
+                            )),
+                        )
+                    }
+                };
+                MetricSnapshot {
+                    family: m.family.clone(),
+                    labels: m.labels.clone(),
+                    kind: m.value.kind(),
+                    value,
+                    summary,
+                }
+            })
+            .collect()
+    }
+
+    /// Current state of every instrument in Prometheus text exposition
+    /// format (empty for a disabled hub).
+    pub fn render_prometheus(&self) -> String {
+        match &self.inner {
+            Some(reg) => export::prometheus_text(&reg.borrow()),
+            None => String::new(),
+        }
+    }
+
+    /// The scraped time series as long-format CSV
+    /// (`t,metric,value` rows; empty for a disabled hub).
+    pub fn render_csv(&self) -> String {
+        match &self.inner {
+            Some(reg) => export::csv_text(&reg.borrow()),
+            None => String::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hub_hands_out_noops() {
+        let hub = MetricsHub::disabled();
+        assert!(!hub.is_enabled());
+        let c = hub.counter("wasp_x_total", "x", &[]);
+        let g = hub.gauge("wasp_y", "y", &[]);
+        let h = hub.histogram("wasp_z_seconds", "z", &[]);
+        c.add(5.0);
+        g.set(3.0);
+        h.observe(1.0, 1.0);
+        assert_eq!(c.get(), 0.0);
+        assert_eq!(g.get(), 0.0);
+        assert!(h.snapshot().is_empty());
+        hub.maybe_scrape(100.0);
+        assert_eq!(hub.scrape_count(), 0);
+        assert!(hub.render_prometheus().is_empty());
+        assert!(hub.render_csv().is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let hub = MetricsHub::recording(10.0);
+        let c1 = hub.counter("wasp_events_total", "events", &[("op", "sink")]);
+        let c2 = hub
+            .clone()
+            .counter("wasp_events_total", "events", &[("op", "sink")]);
+        c1.add(2.0);
+        c2.add(3.0);
+        assert_eq!(c1.get(), 5.0);
+        assert_eq!(hub.snapshots().len(), 1);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let hub = MetricsHub::recording(10.0);
+        let a = hub.gauge("wasp_link", "l", &[("from", "a"), ("to", "b")]);
+        let b = hub.gauge("wasp_link", "l", &[("to", "b"), ("from", "a")]);
+        a.set(7.0);
+        assert_eq!(b.get(), 7.0);
+        assert_eq!(hub.snapshots().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn kind_mismatch_panics() {
+        let hub = MetricsHub::recording(10.0);
+        hub.counter("wasp_thing", "t", &[]);
+        hub.gauge("wasp_thing", "t", &[]);
+    }
+
+    #[test]
+    fn scrape_respects_sim_time_interval() {
+        let hub = MetricsHub::recording(40.0);
+        let c = hub.counter("wasp_ticks_total", "ticks", &[]);
+        for i in 0..400 {
+            c.inc();
+            hub.maybe_scrape(i as f64);
+        }
+        // t=0, 40, 80, ... 360 → 10 scrapes.
+        assert_eq!(hub.scrape_count(), 10);
+    }
+
+    #[test]
+    fn histogram_scrapes_quantiles() {
+        let hub = MetricsHub::recording(1.0);
+        let h = hub.histogram("wasp_lat_seconds", "latency", &[]);
+        for i in 1..=100 {
+            h.observe(i as f64 / 100.0, 1.0);
+        }
+        hub.force_scrape(1.0);
+        let csv = hub.render_csv();
+        assert!(csv.contains("wasp_lat_seconds_p95"), "{csv}");
+        assert!(csv.contains("wasp_lat_seconds_count"), "{csv}");
+    }
+}

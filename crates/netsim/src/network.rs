@@ -16,7 +16,9 @@ use crate::site::SiteId;
 use crate::topology::Topology;
 use crate::trace::FactorSeries;
 use crate::units::{Mbps, Millis, SimTime};
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use wasp_metrics::{Gauge, MetricsHub};
 
 /// A flow's bandwidth demand between two sites.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +80,13 @@ pub struct Network {
     /// Instantaneous cross traffic replaced wholesale each tick — how
     /// a co-scheduler couples several executions over one WAN.
     transient_cross: HashMap<(SiteId, SiteId), f64>,
+    /// Metrics hub for per-link utilization recording (disabled by
+    /// default; [`Network::allocate`] takes `&self`, hence the
+    /// interior-mutable gauge cache).
+    hub: MetricsHub,
+    /// Lazily created per-directed-pair (allocated Mbps, utilization
+    /// ratio) gauges.
+    link_gauges: RefCell<BTreeMap<(SiteId, SiteId), (Gauge, Gauge)>>,
 }
 
 impl Network {
@@ -92,7 +101,17 @@ impl Network {
             ingress_cap: vec![None; m],
             cross_traffic: Vec::new(),
             transient_cross: HashMap::new(),
+            hub: MetricsHub::disabled(),
+            link_gauges: RefCell::new(BTreeMap::new()),
         }
+    }
+
+    /// Attaches a metrics hub; every subsequent [`Network::allocate`]
+    /// records per-directed-link allocated Mbps and utilization ratio
+    /// gauges into it. Costs one branch per allocation when disabled.
+    pub fn set_metrics(&mut self, hub: MetricsHub) {
+        self.hub = hub;
+        self.link_gauges.borrow_mut().clear();
     }
 
     /// Replaces the *transient* cross traffic (Mbps per directed
@@ -316,7 +335,49 @@ impl Network {
                 }
             }
         }
+        if self.hub.is_enabled() {
+            self.record_allocation(flows, &rate, t);
+        }
         rate.into_iter().map(Mbps).collect()
+    }
+
+    /// Records the just-computed allocation into per-directed-link
+    /// gauges: total Mbps granted on the pair and the fraction of the
+    /// pair's currently available bandwidth it consumes.
+    fn record_allocation(&self, flows: &[FlowDemand], rates: &[f64], t: SimTime) {
+        let mut per_pair: BTreeMap<(SiteId, SiteId), f64> = BTreeMap::new();
+        for (f, &r) in flows.iter().zip(rates) {
+            if f.from != f.to && r > 0.0 {
+                *per_pair.entry((f.from, f.to)).or_insert(0.0) += r;
+            }
+        }
+        let mut gauges = self.link_gauges.borrow_mut();
+        for ((from, to), mbps) in per_pair {
+            let (alloc, util) = gauges.entry((from, to)).or_insert_with(|| {
+                let from_name = self.topology.site(from).name().to_string();
+                let to_name = self.topology.site(to).name().to_string();
+                let labels = [("from", from_name.as_str()), ("to", to_name.as_str())];
+                (
+                    self.hub.gauge(
+                        "wasp_link_allocated_mbps",
+                        "Mbps granted on the directed link at the last allocation",
+                        &labels,
+                    ),
+                    self.hub.gauge(
+                        "wasp_link_utilization_ratio",
+                        "Granted Mbps over currently available Mbps on the directed link",
+                        &labels,
+                    ),
+                )
+            });
+            alloc.set(mbps);
+            let avail = self.available(from, to, t).0;
+            util.set(if avail.is_finite() && avail > 0.0 {
+                mbps / avail
+            } else {
+                0.0
+            });
+        }
     }
 }
 

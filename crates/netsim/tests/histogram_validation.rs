@@ -1,0 +1,112 @@
+//! Validates the `wasp-metrics` streaming histogram against exact
+//! quantiles on seeded draws from the crate's own distributions: the
+//! sketch (and merges of sketches) must stay within 1% relative error
+//! of `stats::quantile_sorted` over the same samples.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wasp_metrics::LogHistogram;
+use wasp_netsim::stats::{self, Zipf};
+
+const QUANTILES: [f64; 5] = [0.1, 0.5, 0.9, 0.95, 0.99];
+
+/// Asserts the sketch quantile is within 1% relative error of the
+/// exact sample quantile, for every probe quantile.
+fn assert_close(hist: &LogHistogram, samples: &mut [f64], what: &str) {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    for q in QUANTILES {
+        let exact = stats::quantile_sorted(samples, q);
+        let est = hist.quantile(q).expect("non-empty histogram");
+        let rel = (est - exact).abs() / exact.abs().max(1e-12);
+        assert!(
+            rel <= 0.01,
+            "{what}: q={q} exact={exact} est={est} rel={rel}"
+        );
+    }
+    // Extremes are tracked exactly.
+    assert_eq!(hist.quantile(0.0), Some(samples[0]));
+    assert_eq!(hist.quantile(1.0), Some(*samples.last().unwrap()));
+}
+
+#[test]
+fn normal_draws_match_exact_quantiles() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut hist = LogHistogram::default();
+    let mut samples = Vec::new();
+    for _ in 0..20_000 {
+        // Delay-like values: a positive, right-shifted normal.
+        let v = stats::normal(&mut rng, 10.0, 2.0).max(0.05);
+        hist.observe(v, 1.0);
+        samples.push(v);
+    }
+    assert_close(&hist, &mut samples, "normal(10, 2)");
+}
+
+#[test]
+fn zipf_draws_match_exact_quantiles() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let zipf = Zipf::new(10_000, 1.1);
+    let mut hist = LogHistogram::default();
+    let mut samples = Vec::new();
+    for _ in 0..20_000 {
+        let v = (zipf.sample(&mut rng) + 1) as f64;
+        hist.observe(v, 1.0);
+        samples.push(v);
+    }
+    assert_close(&hist, &mut samples, "zipf(10000, 1.1)");
+}
+
+#[test]
+fn merged_shards_match_exact_quantiles_of_the_union() {
+    // Four independent shards (as if scraped from four sites), each
+    // with a different mix of distributions, merged into one sketch:
+    // the merge must answer for the union of all samples.
+    let mut merged = LogHistogram::default();
+    let mut samples = Vec::new();
+    for shard in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(100 + shard);
+        let mut hist = LogHistogram::default();
+        for i in 0..5_000 {
+            let v = if i % 2 == 0 {
+                stats::normal(&mut rng, 5.0 + shard as f64, 1.0).max(0.01)
+            } else {
+                stats::truncated_normal(&mut rng, 50.0, 20.0, 1.0, 200.0)
+            };
+            hist.observe(v, 1.0);
+            samples.push(v);
+        }
+        merged.merge(&hist);
+    }
+    assert_close(&merged, &mut samples, "4-shard merged mixture");
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let hist = LogHistogram::default();
+    assert!(hist.is_empty());
+    assert_eq!(hist.quantile(0.5), None);
+    assert_eq!(hist.mean(), None);
+}
+
+#[test]
+fn single_sample_is_every_quantile() {
+    let mut hist = LogHistogram::default();
+    hist.observe(3.25, 1.0);
+    for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+        assert_eq!(hist.quantile(q), Some(3.25), "q={q}");
+    }
+}
+
+#[test]
+fn extreme_magnitudes_keep_exact_min_and_max() {
+    // Values spanning 24 orders of magnitude exceed the bucket
+    // budget; interior quantiles degrade gracefully but the tracked
+    // extremes stay exact and the memory stays bounded.
+    let mut hist = LogHistogram::default();
+    hist.observe(1e-12, 1.0);
+    hist.observe(1.0, 1.0);
+    hist.observe(1e12, 1.0);
+    assert_eq!(hist.quantile(0.0), Some(1e-12));
+    assert_eq!(hist.quantile(1.0), Some(1e12));
+    assert!(hist.bucket_count() <= 4096);
+}

@@ -31,6 +31,7 @@ use crate::physical::{PhysicalError, PhysicalPlan, Placement};
 use crate::plan::LogicalPlan;
 use std::collections::BTreeMap;
 use std::fmt;
+use wasp_metrics::{Counter, Gauge, Histogram, MetricsHub};
 use wasp_netsim::dynamics::DynamicsScript;
 use wasp_netsim::network::{FlowDemand, Network};
 use wasp_netsim::site::SiteId;
@@ -319,6 +320,8 @@ struct Migration {
     op: Option<OpId>,
     transfers: Vec<TransferProgress>,
     resume_no_earlier: f64,
+    /// When the transition began (for the downtime histogram).
+    started_at: f64,
     /// Telemetry span covering the transition, when recording.
     span: Option<SpanId>,
 }
@@ -326,6 +329,121 @@ struct Migration {
 impl Migration {
     fn done(&self, now: f64) -> bool {
         now >= self.resume_no_earlier && self.transfers.iter().all(|t| t.remaining_mb <= 1e-9)
+    }
+}
+
+/// Pre-resolved metric instrument handles for the engine hot path.
+/// Built once per plan (and rebuilt on plan switch) so each per-tick
+/// update is a pointer bump, never a registry lookup. Absent
+/// (`Engine::em == None`) when the hub is disabled, so the disabled
+/// cost is a single branch per instrumentation site.
+#[derive(Debug)]
+struct EngineMetrics {
+    /// Per-op (indexed by `OpId::index()`) events processed.
+    processed: Vec<Counter>,
+    /// Per-op events emitted downstream (or delivered, for sinks).
+    emitted: Vec<Counter>,
+    /// Per-op events waiting in input + redo queues.
+    queue: Vec<Gauge>,
+    /// Per-op backpressure episodes (a group entering backpressure
+    /// counts once per monitoring interval).
+    backpressure: Vec<Counter>,
+    /// Per-sink delivery-latency histogram (`None` for non-sinks).
+    delivery: Vec<Option<Histogram>>,
+    /// Query-level totals.
+    generated: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    /// Migration lifecycle.
+    migrations_started: Counter,
+    migrations_aborted: Counter,
+    migrations_in_flight: Gauge,
+    /// Seconds each completed transition kept its stage(s) suspended.
+    migration_downtime: Histogram,
+}
+
+impl EngineMetrics {
+    fn build(hub: &MetricsHub, plan: &LogicalPlan) -> EngineMetrics {
+        let mut processed = Vec::with_capacity(plan.len());
+        let mut emitted = Vec::with_capacity(plan.len());
+        let mut queue = Vec::with_capacity(plan.len());
+        let mut backpressure = Vec::with_capacity(plan.len());
+        let mut delivery = Vec::with_capacity(plan.len());
+        for op in plan.op_ids() {
+            let spec = plan.op(op);
+            let labels = [("op", spec.name())];
+            processed.push(hub.counter(
+                "wasp_op_processed_events_total",
+                "Events processed by the operator",
+                &labels,
+            ));
+            emitted.push(hub.counter(
+                "wasp_op_emitted_events_total",
+                "Events emitted downstream by the operator",
+                &labels,
+            ));
+            queue.push(hub.gauge(
+                "wasp_op_queue_events",
+                "Events waiting in the operator's input and redo queues",
+                &labels,
+            ));
+            backpressure.push(hub.counter(
+                "wasp_op_backpressure_episodes_total",
+                "Times a task group of the operator entered backpressure",
+                &labels,
+            ));
+            delivery.push(if spec.kind().is_sink() {
+                Some(hub.histogram(
+                    "wasp_delivery_latency_seconds",
+                    "End-to-end event delay at the sink (event-weighted)",
+                    &labels,
+                ))
+            } else {
+                None
+            });
+        }
+        EngineMetrics {
+            processed,
+            emitted,
+            queue,
+            backpressure,
+            delivery,
+            generated: hub.counter(
+                "wasp_generated_events_total",
+                "Events generated by all sources",
+                &[],
+            ),
+            delivered: hub.counter(
+                "wasp_delivered_events_total",
+                "Events delivered at the sink",
+                &[],
+            ),
+            dropped: hub.counter(
+                "wasp_dropped_events_total",
+                "Late events dropped against the drop SLO",
+                &[],
+            ),
+            migrations_started: hub.counter(
+                "wasp_migrations_started_total",
+                "Transitions (re-deployments and plan switches) started",
+                &[],
+            ),
+            migrations_aborted: hub.counter(
+                "wasp_migrations_aborted_total",
+                "Transitions aborted by a mid-flight failure",
+                &[],
+            ),
+            migrations_in_flight: hub.gauge(
+                "wasp_migrations_in_flight",
+                "Transitions currently suspending execution",
+                &[],
+            ),
+            migration_downtime: hub.histogram(
+                "wasp_migration_downtime_seconds",
+                "Seconds each completed transition kept its stage(s) suspended",
+                &[],
+            ),
+        }
     }
 }
 
@@ -367,6 +485,11 @@ pub struct Engine {
     /// Last observed dynamics factors, for transition-edge detection
     /// (only maintained while telemetry is enabled).
     dyn_prev: BTreeMap<String, f64>,
+    /// Metrics hub (disabled by default; zero cost when off).
+    hub: MetricsHub,
+    /// Pre-resolved hot-path instrument handles (`None` while the hub
+    /// is disabled).
+    em: Option<EngineMetrics>,
 }
 
 impl Engine {
@@ -420,6 +543,8 @@ impl Engine {
             prev_failed: Vec::new(),
             tel: Telemetry::disabled(),
             dyn_prev: BTreeMap::new(),
+            hub: MetricsHub::disabled(),
+            em: None,
         };
         engine.build_groups();
         Ok(engine)
@@ -488,6 +613,27 @@ impl Engine {
     /// it so their spans and the engine's interleave in one log).
     pub fn telemetry(&self) -> Telemetry {
         self.tel.clone()
+    }
+
+    /// Attaches a metrics hub: the engine records per-operator
+    /// throughput/queue/backpressure, per-sink delivery-latency
+    /// histograms and migration downtime into it, the network records
+    /// per-link utilization, and the hub is scraped on its sim-time
+    /// interval at the end of every step.
+    pub fn set_metrics(&mut self, hub: MetricsHub) {
+        self.net.set_metrics(hub.clone());
+        self.em = if hub.is_enabled() {
+            Some(EngineMetrics::build(&hub, &self.plan))
+        } else {
+            None
+        };
+        self.hub = hub;
+    }
+
+    /// The engine's metrics hub (cheap clone; controllers share it so
+    /// SLO metrics land in the same registry).
+    pub fn metrics_hub(&self) -> MetricsHub {
+        self.hub.clone()
     }
 
     /// Adds an annotation to the recording (controllers note their
@@ -562,7 +708,29 @@ impl Engine {
             total_tasks: self.physical.total_tasks(),
             lost_state_mb: self.lost_state_mb,
         });
+        self.observe_tick_metrics(generated, delivered, dropped);
+        self.hub.maybe_scrape(t1);
         self.now = t1;
+    }
+
+    /// Once-per-tick instrument updates that need a whole-engine view
+    /// (query totals, per-op queue depths, transitions in flight).
+    /// A single branch when the hub is disabled.
+    fn observe_tick_metrics(&mut self, generated: f64, delivered: f64, dropped: f64) {
+        let Some(em) = &self.em else { return };
+        em.generated.add(generated);
+        em.delivered.add(delivered);
+        em.dropped.add(dropped);
+        em.migrations_in_flight.set(self.migrations.len() as f64);
+        let mut queues = vec![0.0; em.queue.len()];
+        for (&(op, _site), g) in &self.groups {
+            if let Some(q) = queues.get_mut(op.index()) {
+                *q += g.input.len_events() + g.redo.len_events();
+            }
+        }
+        for (gauge, q) in em.queue.iter().zip(queues) {
+            gauge.set(q);
+        }
     }
 
     /// Runs for `duration_s` simulated seconds.
@@ -810,8 +978,12 @@ impl Engine {
             op: Some(op),
             transfers: progress,
             resume_no_earlier: self.now + self.cfg.restart_penalty_s,
+            started_at: self.now,
             span,
         });
+        if let Some(em) = &self.em {
+            em.migrations_started.inc();
+        }
         Ok(())
     }
 
@@ -1055,8 +1227,17 @@ impl Engine {
             op: None,
             transfers: progress,
             resume_no_earlier: self.now + self.cfg.restart_penalty_s,
+            started_at: self.now,
             span,
         });
+        if let Some(em) = &self.em {
+            em.migrations_started.inc();
+        }
+        // The plan changed shape: re-resolve the per-op handles (new
+        // operators get fresh series; unchanged names re-attach).
+        if self.hub.is_enabled() {
+            self.em = Some(EngineMetrics::build(&self.hub, &self.plan));
+        }
         Ok(())
     }
 
@@ -1272,10 +1453,11 @@ impl Engine {
                 finished.push(i);
             }
         }
-        // Capture spans/ops by pre-removal index before the sweep
-        // shifts everything.
+        // Capture spans/ops/starts by pre-removal index before the
+        // sweep shifts everything.
         let spans: Vec<Option<SpanId>> = self.migrations.iter().map(|m| m.span).collect();
         let ops: Vec<Option<OpId>> = self.migrations.iter().map(|m| m.op).collect();
+        let starts: Vec<f64> = self.migrations.iter().map(|m| m.started_at).collect();
         // Remove in one descending index sweep so earlier removals
         // don't shift later indices.
         let mut removals: Vec<usize> = finished.clone();
@@ -1328,6 +1510,13 @@ impl Engine {
                 op: ops[i].map(|o| o.0),
             });
             self.tel.span_end(t0, spans[i]);
+        }
+        if let Some(em) = &self.em {
+            for &i in &finished {
+                em.migration_downtime
+                    .observe((t0 - starts[i]).max(0.0), 1.0);
+            }
+            em.migrations_aborted.add(aborted.len() as f64);
         }
     }
 
@@ -1532,7 +1721,12 @@ impl Engine {
             for site in sites {
                 if self.site_failed(site, t0) || suspended {
                     if let Some(g) = self.groups.get_mut(&(op, site)) {
-                        g.backpressured = true;
+                        if !g.backpressured {
+                            g.backpressured = true;
+                            if let Some(em) = &self.em {
+                                em.backpressure[op.index()].inc();
+                            }
+                        }
                     }
                     continue;
                 }
@@ -1575,13 +1769,21 @@ impl Engine {
                     } else {
                         f64::INFINITY
                     };
-                    if g.input.len_events() >= 0.95 * queue_cap || out_limit < g.input.len_events()
+                    if (g.input.len_events() >= 0.95 * queue_cap
+                        || out_limit < g.input.len_events())
+                        && !g.backpressured
                     {
                         g.backpressured = true;
+                        if let Some(em) = &self.em {
+                            em.backpressure[op.index()].inc();
+                        }
                     }
                     if n > 0.0 {
                         let cohorts = g.input.take(n);
                         g.processed += n;
+                        if let Some(em) = &self.em {
+                            em.processed[op.index()].add(n);
+                        }
                         g.since_ckpt.push_all(cohorts.iter().copied());
                         if windowed {
                             let w = spec.kind().window_s().expect("windowed op");
@@ -1652,15 +1854,28 @@ impl Engine {
                     let g = self.groups.get_mut(&(op, site)).expect("deployed group");
                     let cohorts = g.pending_out.take(emit_n);
                     g.emitted += emit_n;
-                    if emit_n < pending_len {
+                    if let Some(em) = &self.em {
+                        em.emitted[op.index()].add(emit_n);
+                    }
+                    if emit_n < pending_len && !g.backpressured {
                         g.backpressured = true;
+                        if let Some(em) = &self.em {
+                            em.backpressure[op.index()].inc();
+                        }
                     }
                     if is_sink {
+                        let sink_hist = self
+                            .em
+                            .as_ref()
+                            .and_then(|em| em.delivery[op.index()].as_ref());
                         for c in &cohorts {
                             let d = c.delay_at(SimTime(t1));
                             delivered_total += c.count;
                             delay_sum += d * c.count;
                             self.metrics.record_delivery(d, c.count);
+                            if let Some(h) = sink_hist {
+                                h.observe(d, c.count);
+                            }
                         }
                     } else {
                         for &d in &downstream {

@@ -15,6 +15,7 @@ use crate::ids::OpId;
 use crate::physical::Placement;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use wasp_metrics::LogHistogram;
 use wasp_netsim::site::SiteId;
 use wasp_netsim::stats::quantile_sorted;
 use wasp_netsim::units::SimTime;
@@ -157,11 +158,17 @@ pub struct TickRow {
 }
 
 /// Full experiment recording.
+///
+/// The delay distribution is held as a bounded-memory streaming
+/// [`LogHistogram`] (≤ 0.5 % relative quantile error) rather than the
+/// raw sample list: a 1800 s run at 20 k ev/s folds millions of sink
+/// emissions into a few KB, and quantile queries are O(buckets)
+/// instead of a clone + sort of everything seen so far.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunMetrics {
     ticks: Vec<TickRow>,
-    /// (delay seconds, event count) of every sink emission.
-    delay_samples: Vec<(f64, f64)>,
+    /// Event-weighted delivery-delay distribution over the whole run.
+    delay_hist: LogHistogram,
     /// Timestamped annotations (adaptation actions, failures).
     actions: Vec<(f64, String)>,
     total_generated: f64,
@@ -183,11 +190,17 @@ impl RunMetrics {
         self.ticks.push(row);
     }
 
-    /// Records one sink emission (called by the engine).
+    /// Records one sink emission (called by the engine). NaN delays
+    /// are ignored rather than poisoning later quantile queries.
     pub fn record_delivery(&mut self, delay_s: f64, count: f64) {
         if count > 0.0 {
-            self.delay_samples.push((delay_s, count));
+            self.delay_hist.observe(delay_s, count);
         }
+    }
+
+    /// The full delivery-delay distribution (event-weighted).
+    pub fn delay_histogram(&self) -> &LogHistogram {
+        &self.delay_hist
     }
 
     /// Adds a timestamped annotation (e.g. `"re-assign"`).
@@ -301,64 +314,23 @@ impl RunMetrics {
         self.ticks.iter().map(|r| (r.t, r.total_tasks)).collect()
     }
 
-    /// Weighted delay quantile over the full run (`q` in [0, 1]).
+    /// Weighted delay quantile over the full run (`q` in [0, 1]),
+    /// within 0.5 % relative error of the exact sample quantile.
     /// Returns `None` when nothing was delivered.
     pub fn delay_quantile(&self, q: f64) -> Option<f64> {
-        let mut samples: Vec<(f64, f64)> = self.delay_samples.clone();
-        if samples.is_empty() {
-            return None;
-        }
-        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("delays are finite"));
-        let total: f64 = samples.iter().map(|(_, w)| w).sum();
-        let target = q.clamp(0.0, 1.0) * total;
-        let mut acc = 0.0;
-        for (d, w) in &samples {
-            acc += w;
-            if acc >= target {
-                return Some(*d);
-            }
-        }
-        samples.last().map(|(d, _)| *d)
+        self.delay_hist.quantile(q)
     }
 
     /// Weighted empirical CDF of delivery delay, down-sampled to
     /// `points` evenly spaced quantiles: `(delay, cumulative
     /// fraction)` pairs — the CDFs of Figs. 10a and 12b.
     pub fn delay_cdf(&self, points: usize) -> Vec<(f64, f64)> {
-        if self.delay_samples.is_empty() || points == 0 {
-            return Vec::new();
-        }
-        // Expand to a sorted weighted list then probe quantiles.
-        let mut samples = self.delay_samples.clone();
-        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("delays are finite"));
-        let delays: Vec<f64> = samples.iter().map(|(d, _)| *d).collect();
-        // Weighted quantiles via cumulative weights.
-        let total: f64 = samples.iter().map(|(_, w)| w).sum();
-        let mut cum = Vec::with_capacity(samples.len());
-        let mut acc = 0.0;
-        for (_, w) in &samples {
-            acc += w;
-            cum.push(acc / total);
-        }
-        let mut out = Vec::with_capacity(points);
-        for i in 0..points {
-            let q = (i as f64 + 0.5) / points as f64;
-            let idx = match cum.binary_search_by(|p| p.partial_cmp(&q).expect("finite")) {
-                Ok(j) => j,
-                Err(j) => j.min(delays.len() - 1),
-            };
-            out.push((delays[idx], q));
-        }
-        out
+        self.delay_hist.cdf(points)
     }
 
-    /// Mean delay over the whole run (event-weighted).
+    /// Mean delay over the whole run (event-weighted, exact).
     pub fn mean_delay(&self) -> Option<f64> {
-        let total_w: f64 = self.delay_samples.iter().map(|(_, w)| w).sum();
-        if total_w <= 0.0 {
-            return None;
-        }
-        Some(self.delay_samples.iter().map(|(d, w)| d * w).sum::<f64>() / total_w)
+        self.delay_hist.mean()
     }
 
     /// Unweighted per-tick quantile of `mean_delay` rows within
@@ -373,7 +345,7 @@ impl RunMetrics {
         if xs.is_empty() {
             return None;
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.sort_by(|a, b| a.total_cmp(b));
         Some(quantile_sorted(&xs, q))
     }
 }
@@ -430,9 +402,29 @@ mod tests {
         let mut m = RunMetrics::new();
         m.record_delivery(1.0, 90.0);
         m.record_delivery(10.0, 10.0);
-        assert_eq!(m.delay_quantile(0.5), Some(1.0));
-        assert_eq!(m.delay_quantile(0.95), Some(10.0));
+        // The histogram guarantees ≤ 1 % relative error on quantiles;
+        // the mean stays exact.
+        let p50 = m.delay_quantile(0.5).unwrap();
+        let p95 = m.delay_quantile(0.95).unwrap();
+        assert!((p50 - 1.0).abs() <= 0.01, "p50={p50}");
+        assert!((p95 - 10.0).abs() <= 0.1, "p95={p95}");
         assert!((m.mean_delay().unwrap() - 1.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_delays_do_not_poison_quantiles() {
+        let mut m = RunMetrics::new();
+        m.record_delivery(2.0, 10.0);
+        m.record_delivery(f64::NAN, 5.0);
+        let p50 = m.delay_quantile(0.5).unwrap();
+        assert!((p50 - 2.0).abs() <= 0.02, "p50={p50}");
+        assert!(m.mean_delay().unwrap().is_finite());
+        // The per-tick path tolerates NaN rows too.
+        let mut t = RunMetrics::new();
+        t.record_tick(row(1.0, 1.0, 1.0, Some(f64::NAN)));
+        t.record_tick(row(2.0, 1.0, 1.0, Some(3.0)));
+        let q = t.delay_quantile_between(0.0, 10.0, 0.0).unwrap();
+        assert_eq!(q, 3.0);
     }
 
     #[test]

@@ -47,12 +47,13 @@ pub mod prelude {
         advertising_campaign, events_of_interest, topk_topics, QueryKind, DEFAULT_RATE,
     };
     pub use crate::scenarios::{
-        build_engine, overhead_breakdown, run_custom, run_migration_experiment, run_section_8_4,
-        run_section_8_5, run_section_8_6, ControllerKind, CustomRun, ExperimentResult,
-        MigrationResult, MigrationVariant, OverheadBreakdown, ScenarioConfig,
+        build_engine, overhead_breakdown, recovery_times, run_custom, run_migration_experiment,
+        run_section_8_4, run_section_8_5, run_section_8_6, ControllerKind, CustomRun,
+        ExperimentResult, MigrationResult, MigrationVariant, OverheadBreakdown, ScenarioConfig,
     };
     pub use crate::twitter::TwitterTrace;
     pub use crate::ysb::{AdEvent, EventType, YsbGenerator};
+    pub use wasp_metrics::{MetricKind, MetricSnapshot, MetricsHub};
     pub use wasp_telemetry::{
         render_report, to_chrome_trace, to_jsonl, Recording, RecordingHandle, Telemetry,
     };

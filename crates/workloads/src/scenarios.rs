@@ -14,6 +14,7 @@ use wasp_core::controller::{
     run_controlled, Controller, DegradeController, NoAdaptController, WaspController,
 };
 use wasp_core::policy::PolicyConfig;
+use wasp_metrics::MetricsHub;
 use wasp_netsim::dynamics::DynamicsScript;
 use wasp_netsim::testbed::Testbed;
 use wasp_netsim::trace::FactorSeries;
@@ -65,19 +66,41 @@ impl ControllerKind {
     /// adaptive variants emit their decision audit trail into it; the
     /// static baselines have nothing to say).
     pub fn instantiate_with(&self, slo_s: f64, tel: Telemetry) -> Box<dyn Controller> {
+        self.instantiate_full(slo_s, tel, MetricsHub::disabled())
+    }
+
+    /// Instantiates the controller with both observability sinks: the
+    /// telemetry audit trail and the metrics hub (derived SLO gauges,
+    /// round/action counters, adaptation-lag histogram).
+    pub fn instantiate_full(
+        &self,
+        slo_s: f64,
+        tel: Telemetry,
+        hub: MetricsHub,
+    ) -> Box<dyn Controller> {
         match self {
             ControllerKind::NoAdapt => Box::new(NoAdaptController),
             ControllerKind::Degrade => Box::new(DegradeController::new(slo_s)),
-            ControllerKind::Wasp => {
-                Box::new(WaspController::new(PolicyConfig::default()).with_telemetry(tel))
-            }
-            ControllerKind::ReassignOnly => {
-                Box::new(WaspController::reassign_only().with_telemetry(tel))
-            }
-            ControllerKind::ScaleOnly => Box::new(WaspController::scale_only().with_telemetry(tel)),
-            ControllerKind::ReplanOnly => {
-                Box::new(WaspController::replan_only().with_telemetry(tel))
-            }
+            ControllerKind::Wasp => Box::new(
+                WaspController::new(PolicyConfig::default())
+                    .with_telemetry(tel)
+                    .with_metrics(hub),
+            ),
+            ControllerKind::ReassignOnly => Box::new(
+                WaspController::reassign_only()
+                    .with_telemetry(tel)
+                    .with_metrics(hub),
+            ),
+            ControllerKind::ScaleOnly => Box::new(
+                WaspController::scale_only()
+                    .with_telemetry(tel)
+                    .with_metrics(hub),
+            ),
+            ControllerKind::ReplanOnly => Box::new(
+                WaspController::replan_only()
+                    .with_telemetry(tel)
+                    .with_metrics(hub),
+            ),
         }
     }
 }
@@ -97,6 +120,10 @@ pub struct ScenarioConfig {
     /// (disabled by default — recording costs nothing unless asked
     /// for).
     pub telemetry: Telemetry,
+    /// Metrics hub shared by the engine (hot-path counters, delivery
+    /// histograms, link gauges) and the controller (derived SLO
+    /// gauges). Disabled by default, like telemetry.
+    pub metrics: MetricsHub,
 }
 
 impl Default for ScenarioConfig {
@@ -114,6 +141,7 @@ impl Default for ScenarioConfig {
             monitor_interval_s: 40.0,
             slo_s: 10.0,
             telemetry: Telemetry::disabled(),
+            metrics: MetricsHub::disabled(),
         }
     }
 }
@@ -180,6 +208,7 @@ fn run_scenario(
     let (mut engine, e2e) = build_engine(kind, &tb, script, engine_config(cfg, controller));
     let tel = cfg.telemetry.clone();
     engine.set_telemetry(tel.clone());
+    engine.set_metrics(cfg.metrics.clone());
     let root = if tel.is_enabled() {
         let name = format!(
             "scenario:{section} {} [{}] seed={}",
@@ -191,7 +220,7 @@ fn run_scenario(
     } else {
         None
     };
-    let mut ctrl = controller.instantiate_with(cfg.slo_s, tel.clone());
+    let mut ctrl = controller.instantiate_full(cfg.slo_s, tel.clone(), cfg.metrics.clone());
     run_controlled(
         &mut engine,
         ctrl.as_mut(),
@@ -332,7 +361,10 @@ pub fn run_custom(run: CustomRun, cfg: &ScenarioConfig) -> (ExperimentResult, f6
     };
     let (mut engine, e2e) = build_engine(run.kind, &tb, run.script, engine_cfg);
     engine.set_telemetry(cfg.telemetry.clone());
-    let mut ctrl = WaspController::new(run.policy).with_telemetry(cfg.telemetry.clone());
+    engine.set_metrics(cfg.metrics.clone());
+    let mut ctrl = WaspController::new(run.policy)
+        .with_telemetry(cfg.telemetry.clone())
+        .with_metrics(cfg.metrics.clone());
     if run.adaptive_alpha {
         ctrl = ctrl.with_adaptive_alpha();
     }
@@ -421,6 +453,53 @@ pub fn overhead_breakdown(metrics: &RunMetrics) -> Option<OverheadBreakdown> {
         transition_s: end - start,
         stabilize_s: (stable_at - end).max(0.0),
     })
+}
+
+/// Time-to-recover after each injected site failure.
+///
+/// For every `"failure"` annotation in the recording (the engine
+/// stamps one per observed site-down), returns `(failure_t, recovery_s)`
+/// where `recovery_s` is the seconds until the per-tick mean delay
+/// returns to its pre-failure level and holds there for 5 consecutive
+/// seconds of delivering ticks — the same stabilization rule as
+/// [`overhead_breakdown`]. Censored at the end of the recording when
+/// the query never re-stabilizes. Simultaneous multi-site failures
+/// (identical timestamps) are collapsed into one entry.
+pub fn recovery_times(metrics: &RunMetrics) -> Vec<(f64, f64)> {
+    let mut failures: Vec<f64> = metrics
+        .actions()
+        .iter()
+        .filter(|(_, l)| l == "failure")
+        .map(|&(t, _)| t)
+        .collect();
+    failures.dedup();
+    let run_end = metrics.ticks().last().map(|r| r.t).unwrap_or(0.0);
+    failures
+        .into_iter()
+        .map(|f| {
+            let steady = metrics
+                .delay_quantile_between(0.0, f.max(1.0), 0.5)
+                .unwrap_or(1.0);
+            let threshold = (steady * 2.0).max(steady + 2.0);
+            let mut stable_at = None;
+            let mut streak_start: Option<f64> = None;
+            for row in metrics.ticks().iter().filter(|r| r.t > f) {
+                match row.mean_delay {
+                    Some(d) if d <= threshold => {
+                        let s = *streak_start.get_or_insert(row.t);
+                        if row.t - s >= 5.0 {
+                            stable_at = Some(s);
+                            break;
+                        }
+                    }
+                    Some(_) => streak_start = None,
+                    None => {}
+                }
+            }
+            let stable_at = stable_at.or(streak_start).unwrap_or(run_end);
+            (f, (stable_at - f).max(0.0))
+        })
+        .collect()
 }
 
 /// How §8.7 experiments migrate state.
