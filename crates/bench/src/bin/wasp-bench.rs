@@ -1,13 +1,25 @@
 //! The WASP performance harness: runs the §8 scenario suite with the
 //! metrics hub recording, measures wall-clock engine throughput
 //! alongside the SLO metrics, and writes a machine-readable benchmark
-//! report (`BENCH_pr3.json` by default).
+//! report (`BENCH_pr4.json` by default).
 //!
 //! ```text
-//! wasp-bench --quick                         # CI-speed run, dt = 1.0
-//! wasp-bench --out BENCH_pr3.json            # full run, dt = 0.25
-//! wasp-bench --quick --baseline BENCH_pr3.json --gate 15
+//! wasp-bench --quick                         # CI-speed run, dt = 0.5
+//! wasp-bench --out BENCH_pr4.json            # full run, dt = 0.25
+//! wasp-bench --quick --baseline BENCH_pr4.json --gate 15
+//! wasp-bench --quick --jobs 8                # fan repeats across 8 threads
 //! ```
+//!
+//! `--jobs N` fans the (repeat × scenario) grid across a thread pool.
+//! Every unit is fully isolated — its own `ScenarioConfig`, its own
+//! recording `MetricsHub`, its own engine RNG seeded from `--seed` —
+//! so the simulation results are bit-identical at any `--jobs` value;
+//! only wall-clock readings move. Per-repeat delay histograms are
+//! merged back into one cross-repeat histogram per scenario via
+//! `LogHistogram::merge` (the `merged_delay_*` report fields). The
+//! report also carries a `thread_sweep` section: the gated scenario
+//! re-run with *engine-level* parallelism 1/2/8, proving the parallel
+//! tick runtime reproduces the sequential recording byte-for-byte.
 //!
 //! Wall-clock numbers are machine-dependent, so the report also
 //! carries a *calibration score* (a fixed pure-CPU loop measured at
@@ -53,6 +65,26 @@ struct ScenarioBench {
     actions: u64,
     /// `(failure_t_s, recovery_s)` per injected site failure.
     recoveries: Vec<FailureRecovery>,
+    /// Delay quantiles over *all* repeats' histogram shards merged via
+    /// `LogHistogram::merge` (absent in pre-PR4 baselines).
+    #[serde(default)]
+    merged_delay_p50_s: f64,
+    #[serde(default)]
+    merged_delay_p95_s: f64,
+    #[serde(default)]
+    merged_delay_p99_s: f64,
+}
+
+/// One engine-parallelism point of the determinism/throughput sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ThreadSweepEntry {
+    /// Engine worker threads (`Engine::set_parallelism`).
+    engine_jobs: usize,
+    /// Calibration-normalized throughput at this parallelism.
+    ticks_per_mop: f64,
+    /// Whether the run's `RunMetrics` serialized byte-identically to
+    /// the `engine_jobs = 1` reference run.
+    bit_identical: bool,
 }
 
 /// Time-to-recover for one injected failure.
@@ -77,14 +109,21 @@ struct BenchReport {
     dt: f64,
     /// Calibration score: mega-ops/s of the fixed CPU loop.
     calibration_mops: f64,
+    /// Driver worker threads the grid was fanned across.
+    #[serde(default)]
+    jobs: usize,
     /// Per-scenario results.
     scenarios: Vec<ScenarioBench>,
+    /// Engine-parallelism determinism/throughput sweep (gated scenario
+    /// at `engine_jobs` ∈ {1, 2, 8}).
+    #[serde(default)]
+    thread_sweep: Vec<ThreadSweepEntry>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wasp-bench [--quick] [--seed N] [--repeat N] [--out FILE] [--baseline FILE] \
-         [--gate PCT] [--csv FILE] [--prom FILE]"
+        "usage: wasp-bench [--quick] [--seed N] [--repeat N] [--jobs N] [--out FILE] \
+         [--baseline FILE] [--gate PCT] [--csv FILE] [--prom FILE]"
     );
     std::process::exit(2);
 }
@@ -97,7 +136,10 @@ fn usage() -> ! {
 /// a register-only loop would not, and the normalized ratio would
 /// drift with neighbor load. Kept short (~10 ms) because one sample
 /// is taken right next to *every* scenario repeat: time-adjacent
-/// pairing cancels frequency scaling out of the ratio.
+/// pairing cancels frequency scaling out of the ratio. Under
+/// `--jobs > 1` the sample runs on the same worker thread as its
+/// paired scenario, so both see the same sibling contention and the
+/// ratio stays comparable to a single-threaded run.
 fn calibrate() -> f64 {
     const TABLE: usize = 1 << 19; // 512k u64 = 4 MB, larger than L2
     const OPS: u64 = 2_000_000;
@@ -147,6 +189,7 @@ fn summarize_scenario(
     name: &str,
     samples: &[TimedRepeat],
     result: &ExperimentResult,
+    merged: &wasp_metrics::LogHistogram,
 ) -> (ScenarioBench, f64) {
     let mut ratios: Vec<f64> = samples
         .iter()
@@ -181,6 +224,9 @@ fn summarize_scenario(
             / (m.total_generated() * result.e2e_selectivity).max(1e-9),
         actions: m.actions().len() as u64,
         recoveries,
+        merged_delay_p50_s: merged.quantile(0.5).unwrap_or(0.0),
+        merged_delay_p95_s: merged.quantile(0.95).unwrap_or(0.0),
+        merged_delay_p99_s: merged.quantile(0.99).unwrap_or(0.0),
     };
     (bench, mops_med)
 }
@@ -209,15 +255,55 @@ fn gate_failures(new: &BenchReport, base: &BenchReport, gate_pct: f64) -> Vec<St
     failures
 }
 
+/// Scenario entry points as plain `fn` pointers so the driver closure
+/// that dispatches them is `Sync` (boxed capturing closures are not).
+fn run_84_topk(c: &ScenarioConfig) -> ExperimentResult {
+    run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, c)
+}
+fn run_84_advertising(c: &ScenarioConfig) -> ExperimentResult {
+    run_section_8_4(QueryKind::Advertising, ControllerKind::Wasp, c)
+}
+fn run_85_topk(c: &ScenarioConfig) -> ExperimentResult {
+    run_section_8_5(ControllerKind::Wasp, c)
+}
+fn run_86_live(c: &ScenarioConfig) -> ExperimentResult {
+    run_section_8_6(ControllerKind::Wasp, c)
+}
+
+type ScenarioFn = fn(&ScenarioConfig) -> ExperimentResult;
+
+/// One (repeat, scenario) cell of the benchmark grid.
+#[derive(Debug, Clone, Copy)]
+struct WorkUnit {
+    round: u32,
+    idx: usize,
+}
+
+/// What a worker sends back to the driver. Everything here is `Send`
+/// plain data — the non-`Send` `MetricsHub` stays inside the worker,
+/// which renders any requested text dumps before returning.
+struct UnitOutcome {
+    unit: WorkUnit,
+    timed: TimedRepeat,
+    /// This repeat's delivery-delay histogram shard.
+    delay_shard: wasp_metrics::LogHistogram,
+    /// Full result, kept only for the final round (summary row).
+    result: Option<ExperimentResult>,
+    /// Prometheus / CSV dumps of the worker's hub (final round only).
+    prom: Option<String>,
+    csv: Option<String>,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    let mut out = "BENCH_pr3.json".to_string();
+    let mut out = "BENCH_pr4.json".to_string();
     let mut baseline: Option<String> = None;
     let mut gate_pct = 15.0;
     let mut csv_out: Option<String> = None;
     let mut prom_out: Option<String> = None;
     let mut repeat = 9u32;
+    let mut jobs_arg: Option<usize> = None;
     let mut cfg = ScenarioConfig::default();
 
     let mut it = args.into_iter();
@@ -236,6 +322,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--jobs" => {
+                jobs_arg = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--out" => out = it.next().unwrap_or_else(|| usage()),
             "--baseline" => baseline = Some(it.next().unwrap_or_else(|| usage())),
             "--gate" => {
@@ -250,6 +343,9 @@ fn main() {
             _ => usage(),
         }
     }
+    // `--jobs 0` = one worker per available core; no flag = WASP_JOBS /
+    // RAYON_NUM_THREADS, else sequential.
+    let jobs = wasp_parallel::resolve_jobs(jobs_arg);
     // Quick mode trades tick resolution for CI speed; the qualitative
     // behavior (adaptations, recoveries) survives the coarser dt, and
     // runs stay long enough (≥ ~50 ms) to time reliably.
@@ -258,66 +354,83 @@ fn main() {
     // Warm-up calibration (discarded): first-touch effects land here.
     let _ = calibrate();
 
-    let mut scenarios = Vec::new();
-    let mut last_hub: Option<MetricsHub> = None;
-    let mut calibration_mops = 0.0f64;
-
-    type ScenarioRun<'a> = (&'a str, Box<dyn Fn(&ScenarioConfig) -> ExperimentResult>);
-    let runs: Vec<ScenarioRun> = vec![
-        (
-            "section_8_4_topk",
-            Box::new(|c: &ScenarioConfig| {
-                run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, c)
-            }),
-        ),
-        (
-            "section_8_4_advertising",
-            Box::new(|c: &ScenarioConfig| {
-                run_section_8_4(QueryKind::Advertising, ControllerKind::Wasp, c)
-            }),
-        ),
-        (
-            "section_8_5_topk",
-            Box::new(|c: &ScenarioConfig| run_section_8_5(ControllerKind::Wasp, c)),
-        ),
-        (
-            "section_8_6_live",
-            Box::new(|c: &ScenarioConfig| run_section_8_6(ControllerKind::Wasp, c)),
-        ),
+    let runs: &[(&str, ScenarioFn)] = &[
+        ("section_8_4_topk", run_84_topk),
+        ("section_8_4_advertising", run_84_advertising),
+        ("section_8_5_topk", run_85_topk),
+        ("section_8_6_live", run_86_live),
     ];
     // Scenarios are interleaved round-robin across the repeats (run
     // A,B,C,D then A,B,C,D again, …) so a burst of machine noise
     // spreads over every scenario's sample set instead of sinking one
-    // scenario's whole median.
-    let mut samples: Vec<Vec<TimedRepeat>> = vec![Vec::new(); runs.len()];
-    let mut results: Vec<Option<(ExperimentResult, MetricsHub)>> =
-        (0..runs.len()).map(|_| None).collect();
+    // scenario's whole median. Under `--jobs > 1` the same grid is
+    // fanned across the pool in that submission order; `map_ordered`
+    // hands the outcomes back in grid order, so the collection below
+    // is identical however the cells were scheduled.
+    let rounds = repeat.max(1);
+    let units: Vec<WorkUnit> = (0..rounds)
+        .flat_map(|round| (0..runs.len()).map(move |idx| WorkUnit { round, idx }))
+        .collect();
     eprintln!(
-        "running {} scenarios x {} repeats (seed {}, dt {})...",
+        "running {} scenarios x {} repeats (seed {}, dt {}, jobs {})...",
         runs.len(),
-        repeat.max(1),
+        rounds,
         cfg.seed,
-        cfg.dt
+        cfg.dt,
+        jobs,
     );
-    for _ in 0..repeat.max(1) {
-        for (i, (_, run)) in runs.iter().enumerate() {
-            let mut c = cfg.clone();
-            c.metrics = MetricsHub::recording(10.0);
-            let mops = calibrate();
-            let t0 = Instant::now();
-            let r = run(&c);
-            let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
-            samples[i].push(TimedRepeat {
-                mops,
-                wall_s,
-                ticks: r.metrics.ticks().len() as u64,
-            });
-            results[i] = Some((r, c.metrics));
+    let (seed, dt) = (cfg.seed, cfg.dt);
+    let want_dumps = prom_out.is_some() || csv_out.is_some();
+    let outcomes = wasp_parallel::map_ordered(units, jobs, |unit: WorkUnit| {
+        // Each cell gets a private config and a private recording hub:
+        // nothing mutable is shared between workers, so the simulated
+        // results cannot depend on the schedule.
+        let c = ScenarioConfig {
+            seed,
+            dt,
+            metrics: MetricsHub::recording(10.0),
+            ..Default::default()
+        };
+        let run = runs[unit.idx].1;
+        let mops = calibrate();
+        let t0 = Instant::now();
+        let r = run(&c);
+        let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+        let timed = TimedRepeat {
+            mops,
+            wall_s,
+            ticks: r.metrics.ticks().len() as u64,
+        };
+        let last_round = unit.round + 1 == rounds;
+        UnitOutcome {
+            unit,
+            timed,
+            delay_shard: r.metrics.delay_histogram().clone(),
+            prom: (last_round && want_dumps).then(|| c.metrics.render_prometheus()),
+            csv: (last_round && want_dumps).then(|| c.metrics.render_csv()),
+            result: last_round.then_some(r),
+        }
+    });
+
+    let mut scenarios = Vec::new();
+    let mut calibration_mops = 0.0f64;
+    let mut samples: Vec<Vec<TimedRepeat>> = vec![Vec::new(); runs.len()];
+    let mut merged: Vec<wasp_metrics::LogHistogram> =
+        vec![wasp_metrics::LogHistogram::default(); runs.len()];
+    let mut results: Vec<Option<ExperimentResult>> = (0..runs.len()).map(|_| None).collect();
+    let mut last_dumps: Option<(Option<String>, Option<String>)> = None;
+    for o in outcomes {
+        let i = o.unit.idx;
+        samples[i].push(o.timed);
+        merged[i].merge(&o.delay_shard);
+        if let Some(r) = o.result {
+            results[i] = Some(r);
+            last_dumps = Some((o.prom, o.csv));
         }
     }
     for (i, (name, _)) in runs.iter().enumerate() {
-        let (result, hub) = results[i].take().expect("every scenario ran");
-        let (bench, mops) = summarize_scenario(name, &samples[i], &result);
+        let result = results[i].take().expect("every scenario ran");
+        let (bench, mops) = summarize_scenario(name, &samples[i], &result, &merged[i]);
         calibration_mops = calibration_mops.max(mops);
         eprintln!(
             "{name}: {:.2}s wall, {:.0} ticks/s ({:.0}x realtime), p95 {:.2}s, {} actions",
@@ -330,31 +443,73 @@ fn main() {
             );
         }
         scenarios.push(bench);
-        last_hub = Some(hub);
+    }
+
+    // Engine-parallelism sweep over the gated scenario: same seed and
+    // dt, engine worker pool at 1/2/8 threads. Beyond the throughput
+    // points, this asserts the determinism contract end-to-end: every
+    // parallel run must serialize byte-identically to the sequential
+    // reference (the differential test suite proves the same property
+    // hermetically; this repeats it on the release binary).
+    let mut thread_sweep = Vec::new();
+    let mut reference: Option<String> = None;
+    for engine_jobs in [1usize, 2, 8] {
+        let c = ScenarioConfig {
+            seed,
+            dt,
+            jobs: engine_jobs,
+            metrics: MetricsHub::recording(10.0),
+            ..Default::default()
+        };
+        let mops = calibrate();
+        let t0 = Instant::now();
+        let r = run_84_topk(&c);
+        let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+        let digest = serde_json::to_string(&r.metrics).expect("serialize metrics");
+        let bit_identical = reference.get_or_insert_with(|| digest.clone()) == &digest;
+        let ticks_per_mop = (r.metrics.ticks().len() as f64 / wall_s) / mops.max(1e-9);
+        eprintln!(
+            "thread_sweep engine_jobs={engine_jobs}: {ticks_per_mop:.3} ticks/Mop, \
+             bit_identical={bit_identical}"
+        );
+        thread_sweep.push(ThreadSweepEntry {
+            engine_jobs,
+            ticks_per_mop,
+            bit_identical,
+        });
+    }
+    if thread_sweep.iter().any(|e| !e.bit_identical) {
+        eprintln!("DETERMINISM VIOLATION: parallel engine run diverged from sequential");
+        std::process::exit(1);
     }
 
     let report = BenchReport {
-        version: 1,
+        version: 2,
         quick,
         seed: cfg.seed,
         dt: cfg.dt,
         calibration_mops,
+        jobs,
         scenarios,
+        thread_sweep,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json + "\n").expect("write report");
     eprintln!("wrote {out}");
 
-    // Optional metric dumps from the last scenario's hub: the full
-    // Prometheus exposition and the long-format CSV time series.
-    if let Some(hub) = &last_hub {
+    // Optional metric dumps from the last scenario's final-round hub:
+    // the full Prometheus exposition and the long-format CSV time
+    // series (rendered inside the worker that owned the hub).
+    if let Some((prom, csv)) = last_dumps {
         if let Some(path) = &prom_out {
-            std::fs::write(path, hub.render_prometheus()).expect("write prometheus dump");
+            let text = prom.expect("prometheus dump rendered");
+            std::fs::write(path, text).expect("write prometheus dump");
             eprintln!("wrote {path}");
         }
         if let Some(path) = &csv_out {
-            std::fs::write(path, hub.render_csv()).expect("write csv dump");
+            let text = csv.expect("csv dump rendered");
+            std::fs::write(path, text).expect("write csv dump");
             eprintln!("wrote {path}");
         }
     }

@@ -10,7 +10,9 @@
 //! stdout, or to `--report FILE`. `--trace-out` writes a Chrome
 //! `about://tracing` JSON and `--jsonl` the raw event log. Because
 //! every timestamp is sim-time, the same (scenario, seed, dt) always
-//! produces byte-identical outputs.
+//! produces byte-identical outputs — including under `--jobs N`,
+//! which only changes how many worker threads the engine's compute
+//! phase uses, never what it computes.
 
 use wasp_workloads::prelude::*;
 
@@ -18,7 +20,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: wasp-report --scenario <section_8_4|section_8_5|section_8_6> [--seed N] \
          [--query <advertising|topk|events>] [--controller <wasp|reassign|scale|replan>] \
-         [--dt SECS] [--echo] [--trace-out FILE] [--jsonl FILE] [--report FILE]"
+         [--dt SECS] [--jobs N] [--echo] [--trace-out FILE] [--jsonl FILE] [--report FILE]"
     );
     std::process::exit(2);
 }
@@ -109,6 +111,16 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
+            }
+            // Engine worker threads; every value produces the same
+            // bytes (`0` = one per core). The golden-file test diffs
+            // `--jobs 1` against `--jobs 8` output to prove it.
+            "--jobs" => {
+                cfg.jobs = wasp_parallel::resolve_jobs(Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                ))
             }
             "--query" => {
                 query = match it.next().as_deref() {

@@ -97,6 +97,128 @@ fn single_sample_is_every_quantile() {
     }
 }
 
+/// Property tests for the merge algebra the parallel runtime leans
+/// on: the bench driver folds per-repeat delay shards in submission
+/// order, so merging must behave like multiset union — commutative,
+/// associative, and indistinguishable from having observed the single
+/// concatenated stream.
+///
+/// Values are drawn from `[1e-3, 1e3]` (≈ 1.4k of the 4096 buckets)
+/// so the budget-exhaustion clamp never engages — under clamping,
+/// merge order *is* observable by design, which is why the engine
+/// sizes delay histograms well inside the budget. Weights are 1.0, so
+/// per-bucket totals are small integers and f64 addition is exact in
+/// any order; only `sum` (a dot product of unrounded values) keeps an
+/// order-dependent rounding tail, checked to 1e-9 relative.
+mod merge_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    const PROBES: [f64; 9] = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+
+    fn from_values(values: &[f64]) -> LogHistogram {
+        let mut h = LogHistogram::default();
+        for &v in values {
+            h.observe(v, 1.0);
+        }
+        h
+    }
+
+    /// The order-independent observable surface: weight, extremes,
+    /// the non-empty bucket layout, and every probe quantile.
+    type Digest = (
+        f64,
+        Option<f64>,
+        Option<f64>,
+        Vec<(f64, f64)>,
+        Vec<Option<f64>>,
+    );
+
+    fn digest(h: &LogHistogram) -> Digest {
+        (
+            h.count(),
+            h.min(),
+            h.max(),
+            h.nonzero_buckets(),
+            PROBES.iter().map(|&q| h.quantile(q)).collect(),
+        )
+    }
+
+    fn assert_equivalent(label: &str, a: &LogHistogram, b: &LogHistogram) {
+        assert_eq!(digest(a), digest(b), "{label}: observable surface differs");
+        let rel = (a.sum() - b.sum()).abs() / a.sum().abs().max(1e-12);
+        assert!(
+            rel <= 1e-9,
+            "{label}: sums differ beyond rounding ({} vs {})",
+            a.sum(),
+            b.sum()
+        );
+    }
+
+    fn values() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(1e-3..1e3f64, 0..200)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn merge_is_commutative(xs in values(), ys in values()) {
+            let (a, b) = (from_values(&xs), from_values(&ys));
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_equivalent("a∪b vs b∪a", &ab, &ba);
+        }
+
+        #[test]
+        fn merge_is_associative(xs in values(), ys in values(), zs in values()) {
+            let (a, b, c) = (from_values(&xs), from_values(&ys), from_values(&zs));
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            assert_equivalent("(a∪b)∪c vs a∪(b∪c)", &left, &right);
+        }
+
+        #[test]
+        fn merged_shards_equal_single_stream(
+            tagged in proptest::collection::vec((1e-3..1e3f64, 0..4usize), 0..300),
+        ) {
+            // One stream, arbitrarily partitioned into four shards the
+            // way the parallel bench driver partitions repeats across
+            // workers: merging the shards back must reproduce the
+            // single-stream sketch bucket-for-bucket.
+            let whole = from_values(&tagged.iter().map(|&(v, _)| v).collect::<Vec<_>>());
+            let mut merged = LogHistogram::default();
+            for shard in 0..4 {
+                let part: Vec<f64> = tagged
+                    .iter()
+                    .filter(|&&(_, s)| s == shard)
+                    .map(|&(v, _)| v)
+                    .collect();
+                merged.merge(&from_values(&part));
+            }
+            assert_equivalent("shard-merge vs single stream", &merged, &whole);
+        }
+
+        #[test]
+        fn empty_histogram_is_merge_identity(xs in values()) {
+            let a = from_values(&xs);
+            let mut with_empty = a.clone();
+            with_empty.merge(&LogHistogram::default());
+            let mut from_empty = LogHistogram::default();
+            from_empty.merge(&a);
+            assert_equivalent("a∪∅ vs a", &with_empty, &a);
+            assert_equivalent("∅∪a vs a", &from_empty, &a);
+        }
+    }
+}
+
 #[test]
 fn extreme_magnitudes_keep_exact_min_and_max() {
     // Values spanning 24 orders of magnitude exceed the bucket

@@ -307,6 +307,230 @@ struct EdgeKey {
     to_site: SiteId,
 }
 
+/// One unit of per-tick work: a (stage, site) group plus the per-site
+/// inputs sampled while sharding. Owns its `Group` for the duration of
+/// the compute phase, so tasks share no mutable state.
+struct ProcTask {
+    op: OpId,
+    site: SiteId,
+    /// Site failed or stage suspended this tick: the group only marks
+    /// backpressure, processing and emission are skipped.
+    blocked: bool,
+    /// Straggler slowdown factor for this site at tick start.
+    compute_factor: f64,
+    /// `None` only for blocked placements with no instantiated group.
+    group: Option<Group>,
+}
+
+/// The immutable pre-tick view shared (read-only) by every compute
+/// task. Everything here is plain data, so the borrow is `Sync` and
+/// worker threads can consume it concurrently.
+struct ProcCtx<'a> {
+    plan: &'a LogicalPlan,
+    physical: &'a PhysicalPlan,
+    cfg: &'a EngineConfig,
+    edges: &'a BTreeMap<EdgeKey, CohortQueue>,
+    dt: f64,
+}
+
+/// Everything a task wants to say back to the engine. The reduce phase
+/// applies outcomes in task order, reproducing the sequential loop's
+/// mutations exactly.
+struct ProcOutcome {
+    op: OpId,
+    site: SiteId,
+    /// The group, handed back for re-insertion.
+    group: Option<Group>,
+    /// The group newly entered backpressure this tick (at most one
+    /// counter increment per task, mirroring the `!g.backpressured`
+    /// guards of the sequential path).
+    backpressure: bool,
+    /// Events processed (drives the per-op throughput counter).
+    processed: f64,
+    /// Events emitted (drives the per-op emission counter).
+    emitted: f64,
+    /// Sink deliveries, in emission order; delay accounting happens in
+    /// the reduce so histogram observation order matches sequential.
+    deliveries: Vec<Cohort>,
+    /// Downstream pushes, in (downstream op, placement site) order.
+    emissions: Vec<(EdgeKey, Vec<Cohort>)>,
+}
+
+/// The compute phase for one task: a pure function of the task and the
+/// pre-tick context. Must not touch any engine-global mutable state —
+/// every effect is returned in the [`ProcOutcome`].
+fn run_proc_task(ctx: &ProcCtx<'_>, task: ProcTask) -> ProcOutcome {
+    let ProcTask {
+        op,
+        site,
+        blocked,
+        compute_factor,
+        group,
+    } = task;
+    let mut out = ProcOutcome {
+        op,
+        site,
+        group: None,
+        backpressure: false,
+        processed: 0.0,
+        emitted: 0.0,
+        deliveries: Vec::new(),
+        emissions: Vec::new(),
+    };
+    if blocked {
+        if let Some(mut g) = group {
+            if !g.backpressured {
+                g.backpressured = true;
+                out.backpressure = true;
+            }
+            out.group = Some(g);
+        }
+        return out;
+    }
+    let spec = ctx.plan.op(op);
+    let sigma = spec.selectivity();
+    let is_sink = spec.kind().is_sink();
+    let is_source = spec.kind().is_source();
+    let windowed = spec.kind().window_s().is_some();
+    let mut g = group.expect("deployed group");
+    // --- processing ---
+    if !is_source {
+        // Straggler sites run at a fraction of nominal speed.
+        let mut capacity = spec.capacity_per_task() * g.tasks as f64 * ctx.dt * compute_factor;
+        if !capacity.is_finite() {
+            capacity = g.redo.len_events() + g.input.len_events();
+        }
+        // Redo work (post-failure recovery) consumes capacity but
+        // emits nothing.
+        let redo_n = g.redo.len_events().min(capacity);
+        if redo_n > 0.0 {
+            g.redo.take(redo_n);
+            capacity -= redo_n;
+        }
+        // Output-buffer space limits processing (this is the
+        // backpressure stall).
+        let pending_room = (ctx.cfg.edge_buffer_events - g.pending_out.len_events()).max(0.0);
+        let out_limit = if is_sink {
+            f64::INFINITY
+        } else if sigma > 0.0 {
+            pending_room / sigma
+        } else {
+            f64::INFINITY
+        };
+        let n = capacity.min(g.input.len_events()).min(out_limit);
+        if out_limit < capacity.min(g.input.len_events()) {
+            g.out_blocked = true;
+        }
+        let per_task = spec.capacity_per_task();
+        let queue_cap = if per_task.is_finite() {
+            ctx.cfg.queue_capacity_s * per_task * g.tasks as f64
+        } else {
+            f64::INFINITY
+        };
+        if (g.input.len_events() >= 0.95 * queue_cap || out_limit < g.input.len_events())
+            && !g.backpressured
+        {
+            g.backpressured = true;
+            out.backpressure = true;
+        }
+        if n > 0.0 {
+            let cohorts = g.input.take(n);
+            g.processed += n;
+            out.processed = n;
+            g.since_ckpt.push_all(cohorts.iter().copied());
+            if windowed {
+                let w = spec.kind().window_s().expect("windowed op");
+                for c in cohorts {
+                    g.absorb_into_window(c, w, sigma);
+                }
+            } else {
+                g.pending_out.push_all(CohortQueue::scaled(&cohorts, sigma));
+            }
+        }
+        // --- event-time window firing ---
+        // A tumbling window fires once the watermark (the latest event
+        // time seen) passes its end: its result carries the window's
+        // max event time — the paper's delay rule (§8.3). Straggler
+        // events for already-fired windows were emitted immediately by
+        // `absorb_into_window` (late-firing updates).
+        if windowed {
+            let w = spec.kind().window_s().expect("windowed op");
+            g.fire_ready_windows(w, sigma);
+        }
+        // --- state bookkeeping ---
+        match spec.state() {
+            StateModel::Stateless => {}
+            StateModel::Fixed(_) => { /* fixed: set at deploy */ }
+            StateModel::Window { bytes_per_event } => {
+                g.state_mb = g.window_events() * bytes_per_event / 1e6;
+            }
+        }
+    }
+    // --- emission: pending_out → edge buffers / sink ---
+    let downstream = ctx.plan.downstream(op);
+    let pending_len = g.pending_out.len_events();
+    let emit_n = if pending_len <= 0.0 {
+        0.0
+    } else if is_sink {
+        pending_len
+    } else {
+        // Limited by the fullest outgoing buffer. Only this task ever
+        // writes those buffers (the key carries `(op, site)` as its
+        // source), so the pre-tick snapshot is exact.
+        let mut limit = f64::INFINITY;
+        if !is_source {
+            for &d in downstream {
+                let placement = ctx.physical.placement(d);
+                for (sd, _) in placement.iter() {
+                    let share = placement.share(sd);
+                    if share <= 0.0 {
+                        continue;
+                    }
+                    let key = EdgeKey {
+                        from_op: op,
+                        from_site: site,
+                        to_op: d,
+                        to_site: sd,
+                    };
+                    let used = ctx.edges.get(&key).map(|q| q.len_events()).unwrap_or(0.0);
+                    let free = (ctx.cfg.edge_buffer_events - used).max(0.0);
+                    limit = limit.min(free / share);
+                }
+            }
+        }
+        pending_len.min(limit)
+    };
+    if emit_n > 0.0 {
+        let cohorts = g.pending_out.take(emit_n);
+        g.emitted += emit_n;
+        out.emitted = emit_n;
+        if emit_n < pending_len && !g.backpressured {
+            g.backpressured = true;
+            out.backpressure = true;
+        }
+        if is_sink {
+            out.deliveries = cohorts;
+        } else {
+            for &d in downstream {
+                let placement = ctx.physical.placement(d);
+                for (sd, _) in placement.iter() {
+                    let share = placement.share(sd);
+                    let key = EdgeKey {
+                        from_op: op,
+                        from_site: site,
+                        to_op: d,
+                        to_site: sd,
+                    };
+                    out.emissions
+                        .push((key, CohortQueue::scaled(&cohorts, share)));
+                }
+            }
+        }
+    }
+    out.group = Some(g);
+    out
+}
+
 #[derive(Debug, Clone)]
 struct TransferProgress {
     from: SiteId,
@@ -457,6 +681,14 @@ pub struct Engine {
     physical: PhysicalPlan,
     cfg: EngineConfig,
     now: f64,
+    /// Completed ticks since construction. `now` is derived from this
+    /// integer count (`now = tick × dt`) so long runs cannot
+    /// accumulate floating-point drift across platforms.
+    tick: u64,
+    /// Worker threads for the sharded compute phase of each tick
+    /// (1 = run inline). Results are bit-identical for every value —
+    /// see `process_step`.
+    jobs: usize,
     groups: BTreeMap<(OpId, SiteId), Group>,
     edges: BTreeMap<EdgeKey, CohortQueue>,
     migrations: Vec<Migration>,
@@ -526,6 +758,8 @@ impl Engine {
             physical,
             cfg,
             now: 0.0,
+            tick: 0,
+            jobs: 1,
             groups: BTreeMap::new(),
             edges: BTreeMap::new(),
             migrations: Vec::new(),
@@ -553,6 +787,25 @@ impl Engine {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         SimTime(self.now)
+    }
+
+    /// Completed simulation ticks (`now() == tick() × dt`).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Sets the number of worker threads used for the per-tick compute
+    /// phase (clamped to at least 1). The engine's results are
+    /// bit-identical for every value: parallel workers only compute
+    /// task outcomes, and a single ordered reduce applies them in the
+    /// sequential task order.
+    pub fn set_parallelism(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
+    }
+
+    /// Worker threads used for the per-tick compute phase.
+    pub fn parallelism(&self) -> usize {
+        self.jobs
     }
 
     /// The deployed logical plan.
@@ -683,7 +936,10 @@ impl Engine {
     pub fn step(&mut self) {
         let dt = self.cfg.dt;
         let t0 = self.now;
-        let t1 = t0 + dt;
+        // Tick-derived, not accumulated: bit-identical to `t0 + dt`
+        // for the dyadic tick sizes in use, and drift-free for every
+        // other dt.
+        let t1 = (self.tick + 1) as f64 * dt;
 
         self.detect_failure_edges(t0);
         self.detect_dynamics_transitions(t0);
@@ -710,6 +966,7 @@ impl Engine {
         });
         self.observe_tick_metrics(generated, delivered, dropped);
         self.hub.maybe_scrape(t1);
+        self.tick += 1;
         self.now = t1;
     }
 
@@ -734,9 +991,16 @@ impl Engine {
     }
 
     /// Runs for `duration_s` simulated seconds.
+    ///
+    /// The step count is computed once as an integer
+    /// (`round-to-nearest(duration/dt)`, halves rounding down to match
+    /// the historical loop), so repeated or split calls can never
+    /// drift against one long run: `run(a); run(b)` takes exactly as
+    /// many ticks as `run(a + b)` whenever `a` and `b` are whole
+    /// multiples of `dt`.
     pub fn run(&mut self, duration_s: f64) {
-        let end = self.now + duration_s;
-        while self.now + self.cfg.dt * 0.5 < end {
+        let steps = ((duration_s / self.cfg.dt) - 0.5).ceil().max(0.0) as u64;
+        for _ in 0..steps {
             self.step();
         }
     }
@@ -1705,197 +1969,93 @@ impl Engine {
         self.edges.retain(|_, q| !q.is_empty());
     }
 
+    /// Per-tick processing + emission over every (stage, site) group.
+    ///
+    /// # Deterministic parallelism
+    ///
+    /// The tick is executed as *shard → compute → ordered reduce*:
+    ///
+    /// 1. **Shard** (sequential): one task per deployed (op, site)
+    ///    group, in the stable sequential order — topological operator
+    ///    order, then the placement's site order. Each task takes
+    ///    ownership of its `Group` and a snapshot of the per-site
+    ///    inputs it needs (failure/suspension status, compute factor).
+    /// 2. **Compute** (parallel over `self.jobs` workers, or inline
+    ///    when `jobs == 1`): [`run_proc_task`] is a pure function of
+    ///    the task plus the *pre-tick* immutable view (`plan`,
+    ///    `physical`, `cfg`, edge buffers). Tasks are independent by
+    ///    construction: a group is private to its task, and an edge
+    ///    buffer keyed `(from_op, from_site, …)` is only ever read or
+    ///    written by the task that owns `(from_op, from_site)` — so
+    ///    reading the pre-tick `edges` map reproduces exactly what the
+    ///    sequential interleaving observed.
+    /// 3. **Reduce** (sequential, in task order): groups are
+    ///    re-inserted, sink deliveries are folded into the run metrics
+    ///    and histograms, and emissions are pushed into the edge
+    ///    buffers — the identical mutations, in the identical order,
+    ///    as the historical single-threaded loop. Results are
+    ///    therefore bit-identical for every thread count.
     fn process_step(&mut self, t0: f64, dt: f64) -> (f64, f64) {
+        let t1 = t0 + dt;
+        // --- shard: one task per (op, site), in sequential order ---
+        let topo: Vec<OpId> = self.plan.topo_order().to_vec();
+        let mut tasks: Vec<ProcTask> = Vec::new();
+        for &op in &topo {
+            let suspended = self.is_suspended(op);
+            for site in self.physical.placement(op).sites() {
+                tasks.push(ProcTask {
+                    op,
+                    site,
+                    blocked: self.site_failed(site, t0) || suspended,
+                    compute_factor: self.script.compute_factor(site, SimTime(t0)),
+                    group: self.groups.remove(&(op, site)),
+                });
+            }
+        }
+        // --- compute: pure per-task work, parallel when jobs > 1 ---
+        let ctx = ProcCtx {
+            plan: &self.plan,
+            physical: &self.physical,
+            cfg: &self.cfg,
+            edges: &self.edges,
+            dt,
+        };
+        let outcomes = wasp_parallel::map_ordered(tasks, self.jobs, |t| run_proc_task(&ctx, t));
+        // --- ordered reduce: apply outcomes in sequential task order ---
         let mut delivered_total = 0.0;
         let mut delay_sum = 0.0;
-        let t1 = t0 + dt;
-        let topo: Vec<OpId> = self.plan.topo_order().to_vec();
-        for op in topo {
-            let spec = self.plan.op(op).clone();
-            let sigma = spec.selectivity();
-            let is_sink = spec.kind().is_sink();
-            let is_source = spec.kind().is_source();
-            let windowed = spec.kind().window_s().is_some();
-            let sites: Vec<SiteId> = self.physical.placement(op).sites();
-            let suspended = self.is_suspended(op);
-            for site in sites {
-                if self.site_failed(site, t0) || suspended {
-                    if let Some(g) = self.groups.get_mut(&(op, site)) {
-                        if !g.backpressured {
-                            g.backpressured = true;
-                            if let Some(em) = &self.em {
-                                em.backpressure[op.index()].inc();
-                            }
-                        }
-                    }
-                    continue;
+        for o in outcomes {
+            if let Some(g) = o.group {
+                self.groups.insert((o.op, o.site), g);
+            }
+            if let Some(em) = &self.em {
+                if o.backpressure {
+                    em.backpressure[o.op.index()].inc();
                 }
-                // --- processing ---
-                if !is_source {
-                    // Straggler sites run at a fraction of nominal
-                    // speed.
-                    let compute_factor = self.script.compute_factor(site, SimTime(t0));
-                    let g = self.groups.get_mut(&(op, site)).expect("deployed group");
-                    let mut capacity =
-                        spec.capacity_per_task() * g.tasks as f64 * dt * compute_factor;
-                    if !capacity.is_finite() {
-                        capacity = g.redo.len_events() + g.input.len_events();
-                    }
-                    // Redo work (post-failure recovery) consumes
-                    // capacity but emits nothing.
-                    let redo_n = g.redo.len_events().min(capacity);
-                    if redo_n > 0.0 {
-                        g.redo.take(redo_n);
-                        capacity -= redo_n;
-                    }
-                    // Output-buffer space limits processing (this is
-                    // the backpressure stall).
-                    let pending_room =
-                        (self.cfg.edge_buffer_events - g.pending_out.len_events()).max(0.0);
-                    let out_limit = if is_sink {
-                        f64::INFINITY
-                    } else if sigma > 0.0 {
-                        pending_room / sigma
-                    } else {
-                        f64::INFINITY
-                    };
-                    let n = capacity.min(g.input.len_events()).min(out_limit);
-                    if out_limit < capacity.min(g.input.len_events()) {
-                        g.out_blocked = true;
-                    }
-                    let per_task = spec.capacity_per_task();
-                    let queue_cap = if per_task.is_finite() {
-                        self.cfg.queue_capacity_s * per_task * g.tasks as f64
-                    } else {
-                        f64::INFINITY
-                    };
-                    if (g.input.len_events() >= 0.95 * queue_cap
-                        || out_limit < g.input.len_events())
-                        && !g.backpressured
-                    {
-                        g.backpressured = true;
-                        if let Some(em) = &self.em {
-                            em.backpressure[op.index()].inc();
-                        }
-                    }
-                    if n > 0.0 {
-                        let cohorts = g.input.take(n);
-                        g.processed += n;
-                        if let Some(em) = &self.em {
-                            em.processed[op.index()].add(n);
-                        }
-                        g.since_ckpt.push_all(cohorts.iter().copied());
-                        if windowed {
-                            let w = spec.kind().window_s().expect("windowed op");
-                            for c in cohorts {
-                                g.absorb_into_window(c, w, sigma);
-                            }
-                        } else {
-                            g.pending_out.push_all(CohortQueue::scaled(&cohorts, sigma));
-                        }
-                    }
-                    // --- event-time window firing ---
-                    // A tumbling window fires once the watermark (the
-                    // latest event time seen) passes its end: its
-                    // result carries the window's max event time — the
-                    // paper's delay rule (§8.3). Straggler events for
-                    // already-fired windows were emitted immediately
-                    // by `absorb_into_window` (late-firing updates).
-                    if windowed {
-                        let w = spec.kind().window_s().expect("windowed op");
-                        g.fire_ready_windows(w, sigma);
-                    }
-                    // --- state bookkeeping ---
-                    match spec.state() {
-                        StateModel::Stateless => {}
-                        StateModel::Fixed(_) => { /* fixed: set at deploy */ }
-                        StateModel::Window { bytes_per_event } => {
-                            g.state_mb = g.window_events() * bytes_per_event / 1e6;
-                        }
+                if o.processed > 0.0 {
+                    em.processed[o.op.index()].add(o.processed);
+                }
+                if o.emitted > 0.0 {
+                    em.emitted[o.op.index()].add(o.emitted);
+                }
+            }
+            if !o.deliveries.is_empty() {
+                let sink_hist = self
+                    .em
+                    .as_ref()
+                    .and_then(|em| em.delivery[o.op.index()].as_ref());
+                for c in &o.deliveries {
+                    let d = c.delay_at(SimTime(t1));
+                    delivered_total += c.count;
+                    delay_sum += d * c.count;
+                    self.metrics.record_delivery(d, c.count);
+                    if let Some(h) = sink_hist {
+                        h.observe(d, c.count);
                     }
                 }
-                // --- emission: pending_out → edge buffers / sink ---
-                let downstream: Vec<OpId> = self.plan.downstream(op).to_vec();
-                let (emit_n, pending_len) = {
-                    let g = self.groups.get(&(op, site)).expect("deployed group");
-                    let pending_len = g.pending_out.len_events();
-                    if pending_len <= 0.0 {
-                        (0.0, 0.0)
-                    } else if is_sink {
-                        (pending_len, pending_len)
-                    } else {
-                        // Limited by the fullest outgoing buffer.
-                        let mut limit = f64::INFINITY;
-                        if !is_source {
-                            for &d in &downstream {
-                                let placement = self.physical.placement(d);
-                                for (sd, _) in placement.iter() {
-                                    let share = placement.share(sd);
-                                    if share <= 0.0 {
-                                        continue;
-                                    }
-                                    let key = EdgeKey {
-                                        from_op: op,
-                                        from_site: site,
-                                        to_op: d,
-                                        to_site: sd,
-                                    };
-                                    let used =
-                                        self.edges.get(&key).map(|q| q.len_events()).unwrap_or(0.0);
-                                    let free = (self.cfg.edge_buffer_events - used).max(0.0);
-                                    limit = limit.min(free / share);
-                                }
-                            }
-                        }
-                        (pending_len.min(limit), pending_len)
-                    }
-                };
-                if emit_n > 0.0 {
-                    let g = self.groups.get_mut(&(op, site)).expect("deployed group");
-                    let cohorts = g.pending_out.take(emit_n);
-                    g.emitted += emit_n;
-                    if let Some(em) = &self.em {
-                        em.emitted[op.index()].add(emit_n);
-                    }
-                    if emit_n < pending_len && !g.backpressured {
-                        g.backpressured = true;
-                        if let Some(em) = &self.em {
-                            em.backpressure[op.index()].inc();
-                        }
-                    }
-                    if is_sink {
-                        let sink_hist = self
-                            .em
-                            .as_ref()
-                            .and_then(|em| em.delivery[op.index()].as_ref());
-                        for c in &cohorts {
-                            let d = c.delay_at(SimTime(t1));
-                            delivered_total += c.count;
-                            delay_sum += d * c.count;
-                            self.metrics.record_delivery(d, c.count);
-                            if let Some(h) = sink_hist {
-                                h.observe(d, c.count);
-                            }
-                        }
-                    } else {
-                        for &d in &downstream {
-                            let placement = self.physical.placement(d).clone();
-                            for (sd, _) in placement.iter() {
-                                let share = placement.share(sd);
-                                let key = EdgeKey {
-                                    from_op: op,
-                                    from_site: site,
-                                    to_op: d,
-                                    to_site: sd,
-                                };
-                                self.edges
-                                    .entry(key)
-                                    .or_default()
-                                    .push_all(CohortQueue::scaled(&cohorts, share));
-                            }
-                        }
-                    }
-                }
+            }
+            for (key, cohorts) in o.emissions {
+                self.edges.entry(key).or_default().push_all(cohorts);
             }
         }
         (delivered_total, delay_sum)
@@ -2658,6 +2818,64 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_step_is_bit_identical_to_sequential() {
+        // The full recording — every tick row, the delay histogram,
+        // totals — must serialize byte-for-byte identically for any
+        // worker count, under network dynamics and failures.
+        let run = |jobs: usize| {
+            let (net, edge, dc) = world(6.0);
+            let plan = linear_plan(edge, 5000.0, 5.0);
+            let mut eng = engine_for(net, DynamicsScript::section_8_4(), plan, dc);
+            eng.set_parallelism(jobs);
+            eng.run(400.0);
+            serde_json::to_string(eng.metrics()).unwrap()
+        };
+        let seq = run(1);
+        for jobs in [2, 8] {
+            assert_eq!(run(jobs), seq, "jobs={jobs} diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn run_uses_integer_tick_counts() {
+        // dt = 0.1 is not exactly representable in binary; the old
+        // `while now + dt/2 < end` loop accumulated `now` and drifted
+        // on long or split runs. The step count is now an integer and
+        // `now` is tick-derived, so 1000 runs of 0.1 s land exactly
+        // where one run of 100 s does.
+        let mk = || {
+            let (net, edge, dc) = world(10.0);
+            let plan = linear_plan(edge, 100.0, 5.0);
+            let physical = PhysicalPlan::initial(&plan, dc);
+            let cfg = EngineConfig {
+                dt: 0.1,
+                ..EngineConfig::default()
+            };
+            Engine::new(net, DynamicsScript::none(), plan, physical, cfg).unwrap()
+        };
+        let mut single = mk();
+        single.run(100.0);
+        let mut split = mk();
+        for _ in 0..1000 {
+            split.run(0.1);
+        }
+        assert_eq!(single.tick(), 1000);
+        assert_eq!(split.tick(), single.tick());
+        assert_eq!(
+            split.metrics().ticks().len(),
+            single.metrics().ticks().len()
+        );
+        // `now` is exactly tick × dt on both paths — no float drift.
+        assert_eq!(single.now().secs().to_bits(), (1000.0 * 0.1f64).to_bits());
+        assert_eq!(split.now().secs().to_bits(), single.now().secs().to_bits());
+        // Half-tick durations keep the historical round-down: a 0.05 s
+        // request at dt = 0.1 performs no step.
+        let mut half = mk();
+        half.run(0.05);
+        assert_eq!(half.tick(), 0);
     }
 
     /// Three-site world for failure tests: edge (source) plus two DCs.

@@ -18,7 +18,9 @@
 //! * [`exact`] — record-at-a-time operator primitives used to check
 //!   operator and plan semantics;
 //! * [`exact_engine`] — record-level execution of whole plans (e.g.
-//!   proving that re-planned queries produce identical results).
+//!   proving that re-planned queries produce identical results);
+//! * [`testkit`] — canonical-JSON bit-identity assertions shared by
+//!   the sequential↔parallel differential suites.
 //!
 //! # Example
 //!
@@ -66,6 +68,7 @@ pub mod metrics;
 pub mod operator;
 pub mod physical;
 pub mod plan;
+pub mod testkit;
 
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {

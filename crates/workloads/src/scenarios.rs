@@ -124,6 +124,11 @@ pub struct ScenarioConfig {
     /// histograms, link gauges) and the controller (derived SLO
     /// gauges). Disabled by default, like telemetry.
     pub metrics: MetricsHub,
+    /// Worker threads for the engine's per-tick compute phase.
+    /// Results are bit-identical for every value (see
+    /// `Engine::set_parallelism`). Defaults to `WASP_JOBS` /
+    /// `RAYON_NUM_THREADS` when set, else 1.
+    pub jobs: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -142,6 +147,7 @@ impl Default for ScenarioConfig {
             slo_s: 10.0,
             telemetry: Telemetry::disabled(),
             metrics: MetricsHub::disabled(),
+            jobs: wasp_parallel::env_jobs().unwrap_or(1),
         }
     }
 }
@@ -206,6 +212,7 @@ fn run_scenario(
 ) -> ExperimentResult {
     let tb = Testbed::paper(cfg.seed);
     let (mut engine, e2e) = build_engine(kind, &tb, script, engine_config(cfg, controller));
+    engine.set_parallelism(cfg.jobs);
     let tel = cfg.telemetry.clone();
     engine.set_telemetry(tel.clone());
     engine.set_metrics(cfg.metrics.clone());
@@ -360,6 +367,7 @@ pub fn run_custom(run: CustomRun, cfg: &ScenarioConfig) -> (ExperimentResult, f6
         ..EngineConfig::default()
     };
     let (mut engine, e2e) = build_engine(run.kind, &tb, run.script, engine_cfg);
+    engine.set_parallelism(cfg.jobs);
     engine.set_telemetry(cfg.telemetry.clone());
     engine.set_metrics(cfg.metrics.clone());
     let mut ctrl = WaspController::new(run.policy)
