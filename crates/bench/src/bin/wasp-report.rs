@@ -14,15 +14,150 @@
 //! which only changes how many worker threads the engine's compute
 //! phase uses, never what it computes.
 
+use wasp_telemetry::Event;
 use wasp_workloads::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
         "usage: wasp-report --scenario <section_8_4|section_8_5|section_8_6> [--seed N] \
          [--query <advertising|topk|events>] [--controller <wasp|reassign|scale|replan>] \
-         [--dt SECS] [--jobs N] [--echo] [--trace-out FILE] [--jsonl FILE] [--report FILE]"
+         [--dt SECS] [--jobs N] [--control <oracle|lossy>] [--loss F] [--heartbeat SECS] \
+         [--phi F] [--delay-factor F] [--echo] [--trace-out FILE] [--jsonl FILE] [--report FILE]"
     );
     std::process::exit(2);
+}
+
+/// Renders the per-site control-plane failure timeline: for every site
+/// the detector or the chaos script touched, the chronological chain
+/// down → suspected → confirmed → emergency-applied → restored →
+/// cleared, with the lag of each step behind its anchor. Empty (and
+/// omitted from the report) when the run produced no detector or
+/// control-channel events — i.e. under the oracle control plane.
+fn failure_timeline(rec: &Recording) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    // Per-site rows: (t, text). Site names come from the events.
+    let mut rows: BTreeMap<u32, Vec<(f64, String)>> = BTreeMap::new();
+    let mut names: BTreeMap<u32, String> = BTreeMap::new();
+    // Anchors for lag arithmetic.
+    let mut down_at: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut confirmed_at: BTreeMap<u32, f64> = BTreeMap::new();
+    // The most recent confirmation overall — emergency command applies
+    // carry no site, so they are attributed to it.
+    let mut last_confirmed: Option<u32> = None;
+    let (mut enqueued, mut dropped, mut applied, mut stale, mut retries, mut gave_up) =
+        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut saw_control_plane = false;
+
+    for (t, _, ev) in rec.events() {
+        match ev {
+            Event::SiteDown { site, name } => {
+                names.entry(*site).or_insert_with(|| name.clone());
+                down_at.insert(*site, t);
+                rows.entry(*site).or_default().push((t, "down".to_string()));
+            }
+            Event::SiteRestored { site, name } => {
+                names.entry(*site).or_insert_with(|| name.clone());
+                let lag = down_at
+                    .remove(site)
+                    .map(|d| format!(" (outage {:.1}s)", t - d))
+                    .unwrap_or_default();
+                confirmed_at.remove(site);
+                rows.entry(*site)
+                    .or_default()
+                    .push((t, format!("restored{lag}")));
+            }
+            Event::SiteSuspected { site, name, phi } => {
+                saw_control_plane = true;
+                names.entry(*site).or_insert_with(|| name.clone());
+                let lag = down_at
+                    .get(site)
+                    .map(|d| format!(", +{:.1}s after down", t - d))
+                    .unwrap_or_default();
+                rows.entry(*site)
+                    .or_default()
+                    .push((t, format!("suspected (phi {phi:.1}{lag})")));
+            }
+            Event::SiteConfirmedDown {
+                site,
+                name,
+                silent_s,
+            } => {
+                saw_control_plane = true;
+                names.entry(*site).or_insert_with(|| name.clone());
+                confirmed_at.insert(*site, t);
+                last_confirmed = Some(*site);
+                let lag = down_at
+                    .get(site)
+                    .map(|d| format!(", detection lag {:.1}s", t - d))
+                    .unwrap_or_default();
+                rows.entry(*site)
+                    .or_default()
+                    .push((t, format!("confirmed down (silent {silent_s:.0}s{lag})")));
+            }
+            Event::SiteCleared { site, name } => {
+                saw_control_plane = true;
+                names.entry(*site).or_insert_with(|| name.clone());
+                confirmed_at.remove(site);
+                rows.entry(*site)
+                    .or_default()
+                    .push((t, "cleared (heartbeat resumed)".to_string()));
+            }
+            Event::ControlCommandEnqueued { .. } => {
+                saw_control_plane = true;
+                enqueued += 1;
+            }
+            Event::ControlCommandDropped { .. } => dropped += 1,
+            Event::ControlCommandDelivered {
+                label,
+                applied: true,
+                ..
+            } => {
+                applied += 1;
+                if label.starts_with("emergency") {
+                    if let Some(site) = last_confirmed {
+                        let lag = confirmed_at
+                            .get(&site)
+                            .map(|c| format!(", +{:.1}s after confirmation", t - c))
+                            .unwrap_or_default();
+                        rows.entry(site)
+                            .or_default()
+                            .push((t, format!("emergency applied: {label}{lag}")));
+                    }
+                }
+            }
+            Event::StaleEpochRejected { .. } => stale += 1,
+            Event::ControlRetry { .. } => retries += 1,
+            Event::ControlGaveUp { .. } => gave_up += 1,
+            _ => {}
+        }
+    }
+    if !saw_control_plane {
+        return String::new();
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Control-plane failure timeline");
+    let _ = writeln!(out, "------------------------------");
+    for (site, mut events) in rows {
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let name = names
+            .get(&site)
+            .cloned()
+            .unwrap_or_else(|| format!("site-{site}"));
+        let _ = writeln!(out, "{name}:");
+        for (t, text) in events {
+            let _ = writeln!(out, "  t={t:>7.1}s  {text}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "commands: {enqueued} enqueued, {dropped} messages dropped, {applied} applied, \
+         {stale} stale-epoch rejected, {retries} retries, {gave_up} abandoned"
+    );
+    out
 }
 
 /// Renders the SLO/metrics summary appended to the audit report: the
@@ -95,10 +230,48 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut jsonl_out: Option<String> = None;
     let mut report_out: Option<String> = None;
+    let mut lossy = false;
+    let mut lossy_cfg = LossyControlConfig::default();
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--control" => {
+                lossy = match it.next().as_deref() {
+                    Some("oracle") => false,
+                    Some("lossy") => true,
+                    _ => usage(),
+                }
+            }
+            // The channel knobs imply --control lossy.
+            "--loss" => {
+                lossy = true;
+                lossy_cfg.loss = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--heartbeat" => {
+                lossy = true;
+                lossy_cfg.heartbeat_period_s = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--phi" => {
+                lossy = true;
+                lossy_cfg.phi_threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--delay-factor" => {
+                lossy = true;
+                lossy_cfg.delay_factor = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--scenario" => scenario = Some(it.next().unwrap_or_else(|| usage())),
             "--seed" => {
                 cfg.seed = it
@@ -150,6 +323,12 @@ fn main() {
         }
     }
     let scenario = scenario.unwrap_or_else(|| usage());
+    if lossy {
+        // The control channel draws from its own RNG stream, but keyed
+        // off the scenario seed so --seed N reproduces everything.
+        lossy_cfg.seed = cfg.seed;
+        cfg.control = ControlPlaneConfig::Lossy(lossy_cfg);
+    }
 
     let (tel, rec) = if echo {
         Telemetry::recording_echo()
@@ -168,8 +347,15 @@ fn main() {
     };
 
     let recording = rec.recording();
+    let control_tag = match &cfg.control {
+        ControlPlaneConfig::Oracle => String::new(),
+        ControlPlaneConfig::Lossy(c) => format!(
+            " control=lossy(loss={} hb={}s phi={})",
+            c.loss, c.heartbeat_period_s, c.phi_threshold
+        ),
+    };
     let title = format!(
-        "{scenario} — {} [{}] seed={} dt={}",
+        "{scenario} — {} [{}] seed={} dt={}{control_tag}",
         result.query, result.label, cfg.seed, cfg.dt
     );
     let progress = Telemetry::stderr();
@@ -188,6 +374,7 @@ fn main() {
 
     let mut report = render_report(&recording, &title);
     report.push_str(&metrics_summary(&result, &hub));
+    report.push_str(&failure_timeline(&recording));
     match &report_out {
         Some(path) => {
             std::fs::write(path, &report).expect("write report");

@@ -1,0 +1,136 @@
+//! Wire types for the lossy command channel.
+//!
+//! A reconfiguration command travels controller → engine wrapped in a
+//! [`CommandEnvelope`] carrying the fencing metadata (controller epoch
+//! and plan version) plus a unique id for idempotent redelivery. The
+//! engine answers with a [`CommandAck`] routed back over the same
+//! lossy channel.
+
+use serde::{Deserialize, Serialize};
+use wasp_netsim::site::SiteId;
+
+/// A fenced, uniquely identified control command in flight.
+///
+/// (Not serde-serializable: the payload is an engine command that
+/// lives above this crate in the dependency graph.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandEnvelope<C> {
+    /// Unique id, assigned by the controller; redeliveries reuse it.
+    pub id: u64,
+    /// Controller epoch at submission time. The engine rejects
+    /// envelopes whose epoch is older than the newest it has applied.
+    pub epoch: u64,
+    /// Engine plan version the controller observed when it decided on
+    /// this command. Used controller-side to abandon retries whose
+    /// premise no longer holds.
+    pub plan_version: u64,
+    /// Human-readable action label (mirrors `Action::label`).
+    pub label: String,
+    /// Simulated time of the most recent send attempt.
+    pub sent_s: f64,
+    /// The wrapped command.
+    pub payload: C,
+}
+
+/// What the engine did with a delivered command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AckOutcome {
+    /// The command was applied.
+    Applied,
+    /// The command id had already been applied; redelivery ignored.
+    Duplicate,
+    /// The envelope's epoch was older than the engine's fencing epoch.
+    Stale {
+        /// Engine fencing epoch at rejection time.
+        engine_epoch: u64,
+        /// Engine plan version at rejection time.
+        engine_plan_version: u64,
+    },
+    /// The engine refused the command for a domain reason (busy
+    /// operator, failed site, infeasible placement, ...).
+    Rejected {
+        /// Stringified engine error.
+        error: String,
+    },
+}
+
+impl AckOutcome {
+    /// True when the command took effect.
+    pub fn applied(&self) -> bool {
+        matches!(self, AckOutcome::Applied)
+    }
+
+    /// True when the controller should stop retrying this command
+    /// (it either took effect or can never take effect).
+    pub fn is_final(&self) -> bool {
+        matches!(
+            self,
+            AckOutcome::Applied | AckOutcome::Duplicate | AckOutcome::Stale { .. }
+        )
+    }
+}
+
+/// Engine → controller acknowledgement for one delivery attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommandAck {
+    /// Envelope id being acknowledged.
+    pub id: u64,
+    /// Action label, echoed for audit trails.
+    pub label: String,
+    /// When the acknowledged attempt was sent (simulated seconds).
+    pub submitted_s: f64,
+    /// When the command reached the engine.
+    pub delivered_s: f64,
+    /// What the engine did with it.
+    pub outcome: AckOutcome,
+}
+
+/// A heartbeat that survived the WAN and reached the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatArrival {
+    /// Emitting site.
+    pub site: SiteId,
+    /// When the site sent it (simulated seconds).
+    pub sent_s: f64,
+    /// When it arrived at the controller.
+    pub arrived_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_outcome_finality() {
+        assert!(AckOutcome::Applied.is_final());
+        assert!(AckOutcome::Duplicate.is_final());
+        assert!(AckOutcome::Stale {
+            engine_epoch: 3,
+            engine_plan_version: 1
+        }
+        .is_final());
+        assert!(!AckOutcome::Rejected {
+            error: "busy".into()
+        }
+        .is_final());
+        assert!(AckOutcome::Applied.applied());
+        assert!(!AckOutcome::Duplicate.applied());
+    }
+
+    #[test]
+    fn ack_round_trips_through_serde() {
+        let ack = CommandAck {
+            id: 7,
+            label: "re-assign filter".into(),
+            submitted_s: 120.0,
+            delivered_s: 121.5,
+            outcome: AckOutcome::Stale {
+                engine_epoch: 3,
+                engine_plan_version: 2,
+            },
+        };
+        let json = serde_json::to_string(&ack).unwrap();
+        let back: CommandAck = serde_json::from_str(&json).unwrap();
+        assert_eq!(ack, back);
+    }
+}

@@ -1,0 +1,106 @@
+//! Control-plane configuration.
+//!
+//! `Oracle` is the historical (and default) mode: the controller reads
+//! truth `SiteDown`/`SiteRestored` events out of the engine snapshot
+//! and `engine.apply` is an instantaneous, reliable function call.
+//! `Lossy` threads every control message through the simulated WAN.
+
+use serde::{Deserialize, Serialize};
+use wasp_netsim::site::SiteId;
+
+/// Which control-plane model a scenario runs under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum ControlPlaneConfig {
+    /// Perfect knowledge and delivery (the paper's implicit model).
+    /// All existing golden / differential / byte-identity results are
+    /// produced under this mode.
+    #[default]
+    Oracle,
+    /// Heartbeat-based failure detection plus lossy, delayed,
+    /// reorderable command delivery with epoch fencing.
+    Lossy(LossyControlConfig),
+}
+
+impl ControlPlaneConfig {
+    /// True when this is the lossy (fallible) control plane.
+    pub fn is_lossy(&self) -> bool {
+        matches!(self, ControlPlaneConfig::Lossy(_))
+    }
+}
+
+/// Parameters of the fallible control plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LossyControlConfig {
+    /// Independent drop probability applied to every control message
+    /// (heartbeat, command, ack) in addition to blackouts/partitions.
+    pub loss: f64,
+    /// Multiplier on the topology link latency for control messages
+    /// (>1.0 models a congested or deprioritized control channel).
+    pub delay_factor: f64,
+    /// How often every site emits a heartbeat towards the controller,
+    /// in simulated seconds.
+    pub heartbeat_period_s: f64,
+    /// Phi threshold at which a silent site becomes `Suspected`; the
+    /// site is `Confirmed` down at twice this threshold.
+    pub phi_threshold: f64,
+    /// How long the controller waits for a command ack before
+    /// scheduling a retry.
+    pub ack_timeout_s: f64,
+    /// Maximum delivery attempts per command before giving up.
+    pub max_attempts: u32,
+    /// Seed for the control-channel loss/jitter RNG (independent of
+    /// the workload and chaos seeds).
+    pub seed: u64,
+    /// Site hosting the controller. Control messages travel between
+    /// this site and the site a command or heartbeat concerns.
+    /// `None` picks the site hosting the first sink.
+    pub controller_site: Option<SiteId>,
+}
+
+impl Default for LossyControlConfig {
+    fn default() -> Self {
+        LossyControlConfig {
+            loss: 0.0,
+            delay_factor: 1.0,
+            heartbeat_period_s: 5.0,
+            phi_threshold: 3.0,
+            ack_timeout_s: 30.0,
+            max_attempts: 8,
+            seed: 0,
+            controller_site: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_oracle() {
+        assert_eq!(ControlPlaneConfig::default(), ControlPlaneConfig::Oracle);
+        assert!(!ControlPlaneConfig::default().is_lossy());
+    }
+
+    #[test]
+    fn lossy_defaults_are_sane() {
+        let cfg = LossyControlConfig::default();
+        assert_eq!(cfg.loss, 0.0);
+        assert_eq!(cfg.heartbeat_period_s, 5.0);
+        assert_eq!(cfg.phi_threshold, 3.0);
+        assert_eq!(cfg.max_attempts, 8);
+        assert!(ControlPlaneConfig::Lossy(cfg).is_lossy());
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        let cfg = ControlPlaneConfig::Lossy(LossyControlConfig {
+            loss: 0.1,
+            controller_site: Some(SiteId(2)),
+            ..LossyControlConfig::default()
+        });
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ControlPlaneConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

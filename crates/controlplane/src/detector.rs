@@ -1,0 +1,278 @@
+//! Heartbeat-based failure detection.
+//!
+//! A simplified phi-accrual detector (Hayashibara et al.): every site
+//! streams heartbeats towards the controller; the detector tracks a
+//! smoothed inter-arrival estimate per site and scores the current
+//! silence as `phi = silence / expected_interval`. A site whose phi
+//! crosses the configured threshold becomes `Suspected`; at twice the
+//! threshold it is `Confirmed` down and the controller may trigger the
+//! emergency re-assignment path. Any later heartbeat clears the site
+//! back to `Alive`.
+//!
+//! The detector is pure state: it never reads a clock and never draws
+//! randomness, so campaigns are reproducible bit-for-bit.
+
+use std::collections::BTreeMap;
+
+use wasp_netsim::site::SiteId;
+
+/// Health of one monitored site as inferred from heartbeats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SiteHealth {
+    /// Heartbeats are arriving within the expected interval.
+    Alive,
+    /// Silence crossed the phi threshold; not yet acted upon.
+    Suspected {
+        /// Simulated time the suspicion started.
+        since: f64,
+    },
+    /// Silence crossed twice the phi threshold; the controller treats
+    /// the site as failed.
+    Confirmed {
+        /// Simulated time the confirmation happened.
+        since: f64,
+    },
+}
+
+/// A state transition produced by [`FailureDetector::evaluate`] or a
+/// heartbeat arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectorEvent {
+    /// Site crossed the suspicion threshold.
+    Suspected {
+        /// The silent site.
+        site: SiteId,
+        /// When the transition happened (simulated seconds).
+        at: f64,
+        /// Phi score at transition time.
+        phi: f64,
+    },
+    /// Site crossed the confirmation threshold.
+    Confirmed {
+        /// The silent site.
+        site: SiteId,
+        /// When the transition happened (simulated seconds).
+        at: f64,
+        /// How long the site had been silent.
+        silent_s: f64,
+    },
+    /// A heartbeat arrived from a suspected or confirmed site.
+    Cleared {
+        /// The recovered site.
+        site: SiteId,
+        /// When the clearing heartbeat arrived.
+        at: f64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct SiteTrack {
+    last_arrival: f64,
+    /// EWMA of observed heartbeat inter-arrival times.
+    expected_interval: f64,
+    health: SiteHealth,
+}
+
+/// Timeout-with-suspicion failure detector over per-site heartbeats.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    period_s: f64,
+    phi_threshold: f64,
+    sites: BTreeMap<SiteId, SiteTrack>,
+}
+
+/// EWMA weight for the inter-arrival estimate.
+const ALPHA: f64 = 0.2;
+
+impl FailureDetector {
+    /// Build a detector with the configured nominal heartbeat period
+    /// and suspicion threshold.
+    pub fn new(period_s: f64, phi_threshold: f64) -> Self {
+        FailureDetector {
+            period_s: period_s.max(1e-6),
+            phi_threshold: phi_threshold.max(1.0),
+            sites: BTreeMap::new(),
+        }
+    }
+
+    /// Start monitoring a site. The site is considered alive and its
+    /// last arrival is set to `now` so it gets a full grace period.
+    pub fn register(&mut self, site: SiteId, now: f64) {
+        self.sites.entry(site).or_insert(SiteTrack {
+            last_arrival: now,
+            expected_interval: self.period_s,
+            health: SiteHealth::Alive,
+        });
+    }
+
+    /// Record a heartbeat arrival. Returns `Cleared` when the site was
+    /// suspected or confirmed down.
+    pub fn observe(&mut self, site: SiteId, arrived_s: f64) -> Option<DetectorEvent> {
+        let period = self.period_s;
+        let track = self.sites.entry(site).or_insert(SiteTrack {
+            last_arrival: arrived_s,
+            expected_interval: period,
+            health: SiteHealth::Alive,
+        });
+        if arrived_s > track.last_arrival {
+            let gap = arrived_s - track.last_arrival;
+            // Clamp the sample so one long outage does not poison the
+            // estimate and mask the next failure.
+            let sample = gap.clamp(0.5 * period, 4.0 * period);
+            track.expected_interval = (1.0 - ALPHA) * track.expected_interval + ALPHA * sample;
+            track.last_arrival = arrived_s;
+        }
+        let was_down = !matches!(track.health, SiteHealth::Alive);
+        track.health = SiteHealth::Alive;
+        was_down.then_some(DetectorEvent::Cleared {
+            site,
+            at: arrived_s,
+        })
+    }
+
+    /// Phi score for a site at time `now` (0.0 for unknown sites).
+    pub fn phi(&self, site: SiteId, now: f64) -> f64 {
+        match self.sites.get(&site) {
+            Some(track) => (now - track.last_arrival).max(0.0) / track.expected_interval,
+            None => 0.0,
+        }
+    }
+
+    /// Re-score every site at time `now` and return the transitions
+    /// (Alive→Suspected, Suspected→Confirmed) that occurred.
+    pub fn evaluate(&mut self, now: f64) -> Vec<DetectorEvent> {
+        let mut events = Vec::new();
+        for (&site, track) in self.sites.iter_mut() {
+            let silent_s = (now - track.last_arrival).max(0.0);
+            let phi = silent_s / track.expected_interval;
+            match track.health {
+                SiteHealth::Alive if phi >= 2.0 * self.phi_threshold => {
+                    // Jumped both thresholds in one evaluation (e.g. a
+                    // coarse monitor interval): report both edges.
+                    events.push(DetectorEvent::Suspected { site, at: now, phi });
+                    events.push(DetectorEvent::Confirmed {
+                        site,
+                        at: now,
+                        silent_s,
+                    });
+                    track.health = SiteHealth::Confirmed { since: now };
+                }
+                SiteHealth::Alive if phi >= self.phi_threshold => {
+                    events.push(DetectorEvent::Suspected { site, at: now, phi });
+                    track.health = SiteHealth::Suspected { since: now };
+                }
+                SiteHealth::Suspected { .. } if phi >= 2.0 * self.phi_threshold => {
+                    events.push(DetectorEvent::Confirmed {
+                        site,
+                        at: now,
+                        silent_s,
+                    });
+                    track.health = SiteHealth::Confirmed { since: now };
+                }
+                _ => {}
+            }
+        }
+        events
+    }
+
+    /// Current health of a site (`Alive` for unknown sites).
+    pub fn health(&self, site: SiteId) -> SiteHealth {
+        self.sites
+            .get(&site)
+            .map(|t| t.health)
+            .unwrap_or(SiteHealth::Alive)
+    }
+
+    /// Sites currently confirmed down, in site-id order.
+    pub fn confirmed(&self) -> Vec<SiteId> {
+        self.sites
+            .iter()
+            .filter(|(_, t)| matches!(t.health, SiteHealth::Confirmed { .. }))
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Sites currently suspected (but not yet confirmed), in site-id
+    /// order.
+    pub fn suspected(&self) -> Vec<SiteId> {
+        self.sites
+            .iter()
+            .filter(|(_, t)| matches!(t.health, SiteHealth::Suspected { .. }))
+            .map(|(&s, _)| s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: SiteId = SiteId(1);
+
+    fn detector() -> FailureDetector {
+        let mut d = FailureDetector::new(5.0, 3.0);
+        d.register(S, 0.0);
+        d
+    }
+
+    #[test]
+    fn regular_heartbeats_stay_alive() {
+        let mut d = detector();
+        for i in 1..20 {
+            assert!(d.observe(S, i as f64 * 5.0).is_none());
+            assert!(d.evaluate(i as f64 * 5.0 + 1.0).is_empty());
+        }
+        assert_eq!(d.health(S), SiteHealth::Alive);
+        assert!(d.confirmed().is_empty());
+    }
+
+    #[test]
+    fn silence_walks_through_suspected_then_confirmed() {
+        let mut d = detector();
+        d.observe(S, 5.0);
+        // phi = (t - 5) / 5: suspected at >= 20, confirmed at >= 35.
+        assert!(d.evaluate(15.0).is_empty());
+        let ev = d.evaluate(21.0);
+        assert!(matches!(ev.as_slice(), [DetectorEvent::Suspected { .. }]));
+        assert!(d.evaluate(25.0).is_empty(), "no duplicate suspicion");
+        let ev = d.evaluate(40.0);
+        assert!(matches!(ev.as_slice(), [DetectorEvent::Confirmed { .. }]));
+        assert_eq!(d.confirmed(), vec![S]);
+    }
+
+    #[test]
+    fn coarse_evaluation_reports_both_edges() {
+        let mut d = detector();
+        d.observe(S, 5.0);
+        let ev = d.evaluate(100.0);
+        assert_eq!(ev.len(), 2);
+        assert!(matches!(ev[0], DetectorEvent::Suspected { .. }));
+        assert!(matches!(ev[1], DetectorEvent::Confirmed { .. }));
+    }
+
+    #[test]
+    fn heartbeat_clears_confirmed_site() {
+        let mut d = detector();
+        d.observe(S, 5.0);
+        d.evaluate(100.0);
+        assert_eq!(d.confirmed(), vec![S]);
+        let ev = d.observe(S, 101.0);
+        assert!(matches!(ev, Some(DetectorEvent::Cleared { .. })));
+        assert_eq!(d.health(S), SiteHealth::Alive);
+        // The 96 s gap is clamped to 4x the period, so the estimate
+        // stays in a range where the next outage is still detectable.
+        assert!(d.phi(S, 101.0 + 200.0) > 6.0);
+    }
+
+    #[test]
+    fn ewma_adapts_to_observed_cadence() {
+        let mut d = FailureDetector::new(5.0, 3.0);
+        d.register(S, 0.0);
+        // Heartbeats actually arrive every 8 s: the expected interval
+        // drifts upward so phi stays below threshold.
+        for i in 1..50 {
+            d.observe(S, i as f64 * 8.0);
+        }
+        assert!(d.phi(S, 49.0 * 8.0 + 8.0) < 3.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Fallible control plane for the WASP reproduction.
+//!
+//! The paper's §8.6 failure-reaction experiments assume the controller
+//! *knows* a site is down and can reconfigure instantly. This crate
+//! models the opposite: control messages (heartbeats, reconfiguration
+//! commands, acks) cross the same unreliable WAN as the data, so the
+//! controller must *infer* failures from missing heartbeats and must
+//! retry commands that the network dropped.
+//!
+//! The crate is deliberately engine-agnostic: it holds the pure state
+//! machines (failure detector, retry queue, command envelopes) while
+//! `wasp-streamsim` owns the in-flight message simulation and
+//! `wasp-core` owns the controller-side wiring.
+//!
+//! Everything here is deterministic: no wall clock, no RNG. Timestamps
+//! are simulated seconds supplied by the caller.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod config;
+pub mod detector;
+pub mod retry;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::channel::{AckOutcome, CommandAck, CommandEnvelope, HeartbeatArrival};
+    pub use crate::config::{ControlPlaneConfig, LossyControlConfig};
+    pub use crate::detector::{DetectorEvent, FailureDetector, SiteHealth};
+    pub use crate::retry::{RetryDecision, RetryPolicy, RetryQueue};
+}
+
+pub use channel::{AckOutcome, CommandAck, CommandEnvelope, HeartbeatArrival};
+pub use config::{ControlPlaneConfig, LossyControlConfig};
+pub use detector::{DetectorEvent, FailureDetector, SiteHealth};
+pub use retry::{RetryDecision, RetryPolicy, RetryQueue};

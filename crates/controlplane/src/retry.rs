@@ -1,0 +1,256 @@
+//! Per-command retry state machine.
+//!
+//! Generalizes the controller's emergency exponential backoff (one
+//! global gate) into an independent retry track per in-flight command:
+//! each tracked command has its own attempt counter and deadline, the
+//! backoff doubles on every nack/timeout, and the command is abandoned
+//! after `max_attempts` deliveries.
+
+use std::collections::BTreeMap;
+
+use crate::channel::CommandEnvelope;
+
+/// Retry parameters. Defaults mirror the emergency backoff constants
+/// in `wasp-core` (5 s initial, 320 s cap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Seconds to wait for an ack before re-sending.
+    pub ack_timeout_s: f64,
+    /// First backoff delay applied after a failure.
+    pub backoff_initial_s: f64,
+    /// Backoff cap.
+    pub backoff_max_s: f64,
+    /// Total delivery attempts (including the first) before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            ack_timeout_s: 30.0,
+            backoff_initial_s: 5.0,
+            backoff_max_s: 320.0,
+            max_attempts: 8,
+        }
+    }
+}
+
+/// One tracked in-flight command.
+#[derive(Debug, Clone)]
+struct Track<C> {
+    env: CommandEnvelope<C>,
+    attempts: u32,
+    backoff_s: f64,
+    deadline_s: f64,
+}
+
+/// What [`RetryQueue::poll`] decided about the commands due at `now`.
+#[derive(Debug, Clone)]
+pub struct RetryDecision<C> {
+    /// Commands to re-send now (attempt counter already advanced,
+    /// `sent_s` already stamped). The `u32` is the new attempt number.
+    pub retry: Vec<(CommandEnvelope<C>, u32)>,
+    /// Commands abandoned after exhausting `max_attempts`. The `u32`
+    /// is the total number of attempts made.
+    pub expired: Vec<(CommandEnvelope<C>, u32)>,
+}
+
+/// Tracks every unacked command and schedules re-sends.
+#[derive(Debug, Clone)]
+pub struct RetryQueue<C> {
+    policy: RetryPolicy,
+    tracks: BTreeMap<u64, Track<C>>,
+}
+
+impl<C: Clone> RetryQueue<C> {
+    /// Build an empty queue with the given policy.
+    pub fn new(policy: RetryPolicy) -> Self {
+        RetryQueue {
+            policy,
+            tracks: BTreeMap::new(),
+        }
+    }
+
+    /// Start tracking a freshly submitted command (attempt 1).
+    pub fn track(&mut self, env: CommandEnvelope<C>, now: f64) {
+        let deadline = now + self.policy.ack_timeout_s;
+        self.tracks.insert(
+            env.id,
+            Track {
+                env,
+                attempts: 1,
+                backoff_s: self.policy.backoff_initial_s,
+                deadline_s: deadline,
+            },
+        );
+    }
+
+    /// A final ack arrived: stop tracking. Returns the envelope if it
+    /// was still tracked.
+    pub fn resolve(&mut self, id: u64) -> Option<CommandEnvelope<C>> {
+        self.tracks.remove(&id).map(|t| t.env)
+    }
+
+    /// A non-final (rejection) ack arrived: double the backoff and
+    /// bring the retry deadline forward to `now + backoff` so the
+    /// command is re-sent on the backoff schedule rather than waiting
+    /// out the full ack timeout.
+    pub fn nack(&mut self, id: u64, now: f64) {
+        let max = self.policy.backoff_max_s;
+        if let Some(t) = self.tracks.get_mut(&id) {
+            t.deadline_s = now + t.backoff_s;
+            t.backoff_s = (t.backoff_s * 2.0).min(max);
+        }
+    }
+
+    /// Collect the commands whose deadline passed: ones with attempts
+    /// left are returned for re-send (deadline pushed out by
+    /// `max(ack_timeout, backoff)`), the rest are expired.
+    pub fn poll(&mut self, now: f64) -> RetryDecision<C> {
+        let mut decision = RetryDecision {
+            retry: Vec::new(),
+            expired: Vec::new(),
+        };
+        let due: Vec<u64> = self
+            .tracks
+            .iter()
+            .filter(|(_, t)| t.deadline_s <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            let track = self.tracks.get_mut(&id).expect("due id present");
+            if track.attempts >= self.policy.max_attempts {
+                let t = self.tracks.remove(&id).expect("due id present");
+                decision.expired.push((t.env, t.attempts));
+                continue;
+            }
+            track.attempts += 1;
+            track.env.sent_s = now;
+            track.deadline_s = now + self.policy.ack_timeout_s.max(track.backoff_s);
+            track.backoff_s = (track.backoff_s * 2.0).min(self.policy.backoff_max_s);
+            decision.retry.push((track.env.clone(), track.attempts));
+        }
+        decision
+    }
+
+    /// Envelopes currently awaiting an ack, in id order.
+    pub fn pending(&self) -> impl Iterator<Item = &CommandEnvelope<C>> {
+        self.tracks.values().map(|t| &t.env)
+    }
+
+    /// Number of commands awaiting an ack.
+    pub fn len(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+
+    /// Stop tracking a command without resolving it (e.g. its premise
+    /// no longer holds after a plan switch).
+    pub fn abandon(&mut self, id: u64) -> Option<CommandEnvelope<C>> {
+        self.tracks.remove(&id).map(|t| t.env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(id: u64) -> CommandEnvelope<&'static str> {
+        CommandEnvelope {
+            id,
+            epoch: 1,
+            plan_version: 0,
+            label: "test".into(),
+            sent_s: 0.0,
+            payload: "cmd",
+        }
+    }
+
+    fn queue() -> RetryQueue<&'static str> {
+        RetryQueue::new(RetryPolicy {
+            ack_timeout_s: 30.0,
+            backoff_initial_s: 5.0,
+            backoff_max_s: 320.0,
+            max_attempts: 3,
+        })
+    }
+
+    #[test]
+    fn ack_before_timeout_resolves() {
+        let mut q = queue();
+        q.track(env(1), 0.0);
+        assert_eq!(q.len(), 1);
+        assert!(q.resolve(1).is_some());
+        let d = q.poll(1000.0);
+        assert!(d.retry.is_empty() && d.expired.is_empty());
+    }
+
+    #[test]
+    fn timeout_triggers_retry_then_expiry() {
+        let mut q = queue();
+        q.track(env(1), 0.0);
+        assert!(q.poll(29.0).retry.is_empty(), "not yet due");
+        let d = q.poll(30.0);
+        assert_eq!(d.retry.len(), 1);
+        assert_eq!(d.retry[0].1, 2);
+        assert_eq!(d.retry[0].0.sent_s, 30.0);
+        let d = q.poll(60.0);
+        assert_eq!(d.retry.len(), 1);
+        assert_eq!(d.retry[0].1, 3);
+        // Attempts exhausted: the next deadline expires the command.
+        let d = q.poll(90.0);
+        assert!(d.retry.is_empty());
+        assert_eq!(d.expired.len(), 1);
+        assert_eq!(d.expired[0].1, 3);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn nack_reschedules_on_backoff_and_doubles() {
+        let mut q = queue();
+        q.track(env(1), 0.0);
+        q.nack(1, 10.0);
+        // Backoff was 5 s: due at 15, well before the 30 s ack timeout.
+        let d = q.poll(15.0);
+        assert_eq!(d.retry.len(), 1);
+        q.nack(1, 16.0);
+        // Backoff doubled twice (retry + nack): now 20 s, due at 36.
+        assert!(q.poll(35.0).retry.is_empty());
+        let d = q.poll(36.0);
+        assert_eq!(d.retry.len(), 1);
+        assert_eq!(d.retry[0].1, 3);
+    }
+
+    #[test]
+    fn backoff_caps_at_max() {
+        let mut q = RetryQueue::new(RetryPolicy {
+            ack_timeout_s: 1.0,
+            backoff_initial_s: 5.0,
+            backoff_max_s: 20.0,
+            max_attempts: 100,
+        });
+        q.track(env(1), 0.0);
+        let mut now = 0.0;
+        for _ in 0..10 {
+            now += 1000.0;
+            let d = q.poll(now);
+            assert_eq!(d.retry.len(), 1);
+        }
+        // Deadline spacing is bounded by max(ack_timeout, backoff cap).
+        let d = q.poll(now + 20.0);
+        assert_eq!(d.retry.len(), 1);
+    }
+
+    #[test]
+    fn abandon_drops_tracking() {
+        let mut q = queue();
+        q.track(env(4), 0.0);
+        assert!(q.abandon(4).is_some());
+        assert!(q.poll(1000.0).retry.is_empty());
+        assert!(q.is_empty());
+    }
+}

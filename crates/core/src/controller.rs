@@ -11,13 +11,17 @@
 //! * [`DegradeController`] — drops late events against an SLO instead
 //!   of adapting (the degradation baseline).
 
+use crate::controlplane::{ControlPlaneMetrics, ControlPlaneStats, LossyControl, TruthOutage};
 use crate::diagnose::{diagnose_with_history, DiagnosisConfig, Health};
 use crate::estimator::WorkloadEstimate;
-use crate::policy::{Policy, PolicyConfig};
+use crate::policy::{Action, Policy, PolicyConfig};
 use crate::replanner::{GenericReplanner, QueryReplanner};
+use wasp_controlplane::channel::{AckOutcome, CommandEnvelope};
+use wasp_controlplane::config::ControlPlaneConfig;
+use wasp_controlplane::detector::DetectorEvent;
 use wasp_metrics::{Counter, Gauge, Histogram, MetricsHub};
 use wasp_streamsim::engine::{Command, Engine};
-use wasp_streamsim::metrics::FailureEvent;
+use wasp_streamsim::metrics::{FailureEvent, QuerySnapshot};
 use wasp_telemetry::{Event as TelEvent, RejectReason, Telemetry};
 
 /// A reconfiguration manager driven by monitoring rounds.
@@ -183,6 +187,11 @@ pub struct WaspController {
     /// Site failures observed but not yet resolved by a successful
     /// emergency action or a restoration: `(site, observed_at_s)`.
     pending_failures: Vec<(wasp_netsim::site::SiteId, f64)>,
+    /// Lossy-control-plane state (`None` in oracle mode, the default).
+    lossy: Option<LossyControl>,
+    /// Hub retained so the control-plane instruments can be resolved
+    /// lazily on the first lossy round, whatever the builder order.
+    hub: MetricsHub,
 }
 
 /// Initial emergency-retry backoff; shorter than a monitoring
@@ -233,6 +242,8 @@ impl WaspController {
             tel: Telemetry::disabled(),
             cm: None,
             pending_failures: Vec::new(),
+            lossy: None,
+            hub: MetricsHub::disabled(),
         }
     }
 
@@ -251,7 +262,40 @@ impl WaspController {
     /// histogram. A disabled hub registers nothing and costs nothing.
     pub fn with_metrics(mut self, hub: MetricsHub) -> WaspController {
         self.cm = hub.is_enabled().then(|| ControllerMetrics::build(&hub));
+        self.hub = hub;
         self
+    }
+
+    /// Selects the control-plane mode. [`ControlPlaneConfig::Oracle`]
+    /// (the default) leaves the controller reading truth failure state
+    /// from snapshots and applying commands synchronously — the exact
+    /// pre-control-plane behaviour. [`ControlPlaneConfig::Lossy`]
+    /// switches the controller to heartbeat-based failure detection
+    /// and fenced, retried command submission; the paired engine must
+    /// have [`Engine::enable_lossy_control`] called with the same
+    /// config.
+    pub fn with_control_plane(mut self, cfg: ControlPlaneConfig) -> WaspController {
+        self.lossy = match cfg {
+            ControlPlaneConfig::Oracle => None,
+            ControlPlaneConfig::Lossy(lossy_cfg) => Some(LossyControl::new(lossy_cfg)),
+        };
+        self
+    }
+
+    /// Detector-accuracy and command-channel counters for the lossy
+    /// control plane (`None` in oracle mode).
+    pub fn control_stats(&self) -> Option<&ControlPlaneStats> {
+        self.lossy.as_ref().map(|l| &l.stats)
+    }
+
+    /// The controller's current fencing epoch (`None` in oracle mode).
+    pub fn control_epoch(&self) -> Option<u64> {
+        self.lossy.as_ref().map(|l| l.epoch)
+    }
+
+    /// The lossy-control-plane knobs in force (`None` in oracle mode).
+    pub fn control_config(&self) -> Option<&wasp_controlplane::config::LossyControlConfig> {
+        self.lossy.as_ref().map(|l| &l.cfg)
     }
 
     /// Enables automatic α tuning: quick re-adaptations lower α (more
@@ -437,6 +481,328 @@ impl WaspController {
             self.emergency_backoff_s = EMERGENCY_BACKOFF_INITIAL_S;
         }
     }
+
+    /// Drops cooldown entries that expired or whose operator is no
+    /// longer in the active plan (a plan switch renumbers operators),
+    /// so the map cannot grow without bound across re-plans and a
+    /// stale entry cannot block an unrelated operator of the new plan.
+    fn prune_emergency_cooldowns(&mut self, now: f64, plan_len: usize) {
+        self.emergency_cooldowns
+            .retain(|op, until| *until > now && op.index() < plan_len);
+    }
+
+    /// First-round setup of the lossy control plane: registers every
+    /// site at the detector (heartbeats have been flowing since t=0)
+    /// and resolves metric instruments if a hub is attached.
+    fn ensure_lossy_init(&mut self, engine: &Engine) {
+        let lossy = self.lossy.as_mut().expect("lossy mode");
+        if lossy.initialized {
+            return;
+        }
+        lossy.initialized = true;
+        for site in engine.network().topology().site_ids() {
+            lossy.detector.register(site, 0.0);
+        }
+        if self.hub.is_enabled() && lossy.cpm.is_none() {
+            lossy.cpm = Some(ControlPlaneMetrics::build(&self.hub));
+        }
+    }
+
+    /// Wraps an action into a fenced envelope, hands it to the lossy
+    /// channel, and starts tracking it for ack-timeout retries.
+    fn dispatch_lossy(&mut self, engine: &mut Engine, action: Action, now: f64) {
+        let plan_version = engine.plan_version();
+        let lossy = self.lossy.as_mut().expect("lossy mode");
+        let env = CommandEnvelope {
+            id: lossy.next_id,
+            epoch: lossy.epoch,
+            plan_version,
+            label: action.label,
+            sent_s: now,
+            payload: action.command,
+        };
+        lossy.next_id += 1;
+        lossy.stats.enqueued += 1;
+        self.tel.emit(now, || TelEvent::ControlCommandEnqueued {
+            id: env.id,
+            label: env.label.clone(),
+            epoch: env.epoch,
+            plan_version: env.plan_version,
+        });
+        lossy.retry.track(env.clone(), now);
+        engine.submit(env);
+    }
+
+    /// Processes the acks that survived the trip back: resolves or
+    /// re-arms retry tracks and attributes applied commands to the
+    /// emergency/normal action counters.
+    fn process_acks(&mut self, acks: Vec<wasp_controlplane::channel::CommandAck>, now: f64) {
+        for ack in acks {
+            let rtt = (now - ack.submitted_s).max(0.0);
+            self.tel.emit(now, || TelEvent::ControlAckReceived {
+                id: ack.id,
+                label: ack.label.clone(),
+                applied: ack.outcome.applied(),
+                rtt_s: rtt,
+            });
+            let lossy = self.lossy.as_mut().expect("lossy mode");
+            if let Some(cpm) = &lossy.cpm {
+                cpm.command_rtt.observe(rtt, 1.0);
+            }
+            match &ack.outcome {
+                AckOutcome::Applied => {
+                    lossy.stats.acked_applied += 1;
+                    lossy.retry.resolve(ack.id);
+                    if let Some(cm) = &self.cm {
+                        if ack.label.starts_with("emergency") {
+                            cm.emergency_actions.inc();
+                            // One applied emergency command re-routes
+                            // around every confirmed site at once.
+                            for (_, down_at) in self.pending_failures.drain(..) {
+                                cm.adaptation_lag.observe((now - down_at).max(0.0), 1.0);
+                            }
+                        } else {
+                            cm.actions.inc();
+                        }
+                    }
+                }
+                // Stale and duplicate outcomes are final: the plan the
+                // command belonged to has been superseded, or the
+                // command already took effect on an earlier delivery.
+                AckOutcome::Duplicate | AckOutcome::Stale { .. } => {
+                    lossy.retry.resolve(ack.id);
+                }
+                // A domain rejection (site gone, mid-transition, …) is
+                // retried with backoff: the condition may clear.
+                AckOutcome::Rejected { .. } => {
+                    lossy.retry.nack(ack.id, now);
+                }
+            }
+        }
+    }
+
+    /// Re-sends commands whose ack timed out; abandons commands whose
+    /// retry budget ran out or whose plan has been superseded.
+    fn poll_retries(&mut self, engine: &mut Engine, now: f64) {
+        let plan_version = engine.plan_version();
+        let lossy = self.lossy.as_mut().expect("lossy mode");
+        let decision = lossy.retry.poll(now);
+        for (env, attempts) in decision.expired {
+            lossy.stats.gave_up += 1;
+            if let Some(cpm) = &lossy.cpm {
+                cpm.gave_up.inc();
+            }
+            self.tel.emit(now, || TelEvent::ControlGaveUp {
+                id: env.id,
+                label: env.label.clone(),
+                attempts,
+                reason: "retry budget exhausted".into(),
+            });
+        }
+        for (env, attempt) in decision.retry {
+            if env.plan_version != plan_version {
+                // The plan moved on since this command was decided;
+                // re-sending it would only be fenced or mis-applied.
+                lossy.retry.abandon(env.id);
+                lossy.stats.gave_up += 1;
+                if let Some(cpm) = &lossy.cpm {
+                    cpm.gave_up.inc();
+                }
+                self.tel.emit(now, || TelEvent::ControlGaveUp {
+                    id: env.id,
+                    label: env.label.clone(),
+                    attempts: attempt,
+                    reason: "plan changed since submission".into(),
+                });
+                continue;
+            }
+            lossy.stats.retries += 1;
+            if let Some(cpm) = &lossy.cpm {
+                cpm.retries.inc();
+            }
+            self.tel.emit(now, || TelEvent::ControlRetry {
+                id: env.id,
+                label: env.label.clone(),
+                attempt,
+            });
+            engine.submit(env);
+        }
+    }
+
+    /// The emergency path driven by *detector* verdicts instead of
+    /// truth state. No global backoff gate: the per-command retry
+    /// machinery owns re-sends, and the per-operator cooldown (started
+    /// at enqueue time) stops new decisions from bouncing an operator
+    /// while its first command is still in flight.
+    fn handle_failures_lossy(&mut self, engine: &mut Engine, view: &QuerySnapshot) {
+        let now = engine.now().secs();
+        let plan = engine.plan().clone();
+        self.policy.observe(&plan, view);
+        let est = WorkloadEstimate::from_snapshot(&plan, view);
+        let actions =
+            self.policy
+                .emergency_actions(&plan, view, &est, engine.network(), engine.now());
+        for (op, action) in actions {
+            let cooled_until = self.emergency_cooldowns.get(&op).copied().unwrap_or(0.0);
+            if now < cooled_until {
+                self.tel.emit(now, || TelEvent::CandidateRejected {
+                    action: "emergency re-assign".into(),
+                    op: Some(op.0),
+                    reason: RejectReason::CooldownActive {
+                        until_s: cooled_until,
+                    },
+                });
+                continue;
+            }
+            self.emergency_cooldowns
+                .insert(op, now + self.policy.config().emergency_cooldown_s);
+            self.dispatch_lossy(engine, action, now);
+        }
+    }
+
+    /// One lossy monitoring round: drain the control channel, feed the
+    /// detector, score it against truth (measurement only), settle
+    /// acks and retries, then decide on the *detector's* view of the
+    /// world — `snap.failed_sites` and the oracle failure events are
+    /// never consulted for decisions.
+    fn on_monitor_lossy(&mut self, engine: &mut Engine) {
+        let tel = self.tel.clone();
+        let now = engine.now().secs();
+        let round = tel.span_begin(now, "monitor-round");
+        self.prune_emergency_cooldowns(now, engine.plan().len());
+        self.ensure_lossy_init(engine);
+        // A fresh epoch per round: anything still in flight from an
+        // earlier round is stale the moment this round decides.
+        self.lossy.as_mut().expect("lossy mode").epoch += 1;
+        let (heartbeats, acks) = engine.drain_control();
+        for hb in heartbeats {
+            let cleared = self
+                .lossy
+                .as_mut()
+                .expect("lossy mode")
+                .detector
+                .observe(hb.site, hb.arrived_s);
+            if let Some(DetectorEvent::Cleared { site, .. }) = cleared {
+                let name = engine.network().topology().site(site).name().to_string();
+                tel.emit(now, || TelEvent::SiteCleared {
+                    site: site.0 as u32,
+                    name,
+                });
+            }
+        }
+        let snap = engine.snapshot();
+        self.observe_round_metrics(engine, &snap);
+        {
+            let lossy = self.lossy.as_mut().expect("lossy mode");
+            // Truth ledger first, so a failure confirmed in the same
+            // round it happened is scored as a true confirmation.
+            for ev in &snap.events {
+                match ev {
+                    FailureEvent::SiteDown { site, at } => {
+                        lossy.truth_down.entry(*site).or_insert(TruthOutage {
+                            down_at: at.secs(),
+                            confirmed: false,
+                        });
+                    }
+                    FailureEvent::SiteRestored { site, .. } => {
+                        if let Some(outage) = lossy.truth_down.remove(site) {
+                            if !outage.confirmed {
+                                lossy.stats.false_negatives += 1;
+                                if let Some(cpm) = &lossy.cpm {
+                                    cpm.false_negatives.inc();
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for dev in lossy.detector.evaluate(now) {
+                match dev {
+                    DetectorEvent::Suspected { site, phi, .. } => {
+                        let name = engine.network().topology().site(site).name().to_string();
+                        tel.emit(now, || TelEvent::SiteSuspected {
+                            site: site.0 as u32,
+                            name,
+                            phi,
+                        });
+                    }
+                    DetectorEvent::Confirmed { site, silent_s, .. } => {
+                        let name = engine.network().topology().site(site).name().to_string();
+                        tel.emit(now, || TelEvent::SiteConfirmedDown {
+                            site: site.0 as u32,
+                            name,
+                            silent_s,
+                        });
+                        match lossy.truth_down.get_mut(&site) {
+                            Some(outage) if !outage.confirmed => {
+                                outage.confirmed = true;
+                                let lag = (now - outage.down_at).max(0.0);
+                                lossy.stats.true_confirmations += 1;
+                                lossy.stats.detection_lags_s.push(lag);
+                                if let Some(cpm) = &lossy.cpm {
+                                    cpm.detector_lag.observe(lag, 1.0);
+                                }
+                            }
+                            Some(_) => {}
+                            None => {
+                                lossy.stats.false_positives += 1;
+                                if let Some(cpm) = &lossy.cpm {
+                                    cpm.false_positives.inc();
+                                }
+                            }
+                        }
+                    }
+                    DetectorEvent::Cleared { .. } => {}
+                }
+            }
+        }
+        self.process_acks(acks, now);
+        self.poll_retries(engine, now);
+        let confirmed = self
+            .lossy
+            .as_ref()
+            .expect("lossy mode")
+            .detector
+            .confirmed();
+        if !confirmed.is_empty() {
+            let emergency = tel.span_begin(now, "emergency-round");
+            let view = lossy_view(&snap, &confirmed);
+            self.handle_failures_lossy(engine, &view);
+            tel.span_end(now, emergency);
+            tel.span_end(now, round);
+            return;
+        }
+        if engine.in_transition() {
+            tel.emit(now, || TelEvent::NoActionTaken {
+                reason: "mid-transition: rates and slots not stable".into(),
+            });
+            tel.span_end(now, round);
+            return;
+        }
+        let view = lossy_view(&snap, &confirmed);
+        self.normal_round(engine, &view, &tel, now);
+        tel.span_end(now, round);
+    }
+}
+
+/// The snapshot as the lossy controller is allowed to see it: failure
+/// state comes from the detector, failed sites offer no slots, and the
+/// oracle failure events are stripped (they remain visible to the
+/// *measurement* ledgers, which read the original snapshot).
+fn lossy_view(snap: &QuerySnapshot, confirmed: &[wasp_netsim::site::SiteId]) -> QuerySnapshot {
+    let mut view = snap.clone();
+    view.failed_sites = confirmed.to_vec();
+    for site in confirmed {
+        view.free_slots.insert(*site, 0);
+    }
+    view.events.retain(|ev| {
+        !matches!(
+            ev,
+            FailureEvent::SiteDown { .. } | FailureEvent::SiteRestored { .. }
+        )
+    });
+    view
 }
 
 impl Controller for WaspController {
@@ -445,9 +811,16 @@ impl Controller for WaspController {
     }
 
     fn on_monitor(&mut self, engine: &mut Engine) {
+        // Lossy control plane: failure knowledge comes from heartbeat
+        // silence and commands go over the fenced, retried channel.
+        if self.lossy.is_some() {
+            self.on_monitor_lossy(engine);
+            return;
+        }
         let tel = self.tel.clone();
         let now = engine.now().secs();
         let round = tel.span_begin(now, "monitor-round");
+        self.prune_emergency_cooldowns(now, engine.plan().len());
         let snap = engine.snapshot();
         self.observe_round_metrics(engine, &snap);
         // Failure-reactive path: tasks on a dead site process nothing,
@@ -470,6 +843,24 @@ impl Controller for WaspController {
             tel.span_end(now, round);
             return;
         }
+        self.normal_round(engine, &snap, &tel, now);
+        tel.span_end(now, round);
+    }
+}
+
+impl WaspController {
+    /// The bottleneck-driven decision round shared by both control
+    /// planes (diagnosis → decision → apply/dispatch → α tuning →
+    /// periodic re-plan). Only the command path differs: oracle mode
+    /// applies synchronously, lossy mode enqueues a fenced envelope.
+    fn normal_round(
+        &mut self,
+        engine: &mut Engine,
+        snap: &QuerySnapshot,
+        tel: &Telemetry,
+        now: f64,
+    ) {
+        let snap = snap.clone();
         let plan = engine.plan().clone();
         self.policy.observe(&plan, &snap);
         let est = WorkloadEstimate::from_snapshot(&plan, &snap);
@@ -551,22 +942,26 @@ impl Controller for WaspController {
         let acted = action.is_some();
         if let Some(action) = action {
             let apply_span = tel.span_begin(now, "apply");
-            match engine.apply(action.command) {
-                Ok(()) => {
-                    if let Some(cm) = &self.cm {
-                        cm.actions.inc();
+            if self.lossy.is_some() {
+                self.dispatch_lossy(engine, action, now);
+            } else {
+                match engine.apply(action.command) {
+                    Ok(()) => {
+                        if let Some(cm) = &self.cm {
+                            cm.actions.inc();
+                        }
+                        tel.emit(now, || TelEvent::CommandApplied {
+                            label: action.label.clone(),
+                        });
+                        engine.annotate(action.label);
                     }
-                    tel.emit(now, || TelEvent::CommandApplied {
-                        label: action.label.clone(),
-                    });
-                    engine.annotate(action.label);
-                }
-                Err(err) => {
-                    tel.emit(now, || TelEvent::CommandFailed {
-                        label: action.label.clone(),
-                        error: err.to_string(),
-                    });
-                    engine.annotate(format!("{} failed: {err}", action.label));
+                    Err(err) => {
+                        tel.emit(now, || TelEvent::CommandFailed {
+                            label: action.label.clone(),
+                            error: err.to_string(),
+                        });
+                        engine.annotate(format!("{} failed: {err}", action.label));
+                    }
                 }
             }
             tel.span_end(now, apply_span);
@@ -576,7 +971,6 @@ impl Controller for WaspController {
             self.policy.set_alpha(alpha);
         }
         if acted {
-            tel.span_end(now, round);
             return;
         }
         // Long-term dynamics: periodically re-evaluate the plan in the
@@ -594,28 +988,35 @@ impl Controller for WaspController {
                     engine.now(),
                     self.policy.config(),
                 ) {
-                    match engine.apply(Command::SwitchPlan(Box::new(switch))) {
-                        Ok(()) => {
-                            if let Some(cm) = &self.cm {
-                                cm.actions.inc();
+                    if self.lossy.is_some() {
+                        let action = Action {
+                            label: "periodic re-plan".into(),
+                            command: Command::SwitchPlan(Box::new(switch)),
+                        };
+                        self.dispatch_lossy(engine, action, now);
+                    } else {
+                        match engine.apply(Command::SwitchPlan(Box::new(switch))) {
+                            Ok(()) => {
+                                if let Some(cm) = &self.cm {
+                                    cm.actions.inc();
+                                }
+                                tel.emit(now, || TelEvent::CommandApplied {
+                                    label: "periodic re-plan".into(),
+                                });
+                                engine.annotate("periodic re-plan");
                             }
-                            tel.emit(now, || TelEvent::CommandApplied {
-                                label: "periodic re-plan".into(),
-                            });
-                            engine.annotate("periodic re-plan");
-                        }
-                        Err(err) => {
-                            tel.emit(now, || TelEvent::CommandFailed {
-                                label: "periodic re-plan".into(),
-                                error: err.to_string(),
-                            });
-                            engine.annotate(format!("periodic re-plan failed: {err}"));
+                            Err(err) => {
+                                tel.emit(now, || TelEvent::CommandFailed {
+                                    label: "periodic re-plan".into(),
+                                    error: err.to_string(),
+                                });
+                                engine.annotate(format!("periodic re-plan failed: {err}"));
+                            }
                         }
                     }
                 }
             }
         }
-        tel.span_end(now, round);
     }
 }
 
@@ -821,5 +1222,109 @@ mod tests {
         assert_eq!(WaspController::reassign_only().name(), "Re-assign");
         assert_eq!(WaspController::scale_only().name(), "Scale");
         assert_eq!(WaspController::replan_only().name(), "Re-plan");
+    }
+
+    #[test]
+    fn cooldowns_for_operators_outside_the_plan_are_pruned() {
+        // After a plan switch the operator space is renumbered: any
+        // cooldown for an op index beyond the new plan must go, as
+        // must entries that simply expired.
+        let mut wasp = WaspController::new(PolicyConfig::default());
+        wasp.emergency_cooldowns.insert(OpId(1), 500.0); // live, in plan
+        wasp.emergency_cooldowns.insert(OpId(2), 100.0); // expired
+        wasp.emergency_cooldowns.insert(OpId(7), 1e9); // dropped by re-plan
+        wasp.prune_emergency_cooldowns(200.0, 3);
+        assert_eq!(
+            wasp.emergency_cooldowns.keys().copied().collect::<Vec<_>>(),
+            vec![OpId(1)]
+        );
+    }
+
+    #[test]
+    fn emergency_backoff_resets_after_successful_emergency_apply() {
+        // dc1 hosts the whole pipeline and dies at t=100; the
+        // controller enters the round with an inflated backoff (as if
+        // earlier recovery attempts had failed) that has already
+        // elapsed, so the round both attempts and succeeds — and the
+        // success must reset the backoff to its initial value.
+        let (net, edge, dc1, dc2) = three_site_world(50.0);
+        let script = DynamicsScript::none().with_failure(wasp_netsim::dynamics::Failure {
+            at: wasp_netsim::units::SimTime(100.0),
+            restore_after: 500.0,
+            site: Some(dc1),
+        });
+        let plan = linear_plan(edge, 1000.0, 5.0, 0.5);
+        let mut eng = engine_with_script(net, plan, dc1, script);
+        let mut wasp = WaspController::new(PolicyConfig::default());
+        wasp.emergency_backoff_s = 160.0;
+        wasp.emergency_next_attempt_s = 60.0; // already elapsed at t=120
+        run_controlled(&mut eng, &mut wasp, 200.0, 40.0);
+        assert!(
+            eng.metrics()
+                .actions()
+                .iter()
+                .any(|(_, l)| l.starts_with("emergency")),
+            "no emergency action applied: {:?}",
+            eng.metrics().actions()
+        );
+        assert_eq!(wasp.emergency_backoff_s, EMERGENCY_BACKOFF_INITIAL_S);
+        let _ = dc2;
+    }
+
+    #[test]
+    fn lossy_controller_detects_failure_via_heartbeats_and_recovers() {
+        use wasp_controlplane::config::LossyControlConfig;
+        // dc1 hosts the pipeline and dies at t=41 for 300 s. No
+        // oracle events reach the controller: it must notice the
+        // heartbeat silence, confirm the outage, and re-assign over
+        // the fenced command channel (lossless here; loss rates are
+        // exercised by the integration campaigns). By the t=80 round
+        // — the first to see the outage at all — the silence is 39 s,
+        // past the 2φ confirmation bar, so the emergency path fires
+        // before the normal path can re-plan around the dead site on
+        // rate evidence alone.
+        let (net, edge, dc1, dc2) = three_site_world(50.0);
+        let script = DynamicsScript::none().with_failure(wasp_netsim::dynamics::Failure {
+            at: wasp_netsim::units::SimTime(41.0),
+            restore_after: 300.0,
+            site: Some(dc1),
+        });
+        let plan = linear_plan(edge, 1000.0, 5.0, 0.5);
+        let mut eng = engine_with_script(net, plan, dc1, script);
+        let cfg = LossyControlConfig {
+            controller_site: Some(dc2),
+            ..LossyControlConfig::default()
+        };
+        eng.enable_lossy_control(cfg.clone());
+        let mut wasp = WaspController::new(PolicyConfig::default())
+            .with_control_plane(ControlPlaneConfig::Lossy(cfg));
+        run_controlled(&mut eng, &mut wasp, 600.0, 40.0);
+        let stats = wasp.control_stats().unwrap().clone();
+        assert!(stats.true_confirmations >= 1, "stats {stats:?}");
+        assert_eq!(stats.false_positives, 0, "stats {stats:?}");
+        assert!(stats.acked_applied >= 1, "stats {stats:?}");
+        assert!(
+            stats.detection_lag_quantile(1.0).unwrap() <= 90.0,
+            "lags {:?}",
+            stats.detection_lags_s
+        );
+        // The emergency re-assignment really reached the engine…
+        assert!(
+            eng.metrics()
+                .actions()
+                .iter()
+                .any(|(_, l)| l.starts_with("emergency")),
+            "actions {:?}",
+            eng.metrics().actions()
+        );
+        // Delivery resumed after recovery.
+        let m = eng.metrics();
+        let del_late: f64 = m
+            .ticks()
+            .iter()
+            .filter(|r| r.t > 500.0)
+            .map(|r| r.delivered)
+            .sum();
+        assert!(del_late > 0.0, "no delivery after recovery");
     }
 }

@@ -1,0 +1,202 @@
+//! Controller-side state for the lossy control plane.
+//!
+//! In oracle mode (the default) the WASP controller reads truth
+//! failure state straight out of the engine snapshot. When a scenario
+//! opts into [`ControlPlaneConfig::Lossy`], the controller instead
+//! runs the machinery in this module:
+//!
+//! * a φ-style [`FailureDetector`] fed only by heartbeats that
+//!   survived the simulated WAN — detection is *inferred*, with
+//!   measurable lag, false positives under partitions and false
+//!   negatives under flapping;
+//! * a [`RetryQueue`] that re-sends unacked commands with exponential
+//!   backoff (the per-command generalization of the oracle path's
+//!   global emergency backoff) and gives up when the plan has moved on;
+//! * a monotonically increasing *controller epoch*, bumped at the
+//!   start of every lossy monitoring round, that fences stale or
+//!   reordered commands at the engine;
+//! * a truth ledger used **only for measurement**: the controller's
+//!   decisions never read it, but detector verdicts are scored
+//!   against it (detection lag, FP/FN counters).
+//!
+//! [`ControlPlaneConfig::Lossy`]: wasp_controlplane::config::ControlPlaneConfig
+
+use std::collections::BTreeMap;
+
+use wasp_controlplane::config::LossyControlConfig;
+use wasp_controlplane::detector::FailureDetector;
+use wasp_controlplane::retry::{RetryPolicy, RetryQueue};
+use wasp_metrics::{Counter, Histogram, MetricsHub};
+use wasp_netsim::site::SiteId;
+use wasp_streamsim::engine::Command;
+
+/// Instrument handles for the controller side of the lossy control
+/// plane (present only when a metrics hub is attached).
+#[derive(Debug)]
+pub(crate) struct ControlPlaneMetrics {
+    /// Truth-failure → detector-confirmation lag.
+    pub(crate) detector_lag: Histogram,
+    /// Confirmations with no matching truth outage.
+    pub(crate) false_positives: Counter,
+    /// Truth outages that healed before the detector confirmed them.
+    pub(crate) false_negatives: Counter,
+    /// Command re-sends after ack timeouts.
+    pub(crate) retries: Counter,
+    /// Commands abandoned (attempts exhausted or plan moved on).
+    pub(crate) gave_up: Counter,
+    /// Controller-observed submit → ack round-trip time.
+    pub(crate) command_rtt: Histogram,
+}
+
+impl ControlPlaneMetrics {
+    pub(crate) fn build(hub: &MetricsHub) -> ControlPlaneMetrics {
+        ControlPlaneMetrics {
+            detector_lag: hub.histogram(
+                "wasp_detector_lag_seconds",
+                "Seconds from a truth site failure to the detector confirming it",
+                &[],
+            ),
+            false_positives: hub.counter(
+                "wasp_detector_false_positives_total",
+                "Detector confirmations of sites that were actually alive",
+                &[],
+            ),
+            false_negatives: hub.counter(
+                "wasp_detector_false_negatives_total",
+                "Truth site outages that healed before the detector confirmed them",
+                &[],
+            ),
+            retries: hub.counter(
+                "wasp_control_retries_total",
+                "Control commands re-sent after an ack timeout",
+                &[],
+            ),
+            gave_up: hub.counter(
+                "wasp_control_gave_up_total",
+                "Control commands abandoned after exhausting retries",
+                &[],
+            ),
+            command_rtt: hub.histogram(
+                "wasp_control_command_rtt_seconds",
+                "Controller-observed round-trip time from submission to ack",
+                &[],
+            ),
+        }
+    }
+}
+
+/// A truth outage being scored against the detector.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TruthOutage {
+    /// Truth failure time (sim seconds).
+    pub(crate) down_at: f64,
+    /// Whether the detector confirmed it before it healed.
+    pub(crate) confirmed: bool,
+}
+
+/// Plain counters mirroring [`ControlPlaneMetrics`], always kept (hub
+/// or not) so tests and reports can read detector accuracy without a
+/// recording hub.
+#[derive(Debug, Default, Clone)]
+pub struct ControlPlaneStats {
+    /// Detector confirmations matching a truth outage.
+    pub true_confirmations: u64,
+    /// Detector confirmations of sites that were actually alive.
+    pub false_positives: u64,
+    /// Truth outages that healed before the detector confirmed them.
+    pub false_negatives: u64,
+    /// Truth-failure → confirmation lags, one per true confirmation.
+    pub detection_lags_s: Vec<f64>,
+    /// Commands handed to the lossy channel (first sends only).
+    pub enqueued: u64,
+    /// Re-sends after ack timeouts.
+    pub retries: u64,
+    /// Commands abandoned.
+    pub gave_up: u64,
+    /// Acks received with `applied == true`.
+    pub acked_applied: u64,
+}
+
+impl ControlPlaneStats {
+    /// Detection-lag quantile (`q` in `[0, 1]`) over the lags observed
+    /// so far, or `None` before the first true confirmation.
+    pub fn detection_lag_quantile(&self, q: f64) -> Option<f64> {
+        if self.detection_lags_s.is_empty() {
+            return None;
+        }
+        let mut lags = self.detection_lags_s.clone();
+        lags.sort_by(|a, b| a.partial_cmp(b).expect("finite lags"));
+        let idx = ((lags.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        Some(lags[idx])
+    }
+}
+
+/// Everything the controller tracks when driving a lossy control
+/// plane. Absent (`None`) in oracle mode.
+#[derive(Debug)]
+pub(crate) struct LossyControl {
+    pub(crate) cfg: LossyControlConfig,
+    pub(crate) detector: FailureDetector,
+    pub(crate) retry: RetryQueue<Command>,
+    /// Controller epoch; bumped at the start of every lossy round so
+    /// commands from earlier rounds can be fenced at the engine.
+    pub(crate) epoch: u64,
+    /// Next command id.
+    pub(crate) next_id: u64,
+    /// Whether sites have been registered at the detector.
+    pub(crate) initialized: bool,
+    /// Truth outages being scored (measurement only, never decisions).
+    pub(crate) truth_down: BTreeMap<SiteId, TruthOutage>,
+    pub(crate) stats: ControlPlaneStats,
+    pub(crate) cpm: Option<ControlPlaneMetrics>,
+}
+
+impl LossyControl {
+    pub(crate) fn new(cfg: LossyControlConfig) -> LossyControl {
+        let detector = FailureDetector::new(cfg.heartbeat_period_s, cfg.phi_threshold);
+        let retry = RetryQueue::new(RetryPolicy {
+            ack_timeout_s: cfg.ack_timeout_s,
+            max_attempts: cfg.max_attempts,
+            ..RetryPolicy::default()
+        });
+        LossyControl {
+            cfg,
+            detector,
+            retry,
+            epoch: 0,
+            next_id: 0,
+            initialized: false,
+            truth_down: BTreeMap::new(),
+            stats: ControlPlaneStats::default(),
+            cpm: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_quantile_over_lags() {
+        let mut s = ControlPlaneStats::default();
+        assert_eq!(s.detection_lag_quantile(0.95), None);
+        s.detection_lags_s = vec![50.0, 10.0, 30.0, 20.0, 40.0];
+        assert_eq!(s.detection_lag_quantile(0.0), Some(10.0));
+        assert_eq!(s.detection_lag_quantile(0.5), Some(30.0));
+        assert_eq!(s.detection_lag_quantile(1.0), Some(50.0));
+    }
+
+    #[test]
+    fn lossy_control_adopts_config_knobs() {
+        let cfg = LossyControlConfig {
+            ack_timeout_s: 12.0,
+            max_attempts: 3,
+            ..LossyControlConfig::default()
+        };
+        let lc = LossyControl::new(cfg);
+        assert_eq!(lc.epoch, 0);
+        assert!(lc.retry.is_empty());
+        assert!(!lc.initialized);
+    }
+}

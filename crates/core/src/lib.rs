@@ -48,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod controller;
+pub mod controlplane;
 pub mod diagnose;
 pub mod estimator;
 pub mod policy;
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use crate::controller::{
         run_controlled, Controller, DegradeController, NoAdaptController, WaspController,
     };
+    pub use crate::controlplane::ControlPlaneStats;
     pub use crate::diagnose::{diagnose, Diagnosis, DiagnosisConfig, Health};
     pub use crate::estimator::WorkloadEstimate;
     pub use crate::policy::{Action, Policy, PolicyConfig};
@@ -72,5 +74,6 @@ pub mod prelude {
         scale_down_site,
     };
     pub use crate::tuning::AlphaTuner;
+    pub use wasp_controlplane::config::{ControlPlaneConfig, LossyControlConfig};
     pub use wasp_optimizer::migration::MigrationStrategy;
 }

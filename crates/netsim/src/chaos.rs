@@ -76,6 +76,18 @@ pub enum ChaosEvent {
         /// Compute-speed factor (< 1.0).
         factor: f64,
     },
+    /// Control-plane messages between a pair of sites are dropped;
+    /// the data plane keeps flowing (heartbeats and commands only).
+    ControlPartition {
+        /// One endpoint of the severed pair.
+        a: SiteId,
+        /// The other endpoint (symmetric).
+        b: SiteId,
+        /// Partition start, seconds.
+        at: f64,
+        /// Partition length, seconds.
+        duration_s: f64,
+    },
 }
 
 impl ChaosEvent {
@@ -84,7 +96,8 @@ impl ChaosEvent {
         match self {
             ChaosEvent::SiteCrash { at, .. }
             | ChaosEvent::LinkBlackout { at, .. }
-            | ChaosEvent::Straggler { at, .. } => *at,
+            | ChaosEvent::Straggler { at, .. }
+            | ChaosEvent::ControlPartition { at, .. } => *at,
             ChaosEvent::Flap { outages, .. } => outages.first().map_or(0.0, |&(start, _)| start),
         }
     }
@@ -113,6 +126,14 @@ impl ChaosEvent {
                 duration_s,
                 factor,
             } => format!("site {site} straggles at t={at:.0}s for {duration_s:.0}s (x{factor:.2})"),
+            ChaosEvent::ControlPartition {
+                a,
+                b,
+                at,
+                duration_s,
+            } => format!(
+                "control partition {a}<->{b} at t={at:.0}s for {duration_s:.0}s (data plane intact)"
+            ),
         }
     }
 }
@@ -164,6 +185,22 @@ pub struct ChaosConfig {
     pub straggler_s: (f64, f64),
     /// Compute-factor range of a straggler episode (< 1.0).
     pub straggler_factor: (f64, f64),
+    /// How many control-plane partitions to schedule (heartbeats and
+    /// commands only; the data plane is untouched). Defaults to 0 so
+    /// pre-existing seeded timelines are unchanged — control-plane
+    /// campaigns opt in.
+    #[serde(default)]
+    pub control_partitions: u32,
+    /// Control-partition length range, seconds. A zeroed range (as
+    /// produced by deserializing a config written before this field
+    /// existed) falls back to [`default_control_partition_s`].
+    #[serde(default)]
+    pub control_partition_s: (f64, f64),
+}
+
+/// Default control-partition length range, seconds.
+pub fn default_control_partition_s() -> (f64, f64) {
+    (60.0, 180.0)
 }
 
 impl Default for ChaosConfig {
@@ -184,6 +221,8 @@ impl Default for ChaosConfig {
             stragglers: 1,
             straggler_s: (60.0, 180.0),
             straggler_factor: (0.25, 0.75),
+            control_partitions: 0,
+            control_partition_s: default_control_partition_s(),
         }
     }
 }
@@ -268,8 +307,8 @@ impl ChaosInjector {
             "chaos: site faults requested but no candidate sites"
         );
         assert!(
-            cfg.link_blackouts == 0 || !links.is_empty(),
-            "chaos: link blackouts requested but no candidate links"
+            cfg.link_blackouts + cfg.control_partitions == 0 || !links.is_empty(),
+            "chaos: link faults requested but no candidate links"
         );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut script = base;
@@ -352,6 +391,33 @@ impl ChaosInjector {
             });
         }
 
+        // Control-plane partitions: drawn last so that enabling them
+        // never perturbs the crash/flap/blackout/straggler draws of an
+        // existing seed.
+        let partition_range = if cfg.control_partition_s == (0.0, 0.0) {
+            default_control_partition_s()
+        } else {
+            cfg.control_partition_s
+        };
+        for _ in 0..cfg.control_partitions {
+            let (a, b) = links[rng.gen_range(0..links.len())];
+            let dur = rng.gen_range(partition_range.0..=partition_range.1);
+            let latest = (window_end - dur).max(cfg.quiet_head_s);
+            let at = rng.gen_range(cfg.quiet_head_s..=latest);
+            script = script.with_control_partition(crate::dynamics::ControlPartition {
+                a,
+                b,
+                at: SimTime(at),
+                duration_s: dur,
+            });
+            events.push(ChaosEvent::ControlPartition {
+                a,
+                b,
+                at,
+                duration_s: dur,
+            });
+        }
+
         (script, events)
     }
 }
@@ -429,6 +495,10 @@ mod tests {
                         assert!(at + duration_s <= window_end + 1e-9);
                         assert!(*factor < 1.0);
                     }
+                    ChaosEvent::ControlPartition { at, duration_s, .. } => {
+                        assert!(*at >= cfg.quiet_head_s);
+                        assert!(at + duration_s <= window_end + 1e-9);
+                    }
                 }
             }
         }
@@ -471,8 +541,60 @@ mod tests {
                         (script.compute_factor(*site, SimTime(at + 1.0)) - factor).abs() < 1e-12
                     );
                 }
+                ChaosEvent::ControlPartition { a, b, at, .. } => {
+                    assert!(script.control_partitioned(*a, *b, SimTime(at + 1.0)));
+                }
             }
         }
+    }
+
+    #[test]
+    fn control_partitions_are_seed_deterministic() {
+        let cfg = ChaosConfig {
+            control_partitions: 2,
+            ..ChaosConfig::default()
+        };
+        let a = ChaosInjector::with_config(13, cfg.clone()).compile(
+            DynamicsScript::none(),
+            &sites(),
+            &links(),
+        );
+        let b =
+            ChaosInjector::with_config(13, cfg).compile(DynamicsScript::none(), &sites(), &links());
+        assert_eq!(a.1, b.1, "identical seeds must give identical timelines");
+        assert_eq!(a.0.control_partitions(), b.0.control_partitions());
+        let partitions =
+            a.1.iter()
+                .filter(|e| matches!(e, ChaosEvent::ControlPartition { .. }))
+                .count();
+        assert_eq!(partitions, 2);
+        // The compiled script carries them and the data plane is clean.
+        assert_eq!(a.0.control_partitions().len(), 2);
+        assert_eq!(
+            a.0.link_bandwidth().len(),
+            1,
+            "one blackout from default mix"
+        );
+    }
+
+    #[test]
+    fn enabling_control_partitions_keeps_prior_fault_draws() {
+        // Satellite guarantee: the partition draws are appended after
+        // every other fault class, so a seed's crash/flap/blackout/
+        // straggler timeline is identical with and without them.
+        let without = ChaosInjector::new(7).compile(DynamicsScript::none(), &sites(), &links());
+        let with_cfg = ChaosConfig {
+            control_partitions: 1,
+            ..ChaosConfig::default()
+        };
+        let with = ChaosInjector::with_config(7, with_cfg).compile(
+            DynamicsScript::none(),
+            &sites(),
+            &links(),
+        );
+        assert_eq!(without.1.len() + 1, with.1.len(), "exactly one extra event");
+        assert_eq!(&without.1[..], &with.1[..without.1.len()]);
+        assert_eq!(without.0.failures(), with.0.failures());
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Control-message transport over the simulated WAN.
+//!
+//! Heartbeats, reconfiguration commands and acks are small messages,
+//! so bandwidth is irrelevant — what matters is whether the message
+//! survives (loss, blackouts, control partitions) and when it arrives
+//! (link latency, control-channel delay factor, jitter). The transport
+//! is a pure function of the network state plus a dedicated seeded
+//! RNG, so control-plane campaigns replay exactly.
+
+use crate::dynamics::DynamicsScript;
+use crate::network::Network;
+use crate::site::SiteId;
+use crate::units::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Why a control message was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The random per-message loss draw fired.
+    Loss,
+    /// A scheduled control-plane partition severs the pair.
+    Partition,
+    /// The underlying link is blacked out (no residual bandwidth).
+    Blackout,
+}
+
+impl DropCause {
+    /// Short label for telemetry.
+    pub fn describe(self) -> &'static str {
+        match self {
+            DropCause::Loss => "random loss",
+            DropCause::Partition => "control partition",
+            DropCause::Blackout => "link blackout",
+        }
+    }
+}
+
+/// Routing verdict for one control message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlVerdict {
+    /// The message survives and arrives at `arrive_s`.
+    Deliver {
+        /// Arrival time, simulated seconds.
+        arrive_s: f64,
+    },
+    /// The message is lost.
+    Drop(DropCause),
+}
+
+/// Lossy, delayed point-to-point delivery for control messages.
+#[derive(Debug, Clone)]
+pub struct ControlTransport {
+    loss: f64,
+    delay_factor: f64,
+    rng: StdRng,
+}
+
+impl ControlTransport {
+    /// Build a transport with an independent drop probability per
+    /// message, a latency multiplier for the control channel, and a
+    /// dedicated seed (independent of workload/chaos seeds).
+    pub fn new(loss: f64, delay_factor: f64, seed: u64) -> ControlTransport {
+        ControlTransport {
+            loss: loss.clamp(0.0, 1.0),
+            delay_factor: delay_factor.max(0.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Route one control message from `from` to `to` at time `now_s`.
+    ///
+    /// Checks, in order: local delivery (same site, instantaneous),
+    /// scheduled control partitions, link blackouts (available
+    /// bandwidth ≈ 0), then the random loss draw. Surviving messages
+    /// arrive after `latency × delay_factor × (1 + U[0, 0.5])` — the
+    /// jitter term makes reordering of back-to-back messages possible.
+    ///
+    /// Note: the RNG advances on every non-local send regardless of
+    /// the partition/blackout outcome, so the verdict *sequence* stays
+    /// aligned across scenarios that only differ in scheduled faults.
+    pub fn route(
+        &mut self,
+        net: &Network,
+        script: &DynamicsScript,
+        from: SiteId,
+        to: SiteId,
+        now_s: f64,
+    ) -> ControlVerdict {
+        if from == to {
+            return ControlVerdict::Deliver { arrive_s: now_s };
+        }
+        let loss_draw: f64 = self.rng.gen_range(0.0..1.0);
+        let jitter: f64 = self.rng.gen_range(0.0..1.0);
+        let t = SimTime(now_s);
+        if script.control_partitioned(from, to, t) {
+            return ControlVerdict::Drop(DropCause::Partition);
+        }
+        if net.available(from, to, t).0 < 0.01 {
+            return ControlVerdict::Drop(DropCause::Blackout);
+        }
+        if loss_draw < self.loss {
+            return ControlVerdict::Drop(DropCause::Loss);
+        }
+        let base = net.latency(from, to).secs() * self.delay_factor;
+        ControlVerdict::Deliver {
+            arrive_s: now_s + base * (1.0 + 0.5 * jitter),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::ControlPartition;
+    use crate::site::SiteKind;
+    use crate::topology::TopologyBuilder;
+    use crate::units::{Mbps, Millis};
+
+    fn net() -> (Network, SiteId, SiteId) {
+        let mut tb = TopologyBuilder::new();
+        let a = tb.add_site("a", SiteKind::Edge, 4);
+        let b = tb.add_site("b", SiteKind::DataCenter, 8);
+        tb.set_all_links(Mbps(100.0), Millis(20.0));
+        let topo = tb.build().unwrap();
+        (Network::new(topo), a, b)
+    }
+
+    #[test]
+    fn lossless_transport_delivers_with_latency() {
+        let (net, a, b) = net();
+        let script = DynamicsScript::none();
+        let mut t = ControlTransport::new(0.0, 1.0, 1);
+        match t.route(&net, &script, a, b, 10.0) {
+            ControlVerdict::Deliver { arrive_s } => {
+                assert!(arrive_s >= 10.0 + 0.020, "at least one-way latency");
+                assert!(arrive_s <= 10.0 + 0.030, "at most 1.5x latency");
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_delivery_is_instant_and_lossless() {
+        let (net, a, _) = net();
+        let script = DynamicsScript::none();
+        let mut t = ControlTransport::new(1.0, 1.0, 1);
+        assert_eq!(
+            t.route(&net, &script, a, a, 5.0),
+            ControlVerdict::Deliver { arrive_s: 5.0 }
+        );
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let (net, a, b) = net();
+        let script = DynamicsScript::none();
+        let mut t = ControlTransport::new(1.0, 1.0, 1);
+        for k in 0..50 {
+            assert_eq!(
+                t.route(&net, &script, a, b, k as f64),
+                ControlVerdict::Drop(DropCause::Loss)
+            );
+        }
+    }
+
+    #[test]
+    fn partition_beats_loss_draw() {
+        let (net, a, b) = net();
+        let script = DynamicsScript::none().with_control_partition(ControlPartition {
+            a,
+            b,
+            at: SimTime(0.0),
+            duration_s: 100.0,
+        });
+        let mut t = ControlTransport::new(0.0, 1.0, 1);
+        assert_eq!(
+            t.route(&net, &script, a, b, 50.0),
+            ControlVerdict::Drop(DropCause::Partition)
+        );
+        match t.route(&net, &script, a, b, 150.0) {
+            ControlVerdict::Deliver { .. } => {}
+            other => panic!("partition over, expected delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delay_factor_stretches_arrival() {
+        let (net, a, b) = net();
+        let script = DynamicsScript::none();
+        let mut fast = ControlTransport::new(0.0, 1.0, 9);
+        let mut slow = ControlTransport::new(0.0, 10.0, 9);
+        let f = match fast.route(&net, &script, a, b, 0.0) {
+            ControlVerdict::Deliver { arrive_s } => arrive_s,
+            other => panic!("{other:?}"),
+        };
+        let s = match slow.route(&net, &script, a, b, 0.0) {
+            ControlVerdict::Deliver { arrive_s } => arrive_s,
+            other => panic!("{other:?}"),
+        };
+        assert!((s - 10.0 * f).abs() < 1e-12, "same seed, 10x delay");
+    }
+
+    #[test]
+    fn same_seed_same_verdicts() {
+        let (net, a, b) = net();
+        let script = DynamicsScript::none();
+        let mut t1 = ControlTransport::new(0.3, 2.0, 42);
+        let mut t2 = ControlTransport::new(0.3, 2.0, 42);
+        for k in 0..100 {
+            assert_eq!(
+                t1.route(&net, &script, a, b, k as f64),
+                t2.route(&net, &script, a, b, k as f64)
+            );
+        }
+    }
+}

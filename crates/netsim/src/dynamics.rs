@@ -37,6 +37,36 @@ impl Failure {
     }
 }
 
+/// A scheduled control-plane partition: control messages (heartbeats,
+/// reconfiguration commands, acks) between sites `a` and `b` are
+/// dropped while the partition is active, but the data plane is
+/// untouched. Models a mis-prioritized or separately-routed control
+/// channel failing independently of the data path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlPartition {
+    /// One endpoint of the partitioned pair.
+    pub a: SiteId,
+    /// The other endpoint (the partition is symmetric).
+    pub b: SiteId,
+    /// When the partition starts.
+    pub at: SimTime,
+    /// How long it lasts.
+    pub duration_s: f64,
+}
+
+impl ControlPartition {
+    /// True if the partition is in effect at time `t`.
+    pub fn is_active(&self, t: SimTime) -> bool {
+        t >= self.at && t.since(self.at) < self.duration_s
+    }
+
+    /// True if the partition severs control traffic between `from`
+    /// and `to` (either direction) at time `t`.
+    pub fn affects(&self, from: SiteId, to: SiteId, t: SimTime) -> bool {
+        self.is_active(t) && ((self.a == from && self.b == to) || (self.a == to && self.b == from))
+    }
+}
+
 /// A full experiment dynamics script.
 ///
 /// * `workload` — per-source multiplicative rate factors (missing
@@ -58,6 +88,9 @@ pub struct DynamicsScript {
     /// Per-directed-link bandwidth factors (0.0 = blackout).
     #[serde(default)]
     link_bandwidth: Vec<((SiteId, SiteId), FactorSeries)>,
+    /// Control-plane-only partitions (data plane unaffected).
+    #[serde(default)]
+    control_partitions: Vec<ControlPartition>,
 }
 
 impl DynamicsScript {
@@ -205,6 +238,23 @@ impl DynamicsScript {
     pub fn site_failed(&self, site: SiteId, t: SimTime) -> bool {
         self.failures.iter().any(|f| f.affects(site, t))
     }
+
+    /// Adds a control-plane partition (builder style).
+    pub fn with_control_partition(mut self, partition: ControlPartition) -> Self {
+        self.control_partitions.push(partition);
+        self
+    }
+
+    /// Scheduled control-plane partitions.
+    pub fn control_partitions(&self) -> &[ControlPartition] {
+        &self.control_partitions
+    }
+
+    /// True if a control-plane partition severs the `a`↔`b` pair at
+    /// time `t`. Data-plane traffic is never affected by this.
+    pub fn control_partitioned(&self, a: SiteId, b: SiteId, t: SimTime) -> bool {
+        self.control_partitions.iter().any(|p| p.affects(a, b, t))
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +330,23 @@ mod tests {
         assert_eq!(s.compute_factor(SiteId(3), SimTime(0.0)), 1.0);
         assert_eq!(s.compute_factor(SiteId(3), SimTime(50.0)), 0.25);
         assert_eq!(s.compute_factor(SiteId(1), SimTime(50.0)), 1.0);
+    }
+
+    #[test]
+    fn control_partition_is_symmetric_and_bounded() {
+        let s = DynamicsScript::none().with_control_partition(ControlPartition {
+            a: SiteId(1),
+            b: SiteId(2),
+            at: SimTime(100.0),
+            duration_s: 50.0,
+        });
+        assert!(!s.control_partitioned(SiteId(1), SiteId(2), SimTime(99.0)));
+        assert!(s.control_partitioned(SiteId(1), SiteId(2), SimTime(100.0)));
+        assert!(s.control_partitioned(SiteId(2), SiteId(1), SimTime(149.0)));
+        assert!(!s.control_partitioned(SiteId(1), SiteId(2), SimTime(150.0)));
+        assert!(!s.control_partitioned(SiteId(1), SiteId(3), SimTime(120.0)));
+        // The data plane never sees the partition.
+        assert!(!s.site_failed(SiteId(1), SimTime(120.0)));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod chaos;
+pub mod control;
 pub mod dynamics;
 pub mod network;
 pub mod site;
@@ -47,7 +48,8 @@ pub mod units;
 /// Convenient glob-import of the crate's main types.
 pub mod prelude {
     pub use crate::chaos::{emit_chaos_schedule, ChaosConfig, ChaosEvent, ChaosInjector};
-    pub use crate::dynamics::{DynamicsScript, Failure};
+    pub use crate::control::{ControlTransport, ControlVerdict, DropCause};
+    pub use crate::dynamics::{ControlPartition, DynamicsScript, Failure};
     pub use crate::network::{FlowDemand, Network};
     pub use crate::site::{Site, SiteId, SiteKind};
     pub use crate::testbed::{Testbed, TestbedConfig};

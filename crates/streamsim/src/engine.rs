@@ -24,6 +24,7 @@
 //!   baseline).
 
 use crate::cohort::{Cohort, CohortQueue};
+use crate::control::{ControlMetrics, ControlPlaneState, InFlightCommand};
 use crate::ids::OpId;
 use crate::metrics::{FailureEvent, QuerySnapshot, RunMetrics, StageObs, TickRow};
 use crate::operator::{OperatorKind, StateModel};
@@ -31,7 +32,10 @@ use crate::physical::{PhysicalError, PhysicalPlan, Placement};
 use crate::plan::LogicalPlan;
 use std::collections::BTreeMap;
 use std::fmt;
+use wasp_controlplane::channel::{AckOutcome, CommandAck, CommandEnvelope, HeartbeatArrival};
+use wasp_controlplane::config::LossyControlConfig;
 use wasp_metrics::{Counter, Gauge, Histogram, MetricsHub};
+use wasp_netsim::control::ControlVerdict;
 use wasp_netsim::dynamics::DynamicsScript;
 use wasp_netsim::network::{FlowDemand, Network};
 use wasp_netsim::site::SiteId;
@@ -109,6 +113,16 @@ pub enum EngineError {
     /// The command targets a site that is currently failed (placing
     /// tasks on a dead site would silently lose them).
     SiteFailed(SiteId),
+    /// The command carried a controller epoch older than the newest
+    /// epoch the engine has accepted — a delayed pre-failure command
+    /// must not clobber a newer emergency re-assignment (lossy control
+    /// plane only).
+    StaleEpoch {
+        /// Epoch carried by the rejected command.
+        cmd_epoch: u64,
+        /// The engine's fencing epoch at rejection time.
+        engine_epoch: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -120,6 +134,15 @@ impl fmt::Display for EngineError {
             EngineError::SourceImmovable(op) => write!(f, "source {op} cannot move"),
             EngineError::SiteFailed(site) => {
                 write!(f, "site {site} is currently failed")
+            }
+            EngineError::StaleEpoch {
+                cmd_epoch,
+                engine_epoch,
+            } => {
+                write!(
+                    f,
+                    "stale controller epoch {cmd_epoch} (engine at {engine_epoch})"
+                )
             }
         }
     }
@@ -722,6 +745,13 @@ pub struct Engine {
     /// Pre-resolved hot-path instrument handles (`None` while the hub
     /// is disabled).
     em: Option<EngineMetrics>,
+    /// Monotone version of the deployed (plan, placement) shape;
+    /// bumped on every accepted redeploy/plan switch. Controllers use
+    /// it to abandon retries whose premise no longer holds.
+    plan_version: u64,
+    /// Lossy control plane (`None` = oracle mode, the default: apply
+    /// is a reliable instantaneous call and no heartbeats exist).
+    control: Option<ControlPlaneState>,
 }
 
 impl Engine {
@@ -779,6 +809,8 @@ impl Engine {
             dyn_prev: BTreeMap::new(),
             hub: MetricsHub::disabled(),
             em: None,
+            plan_version: 0,
+            control: None,
         };
         engine.build_groups();
         Ok(engine)
@@ -911,6 +943,327 @@ impl Engine {
         !self.migrations.is_empty()
     }
 
+    // ----- lossy control plane ---------------------------------------
+
+    /// Switches this engine from oracle mode to the lossy control
+    /// plane. From now on heartbeats flow from every live site to the
+    /// controller site each `heartbeat_period_s`, and commands must be
+    /// handed to [`Engine::submit`] as fenced envelopes rather than
+    /// applied directly.
+    ///
+    /// The controller site defaults to the site hosting the first sink
+    /// (the natural "head node" of the deployment).
+    pub fn enable_lossy_control(&mut self, cfg: LossyControlConfig) {
+        let controller_site = cfg.controller_site.unwrap_or_else(|| {
+            let sinks = self.plan.sinks();
+            let head = sinks.first().copied().unwrap_or(OpId(0));
+            self.physical
+                .placement(head)
+                .sites()
+                .first()
+                .copied()
+                .unwrap_or_else(|| {
+                    self.net
+                        .topology()
+                        .site_ids()
+                        .next()
+                        .expect("topology has at least one site")
+                })
+        });
+        let cm = if self.hub.is_enabled() {
+            Some(ControlMetrics::build(&self.hub))
+        } else {
+            None
+        };
+        self.control = Some(ControlPlaneState::new(cfg, controller_site, cm));
+    }
+
+    /// True when the lossy control plane is active.
+    pub fn control_enabled(&self) -> bool {
+        self.control.is_some()
+    }
+
+    /// The engine's fencing epoch: the highest epoch of any accepted
+    /// command (0 in oracle mode).
+    pub fn control_epoch(&self) -> u64 {
+        self.control.as_ref().map(|cp| cp.epoch).unwrap_or(0)
+    }
+
+    /// Monotone version of the deployed (plan, placement) shape.
+    pub fn plan_version(&self) -> u64 {
+        self.plan_version
+    }
+
+    /// Site hosting the controller, when the lossy control plane is
+    /// active.
+    pub fn controller_site(&self) -> Option<SiteId> {
+        self.control.as_ref().map(|cp| cp.controller_site)
+    }
+
+    /// Commands fenced off so far for carrying a stale epoch.
+    pub fn stale_rejections(&self) -> u64 {
+        self.control
+            .as_ref()
+            .map(|cp| cp.stale_rejections)
+            .unwrap_or(0)
+    }
+
+    /// Hands a fenced command to the lossy channel. The command
+    /// travels controller site → target site over the simulated WAN:
+    /// it may be dropped outright (telemetry records the cause), and
+    /// otherwise arrives after the control-channel delay, where the
+    /// next [`Engine::step`] delivers it through the epoch fence.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Engine::enable_lossy_control`] was called —
+    /// oracle-mode controllers use [`Engine::apply`] directly.
+    pub fn submit(&mut self, env: CommandEnvelope<Command>) {
+        let mut cp = self
+            .control
+            .take()
+            .expect("submit requires the lossy control plane");
+        let target = self.command_target_site(&cp, &env.payload);
+        let verdict = cp.transport.route(
+            &self.net,
+            &self.script,
+            cp.controller_site,
+            target,
+            self.now,
+        );
+        match verdict {
+            ControlVerdict::Deliver { arrive_s } => {
+                let seq = cp.next_seq;
+                cp.next_seq += 1;
+                cp.inbox.push(InFlightCommand {
+                    seq,
+                    arrive_s,
+                    target,
+                    env,
+                });
+            }
+            ControlVerdict::Drop(cause) => {
+                if let Some(cm) = &cp.cm {
+                    cm.commands_dropped.inc();
+                }
+                self.tel.emit(self.now, || TelEvent::ControlCommandDropped {
+                    id: env.id,
+                    label: env.label.clone(),
+                    stage: "command".into(),
+                    cause: cause.describe().into(),
+                });
+            }
+        }
+        self.control = Some(cp);
+    }
+
+    /// Heartbeats and acks that reached the controller site by `now`.
+    /// Returns each at most once; the controller calls this every
+    /// monitor round.
+    pub fn drain_control(&mut self) -> (Vec<HeartbeatArrival>, Vec<CommandAck>) {
+        match self.control.as_mut() {
+            Some(cp) => cp.take_arrived(self.now),
+            None => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// The site a command is addressed to: the farthest (highest
+    /// control-channel latency) site it touches, so delivery delay is
+    /// conservative. Drop-SLO toggles are controller-local.
+    fn command_target_site(&self, cp: &ControlPlaneState, cmd: &Command) -> SiteId {
+        let farthest = |sites: Vec<SiteId>| -> SiteId {
+            sites
+                .into_iter()
+                .max_by(|&a, &b| {
+                    let la = self.net.latency(cp.controller_site, a).secs();
+                    let lb = self.net.latency(cp.controller_site, b).secs();
+                    la.partial_cmp(&lb)
+                        .expect("finite latencies")
+                        .then(a.cmp(&b))
+                })
+                .unwrap_or(cp.controller_site)
+        };
+        match cmd {
+            Command::Redeploy { placement, .. } => farthest(placement.sites()),
+            Command::SwitchPlan(sw) => {
+                let mut sites = Vec::new();
+                for op in sw.plan.op_ids() {
+                    sites.extend(sw.physical.placement(op).sites());
+                }
+                farthest(sites)
+            }
+            Command::SetDropSlo(_) => cp.controller_site,
+        }
+    }
+
+    /// One control-plane tick: emit due heartbeats, then deliver due
+    /// commands through the epoch fence and send acks back. A no-op in
+    /// oracle mode, keeping those runs byte-identical to the
+    /// pre-control-plane engine.
+    fn control_step(&mut self, t0: f64) {
+        if self.control.is_none() {
+            return;
+        }
+        let mut cp = self.control.take().expect("checked above");
+
+        // Heartbeats: every live site fires towards the controller on
+        // the shared period grid. Failed sites stay silent — that
+        // silence *is* the failure signal.
+        let sites: Vec<SiteId> = self.net.topology().site_ids().collect();
+        while cp.next_hb_s <= t0 {
+            let hb_t = cp.next_hb_s;
+            for &site in &sites {
+                if self.site_failed(site, hb_t) {
+                    continue;
+                }
+                if let Some(cm) = &cp.cm {
+                    cm.heartbeats_sent.inc();
+                }
+                match cp
+                    .transport
+                    .route(&self.net, &self.script, site, cp.controller_site, hb_t)
+                {
+                    ControlVerdict::Deliver { arrive_s } => {
+                        cp.heartbeats.push((
+                            arrive_s,
+                            HeartbeatArrival {
+                                site,
+                                sent_s: hb_t,
+                                arrived_s: arrive_s,
+                            },
+                        ));
+                    }
+                    ControlVerdict::Drop(_) => {
+                        if let Some(cm) = &cp.cm {
+                            cm.heartbeats_dropped.inc();
+                        }
+                    }
+                }
+            }
+            cp.next_hb_s += cp.cfg.heartbeat_period_s.max(self.cfg.dt);
+        }
+
+        // Commands: deliver in wire order (arrival time, then
+        // submission order) through the epoch fence.
+        for cmd in cp.take_due_commands(t0) {
+            let engine_epoch = cp.epoch;
+            let outcome = self.deliver_envelope(&mut cp, &cmd);
+            if let Some(cm) = &cp.cm {
+                cm.commands_delivered.inc();
+            }
+            let applied = outcome.applied();
+            let detail = match &outcome {
+                AckOutcome::Applied => String::new(),
+                AckOutcome::Duplicate => "duplicate delivery".into(),
+                AckOutcome::Stale { engine_epoch, .. } => {
+                    format!("stale epoch (engine at {engine_epoch})")
+                }
+                AckOutcome::Rejected { error } => error.clone(),
+            };
+            self.tel.emit(t0, || TelEvent::ControlCommandDelivered {
+                id: cmd.env.id,
+                label: cmd.env.label.clone(),
+                epoch: cmd.env.epoch,
+                engine_epoch,
+                applied,
+                detail: detail.clone(),
+            });
+            // The ack travels target → controller over the same lossy
+            // channel.
+            let ack = CommandAck {
+                id: cmd.env.id,
+                label: cmd.env.label.clone(),
+                submitted_s: cmd.env.sent_s,
+                delivered_s: t0,
+                outcome,
+            };
+            match cp
+                .transport
+                .route(&self.net, &self.script, cmd.target, cp.controller_site, t0)
+            {
+                ControlVerdict::Deliver { arrive_s } => cp.acks.push((arrive_s, ack)),
+                ControlVerdict::Drop(cause) => {
+                    if let Some(cm) = &cp.cm {
+                        cm.commands_dropped.inc();
+                    }
+                    self.tel.emit(t0, || TelEvent::ControlCommandDropped {
+                        id: cmd.env.id,
+                        label: cmd.env.label.clone(),
+                        stage: "ack".into(),
+                        cause: cause.describe().into(),
+                    });
+                }
+            }
+        }
+
+        self.control = Some(cp);
+    }
+
+    /// Judge one delivered envelope: fence stale epochs, swallow
+    /// duplicate deliveries, otherwise advance the fencing epoch and
+    /// apply the command.
+    fn deliver_envelope(
+        &mut self,
+        cp: &mut ControlPlaneState,
+        cmd: &InFlightCommand,
+    ) -> AckOutcome {
+        if cp.applied_ids.contains(&cmd.env.id) {
+            return AckOutcome::Duplicate;
+        }
+        match self.apply_fenced(cp, cmd.env.epoch, &cmd.env.payload) {
+            Ok(()) => {
+                cp.applied_ids.insert(cmd.env.id);
+                // Mirror the oracle path, where the controller
+                // annotates the run at apply time: here the apply
+                // happens at delivery, so the engine does it.
+                self.metrics
+                    .annotate(SimTime(self.now), cmd.env.label.clone());
+                AckOutcome::Applied
+            }
+            Err(EngineError::StaleEpoch { .. }) => {
+                cp.stale_rejections += 1;
+                if let Some(cm) = &cp.cm {
+                    cm.stale_rejections.inc();
+                }
+                self.tel.emit(self.now, || TelEvent::StaleEpochRejected {
+                    id: cmd.env.id,
+                    label: cmd.env.label.clone(),
+                    cmd_epoch: cmd.env.epoch,
+                    engine_epoch: cp.epoch,
+                });
+                AckOutcome::Stale {
+                    engine_epoch: cp.epoch,
+                    engine_plan_version: self.plan_version,
+                }
+            }
+            Err(e) => AckOutcome::Rejected {
+                error: e.to_string(),
+            },
+        }
+    }
+
+    /// The epoch fence: rejects commands whose epoch predates the
+    /// newest the engine has seen, and otherwise advances the fencing
+    /// epoch *before* applying — accepting a newer epoch fences out
+    /// every older in-flight command even if this particular apply is
+    /// then refused for a domain reason (the controller that issued it
+    /// is the authority now).
+    fn apply_fenced(
+        &mut self,
+        cp: &mut ControlPlaneState,
+        cmd_epoch: u64,
+        payload: &Command,
+    ) -> Result<(), EngineError> {
+        if cmd_epoch < cp.epoch {
+            return Err(EngineError::StaleEpoch {
+                cmd_epoch,
+                engine_epoch: cp.epoch,
+            });
+        }
+        cp.epoch = cp.epoch.max(cmd_epoch);
+        self.apply(payload.clone())
+    }
+
     /// Applies an adaptation command.
     ///
     /// # Errors
@@ -941,6 +1294,7 @@ impl Engine {
         // other dt.
         let t1 = (self.tick + 1) as f64 * dt;
 
+        self.control_step(t0);
         self.detect_failure_edges(t0);
         self.detect_dynamics_transitions(t0);
         self.apply_failure_transitions(t0);
@@ -1248,6 +1602,7 @@ impl Engine {
         if let Some(em) = &self.em {
             em.migrations_started.inc();
         }
+        self.plan_version += 1;
         Ok(())
     }
 
@@ -1502,6 +1857,7 @@ impl Engine {
         if self.hub.is_enabled() {
             self.em = Some(EngineMetrics::build(&self.hub, &self.plan));
         }
+        self.plan_version += 1;
         Ok(())
     }
 
@@ -3107,5 +3463,189 @@ mod tests {
             .sum();
         assert!(during < 1.0, "no delivery through a black link: {during}");
         assert!(after > 1000.0, "delivery must resume: {after}");
+    }
+
+    // ----- lossy control plane ---------------------------------------
+
+    fn lossy_engine(loss: f64) -> (Engine, SiteId, SiteId) {
+        let (net, edge, dc) = world(10.0);
+        let plan = linear_plan(edge, 1000.0, 5.0);
+        let mut eng = engine_for(net, DynamicsScript::none(), plan, dc);
+        eng.enable_lossy_control(LossyControlConfig {
+            loss,
+            ..LossyControlConfig::default()
+        });
+        (eng, edge, dc)
+    }
+
+    fn envelope(id: u64, epoch: u64, cmd: Command) -> CommandEnvelope<Command> {
+        CommandEnvelope {
+            id,
+            epoch,
+            plan_version: 0,
+            label: format!("cmd-{id}"),
+            sent_s: 0.0,
+            payload: cmd,
+        }
+    }
+
+    fn reassign_to(site: SiteId) -> Command {
+        Command::Redeploy {
+            op: OpId(1),
+            placement: Placement::single(site, 1),
+            transfers: vec![],
+            skip_state: false,
+        }
+    }
+
+    #[test]
+    fn oracle_mode_has_no_control_plane() {
+        let (net, edge, dc) = world(10.0);
+        let plan = linear_plan(edge, 1000.0, 5.0);
+        let mut eng = engine_for(net, DynamicsScript::none(), plan, dc);
+        assert!(!eng.control_enabled());
+        assert_eq!(eng.control_epoch(), 0);
+        assert_eq!(eng.controller_site(), None);
+        assert_eq!(eng.plan_version(), 0);
+        eng.apply(reassign_to(edge)).unwrap();
+        assert_eq!(eng.plan_version(), 1, "accepted redeploy bumps version");
+        let (hbs, acks) = eng.drain_control();
+        assert!(hbs.is_empty() && acks.is_empty());
+    }
+
+    #[test]
+    fn lossless_submit_applies_after_delivery_delay() {
+        let (mut eng, edge, dc) = lossy_engine(0.0);
+        assert_eq!(eng.controller_site(), Some(dc), "sink host is controller");
+        eng.submit(envelope(1, 1, reassign_to(edge)));
+        // Not applied synchronously: the command is on the wire.
+        assert_eq!(eng.physical().placement(OpId(1)).sites(), vec![dc]);
+        eng.run(2.0);
+        assert_eq!(eng.physical().placement(OpId(1)).sites(), vec![edge]);
+        assert_eq!(eng.control_epoch(), 1);
+        assert_eq!(eng.plan_version(), 1);
+        // The ack (and heartbeats) make it back to the controller.
+        let (hbs, acks) = eng.drain_control();
+        assert!(!hbs.is_empty(), "heartbeats flow in lossless mode");
+        assert_eq!(acks.len(), 1);
+        assert_eq!(acks[0].id, 1);
+        assert_eq!(acks[0].outcome, AckOutcome::Applied);
+    }
+
+    #[test]
+    fn full_loss_never_delivers_commands() {
+        let (mut eng, edge, dc) = lossy_engine(1.0);
+        eng.submit(envelope(1, 1, reassign_to(edge)));
+        eng.run(60.0);
+        assert_eq!(eng.physical().placement(OpId(1)).sites(), vec![dc]);
+        assert_eq!(eng.control_epoch(), 0);
+        let (hbs, acks) = eng.drain_control();
+        // Only the controller's own (local, loss-exempt) heartbeats
+        // survive total loss.
+        assert!(
+            hbs.iter().all(|h| h.site == dc),
+            "remote heartbeats dropped at loss=1: {hbs:?}"
+        );
+        assert!(acks.is_empty(), "no deliveries, no acks");
+    }
+
+    #[test]
+    fn stale_epoch_command_is_fenced_not_applied() {
+        let (mut eng, edge, dc) = lossy_engine(0.0);
+        eng.submit(envelope(2, 3, reassign_to(edge)));
+        eng.run(2.0);
+        assert_eq!(eng.control_epoch(), 3);
+        eng.run(15.0); // let the transition finish
+                       // A delayed pre-failure command from epoch 1 arrives late: it
+                       // must not clobber the epoch-3 placement.
+        eng.submit(envelope(3, 1, reassign_to(dc)));
+        eng.run(2.0);
+        assert_eq!(eng.physical().placement(OpId(1)).sites(), vec![edge]);
+        assert_eq!(eng.stale_rejections(), 1);
+        let (_, acks) = eng.drain_control();
+        let stale = acks.iter().find(|a| a.id == 3).expect("stale ack");
+        assert!(matches!(
+            stale.outcome,
+            AckOutcome::Stale {
+                engine_epoch: 3,
+                ..
+            }
+        ));
+        // The fencing rejection surfaces as EngineError::StaleEpoch in
+        // the rendered detail.
+        assert!(EngineError::StaleEpoch {
+            cmd_epoch: 1,
+            engine_epoch: 3
+        }
+        .to_string()
+        .contains("stale controller epoch"));
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let (mut eng, edge, _dc) = lossy_engine(0.0);
+        eng.submit(envelope(7, 1, reassign_to(edge)));
+        eng.run(2.0);
+        assert_eq!(eng.physical().placement(OpId(1)).sites(), vec![edge]);
+        eng.run(15.0);
+        // The controller re-sends the same command id (an ack-timeout
+        // retry whose original did land). It must not re-apply.
+        eng.submit(envelope(7, 1, reassign_to(edge)));
+        eng.run(2.0);
+        let (_, acks) = eng.drain_control();
+        let dup = acks.iter().find(|a| a.outcome == AckOutcome::Duplicate);
+        assert!(dup.is_some(), "redelivery acked as duplicate: {acks:?}");
+        assert_eq!(eng.plan_version(), 1, "applied exactly once");
+    }
+
+    #[test]
+    fn rejected_command_does_not_advance_plan_version() {
+        let (mut eng, edge, _dc) = lossy_engine(0.0);
+        // Sources are immovable: the engine refuses the command but
+        // the delivery still acks with the domain error.
+        eng.submit(envelope(
+            9,
+            1,
+            Command::Redeploy {
+                op: OpId(0),
+                placement: Placement::single(edge, 1),
+                transfers: vec![],
+                skip_state: false,
+            },
+        ));
+        eng.run(2.0);
+        assert_eq!(eng.plan_version(), 0);
+        assert_eq!(eng.control_epoch(), 1, "epoch advances on acceptance");
+        let (_, acks) = eng.drain_control();
+        assert!(
+            matches!(&acks[0].outcome, AckOutcome::Rejected { error } if error.contains("cannot move"))
+        );
+    }
+
+    #[test]
+    fn heartbeats_stop_while_a_site_is_failed() {
+        let (net, edge, dc) = world(10.0);
+        let plan = linear_plan(edge, 1000.0, 5.0);
+        let script = DynamicsScript::none().with_failure(Failure {
+            at: SimTime(30.0),
+            restore_after: 40.0,
+            site: Some(edge),
+        });
+        let mut eng = engine_for(net, script, plan, dc);
+        eng.enable_lossy_control(LossyControlConfig::default());
+        eng.run(60.0);
+        let (hbs, _) = eng.drain_control();
+        let edge_hbs: Vec<f64> = hbs
+            .iter()
+            .filter(|h| h.site == edge)
+            .map(|h| h.sent_s)
+            .collect();
+        assert!(
+            edge_hbs.iter().all(|&t| !(30.0..70.0).contains(&t)),
+            "failed site must be silent: {edge_hbs:?}"
+        );
+        assert!(!edge_hbs.is_empty(), "heartbeats before the failure");
+        // The controller-site heartbeat stream continues throughout.
+        assert!(hbs.iter().filter(|h| h.site == dc).count() >= 10);
     }
 }

@@ -59,6 +59,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cohort;
+mod control;
 pub mod dsl;
 pub mod engine;
 pub mod exact;

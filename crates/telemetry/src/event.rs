@@ -166,6 +166,78 @@ pub enum Event {
         site: u32,
         name: String,
     },
+    /// The failure detector crossed the suspicion threshold for a
+    /// site (lossy control plane only).
+    SiteSuspected {
+        site: u32,
+        name: String,
+        phi: f64,
+    },
+    /// The failure detector confirmed a site as down after prolonged
+    /// heartbeat silence.
+    SiteConfirmedDown {
+        site: u32,
+        name: String,
+        silent_s: f64,
+    },
+    /// A heartbeat arrived from a suspected/confirmed site; the
+    /// detector cleared it back to alive.
+    SiteCleared {
+        site: u32,
+        name: String,
+    },
+    /// The controller handed a fenced command to the lossy channel.
+    ControlCommandEnqueued {
+        id: u64,
+        label: String,
+        epoch: u64,
+        plan_version: u64,
+    },
+    /// The WAN dropped a control message. `stage` is "command" or
+    /// "ack"; `cause` names the drop reason.
+    ControlCommandDropped {
+        id: u64,
+        label: String,
+        stage: String,
+        cause: String,
+    },
+    /// A command reached the engine. `engine_epoch` is the fencing
+    /// epoch *before* this delivery was judged.
+    ControlCommandDelivered {
+        id: u64,
+        label: String,
+        epoch: u64,
+        engine_epoch: u64,
+        applied: bool,
+        detail: String,
+    },
+    /// The engine fenced off a command carrying a stale epoch.
+    StaleEpochRejected {
+        id: u64,
+        label: String,
+        cmd_epoch: u64,
+        engine_epoch: u64,
+    },
+    /// The controller re-sent an unacked command.
+    ControlRetry {
+        id: u64,
+        label: String,
+        attempt: u32,
+    },
+    /// The controller abandoned a command.
+    ControlGaveUp {
+        id: u64,
+        label: String,
+        attempts: u32,
+        reason: String,
+    },
+    /// An ack made it back to the controller.
+    ControlAckReceived {
+        id: u64,
+        label: String,
+        applied: bool,
+        rtt_s: f64,
+    },
     /// A fault scheduled by the chaos engine (emitted at injection
     /// time so traces show cause before effect).
     ChaosFault {
@@ -202,6 +274,16 @@ impl Event {
             Event::CheckpointStalled { .. } => "checkpoint-stalled",
             Event::SiteDown { .. } => "site-down",
             Event::SiteRestored { .. } => "site-restored",
+            Event::SiteSuspected { .. } => "site-suspected",
+            Event::SiteConfirmedDown { .. } => "site-confirmed-down",
+            Event::SiteCleared { .. } => "site-cleared",
+            Event::ControlCommandEnqueued { .. } => "control-enqueued",
+            Event::ControlCommandDropped { .. } => "control-dropped",
+            Event::ControlCommandDelivered { .. } => "control-delivered",
+            Event::StaleEpochRejected { .. } => "stale-epoch-rejected",
+            Event::ControlRetry { .. } => "control-retry",
+            Event::ControlGaveUp { .. } => "control-gave-up",
+            Event::ControlAckReceived { .. } => "control-ack",
             Event::ChaosFault { .. } => "chaos",
             Event::DynamicsTransition { .. } => "dynamics",
             Event::Note { .. } => "note",
@@ -262,6 +344,68 @@ impl Event {
             Event::CheckpointStalled { target } => format!("checkpoint STALLED ({target})"),
             Event::SiteDown { name, .. } => format!("site DOWN: {name}"),
             Event::SiteRestored { name, .. } => format!("site restored: {name}"),
+            Event::SiteSuspected { name, phi, .. } => {
+                format!("site SUSPECTED: {name} (phi {phi:.1})")
+            }
+            Event::SiteConfirmedDown { name, silent_s, .. } => {
+                format!("site CONFIRMED down: {name} (silent {silent_s:.0}s)")
+            }
+            Event::SiteCleared { name, .. } => format!("site cleared: {name}"),
+            Event::ControlCommandEnqueued {
+                id,
+                label,
+                epoch,
+                plan_version,
+            } => format!("control #{id} enqueued (epoch {epoch}, plan v{plan_version}): {label}"),
+            Event::ControlCommandDropped {
+                id,
+                label,
+                stage,
+                cause,
+            } => format!("control #{id} {stage} DROPPED ({cause}): {label}"),
+            Event::ControlCommandDelivered {
+                id,
+                label,
+                epoch,
+                engine_epoch,
+                applied,
+                detail,
+            } => format!(
+                "control #{id} delivered (epoch {epoch} vs engine {engine_epoch}): \
+                 {label} -> {}{}",
+                if *applied { "applied" } else { "not applied" },
+                if detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({detail})")
+                }
+            ),
+            Event::StaleEpochRejected {
+                id,
+                label,
+                cmd_epoch,
+                engine_epoch,
+            } => format!(
+                "control #{id} FENCED: epoch {cmd_epoch} < engine epoch {engine_epoch}: {label}"
+            ),
+            Event::ControlRetry { id, label, attempt } => {
+                format!("control #{id} retry (attempt {attempt}): {label}")
+            }
+            Event::ControlGaveUp {
+                id,
+                label,
+                attempts,
+                reason,
+            } => format!("control #{id} GAVE UP after {attempts} attempts ({reason}): {label}"),
+            Event::ControlAckReceived {
+                id,
+                label,
+                applied,
+                rtt_s,
+            } => format!(
+                "control #{id} ack (rtt {rtt_s:.1}s): {label} -> {}",
+                if *applied { "applied" } else { "not applied" }
+            ),
             Event::ChaosFault { description } => format!("chaos: {description}"),
             Event::DynamicsTransition { what, factor } => {
                 format!("dynamics: {what} -> x{factor:.2}")

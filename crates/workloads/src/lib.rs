@@ -53,6 +53,7 @@ pub mod prelude {
     };
     pub use crate::twitter::TwitterTrace;
     pub use crate::ysb::{AdEvent, EventType, YsbGenerator};
+    pub use wasp_controlplane::config::{ControlPlaneConfig, LossyControlConfig};
     pub use wasp_metrics::{MetricKind, MetricSnapshot, MetricsHub};
     pub use wasp_telemetry::{
         render_report, to_chrome_trace, to_jsonl, Recording, RecordingHandle, Telemetry,

@@ -10,6 +10,7 @@ use crate::deploy::initial_deployment;
 use crate::queries::QueryKind;
 use crate::twitter::TwitterTrace;
 use serde::{Deserialize, Serialize};
+use wasp_controlplane::config::ControlPlaneConfig;
 use wasp_core::controller::{
     run_controlled, Controller, DegradeController, NoAdaptController, WaspController,
 };
@@ -78,28 +79,48 @@ impl ControllerKind {
         tel: Telemetry,
         hub: MetricsHub,
     ) -> Box<dyn Controller> {
+        self.instantiate_control(slo_s, tel, hub, &ControlPlaneConfig::Oracle)
+    }
+
+    /// Like [`ControllerKind::instantiate_full`] but also selecting
+    /// the control-plane mode. Under [`ControlPlaneConfig::Lossy`] the
+    /// WASP variants detect failures from heartbeat silence and send
+    /// commands over the fenced, retried channel; the static baselines
+    /// (`No Adapt`, `Degrade`) never react to failures, so the mode
+    /// changes nothing for them.
+    pub fn instantiate_control(
+        &self,
+        slo_s: f64,
+        tel: Telemetry,
+        hub: MetricsHub,
+        control: &ControlPlaneConfig,
+    ) -> Box<dyn Controller> {
         match self {
             ControllerKind::NoAdapt => Box::new(NoAdaptController),
             ControllerKind::Degrade => Box::new(DegradeController::new(slo_s)),
             ControllerKind::Wasp => Box::new(
                 WaspController::new(PolicyConfig::default())
                     .with_telemetry(tel)
-                    .with_metrics(hub),
+                    .with_metrics(hub)
+                    .with_control_plane(control.clone()),
             ),
             ControllerKind::ReassignOnly => Box::new(
                 WaspController::reassign_only()
                     .with_telemetry(tel)
-                    .with_metrics(hub),
+                    .with_metrics(hub)
+                    .with_control_plane(control.clone()),
             ),
             ControllerKind::ScaleOnly => Box::new(
                 WaspController::scale_only()
                     .with_telemetry(tel)
-                    .with_metrics(hub),
+                    .with_metrics(hub)
+                    .with_control_plane(control.clone()),
             ),
             ControllerKind::ReplanOnly => Box::new(
                 WaspController::replan_only()
                     .with_telemetry(tel)
-                    .with_metrics(hub),
+                    .with_metrics(hub)
+                    .with_control_plane(control.clone()),
             ),
         }
     }
@@ -129,6 +150,12 @@ pub struct ScenarioConfig {
     /// `Engine::set_parallelism`). Defaults to `WASP_JOBS` /
     /// `RAYON_NUM_THREADS` when set, else 1.
     pub jobs: usize,
+    /// Control-plane mode. `Oracle` (the default) keeps the classic
+    /// instant, reliable command path; `Lossy` routes heartbeats and
+    /// commands over the simulated WAN with configurable loss, makes
+    /// the WASP controllers detect failures from heartbeat silence,
+    /// and fences every command with the controller epoch.
+    pub control: ControlPlaneConfig,
 }
 
 impl Default for ScenarioConfig {
@@ -148,6 +175,7 @@ impl Default for ScenarioConfig {
             telemetry: Telemetry::disabled(),
             metrics: MetricsHub::disabled(),
             jobs: wasp_parallel::env_jobs().unwrap_or(1),
+            control: ControlPlaneConfig::Oracle,
         }
     }
 }
@@ -216,6 +244,9 @@ fn run_scenario(
     let tel = cfg.telemetry.clone();
     engine.set_telemetry(tel.clone());
     engine.set_metrics(cfg.metrics.clone());
+    if let ControlPlaneConfig::Lossy(lossy) = &cfg.control {
+        engine.enable_lossy_control(lossy.clone());
+    }
     let root = if tel.is_enabled() {
         let name = format!(
             "scenario:{section} {} [{}] seed={}",
@@ -227,7 +258,8 @@ fn run_scenario(
     } else {
         None
     };
-    let mut ctrl = controller.instantiate_full(cfg.slo_s, tel.clone(), cfg.metrics.clone());
+    let mut ctrl =
+        controller.instantiate_control(cfg.slo_s, tel.clone(), cfg.metrics.clone(), &cfg.control);
     run_controlled(
         &mut engine,
         ctrl.as_mut(),
@@ -370,9 +402,13 @@ pub fn run_custom(run: CustomRun, cfg: &ScenarioConfig) -> (ExperimentResult, f6
     engine.set_parallelism(cfg.jobs);
     engine.set_telemetry(cfg.telemetry.clone());
     engine.set_metrics(cfg.metrics.clone());
+    if let ControlPlaneConfig::Lossy(lossy) = &cfg.control {
+        engine.enable_lossy_control(lossy.clone());
+    }
     let mut ctrl = WaspController::new(run.policy)
         .with_telemetry(cfg.telemetry.clone())
-        .with_metrics(cfg.metrics.clone());
+        .with_metrics(cfg.metrics.clone())
+        .with_control_plane(cfg.control.clone());
     if run.adaptive_alpha {
         ctrl = ctrl.with_adaptive_alpha();
     }
@@ -689,6 +725,52 @@ mod tests {
         .collect();
         let unique: std::collections::BTreeSet<&&str> = labels.iter().collect();
         assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    fn lossy_control_scenario_adapts_over_the_fallible_channel() {
+        let (tel, handle) = Telemetry::recording();
+        let cfg = ScenarioConfig {
+            dt: 0.5,
+            telemetry: tel,
+            control: ControlPlaneConfig::Lossy(wasp_controlplane::config::LossyControlConfig {
+                loss: 0.05,
+                ..Default::default()
+            }),
+            ..ScenarioConfig::default()
+        };
+        let res = run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, &cfg);
+        assert!(res.metrics.total_delivered() > 0.0);
+        let rec = handle.recording();
+        let enqueued = rec
+            .events()
+            .filter(|(_, _, e)| matches!(e, wasp_telemetry::Event::ControlCommandEnqueued { .. }))
+            .count();
+        assert!(enqueued >= 1, "lossy controller sent no commands");
+        let applied = rec
+            .events()
+            .filter(|(_, _, e)| {
+                matches!(
+                    e,
+                    wasp_telemetry::Event::ControlCommandDelivered { applied: true, .. }
+                )
+            })
+            .count();
+        assert!(applied >= 1, "no command survived the lossy channel");
+        // The engine stamps applied commands into the run annotations,
+        // so downstream analysis (recovery times, reports) still sees
+        // the adaptation actions.
+        assert!(
+            !res.metrics.actions().is_empty(),
+            "applied commands should be annotated"
+        );
+    }
+
+    #[test]
+    fn oracle_default_config_has_no_control_plane_overhead() {
+        let cfg = quick_cfg();
+        assert_eq!(cfg.control, ControlPlaneConfig::Oracle);
+        assert!(!cfg.control.is_lossy());
     }
 
     #[test]
