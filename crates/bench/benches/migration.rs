@@ -48,5 +48,39 @@ fn bench_migration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_migration);
+/// Partition-granularity planning (§5, Fig. 14): the coarse min-max
+/// plan plus the pipelined per-partition schedule, across partition
+/// counts on the paper testbed.
+fn bench_partitioned(c: &mut Criterion) {
+    use wasp_optimizer::partition::plan_partitioned_migration;
+    use wasp_state::PartitionConfig;
+
+    let tb = Testbed::paper(42);
+    let net = tb.static_network();
+    let dcs = tb.data_centers();
+    let sources: Vec<(SiteId, MegaBytes)> = (0..4).map(|i| (dcs[i], MegaBytes(60.0))).collect();
+    let dests: Vec<SiteId> = (4..8).map(|i| dcs[i]).collect();
+    let mut group = c.benchmark_group("migration_partitioned");
+    for parts in [16u32, 64, 256] {
+        let cfg = PartitionConfig {
+            partitions: parts,
+            ..PartitionConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("pipeline", parts), &parts, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(plan_partitioned_migration(
+                    7,
+                    &cfg,
+                    &sources,
+                    &dests,
+                    &net,
+                    SimTime::ZERO,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration, bench_partitioned);
 criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! The WASP performance harness: runs the §8 scenario suite with the
 //! metrics hub recording, measures wall-clock engine throughput
 //! alongside the SLO metrics, and writes a machine-readable benchmark
-//! report (`BENCH_pr4.json` by default).
+//! report (`BENCH_pr7.json` by default).
 //!
 //! ```text
 //! wasp-bench --quick                         # CI-speed run, dt = 0.5
-//! wasp-bench --out BENCH_pr4.json            # full run, dt = 0.25
-//! wasp-bench --quick --baseline BENCH_pr4.json --gate 15
+//! wasp-bench --out BENCH_pr7.json            # full run, dt = 0.25
+//! wasp-bench --quick --baseline BENCH_pr7.json --gate 15
 //! wasp-bench --quick --jobs 8                # fan repeats across 8 threads
 //! ```
 //!
@@ -255,6 +255,73 @@ fn gate_failures(new: &BenchReport, base: &BenchReport, gate_pct: f64) -> Vec<St
     failures
 }
 
+/// Times the partition-pipelined migration scheduler on a 16-site ×
+/// 64-partition instance (8 Zipf-skewed sources, 8 destinations) and
+/// folds it into a gated report row: `ticks` counts scheduler
+/// invocations and `ticks_per_mop` is the calibration-normalized rate,
+/// so the regression gate covers the new `wasp-state` subsystem's
+/// hot path alongside the scenario runs. Fields that only make sense
+/// for engine runs (delays, recoveries) stay zero.
+fn bench_partition_scheduler() -> ScenarioBench {
+    use wasp_netsim::site::SiteId;
+    use wasp_state::scheduler::pipeline_schedule;
+    use wasp_state::{partition_weights, PartitionConfig};
+
+    let cfg = PartitionConfig {
+        partitions: 64,
+        ..PartitionConfig::default()
+    };
+    let sources: Vec<(SiteId, Vec<(u32, f64)>)> = (0..8u16)
+        .map(|i| {
+            let weights = partition_weights(&cfg, i as u64);
+            let slices = weights
+                .iter()
+                .enumerate()
+                .map(|(p, &w)| (p as u32, w * 200.0))
+                .collect();
+            (SiteId(i), slices)
+        })
+        .collect();
+    let dests: Vec<SiteId> = (8..16u16).map(SiteId).collect();
+    let seed: Vec<(SiteId, SiteId)> = (0..8u16).map(|i| (SiteId(i), SiteId(8 + i))).collect();
+    // Deterministic heterogeneous link rates (MB/s), so the greedy
+    // rebalancer has real work to do.
+    let rate =
+        |a: SiteId, b: SiteId| -> f64 { 2.0 + ((a.0 as u64 * 31 + b.0 as u64 * 17) % 23) as f64 };
+    let mops = calibrate();
+    let iters = 200u64;
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for _ in 0..iters {
+        let s = pipeline_schedule(&sources, &seed, &dests, &rate);
+        acc += s.bottleneck_s + s.max_pause_s;
+    }
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    assert!(acc.is_finite());
+    std::hint::black_box(acc);
+    let per_s = iters as f64 / wall_s;
+    ScenarioBench {
+        name: "partitioned_migration_sched".to_string(),
+        controller: "microbench".to_string(),
+        wall_s,
+        sim_s: 0.0,
+        ticks: iters,
+        ticks_per_s: per_s,
+        sim_speedup: 0.0,
+        events_per_s: 0.0,
+        ticks_per_mop: per_s / mops.max(1e-9),
+        delay_p50_s: 0.0,
+        delay_p95_s: 0.0,
+        delay_p99_s: 0.0,
+        delivered_ratio: 0.0,
+        actions: 0,
+        recoveries: Vec::new(),
+        merged_delay_p50_s: 0.0,
+        merged_delay_p95_s: 0.0,
+        merged_delay_p99_s: 0.0,
+    }
+}
+
 /// Scenario entry points as plain `fn` pointers so the driver closure
 /// that dispatches them is `Sync` (boxed capturing closures are not).
 fn run_84_topk(c: &ScenarioConfig) -> ExperimentResult {
@@ -297,7 +364,7 @@ struct UnitOutcome {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    let mut out = "BENCH_pr4.json".to_string();
+    let mut out = "BENCH_pr7.json".to_string();
     let mut baseline: Option<String> = None;
     let mut gate_pct = 15.0;
     let mut csv_out: Option<String> = None;
@@ -444,6 +511,14 @@ fn main() {
         }
         scenarios.push(bench);
     }
+
+    // Gated microbench: the partition-pipelined migration scheduler.
+    let sched = bench_partition_scheduler();
+    eprintln!(
+        "{}: {:.0} schedules/s ({:.3} per Mop)",
+        sched.name, sched.ticks_per_s, sched.ticks_per_mop
+    );
+    scenarios.push(sched);
 
     // Engine-parallelism sweep over the gated scenario: same seed and
     // dt, engine worker pool at 1/2/8 threads. Beyond the throughput

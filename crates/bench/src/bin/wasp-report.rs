@@ -19,12 +19,91 @@ use wasp_workloads::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wasp-report --scenario <section_8_4|section_8_5|section_8_6> [--seed N] \
-         [--query <advertising|topk|events>] [--controller <wasp|reassign|scale|replan>] \
+        "usage: wasp-report --scenario <section_8_4|section_8_5|section_8_6|skewed_state> \
+         [--seed N] [--query <advertising|topk|events>] \
+         [--controller <wasp|reassign|scale|replan>] \
          [--dt SECS] [--jobs N] [--control <oracle|lossy>] [--loss F] [--heartbeat SECS] \
-         [--phi F] [--delay-factor F] [--echo] [--trace-out FILE] [--jsonl FILE] [--report FILE]"
+         [--phi F] [--delay-factor F] [--state <coarse|partitioned>] [--partitions N] \
+         [--zipf F] [--state-mb F] [--echo] [--trace-out FILE] [--jsonl FILE] [--report FILE]"
     );
     std::process::exit(2);
+}
+
+/// Renders the partitioned-state timeline: incremental checkpoint
+/// rounds and per-partition migration slices, aggregated per operator.
+/// Empty (and omitted from the report) when the run emitted no state
+/// events — i.e. under the coarse model, which keeps every existing
+/// report byte-identical.
+fn state_timeline_section(rec: &Recording) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    // Per-op checkpoint aggregates and slice downtimes.
+    let mut ckpt: BTreeMap<u32, (u64, f64, f64)> = BTreeMap::new(); // rounds, Σdelta, Σfull
+    let mut downtimes: BTreeMap<Option<u32>, Vec<f64>> = BTreeMap::new();
+    let mut slices_started: BTreeMap<Option<u32>, u64> = BTreeMap::new();
+    for (_, _, ev) in rec.events() {
+        match ev {
+            Event::CheckpointDelta {
+                op,
+                delta_mb,
+                full_mb,
+                ..
+            } => {
+                let e = ckpt.entry(*op).or_insert((0, 0.0, 0.0));
+                e.0 += 1;
+                e.1 += delta_mb;
+                e.2 += full_mb;
+            }
+            Event::PartitionTransferStarted { op, .. } => {
+                *slices_started.entry(*op).or_insert(0) += 1;
+            }
+            Event::PartitionTransferCompleted { op, downtime_s, .. } => {
+                downtimes.entry(*op).or_default().push(*downtime_s);
+            }
+            _ => {}
+        }
+    }
+    if ckpt.is_empty() && slices_started.is_empty() {
+        return String::new();
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out);
+    let _ = writeln!(out, "State timeline (partitioned keyed state)");
+    let _ = writeln!(out, "----------------------------------------");
+    for (op, (rounds, delta, full)) in &ckpt {
+        let ratio = if *full > 1e-12 { delta / full } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "op {op}: {rounds} incremental checkpoint round(s), {delta:.1} MB uploaded \
+             of {full:.1} MB full snapshots ({:.0}% incremental saving)",
+            (1.0 - ratio) * 100.0
+        );
+    }
+    for (op, started) in &slices_started {
+        let label = op
+            .map(|o| format!("op {o}"))
+            .unwrap_or_else(|| "plan switch".to_string());
+        let mut ds = downtimes.get(op).cloned().unwrap_or_default();
+        ds.sort_by(|a, b| a.total_cmp(b));
+        let q = |q: f64| -> f64 {
+            if ds.is_empty() {
+                return 0.0;
+            }
+            ds[((ds.len() as f64 - 1.0) * q).round() as usize]
+        };
+        let _ = writeln!(
+            out,
+            "{label}: {started} partition slice(s) migrated, {} completed; \
+             per-partition downtime p50 {:.2}s p95 {:.2}s max {:.2}s",
+            ds.len(),
+            q(0.5),
+            q(0.95),
+            q(1.0),
+        );
+    }
+    out
 }
 
 /// Renders the per-site control-plane failure timeline: for every site
@@ -232,6 +311,9 @@ fn main() {
     let mut report_out: Option<String> = None;
     let mut lossy = false;
     let mut lossy_cfg = LossyControlConfig::default();
+    let mut partitioned = false;
+    let mut pcfg = wasp_state::PartitionConfig::default();
+    let mut state_mb = 60.0f64;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -314,6 +396,34 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--state" => {
+                partitioned = match it.next().as_deref() {
+                    Some("coarse") => false,
+                    Some("partitioned") => true,
+                    _ => usage(),
+                }
+            }
+            // The partition knobs imply --state partitioned.
+            "--partitions" => {
+                partitioned = true;
+                pcfg.partitions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--zipf" => {
+                partitioned = true;
+                pcfg.zipf_exponent = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--state-mb" => {
+                state_mb = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--echo" => echo = true,
             "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage())),
             "--jsonl" => jsonl_out = Some(it.next().unwrap_or_else(|| usage())),
@@ -329,6 +439,9 @@ fn main() {
         lossy_cfg.seed = cfg.seed;
         cfg.control = ControlPlaneConfig::Lossy(lossy_cfg);
     }
+    if partitioned {
+        cfg.state = wasp_state::StateModel::Partitioned(pcfg);
+    }
 
     let (tel, rec) = if echo {
         Telemetry::recording_echo()
@@ -339,10 +452,25 @@ fn main() {
     let hub = MetricsHub::recording(10.0);
     cfg.metrics = hub.clone();
 
+    let mut skewed_note = String::new();
     let result = match scenario.as_str() {
         "section_8_4" => run_section_8_4(query, controller, &cfg),
         "section_8_5" => run_section_8_5(controller, &cfg),
         "section_8_6" => run_section_8_6(controller, &cfg),
+        "skewed_state" => {
+            let res = run_skewed_state_experiment(cfg.state, state_mb, &cfg);
+            skewed_note = format!(
+                "\nskewed-state experiment ({} MB stage, {} model): \
+                 p95 per-key migration downtime {:.2}s\n",
+                state_mb, res.label, res.downtime_p95_s
+            );
+            ExperimentResult {
+                label: res.label,
+                query: "topk (skewed state)".to_string(),
+                metrics: res.metrics,
+                e2e_selectivity: 1.0,
+            }
+        }
         _ => usage(),
     };
 
@@ -374,6 +502,8 @@ fn main() {
 
     let mut report = render_report(&recording, &title);
     report.push_str(&metrics_summary(&result, &hub));
+    report.push_str(&skewed_note);
+    report.push_str(&state_timeline_section(&recording));
     report.push_str(&failure_timeline(&recording));
     match &report_out {
         Some(path) => {

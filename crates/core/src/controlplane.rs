@@ -94,8 +94,9 @@ pub(crate) struct TruthOutage {
     pub(crate) confirmed: bool,
 }
 
-/// Plain counters mirroring [`ControlPlaneMetrics`], always kept (hub
-/// or not) so tests and reports can read detector accuracy without a
+/// Plain counters mirroring the control-plane metric instruments,
+/// always kept (hub or not)
+/// so tests and reports can read detector accuracy without a
 /// recording hub.
 #[derive(Debug, Default, Clone)]
 pub struct ControlPlaneStats {
@@ -125,7 +126,7 @@ impl ControlPlaneStats {
             return None;
         }
         let mut lags = self.detection_lags_s.clone();
-        lags.sort_by(|a, b| a.partial_cmp(b).expect("finite lags"));
+        lags.sort_by(|a, b| a.total_cmp(b));
         let idx = ((lags.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
         Some(lags[idx])
     }

@@ -28,6 +28,7 @@ use wasp_netsim::network::Network;
 use wasp_netsim::site::SiteId;
 use wasp_netsim::units::SimTime;
 use wasp_optimizer::migration::{plan_migration, MigrationStrategy};
+use wasp_optimizer::partition::plan_partitioned_migration;
 use wasp_optimizer::placement::{PlacementProblem, PlacementRequest};
 use wasp_streamsim::engine::Command;
 use wasp_streamsim::ids::OpId;
@@ -71,6 +72,14 @@ pub struct PolicyConfig {
     /// tasks off a failed site, the controller will not move that
     /// operator again (for failure reasons) until the cooldown ends.
     pub emergency_cooldown_s: f64,
+    /// State model assumed when estimating adaptation overhead. Under
+    /// [`wasp_state::StateModel::Partitioned`] the `t_max` gate
+    /// compares the pipelined schedule's worst per-partition pause
+    /// (one slice's flight) instead of the whole-blob bottleneck, so
+    /// the §6.2 decision tree picks migration in regimes where the
+    /// coarse estimate would have rejected it. Must match the engine's
+    /// configured model for the estimate to be honest.
+    pub state: wasp_state::StateModel,
 }
 
 impl Default for PolicyConfig {
@@ -88,6 +97,7 @@ impl Default for PolicyConfig {
             stability_rounds: 2,
             skip_state: false,
             emergency_cooldown_s: 60.0,
+            state: wasp_state::StateModel::Coarse,
         }
     }
 }
@@ -525,7 +535,7 @@ impl Policy {
                     MigrationStrategy::NetworkAware => candidates
                         .iter()
                         .copied()
-                        .min_by(|&a, &b| time_to(a).partial_cmp(&time_to(b)).expect("finite times"))
+                        .min_by(|&a, &b| time_to(a).total_cmp(&time_to(b)))
                         .expect("candidates non-empty"),
                     MigrationStrategy::Random(seed) => {
                         let idx = (seed
@@ -538,7 +548,7 @@ impl Policy {
                         .iter()
                         .copied()
                         .filter(|&s| time_to(s).is_finite())
-                        .max_by(|&a, &b| time_to(a).partial_cmp(&time_to(b)).expect("finite times"))
+                        .max_by(|&a, &b| time_to(a).total_cmp(&time_to(b)))
                         .unwrap_or(candidates[0]),
                 };
                 placement = Placement::single(chosen, 1);
@@ -567,14 +577,23 @@ impl Policy {
             added
         };
         let migration = plan_migration(&departed, &dests, net, t, self.cfg.migration);
+        // Under the partitioned state model the pause any key suffers
+        // is one slice's flight, not the whole blob (§5): gate on the
+        // pipelined schedule's worst pause instead.
+        let est_pause_s = match self.cfg.state.partition_config() {
+            Some(pc) if !departed.is_empty() => {
+                plan_partitioned_migration(op.0 as u64, pc, &departed, &dests, net, t).max_pause_s()
+            }
+            _ => migration.bottleneck_s,
+        };
         if let Some(limit) = overhead_limit {
-            if migration.bottleneck_s > limit {
+            if est_pause_s > limit {
                 self.audit_rejected(
                     t,
                     "re-assign",
                     Some(op),
                     RejectReason::MigrationTooSlow {
-                        est_s: migration.bottleneck_s,
+                        est_s: est_pause_s,
                         t_max_s: limit,
                     },
                 );

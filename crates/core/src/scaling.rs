@@ -79,7 +79,7 @@ pub fn partition_transfers(
     }
     let mut transfers = Vec::new();
     // Repeatedly ship the largest surplus over its fastest link.
-    senders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    senders.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (from, mut surplus) in senders {
         while surplus > 1e-9 {
             // Fastest link from `from` to any receiver with deficit.
@@ -90,7 +90,7 @@ pub fn partition_transfers(
                 .max_by(|(_, (a, _)), (_, (b, _))| {
                     let ba = net.available(from, *a, t).0;
                     let bb = net.available(from, *b, t).0;
-                    ba.partial_cmp(&bb).expect("finite")
+                    ba.total_cmp(&bb)
                 })
             else {
                 break;

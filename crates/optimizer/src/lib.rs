@@ -10,6 +10,10 @@
 //! * [`migration`] — the min-max network-aware state-migration
 //!   assignment of §5 (binary search + bipartite matching), with the
 //!   `Random` and `Distant` baselines of §8.7.1;
+//! * [`partition`] — the partition-granularity extension of the
+//!   min-max assignment (§5, Fig. 14): coarse plan as seed, pipelined
+//!   per-partition schedule whose makespan never exceeds the coarse
+//!   bottleneck and whose worst pause is one slice's flight;
 //! * [`matching`] — Hopcroft–Karp maximum bipartite matching;
 //! * [`replan`] — the joint join-order/placement search of §4.3
 //!   (subset DP), honoring stateful common-sub-plan constraints.
@@ -39,6 +43,7 @@
 
 pub mod matching;
 pub mod migration;
+pub mod partition;
 pub mod placement;
 pub mod replan;
 
@@ -46,6 +51,7 @@ pub mod replan;
 pub mod prelude {
     pub use crate::matching::Bipartite;
     pub use crate::migration::{plan_migration, MigrationPlan, MigrationStrategy};
+    pub use crate::partition::{plan_partitioned_migration, PartitionedPlan};
     pub use crate::placement::{PlacementProblem, PlacementRequest, DEFAULT_ALPHA};
     pub use crate::replan::{JoinTree, PlanChoice, ReplanProblem, StreamLeaf};
 }

@@ -104,7 +104,7 @@ pub fn plan_migration(
                     .max_by(|(_, &a), (_, &b)| {
                         let ta = mb.transfer_time(net.available(s, a, t));
                         let tb = mb.transfer_time(net.available(s, b, t));
-                        ta.partial_cmp(&tb).expect("times are comparable")
+                        ta.total_cmp(&tb)
                     })
                     .expect("pool is non-empty");
                 chosen.push(pool.swap_remove(idx));
@@ -161,7 +161,7 @@ fn minmax_plan(
         }
     }
     times.retain(|x| x.is_finite());
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times.sort_by(|a, b| a.total_cmp(b));
     times.dedup();
 
     let feasible = |limit: f64| -> Option<Vec<Option<usize>>> {

@@ -159,8 +159,7 @@ impl PlacementProblem {
         let mut order: Vec<usize> = (0..self.sites.len()).collect();
         order.sort_by(|&a, &b| {
             self.costs[a]
-                .partial_cmp(&self.costs[b])
-                .expect("costs are finite")
+                .total_cmp(&self.costs[b])
                 .then(self.sites[a].cmp(&self.sites[b]))
         });
         let mut remaining = self.parallelism;

@@ -190,6 +190,57 @@ proptest! {
         }
     }
 
+    /// The partition-pipelined schedule never has a worse makespan
+    /// than the coarse min-max plan it refines (§5): the scheduler
+    /// seeds from the coarse assignment and only accepts
+    /// strictly-improving moves. Also: slices conserve volume and the
+    /// worst per-partition pause never exceeds the makespan.
+    #[test]
+    fn pipelined_schedule_dominates_coarse_bottleneck(
+        caps in proptest::collection::vec(1.0f64..200.0, 20..60),
+        sizes in proptest::collection::vec(0.5f64..400.0, 1..5),
+        n_parts in 2u32..48,
+        zipf in 0.0f64..2.0,
+        seed in 0u64..u64::MAX,
+        stream in 0u64..u64::MAX,
+    ) {
+        use wasp_optimizer::partition::plan_partitioned_migration;
+        use wasp_state::PartitionConfig;
+
+        let n_src = sizes.len();
+        let net = random_network(2 * n_src as u16, &caps, &[10.0]);
+        let sources: Vec<(SiteId, MegaBytes)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &mb)| (SiteId(i as u16), MegaBytes(mb)))
+            .collect();
+        let dests: Vec<SiteId> = (n_src..2 * n_src).map(|i| SiteId(i as u16)).collect();
+        let cfg = PartitionConfig {
+            partitions: n_parts,
+            zipf_exponent: zipf,
+            seed,
+        };
+        let plan = plan_partitioned_migration(stream, &cfg, &sources, &dests, &net, SimTime::ZERO);
+        let coarse = plan.coarse.bottleneck_s;
+        prop_assert!(
+            plan.bottleneck_s() <= coarse * (1.0 + 1e-9) + 1e-9,
+            "pipelined {} beats physics? coarse {coarse}",
+            plan.bottleneck_s()
+        );
+        prop_assert!(
+            plan.max_pause_s() <= plan.bottleneck_s() + 1e-9,
+            "pause {} > makespan {}",
+            plan.max_pause_s(),
+            plan.bottleneck_s()
+        );
+        let total: f64 = sizes.iter().sum();
+        prop_assert!(
+            (plan.schedule.total_mb() - total).abs() < 1e-6 * total.max(1.0),
+            "slices {} vs state {total}",
+            plan.schedule.total_mb()
+        );
+    }
+
     /// Scale-out search returns the minimal feasible parallelism.
     #[test]
     fn scale_out_search_is_minimal(
@@ -264,7 +315,7 @@ fn brute_force_best(problem: &ReplanProblem, net: &Network) -> Option<f64> {
     candidates
         .into_iter()
         .map(|t| problem.evaluate(&t, net, SimTime::ZERO).0)
-        .min_by(|a, b| a.partial_cmp(b).expect("finite costs"))
+        .min_by(|a, b| a.total_cmp(b))
 }
 
 proptest! {

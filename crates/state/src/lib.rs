@@ -1,0 +1,198 @@
+//! Partitioned keyed state for the WASP reproduction (§5, Fig. 14).
+//!
+//! The paper bounds migration time by *partitioning* operator state:
+//! instead of shipping one monolithic per-site blob (and pausing the
+//! whole operator for `|state|/B` seconds), the key space is hashed
+//! into `N` partitions that can be checkpointed and moved one at a
+//! time — only the partition currently in flight is paused, and
+//! checkpoints upload the *delta* written since the last round rather
+//! than the full state.
+//!
+//! This crate is the bottom-of-DAG model behind that machinery:
+//!
+//! * [`PartitionConfig`] / [`partition_weights`] — a deterministic,
+//!   seeded Zipfian key distribution, so hot partitions exist and the
+//!   scheduler has real skew to work against;
+//! * [`StateStore`] — per-stage partition sizes plus the
+//!   dirty-since-last-checkpoint accounting that drives incremental
+//!   checkpoints and dirty-partition-scoped redo replay;
+//! * [`scheduler`] — the partition-level pipelined migration
+//!   scheduler, whose makespan is never worse than the coarse min-max
+//!   plan it refines (see [`scheduler::pipeline_schedule`]);
+//! * [`timeline`] — per-partition transfer/checkpoint records consumed
+//!   by `wasp-report`'s checkpoint/migration timeline section.
+//!
+//! Everything is deterministic: the same `(seed, stream)` pair always
+//! yields the same partition layout, and no wall-clock or ambient
+//! randomness is consulted anywhere.
+//!
+//! The [`StateModel`] switch gates the whole subsystem: `Coarse` (the
+//! default) preserves the original single-blob semantics bit-exactly,
+//! `Partitioned` enables everything above.
+
+pub mod scheduler;
+pub mod store;
+pub mod timeline;
+
+pub use store::{CheckpointDelta, StateStore};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How operator state is modeled and moved.
+///
+/// `Coarse` is the default and keeps every pre-existing golden,
+/// differential, and byte-identity result bit-exact: one blob per
+/// site, full-size checkpoint uploads, whole-operator pauses during
+/// migration. `Partitioned` turns on hash-partitioned state with
+/// incremental checkpoints and pipelined per-partition migration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum StateModel {
+    /// One monolithic blob per site (the original model).
+    #[default]
+    Coarse,
+    /// `N` Zipf-skewed hash partitions per stateful stage.
+    Partitioned(PartitionConfig),
+}
+
+impl StateModel {
+    /// The partition configuration, when partitioned.
+    pub fn partition_config(&self) -> Option<&PartitionConfig> {
+        match self {
+            StateModel::Coarse => None,
+            StateModel::Partitioned(cfg) => Some(cfg),
+        }
+    }
+
+    /// True when this is the partitioned model.
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self, StateModel::Partitioned(_))
+    }
+}
+
+/// Configuration of the partitioned keyed-state model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionConfig {
+    /// Hash partitions per stateful stage (the paper's Fig. 14 uses
+    /// partition counts to bound `t_adapt` under the `t_max` knob).
+    pub partitions: u32,
+    /// Zipf exponent `s` of the key distribution: partition `i`
+    /// weighs `∝ 1/(i+1)^s`. `0` is uniform; `1` is classic Zipf
+    /// (a realistically hot head partition).
+    pub zipf_exponent: f64,
+    /// Seed for the deterministic shuffle that assigns which hash
+    /// partitions are hot (so the hot partition is not always id 0).
+    pub seed: u64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            partitions: 16,
+            zipf_exponent: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// A config with `partitions` partitions and defaults otherwise.
+    pub fn with_partitions(partitions: u32) -> PartitionConfig {
+        PartitionConfig {
+            partitions,
+            ..PartitionConfig::default()
+        }
+    }
+}
+
+/// Deterministic per-partition weight vector for one keyed stream.
+///
+/// Weights follow a Zipfian law `w_i ∝ 1/(i+1)^s`, normalized to sum
+/// to 1, then deterministically shuffled by a [`StdRng`] seeded from
+/// `(cfg.seed, stream)` — so two stages (different `stream` ids) hash
+/// their hot keys into different partition ids, exactly like
+/// independent hash functions would.
+///
+/// The same `(cfg, stream)` always produces the same vector; the
+/// output is never empty (a zero partition count is clamped to 1).
+pub fn partition_weights(cfg: &PartitionConfig, stream: u64) -> Vec<f64> {
+    let n = cfg.partitions.max(1) as usize;
+    let s = cfg.zipf_exponent.max(0.0);
+    let mut weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= total;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    weights.shuffle(&mut rng);
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_normalized_and_deterministic() {
+        let cfg = PartitionConfig::default();
+        let a = partition_weights(&cfg, 3);
+        let b = partition_weights(&cfg, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        let sum: f64 = a.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "sum {sum}");
+        assert!(a.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn zipf_skew_creates_a_hot_partition() {
+        let cfg = PartitionConfig {
+            partitions: 64,
+            zipf_exponent: 1.0,
+            seed: 7,
+        };
+        let w = partition_weights(&cfg, 0);
+        let max = w.iter().cloned().fold(0.0f64, f64::max);
+        let min = w.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Head partition holds 64× the tail under s = 1, n = 64.
+        assert!(max / min > 50.0, "max {max} min {min}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let cfg = PartitionConfig {
+            partitions: 8,
+            zipf_exponent: 0.0,
+            seed: 1,
+        };
+        let w = partition_weights(&cfg, 9);
+        for &x in &w {
+            assert!((x - 1.0 / 8.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn different_streams_hash_hotness_differently() {
+        let cfg = PartitionConfig::default();
+        let a = partition_weights(&cfg, 1);
+        let b = partition_weights(&cfg, 2);
+        assert_ne!(a, b, "streams must shuffle independently");
+        // Same multiset of weights, different order.
+        let mut sa = a.clone();
+        let mut sb = b.clone();
+        sa.sort_by(|x, y| x.total_cmp(y));
+        sb.sort_by(|x, y| x.total_cmp(y));
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn degenerate_partition_count_is_clamped() {
+        let cfg = PartitionConfig {
+            partitions: 0,
+            ..PartitionConfig::default()
+        };
+        let w = partition_weights(&cfg, 0);
+        assert_eq!(w, vec![1.0]);
+    }
+}

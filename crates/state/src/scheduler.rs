@@ -1,0 +1,318 @@
+//! The partition-level pipelined migration scheduler.
+//!
+//! Coarse migration ships each departing site's whole state as one
+//! transfer and pauses the whole operator for the slowest transfer's
+//! duration. With partitioned state the same bytes move as a queue of
+//! per-partition slices: each `(from, to)` link sends its slices
+//! back-to-back (pipelined), processing continues for every partition
+//! not currently in flight, and the *pause* any key experiences is one
+//! slice's flight time instead of the whole makespan.
+//!
+//! [`pipeline_schedule`] starts from a seed site→site assignment (the
+//! coarse min-max plan) and greedily re-balances individual partition
+//! slices onto other destination links whenever that strictly lowers
+//! the makespan. Because the seed schedule *is* the coarse plan and
+//! only strictly-improving moves are accepted, the result's
+//! [`PartitionSchedule::bottleneck_s`] is ≤ the coarse plan's
+//! bottleneck by construction — the property the optimizer's proptest
+//! checks on random topologies and state vectors.
+
+use std::collections::BTreeMap;
+use wasp_netsim::site::SiteId;
+
+/// One partition slice move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionTransfer {
+    /// Site the slice leaves.
+    pub from: SiteId,
+    /// Site the slice lands on.
+    pub to: SiteId,
+    /// Hash partition the slice belongs to.
+    pub partition: u32,
+    /// Slice volume.
+    pub mb: f64,
+}
+
+/// A pipelined migration schedule over partition slices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSchedule {
+    /// Slices in pipeline order: grouped per `(from, to)` link, each
+    /// link draining its group sequentially while links run in
+    /// parallel.
+    pub transfers: Vec<PartitionTransfer>,
+    /// Makespan: the slowest link's total drain time, seconds. Never
+    /// exceeds the seed (coarse) assignment's bottleneck.
+    pub bottleneck_s: f64,
+    /// The longest single slice flight — the worst pause any one
+    /// partition's keys experience (the partitioned `t_adapt` a
+    /// `t_max`-gated policy should compare against).
+    pub max_pause_s: f64,
+}
+
+impl PartitionSchedule {
+    /// An empty schedule (nothing to move).
+    pub fn empty() -> PartitionSchedule {
+        PartitionSchedule {
+            transfers: Vec::new(),
+            bottleneck_s: 0.0,
+            max_pause_s: 0.0,
+        }
+    }
+
+    /// Total volume moved.
+    pub fn total_mb(&self) -> f64 {
+        self.transfers.iter().map(|t| t.mb).sum()
+    }
+}
+
+/// Builds the pipelined schedule.
+///
+/// * `sources` — each departing site with its partition slices
+///   (`(partition id, megabytes)`, zero/negative slices are ignored);
+/// * `seed_assignment` — the coarse plan's `from → to` choice per
+///   departing site (sites absent from it fall back to the first
+///   destination);
+/// * `dests` — candidate destination sites slices may re-balance onto;
+/// * `rate_mb_per_s(from, to)` — link throughput in MB/s (`0` or
+///   non-finite = unusable link).
+///
+/// Determinism: iteration orders are fixed by `(site, partition)`
+/// sort keys; ties in link completion times break toward the smaller
+/// `(from, to)` pair.
+pub fn pipeline_schedule(
+    sources: &[(SiteId, Vec<(u32, f64)>)],
+    seed_assignment: &[(SiteId, SiteId)],
+    dests: &[SiteId],
+    rate_mb_per_s: &dyn Fn(SiteId, SiteId) -> f64,
+) -> PartitionSchedule {
+    if dests.is_empty() {
+        return PartitionSchedule::empty();
+    }
+    let seed: BTreeMap<SiteId, SiteId> = seed_assignment.iter().copied().collect();
+    // Flatten into slices with their current destination.
+    struct Slice {
+        from: SiteId,
+        to: SiteId,
+        partition: u32,
+        mb: f64,
+    }
+    let mut slices: Vec<Slice> = Vec::new();
+    for &(from, ref parts) in sources {
+        let to = seed.get(&from).copied().unwrap_or(dests[0]);
+        for &(partition, mb) in parts {
+            if mb > 1e-12 {
+                slices.push(Slice {
+                    from,
+                    to,
+                    partition,
+                    mb,
+                });
+            }
+        }
+    }
+    if slices.is_empty() {
+        return PartitionSchedule::empty();
+    }
+    slices.sort_by_key(|a| (a.from, a.partition));
+
+    let rate = |from: SiteId, to: SiteId| -> f64 {
+        let r = rate_mb_per_s(from, to);
+        if r.is_finite() && r > 0.0 {
+            r
+        } else {
+            0.0
+        }
+    };
+    let drain_time = |load_mb: f64, from: SiteId, to: SiteId| -> f64 {
+        if load_mb <= 0.0 {
+            return 0.0;
+        }
+        let r = rate(from, to);
+        if r > 0.0 {
+            load_mb / r
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    // Per-link load.
+    let mut load: BTreeMap<(SiteId, SiteId), f64> = BTreeMap::new();
+    for s in &slices {
+        *load.entry((s.from, s.to)).or_insert(0.0) += s.mb;
+    }
+    let makespan = |load: &BTreeMap<(SiteId, SiteId), f64>| -> f64 {
+        load.iter()
+            .map(|(&(f, t), &mb)| drain_time(mb, f, t))
+            .fold(0.0, f64::max)
+    };
+
+    // Greedy slice re-balancing: move one slice off the bottleneck
+    // link per round while that strictly shrinks the makespan. Bounded
+    // by the slice count — each accepted move strictly reduces a
+    // finite objective over a finite move set, and rejection ends the
+    // loop — but cap the rounds defensively anyway.
+    let max_rounds = slices.len() * 2 + 8;
+    for _ in 0..max_rounds {
+        let current = makespan(&load);
+        if current <= 0.0 {
+            break;
+        }
+        // Bottleneck link (ties toward the smaller pair for
+        // determinism: BTreeMap iteration order + strict `>`).
+        let Some((&bott, _)) =
+            load.iter()
+                .filter(|(_, &mb)| mb > 0.0)
+                .max_by(|(ka, &a), (kb, &b)| {
+                    drain_time(a, ka.0, ka.1)
+                        .total_cmp(&drain_time(b, kb.0, kb.1))
+                        .then(kb.cmp(ka))
+                })
+        else {
+            break;
+        };
+        // Best single-slice move off the bottleneck link.
+        let mut best: Option<(usize, SiteId, f64)> = None;
+        for (i, s) in slices.iter().enumerate() {
+            if (s.from, s.to) != bott {
+                continue;
+            }
+            for &d in dests {
+                if d == s.to || d == s.from {
+                    continue;
+                }
+                let src_after = drain_time(load[&bott] - s.mb, bott.0, bott.1);
+                let dst_load = load.get(&(s.from, d)).copied().unwrap_or(0.0) + s.mb;
+                let dst_after = drain_time(dst_load, s.from, d);
+                // The move only helps if both touched links end below
+                // the current makespan.
+                let local = src_after.max(dst_after);
+                if local + 1e-12 < current {
+                    let better = match best {
+                        None => true,
+                        Some((_, _, b)) => local < b - 1e-12,
+                    };
+                    if better {
+                        best = Some((i, d, local));
+                    }
+                }
+            }
+        }
+        let Some((i, d, _)) = best else { break };
+        let s = &mut slices[i];
+        *load.get_mut(&(s.from, s.to)).expect("link load exists") -= s.mb;
+        *load.entry((s.from, d)).or_insert(0.0) += s.mb;
+        s.to = d;
+    }
+
+    let bottleneck_s = makespan(&load);
+    let mut max_pause_s = 0.0f64;
+    for s in &slices {
+        max_pause_s = max_pause_s.max(drain_time(s.mb, s.from, s.to));
+    }
+    // Pipeline order: per-link groups, partitions in id order inside
+    // each group.
+    let mut transfers: Vec<PartitionTransfer> = slices
+        .iter()
+        .map(|s| PartitionTransfer {
+            from: s.from,
+            to: s.to,
+            partition: s.partition,
+            mb: s.mb,
+        })
+        .collect();
+    transfers.sort_by_key(|a| (a.from, a.to, a.partition));
+    PartitionSchedule {
+        transfers,
+        bottleneck_s,
+        max_pause_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(i: u16) -> SiteId {
+        SiteId(i)
+    }
+
+    /// `rate(from, to)` table helper.
+    fn rates(table: &[((u16, u16), f64)]) -> impl Fn(SiteId, SiteId) -> f64 + '_ {
+        move |f: SiteId, t: SiteId| {
+            table
+                .iter()
+                .find(|&&((a, b), _)| a == f.0 && b == t.0)
+                .map(|&(_, r)| r)
+                .unwrap_or(0.0)
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_schedule() {
+        let r = |_: SiteId, _: SiteId| 10.0;
+        assert_eq!(
+            pipeline_schedule(&[], &[], &[site(1)], &r),
+            PartitionSchedule::empty()
+        );
+        assert_eq!(
+            pipeline_schedule(&[(site(0), vec![(0, 5.0)])], &[], &[], &r),
+            PartitionSchedule::empty()
+        );
+    }
+
+    #[test]
+    fn single_link_pipelines_with_small_pauses() {
+        // 4 slices of 10 MB over a 10 MB/s link: makespan 4 s, but the
+        // longest pause is one slice = 1 s.
+        let src = vec![(site(0), vec![(0, 10.0), (1, 10.0), (2, 10.0), (3, 10.0)])];
+        let r = |_: SiteId, _: SiteId| 10.0;
+        let s = pipeline_schedule(&src, &[(site(0), site(1))], &[site(1)], &r);
+        assert!((s.bottleneck_s - 4.0).abs() < 1e-9, "{s:?}");
+        assert!((s.max_pause_s - 1.0).abs() < 1e-9, "{s:?}");
+        assert_eq!(s.transfers.len(), 4);
+    }
+
+    #[test]
+    fn rebalancing_beats_the_seed_assignment() {
+        // All 8 slices seeded onto the (0→1) 10 MB/s link; a second
+        // destination (0→2) at 10 MB/s halves the makespan.
+        let table = [((0, 1), 10.0), ((0, 2), 10.0)];
+        let r = rates(&table);
+        let parts: Vec<(u32, f64)> = (0..8).map(|i| (i, 10.0)).collect();
+        let src = vec![(site(0), parts)];
+        let seed = [(site(0), site(1))];
+        let s = pipeline_schedule(&src, &seed, &[site(1), site(2)], &r);
+        assert!(
+            (s.bottleneck_s - 4.0).abs() < 1e-9,
+            "expected 4 s after balancing, got {s:?}"
+        );
+        // Coarse makespan with the seed alone would be 8 s.
+        assert!(s.bottleneck_s <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn never_worse_than_seed_with_dead_alternative() {
+        // Alternative destination has a dead link: greedy must not
+        // move anything onto it.
+        let table = [((0, 1), 5.0), ((0, 2), 0.0)];
+        let r = rates(&table);
+        let src = vec![(site(0), vec![(0, 10.0), (1, 10.0)])];
+        let s = pipeline_schedule(&src, &[(site(0), site(1))], &[site(1), site(2)], &r);
+        assert!((s.bottleneck_s - 4.0).abs() < 1e-9, "{s:?}");
+        assert!(s.transfers.iter().all(|t| t.to == site(1)));
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let table = [((0, 1), 7.0), ((0, 2), 9.0), ((3, 1), 4.0), ((3, 2), 4.0)];
+        let r = rates(&table);
+        let src = vec![
+            (site(0), vec![(0, 12.0), (1, 6.0), (2, 3.0)]),
+            (site(3), vec![(0, 9.0), (1, 9.0)]),
+        ];
+        let seed = [(site(0), site(1)), (site(3), site(2))];
+        let a = pipeline_schedule(&src, &seed, &[site(1), site(2)], &r);
+        let b = pipeline_schedule(&src, &seed, &[site(1), site(2)], &r);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,270 @@
+//! Per-stage partitioned state with incremental-checkpoint accounting.
+//!
+//! A [`StateStore`] tracks one stateful stage's key space: the
+//! Zipf-skewed per-partition weight vector (fixed at construction)
+//! plus, per partition, the megabytes *written since the last
+//! checkpoint*. Checkpoints drain that dirty set and report the delta
+//! volume — which is what an incremental checkpoint actually uploads,
+//! instead of the full state size — and failures replay only the
+//! partitions that were dirty (clean partitions are already durable).
+
+use crate::{partition_weights, PartitionConfig};
+
+/// What one incremental checkpoint round wrote for one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointDelta {
+    /// Megabytes written since the previous checkpoint (the upload
+    /// volume of an incremental checkpoint).
+    pub delta_mb: f64,
+    /// The stage's full state size at checkpoint time (what a
+    /// full-size checkpoint would have uploaded).
+    pub full_mb: f64,
+    /// Partitions that were dirty this round.
+    pub dirty_partitions: u32,
+}
+
+/// One stateful stage's partitioned key space.
+#[derive(Debug, Clone)]
+pub struct StateStore {
+    weights: Vec<f64>,
+    /// Megabytes written into each partition since the last
+    /// checkpoint, capped at the partition's current size.
+    dirty_mb: Vec<f64>,
+    total_mb: f64,
+    /// Splitmix64 state for [`StateStore::record_writes_sampled`].
+    rng_state: u64,
+}
+
+impl StateStore {
+    /// A store for one stage. `stream` disambiguates stages sharing a
+    /// config (each gets an independently shuffled hot partition).
+    pub fn new(cfg: &PartitionConfig, stream: u64) -> StateStore {
+        let weights = partition_weights(cfg, stream);
+        let dirty_mb = vec![0.0; weights.len()];
+        StateStore {
+            weights,
+            dirty_mb,
+            total_mb: 0.0,
+            rng_state: cfg.seed ^ stream.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The per-partition weight vector (sums to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Current full state size across all partitions.
+    pub fn total_mb(&self) -> f64 {
+        self.total_mb
+    }
+
+    /// Re-synchronizes the store's total state size with the engine's
+    /// per-site accounting (partition sizes scale proportionally).
+    pub fn set_total_mb(&mut self, total_mb: f64) {
+        self.total_mb = total_mb.max(0.0);
+        // Shrinking state can leave dirty accounting above the new
+        // partition size; re-cap.
+        for i in 0..self.dirty_mb.len() {
+            let cap = self.partition_mb(i);
+            if self.dirty_mb[i] > cap {
+                self.dirty_mb[i] = cap;
+            }
+        }
+    }
+
+    /// Size of partition `i`.
+    pub fn partition_mb(&self, i: usize) -> f64 {
+        self.weights.get(i).copied().unwrap_or(0.0) * self.total_mb
+    }
+
+    /// Records `mb` of state writes, distributed across partitions by
+    /// key weight (hot partitions dirty faster). Dirty volume is
+    /// capped at the partition size — rewriting a key twice between
+    /// checkpoints uploads it once.
+    pub fn record_writes(&mut self, mb: f64) {
+        if mb <= 0.0 {
+            return;
+        }
+        for i in 0..self.dirty_mb.len() {
+            let cap = self.partition_mb(i);
+            self.dirty_mb[i] = (self.dirty_mb[i] + mb * self.weights[i]).min(cap);
+        }
+    }
+
+    /// Records `mb` of state writes against *one* partition, sampled
+    /// from the key-weight distribution by a deterministic splitmix64
+    /// stream. This models a tick's key batch landing where the hot
+    /// keys live: between two checkpoints only the partitions actually
+    /// sampled become dirty, so incremental checkpoints and
+    /// dirty-scoped redo have a genuinely partial dirty set to work
+    /// with (unlike [`StateStore::record_writes`], which smears every
+    /// write across all partitions).
+    pub fn record_writes_sampled(&mut self, mb: f64) {
+        if mb <= 0.0 || self.weights.is_empty() {
+            return;
+        }
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let mut idx = self.weights.len() - 1;
+        let mut acc = 0.0;
+        for (i, &w) in self.weights.iter().enumerate() {
+            acc += w;
+            if u < acc {
+                idx = i;
+                break;
+            }
+        }
+        let cap = self.partition_mb(idx);
+        self.dirty_mb[idx] = (self.dirty_mb[idx] + mb).min(cap);
+    }
+
+    /// Fraction of the key space (by weight) dirty since the last
+    /// checkpoint — the share of since-checkpoint work that must be
+    /// replayed after a failure (clean partitions are durable).
+    pub fn dirty_weight_fraction(&self) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.dirty_mb)
+            .filter(|(_, &d)| d > 1e-12)
+            .map(|(&w, _)| w)
+            .sum::<f64>()
+            .min(1.0)
+    }
+
+    /// Takes an incremental checkpoint: drains the dirty set and
+    /// returns the delta volume it uploaded.
+    pub fn take_checkpoint(&mut self) -> CheckpointDelta {
+        let mut delta = 0.0;
+        let mut dirty = 0u32;
+        for d in &mut self.dirty_mb {
+            if *d > 1e-12 {
+                dirty += 1;
+            }
+            delta += *d;
+            *d = 0.0;
+        }
+        CheckpointDelta {
+            delta_mb: delta,
+            full_mb: self.total_mb,
+            dirty_partitions: dirty,
+        }
+    }
+
+    /// Splits `mb` (a site-level blob of this stage's state) into
+    /// per-partition slices by weight, dropping slices below `min_mb`.
+    /// Returns `(partition id, slice megabytes)` pairs in partition
+    /// order.
+    pub fn split_slices(&self, mb: f64, min_mb: f64) -> Vec<(u32, f64)> {
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i as u32, w * mb))
+            .filter(|&(_, s)| s > min_mb)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> StateStore {
+        let mut s = StateStore::new(&PartitionConfig::default(), 5);
+        s.set_total_mb(160.0);
+        s
+    }
+
+    #[test]
+    fn checkpoint_uploads_delta_not_full_size() {
+        let mut s = store();
+        s.record_writes(10.0);
+        let ck = s.take_checkpoint();
+        assert!((ck.delta_mb - 10.0).abs() < 1e-9, "{ck:?}");
+        assert!((ck.full_mb - 160.0).abs() < 1e-9);
+        assert!(ck.delta_mb < ck.full_mb);
+        // Second round with no writes uploads nothing.
+        let ck2 = s.take_checkpoint();
+        assert_eq!(ck2.delta_mb, 0.0);
+        assert_eq!(ck2.dirty_partitions, 0);
+    }
+
+    #[test]
+    fn dirty_volume_caps_at_partition_size() {
+        let mut s = store();
+        // Write 10× the full state: every partition saturates.
+        s.record_writes(1600.0);
+        let ck = s.take_checkpoint();
+        assert!(
+            (ck.delta_mb - 160.0).abs() < 1e-6,
+            "delta {} should cap at full size",
+            ck.delta_mb
+        );
+    }
+
+    #[test]
+    fn dirty_fraction_tracks_writes() {
+        let mut s = store();
+        assert_eq!(s.dirty_weight_fraction(), 0.0);
+        s.record_writes(1.0);
+        // Weighted writes touch every partition.
+        assert!((s.dirty_weight_fraction() - 1.0).abs() < 1e-9);
+        s.take_checkpoint();
+        assert_eq!(s.dirty_weight_fraction(), 0.0);
+    }
+
+    #[test]
+    fn slices_cover_the_blob() {
+        let s = store();
+        let slices = s.split_slices(80.0, 1e-9);
+        let sum: f64 = slices.iter().map(|&(_, mb)| mb).sum();
+        assert!((sum - 80.0).abs() < 1e-9);
+        assert_eq!(slices.len(), s.partitions());
+        // Skewed: largest slice well above the mean.
+        let max = slices.iter().map(|&(_, mb)| mb).fold(0.0f64, f64::max);
+        assert!(max > 2.0 * 80.0 / 16.0, "max slice {max}");
+    }
+
+    #[test]
+    fn sampled_writes_dirty_a_strict_subset() {
+        let mut s = StateStore::new(&PartitionConfig::with_partitions(64), 3);
+        s.set_total_mb(640.0);
+        for _ in 0..10 {
+            s.record_writes_sampled(0.5);
+        }
+        let frac = s.dirty_weight_fraction();
+        assert!(frac > 0.0, "some partition must be dirty");
+        assert!(frac < 1.0, "10 samples cannot dirty all 64 partitions");
+        let ck = s.take_checkpoint();
+        assert!(
+            ck.dirty_partitions >= 1 && ck.dirty_partitions <= 10,
+            "{ck:?}"
+        );
+        assert!(ck.delta_mb <= 5.0 + 1e-9);
+        // Deterministic: an identical store replays identically.
+        let mut s2 = StateStore::new(&PartitionConfig::with_partitions(64), 3);
+        s2.set_total_mb(640.0);
+        for _ in 0..10 {
+            s2.record_writes_sampled(0.5);
+        }
+        assert_eq!(s2.take_checkpoint(), ck);
+    }
+
+    #[test]
+    fn shrinking_total_recaps_dirty() {
+        let mut s = store();
+        s.record_writes(1600.0);
+        s.set_total_mb(16.0);
+        let ck = s.take_checkpoint();
+        assert!(ck.delta_mb <= 16.0 + 1e-9, "{ck:?}");
+    }
+}

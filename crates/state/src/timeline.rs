@@ -1,0 +1,146 @@
+//! Checkpoint/migration timeline records for the partitioned state
+//! model.
+//!
+//! The engine appends to a [`StateTimeline`] while running under
+//! `StateModel::Partitioned`: one record per incremental checkpoint
+//! round per stage, and one per partition slice transfer (with its
+//! start, end, and the downtime its keys experienced). `wasp-report`
+//! renders this as the "Partitioned state timeline" section; under
+//! `Coarse` the timeline stays empty and the section is omitted, so
+//! existing report goldens are byte-identical.
+
+use wasp_netsim::site::SiteId;
+
+/// One incremental checkpoint round of one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRecord {
+    /// Simulated time of the round.
+    pub t_s: f64,
+    /// Stage id.
+    pub op: u32,
+    /// Delta volume the round uploaded.
+    pub delta_mb: f64,
+    /// Full state size at the time (what a coarse checkpoint would
+    /// have uploaded).
+    pub full_mb: f64,
+    /// Partitions dirty this round.
+    pub dirty_partitions: u32,
+}
+
+/// One partition slice transfer during a migration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionTransferRecord {
+    /// Stage being migrated (`None` = whole-query plan switch).
+    pub op: Option<u32>,
+    /// Hash partition the slice belongs to.
+    pub partition: u32,
+    /// Source site.
+    pub from: SiteId,
+    /// Destination site.
+    pub to: SiteId,
+    /// Slice volume.
+    pub mb: f64,
+    /// When the slice's flight began.
+    pub start_s: f64,
+    /// When it landed (`None` while still in flight or aborted).
+    pub end_s: Option<f64>,
+}
+
+impl PartitionTransferRecord {
+    /// The pause this partition's keys experienced (flight duration),
+    /// when the transfer completed.
+    pub fn downtime_s(&self) -> Option<f64> {
+        self.end_s.map(|e| (e - self.start_s).max(0.0))
+    }
+}
+
+/// Everything the partitioned state subsystem did during a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateTimeline {
+    /// Incremental checkpoint rounds, in time order.
+    pub checkpoints: Vec<CheckpointRecord>,
+    /// Partition slice transfers, in start order.
+    pub transfers: Vec<PartitionTransferRecord>,
+}
+
+impl StateTimeline {
+    /// An empty timeline.
+    pub fn new() -> StateTimeline {
+        StateTimeline::default()
+    }
+
+    /// True when nothing was recorded (always the case under
+    /// `StateModel::Coarse`).
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty() && self.transfers.is_empty()
+    }
+
+    /// Downtimes of all completed partition transfers, in completion
+    /// record order.
+    pub fn partition_downtimes(&self) -> Vec<f64> {
+        self.transfers
+            .iter()
+            .filter_map(|t| t.downtime_s())
+            .collect()
+    }
+
+    /// The `q`-quantile of completed per-partition downtimes (nearest
+    /// rank), if any transfer completed.
+    pub fn downtime_quantile(&self, q: f64) -> Option<f64> {
+        let mut d = self.partition_downtimes();
+        if d.is_empty() {
+            return None;
+        }
+        d.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((q.clamp(0.0, 1.0) * d.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(d.len() - 1);
+        Some(d[idx])
+    }
+
+    /// Total delta volume uploaded by incremental checkpoints.
+    pub fn total_delta_mb(&self) -> f64 {
+        self.checkpoints.iter().map(|c| c.delta_mb).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downtime_quantile_nearest_rank() {
+        let mut tl = StateTimeline::new();
+        for (i, d) in [4.0, 1.0, 3.0, 2.0].into_iter().enumerate() {
+            tl.transfers.push(PartitionTransferRecord {
+                op: Some(1),
+                partition: i as u32,
+                from: SiteId(0),
+                to: SiteId(1),
+                mb: 1.0,
+                start_s: 0.0,
+                end_s: Some(d),
+            });
+        }
+        assert_eq!(tl.downtime_quantile(0.5), Some(2.0));
+        assert_eq!(tl.downtime_quantile(1.0), Some(4.0));
+        assert_eq!(tl.downtime_quantile(0.0), Some(1.0));
+        assert_eq!(StateTimeline::new().downtime_quantile(0.5), None);
+    }
+
+    #[test]
+    fn in_flight_transfers_have_no_downtime() {
+        let mut tl = StateTimeline::new();
+        tl.transfers.push(PartitionTransferRecord {
+            op: None,
+            partition: 0,
+            from: SiteId(0),
+            to: SiteId(1),
+            mb: 1.0,
+            start_s: 5.0,
+            end_s: None,
+        });
+        assert!(tl.partition_downtimes().is_empty());
+        assert!(!tl.is_empty());
+    }
+}

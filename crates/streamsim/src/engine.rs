@@ -183,6 +183,15 @@ pub struct EngineConfig {
     /// periodic state uploads compete with the data streams for WAN
     /// bandwidth.
     pub checkpoint_target: CheckpointTarget,
+    /// How operator state is modeled (§5, Fig. 14). The default,
+    /// `Coarse`, keeps the original single-blob semantics bit-exactly:
+    /// full-size checkpoint uploads, whole-operator suspension during
+    /// migration. `Partitioned` hash-partitions each stateful stage's
+    /// key space: checkpoints upload only the delta written since the
+    /// last round, per-op migrations ship per-partition slices
+    /// pipelined across links (pausing only the partition in flight),
+    /// and failure redo replays only the dirty partitions.
+    pub state_model: wasp_state::StateModel,
 }
 
 /// Destination of periodic checkpoints.
@@ -209,6 +218,7 @@ impl Default for EngineConfig {
             restart_penalty_s: 2.0,
             drop_slo: None,
             checkpoint_target: CheckpointTarget::Local,
+            state_model: wasp_state::StateModel::Coarse,
         }
     }
 }
@@ -561,11 +571,37 @@ struct TransferProgress {
     remaining_mb: f64,
 }
 
+/// One partition slice of a partitioned migration. Slices of the same
+/// `(from, to)` link drain sequentially (pipelined); only the head
+/// slice of each link is in flight — and paused — at a time.
+#[derive(Debug, Clone)]
+struct SliceFlight {
+    partition: u32,
+    from: SiteId,
+    to: SiteId,
+    /// Key-space weight of the partition (the capacity share paused
+    /// while this slice is in flight).
+    weight: f64,
+    mb: f64,
+    remaining_mb: f64,
+    /// Simulated time the slice's flight began (`None` until it
+    /// reaches the head of its link's queue).
+    started_at: Option<f64>,
+    /// Index of this slice's record in the engine's state timeline.
+    record: Option<usize>,
+}
+
 #[derive(Debug, Clone)]
 struct Migration {
     /// `None` = whole-query transition (plan switch).
     op: Option<OpId>,
     transfers: Vec<TransferProgress>,
+    /// Per-partition slices (partitioned migrations only; `transfers`
+    /// is empty then).
+    slices: Vec<SliceFlight>,
+    /// True for a partitioned per-op migration: the operator keeps
+    /// processing at reduced capacity instead of suspending wholesale.
+    partitioned: bool,
     resume_no_earlier: f64,
     /// When the transition began (for the downtime histogram).
     started_at: f64,
@@ -575,7 +611,9 @@ struct Migration {
 
 impl Migration {
     fn done(&self, now: f64) -> bool {
-        now >= self.resume_no_earlier && self.transfers.iter().all(|t| t.remaining_mb <= 1e-9)
+        now >= self.resume_no_earlier
+            && self.transfers.iter().all(|t| t.remaining_mb <= 1e-9)
+            && self.slices.iter().all(|s| s.remaining_mb <= 1e-9)
     }
 }
 
@@ -607,10 +645,18 @@ struct EngineMetrics {
     migrations_in_flight: Gauge,
     /// Seconds each completed transition kept its stage(s) suspended.
     migration_downtime: Histogram,
+    /// Per-partition state sizes observed at each incremental
+    /// checkpoint round (`None` under `StateModel::Coarse`, so the
+    /// coarse registry shape — and every export — is unchanged).
+    partition_bytes: Option<Histogram>,
+    /// Incremental-checkpoint delta volume per stage per round.
+    checkpoint_delta: Option<Histogram>,
+    /// Pause each completed partition slice inflicted on its keys.
+    partition_downtime: Option<Histogram>,
 }
 
 impl EngineMetrics {
-    fn build(hub: &MetricsHub, plan: &LogicalPlan) -> EngineMetrics {
+    fn build(hub: &MetricsHub, plan: &LogicalPlan, partitioned: bool) -> EngineMetrics {
         let mut processed = Vec::with_capacity(plan.len());
         let mut emitted = Vec::with_capacity(plan.len());
         let mut queue = Vec::with_capacity(plan.len());
@@ -690,6 +736,27 @@ impl EngineMetrics {
                 "Seconds each completed transition kept its stage(s) suspended",
                 &[],
             ),
+            partition_bytes: partitioned.then(|| {
+                hub.histogram(
+                    "wasp_state_partition_bytes",
+                    "Per-partition state size at each incremental checkpoint round",
+                    &[],
+                )
+            }),
+            checkpoint_delta: partitioned.then(|| {
+                hub.histogram(
+                    "wasp_checkpoint_delta_mb",
+                    "Megabytes uploaded by each incremental checkpoint round (per stage)",
+                    &[],
+                )
+            }),
+            partition_downtime: partitioned.then(|| {
+                hub.histogram(
+                    "wasp_migration_partition_downtime_seconds",
+                    "Pause each completed partition slice inflicted on its keys",
+                    &[],
+                )
+            }),
         }
     }
 }
@@ -752,6 +819,12 @@ pub struct Engine {
     /// Lossy control plane (`None` = oracle mode, the default: apply
     /// is a reliable instantaneous call and no heartbeats exist).
     control: Option<ControlPlaneState>,
+    /// Per-stage partitioned state (empty under `StateModel::Coarse`;
+    /// one store per stateful op under `Partitioned`).
+    stores: BTreeMap<OpId, wasp_state::StateStore>,
+    /// Per-partition checkpoint/transfer records (stays empty under
+    /// `Coarse`, so nothing downstream changes shape).
+    state_timeline: wasp_state::timeline::StateTimeline,
 }
 
 impl Engine {
@@ -811,6 +884,8 @@ impl Engine {
             em: None,
             plan_version: 0,
             control: None,
+            stores: BTreeMap::new(),
+            state_timeline: wasp_state::timeline::StateTimeline::new(),
         };
         engine.build_groups();
         Ok(engine)
@@ -908,7 +983,11 @@ impl Engine {
     pub fn set_metrics(&mut self, hub: MetricsHub) {
         self.net.set_metrics(hub.clone());
         self.em = if hub.is_enabled() {
-            Some(EngineMetrics::build(&hub, &self.plan))
+            Some(EngineMetrics::build(
+                &hub,
+                &self.plan,
+                self.cfg.state_model.is_partitioned(),
+            ))
         } else {
             None
         };
@@ -931,11 +1010,29 @@ impl Engine {
         self.metrics.annotate(SimTime(self.now), label);
     }
 
-    /// True while `op` (or the whole query) is in a transition phase.
+    /// True while `op` (or the whole query) is *fully* suspended by a
+    /// coarse transition. Partitioned migrations never fully suspend:
+    /// the operator keeps processing every partition not currently in
+    /// flight (see `process_step`).
     pub fn is_suspended(&self, op: OpId) -> bool {
         self.migrations
             .iter()
+            .any(|m| !m.partitioned && (m.op.is_none() || m.op == Some(op)))
+    }
+
+    /// True while any transition — coarse or partitioned — involves
+    /// `op`; used to reject concurrent re-deployments of the same
+    /// stage.
+    fn op_in_transition(&self, op: OpId) -> bool {
+        self.migrations
+            .iter()
             .any(|m| m.op.is_none() || m.op == Some(op))
+    }
+
+    /// Per-partition checkpoint/transfer records accumulated so far
+    /// (always empty under [`wasp_state::StateModel::Coarse`]).
+    pub fn state_timeline(&self) -> &wasp_state::timeline::StateTimeline {
+        &self.state_timeline
     }
 
     /// True while any transition is in progress.
@@ -1480,6 +1577,27 @@ impl Engine {
                 self.groups.insert((op, site), g);
             }
         }
+        // Partitioned state: one store per stateful op, its stream id
+        // derived from the op id so each stage shuffles its hot
+        // partition independently.
+        self.stores.clear();
+        if let Some(pc) = self.cfg.state_model.partition_config() {
+            let pc = *pc;
+            for op in self.plan.op_ids() {
+                if !self.plan.op(op).is_stateful() {
+                    continue;
+                }
+                let mut store = wasp_state::StateStore::new(&pc, op.0 as u64);
+                let total: f64 = self
+                    .groups
+                    .iter()
+                    .filter(|((o, _), _)| *o == op)
+                    .map(|(_, g)| g.state_mb)
+                    .sum();
+                store.set_total_mb(total);
+                self.stores.insert(op, store);
+            }
+        }
     }
 
     fn init_state(&self, op: OpId, g: &mut Group) {
@@ -1504,7 +1622,7 @@ impl Engine {
         if self.plan.op(op).kind().is_source() {
             return Err(EngineError::SourceImmovable(op));
         }
-        if self.is_suspended(op) {
+        if self.op_in_transition(op) {
             return Err(EngineError::Busy(op));
         }
         if let Some(site) = placement
@@ -1572,7 +1690,7 @@ impl Engine {
 
         let effective_transfers = if skip_state { Vec::new() } else { transfers };
         self.metrics.annotate(SimTime(self.now), "transition-start");
-        let progress: Vec<TransferProgress> = effective_transfers
+        let mut progress: Vec<TransferProgress> = effective_transfers
             .into_iter()
             .filter(|t| t.from != t.to && t.mb.0 > 0.0)
             .map(|t| TransferProgress {
@@ -1581,10 +1699,49 @@ impl Engine {
                 remaining_mb: t.mb.0,
             })
             .collect();
+        // Partitioned state: expand each site-level blob into
+        // per-partition slices, pipelined per link. The coarse path
+        // (no store for this op) keeps `progress` untouched.
+        let mut slices: Vec<SliceFlight> = Vec::new();
+        let partitioned = match self.stores.get(&op) {
+            Some(store) => {
+                for tp in progress.drain(..) {
+                    for (i, &w) in store.weights().iter().enumerate() {
+                        let mb = w * tp.remaining_mb;
+                        if mb > 1e-9 {
+                            slices.push(SliceFlight {
+                                partition: i as u32,
+                                from: tp.from,
+                                to: tp.to,
+                                weight: w,
+                                mb,
+                                remaining_mb: mb,
+                                started_at: None,
+                                record: None,
+                            });
+                        }
+                    }
+                }
+                slices.sort_by_key(|a| (a.from, a.to, a.partition));
+                true
+            }
+            None => false,
+        };
+        let (n_transfers, total_mb) = if partitioned {
+            (
+                slices.len() as u32,
+                slices.iter().map(|s| s.remaining_mb).sum::<f64>() + 0.0,
+            )
+        } else {
+            (
+                progress.len() as u32,
+                progress.iter().map(|t| t.remaining_mb).sum::<f64>() + 0.0, // + 0.0: an empty sum is -0.0
+            )
+        };
         self.tel.emit(self.now, || TelEvent::MigrationStarted {
             op: Some(op.0),
-            transfers: progress.len() as u32,
-            total_mb: progress.iter().map(|t| t.remaining_mb).sum::<f64>() + 0.0, // + 0.0: an empty sum is -0.0
+            transfers: n_transfers,
+            total_mb,
         });
         let span = if self.tel.is_enabled() {
             let name = format!("transition:{}", self.plan.op(op).name());
@@ -1595,6 +1752,8 @@ impl Engine {
         self.migrations.push(Migration {
             op: Some(op),
             transfers: progress,
+            slices,
+            partitioned,
             resume_no_earlier: self.now + self.cfg.restart_penalty_s,
             started_at: self.now,
             span,
@@ -1842,9 +2001,14 @@ impl Engine {
             total_mb: progress.iter().map(|t| t.remaining_mb).sum::<f64>() + 0.0, // + 0.0: an empty sum is -0.0
         });
         let span = self.tel.span_begin(self.now, "transition:plan-switch");
+        // Plan switches rebuild the whole query; they stay coarse even
+        // under `StateModel::Partitioned` (the partitioned machinery
+        // covers per-op re-deployments, the common adaptation).
         self.migrations.push(Migration {
             op: None,
             transfers: progress,
+            slices: Vec::new(),
+            partitioned: false,
             resume_no_earlier: self.now + self.cfg.restart_penalty_s,
             started_at: self.now,
             span,
@@ -1855,7 +2019,11 @@ impl Engine {
         // The plan changed shape: re-resolve the per-op handles (new
         // operators get fresh series; unchanged names re-attach).
         if self.hub.is_enabled() {
-            self.em = Some(EngineMetrics::build(&self.hub, &self.plan));
+            self.em = Some(EngineMetrics::build(
+                &self.hub,
+                &self.plan,
+                self.cfg.state_model.is_partitioned(),
+            ));
         }
         self.plan_version += 1;
         Ok(())
@@ -1952,11 +2120,21 @@ impl Engine {
             if !self.failure_applied[i] && f.is_active(SimTime(t0)) {
                 self.failure_applied[i] = true;
                 self.metrics.annotate(SimTime(t0), "failure");
-                // Redo work lost since the last checkpoint.
-                for (&(_, site), g) in self.groups.iter_mut() {
+                // Redo work lost since the last checkpoint. Under
+                // partitioned state only the dirty partitions need
+                // replay — clean ones are already durable from the
+                // last incremental round — so the redo volume scales
+                // by the dirty key-weight fraction.
+                for (&(op, site), g) in self.groups.iter_mut() {
                     if f.affects(site, SimTime(t0)) {
                         let lost = g.since_ckpt.drain();
-                        g.redo.push_all(lost);
+                        match self.stores.get(&op) {
+                            Some(store) => {
+                                let frac = store.dirty_weight_fraction();
+                                g.redo.push_all(CohortQueue::scaled(&lost, frac));
+                            }
+                            None => g.redo.push_all(lost),
+                        }
                     }
                 }
             }
@@ -1992,18 +2170,39 @@ impl Engine {
             // A new round supersedes any unfinished uploads (the stale
             // snapshot is abandoned).
             self.checkpoint_uploads.clear();
-            for (&(_, site), g) in self.groups.iter_mut() {
+            let deltas = self.take_checkpoint_deltas(t0);
+            for (&(op, site), g) in self.groups.iter_mut() {
                 // A failed site can neither snapshot its state nor
                 // upload it — its since-checkpoint window stays open.
                 if self.script.site_failed(site, SimTime(t0)) {
                     continue;
                 }
-                g.since_ckpt.drain();
-                if site != target && g.state_mb > 0.0 {
+                let upload_mb = if self.stores.contains_key(&op) {
+                    match deltas.get(&op) {
+                        // Incremental checkpoint: the round uploads
+                        // this site's share of the delta, not the full
+                        // blob.
+                        Some(d) => {
+                            g.since_ckpt.drain();
+                            if d.full_mb > 1e-12 {
+                                d.delta_mb * g.state_mb / d.full_mb
+                            } else {
+                                0.0
+                            }
+                        }
+                        // The op skipped this round (a placement site
+                        // is down); keep its redo window open.
+                        None => continue,
+                    }
+                } else {
+                    g.since_ckpt.drain();
+                    g.state_mb
+                };
+                if site != target && upload_mb > 0.0 {
                     self.checkpoint_uploads.push(TransferProgress {
                         from: site,
                         to: target,
-                        remaining_mb: g.state_mb,
+                        remaining_mb: upload_mb,
                     });
                 }
             }
@@ -2014,16 +2213,78 @@ impl Engine {
         } else {
             // Localized checkpointing: every healthy site snapshots in
             // place; failed sites keep their redo window open.
-            for (&(_, site), g) in self.groups.iter_mut() {
-                if !self.script.site_failed(site, SimTime(t0)) {
-                    g.since_ckpt.drain();
+            let deltas = self.take_checkpoint_deltas(t0);
+            for (&(op, site), g) in self.groups.iter_mut() {
+                if self.script.site_failed(site, SimTime(t0)) {
+                    continue;
                 }
+                // Partitioned ops that skipped the round (a placement
+                // site is down) keep their redo window open too.
+                if self.stores.contains_key(&op) && !deltas.contains_key(&op) {
+                    continue;
+                }
+                g.since_ckpt.drain();
             }
             self.tel.emit(t0, || TelEvent::CheckpointRound {
                 kind: "local".to_string(),
                 uploaded_mb: 0.0,
             });
         }
+    }
+
+    /// Takes the per-op incremental checkpoints (partitioned state
+    /// only): drains each store's dirty set, records the delta in the
+    /// state timeline, and emits telemetry/metrics. Ops with a failed
+    /// placement site skip the round — their snapshot cannot complete,
+    /// so their dirty set (and redo window) stays open. A no-op with
+    /// an empty result under `StateModel::Coarse`.
+    fn take_checkpoint_deltas(&mut self, t0: f64) -> BTreeMap<OpId, wasp_state::CheckpointDelta> {
+        let mut out = BTreeMap::new();
+        if self.stores.is_empty() {
+            return out;
+        }
+        let ops: Vec<OpId> = self.stores.keys().copied().collect();
+        for op in ops {
+            let any_failed = self
+                .physical
+                .placement(op)
+                .sites()
+                .into_iter()
+                .any(|s| self.site_failed(s, t0));
+            if any_failed {
+                continue;
+            }
+            let store = self.stores.get_mut(&op).expect("key just listed");
+            let delta = store.take_checkpoint();
+            if let Some(em) = &self.em {
+                if let Some(h) = &em.checkpoint_delta {
+                    h.observe(delta.delta_mb, 1.0);
+                }
+                if let Some(h) = &em.partition_bytes {
+                    let store = &self.stores[&op];
+                    for i in 0..store.partitions() {
+                        h.observe(store.partition_mb(i) * 1e6, 1.0);
+                    }
+                }
+            }
+            self.state_timeline
+                .checkpoints
+                .push(wasp_state::timeline::CheckpointRecord {
+                    t_s: t0,
+                    op: op.0,
+                    delta_mb: delta.delta_mb,
+                    full_mb: delta.full_mb,
+                    dirty_partitions: delta.dirty_partitions,
+                });
+            self.tel.emit(t0, || TelEvent::CheckpointDelta {
+                op: op.0,
+                delta_mb: delta.delta_mb,
+                full_mb: delta.full_mb,
+                dirty_partitions: delta.dirty_partitions,
+            });
+            out.insert(op, delta);
+        }
+        out
     }
 
     /// Megabytes of checkpoint uploads still in flight (remote
@@ -2059,6 +2320,12 @@ impl Engine {
                 .iter()
                 .filter(|t| t.remaining_mb > 1e-9)
                 .flat_map(|t| [t.from, t.to])
+                .chain(
+                    m.slices
+                        .iter()
+                        .filter(|s| s.remaining_mb > 1e-9)
+                        .flat_map(|s| [s.from, s.to]),
+                )
                 .find(|&s| self.site_failed(s, t0));
             let dead_destination = m.op.and_then(|op| {
                 self.physical
@@ -2098,11 +2365,16 @@ impl Engine {
             if let Some(op) = op {
                 // Redo replay: the moved state is only durable up to
                 // the last checkpoint, so everything processed since
-                // re-enters the input.
+                // re-enters the input. With partitioned state only the
+                // dirty partitions need replay.
+                let frac = self.stores.get(&op).map(|s| s.dirty_weight_fraction());
                 for (&(gop, _), g) in self.groups.iter_mut() {
                     if gop == op {
                         let lost = g.since_ckpt.drain();
-                        g.redo.push_all(lost);
+                        match frac {
+                            Some(f) => g.redo.push_all(CohortQueue::scaled(&lost, f)),
+                            None => g.redo.push_all(lost),
+                        }
                     }
                 }
                 self.pending_events.push(FailureEvent::MigrationAborted {
@@ -2268,6 +2540,60 @@ impl Engine {
                 admissions.push(0.0);
             }
         }
+        // Partition slice flights (partitioned migrations): pipelined
+        // per (from, to) link — only the head slice of each link's
+        // queue is in flight (and paused) at a time.
+        let mut slice_flow_index: Vec<(usize, usize, usize)> = Vec::new(); // (mig, slice, flow idx)
+        for (mi, m) in self.migrations.iter_mut().enumerate() {
+            if m.slices.is_empty() {
+                continue;
+            }
+            let mop = m.op.map(|o| o.0);
+            let mut links: std::collections::BTreeSet<(SiteId, SiteId)> =
+                std::collections::BTreeSet::new();
+            for (si, s) in m.slices.iter_mut().enumerate() {
+                if s.remaining_mb <= 1e-9
+                    || self.script.site_failed(s.from, SimTime(t0))
+                    || self.script.site_failed(s.to, SimTime(t0))
+                {
+                    continue;
+                }
+                // Head-of-line only: later slices of the same link
+                // wait their turn.
+                if !links.insert((s.from, s.to)) {
+                    continue;
+                }
+                if s.started_at.is_none() {
+                    s.started_at = Some(t0);
+                    s.record = Some(self.state_timeline.transfers.len());
+                    self.state_timeline.transfers.push(
+                        wasp_state::timeline::PartitionTransferRecord {
+                            op: mop,
+                            partition: s.partition,
+                            from: s.from,
+                            to: s.to,
+                            mb: s.mb,
+                            start_s: t0,
+                            end_s: None,
+                        },
+                    );
+                    let (partition, from, to, mb) =
+                        (s.partition, s.from.0 as u32, s.to.0 as u32, s.mb);
+                    self.tel.emit(t0, || TelEvent::PartitionTransferStarted {
+                        op: mop,
+                        partition,
+                        from,
+                        to,
+                        mb,
+                    });
+                }
+                let mbps = s.remaining_mb * 8.0 / dt;
+                slice_flow_index.push((mi, si, flows.len()));
+                flows.push(FlowDemand::new(s.from, s.to, Mbps(mbps)));
+                flow_edges.push(None);
+                admissions.push(0.0);
+            }
+        }
         self.last_link_usage.clear();
         if flows.is_empty() {
             return;
@@ -2314,6 +2640,36 @@ impl Engine {
             let tr = &mut self.migrations[mi].transfers[ti];
             tr.remaining_mb = (tr.remaining_mb - moved_mb).max(0.0);
         }
+        // Progress partition slice flights; a finished head slice
+        // frees its link for the next slice at the next tick.
+        for (mi, si, fi) in slice_flow_index {
+            let moved_mb = rates[fi].0 / 8.0 * dt;
+            let mop = self.migrations[mi].op.map(|o| o.0);
+            let s = &mut self.migrations[mi].slices[si];
+            s.remaining_mb = (s.remaining_mb - moved_mb).max(0.0);
+            if s.remaining_mb <= 1e-9 {
+                s.remaining_mb = 0.0;
+                let end = t0 + dt;
+                let downtime = (end - s.started_at.unwrap_or(t0)).max(0.0);
+                let partition = s.partition;
+                let record = s.record;
+                if let Some(ri) = record {
+                    if let Some(r) = self.state_timeline.transfers.get_mut(ri) {
+                        r.end_s = Some(end);
+                    }
+                }
+                self.tel.emit(t0, || TelEvent::PartitionTransferCompleted {
+                    op: mop,
+                    partition,
+                    downtime_s: downtime,
+                });
+                if let Some(em) = &self.em {
+                    if let Some(h) = &em.partition_downtime {
+                        h.observe(downtime, 1.0);
+                    }
+                }
+            }
+        }
         for (ci, fi) in ckpt_flow_index {
             // (Link usage was already recorded with the other flows.)
             let moved_mb = rates[fi].0 / 8.0 * dt;
@@ -2355,15 +2711,40 @@ impl Engine {
         let t1 = t0 + dt;
         // --- shard: one task per (op, site), in sequential order ---
         let topo: Vec<OpId> = self.plan.topo_order().to_vec();
+        // Partitioned migrations pause only the partitions in flight:
+        // the op keeps processing, at capacity scaled down by the
+        // key-weight share currently moving (empty under `Coarse`).
+        let mut inflight: BTreeMap<OpId, f64> = BTreeMap::new();
+        for m in &self.migrations {
+            let Some(op) = m.op else { continue };
+            if m.slices.is_empty() {
+                continue;
+            }
+            let mut links: std::collections::BTreeSet<(SiteId, SiteId)> =
+                std::collections::BTreeSet::new();
+            let mut w = 0.0;
+            for s in &m.slices {
+                if s.remaining_mb > 1e-9 && links.insert((s.from, s.to)) {
+                    w += s.weight;
+                }
+            }
+            *inflight.entry(op).or_insert(0.0) += w;
+        }
         let mut tasks: Vec<ProcTask> = Vec::new();
         for &op in &topo {
             let suspended = self.is_suspended(op);
+            let paused = inflight.get(&op).copied().unwrap_or(0.0);
             for site in self.physical.placement(op).sites() {
+                let compute_factor = if paused > 0.0 {
+                    self.script.compute_factor(site, SimTime(t0)) * (1.0 - paused.min(1.0))
+                } else {
+                    self.script.compute_factor(site, SimTime(t0))
+                };
                 tasks.push(ProcTask {
                     op,
                     site,
                     blocked: self.site_failed(site, t0) || suspended,
-                    compute_factor: self.script.compute_factor(site, SimTime(t0)),
+                    compute_factor,
                     group: self.groups.remove(&(op, site)),
                 });
             }
@@ -2380,9 +2761,13 @@ impl Engine {
         // --- ordered reduce: apply outcomes in sequential task order ---
         let mut delivered_total = 0.0;
         let mut delay_sum = 0.0;
+        let mut per_op_processed = vec![0.0; self.plan.len()];
         for o in outcomes {
             if let Some(g) = o.group {
                 self.groups.insert((o.op, o.site), g);
+            }
+            if let Some(p) = per_op_processed.get_mut(o.op.index()) {
+                *p += o.processed;
             }
             if let Some(em) = &self.em {
                 if o.backpressure {
@@ -2414,7 +2799,38 @@ impl Engine {
                 self.edges.entry(key).or_default().push_all(cohorts);
             }
         }
+        self.state_step(&per_op_processed);
         (delivered_total, delay_sum)
+    }
+
+    /// Post-tick partitioned-state accounting: re-syncs each store's
+    /// total with the engine's per-site state sizes and records the
+    /// tick's writes against a weight-sampled partition. A single
+    /// branch under `StateModel::Coarse`.
+    fn state_step(&mut self, per_op_processed: &[f64]) {
+        if self.stores.is_empty() {
+            return;
+        }
+        let ops: Vec<OpId> = self.stores.keys().copied().collect();
+        for op in ops {
+            let total: f64 = self
+                .groups
+                .iter()
+                .filter(|((o, _), _)| *o == op)
+                .map(|(_, g)| g.state_mb)
+                .sum();
+            let write_bytes = match self.plan.op(op).state() {
+                StateModel::Stateless => 0.0,
+                // Fixed-size state still takes writes (updates in
+                // place); model them at a nominal record size.
+                StateModel::Fixed(_) => 64.0,
+                StateModel::Window { bytes_per_event } => bytes_per_event,
+            };
+            let mb = per_op_processed.get(op.index()).copied().unwrap_or(0.0) * write_bytes / 1e6;
+            let store = self.stores.get_mut(&op).expect("key just listed");
+            store.set_total_mb(total);
+            store.record_writes_sampled(mb);
+        }
     }
 
     fn enforce_drop_slo(&mut self, t1: f64) -> f64 {

@@ -8,7 +8,8 @@
 //! [`assert_identical`], which reports the first diverging line
 //! instead of dumping two multi-megabyte blobs.
 //!
-//! Everything in the engine's observable surface ([`RunMetrics`],
+//! Everything in the engine's observable surface
+//! ([`crate::metrics::RunMetrics`],
 //! snapshots, decision audits) is `Serialize` over ordered containers
 //! (`Vec`, `BTreeMap`), so canonical JSON is deterministic, and
 //! serde_json's shortest-round-trip float formatting makes the

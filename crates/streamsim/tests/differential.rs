@@ -102,6 +102,65 @@ fn section_8_scenarios_bit_identical_across_thread_counts() {
     }
 }
 
+/// Runs a §8.4 scenario with an explicit keyed-state model,
+/// returning the same digests as [`scenario_digest`].
+fn state_model_digest(state: wasp_state::StateModel, jobs: usize) -> (String, String) {
+    let (tel, handle) = Telemetry::recording();
+    let cfg = ScenarioConfig {
+        seed: 4,
+        dt: 2.0,
+        telemetry: tel,
+        metrics: MetricsHub::recording(10.0),
+        jobs,
+        state,
+        ..ScenarioConfig::default()
+    };
+    let result = run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, &cfg);
+    (
+        canonical_json(&result.metrics),
+        to_jsonl(&handle.recording()),
+    )
+}
+
+/// The mode switch's contract: `StateModel::Coarse` — the default —
+/// is not merely *similar* to the pre-subsystem engine, it is the
+/// byte-identical legacy path. An explicitly-spelled `Coarse` run must
+/// reproduce the default-config recording and decision audit exactly,
+/// at every worker count.
+#[test]
+fn explicit_coarse_state_model_is_byte_identical_to_default() {
+    let run: &dyn Fn(&ScenarioConfig) -> ExperimentResult =
+        &|cfg| run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, cfg);
+    let (metrics_ref, audit_ref) = scenario_digest(run, 1);
+    for jobs in [1, 2, 8] {
+        let (metrics, audit) = state_model_digest(wasp_state::StateModel::Coarse, jobs);
+        if let Some(diff) = first_divergence(&metrics_ref, &metrics) {
+            panic!("explicit Coarse (jobs={jobs}): RunMetrics diverged — {diff}");
+        }
+        if let Some(diff) = first_divergence(&audit_ref, &audit) {
+            panic!("explicit Coarse (jobs={jobs}): decision audit diverged — {diff}");
+        }
+    }
+}
+
+/// The partitioned model's new per-tick work (sampled writes, delta
+/// checkpoints, slice flights) lives inside the deterministic reduce,
+/// so partitioned runs are also bit-identical at any worker count.
+#[test]
+fn partitioned_state_runs_bit_identical_across_thread_counts() {
+    let part = wasp_state::StateModel::Partitioned(wasp_state::PartitionConfig::default());
+    let (metrics_ref, audit_ref) = state_model_digest(part, 1);
+    for jobs in THREADS {
+        let (metrics, audit) = state_model_digest(part, jobs);
+        if let Some(diff) = first_divergence(&metrics_ref, &metrics) {
+            panic!("partitioned (jobs={jobs}): RunMetrics diverged — {diff}");
+        }
+        if let Some(diff) = first_divergence(&audit_ref, &audit) {
+            panic!("partitioned (jobs={jobs}): decision audit diverged — {diff}");
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // 2. Chaos sweep: seeded fault campaigns, recordings + snapshots.
 // ---------------------------------------------------------------------

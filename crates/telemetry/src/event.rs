@@ -158,6 +158,30 @@ pub enum Event {
     CheckpointStalled {
         target: String,
     },
+    /// One stage's incremental checkpoint round (partitioned state
+    /// only): the delta uploaded vs. the full size a coarse round
+    /// would have shipped.
+    CheckpointDelta {
+        op: u32,
+        delta_mb: f64,
+        full_mb: f64,
+        dirty_partitions: u32,
+    },
+    /// A partition slice left its source site (partitioned migration).
+    PartitionTransferStarted {
+        op: Option<u32>,
+        partition: u32,
+        from: u32,
+        to: u32,
+        mb: f64,
+    },
+    /// A partition slice landed; `downtime_s` is the pause its keys
+    /// experienced while in flight.
+    PartitionTransferCompleted {
+        op: Option<u32>,
+        partition: u32,
+        downtime_s: f64,
+    },
     SiteDown {
         site: u32,
         name: String,
@@ -272,6 +296,9 @@ impl Event {
             Event::MigrationAborted { .. } => "migration-abort",
             Event::CheckpointRound { .. } => "checkpoint",
             Event::CheckpointStalled { .. } => "checkpoint-stalled",
+            Event::CheckpointDelta { .. } => "checkpoint-delta",
+            Event::PartitionTransferStarted { .. } => "partition-transfer-start",
+            Event::PartitionTransferCompleted { .. } => "partition-transfer-end",
             Event::SiteDown { .. } => "site-down",
             Event::SiteRestored { .. } => "site-restored",
             Event::SiteSuspected { .. } => "site-suspected",
@@ -342,6 +369,27 @@ impl Event {
                 format!("checkpoint round ({kind}): {uploaded_mb:.1} MB")
             }
             Event::CheckpointStalled { target } => format!("checkpoint STALLED ({target})"),
+            Event::CheckpointDelta {
+                op,
+                delta_mb,
+                full_mb,
+                dirty_partitions,
+            } => format!(
+                "checkpoint delta (op {op}): {delta_mb:.1} MB of {full_mb:.1} MB \
+                 ({dirty_partitions} dirty partitions)"
+            ),
+            Event::PartitionTransferStarted {
+                partition,
+                from,
+                to,
+                mb,
+                ..
+            } => format!("partition {partition} in flight: {mb:.1} MB {from} -> {to}"),
+            Event::PartitionTransferCompleted {
+                partition,
+                downtime_s,
+                ..
+            } => format!("partition {partition} landed (paused {downtime_s:.2}s)"),
             Event::SiteDown { name, .. } => format!("site DOWN: {name}"),
             Event::SiteRestored { name, .. } => format!("site restored: {name}"),
             Event::SiteSuspected { name, phi, .. } => {

@@ -161,7 +161,13 @@ pub fn render_report(rec: &Recording, title: &str) -> String {
                     | Event::DynamicsTransition { .. } => {
                         let _ = writeln!(out, "[t={:>7.1}]   * {}", e.t, ev.render());
                     }
-                    Event::CheckpointRound { .. } | Event::Note { .. } => {}
+                    // Per-partition records are rendered by the report's
+                    // dedicated state-timeline section, not the audit.
+                    Event::CheckpointRound { .. }
+                    | Event::CheckpointDelta { .. }
+                    | Event::PartitionTransferStarted { .. }
+                    | Event::PartitionTransferCompleted { .. }
+                    | Event::Note { .. } => {}
                     _ => {
                         let _ = writeln!(out, "            {}", ev.render());
                     }

@@ -3,7 +3,7 @@
 //! The [`TelemetrySink`] trait is the pluggable back end. Two
 //! implementations ship here:
 //!
-//! * [`NullSink`] — reports `enabled() == false`, so the [`Telemetry`]
+//! * [`NullSink`] — reports `enabled() == false`, so the [`crate::Telemetry`]
 //!   handle (see the crate root) skips even *constructing* events.
 //! * [`RecordingSink`] — appends every entry to an in-memory ordered
 //!   log, from which the exporters in [`crate::export`] derive the

@@ -48,8 +48,9 @@ pub mod prelude {
     };
     pub use crate::scenarios::{
         build_engine, overhead_breakdown, recovery_times, run_custom, run_migration_experiment,
-        run_section_8_4, run_section_8_5, run_section_8_6, ControllerKind, CustomRun,
-        ExperimentResult, MigrationResult, MigrationVariant, OverheadBreakdown, ScenarioConfig,
+        run_section_8_4, run_section_8_5, run_section_8_6, run_skewed_state_experiment,
+        ControllerKind, CustomRun, ExperimentResult, MigrationResult, MigrationVariant,
+        OverheadBreakdown, ScenarioConfig, SkewedStateResult,
     };
     pub use crate::twitter::TwitterTrace;
     pub use crate::ysb::{AdEvent, EventType, YsbGenerator};
