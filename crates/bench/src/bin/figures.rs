@@ -29,6 +29,13 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Exits with a diagnostic instead of a panic backtrace when an
+/// output artifact cannot be produced.
+fn die(what: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {what}: {err}");
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = HarnessConfig::default();
@@ -94,23 +101,37 @@ fn main() {
     }
 
     if let Some(dir) = gnuplot_dir {
-        std::fs::create_dir_all(&dir).expect("create gnuplot directory");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            die("cannot create gnuplot directory", e);
+        }
         for report in &reports {
             if report.series.is_empty() {
                 continue; // tables have no plottable series
             }
             let path = format!("{dir}/{}.gp", report.id);
-            std::fs::write(&path, report.render_gnuplot()).expect("write gnuplot script");
+            if let Err(e) = std::fs::write(&path, report.render_gnuplot()) {
+                die("cannot write gnuplot script", e);
+            }
         }
         progress.note(0.0, || format!("wrote gnuplot scripts to {dir}"));
     }
     if let Some(dir) = out_dir {
-        std::fs::create_dir_all(&dir).expect("create output directory");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            die("cannot create output directory", e);
+        }
         for report in &reports {
             let path = format!("{dir}/{}.json", report.id);
-            let mut f = std::fs::File::create(&path).expect("create figure file");
-            let json = serde_json::to_string_pretty(report).expect("figure serializes");
-            f.write_all(json.as_bytes()).expect("write figure file");
+            let json = match serde_json::to_string_pretty(report) {
+                Ok(json) => json,
+                Err(e) => die("figure does not serialize", e),
+            };
+            let mut f = match std::fs::File::create(&path) {
+                Ok(f) => f,
+                Err(e) => die("cannot create figure file", e),
+            };
+            if let Err(e) = f.write_all(json.as_bytes()) {
+                die("cannot write figure file", e);
+            }
         }
         progress.note(0.0, || {
             format!("wrote {} JSON files to {dir}", reports.len())
@@ -125,7 +146,13 @@ fn main() {
             ..ScenarioConfig::default()
         };
         run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, &scenario_cfg);
-        std::fs::write(&path, to_chrome_trace(&rec.recording())).expect("write chrome trace");
+        let trace = match to_chrome_trace(&rec.recording()) {
+            Ok(trace) => trace,
+            Err(e) => die("cannot serialize chrome trace", e),
+        };
+        if let Err(e) = std::fs::write(&path, trace) {
+            die("cannot write chrome trace", e);
+        }
         progress.note(0.0, || {
             format!("wrote chrome trace of the section 8.4 reference run to {path}")
         });

@@ -73,6 +73,13 @@ struct ScenarioBench {
     merged_delay_p95_s: f64,
     #[serde(default)]
     merged_delay_p99_s: f64,
+    /// End-to-end delay share per attribution component, indexed by
+    /// `wasp_xray::Component::ALL` (queue, service, transit,
+    /// backpressure, migration, control). Empty for microbench rows
+    /// and pre-PR8 baselines; used by the gate to blame the component
+    /// whose share moved most when throughput regresses.
+    #[serde(default)]
+    xray_shares: Vec<f64>,
 }
 
 /// One engine-parallelism point of the determinism/throughput sweep.
@@ -227,13 +234,44 @@ fn summarize_scenario(
         merged_delay_p50_s: merged.quantile(0.5).unwrap_or(0.0),
         merged_delay_p95_s: merged.quantile(0.95).unwrap_or(0.0),
         merged_delay_p99_s: merged.quantile(0.99).unwrap_or(0.0),
+        xray_shares: result
+            .xray
+            .as_ref()
+            .map(|x| x.shares().to_vec())
+            .unwrap_or_default(),
     };
     (bench, mops_med)
 }
 
+/// Regression blame: the attribution component whose end-to-end delay
+/// share moved most between the baseline and the new run. Returns a
+/// human-readable line, or `None` when either side lacks shares (the
+/// baseline predates x-ray, or the row is a microbench).
+fn blame_line(new: &ScenarioBench, base: &ScenarioBench) -> Option<String> {
+    if new.xray_shares.len() != 6 || base.xray_shares.len() != 6 {
+        return None;
+    }
+    let (idx, delta) = new
+        .xray_shares
+        .iter()
+        .zip(base.xray_shares.iter())
+        .map(|(n, b)| n - b)
+        .enumerate()
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))?;
+    let comp = wasp_xray::Component::ALL[idx].label();
+    Some(format!(
+        "  blame: {comp} share moved most, {:.1}% → {:.1}% ({:+.1} pp)",
+        base.xray_shares[idx] * 100.0,
+        new.xray_shares[idx] * 100.0,
+        delta * 100.0
+    ))
+}
+
 /// Applies the regression gate: every baseline scenario present in the
 /// new report must keep ≥ `(100 - gate_pct)%` of its normalized
-/// throughput. Returns the failure descriptions.
+/// throughput. Returns the failure descriptions; a failing scenario
+/// with attribution data on both sides also gets a blame line naming
+/// the delay component whose share moved most since the baseline.
 fn gate_failures(new: &BenchReport, base: &BenchReport, gate_pct: f64) -> Vec<String> {
     let mut failures = Vec::new();
     for b in &base.scenarios {
@@ -246,10 +284,15 @@ fn gate_failures(new: &BenchReport, base: &BenchReport, gate_pct: f64) -> Vec<St
         }
         let change_pct = (n.ticks_per_mop / b.ticks_per_mop - 1.0) * 100.0;
         if change_pct < -gate_pct {
-            failures.push(format!(
+            let mut msg = format!(
                 "{}: normalized throughput {:.3} → {:.3} ticks/Mop ({:+.1}%, gate -{gate_pct}%)",
                 b.name, b.ticks_per_mop, n.ticks_per_mop, change_pct
-            ));
+            );
+            if let Some(blame) = blame_line(n, b) {
+                msg.push('\n');
+                msg.push_str(&blame);
+            }
+            failures.push(msg);
         }
     }
     failures
@@ -319,6 +362,7 @@ fn bench_partition_scheduler() -> ScenarioBench {
         merged_delay_p50_s: 0.0,
         merged_delay_p95_s: 0.0,
         merged_delay_p99_s: 0.0,
+        xray_shares: Vec::new(),
     }
 }
 
@@ -456,6 +500,10 @@ fn main() {
             seed,
             dt,
             metrics: MetricsHub::recording(10.0),
+            // Attribution stays on while timing: the gated throughput
+            // includes the x-ray overhead, so a regression in the
+            // ledger path itself cannot hide from the gate.
+            xray: Some(XRAY_DEFAULT_WINDOW_S),
             ..Default::default()
         };
         let run = runs[unit.idx].1;
@@ -468,6 +516,18 @@ fn main() {
             wall_s,
             ticks: r.metrics.ticks().len() as u64,
         };
+        // Conservation invariant, checked on every repeat: the
+        // component ledgers must sum to the end-to-end delay.
+        if let Some(x) = &r.xray {
+            let err = x.conservation_error();
+            if err > 1e-6 {
+                eprintln!(
+                    "CONSERVATION VIOLATION: {} components sum off by {err:.3e} (> 1e-6)",
+                    runs[unit.idx].0
+                );
+                std::process::exit(1);
+            }
+        }
         let last_round = unit.round + 1 == rounds;
         UnitOutcome {
             unit,
@@ -534,13 +594,17 @@ fn main() {
             dt,
             jobs: engine_jobs,
             metrics: MetricsHub::recording(10.0),
+            xray: Some(XRAY_DEFAULT_WINDOW_S),
             ..Default::default()
         };
         let mops = calibrate();
         let t0 = Instant::now();
         let r = run_84_topk(&c);
         let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
-        let digest = serde_json::to_string(&r.metrics).expect("serialize metrics");
+        // The digest covers the attribution snapshot too: byte-identity
+        // across engine_jobs now proves the x-ray ledgers, not just the
+        // delay metrics, are schedule-independent.
+        let digest = serde_json::to_string(&(&r.metrics, &r.xray)).expect("serialize metrics");
         let bit_identical = reference.get_or_insert_with(|| digest.clone()) == &digest;
         let ticks_per_mop = (r.metrics.ticks().len() as f64 / wall_s) / mops.max(1e-9);
         eprintln!(
@@ -559,7 +623,7 @@ fn main() {
     }
 
     let report = BenchReport {
-        version: 2,
+        version: 3,
         quick,
         seed: cfg.seed,
         dt: cfg.dt,
@@ -570,7 +634,10 @@ fn main() {
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(&out, json + "\n").expect("write report");
+    if let Err(err) = std::fs::write(&out, json + "\n") {
+        eprintln!("error: cannot write report to {out}: {err}");
+        std::process::exit(1);
+    }
     eprintln!("wrote {out}");
 
     // Optional metric dumps from the last scenario's final-round hub:
@@ -579,21 +646,39 @@ fn main() {
     if let Some((prom, csv)) = last_dumps {
         if let Some(path) = &prom_out {
             let text = prom.expect("prometheus dump rendered");
-            std::fs::write(path, text).expect("write prometheus dump");
+            if let Err(err) = std::fs::write(path, text) {
+                eprintln!("error: cannot write prometheus dump to {path}: {err}");
+                std::process::exit(1);
+            }
             eprintln!("wrote {path}");
         }
         if let Some(path) = &csv_out {
             let text = csv.expect("csv dump rendered");
-            std::fs::write(path, text).expect("write csv dump");
+            if let Err(err) = std::fs::write(path, text) {
+                eprintln!("error: cannot write csv dump to {path}: {err}");
+                std::process::exit(1);
+            }
             eprintln!("wrote {path}");
         }
     }
 
     if let Some(base_path) = baseline {
         let base: BenchReport = match std::fs::read_to_string(&base_path) {
-            Ok(text) => serde_json::from_str(&text).expect("parse baseline report"),
+            Ok(text) => match serde_json::from_str(&text) {
+                Ok(base) => base,
+                Err(err) => {
+                    eprintln!(
+                        "GATE FAILED: baseline {base_path} does not parse as a bench \
+                         report ({err}); regenerate it with wasp-bench --out {base_path}"
+                    );
+                    std::process::exit(2);
+                }
+            },
             Err(err) => {
-                eprintln!("cannot read baseline {base_path}: {err}");
+                eprintln!(
+                    "GATE FAILED: baseline {base_path} is missing or unreadable ({err}); \
+                     create it on the base commit with wasp-bench --quick --out {base_path}"
+                );
                 std::process::exit(2);
             }
         };

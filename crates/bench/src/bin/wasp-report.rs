@@ -24,9 +24,19 @@ fn usage() -> ! {
          [--controller <wasp|reassign|scale|replan>] \
          [--dt SECS] [--jobs N] [--control <oracle|lossy>] [--loss F] [--heartbeat SECS] \
          [--phi F] [--delay-factor F] [--state <coarse|partitioned>] [--partitions N] \
-         [--zipf F] [--state-mb F] [--echo] [--trace-out FILE] [--jsonl FILE] [--report FILE]"
+         [--zipf F] [--state-mb F] [--echo] [--trace-out FILE] [--jsonl FILE] [--report FILE] \
+         [--xray] [--xray-window SECS] [--folded FILE]"
     );
     std::process::exit(2);
+}
+
+/// Writes a report artifact, exiting with a diagnostic instead of a
+/// panic backtrace when the path is not writable.
+fn write_or_die(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {what} to {path}: {e}");
+        std::process::exit(1);
+    }
 }
 
 /// Renders the partitioned-state timeline: incremental checkpoint
@@ -221,7 +231,7 @@ fn failure_timeline(rec: &Recording) -> String {
     let _ = writeln!(out, "Control-plane failure timeline");
     let _ = writeln!(out, "------------------------------");
     for (site, mut events) in rows {
-        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
         let name = names
             .get(&site)
             .cloned()
@@ -299,6 +309,107 @@ fn metrics_summary(result: &ExperimentResult, hub: &MetricsHub) -> String {
     out
 }
 
+/// Renders the `--xray` latency-attribution section: overall component
+/// shares, the conservation check, top-k critical paths per reporting
+/// window, the heaviest WAN links, and control-plane adaptation lag.
+fn xray_section(run: &wasp_xray::XrayRun) -> String {
+    use std::fmt::Write as _;
+    use wasp_xray::Component;
+
+    let mut out = String::new();
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Latency attribution (x-ray)");
+    let _ = writeln!(out, "---------------------------");
+
+    let shares = run.shares();
+    let mut line = String::from("end-to-end delay shares:");
+    for (i, comp) in Component::ALL.iter().enumerate() {
+        let _ = write!(line, " {} {:.1}%", comp.label(), shares[i] * 100.0);
+    }
+    let _ = writeln!(out, "{line}");
+    let _ = writeln!(
+        out,
+        "conservation: components sum to delay within {:.2e} relative error",
+        run.conservation_error()
+    );
+
+    for w in &run.windows {
+        let paths = run.critical_paths(w, 3);
+        if paths.is_empty() {
+            continue;
+        }
+        // `+ 0.0` normalizes an IEEE negative zero from empty windows.
+        let delivered: f64 = w.sinks.iter().map(|s| s.count).sum::<f64>().max(0.0) + 0.0;
+        let _ = writeln!(
+            out,
+            "\nwindow [{:.0}s, {:.0}s): {delivered:.0} events delivered",
+            w.start_s,
+            w.start_s + run.window_s
+        );
+        for (rank, p) in paths.iter().enumerate() {
+            let chain = p
+                .ops
+                .iter()
+                .map(|op| run.op_name(*op))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            let mut split = String::new();
+            for (i, comp) in Component::ALL.iter().enumerate() {
+                let pct = if p.total > 1e-12 {
+                    p.comps[i] / p.total * 100.0
+                } else {
+                    0.0
+                };
+                if pct >= 0.05 {
+                    let _ = write!(split, " {} {:.1}%", comp.label(), pct);
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  #{} {chain}  ({:.1} ev·s:{split})",
+                rank + 1,
+                p.total
+            );
+        }
+    }
+
+    let mut links: Vec<_> = run.links.iter().collect();
+    links.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+    if !links.is_empty() {
+        let _ = writeln!(out, "\ntop WAN links by transit:");
+        for l in links.iter().take(5) {
+            let mean_ms = if l.events > 0.0 {
+                l.seconds / l.events * 1e3
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {} -> {}: {:.1} ev·s over {:.0} events ({mean_ms:.1} ms/event)",
+                run.site_name(l.from_site),
+                run.site_name(l.to_site),
+                l.seconds,
+                l.events
+            );
+        }
+    }
+
+    if !run.adaptation.is_empty() {
+        let n = run.adaptation.len();
+        let mean: f64 = run.adaptation.iter().map(|(_, lag)| lag).sum::<f64>() / n as f64;
+        let worst = run
+            .adaptation
+            .iter()
+            .map(|(_, lag)| *lag)
+            .fold(0.0f64, f64::max);
+        let _ = writeln!(
+            out,
+            "\ncontrol-plane adaptation lag: {n} actions, mean {mean:.2}s, max {worst:.2}s"
+        );
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scenario: Option<String> = None;
@@ -309,6 +420,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut jsonl_out: Option<String> = None;
     let mut report_out: Option<String> = None;
+    let mut folded_out: Option<String> = None;
     let mut lossy = false;
     let mut lossy_cfg = LossyControlConfig::default();
     let mut partitioned = false;
@@ -425,6 +537,23 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--echo" => echo = true,
+            "--xray" => {
+                cfg.xray.get_or_insert(XRAY_DEFAULT_WINDOW_S);
+            }
+            // Implies --xray.
+            "--xray-window" => {
+                cfg.xray = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|w: &f64| w.is_finite() && *w > 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            // Folded-stacks export (flamegraph.pl / inferno input); implies --xray.
+            "--folded" => {
+                cfg.xray.get_or_insert(XRAY_DEFAULT_WINDOW_S);
+                folded_out = Some(it.next().unwrap_or_else(|| usage()));
+            }
             "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage())),
             "--jsonl" => jsonl_out = Some(it.next().unwrap_or_else(|| usage())),
             "--report" => report_out = Some(it.next().unwrap_or_else(|| usage())),
@@ -469,6 +598,7 @@ fn main() {
                 query: "topk (skewed state)".to_string(),
                 metrics: res.metrics,
                 e2e_selectivity: 1.0,
+                xray: res.xray,
             }
         }
         _ => usage(),
@@ -490,14 +620,37 @@ fn main() {
     let done = recording.end_time();
 
     if let Some(path) = &trace_out {
-        std::fs::write(path, to_chrome_trace(&recording)).expect("write chrome trace");
+        match to_chrome_trace(&recording) {
+            Ok(trace) => write_or_die(path, &trace, "chrome trace"),
+            Err(e) => {
+                eprintln!("error: cannot serialize chrome trace: {e}");
+                std::process::exit(1);
+            }
+        }
         progress.note(done, || {
             format!("wrote chrome trace to {path} (open via about://tracing or ui.perfetto.dev)")
         });
     }
     if let Some(path) = &jsonl_out {
-        std::fs::write(path, to_jsonl(&recording)).expect("write jsonl log");
+        match to_jsonl(&recording) {
+            Ok(log) => write_or_die(path, &log, "jsonl log"),
+            Err(e) => {
+                eprintln!("error: cannot serialize jsonl log: {e}");
+                std::process::exit(1);
+            }
+        }
         progress.note(done, || format!("wrote event log to {path}"));
+    }
+    if let Some(path) = &folded_out {
+        let stacks = result
+            .xray
+            .as_ref()
+            .map(|run| run.folded_stacks())
+            .unwrap_or_default();
+        write_or_die(path, &stacks, "folded stacks");
+        progress.note(done, || {
+            format!("wrote folded stacks to {path} (render via inferno/flamegraph.pl)")
+        });
     }
 
     let mut report = render_report(&recording, &title);
@@ -505,9 +658,12 @@ fn main() {
     report.push_str(&skewed_note);
     report.push_str(&state_timeline_section(&recording));
     report.push_str(&failure_timeline(&recording));
+    if let Some(run) = &result.xray {
+        report.push_str(&xray_section(run));
+    }
     match &report_out {
         Some(path) => {
-            std::fs::write(path, &report).expect("write report");
+            write_or_die(path, &report, "report");
             progress.note(done, || format!("wrote report to {path}"));
         }
         None => print!("{report}"),

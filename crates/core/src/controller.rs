@@ -187,6 +187,9 @@ pub struct WaspController {
     /// Site failures observed but not yet resolved by a successful
     /// emergency action or a restoration: `(site, observed_at_s)`.
     pending_failures: Vec<(wasp_netsim::site::SiteId, f64)>,
+    /// Adaptation-lag samples not yet handed to the engine's xray
+    /// recorder (accumulated where no `&mut Engine` is in scope).
+    xray_lags: Vec<f64>,
     /// Lossy-control-plane state (`None` in oracle mode, the default).
     lossy: Option<LossyControl>,
     /// Hub retained so the control-plane instruments can be resolved
@@ -242,6 +245,7 @@ impl WaspController {
             tel: Telemetry::disabled(),
             cm: None,
             pending_failures: Vec::new(),
+            xray_lags: Vec::new(),
             lossy: None,
             hub: MetricsHub::disabled(),
         }
@@ -365,17 +369,23 @@ impl WaspController {
         engine: &Engine,
         snap: &wasp_streamsim::metrics::QuerySnapshot,
     ) {
-        let Some(cm) = &self.cm else { return };
-        cm.rounds.inc();
-        let m = engine.metrics();
-        if let Some(p50) = m.delay_quantile(0.5) {
-            cm.delay_p50.set(p50);
+        if let Some(cm) = &self.cm {
+            cm.rounds.inc();
+            let m = engine.metrics();
+            if let Some(p50) = m.delay_quantile(0.5) {
+                cm.delay_p50.set(p50);
+            }
+            if let Some(p95) = m.delay_quantile(0.95) {
+                cm.delay_p95.set(p95);
+            }
+            if let Some(p99) = m.delay_quantile(0.99) {
+                cm.delay_p99.set(p99);
+            }
         }
-        if let Some(p95) = m.delay_quantile(0.95) {
-            cm.delay_p95.set(p95);
-        }
-        if let Some(p99) = m.delay_quantile(0.99) {
-            cm.delay_p99.set(p99);
+        // The failure ledger feeds both the adaptation-lag histogram
+        // and (when attribution is on) the xray adaptation record.
+        if self.cm.is_none() && !engine.xray_enabled() {
+            return;
         }
         for ev in &snap.events {
             match ev {
@@ -389,8 +399,13 @@ impl WaspController {
                     // emergency action: the lag is down→restored.
                     if let Some(pos) = self.pending_failures.iter().position(|(s, _)| s == site) {
                         let (_, down_at) = self.pending_failures.remove(pos);
-                        cm.adaptation_lag
-                            .observe((at.secs() - down_at).max(0.0), 1.0);
+                        let lag = (at.secs() - down_at).max(0.0);
+                        if let Some(cm) = &self.cm {
+                            cm.adaptation_lag.observe(lag, 1.0);
+                        }
+                        if engine.xray_enabled() {
+                            self.xray_lags.push(lag);
+                        }
                     }
                 }
                 _ => {}
@@ -465,12 +480,16 @@ impl WaspController {
         if any_applied {
             if let Some(cm) = &self.cm {
                 cm.emergency_actions.inc();
-                // The query is re-routed around every failed site at
-                // once, so one successful emergency round resolves
-                // all pending failures.
-                for (_, down_at) in self.pending_failures.drain(..) {
-                    cm.adaptation_lag.observe((now - down_at).max(0.0), 1.0);
+            }
+            // The query is re-routed around every failed site at
+            // once, so one successful emergency round resolves
+            // all pending failures.
+            for (_, down_at) in self.pending_failures.drain(..) {
+                let lag = (now - down_at).max(0.0);
+                if let Some(cm) = &self.cm {
+                    cm.adaptation_lag.observe(lag, 1.0);
                 }
+                engine.xray_note_adaptation_lag(lag);
             }
         }
         if any_failed {
@@ -553,17 +572,23 @@ impl WaspController {
                 AckOutcome::Applied => {
                     lossy.stats.acked_applied += 1;
                     lossy.retry.resolve(ack.id);
-                    if let Some(cm) = &self.cm {
-                        if ack.label.starts_with("emergency") {
+                    if ack.label.starts_with("emergency") {
+                        if let Some(cm) = &self.cm {
                             cm.emergency_actions.inc();
-                            // One applied emergency command re-routes
-                            // around every confirmed site at once.
-                            for (_, down_at) in self.pending_failures.drain(..) {
-                                cm.adaptation_lag.observe((now - down_at).max(0.0), 1.0);
-                            }
-                        } else {
-                            cm.actions.inc();
                         }
+                        // One applied emergency command re-routes
+                        // around every confirmed site at once. No
+                        // engine in scope here: xray lags are flushed
+                        // on the next monitor round.
+                        for (_, down_at) in self.pending_failures.drain(..) {
+                            let lag = (now - down_at).max(0.0);
+                            if let Some(cm) = &self.cm {
+                                cm.adaptation_lag.observe(lag, 1.0);
+                            }
+                            self.xray_lags.push(lag);
+                        }
+                    } else if let Some(cm) = &self.cm {
+                        cm.actions.inc();
                     }
                 }
                 // Stale and duplicate outcomes are final: the plan the
@@ -811,6 +836,11 @@ impl Controller for WaspController {
     }
 
     fn on_monitor(&mut self, engine: &mut Engine) {
+        // Hand any adaptation-lag samples recorded without an engine
+        // in scope to the xray recorder (no-op when xray is off).
+        for lag in self.xray_lags.drain(..) {
+            engine.xray_note_adaptation_lag(lag);
+        }
         // Lossy control plane: failure knowledge comes from heartbeat
         // silence and commands go over the fenced, retried channel.
         if self.lossy.is_some() {

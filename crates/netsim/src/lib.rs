@@ -43,6 +43,7 @@ pub mod stats;
 pub mod testbed;
 pub mod topology;
 pub mod trace;
+pub mod transit;
 pub mod units;
 
 /// Convenient glob-import of the crate's main types.

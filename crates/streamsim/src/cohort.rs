@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use wasp_netsim::units::SimTime;
+use wasp_xray::DelayLedger;
 
 /// A group of events born (at the external source) at the same time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -23,6 +24,10 @@ pub struct Cohort {
     /// (added on top of queueing/processing delay, which the clock
     /// captures).
     pub net_latency: f64,
+    /// Per-component delay attribution (stamped only when the engine
+    /// runs with xray enabled; stays at its birth value otherwise, so
+    /// merges below are no-ops on it).
+    pub xray: DelayLedger,
 }
 
 impl Cohort {
@@ -32,6 +37,7 @@ impl Cohort {
             birth,
             count,
             net_latency: 0.0,
+            xray: DelayLedger::new(birth.secs()),
         }
     }
 
@@ -109,6 +115,11 @@ impl CohortQueue {
             if (back.birth.secs() - c.birth.secs()).abs() < MERGE_EPS
                 && (back.net_latency - c.net_latency).abs() < MERGE_EPS
             {
+                // Count-weighted ledger mean keeps attribution
+                // conserved; with xray off both ledgers are identical
+                // birth-fresh values and the mean is a no-op.
+                let (wa, wb) = (back.count, c.count);
+                back.xray.merge_weighted(wa, &c.xray, wb);
                 back.count += c.count;
                 return;
             }
@@ -191,6 +202,7 @@ impl CohortQueue {
                 birth: c.birth,
                 count: c.count * factor,
                 net_latency: c.net_latency,
+                xray: c.xray,
             })
             .collect()
     }
@@ -204,10 +216,13 @@ impl CohortQueue {
             let a = self.cohorts.pop_front().expect("len checked");
             let b = self.cohorts.pop_front().expect("len checked");
             let count = a.count + b.count;
+            let mut xray = a.xray;
+            xray.merge_weighted(a.count, &b.xray, b.count);
             merged.push(Cohort {
                 birth: SimTime((a.birth.secs() * a.count + b.birth.secs() * b.count) / count),
                 count,
                 net_latency: (a.net_latency * a.count + b.net_latency * b.count) / count,
+                xray,
             });
         }
         for c in merged.into_iter().rev() {

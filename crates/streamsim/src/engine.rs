@@ -39,8 +39,10 @@ use wasp_netsim::control::ControlVerdict;
 use wasp_netsim::dynamics::DynamicsScript;
 use wasp_netsim::network::{FlowDemand, Network};
 use wasp_netsim::site::SiteId;
+use wasp_netsim::transit::TransitLedger;
 use wasp_netsim::units::{Mbps, MegaBytes, SimTime};
 use wasp_telemetry::{Event as TelEvent, SpanId, Telemetry};
+use wasp_xray::{Component, DelayLedger, XrayRecorder, XrayRun};
 
 /// A state transfer between two sites, part of an adaptation's
 /// transition phase.
@@ -250,6 +252,16 @@ struct Group {
     /// Processing was limited by downstream buffer space (the
     /// bottleneck is elsewhere).
     out_blocked: bool,
+    /// Cumulative seconds this group has spent paused for migrations
+    /// and slice flights (partial pauses weighted by the paused key
+    /// share). Only maintained with xray on; cohort ledgers snapshot
+    /// it as their `mark_pause` at enqueue so the dequeue stamp can
+    /// split queued time without per-tick work.
+    pause_mig_cum: f64,
+    /// Cumulative seconds blocked on a failed site (xray only); the
+    /// dequeue stamp attributes the overlap to control-plane
+    /// adaptation lag.
+    pause_fail_cum: f64,
 }
 
 /// Accumulator of one event-time window.
@@ -258,6 +270,13 @@ struct WinAgg {
     count: f64,
     max_birth: f64,
     lat_sum: f64,
+    /// Count-weighted sums of absorbed cohorts' ledger components
+    /// (xray only), indexed by `Component::ALL`.
+    comp_sums: [f64; 6],
+    /// Count-weighted sum of absorb times (xray only): lets window
+    /// firing charge the buffered wait `count·t_fire − entered_sum`
+    /// to the flow view.
+    entered_sum: f64,
 }
 
 impl Group {
@@ -277,8 +296,10 @@ impl Group {
     }
 
     /// Adds one processed cohort to its event-time window, or emits it
-    /// immediately (scaled by σ) if its window already fired.
-    fn absorb_into_window(&mut self, c: Cohort, window_s: f64, sigma: f64) {
+    /// immediately (scaled by σ) if its window already fired. With
+    /// xray on, `now` is the absorb time and the cohort's ledger
+    /// components accumulate (count-weighted) into the window.
+    fn absorb_into_window(&mut self, c: Cohort, window_s: f64, sigma: f64, xray: bool, now: f64) {
         let w = (c.birth.secs() / window_s).floor() as i64;
         self.max_birth_seen = self.max_birth_seen.max(c.birth.secs());
         if w <= self.fired_up_to {
@@ -287,27 +308,75 @@ impl Group {
                 birth: c.birth,
                 count: c.count * sigma,
                 net_latency: c.net_latency,
+                xray: c.xray,
             });
         } else {
             let agg = self.window_buf.entry(w).or_default();
             agg.count += c.count;
             agg.max_birth = agg.max_birth.max(c.birth.secs());
             agg.lat_sum += c.net_latency * c.count;
+            if xray {
+                for (sum, comp) in agg.comp_sums.iter_mut().zip(c.xray.components()) {
+                    *sum += comp * c.count;
+                }
+                agg.entered_sum += now * c.count;
+            }
         }
     }
 
-    /// Fires every window whose end the watermark has passed.
-    fn fire_ready_windows(&mut self, window_s: f64, sigma: f64) {
+    /// Rebuilds the fired cohort's ledger. The delay rule (§8.3) resets
+    /// the result's birth to the window's max event time, so only the
+    /// budget `t_fire − max_birth` of local age survives into the
+    /// delay metric: the absorbed components are rescaled to that
+    /// budget (preserving their relative shares) and the carried mean
+    /// net latency is re-charged as transit, keeping the conservation
+    /// invariant exact for the reborn cohort.
+    fn fired_ledger(&self, agg: &WinAgg, t_fire: f64) -> DelayLedger {
+        let mut led = DelayLedger::new(agg.max_birth);
+        let inv = 1.0 / agg.count;
+        led.queue = agg.comp_sums[0] * inv;
+        led.service = agg.comp_sums[1] * inv;
+        led.transit = agg.comp_sums[2] * inv;
+        led.backpressure = agg.comp_sums[3] * inv;
+        led.migration = agg.comp_sums[4] * inv;
+        led.control = agg.comp_sums[5] * inv;
+        led.rescale_to((t_fire - agg.max_birth).max(0.0), Component::Queue);
+        led.charge(Component::Transit, agg.lat_sum * inv);
+        led.attributed_until = t_fire;
+        led.mark_pause = self.pause_mig_cum;
+        led.mark_fail = self.pause_fail_cum;
+        led
+    }
+
+    /// Fires every window whose end the watermark has passed. With
+    /// xray on, the buffered window wait (`count·t1 − entered_sum`)
+    /// is charged to the flow view's queue component via `node_acc`.
+    fn fire_ready_windows(
+        &mut self,
+        window_s: f64,
+        sigma: f64,
+        xray: bool,
+        t1: f64,
+        node_acc: &mut [f64; 6],
+    ) {
         while let Some((&w, _)) = self.window_buf.iter().next() {
             if (w + 1) as f64 * window_s > self.max_birth_seen {
                 break;
             }
             let agg = self.window_buf.remove(&w).expect("key just read");
             if agg.count > 0.0 {
+                let xray_led = if xray {
+                    node_acc[Component::Queue as usize] +=
+                        (agg.count * t1 - agg.entered_sum).max(0.0);
+                    self.fired_ledger(&agg, t1)
+                } else {
+                    DelayLedger::new(agg.max_birth)
+                };
                 self.pending_out.push(Cohort {
                     birth: SimTime(agg.max_birth),
                     count: agg.count * sigma,
                     net_latency: agg.lat_sum / agg.count,
+                    xray: xray_led,
                 });
             }
             self.fired_up_to = self.fired_up_to.max(w);
@@ -316,7 +385,7 @@ impl Group {
 
     /// Drains all open windows into cohorts (one per window, carrying
     /// the window's max event time), e.g. to hand off on redeploy.
-    fn drain_windows(&mut self) -> Vec<Cohort> {
+    fn drain_windows(&mut self, xray: bool, now: f64) -> Vec<Cohort> {
         let out = self
             .window_buf
             .values()
@@ -325,6 +394,11 @@ impl Group {
                 birth: SimTime(a.max_birth),
                 count: a.count,
                 net_latency: a.lat_sum / a.count,
+                xray: if xray {
+                    self.fired_ledger(a, now)
+                } else {
+                    DelayLedger::new(a.max_birth)
+                },
             })
             .collect();
         self.window_buf.clear();
@@ -349,6 +423,12 @@ struct ProcTask {
     /// Site failed or stage suspended this tick: the group only marks
     /// backpressure, processing and emission are skipped.
     blocked: bool,
+    /// The block is a site failure (attribution: control-plane
+    /// adaptation lag) rather than a migration suspension.
+    blocked_by_failure: bool,
+    /// Key-weight share paused by in-flight partition slices (0 when
+    /// none); attribution charges it as partial migration pause.
+    paused_frac: f64,
     /// Straggler slowdown factor for this site at tick start.
     compute_factor: f64,
     /// `None` only for blocked placements with no instantiated group.
@@ -364,6 +444,13 @@ struct ProcCtx<'a> {
     cfg: &'a EngineConfig,
     edges: &'a BTreeMap<EdgeKey, CohortQueue>,
     dt: f64,
+    /// End-of-tick time; the attribution frontier every ledger stamp
+    /// in this tick closes to.
+    t1: f64,
+    /// Delay attribution enabled: cohort ledgers are stamped at queue
+    /// dequeue and emission, and flow charges are returned in
+    /// `ProcOutcome::xray_nodes`.
+    xray: bool,
 }
 
 /// Everything a task wants to say back to the engine. The reduce phase
@@ -387,6 +474,58 @@ struct ProcOutcome {
     deliveries: Vec<Cohort>,
     /// Downstream pushes, in (downstream op, placement site) order.
     emissions: Vec<(EdgeKey, Vec<Cohort>)>,
+    /// Flow-view attribution charged at this (op, site) during the
+    /// tick: seconds·events per component, indexed by
+    /// `Component::ALL`. Folded per-op in the ordered reduce.
+    xray_nodes: [f64; 6],
+}
+
+/// Closes a cohort's input-queue interval up to `until`. The overlap
+/// with the owning group's cumulative pause counters (relative to the
+/// marks snapshotted at enqueue) is attributed to migration pause and
+/// control-plane lag respectively; up to `service_dt` of the remainder
+/// is the current tick's compute, and the rest is genuine queue wait.
+/// Returns per-event seconds charged per component (for the flow
+/// view).
+fn close_queue_interval(
+    c: &mut Cohort,
+    pause_mig_cum: f64,
+    pause_fail_cum: f64,
+    until: f64,
+    service_dt: f64,
+) -> [f64; 6] {
+    let total = (until - c.xray.attributed_until).max(0.0);
+    let mig = (pause_mig_cum - c.xray.mark_pause).clamp(0.0, total);
+    let fail = (pause_fail_cum - c.xray.mark_fail).clamp(0.0, (total - mig).max(0.0));
+    let service = service_dt.clamp(0.0, (total - mig - fail).max(0.0));
+    let queue = (total - mig - fail - service).max(0.0);
+    c.xray.charge(Component::Queue, queue);
+    c.xray.charge(Component::Service, service);
+    c.xray.charge(Component::Migration, mig);
+    c.xray.charge(Component::Control, fail);
+    c.xray.attributed_until = c.xray.attributed_until.max(until);
+    let mut comps = [0.0; 6];
+    comps[Component::Queue as usize] = queue;
+    comps[Component::Service as usize] = service;
+    comps[Component::Migration as usize] = mig;
+    comps[Component::Control as usize] = fail;
+    comps
+}
+
+/// Closes a cohort's pending-output wait up to `until`: a source
+/// counts up to `service_dt` as its emission service, everything else
+/// is a stall behind a full downstream buffer.
+fn close_pending_interval(c: &mut Cohort, until: f64, service_dt: f64) -> [f64; 6] {
+    let total = (until - c.xray.attributed_until).max(0.0);
+    let service = service_dt.clamp(0.0, total);
+    let stall = (total - service).max(0.0);
+    c.xray.charge(Component::Service, service);
+    c.xray.charge(Component::Backpressure, stall);
+    c.xray.attributed_until = c.xray.attributed_until.max(until);
+    let mut comps = [0.0; 6];
+    comps[Component::Service as usize] = service;
+    comps[Component::Backpressure as usize] = stall;
+    comps
 }
 
 /// The compute phase for one task: a pure function of the task and the
@@ -397,6 +536,8 @@ fn run_proc_task(ctx: &ProcCtx<'_>, task: ProcTask) -> ProcOutcome {
         op,
         site,
         blocked,
+        blocked_by_failure,
+        paused_frac,
         compute_factor,
         group,
     } = task;
@@ -409,12 +550,23 @@ fn run_proc_task(ctx: &ProcCtx<'_>, task: ProcTask) -> ProcOutcome {
         emitted: 0.0,
         deliveries: Vec::new(),
         emissions: Vec::new(),
+        xray_nodes: [0.0; 6],
     };
     if blocked {
         if let Some(mut g) = group {
             if !g.backpressured {
                 g.backpressured = true;
                 out.backpressure = true;
+            }
+            if ctx.xray {
+                // The whole tick is a pause for everything queued
+                // here; queued cohorts pick it up at dequeue via the
+                // mark/cum split.
+                if blocked_by_failure {
+                    g.pause_fail_cum += ctx.dt;
+                } else {
+                    g.pause_mig_cum += ctx.dt;
+                }
             }
             out.group = Some(g);
         }
@@ -426,6 +578,11 @@ fn run_proc_task(ctx: &ProcCtx<'_>, task: ProcTask) -> ProcOutcome {
     let is_source = spec.kind().is_source();
     let windowed = spec.kind().window_s().is_some();
     let mut g = group.expect("deployed group");
+    if ctx.xray && paused_frac > 0.0 {
+        // A partitioned migration pauses a key-space fraction of this
+        // group; the pause time accrues pro rata.
+        g.pause_mig_cum += paused_frac.min(1.0) * ctx.dt;
+    }
     // --- processing ---
     if !is_source {
         // Straggler sites run at a fraction of nominal speed.
@@ -467,14 +624,25 @@ fn run_proc_task(ctx: &ProcCtx<'_>, task: ProcTask) -> ProcOutcome {
             out.backpressure = true;
         }
         if n > 0.0 {
-            let cohorts = g.input.take(n);
+            let mut cohorts = g.input.take(n);
+            if ctx.xray {
+                for c in &mut cohorts {
+                    let comps =
+                        close_queue_interval(c, g.pause_mig_cum, g.pause_fail_cum, ctx.t1, ctx.dt);
+                    for (acc, v) in out.xray_nodes.iter_mut().zip(comps) {
+                        *acc += v * c.count;
+                    }
+                    c.xray.mark_pause = g.pause_mig_cum;
+                    c.xray.mark_fail = g.pause_fail_cum;
+                }
+            }
             g.processed += n;
             out.processed = n;
             g.since_ckpt.push_all(cohorts.iter().copied());
             if windowed {
                 let w = spec.kind().window_s().expect("windowed op");
                 for c in cohorts {
-                    g.absorb_into_window(c, w, sigma);
+                    g.absorb_into_window(c, w, sigma, ctx.xray, ctx.t1);
                 }
             } else {
                 g.pending_out.push_all(CohortQueue::scaled(&cohorts, sigma));
@@ -488,7 +656,7 @@ fn run_proc_task(ctx: &ProcCtx<'_>, task: ProcTask) -> ProcOutcome {
         // `absorb_into_window` (late-firing updates).
         if windowed {
             let w = spec.kind().window_s().expect("windowed op");
-            g.fire_ready_windows(w, sigma);
+            g.fire_ready_windows(w, sigma, ctx.xray, ctx.t1, &mut out.xray_nodes);
         }
         // --- state bookkeeping ---
         match spec.state() {
@@ -534,7 +702,19 @@ fn run_proc_task(ctx: &ProcCtx<'_>, task: ProcTask) -> ProcOutcome {
         pending_len.min(limit)
     };
     if emit_n > 0.0 {
-        let cohorts = g.pending_out.take(emit_n);
+        let mut cohorts = g.pending_out.take(emit_n);
+        if ctx.xray {
+            // Sources charge their generation tick as service; everyone
+            // else waited here only because a downstream buffer was
+            // full.
+            let sdt = if is_source { ctx.dt } else { 0.0 };
+            for c in &mut cohorts {
+                let comps = close_pending_interval(c, ctx.t1, sdt);
+                for (acc, v) in out.xray_nodes.iter_mut().zip(comps) {
+                    *acc += v * c.count;
+                }
+            }
+        }
         g.emitted += emit_n;
         out.emitted = emit_n;
         if emit_n < pending_len && !g.backpressured {
@@ -653,15 +833,21 @@ struct EngineMetrics {
     checkpoint_delta: Option<Histogram>,
     /// Pause each completed partition slice inflicted on its keys.
     partition_downtime: Option<Histogram>,
+    /// Per-sink per-component delay-attribution histograms, indexed by
+    /// `OpId::index()` then [`Component`] discriminant (`None` for
+    /// non-sinks or when xray is off, so default registries are
+    /// untouched).
+    xray_comps: Vec<Option<Vec<Histogram>>>,
 }
 
 impl EngineMetrics {
-    fn build(hub: &MetricsHub, plan: &LogicalPlan, partitioned: bool) -> EngineMetrics {
+    fn build(hub: &MetricsHub, plan: &LogicalPlan, partitioned: bool, xray: bool) -> EngineMetrics {
         let mut processed = Vec::with_capacity(plan.len());
         let mut emitted = Vec::with_capacity(plan.len());
         let mut queue = Vec::with_capacity(plan.len());
         let mut backpressure = Vec::with_capacity(plan.len());
         let mut delivery = Vec::with_capacity(plan.len());
+        let mut xray_comps = Vec::with_capacity(plan.len());
         for op in plan.op_ids() {
             let spec = plan.op(op);
             let labels = [("op", spec.name())];
@@ -694,6 +880,18 @@ impl EngineMetrics {
             } else {
                 None
             });
+            xray_comps.push((xray && spec.kind().is_sink()).then(|| {
+                Component::ALL
+                    .iter()
+                    .map(|comp| {
+                        hub.histogram(
+                            "wasp_xray_component_seconds",
+                            "Per-component share of end-to-end delay at the sink",
+                            &[("op", spec.name()), ("component", comp.label())],
+                        )
+                    })
+                    .collect()
+            }));
         }
         EngineMetrics {
             processed,
@@ -757,8 +955,24 @@ impl EngineMetrics {
                     &[],
                 )
             }),
+            xray_comps,
         }
     }
+}
+
+/// Engine-side latency-attribution state (absent when xray is off —
+/// the default — so oracle runs carry zero extra work).
+#[derive(Debug)]
+struct XrayState {
+    /// Reporting-window width for attribution aggregation (seconds).
+    window_s: f64,
+    rec: XrayRecorder,
+    /// Physical per-WAN-link transit accounting (the recorder holds
+    /// the logical DAG-edge view).
+    links: TransitLedger,
+    /// Window indices `< emitted_up_to` already emitted as telemetry
+    /// breakdown events.
+    emitted_up_to: i64,
 }
 
 /// The wide-area stream engine simulation. See the module docs for the
@@ -825,6 +1039,9 @@ pub struct Engine {
     /// Per-partition checkpoint/transfer records (stays empty under
     /// `Coarse`, so nothing downstream changes shape).
     state_timeline: wasp_state::timeline::StateTimeline,
+    /// Latency-attribution recorder (`None` = xray off, the default;
+    /// every stamp in the hot path is gated on this).
+    xray: Option<XrayState>,
 }
 
 impl Engine {
@@ -886,6 +1103,7 @@ impl Engine {
             control: None,
             stores: BTreeMap::new(),
             state_timeline: wasp_state::timeline::StateTimeline::new(),
+            xray: None,
         };
         engine.build_groups();
         Ok(engine)
@@ -987,11 +1205,83 @@ impl Engine {
                 &hub,
                 &self.plan,
                 self.cfg.state_model.is_partitioned(),
+                self.xray.is_some(),
             ))
         } else {
             None
         };
         self.hub = hub;
+    }
+
+    /// Enables end-to-end latency attribution (xray): every cohort's
+    /// delay is split into queue/service/transit/backpressure/
+    /// migration/control components, aggregated per sink per reporting
+    /// window of `window_s` seconds. Off by default; when off, runs are
+    /// byte-identical to pre-xray builds.
+    pub fn enable_xray(&mut self, window_s: f64) {
+        let mut rec = XrayRecorder::new(window_s);
+        rec.set_ops(
+            self.plan
+                .op_ids()
+                .map(|op| (op.0, self.plan.op(op).name().to_string())),
+        );
+        rec.set_sites(self.net.topology().site_ids().map(|s| {
+            (
+                u32::from(s.0),
+                self.net.topology().site(s).name().to_string(),
+            )
+        }));
+        self.xray = Some(XrayState {
+            window_s,
+            rec,
+            links: TransitLedger::new(),
+            emitted_up_to: 0,
+        });
+        if self.hub.is_enabled() {
+            // Re-resolve instrument handles so the per-sink component
+            // families exist.
+            self.em = Some(EngineMetrics::build(
+                &self.hub,
+                &self.plan,
+                self.cfg.state_model.is_partitioned(),
+                true,
+            ));
+        }
+    }
+
+    /// True when latency attribution is recording.
+    pub fn xray_enabled(&self) -> bool {
+        self.xray.is_some()
+    }
+
+    /// The attribution recorded so far (`None` when xray is off). The
+    /// run's per-link transit rows come from the engine's physical
+    /// ledger.
+    pub fn take_xray(&self) -> Option<XrayRun> {
+        let xs = self.xray.as_ref()?;
+        let mut run = xs.rec.finalize();
+        run.links = xs
+            .links
+            .rows()
+            .into_iter()
+            .map(|(from, to, acc)| wasp_xray::XrayLink {
+                from_site: u32::from(from.0),
+                to_site: u32::from(to.0),
+                seconds: acc.seconds,
+                events: acc.events,
+            })
+            .collect();
+        Some(run)
+    }
+
+    /// Records one control-plane adaptation lag sample (seconds between
+    /// a condition being detected and the resulting command applying).
+    /// Controllers call this; a no-op while xray is off.
+    pub fn xray_note_adaptation_lag(&mut self, lag_s: f64) {
+        let now = self.now;
+        if let Some(xs) = self.xray.as_mut() {
+            xs.rec.note_adaptation(now, lag_s);
+        }
     }
 
     /// The engine's metrics hub (cheap clone; controllers share it so
@@ -1416,9 +1706,39 @@ impl Engine {
             lost_state_mb: self.lost_state_mb,
         });
         self.observe_tick_metrics(generated, delivered, dropped);
+        self.emit_xray_windows(t1);
         self.hub.maybe_scrape(t1);
         self.tick += 1;
         self.now = t1;
+    }
+
+    /// Emits a telemetry breakdown event per sink for every xray
+    /// reporting window that closed before `t1`. A single branch when
+    /// xray or telemetry is off.
+    fn emit_xray_windows(&mut self, t1: f64) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let Some(xs) = self.xray.as_mut() else { return };
+        let current = (t1 / xs.window_s).floor() as i64;
+        while xs.emitted_up_to < current {
+            let w = xs.emitted_up_to;
+            let start_s = w as f64 * xs.window_s;
+            for (sink, count, comps) in xs.rec.sink_breakdown(w) {
+                self.tel.emit(t1, || TelEvent::XrayWindowBreakdown {
+                    sink,
+                    window_start_s: start_s,
+                    events: count,
+                    queue_s: comps[0],
+                    service_s: comps[1],
+                    transit_s: comps[2],
+                    backpressure_s: comps[3],
+                    migration_s: comps[4],
+                    control_s: comps[5],
+                });
+            }
+            xs.emitted_up_to += 1;
+        }
     }
 
     /// Once-per-tick instrument updates that need a whole-engine view
@@ -1637,21 +1957,56 @@ impl Engine {
         candidate.validate(&self.plan, self.net.topology())?;
 
         // Capture old groups' data.
+        let xray_on = self.xray.is_some();
+        let now = self.now;
+        let mut xray_acc = [0.0; 6];
         let old_sites: Vec<SiteId> = self.physical.placement(op).sites();
         let mut carried_input = CohortQueue::new();
         let mut carried_window = CohortQueue::new();
         let mut old_state_total = 0.0;
         for site in old_sites {
             if let Some(mut g) = self.groups.remove(&(op, site)) {
-                carried_input.push_all(g.input.drain());
-                carried_input.push_all(g.redo.drain());
-                carried_window.push_all(g.drain_windows());
+                let (mc, fc) = (g.pause_mig_cum, g.pause_fail_cum);
+                let mut inputs = g.input.drain();
+                inputs.extend(g.redo.drain());
+                let mut windows = g.drain_windows(xray_on, now);
+                let mut pend = g.pending_out.drain();
+                if xray_on {
+                    // Close every carried ledger out at `now` against
+                    // the *old* group's pause counters, then zero the
+                    // marks: the fresh groups restart their counters.
+                    for c in inputs.iter_mut() {
+                        let comps = close_queue_interval(c, mc, fc, now, 0.0);
+                        for (a, v) in xray_acc.iter_mut().zip(comps) {
+                            *a += v * c.count;
+                        }
+                        c.xray.mark_pause = 0.0;
+                        c.xray.mark_fail = 0.0;
+                    }
+                    for c in windows.iter_mut() {
+                        // `drain_windows` already closed these at `now`.
+                        c.xray.mark_pause = 0.0;
+                        c.xray.mark_fail = 0.0;
+                    }
+                    for c in pend.iter_mut() {
+                        let comps = close_pending_interval(c, now, 0.0);
+                        for (a, v) in xray_acc.iter_mut().zip(comps) {
+                            *a += v * c.count;
+                        }
+                        c.xray.mark_pause = 0.0;
+                        c.xray.mark_fail = 0.0;
+                    }
+                }
+                carried_input.push_all(inputs);
+                carried_window.push_all(windows);
                 old_state_total += g.state_mb;
                 // Pending output stays at the site as an orphan edge
                 // buffer source; move it into the outgoing edges now.
-                let pend = g.pending_out.drain();
                 self.spill_pending(op, site, pend);
             }
+        }
+        if let Some(xs) = self.xray.as_mut() {
+            xs.rec.charge_node(now, op.0, xray_acc);
         }
         if skip_state {
             self.lost_state_mb += old_state_total;
@@ -1675,7 +2030,7 @@ impl Engine {
             if let Some(w) = self.plan.op(op).kind().window_s() {
                 let sigma = self.plan.op(op).selectivity();
                 for c in CohortQueue::scaled(&window_cohorts, share) {
-                    g.absorb_into_window(c, w, sigma);
+                    g.absorb_into_window(c, w, sigma, xray_on, now);
                 }
             } else {
                 g.input
@@ -1860,16 +2215,27 @@ impl Engine {
         let mut carried_windows: BTreeMap<OpId, Vec<Cohort>> = BTreeMap::new();
         let mut carried_pendings: BTreeMap<OpId, Vec<Cohort>> = BTreeMap::new();
         let mut replay: Vec<Cohort> = Vec::new();
+        let xray_on = self.xray.is_some();
+        let now = self.now;
         let mut add_replay = |cohorts: Vec<Cohort>, factor: f64| {
             if factor > 1e-12 {
                 for mut c in cohorts {
                     c.count /= factor;
                     c.net_latency = 0.0;
+                    if xray_on {
+                        // The event's whole history is thrown away and
+                        // re-done because of the plan switch: rebase
+                        // the ledger and book the lost age as
+                        // migration cost.
+                        c.xray = DelayLedger::new(c.birth.secs());
+                        c.xray.advance(Component::Migration, now);
+                    }
                     replay.push(c);
                 }
             }
         };
 
+        let mut xray_node_acc: BTreeMap<u32, [f64; 6]> = BTreeMap::new();
         let group_keys: Vec<(OpId, SiteId)> = self.groups.keys().copied().collect();
         for (op, site) in group_keys {
             let mut g = self.groups.remove(&(op, site)).expect("key just listed");
@@ -1885,8 +2251,35 @@ impl Engine {
             };
             let mut input = g.input.drain();
             input.extend(g.redo.drain());
-            let window = g.drain_windows();
-            let pending = g.pending_out.drain();
+            let mut window = g.drain_windows(xray_on, now);
+            let mut pending = g.pending_out.drain();
+            if xray_on {
+                // Close every ledger out at `now` against the old
+                // group's pause counters; the rebuilt groups restart
+                // their counters from zero.
+                let (mc, fc) = (g.pause_mig_cum, g.pause_fail_cum);
+                let acc = xray_node_acc.entry(op.0).or_insert([0.0; 6]);
+                for c in input.iter_mut() {
+                    let comps = close_queue_interval(c, mc, fc, now, 0.0);
+                    for (a, v) in acc.iter_mut().zip(comps) {
+                        *a += v * c.count;
+                    }
+                    c.xray.mark_pause = 0.0;
+                    c.xray.mark_fail = 0.0;
+                }
+                for c in window.iter_mut() {
+                    c.xray.mark_pause = 0.0;
+                    c.xray.mark_fail = 0.0;
+                }
+                for c in pending.iter_mut() {
+                    let comps = close_pending_interval(c, now, 0.0);
+                    for (a, v) in acc.iter_mut().zip(comps) {
+                        *a += v * c.count;
+                    }
+                    c.xray.mark_pause = 0.0;
+                    c.xray.mark_fail = 0.0;
+                }
+            }
             if let Some(&new_op) = carry_map.get(&op) {
                 carried_inputs.entry(new_op).or_default().extend(input);
                 carried_windows.entry(new_op).or_default().extend(window);
@@ -1908,10 +2301,20 @@ impl Engine {
         for key in edge_keys {
             let mut q = self.edges.remove(&key).expect("key just listed");
             if let Some(&new_op) = carry_map.get(&key.from_op) {
-                carried_pendings
-                    .entry(new_op)
-                    .or_default()
-                    .extend(q.drain());
+                let mut cohorts = q.drain();
+                if xray_on {
+                    // In-flight edge waits close as transit against
+                    // the old producer.
+                    let acc = xray_node_acc.entry(key.from_op.0).or_insert([0.0; 6]);
+                    for c in cohorts.iter_mut() {
+                        let waited = (now - c.xray.attributed_until).max(0.0);
+                        c.xray.advance(Component::Transit, now);
+                        acc[Component::Transit as usize] += waited * c.count;
+                        c.xray.mark_pause = 0.0;
+                        c.xray.mark_fail = 0.0;
+                    }
+                }
+                carried_pendings.entry(new_op).or_default().extend(cohorts);
                 continue;
             }
             let out_factor = if total_src > 0.0 {
@@ -1921,10 +2324,24 @@ impl Engine {
             };
             add_replay(q.drain(), out_factor);
         }
+        if let Some(xs) = self.xray.as_mut() {
+            for (op, acc) in xray_node_acc {
+                xs.rec.charge_node(now, op, acc);
+            }
+        }
 
         self.plan = sw.plan;
         self.physical = sw.physical;
         self.build_groups();
+        if let Some(xs) = self.xray.as_mut() {
+            // New plan, possibly new operator ids/names: refresh the
+            // recorder's name table (old ids stay for old windows).
+            xs.rec.set_ops(
+                self.plan
+                    .op_ids()
+                    .map(|op| (op.0, self.plan.op(op).name().to_string())),
+            );
+        }
 
         // Install carried data into the new groups, split by share.
         for (new_op, cohorts) in carried_inputs {
@@ -1950,7 +2367,7 @@ impl Engine {
                         // the accumulator without re-processing.
                         Some(w) => {
                             for c in CohortQueue::scaled(&cohorts, share) {
-                                g.absorb_into_window(c, w, sigma);
+                                g.absorb_into_window(c, w, sigma, xray_on, now);
                             }
                         }
                         None => g.input.push_all(CohortQueue::scaled(&cohorts, share)),
@@ -2023,6 +2440,7 @@ impl Engine {
                 &self.hub,
                 &self.plan,
                 self.cfg.state_model.is_partitioned(),
+                self.xray.is_some(),
             ));
         }
         self.plan_version += 1;
@@ -2627,7 +3045,22 @@ impl Engine {
                 .expect("edge existed when flows were built")
                 .take(events);
             if let Some(dest) = self.groups.get_mut(&(key.to_op, key.to_site)) {
+                let (mig_cum, fail_cum) = (dest.pause_mig_cum, dest.pause_fail_cum);
                 for mut c in moved {
+                    if self.xray.is_some() {
+                        // Edge-buffer wait since emission plus the
+                        // link's propagation delay are both transit.
+                        let waited = (t0 - c.xray.attributed_until).max(0.0);
+                        c.xray.advance(Component::Transit, t0);
+                        c.xray.charge(Component::Transit, latency);
+                        c.xray.mark_pause = mig_cum;
+                        c.xray.mark_fail = fail_cum;
+                        if let Some(xs) = self.xray.as_mut() {
+                            let secs = (waited + latency) * c.count;
+                            xs.rec.charge_edge(t0, key.from_op.0, key.to_op.0, secs);
+                            xs.links.record(key.from_site, key.to_site, secs, c.count);
+                        }
+                    }
                     c.net_latency += latency;
                     dest.arrived += c.count;
                     dest.input.push(c);
@@ -2740,10 +3173,13 @@ impl Engine {
                 } else {
                     self.script.compute_factor(site, SimTime(t0))
                 };
+                let failed = self.site_failed(site, t0);
                 tasks.push(ProcTask {
                     op,
                     site,
-                    blocked: self.site_failed(site, t0) || suspended,
+                    blocked: failed || suspended,
+                    blocked_by_failure: failed,
+                    paused_frac: paused,
                     compute_factor,
                     group: self.groups.remove(&(op, site)),
                 });
@@ -2756,6 +3192,8 @@ impl Engine {
             cfg: &self.cfg,
             edges: &self.edges,
             dt,
+            t1,
+            xray: self.xray.is_some(),
         };
         let outcomes = wasp_parallel::map_ordered(tasks, self.jobs, |t| run_proc_task(&ctx, t));
         // --- ordered reduce: apply outcomes in sequential task order ---
@@ -2780,6 +3218,7 @@ impl Engine {
                     em.emitted[o.op.index()].add(o.emitted);
                 }
             }
+            let mut node_comps = o.xray_nodes;
             if !o.deliveries.is_empty() {
                 let sink_hist = self
                     .em
@@ -2793,7 +3232,29 @@ impl Engine {
                     if let Some(h) = sink_hist {
                         h.observe(d, c.count);
                     }
+                    if self.xray.is_some() {
+                        // Close any still-unattributed residual (e.g.
+                        // sink-side buffering) so components sum to the
+                        // exact recorded delay.
+                        let residual = (t1 - c.xray.attributed_until).max(0.0);
+                        let mut comps = c.xray.components();
+                        comps[Component::Backpressure as usize] += residual;
+                        node_comps[Component::Backpressure as usize] += residual * c.count;
+                        if let Some(xs) = self.xray.as_mut() {
+                            xs.rec.observe_delivery(t1, o.op.0, d, comps, c.count);
+                        }
+                        if let Some(em) = &self.em {
+                            if let Some(hists) = &em.xray_comps[o.op.index()] {
+                                for (h, v) in hists.iter().zip(comps) {
+                                    h.observe(v.max(0.0), c.count);
+                                }
+                            }
+                        }
+                    }
                 }
+            }
+            if let Some(xs) = self.xray.as_mut() {
+                xs.rec.charge_node(t1, o.op.0, node_comps);
             }
             for (key, cohorts) in o.emissions {
                 self.edges.entry(key).or_default().push_all(cohorts);

@@ -59,7 +59,7 @@ fn scenario_digest(
     let result = run(&cfg);
     (
         canonical_json(&result.metrics),
-        to_jsonl(&handle.recording()),
+        to_jsonl(&handle.recording()).unwrap(),
     )
 }
 
@@ -102,6 +102,78 @@ fn section_8_scenarios_bit_identical_across_thread_counts() {
     }
 }
 
+// ---------------------------------------------------------------------
+// 1b. X-ray attribution: conservation + bit-identity across threads.
+// ---------------------------------------------------------------------
+
+/// Runs one scenario with latency attribution on, returning the
+/// canonical JSON of the [`wasp_xray::XrayRun`] snapshot.
+fn xray_digest(
+    run: &dyn Fn(&ScenarioConfig) -> ExperimentResult,
+    jobs: usize,
+) -> (String, wasp_xray::XrayRun) {
+    let cfg = ScenarioConfig {
+        seed: 4,
+        dt: 2.0,
+        jobs,
+        xray: Some(XRAY_DEFAULT_WINDOW_S),
+        ..ScenarioConfig::default()
+    };
+    let result = run(&cfg);
+    let x = result.xray.expect("xray was enabled");
+    (canonical_json(&x), x)
+}
+
+/// The tentpole invariants, over every §8 scenario:
+///
+/// 1. *Conservation* — per (window, sink) cell, the six component
+///    histograms sum to the end-to-end delay histogram's sum within
+///    1e-6 relative error. The ledger never invents or loses time.
+/// 2. *Determinism* — the full attribution snapshot (delivery-view
+///    histograms, flow-view node/edge charges, WAN-link ledger,
+///    adaptation lags) serializes byte-identically at engine
+///    parallelism 1, 2, and 8.
+#[test]
+fn xray_attribution_conserved_and_bit_identical_across_thread_counts() {
+    type ScenarioRun = Box<dyn Fn(&ScenarioConfig) -> ExperimentResult>;
+    let scenarios: Vec<(&str, ScenarioRun)> = vec![
+        (
+            "section_8_4/topk",
+            Box::new(|cfg| run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, cfg)),
+        ),
+        (
+            "section_8_4/advertising",
+            Box::new(|cfg| run_section_8_4(QueryKind::Advertising, ControllerKind::Wasp, cfg)),
+        ),
+        (
+            "section_8_5/topk",
+            Box::new(|cfg| run_section_8_5(ControllerKind::Wasp, cfg)),
+        ),
+        (
+            "section_8_6/live",
+            Box::new(|cfg| run_section_8_6(ControllerKind::Wasp, cfg)),
+        ),
+    ];
+    for (name, run) in &scenarios {
+        let (digest_ref, x) = xray_digest(run.as_ref(), 1);
+        assert!(
+            x.windows.iter().any(|w| !w.sinks.is_empty()),
+            "{name}: attribution must record deliveries"
+        );
+        let err = x.conservation_error();
+        assert!(
+            err <= 1e-6,
+            "{name}: conservation violated — components sum off by {err:.3e}"
+        );
+        for jobs in THREADS {
+            let (digest, _) = xray_digest(run.as_ref(), jobs);
+            if let Some(diff) = first_divergence(&digest_ref, &digest) {
+                panic!("{name} (jobs={jobs}): attribution diverged — {diff}");
+            }
+        }
+    }
+}
+
 /// Runs a §8.4 scenario with an explicit keyed-state model,
 /// returning the same digests as [`scenario_digest`].
 fn state_model_digest(state: wasp_state::StateModel, jobs: usize) -> (String, String) {
@@ -118,7 +190,7 @@ fn state_model_digest(state: wasp_state::StateModel, jobs: usize) -> (String, St
     let result = run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, &cfg);
     (
         canonical_json(&result.metrics),
-        to_jsonl(&handle.recording()),
+        to_jsonl(&handle.recording()).unwrap(),
     )
 }
 

@@ -273,6 +273,20 @@ pub enum Event {
         what: String,
         factor: f64,
     },
+    /// Per-sink latency-attribution breakdown for one closed xray
+    /// reporting window: component fields are event-weighted second
+    /// sums whose total matches the window's end-to-end delay mass.
+    XrayWindowBreakdown {
+        sink: u32,
+        window_start_s: f64,
+        events: f64,
+        queue_s: f64,
+        service_s: f64,
+        transit_s: f64,
+        backpressure_s: f64,
+        migration_s: f64,
+        control_s: f64,
+    },
     /// Free-form annotation (mirrors `RunMetrics::annotate`).
     Note {
         text: String,
@@ -313,6 +327,7 @@ impl Event {
             Event::ControlAckReceived { .. } => "control-ack",
             Event::ChaosFault { .. } => "chaos",
             Event::DynamicsTransition { .. } => "dynamics",
+            Event::XrayWindowBreakdown { .. } => "xray-window",
             Event::Note { .. } => "note",
         }
     }
@@ -455,6 +470,32 @@ impl Event {
                 if *applied { "applied" } else { "not applied" }
             ),
             Event::ChaosFault { description } => format!("chaos: {description}"),
+            Event::XrayWindowBreakdown {
+                sink,
+                window_start_s,
+                events,
+                queue_s,
+                service_s,
+                transit_s,
+                backpressure_s,
+                migration_s,
+                control_s,
+            } => {
+                let total =
+                    queue_s + service_s + transit_s + backpressure_s + migration_s + control_s;
+                let pct = |v: f64| if total > 0.0 { 100.0 * v / total } else { 0.0 };
+                format!(
+                    "xray window @{window_start_s:.0}s sink {sink}: {events:.0} events, \
+                     queue {:.1}% service {:.1}% transit {:.1}% backpressure {:.1}% \
+                     migration {:.1}% control {:.1}%",
+                    pct(*queue_s),
+                    pct(*service_s),
+                    pct(*transit_s),
+                    pct(*backpressure_s),
+                    pct(*migration_s),
+                    pct(*control_s)
+                )
+            }
             Event::DynamicsTransition { what, factor } => {
                 format!("dynamics: {what} -> x{factor:.2}")
             }

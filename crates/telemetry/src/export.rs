@@ -5,10 +5,41 @@
 //! seconds, so exports are byte-stable across runs and machines.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
 
 use crate::event::Event;
 use crate::sink::{Entry, Recording};
+
+/// Error from a fallible exporter. Exporters return this instead of
+/// panicking so CLI tools can surface a diagnostic and exit cleanly.
+#[derive(Debug)]
+pub enum ExportError {
+    /// A log entry failed to serialize to JSON.
+    Serialize(serde_json::Error),
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::Serialize(e) => write!(f, "log entry does not serialize: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::Serialize(e) => Some(e),
+        }
+    }
+}
+
+impl From<serde_json::Error> for ExportError {
+    fn from(e: serde_json::Error) -> ExportError {
+        ExportError::Serialize(e)
+    }
+}
 
 /// Span names that follow strict LIFO nesting on the control thread.
 /// These become `ph:"B"`/`ph:"E"` pairs; everything else (engine
@@ -29,8 +60,26 @@ fn micros(t: f64) -> u64 {
     (t * 1e6).round() as u64
 }
 
+/// JSON string literal, hand-escaped so the trace path has no
+/// fallible serialization step at all.
 fn json_str(s: &str) -> String {
-    serde_json::to_string(&s).expect("string serialization is infallible")
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Export as Chrome `about://tracing` / Perfetto JSON.
@@ -38,7 +87,7 @@ fn json_str(s: &str) -> String {
 /// Events are emitted in log order, so `ts` is monotonically
 /// non-decreasing; control spans nest via duration-begin/end pairs and
 /// engine spans are independent complete events.
-pub fn to_chrome_trace(rec: &Recording) -> String {
+pub fn to_chrome_trace(rec: &Recording) -> Result<String, ExportError> {
     let spans = rec.spans();
     let end_time = rec.end_time();
     let mut lines: Vec<String> = Vec::new();
@@ -100,17 +149,17 @@ pub fn to_chrome_trace(rec: &Recording) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     out.push_str(&lines.join(",\n"));
     out.push_str("\n]}\n");
-    out
+    Ok(out)
 }
 
 /// Export the raw log as JSON Lines, one entry per line.
-pub fn to_jsonl(rec: &Recording) -> String {
+pub fn to_jsonl(rec: &Recording) -> Result<String, ExportError> {
     let mut out = String::new();
     for entry in &rec.log {
-        out.push_str(&serde_json::to_string(entry).expect("log entries serialize"));
+        out.push_str(&serde_json::to_string(entry)?);
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// Render the plain-text run report: the decision audit (per monitor

@@ -27,7 +27,7 @@ use std::fmt;
 use std::rc::Rc;
 
 pub use event::{Event, RejectReason};
-pub use export::{render_report, to_chrome_trace, to_jsonl};
+pub use export::{render_report, to_chrome_trace, to_jsonl, ExportError};
 pub use sink::{
     Entry, LogEntry, NullSink, Recording, RecordingSink, SpanId, SpanView, StderrSink,
     TelemetrySink,
@@ -282,15 +282,15 @@ mod tests {
 
     #[test]
     fn recording_is_deterministic() {
-        let a = to_jsonl(&sample());
-        let b = to_jsonl(&sample());
+        let a = to_jsonl(&sample()).unwrap();
+        let b = to_jsonl(&sample()).unwrap();
         assert!(!a.is_empty());
         assert_eq!(a, b);
     }
 
     #[test]
     fn chrome_trace_is_balanced_and_monotonic() {
-        let trace = to_chrome_trace(&sample());
+        let trace = to_chrome_trace(&sample()).unwrap();
         // Monotonic ts + balanced B/E, checked textually here; the
         // integration test deserializes a full scenario trace.
         let mut last_ts = 0u64;

@@ -162,7 +162,16 @@ pub struct ScenarioConfig {
     /// stateful stage into hash partitions, checkpoints only dirty
     /// deltas, and pipelines migrations partition-by-partition.
     pub state: wasp_state::StateModel,
+    /// Latency-attribution (xray) reporting-window width in seconds.
+    /// `None` (the default) leaves attribution off and the run
+    /// byte-identical to pre-xray builds; `Some(w)` records per-sink
+    /// per-window component breakdowns and critical paths.
+    pub xray: Option<f64>,
 }
+
+/// Default xray reporting-window width (seconds) when attribution is
+/// enabled without an explicit width.
+pub const XRAY_DEFAULT_WINDOW_S: f64 = 300.0;
 
 impl Default for ScenarioConfig {
     fn default() -> Self {
@@ -183,6 +192,7 @@ impl Default for ScenarioConfig {
             jobs: wasp_parallel::env_jobs().unwrap_or(1),
             control: ControlPlaneConfig::Oracle,
             state: wasp_state::StateModel::Coarse,
+            xray: None,
         }
     }
 }
@@ -198,6 +208,9 @@ pub struct ExperimentResult {
     pub metrics: RunMetrics,
     /// End-to-end selectivity for processing-ratio normalization.
     pub e2e_selectivity: f64,
+    /// Latency attribution (`Some` only when `ScenarioConfig::xray`
+    /// was set).
+    pub xray: Option<wasp_xray::XrayRun>,
 }
 
 impl ExperimentResult {
@@ -251,6 +264,9 @@ fn run_scenario(
     engine.set_parallelism(cfg.jobs);
     let tel = cfg.telemetry.clone();
     engine.set_telemetry(tel.clone());
+    if let Some(w) = cfg.xray {
+        engine.enable_xray(w);
+    }
     engine.set_metrics(cfg.metrics.clone());
     if let ControlPlaneConfig::Lossy(lossy) = &cfg.control {
         engine.enable_lossy_control(lossy.clone());
@@ -275,11 +291,13 @@ fn run_scenario(
         cfg.monitor_interval_s,
     );
     tel.span_end(engine.now().secs(), root);
+    let xray = engine.take_xray();
     ExperimentResult {
         label: controller.label().to_string(),
         query: kind.name().to_string(),
         metrics: engine.into_metrics(),
         e2e_selectivity: e2e,
+        xray,
     }
 }
 
@@ -409,6 +427,9 @@ pub fn run_custom(run: CustomRun, cfg: &ScenarioConfig) -> (ExperimentResult, f6
     let (mut engine, e2e) = build_engine(run.kind, &tb, run.script, engine_cfg);
     engine.set_parallelism(cfg.jobs);
     engine.set_telemetry(cfg.telemetry.clone());
+    if let Some(w) = cfg.xray {
+        engine.enable_xray(w);
+    }
     engine.set_metrics(cfg.metrics.clone());
     if let ControlPlaneConfig::Lossy(lossy) = &cfg.control {
         engine.enable_lossy_control(lossy.clone());
@@ -427,12 +448,14 @@ pub fn run_custom(run: CustomRun, cfg: &ScenarioConfig) -> (ExperimentResult, f6
         run.monitor_interval_s,
     );
     let final_alpha = ctrl.current_alpha();
+    let xray = engine.take_xray();
     (
         ExperimentResult {
             label: format!("WASP(α={:.2})", final_alpha),
             query: run.kind.name().to_string(),
             metrics: engine.into_metrics(),
             e2e_selectivity: e2e,
+            xray,
         },
         final_alpha,
     )
@@ -684,6 +707,8 @@ pub struct SkewedStateResult {
     /// `Coarse` every key is down for the whole transition, so it is
     /// the suspension duration itself.
     pub downtime_p95_s: f64,
+    /// Latency-attribution snapshot when [`ScenarioConfig::xray`] is set.
+    pub xray: Option<wasp_xray::XrayRun>,
 }
 
 /// Skewed-state migration experiment: the §8.7 scaffold (stateful
@@ -724,6 +749,9 @@ pub fn run_skewed_state_experiment(
         .expect("validated deployment");
     engine.set_parallelism(cfg.jobs);
     engine.set_telemetry(cfg.telemetry.clone());
+    if let Some(w) = cfg.xray {
+        engine.enable_xray(w);
+    }
     engine.set_metrics(cfg.metrics.clone());
     let policy = PolicyConfig {
         // Both models must accept the same move: gate effectively off.
@@ -736,6 +764,7 @@ pub fn run_skewed_state_experiment(
     let mut ctrl = WaspController::new(policy);
     run_controlled(&mut engine, &mut ctrl, 500.0, cfg.monitor_interval_s);
     let timeline = engine.state_timeline().clone();
+    let xray = engine.take_xray();
     let metrics = engine.into_metrics();
     let breakdown = overhead_breakdown(&metrics);
     let coarse_pause = breakdown.map(|b| b.transition_s).unwrap_or(0.0);
@@ -750,6 +779,7 @@ pub fn run_skewed_state_experiment(
         timeline,
         breakdown,
         downtime_p95_s,
+        xray,
     }
 }
 

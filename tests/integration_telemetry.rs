@@ -10,10 +10,15 @@ use wasp_telemetry::LogEntry;
 use wasp_workloads::prelude::*;
 
 fn record_8_4(seed: u64) -> Recording {
+    record_8_4_jobs(seed, 1)
+}
+
+fn record_8_4_jobs(seed: u64, jobs: usize) -> Recording {
     let (tel, rec) = Telemetry::recording();
     let cfg = ScenarioConfig {
         seed,
         dt: 1.0,
+        jobs,
         telemetry: tel,
         ..ScenarioConfig::default()
     };
@@ -23,8 +28,8 @@ fn record_8_4(seed: u64) -> Recording {
 
 #[test]
 fn jsonl_log_is_byte_stable_across_runs() {
-    let first = to_jsonl(&record_8_4(4));
-    let second = to_jsonl(&record_8_4(4));
+    let first = to_jsonl(&record_8_4(4)).unwrap();
+    let second = to_jsonl(&record_8_4(4)).unwrap();
     assert!(!first.is_empty(), "an instrumented run must record events");
     assert_eq!(
         first, second,
@@ -41,7 +46,7 @@ fn jsonl_log_is_byte_stable_across_runs() {
 
     // A different seed is a different log (the trace reflects the run,
     // not just the instrumentation points).
-    let other = to_jsonl(&record_8_4(5));
+    let other = to_jsonl(&record_8_4(5)).unwrap();
     assert_ne!(first, other);
 }
 
@@ -66,11 +71,12 @@ struct TraceEvent {
     dur: Option<u64>,
 }
 
-#[test]
-fn chrome_trace_is_well_formed() {
-    let rec = record_8_4(4);
-    let trace: ChromeTrace =
-        serde_json::from_str(&to_chrome_trace(&rec)).expect("trace is valid JSON");
+/// Golden-file checks shared by the sequential and `--jobs 8` trace
+/// tests: valid JSON, monotonic timestamps, balanced B/E pairs on the
+/// control thread, durations on every complete event. Returns the
+/// maximum control-span nesting depth.
+fn check_chrome_trace(text: &str) -> i64 {
+    let trace: ChromeTrace = serde_json::from_str(text).expect("trace is valid JSON");
     assert_eq!(trace.displayTimeUnit, "ms");
     assert!(!trace.traceEvents.is_empty());
 
@@ -100,11 +106,107 @@ fn chrome_trace_is_well_formed() {
         }
     }
     assert_eq!(depth, 0, "every control span must be closed");
+    max_depth
+}
+
+#[test]
+fn chrome_trace_is_well_formed() {
+    let rec = record_8_4(4);
+    let max_depth = check_chrome_trace(&to_chrome_trace(&rec).unwrap());
     assert!(
         max_depth >= 4,
         "span hierarchy must nest at least 4 deep, got {max_depth}"
     );
     assert!(rec.max_span_depth() >= 4);
+}
+
+/// The same golden checks on a parallel engine run, plus byte-identity
+/// back to the sequential trace: `--jobs 8` may change the schedule
+/// but never the recorded events.
+#[test]
+fn chrome_trace_at_jobs_8_is_well_formed_and_identical() {
+    let parallel = to_chrome_trace(&record_8_4_jobs(4, 8)).unwrap();
+    check_chrome_trace(&parallel);
+    let sequential = to_chrome_trace(&record_8_4_jobs(4, 1)).unwrap();
+    assert_eq!(
+        sequential, parallel,
+        "the chrome trace must be byte-identical across engine parallelism"
+    );
+}
+
+/// Golden-file check of the Prometheus text exposition over a real
+/// run (with x-ray attribution on, so the per-component histogram
+/// families are covered too): every family declares `# HELP` then
+/// `# TYPE` exactly once, every sample line belongs to a declared
+/// family, and values parse.
+#[test]
+fn prometheus_exposition_is_well_formed() {
+    let hub = MetricsHub::recording(10.0);
+    let cfg = ScenarioConfig {
+        seed: 4,
+        dt: 1.0,
+        metrics: hub.clone(),
+        xray: Some(XRAY_DEFAULT_WINDOW_S),
+        ..ScenarioConfig::default()
+    };
+    run_section_8_4(QueryKind::Advertising, ControllerKind::Wasp, &cfg);
+    let text = hub.render_prometheus();
+    assert!(!text.is_empty());
+
+    let mut families: Vec<String> = Vec::new(); // declaration order
+    let mut lines = text.lines().peekable();
+    let mut samples = 0usize;
+    while let Some(line) = lines.next() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (family, help) = rest.split_once(' ').expect("HELP carries family and text");
+            assert!(!help.is_empty(), "{family}: HELP text must not be empty");
+            assert!(
+                !families.iter().any(|f| f == family),
+                "duplicate family declaration: {family}"
+            );
+            let type_line = lines.next().expect("HELP must be followed by TYPE");
+            let trest = type_line
+                .strip_prefix("# TYPE ")
+                .expect("HELP must be followed by TYPE");
+            let (tfam, kind) = trest.split_once(' ').expect("TYPE carries family and kind");
+            assert_eq!(tfam, family, "TYPE must name the family its HELP declared");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "{family}: unknown type {kind}"
+            );
+            families.push(family.to_string());
+            continue;
+        }
+        assert!(!line.starts_with('#'), "stray comment line: {line}");
+        if line.is_empty() {
+            continue;
+        }
+        // `family{labels} value` or `family value`; histogram samples
+        // append `_bucket`/`_sum`/`_count` to the declared family.
+        let name_end = line.find(['{', ' ']).expect("sample has a name");
+        let name = &line[..name_end];
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        assert!(
+            families.iter().any(|f| f == name || f == base),
+            "sample {name} has no declared family"
+        );
+        let value = line.rsplit(' ').next().expect("sample has a value");
+        assert!(
+            value.parse::<f64>().is_ok() || ["+Inf", "-Inf", "NaN"].contains(&value),
+            "unparseable sample value {value:?} in {line:?}"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0, "exposition must carry sample lines");
+    // The x-ray run must expose the per-component delay family.
+    assert!(
+        families.iter().any(|f| f == "wasp_xray_component_seconds"),
+        "x-ray component family missing from exposition"
+    );
 }
 
 #[test]
