@@ -1,12 +1,12 @@
 //! The WASP performance harness: runs the §8 scenario suite with the
 //! metrics hub recording, measures wall-clock engine throughput
 //! alongside the SLO metrics, and writes a machine-readable benchmark
-//! report (`BENCH_pr7.json` by default).
+//! report (`BENCH_pr9.json` by default).
 //!
 //! ```text
 //! wasp-bench --quick                         # CI-speed run, dt = 0.5
-//! wasp-bench --out BENCH_pr7.json            # full run, dt = 0.25
-//! wasp-bench --quick --baseline BENCH_pr7.json --gate 15
+//! wasp-bench --out BENCH_pr9.json            # full run, dt = 0.25
+//! wasp-bench --quick --baseline BENCH_pr9.json --gate 15
 //! wasp-bench --quick --jobs 8                # fan repeats across 8 threads
 //! ```
 //!
@@ -380,6 +380,20 @@ fn run_85_topk(c: &ScenarioConfig) -> ExperimentResult {
 fn run_86_live(c: &ScenarioConfig) -> ExperimentResult {
     run_section_8_6(ControllerKind::Wasp, c)
 }
+/// The skewed-state rescue with runtime key-range splitting on: the
+/// §5 scenario whose migration pauses the split machinery exists to
+/// bound. Folding it into the gated grid keeps both the split hot path
+/// and its downstream slice scheduling under the regression gate.
+fn run_skewed_split(c: &ScenarioConfig) -> ExperimentResult {
+    let r = run_skewed_split_experiment(60.0, c);
+    ExperimentResult {
+        label: r.label,
+        query: "topk (skewed split)".to_string(),
+        metrics: r.metrics,
+        e2e_selectivity: 1.0,
+        xray: r.xray,
+    }
+}
 
 type ScenarioFn = fn(&ScenarioConfig) -> ExperimentResult;
 
@@ -408,7 +422,7 @@ struct UnitOutcome {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    let mut out = "BENCH_pr7.json".to_string();
+    let mut out = "BENCH_pr9.json".to_string();
     let mut baseline: Option<String> = None;
     let mut gate_pct = 15.0;
     let mut csv_out: Option<String> = None;
@@ -470,6 +484,7 @@ fn main() {
         ("section_8_4_advertising", run_84_advertising),
         ("section_8_5_topk", run_85_topk),
         ("section_8_6_live", run_86_live),
+        ("skewed_split_topk", run_skewed_split),
     ];
     // Scenarios are interleaved round-robin across the repeats (run
     // A,B,C,D then A,B,C,D again, …) so a burst of machine noise

@@ -24,7 +24,8 @@ fn usage() -> ! {
          [--controller <wasp|reassign|scale|replan>] \
          [--dt SECS] [--jobs N] [--control <oracle|lossy>] [--loss F] [--heartbeat SECS] \
          [--phi F] [--delay-factor F] [--state <coarse|partitioned>] [--partitions N] \
-         [--zipf F] [--state-mb F] [--echo] [--trace-out FILE] [--jsonl FILE] [--report FILE] \
+         [--zipf F] [--split-threshold F] [--state-mb F] \
+         [--echo] [--trace-out FILE] [--jsonl FILE] [--report FILE] \
          [--xray] [--xray-window SECS] [--folded FILE]"
     );
     std::process::exit(2);
@@ -48,11 +49,21 @@ fn state_timeline_section(rec: &Recording) -> String {
     use std::collections::BTreeMap;
     use std::fmt::Write as _;
 
-    // Per-op checkpoint aggregates and slice downtimes.
+    // Per-op checkpoint aggregates, slice downtimes, and split events.
     let mut ckpt: BTreeMap<u32, (u64, f64, f64)> = BTreeMap::new(); // rounds, Σdelta, Σfull
     let mut downtimes: BTreeMap<Option<u32>, Vec<f64>> = BTreeMap::new();
     let mut slices_started: BTreeMap<Option<u32>, u64> = BTreeMap::new();
-    for (_, _, ev) in rec.events() {
+    struct SplitRow {
+        t: f64,
+        op: Option<u32>,
+        parent: u32,
+        child: u32,
+        parent_mb: f64,
+        left_mb: f64,
+        right_mb: f64,
+    }
+    let mut splits: Vec<SplitRow> = Vec::new();
+    for (t, _, ev) in rec.events() {
         match ev {
             Event::CheckpointDelta {
                 op,
@@ -65,6 +76,22 @@ fn state_timeline_section(rec: &Recording) -> String {
                 e.1 += delta_mb;
                 e.2 += full_mb;
             }
+            Event::PartitionSplit {
+                op,
+                parent,
+                child,
+                parent_mb,
+                left_mb,
+                right_mb,
+            } => splits.push(SplitRow {
+                t,
+                op: *op,
+                parent: *parent,
+                child: *child,
+                parent_mb: *parent_mb,
+                left_mb: *left_mb,
+                right_mb: *right_mb,
+            }),
             Event::PartitionTransferStarted { op, .. } => {
                 *slices_started.entry(*op).or_insert(0) += 1;
             }
@@ -74,7 +101,7 @@ fn state_timeline_section(rec: &Recording) -> String {
             _ => {}
         }
     }
-    if ckpt.is_empty() && slices_started.is_empty() {
+    if ckpt.is_empty() && slices_started.is_empty() && splits.is_empty() {
         return String::new();
     }
 
@@ -82,6 +109,17 @@ fn state_timeline_section(rec: &Recording) -> String {
     let _ = writeln!(out);
     let _ = writeln!(out, "State timeline (partitioned keyed state)");
     let _ = writeln!(out, "----------------------------------------");
+    for s in &splits {
+        let label =
+            s.op.map(|o| format!("op {o}"))
+                .unwrap_or_else(|| "plan switch".to_string());
+        let _ = writeln!(
+            out,
+            "t={:>7.1}s  {label}: partition {} split -> {}+{}: \
+             {:.1} MB = {:.1} + {:.1} MB",
+            s.t, s.parent, s.parent, s.child, s.parent_mb, s.left_mb, s.right_mb
+        );
+    }
     for (op, (rounds, delta, full)) in &ckpt {
         let ratio = if *full > 1e-12 { delta / full } else { 0.0 };
         let _ = writeln!(
@@ -529,6 +567,16 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
+            }
+            // Runtime key-range splitting; implies --state partitioned.
+            "--split-threshold" => {
+                partitioned = true;
+                pcfg.split_threshold = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|f: &f64| f.is_finite() && *f > 0.0)
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--state-mb" => {
                 state_mb = it

@@ -24,8 +24,8 @@ use crate::migration::{plan_migration, MigrationPlan, MigrationStrategy};
 use wasp_netsim::network::Network;
 use wasp_netsim::site::SiteId;
 use wasp_netsim::units::{MegaBytes, SimTime};
-use wasp_state::scheduler::{pipeline_schedule, PartitionSchedule};
-use wasp_state::{partition_weights, PartitionConfig};
+use wasp_state::scheduler::{pipeline_schedule_lineage, PartitionSchedule, SliceSpec};
+use wasp_state::{PartitionConfig, SplitEvent, StateStore};
 
 /// A partition-granularity migration plan: the coarse min-max plan it
 /// refines plus the pipelined per-partition schedule.
@@ -37,6 +37,13 @@ pub struct PartitionedPlan {
     pub coarse: MigrationPlan,
     /// The pipelined per-partition schedule.
     pub schedule: PartitionSchedule,
+    /// Key-range splits the plan assumes (empty unless
+    /// `split_threshold` is set). The split rule is a pure function
+    /// of `(config, stream, weight state)`, so the engine's runtime
+    /// store performs exactly these splits when it executes the
+    /// migration — the `max_pause_s` estimate the `t_max` gate sees
+    /// is the post-split one.
+    pub splits: Vec<SplitEvent>,
 }
 
 impl PartitionedPlan {
@@ -45,6 +52,7 @@ impl PartitionedPlan {
         PartitionedPlan {
             coarse: MigrationPlan::empty(),
             schedule: PartitionSchedule::empty(),
+            splits: Vec::new(),
         }
     }
 
@@ -81,18 +89,37 @@ pub fn plan_partitioned_migration(
         return PartitionedPlan {
             coarse,
             schedule: PartitionSchedule::empty(),
+            splits: Vec::new(),
         };
     }
-    let weights = partition_weights(cfg, stream);
-    let sliced: Vec<(SiteId, Vec<(u32, f64)>)> = sources
+    // Post-split weight view: a throwaway store applies the same
+    // deterministic hot-partition splits the engine's runtime store
+    // will perform when it executes this migration, so the schedule
+    // (and the `t_max` gate's `max_pause_s`) sees the bounded slices,
+    // not the pre-split hot bucket.
+    let mut store = StateStore::new(cfg, stream);
+    let splits = match cfg.split_threshold {
+        Some(th) => store.split_hot(th),
+        None => Vec::new(),
+    };
+    let specs: Vec<(u32, u32, f64)> = store
+        .weights()
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (i as u32, store.origin_of(i as u32), w))
+        .collect();
+    let sliced: Vec<(SiteId, Vec<SliceSpec>)> = sources
         .iter()
         .filter(|(_, mb)| mb.0 > 0.0)
         .map(|&(site, mb)| {
-            let slices = weights
+            let slices = specs
                 .iter()
-                .enumerate()
-                .map(|(i, &w)| (i as u32, w * mb.0))
-                .filter(|&(_, s)| s > 1e-9)
+                .map(|&(partition, origin, w)| SliceSpec {
+                    partition,
+                    origin,
+                    mb: w * mb.0,
+                })
+                .filter(|s| s.mb > 1e-9)
                 .collect();
             (site, slices)
         })
@@ -102,8 +129,12 @@ pub fn plan_partitioned_migration(
         // Mbps → MB/s.
         net.available(from, to, t).0 / 8.0
     };
-    let schedule = pipeline_schedule(&sliced, &seed, dests, &rate);
-    PartitionedPlan { coarse, schedule }
+    let schedule = pipeline_schedule_lineage(&sliced, &seed, dests, &rate);
+    PartitionedPlan {
+        coarse,
+        schedule,
+        splits,
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +185,59 @@ mod tests {
         // Slices cover the full volume.
         let total: f64 = plan.schedule.total_mb();
         assert!((total - 120.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn splitting_bounds_the_worst_slice() {
+        let (net, s) = net();
+        let sources = [(s[0], MegaBytes(60.0)), (s[1], MegaBytes(60.0))];
+        let dests = [s[2], s[3]];
+        let flat = plan_partitioned_migration(
+            7,
+            &PartitionConfig::default(),
+            &sources,
+            &dests,
+            &net,
+            SimTime::ZERO,
+        );
+        let split = plan_partitioned_migration(
+            7,
+            &PartitionConfig::with_split_threshold(0.12),
+            &sources,
+            &dests,
+            &net,
+            SimTime::ZERO,
+        );
+        // The default Zipf head (~0.30 at 16 partitions) exceeds the
+        // threshold, so splits must happen and the worst slice must
+        // shrink strictly.
+        assert!(!split.splits.is_empty());
+        assert!(flat.splits.is_empty());
+        assert!(
+            split.max_pause_s() < flat.max_pause_s() - 1e-9,
+            "split pause {} vs flat {}",
+            split.max_pause_s(),
+            flat.max_pause_s()
+        );
+        // Post-split slices still cover the full volume.
+        assert!((split.schedule.total_mb() - 120.0).abs() < 1e-6);
+        // Worst slice is bounded by the threshold's share of a blob.
+        let max_mb = split
+            .schedule
+            .transfers
+            .iter()
+            .map(|t| t.mb)
+            .fold(0.0f64, f64::max);
+        assert!(max_mb <= 0.12 * 60.0 + 1e-9, "slice {max_mb} MB");
+        // Lineage: every transfer resolves to a pre-split root, and
+        // split children actually appear in the schedule.
+        assert!(split.schedule.transfers.iter().all(|t| t.origin < 16));
+        assert!(split.schedule.transfers.iter().any(|t| t.partition >= 16));
+        assert!(flat
+            .schedule
+            .transfers
+            .iter()
+            .all(|t| t.origin == t.partition));
     }
 
     #[test]

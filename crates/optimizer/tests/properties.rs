@@ -219,6 +219,7 @@ proptest! {
             partitions: n_parts,
             zipf_exponent: zipf,
             seed,
+            ..PartitionConfig::default()
         };
         let plan = plan_partitioned_migration(stream, &cfg, &sources, &dests, &net, SimTime::ZERO);
         let coarse = plan.coarse.bottleneck_s;
@@ -239,6 +240,85 @@ proptest! {
             "slices {} vs state {total}",
             plan.schedule.total_mb()
         );
+    }
+
+    /// With runtime splitting enabled, the plan still conserves
+    /// volume, never pauses longer than the flat-bucket plan, keeps
+    /// dominance over the coarse bottleneck, and every slice's
+    /// lineage resolves to an original hash partition.
+    #[test]
+    fn split_plan_dominates_flat_and_keeps_lineage(
+        caps in proptest::collection::vec(1.0f64..200.0, 20..60),
+        sizes in proptest::collection::vec(0.5f64..400.0, 1..5),
+        n_parts in 2u32..48,
+        zipf in 0.0f64..2.0,
+        seed in 0u64..u64::MAX,
+        stream in 0u64..u64::MAX,
+        th in 0.05f64..0.5,
+    ) {
+        use wasp_optimizer::partition::plan_partitioned_migration;
+        use wasp_state::PartitionConfig;
+
+        let n_src = sizes.len();
+        let net = random_network(2 * n_src as u16, &caps, &[10.0]);
+        let sources: Vec<(SiteId, MegaBytes)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &mb)| (SiteId(i as u16), MegaBytes(mb)))
+            .collect();
+        let dests: Vec<SiteId> = (n_src..2 * n_src).map(|i| SiteId(i as u16)).collect();
+        let flat_cfg = PartitionConfig {
+            partitions: n_parts,
+            zipf_exponent: zipf,
+            seed,
+            ..PartitionConfig::default()
+        };
+        let split_cfg = PartitionConfig {
+            split_threshold: Some(th),
+            ..flat_cfg
+        };
+        let flat =
+            plan_partitioned_migration(stream, &flat_cfg, &sources, &dests, &net, SimTime::ZERO);
+        let plan =
+            plan_partitioned_migration(stream, &split_cfg, &sources, &dests, &net, SimTime::ZERO);
+        prop_assert!(flat.splits.is_empty(), "no threshold, no splits");
+        let total: f64 = sizes.iter().sum();
+        prop_assert!(
+            (plan.schedule.total_mb() - total).abs() < 1e-6 * total.max(1.0),
+            "split slices {} vs state {total}",
+            plan.schedule.total_mb()
+        );
+        prop_assert!(
+            plan.bottleneck_s() <= plan.coarse.bottleneck_s * (1.0 + 1e-9) + 1e-9,
+            "split pipelined {} beats physics? coarse {}",
+            plan.bottleneck_s(),
+            plan.coarse.bottleneck_s
+        );
+        // The point of splitting: the worst slice any link ships is
+        // bounded by the threshold's share of the largest blob (the
+        // flat plan's hottest bucket has no such bound).
+        let max_blob = sizes.iter().cloned().fold(0.0f64, f64::max);
+        let max_mb = plan
+            .schedule
+            .transfers
+            .iter()
+            .map(|t| t.mb)
+            .fold(0.0f64, f64::max);
+        prop_assert!(
+            max_mb <= th * max_blob * (1.0 + 1e-9) + 1e-9,
+            "slice {max_mb} MB above threshold share {th} of {max_blob}"
+        );
+        prop_assert!(
+            flat.max_pause_s() <= flat.bottleneck_s() + 1e-9,
+            "flat pause above makespan"
+        );
+        for t in &plan.schedule.transfers {
+            prop_assert!(t.origin < n_parts, "origin {} out of range", t.origin);
+        }
+        // The split set is exactly what re-running the detector on a
+        // fresh store yields (plan-time/run-time agreement).
+        let mut store = wasp_state::StateStore::new(&split_cfg, stream);
+        prop_assert_eq!(&store.split_hot(th), &plan.splits);
     }
 
     /// Scale-out search returns the minimal feasible parallelism.

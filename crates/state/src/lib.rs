@@ -15,7 +15,12 @@
 //!   scheduler has real skew to work against;
 //! * [`StateStore`] — per-stage partition sizes plus the
 //!   dirty-since-last-checkpoint accounting that drives incremental
-//!   checkpoints and dirty-partition-scoped redo replay;
+//!   checkpoints and dirty-partition-scoped redo replay; each
+//!   partition owns a contiguous slice of the normalized key space,
+//!   and [`StateStore::split`] bisects a hot partition's range at
+//!   runtime (conserving weight, dirty and total mass) so the worst
+//!   migration slice becomes a schedulable quantity instead of a
+//!   skew-imposed floor;
 //! * [`scheduler`] — the partition-level pipelined migration
 //!   scheduler, whose makespan is never worse than the coarse min-max
 //!   plan it refines (see [`scheduler::pipeline_schedule`]);
@@ -34,7 +39,7 @@ pub mod scheduler;
 pub mod store;
 pub mod timeline;
 
-pub use store::{CheckpointDelta, StateStore};
+pub use store::{CheckpointDelta, SplitEvent, StateStore};
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -84,6 +89,14 @@ pub struct PartitionConfig {
     /// Seed for the deterministic shuffle that assigns which hash
     /// partitions are hot (so the hot partition is not always id 0).
     pub seed: u64,
+    /// Runtime key-range splitting. `Some(th)`: before expanding a
+    /// migration into slices, any partition whose key-weight share
+    /// exceeds `th` has its range bisected (recursively, hottest
+    /// first) so the worst pipelined slice is bounded by `th` of the
+    /// blob instead of the hottest hash bucket. `None` (the default)
+    /// disables splitting and keeps every run byte-identical to the
+    /// flat fixed-bucket model.
+    pub split_threshold: Option<f64>,
 }
 
 impl Default for PartitionConfig {
@@ -92,6 +105,7 @@ impl Default for PartitionConfig {
             partitions: 16,
             zipf_exponent: 1.0,
             seed: 0,
+            split_threshold: None,
         }
     }
 }
@@ -101,6 +115,15 @@ impl PartitionConfig {
     pub fn with_partitions(partitions: u32) -> PartitionConfig {
         PartitionConfig {
             partitions,
+            ..PartitionConfig::default()
+        }
+    }
+
+    /// A config that splits any partition above `threshold` key-weight
+    /// share at migration time, defaults otherwise.
+    pub fn with_split_threshold(threshold: f64) -> PartitionConfig {
+        PartitionConfig {
+            split_threshold: Some(threshold),
             ..PartitionConfig::default()
         }
     }
@@ -151,6 +174,7 @@ mod tests {
             partitions: 64,
             zipf_exponent: 1.0,
             seed: 7,
+            ..PartitionConfig::default()
         };
         let w = partition_weights(&cfg, 0);
         let max = w.iter().cloned().fold(0.0f64, f64::max);
@@ -165,6 +189,7 @@ mod tests {
             partitions: 8,
             zipf_exponent: 0.0,
             seed: 1,
+            ..PartitionConfig::default()
         };
         let w = partition_weights(&cfg, 9);
         for &x in &w {

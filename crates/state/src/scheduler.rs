@@ -27,9 +27,27 @@ pub struct PartitionTransfer {
     pub from: SiteId,
     /// Site the slice lands on.
     pub to: SiteId,
-    /// Hash partition the slice belongs to.
+    /// Partition the slice belongs to (a key-range leaf when runtime
+    /// splitting is on).
     pub partition: u32,
+    /// Pre-split root partition the slice descends from (`==
+    /// partition` without splits). Checkpoint deltas taken before a
+    /// split were recorded against this id, so a redo replays the
+    /// origin's delta history onto the child slice.
+    pub origin: u32,
     /// Slice volume.
+    pub mb: f64,
+}
+
+/// One slice with its split lineage, as fed to
+/// [`pipeline_schedule_lineage`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceSpec {
+    /// Partition (key-range leaf) owning the slice.
+    pub partition: u32,
+    /// Pre-split root partition (see [`PartitionTransfer::origin`]).
+    pub origin: u32,
+    /// Slice volume, megabytes.
     pub mb: f64,
 }
 
@@ -85,6 +103,35 @@ pub fn pipeline_schedule(
     dests: &[SiteId],
     rate_mb_per_s: &dyn Fn(SiteId, SiteId) -> f64,
 ) -> PartitionSchedule {
+    // No splits: every slice is its own origin.
+    let lineage: Vec<(SiteId, Vec<SliceSpec>)> = sources
+        .iter()
+        .map(|&(site, ref parts)| {
+            let specs = parts
+                .iter()
+                .map(|&(partition, mb)| SliceSpec {
+                    partition,
+                    origin: partition,
+                    mb,
+                })
+                .collect();
+            (site, specs)
+        })
+        .collect();
+    pipeline_schedule_lineage(&lineage, seed_assignment, dests, rate_mb_per_s)
+}
+
+/// [`pipeline_schedule`] with explicit split lineage: each slice
+/// carries the pre-split root partition it descends from, and the
+/// resulting [`PartitionTransfer`]s preserve it — so the engine's
+/// slice flights (and the report's timeline) can map checkpoint
+/// deltas taken before a split onto the post-split children.
+pub fn pipeline_schedule_lineage(
+    sources: &[(SiteId, Vec<SliceSpec>)],
+    seed_assignment: &[(SiteId, SiteId)],
+    dests: &[SiteId],
+    rate_mb_per_s: &dyn Fn(SiteId, SiteId) -> f64,
+) -> PartitionSchedule {
     if dests.is_empty() {
         return PartitionSchedule::empty();
     }
@@ -94,18 +141,20 @@ pub fn pipeline_schedule(
         from: SiteId,
         to: SiteId,
         partition: u32,
+        origin: u32,
         mb: f64,
     }
     let mut slices: Vec<Slice> = Vec::new();
     for &(from, ref parts) in sources {
         let to = seed.get(&from).copied().unwrap_or(dests[0]);
-        for &(partition, mb) in parts {
-            if mb > 1e-12 {
+        for &spec in parts {
+            if spec.mb > 1e-12 {
                 slices.push(Slice {
                     from,
                     to,
-                    partition,
-                    mb,
+                    partition: spec.partition,
+                    origin: spec.origin,
+                    mb: spec.mb,
                 });
             }
         }
@@ -217,6 +266,7 @@ pub fn pipeline_schedule(
             from: s.from,
             to: s.to,
             partition: s.partition,
+            origin: s.origin,
             mb: s.mb,
         })
         .collect();
@@ -300,6 +350,40 @@ mod tests {
         let s = pipeline_schedule(&src, &[(site(0), site(1))], &[site(1), site(2)], &r);
         assert!((s.bottleneck_s - 4.0).abs() < 1e-9, "{s:?}");
         assert!(s.transfers.iter().all(|t| t.to == site(1)));
+    }
+
+    #[test]
+    fn lineage_survives_scheduling() {
+        let r = |_: SiteId, _: SiteId| 10.0;
+        // Partition 16 is a split child of root 3; both slices must
+        // come out of the scheduler still pointing at origin 3.
+        let src = vec![(
+            site(0),
+            vec![
+                SliceSpec {
+                    partition: 16,
+                    origin: 3,
+                    mb: 10.0,
+                },
+                SliceSpec {
+                    partition: 3,
+                    origin: 3,
+                    mb: 10.0,
+                },
+            ],
+        )];
+        let s = pipeline_schedule_lineage(&src, &[(site(0), site(1))], &[site(1)], &r);
+        assert_eq!(s.transfers.len(), 2);
+        assert!(s.transfers.iter().all(|t| t.origin == 3), "{s:?}");
+        // The lineage-free entry point marks every slice its own
+        // origin.
+        let s2 = pipeline_schedule(
+            &[(site(0), vec![(4, 5.0)])],
+            &[(site(0), site(1))],
+            &[site(1)],
+            &r,
+        );
+        assert_eq!(s2.transfers[0].origin, 4);
     }
 
     #[test]

@@ -1,14 +1,50 @@
-//! Per-stage partitioned state with incremental-checkpoint accounting.
+//! Per-stage partitioned state with incremental-checkpoint accounting
+//! and runtime key-range splitting.
 //!
 //! A [`StateStore`] tracks one stateful stage's key space: the
-//! Zipf-skewed per-partition weight vector (fixed at construction)
+//! Zipf-skewed per-partition weight vector (seeded at construction)
 //! plus, per partition, the megabytes *written since the last
 //! checkpoint*. Checkpoints drain that dirty set and report the delta
 //! volume — which is what an incremental checkpoint actually uploads,
 //! instead of the full state size — and failures replay only the
 //! partitions that were dirty (clean partitions are already durable).
+//!
+//! Partitions are not flat hash buckets: each one owns a contiguous
+//! range of the normalized `[0, 1)` key space (base partition `i` of
+//! `n` starts with `[i/n, (i+1)/n)`), forming the leaves of a binary
+//! key-range tree. [`StateStore::split`] bisects a leaf's range at
+//! runtime — the parent keeps its id and the lower half, the new
+//! child takes the upper half — and re-seeds the two halves' weight
+//! and dirty shares deterministically so total key mass, dirty mass
+//! and `total_mb` are all conserved exactly. [`StateStore::split_hot`]
+//! is the migration path's hot-partition detector: it splits the
+//! hottest leaf until every leaf's key-weight share is at or below a
+//! threshold, bounding the worst pipelined migration slice.
+//! [`StateStore::origin_of`] walks the tree back to the pre-split
+//! root, which is how checkpoint deltas taken *before* a split replay
+//! correctly onto the children: a child's dirty history lives under
+//! its origin's id, and splitting partitions the parent's dirty mass
+//! onto the children without creating or destroying any.
 
 use crate::{partition_weights, PartitionConfig};
+
+/// One runtime key-range split, in the order it was performed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitEvent {
+    /// Partition that split (it keeps its id and the lower half of
+    /// its range).
+    pub parent: u32,
+    /// Newly created partition (the upper half; its id is the store's
+    /// partition count before the split).
+    pub child: u32,
+    /// The parent's key-weight share before the split.
+    pub parent_weight: f64,
+    /// Weight retained by the parent (`left_weight + right_weight ==
+    /// parent_weight` exactly).
+    pub left_weight: f64,
+    /// Weight handed to the new child.
+    pub right_weight: f64,
+}
 
 /// What one incremental checkpoint round wrote for one stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,22 +66,56 @@ pub struct StateStore {
     /// Megabytes written into each partition since the last
     /// checkpoint, capped at the partition's current size.
     dirty_mb: Vec<f64>,
+    /// `[lo, hi)` slice of the normalized key space each partition
+    /// owns (indexed by partition id, like `weights`).
+    ranges: Vec<(f64, f64)>,
+    /// Split lineage: `Some(p)` for partitions created by splitting
+    /// `p`, `None` for the original hash partitions.
+    parents: Vec<Option<u32>>,
+    /// Every split performed on this store, in order.
+    splits: Vec<SplitEvent>,
     total_mb: f64,
     /// Splitmix64 state for [`StateStore::record_writes_sampled`].
     rng_state: u64,
+    /// Seed for the deterministic hot-side draw of each split (mixed
+    /// with the split range, so the draw is a pure function of the
+    /// store's identity and the range being bisected).
+    split_seed: u64,
+    /// Zipf exponent of the key distribution, reused to re-seed the
+    /// two halves' weight shares on a split.
+    zipf_exponent: f64,
 }
 
 impl StateStore {
+    /// Hard cap on splits per [`StateStore::split_hot`] call — a
+    /// defensive bound far above what any sane threshold needs (the
+    /// threshold itself is floored at [`StateStore::MIN_SPLIT_THRESHOLD`]).
+    pub const MAX_SPLITS: usize = 4096;
+
+    /// Smallest effective `split_threshold`: thresholds below this are
+    /// clamped up so a pathological configuration cannot shatter the
+    /// key space into unbounded dust.
+    pub const MIN_SPLIT_THRESHOLD: f64 = 1e-3;
+
     /// A store for one stage. `stream` disambiguates stages sharing a
     /// config (each gets an independently shuffled hot partition).
     pub fn new(cfg: &PartitionConfig, stream: u64) -> StateStore {
         let weights = partition_weights(cfg, stream);
-        let dirty_mb = vec![0.0; weights.len()];
+        let n = weights.len();
+        let dirty_mb = vec![0.0; n];
+        let ranges = (0..n)
+            .map(|i| (i as f64 / n as f64, (i + 1) as f64 / n as f64))
+            .collect();
         StateStore {
             weights,
             dirty_mb,
+            ranges,
+            parents: vec![None; n],
+            splits: Vec::new(),
             total_mb: 0.0,
             rng_state: cfg.seed ^ stream.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+            split_seed: cfg.seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F),
+            zipf_exponent: cfg.zipf_exponent,
         }
     }
 
@@ -57,6 +127,128 @@ impl StateStore {
     /// The per-partition weight vector (sums to 1).
     pub fn weights(&self) -> &[f64] {
         &self.weights
+    }
+
+    /// The `[lo, hi)` key-space range each partition owns (indexed by
+    /// partition id). Ranges are pairwise disjoint and cover `[0, 1)`.
+    pub fn ranges(&self) -> &[(f64, f64)] {
+        &self.ranges
+    }
+
+    /// The partition `i` was split off from, `None` for the original
+    /// hash partitions (and for out-of-range ids).
+    pub fn parent(&self, i: u32) -> Option<u32> {
+        self.parents.get(i as usize).copied().flatten()
+    }
+
+    /// Walks the split lineage of `i` back to its pre-split root: the
+    /// original hash partition whose checkpoint history covers `i`'s
+    /// keys. Deltas taken before a split were recorded against this
+    /// id, so redo replay resolves a child through its origin.
+    pub fn origin_of(&self, i: u32) -> u32 {
+        let mut cur = i;
+        // The lineage is a forest over the id space: every parent id
+        // is strictly smaller than its child's, so this terminates.
+        while let Some(p) = self.parent(cur) {
+            cur = p;
+        }
+        cur
+    }
+
+    /// Every split performed on this store, in execution order.
+    pub fn splits(&self) -> &[SplitEvent] {
+        &self.splits
+    }
+
+    /// Bisects partition `i`'s key range. The parent keeps its id and
+    /// the lower half; the new child (id = old partition count) takes
+    /// the upper half. The two halves' weight and dirty shares are
+    /// re-seeded deterministically — the hot half gets the share a
+    /// Zipf(`s`) head would keep under one more level of hashing,
+    /// `2^s / (1 + 2^s)`, and which half is hot is a seeded draw on
+    /// the range being bisected — while total key mass, dirty mass and
+    /// `total_mb` are conserved exactly (the right share is computed
+    /// by subtraction, not re-normalization).
+    ///
+    /// Returns `None` when `i` is out of range or the range is too
+    /// narrow to bisect in `f64` (the midpoint collapses onto an
+    /// endpoint).
+    pub fn split(&mut self, i: usize) -> Option<SplitEvent> {
+        let (lo, hi) = *self.ranges.get(i)?;
+        let mid = lo + (hi - lo) / 2.0;
+        if !(mid > lo && mid < hi) {
+            return None;
+        }
+        let w = self.weights[i];
+        let d = self.dirty_mb[i];
+        // Hot-half share under one more level of Zipf hashing; the
+        // exponent is clamped so even extreme configs keep both halves
+        // non-degenerate (share ∈ [1/17, 16/17]).
+        let s = self.zipf_exponent.clamp(0.0, 4.0);
+        let hot = 2f64.powf(s) / (1.0 + 2f64.powf(s));
+        // Seeded draw of which half is hot: splitmix64 finalizer over
+        // (store seed, range) — a pure function, so replaying the same
+        // split sequence on an identical store reproduces it exactly.
+        let mut z = self.split_seed ^ lo.to_bits() ^ hi.to_bits().rotate_left(17);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let f = if z & 1 == 0 { hot } else { 1.0 - hot };
+        let left_w = w * f;
+        let right_w = w - left_w;
+        let left_d = d * f;
+        let right_d = d - left_d;
+        let child = self.weights.len() as u32;
+        self.ranges[i] = (lo, mid);
+        self.weights[i] = left_w;
+        self.dirty_mb[i] = left_d;
+        self.ranges.push((mid, hi));
+        self.weights.push(right_w);
+        self.dirty_mb.push(right_d);
+        self.parents.push(Some(i as u32));
+        let ev = SplitEvent {
+            parent: i as u32,
+            child,
+            parent_weight: w,
+            left_weight: left_w,
+            right_weight: right_w,
+        };
+        self.splits.push(ev);
+        Some(ev)
+    }
+
+    /// The migration scheduler's hot-partition detector: repeatedly
+    /// splits the hottest partition (ties toward the smaller id) while
+    /// its key-weight share — equivalently, its share of
+    /// `partition_mb` — exceeds `threshold`, so the worst pipelined
+    /// migration slice is bounded by `threshold` of the blob.
+    ///
+    /// Deterministic: the split sequence is a pure function of the
+    /// store's weight/range state, so an identical store (same config,
+    /// stream, and prior splits) produces the identical sequence —
+    /// which is also why the optimizer's plan-time estimate and the
+    /// engine's runtime store agree on the post-split layout. Returns
+    /// the splits performed, in order (empty when nothing is hot).
+    pub fn split_hot(&mut self, threshold: f64) -> Vec<SplitEvent> {
+        let th = threshold.max(Self::MIN_SPLIT_THRESHOLD);
+        let mut events = Vec::new();
+        while events.len() < Self::MAX_SPLITS {
+            let mut hottest: Option<(usize, f64)> = None;
+            for (i, &w) in self.weights.iter().enumerate() {
+                if hottest.is_none_or(|(_, bw)| w > bw) {
+                    hottest = Some((i, w));
+                }
+            }
+            let Some((i, w)) = hottest else { break };
+            if w <= th {
+                break;
+            }
+            match self.split(i) {
+                Some(ev) => events.push(ev),
+                None => break,
+            }
+        }
+        events
     }
 
     /// Current full state size across all partitions.
@@ -163,14 +355,28 @@ impl StateStore {
     /// Splits `mb` (a site-level blob of this stage's state) into
     /// per-partition slices by weight, dropping slices below `min_mb`.
     /// Returns `(partition id, slice megabytes)` pairs in partition
-    /// order.
+    /// order. A blob too small for any weighted slice to clear
+    /// `min_mb` still yields one slice (the hottest partition carries
+    /// the whole blob) — a tiny final partition must be *moved*, not
+    /// silently planned away.
     pub fn split_slices(&self, mb: f64, min_mb: f64) -> Vec<(u32, f64)> {
-        self.weights
+        let slices: Vec<(u32, f64)> = self
+            .weights
             .iter()
             .enumerate()
             .map(|(i, &w)| (i as u32, w * mb))
             .filter(|&(_, s)| s > min_mb)
-            .collect()
+            .collect();
+        if slices.is_empty() && mb > 0.0 {
+            let mut hot = 0usize;
+            for (i, &w) in self.weights.iter().enumerate() {
+                if w > self.weights[hot] {
+                    hot = i;
+                }
+            }
+            return vec![(hot as u32, mb)];
+        }
+        slices
     }
 }
 
@@ -266,5 +472,116 @@ mod tests {
         s.set_total_mb(16.0);
         let ck = s.take_checkpoint();
         assert!(ck.delta_mb <= 16.0 + 1e-9, "{ck:?}");
+    }
+
+    #[test]
+    fn tiny_blob_still_yields_one_slice() {
+        // Regression: every weighted slice of a 0.1 MB blob falls
+        // below min_mb = 1.0, which used to plan *nothing* — the tiny
+        // final partition was never moved.
+        let s = store();
+        let slices = s.split_slices(0.1, 1.0);
+        assert_eq!(slices.len(), 1, "{slices:?}");
+        let (id, mb) = slices[0];
+        assert!((mb - 0.1).abs() < 1e-12);
+        // The carrier is the hottest partition.
+        let hot = s
+            .weights()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(id as usize, hot);
+        // Zero blob still plans nothing.
+        assert!(s.split_slices(0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn split_conserves_weight_dirty_and_total() {
+        let mut s = store();
+        // 10 MB of writes spread by weight; no partition caps, so the
+        // dirty mass is exactly 10 MB going into the split.
+        s.record_writes(10.0);
+        let dirty_before = 10.0;
+        let hot = s
+            .weights()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let w_before = s.weights()[hot];
+        let ev = s.split(hot).expect("base range is splittable");
+        assert_eq!(ev.parent as usize, hot);
+        assert_eq!(ev.child as usize, s.partitions() - 1);
+        assert!((ev.left_weight + ev.right_weight - w_before).abs() < 1e-15);
+        assert!(ev.left_weight > 0.0 && ev.right_weight > 0.0);
+        let sum: f64 = s.weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!((s.total_mb() - 160.0).abs() < 1e-12);
+        let ck = s.take_checkpoint();
+        assert!(
+            (ck.delta_mb - dirty_before).abs() < 1e-9,
+            "dirty mass must survive the split: {} vs {dirty_before}",
+            ck.delta_mb
+        );
+    }
+
+    #[test]
+    fn split_hot_bounds_every_leaf_and_is_deterministic() {
+        let mut a = store();
+        let mut b = store();
+        let ev_a = a.split_hot(0.1);
+        let ev_b = b.split_hot(0.1);
+        assert!(!ev_a.is_empty(), "default Zipf head exceeds 0.1");
+        assert_eq!(ev_a, ev_b, "identical stores must split identically");
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.ranges(), b.ranges());
+        let max = a.weights().iter().cloned().fold(0.0f64, f64::max);
+        assert!(max <= 0.1 + 1e-12, "hottest leaf {max} above threshold");
+        // A second pass finds nothing left to split.
+        assert!(a.split_hot(0.1).is_empty());
+    }
+
+    #[test]
+    fn origin_walks_lineage_to_the_pre_split_root() {
+        let mut s = store();
+        let hot = s
+            .weights()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let ev1 = s.split(hot).unwrap();
+        // Split the new child again: grandchild's origin is still the
+        // original hash partition.
+        let ev2 = s.split(ev1.child as usize).unwrap();
+        assert_eq!(s.origin_of(ev1.child), hot as u32);
+        assert_eq!(s.origin_of(ev2.child), hot as u32);
+        assert_eq!(s.parent(ev2.child), Some(ev1.child));
+        for i in 0..16u32 {
+            assert_eq!(s.origin_of(i), i, "originals are their own origin");
+        }
+        assert_eq!(s.splits(), &[ev1, ev2]);
+    }
+
+    #[test]
+    fn split_ranges_stay_disjoint_and_cover_key_space() {
+        let mut s = store();
+        s.split_hot(0.05);
+        let mut ranges: Vec<(f64, f64)> = s.ranges().to_vec();
+        ranges.sort_by(|a, b| a.0.total_cmp(&b.0));
+        assert_eq!(ranges[0].0, 0.0);
+        assert_eq!(ranges[ranges.len() - 1].1, 1.0);
+        for w in ranges.windows(2) {
+            assert!(
+                w[0].1 == w[1].0,
+                "gap or overlap between {:?} and {:?}",
+                w[0],
+                w[1]
+            );
+        }
     }
 }

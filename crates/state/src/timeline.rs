@@ -27,13 +27,41 @@ pub struct CheckpointRecord {
     pub dirty_partitions: u32,
 }
 
+/// One runtime key-range split, as the engine's migration path
+/// performed it (before expanding the migration into slices).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSplitRecord {
+    /// Simulated time of the split.
+    pub t_s: f64,
+    /// Stage whose store split (`None` = whole-query plan switch).
+    pub op: Option<u32>,
+    /// Partition that split (keeps its id and the lower half of its
+    /// key range).
+    pub parent: u32,
+    /// Newly created partition (the upper half).
+    pub child: u32,
+    /// Parent state size before the split.
+    pub parent_mb: f64,
+    /// State retained by the parent (`left_mb + right_mb ==
+    /// parent_mb`).
+    pub left_mb: f64,
+    /// State handed to the child.
+    pub right_mb: f64,
+}
+
 /// One partition slice transfer during a migration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartitionTransferRecord {
     /// Stage being migrated (`None` = whole-query plan switch).
     pub op: Option<u32>,
-    /// Hash partition the slice belongs to.
+    /// Partition the slice belongs to (a key-range leaf when runtime
+    /// splitting is on).
     pub partition: u32,
+    /// Pre-split root partition the slice descends from (`==
+    /// partition` when no split touched it): checkpoint deltas taken
+    /// before the split live under this id, so redo replay maps old
+    /// deltas onto the children through their origin.
+    pub origin: u32,
     /// Source site.
     pub from: SiteId,
     /// Destination site.
@@ -61,6 +89,9 @@ pub struct StateTimeline {
     pub checkpoints: Vec<CheckpointRecord>,
     /// Partition slice transfers, in start order.
     pub transfers: Vec<PartitionTransferRecord>,
+    /// Runtime key-range splits, in execution order (empty unless
+    /// `split_threshold` is set).
+    pub splits: Vec<PartitionSplitRecord>,
 }
 
 impl StateTimeline {
@@ -72,7 +103,7 @@ impl StateTimeline {
     /// True when nothing was recorded (always the case under
     /// `StateModel::Coarse`).
     pub fn is_empty(&self) -> bool {
-        self.checkpoints.is_empty() && self.transfers.is_empty()
+        self.checkpoints.is_empty() && self.transfers.is_empty() && self.splits.is_empty()
     }
 
     /// Downtimes of all completed partition transfers, in completion
@@ -115,6 +146,7 @@ mod tests {
             tl.transfers.push(PartitionTransferRecord {
                 op: Some(1),
                 partition: i as u32,
+                origin: i as u32,
                 from: SiteId(0),
                 to: SiteId(1),
                 mb: 1.0,
@@ -134,6 +166,7 @@ mod tests {
         tl.transfers.push(PartitionTransferRecord {
             op: None,
             partition: 0,
+            origin: 0,
             from: SiteId(0),
             to: SiteId(1),
             mb: 1.0,
@@ -142,5 +175,22 @@ mod tests {
         });
         assert!(tl.partition_downtimes().is_empty());
         assert!(!tl.is_empty());
+    }
+
+    #[test]
+    fn splits_alone_make_the_timeline_non_empty() {
+        let mut tl = StateTimeline::new();
+        assert!(tl.is_empty());
+        tl.splits.push(PartitionSplitRecord {
+            t_s: 10.0,
+            op: Some(2),
+            parent: 1,
+            child: 16,
+            parent_mb: 40.0,
+            left_mb: 26.7,
+            right_mb: 13.3,
+        });
+        assert!(!tl.is_empty());
+        assert!(tl.partition_downtimes().is_empty());
     }
 }

@@ -757,6 +757,11 @@ struct TransferProgress {
 #[derive(Debug, Clone)]
 struct SliceFlight {
     partition: u32,
+    /// Pre-split root partition this slice descends from (`==
+    /// partition` when runtime splitting never touched it): the id
+    /// checkpoint deltas taken before a split were recorded against,
+    /// so redo replay resolves children through their origin.
+    origin: u32,
     from: SiteId,
     to: SiteId,
     /// Key-space weight of the partition (the capacity share paused
@@ -833,6 +838,10 @@ struct EngineMetrics {
     checkpoint_delta: Option<Histogram>,
     /// Pause each completed partition slice inflicted on its keys.
     partition_downtime: Option<Histogram>,
+    /// Runtime key-range splits the migration path performed (`None`
+    /// unless `split_threshold` is configured, so both the coarse and
+    /// the flat-partitioned registry shapes are unchanged).
+    partition_splits: Option<Counter>,
     /// Per-sink per-component delay-attribution histograms, indexed by
     /// `OpId::index()` then [`Component`] discriminant (`None` for
     /// non-sinks or when xray is off, so default registries are
@@ -841,7 +850,17 @@ struct EngineMetrics {
 }
 
 impl EngineMetrics {
-    fn build(hub: &MetricsHub, plan: &LogicalPlan, partitioned: bool, xray: bool) -> EngineMetrics {
+    fn build(
+        hub: &MetricsHub,
+        plan: &LogicalPlan,
+        state: &wasp_state::StateModel,
+        xray: bool,
+    ) -> EngineMetrics {
+        let partitioned = state.is_partitioned();
+        let split = state
+            .partition_config()
+            .and_then(|pc| pc.split_threshold)
+            .is_some();
         let mut processed = Vec::with_capacity(plan.len());
         let mut emitted = Vec::with_capacity(plan.len());
         let mut queue = Vec::with_capacity(plan.len());
@@ -952,6 +971,13 @@ impl EngineMetrics {
                 hub.histogram(
                     "wasp_migration_partition_downtime_seconds",
                     "Pause each completed partition slice inflicted on its keys",
+                    &[],
+                )
+            }),
+            partition_splits: split.then(|| {
+                hub.counter(
+                    "wasp_partition_splits_total",
+                    "Runtime key-range splits performed by the migration path",
                     &[],
                 )
             }),
@@ -1204,7 +1230,7 @@ impl Engine {
             Some(EngineMetrics::build(
                 &hub,
                 &self.plan,
-                self.cfg.state_model.is_partitioned(),
+                &self.cfg.state_model,
                 self.xray.is_some(),
             ))
         } else {
@@ -1243,7 +1269,7 @@ impl Engine {
             self.em = Some(EngineMetrics::build(
                 &self.hub,
                 &self.plan,
-                self.cfg.state_model.is_partitioned(),
+                &self.cfg.state_model,
                 true,
             ));
         }
@@ -2057,15 +2083,36 @@ impl Engine {
         // Partitioned state: expand each site-level blob into
         // per-partition slices, pipelined per link. The coarse path
         // (no store for this op) keeps `progress` untouched.
+        let split_threshold = self
+            .cfg
+            .state_model
+            .partition_config()
+            .and_then(|pc| pc.split_threshold);
         let mut slices: Vec<SliceFlight> = Vec::new();
-        let partitioned = match self.stores.get(&op) {
+        let mut split_events: Vec<(wasp_state::SplitEvent, f64)> = Vec::new();
+        let partitioned = match self.stores.get_mut(&op) {
             Some(store) => {
+                // Hot-partition detector: bisect any partition whose
+                // key-weight share exceeds the threshold *before*
+                // expanding slices, so the worst slice this migration
+                // ships — and the pause it inflicts — is bounded by
+                // the threshold instead of the hottest hash bucket.
+                if let Some(th) = split_threshold {
+                    let total = store.total_mb();
+                    for ev in store.split_hot(th) {
+                        split_events.push((ev, total));
+                    }
+                }
+                let origins: Vec<u32> = (0..store.partitions() as u32)
+                    .map(|i| store.origin_of(i))
+                    .collect();
                 for tp in progress.drain(..) {
                     for (i, &w) in store.weights().iter().enumerate() {
                         let mb = w * tp.remaining_mb;
                         if mb > 1e-9 {
                             slices.push(SliceFlight {
                                 partition: i as u32,
+                                origin: origins[i],
                                 from: tp.from,
                                 to: tp.to,
                                 weight: w,
@@ -2082,6 +2129,37 @@ impl Engine {
             }
             None => false,
         };
+        for &(ev, total) in &split_events {
+            let (parent_mb, left_mb, right_mb) = (
+                ev.parent_weight * total,
+                ev.left_weight * total,
+                ev.right_weight * total,
+            );
+            self.state_timeline
+                .splits
+                .push(wasp_state::timeline::PartitionSplitRecord {
+                    t_s: self.now,
+                    op: Some(op.0),
+                    parent: ev.parent,
+                    child: ev.child,
+                    parent_mb,
+                    left_mb,
+                    right_mb,
+                });
+            self.tel.emit(self.now, || TelEvent::PartitionSplit {
+                op: Some(op.0),
+                parent: ev.parent,
+                child: ev.child,
+                parent_mb,
+                left_mb,
+                right_mb,
+            });
+            if let Some(em) = &self.em {
+                if let Some(c) = &em.partition_splits {
+                    c.inc();
+                }
+            }
+        }
         let (n_transfers, total_mb) = if partitioned {
             (
                 slices.len() as u32,
@@ -2439,7 +2517,7 @@ impl Engine {
             self.em = Some(EngineMetrics::build(
                 &self.hub,
                 &self.plan,
-                self.cfg.state_model.is_partitioned(),
+                &self.cfg.state_model,
                 self.xray.is_some(),
             ));
         }
@@ -2988,6 +3066,7 @@ impl Engine {
                         wasp_state::timeline::PartitionTransferRecord {
                             op: mop,
                             partition: s.partition,
+                            origin: s.origin,
                             from: s.from,
                             to: s.to,
                             mb: s.mb,

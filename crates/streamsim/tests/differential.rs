@@ -174,9 +174,13 @@ fn xray_attribution_conserved_and_bit_identical_across_thread_counts() {
     }
 }
 
-/// Runs a §8.4 scenario with an explicit keyed-state model,
-/// returning the same digests as [`scenario_digest`].
-fn state_model_digest(state: wasp_state::StateModel, jobs: usize) -> (String, String) {
+/// Runs one scenario with an explicit keyed-state model, returning the
+/// same digests as [`scenario_digest`].
+fn scenario_state_digest(
+    run: &dyn Fn(&ScenarioConfig) -> ExperimentResult,
+    state: wasp_state::StateModel,
+    jobs: usize,
+) -> (String, String) {
     let (tel, handle) = Telemetry::recording();
     let cfg = ScenarioConfig {
         seed: 4,
@@ -187,10 +191,19 @@ fn state_model_digest(state: wasp_state::StateModel, jobs: usize) -> (String, St
         state,
         ..ScenarioConfig::default()
     };
-    let result = run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, &cfg);
+    let result = run(&cfg);
     (
         canonical_json(&result.metrics),
         to_jsonl(&handle.recording()).unwrap(),
+    )
+}
+
+/// Runs the §8.4 top-k scenario with an explicit keyed-state model.
+fn state_model_digest(state: wasp_state::StateModel, jobs: usize) -> (String, String) {
+    scenario_state_digest(
+        &|cfg| run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, cfg),
+        state,
+        jobs,
     )
 }
 
@@ -229,6 +242,102 @@ fn partitioned_state_runs_bit_identical_across_thread_counts() {
         }
         if let Some(diff) = first_divergence(&audit_ref, &audit) {
             panic!("partitioned (jobs={jobs}): decision audit diverged — {diff}");
+        }
+    }
+}
+
+/// Runs the skewed-state experiment with runtime key-range splitting
+/// enabled, returning (metrics JSON, audit JSONL, state-timeline
+/// digest). The timeline types deliberately don't serialize, so the
+/// third digest is their `Debug` form — still a full-precision,
+/// deterministic byte string.
+fn skewed_split_digest(jobs: usize) -> (String, String, String) {
+    let (tel, handle) = Telemetry::recording();
+    let cfg = ScenarioConfig {
+        seed: 4,
+        // The skewed-state rescue needs the fine tick to trigger at
+        // all (at dt=2 the monitor never sees the degradation cross
+        // its threshold); the run is short, so this stays cheap.
+        dt: 0.5,
+        telemetry: tel,
+        metrics: MetricsHub::recording(10.0),
+        jobs,
+        ..ScenarioConfig::default()
+    };
+    let r = run_skewed_split_experiment(60.0, &cfg);
+    (
+        canonical_json(&r.metrics),
+        to_jsonl(&handle.recording()).unwrap(),
+        format!("{:?}", r.timeline),
+    )
+}
+
+/// The new split machinery rewrites partition weights mid-flight, so it
+/// must live inside the deterministic reduce like everything else: the
+/// skewed-split scenario — splits firing, lineage-carrying slice
+/// flights, split telemetry — is byte-identical at engine parallelism
+/// 1, 2 and 8.
+#[test]
+fn skewed_split_scenario_bit_identical_across_thread_counts() {
+    let (metrics_ref, audit_ref, timeline_ref) = skewed_split_digest(1);
+    assert!(
+        audit_ref.contains("PartitionSplit"),
+        "the skewed-split scenario must actually split"
+    );
+    for jobs in THREADS {
+        let (metrics, audit, timeline) = skewed_split_digest(jobs);
+        if let Some(diff) = first_divergence(&metrics_ref, &metrics) {
+            panic!("skewed-split (jobs={jobs}): RunMetrics diverged — {diff}");
+        }
+        if let Some(diff) = first_divergence(&audit_ref, &audit) {
+            panic!("skewed-split (jobs={jobs}): decision audit diverged — {diff}");
+        }
+        if let Some(diff) = first_divergence(&timeline_ref, &timeline) {
+            panic!("skewed-split (jobs={jobs}): state timeline diverged — {diff}");
+        }
+    }
+}
+
+/// `split_threshold = None` (the default) pins the PR 8 flat-partitioned
+/// path: every §8 scenario runs byte-identically at jobs 1/2/8 with the
+/// split machinery compiled in but disabled, and no `PartitionSplit`
+/// event may appear anywhere in the audit.
+#[test]
+fn disabled_splitting_leaves_every_section_8_scenario_untouched() {
+    type ScenarioRun = Box<dyn Fn(&ScenarioConfig) -> ExperimentResult>;
+    let scenarios: Vec<(&str, ScenarioRun)> = vec![
+        (
+            "section_8_4/topk",
+            Box::new(|cfg| run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, cfg)),
+        ),
+        (
+            "section_8_4/advertising",
+            Box::new(|cfg| run_section_8_4(QueryKind::Advertising, ControllerKind::Wasp, cfg)),
+        ),
+        (
+            "section_8_5/topk",
+            Box::new(|cfg| run_section_8_5(ControllerKind::Wasp, cfg)),
+        ),
+        (
+            "section_8_6/live",
+            Box::new(|cfg| run_section_8_6(ControllerKind::Wasp, cfg)),
+        ),
+    ];
+    let flat = wasp_state::StateModel::Partitioned(wasp_state::PartitionConfig::default());
+    for (name, run) in &scenarios {
+        let (metrics_ref, audit_ref) = scenario_state_digest(run.as_ref(), flat, 1);
+        assert!(
+            !audit_ref.contains("PartitionSplit"),
+            "{name}: split_threshold=None must never split"
+        );
+        for jobs in THREADS {
+            let (metrics, audit) = scenario_state_digest(run.as_ref(), flat, jobs);
+            if let Some(diff) = first_divergence(&metrics_ref, &metrics) {
+                panic!("{name} flat-partitioned (jobs={jobs}): RunMetrics diverged — {diff}");
+            }
+            if let Some(diff) = first_divergence(&audit_ref, &audit) {
+                panic!("{name} flat-partitioned (jobs={jobs}): decision audit diverged — {diff}");
+            }
         }
     }
 }

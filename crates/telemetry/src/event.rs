@@ -167,6 +167,18 @@ pub enum Event {
         full_mb: f64,
         dirty_partitions: u32,
     },
+    /// The migration path bisected a hot partition's key range before
+    /// expanding slices (runtime splitting, `split_threshold`): the
+    /// parent keeps its id and the lower half, the new child takes
+    /// the upper half, and `left_mb + right_mb == parent_mb`.
+    PartitionSplit {
+        op: Option<u32>,
+        parent: u32,
+        child: u32,
+        parent_mb: f64,
+        left_mb: f64,
+        right_mb: f64,
+    },
     /// A partition slice left its source site (partitioned migration).
     PartitionTransferStarted {
         op: Option<u32>,
@@ -311,6 +323,7 @@ impl Event {
             Event::CheckpointRound { .. } => "checkpoint",
             Event::CheckpointStalled { .. } => "checkpoint-stalled",
             Event::CheckpointDelta { .. } => "checkpoint-delta",
+            Event::PartitionSplit { .. } => "partition-split",
             Event::PartitionTransferStarted { .. } => "partition-transfer-start",
             Event::PartitionTransferCompleted { .. } => "partition-transfer-end",
             Event::SiteDown { .. } => "site-down",
@@ -392,6 +405,17 @@ impl Event {
             } => format!(
                 "checkpoint delta (op {op}): {delta_mb:.1} MB of {full_mb:.1} MB \
                  ({dirty_partitions} dirty partitions)"
+            ),
+            Event::PartitionSplit {
+                parent,
+                child,
+                parent_mb,
+                left_mb,
+                right_mb,
+                ..
+            } => format!(
+                "partition {parent} split -> {parent}+{child}: \
+                 {parent_mb:.1} MB = {left_mb:.1} + {right_mb:.1} MB"
             ),
             Event::PartitionTransferStarted {
                 partition,

@@ -214,6 +214,7 @@ pub fn render_report(rec: &Recording, title: &str) -> String {
                     // dedicated state-timeline section, not the audit.
                     Event::CheckpointRound { .. }
                     | Event::CheckpointDelta { .. }
+                    | Event::PartitionSplit { .. }
                     | Event::PartitionTransferStarted { .. }
                     | Event::PartitionTransferCompleted { .. }
                     | Event::Note { .. } => {}

@@ -48,9 +48,10 @@ pub mod prelude {
     };
     pub use crate::scenarios::{
         build_engine, overhead_breakdown, recovery_times, run_custom, run_migration_experiment,
-        run_section_8_4, run_section_8_5, run_section_8_6, run_skewed_state_experiment,
-        ControllerKind, CustomRun, ExperimentResult, MigrationResult, MigrationVariant,
-        OverheadBreakdown, ScenarioConfig, SkewedStateResult, XRAY_DEFAULT_WINDOW_S,
+        run_section_8_4, run_section_8_5, run_section_8_6, run_skewed_split_experiment,
+        run_skewed_state_experiment, ControllerKind, CustomRun, ExperimentResult, MigrationResult,
+        MigrationVariant, OverheadBreakdown, ScenarioConfig, SkewedStateResult,
+        SKEWED_SPLIT_THRESHOLD, XRAY_DEFAULT_WINDOW_S,
     };
     pub use crate::twitter::TwitterTrace;
     pub use crate::ysb::{AdEvent, EventType, YsbGenerator};

@@ -783,6 +783,25 @@ pub fn run_skewed_state_experiment(
     }
 }
 
+/// Canonical split threshold of the skewed-split scenario (the bench
+/// baseline row, the report quickstart, and the differential suite all
+/// use it): the default 16-partition Zipf head weighs ~0.30, so 0.15
+/// forces two splits of the head and halves the worst migration slice.
+pub const SKEWED_SPLIT_THRESHOLD: f64 = 0.15;
+
+/// The skewed-state experiment under partitioned state with runtime
+/// key-range splitting at [`SKEWED_SPLIT_THRESHOLD`] — the
+/// "skewed_split" scenario recorded in the BENCH_pr9 baseline.
+pub fn run_skewed_split_experiment(state_mb: f64, cfg: &ScenarioConfig) -> SkewedStateResult {
+    run_skewed_state_experiment(
+        wasp_state::StateModel::Partitioned(wasp_state::PartitionConfig::with_split_threshold(
+            SKEWED_SPLIT_THRESHOLD,
+        )),
+        state_mb,
+        cfg,
+    )
+}
+
 /// Rebuilds a plan with its (single) fixed-state stage resized.
 fn override_state(plan: LogicalPlan, state_mb: f64) -> LogicalPlan {
     use wasp_streamsim::plan::LogicalPlanBuilder;
@@ -968,6 +987,58 @@ mod tests {
             "partitioned p95 {} must beat coarse {}",
             part.downtime_p95_s,
             coarse.downtime_p95_s
+        );
+    }
+
+    #[test]
+    fn splitting_hot_partitions_tightens_the_downtime_chain() {
+        let coarse =
+            run_skewed_state_experiment(wasp_state::StateModel::Coarse, 60.0, &quick_cfg());
+        let flat = run_skewed_state_experiment(
+            wasp_state::StateModel::Partitioned(wasp_state::PartitionConfig::default()),
+            60.0,
+            &quick_cfg(),
+        );
+        let split = run_skewed_split_experiment(60.0, &quick_cfg());
+        // Only the split-enabled run records split events; the flat
+        // partitioned run keeps its PR 8 timeline shape untouched.
+        assert!(flat.timeline.splits.is_empty());
+        assert!(!split.timeline.splits.is_empty(), "split {split:?}");
+        // Every recorded split conserves the parent's mass exactly.
+        for s in &split.timeline.splits {
+            assert!(
+                (s.left_mb + s.right_mb - s.parent_mb).abs() < 1e-9,
+                "split {s:?}"
+            );
+        }
+        // All three adapt at the same monitor round, so the downtime
+        // chain compares like with like.
+        let b0 = coarse.breakdown.expect("coarse run must adapt");
+        let b1 = flat.breakdown.expect("flat run must adapt");
+        let b2 = split.breakdown.expect("split run must adapt");
+        assert!((b0.start_s - b1.start_s).abs() < 1e-9, "{b0:?} vs {b1:?}");
+        assert!((b1.start_s - b2.start_s).abs() < 1e-9, "{b1:?} vs {b2:?}");
+        // The §5 acceptance chain, extended: splitting the Zipf head
+        // bounds the worst slice, so per-key p95 downtime drops again —
+        // split < flat < coarse, all strict.
+        assert!(
+            split.downtime_p95_s < flat.downtime_p95_s,
+            "split p95 {} must beat flat p95 {}",
+            split.downtime_p95_s,
+            flat.downtime_p95_s
+        );
+        assert!(
+            flat.downtime_p95_s < coarse.downtime_p95_s,
+            "flat p95 {} must beat coarse {}",
+            flat.downtime_p95_s,
+            coarse.downtime_p95_s
+        );
+        // The worst per-key pause is also no worse than flat's.
+        let worst_split = split.timeline.downtime_quantile(1.0).unwrap();
+        let worst_flat = flat.timeline.downtime_quantile(1.0).unwrap();
+        assert!(
+            worst_split <= worst_flat + 1e-9,
+            "worst split {worst_split} vs worst flat {worst_flat}"
         );
     }
 }
