@@ -1,12 +1,12 @@
 //! The WASP performance harness: runs the §8 scenario suite with the
 //! metrics hub recording, measures wall-clock engine throughput
 //! alongside the SLO metrics, and writes a machine-readable benchmark
-//! report (`BENCH_pr9.json` by default).
+//! report (`BENCH_pr10.json` by default).
 //!
 //! ```text
 //! wasp-bench --quick                         # CI-speed run, dt = 0.5
-//! wasp-bench --out BENCH_pr9.json            # full run, dt = 0.25
-//! wasp-bench --quick --baseline BENCH_pr9.json --gate 15
+//! wasp-bench --out BENCH_pr10.json           # full run, dt = 0.25
+//! wasp-bench --quick --baseline BENCH_pr10.json --gate 15
 //! wasp-bench --quick --jobs 8                # fan repeats across 8 threads
 //! ```
 //!
@@ -80,6 +80,15 @@ struct ScenarioBench {
     /// whose share moved most when throughput regresses.
     #[serde(default)]
     xray_shares: Vec<f64>,
+    /// 95th-percentile modeled recovery replay (seconds). Zero for
+    /// every row but the delta-chain scenario (and in pre-PR10
+    /// baselines).
+    #[serde(default)]
+    replay_p95_s: f64,
+    /// Total full-snapshot compaction volume (MB). Zero for every row
+    /// but the delta-chain scenario (and in pre-PR10 baselines).
+    #[serde(default)]
+    compaction_mb: f64,
 }
 
 /// One engine-parallelism point of the determinism/throughput sweep.
@@ -239,6 +248,8 @@ fn summarize_scenario(
             .as_ref()
             .map(|x| x.shares().to_vec())
             .unwrap_or_default(),
+        replay_p95_s: result.replay_p95_s.unwrap_or(0.0),
+        compaction_mb: result.compaction_mb.unwrap_or(0.0),
     };
     (bench, mops_med)
 }
@@ -363,6 +374,8 @@ fn bench_partition_scheduler() -> ScenarioBench {
         merged_delay_p95_s: 0.0,
         merged_delay_p99_s: 0.0,
         xray_shares: Vec::new(),
+        replay_p95_s: 0.0,
+        compaction_mb: 0.0,
     }
 }
 
@@ -392,6 +405,30 @@ fn run_skewed_split(c: &ScenarioConfig) -> ExperimentResult {
         metrics: r.metrics,
         e2e_selectivity: 1.0,
         xray: r.xray,
+        replay_p95_s: None,
+        compaction_mb: None,
+    }
+}
+/// The delta-chain scenario: incremental checkpoints accrue a chain,
+/// round-count compaction folds it into full-snapshot bursts, and
+/// three scripted failures replay whatever chain they find. Gating it
+/// keeps the chain bookkeeping, the compaction flights, and the
+/// recovery-replay stall machinery on the regression radar, and the
+/// report row carries the replay p95 and burst volume.
+fn run_compaction(c: &ScenarioConfig) -> ExperimentResult {
+    let r = run_compaction_experiment(
+        wasp_state::CompactionPolicy::every_n_rounds(COMPACTION_EVERY_N_ROUNDS),
+        48.0,
+        c,
+    );
+    ExperimentResult {
+        label: r.label,
+        query: "topk (delta chain)".to_string(),
+        metrics: r.metrics,
+        e2e_selectivity: 1.0,
+        xray: r.xray,
+        replay_p95_s: Some(r.replay_p95_s),
+        compaction_mb: Some(r.compaction_mb),
     }
 }
 
@@ -422,7 +459,7 @@ struct UnitOutcome {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    let mut out = "BENCH_pr9.json".to_string();
+    let mut out = "BENCH_pr10.json".to_string();
     let mut baseline: Option<String> = None;
     let mut gate_pct = 15.0;
     let mut csv_out: Option<String> = None;
@@ -485,6 +522,7 @@ fn main() {
         ("section_8_5_topk", run_85_topk),
         ("section_8_6_live", run_86_live),
         ("skewed_split_topk", run_skewed_split),
+        ("compaction_topk", run_compaction),
     ];
     // Scenarios are interleaved round-robin across the repeats (run
     // A,B,C,D then A,B,C,D again, …) so a burst of machine noise

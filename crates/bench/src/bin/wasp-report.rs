@@ -19,12 +19,12 @@ use wasp_workloads::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wasp-report --scenario <section_8_4|section_8_5|section_8_6|skewed_state> \
+        "usage: wasp-report --scenario <section_8_4|section_8_5|section_8_6|skewed_state|compaction> \
          [--seed N] [--query <advertising|topk|events>] \
          [--controller <wasp|reassign|scale|replan>] \
          [--dt SECS] [--jobs N] [--control <oracle|lossy>] [--loss F] [--heartbeat SECS] \
          [--phi F] [--delay-factor F] [--state <coarse|partitioned>] [--partitions N] \
-         [--zipf F] [--split-threshold F] [--state-mb F] \
+         [--zipf F] [--split-threshold F] [--state-mb F] [--compact-every N] \
          [--echo] [--trace-out FILE] [--jsonl FILE] [--report FILE] \
          [--xray] [--xray-window SECS] [--folded FILE]"
     );
@@ -63,6 +63,9 @@ fn state_timeline_section(rec: &Recording) -> String {
         right_mb: f64,
     }
     let mut splits: Vec<SplitRow> = Vec::new();
+    // Chain/compaction timeline rows, chronological.
+    let mut chain_rows: Vec<(f64, String)> = Vec::new();
+    let mut compaction_mb: BTreeMap<u32, (u64, f64)> = BTreeMap::new(); // count, ΣMB
     for (t, _, ev) in rec.events() {
         match ev {
             Event::CheckpointDelta {
@@ -92,6 +95,36 @@ fn state_timeline_section(rec: &Recording) -> String {
                 left_mb: *left_mb,
                 right_mb: *right_mb,
             }),
+            Event::CheckpointCompaction {
+                op,
+                upload_mb,
+                chain_rounds,
+                trigger,
+            } => {
+                let e = compaction_mb.entry(*op).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += upload_mb;
+                chain_rows.push((
+                    t,
+                    format!(
+                        "op {op}: compaction ({trigger}) folds {chain_rounds} delta round(s) \
+                         into a {upload_mb:.1} MB full snapshot"
+                    ),
+                ));
+            }
+            Event::RecoveryReplay {
+                op,
+                site,
+                replay_mb,
+                rounds,
+                replay_s,
+            } => chain_rows.push((
+                t,
+                format!(
+                    "op {op}: recovery replay after site {site} failed: \
+                     {replay_mb:.1} MB over {rounds} round(s) -> {replay_s:.1}s stall"
+                ),
+            )),
             Event::PartitionTransferStarted { op, .. } => {
                 *slices_started.entry(*op).or_insert(0) += 1;
             }
@@ -101,7 +134,7 @@ fn state_timeline_section(rec: &Recording) -> String {
             _ => {}
         }
     }
-    if ckpt.is_empty() && slices_started.is_empty() && splits.is_empty() {
+    if ckpt.is_empty() && slices_started.is_empty() && splits.is_empty() && chain_rows.is_empty() {
         return String::new();
     }
 
@@ -127,6 +160,16 @@ fn state_timeline_section(rec: &Recording) -> String {
             "op {op}: {rounds} incremental checkpoint round(s), {delta:.1} MB uploaded \
              of {full:.1} MB full snapshots ({:.0}% incremental saving)",
             (1.0 - ratio) * 100.0
+        );
+    }
+    for (t, text) in &chain_rows {
+        let _ = writeln!(out, "t={t:>7.1}s  {text}");
+    }
+    for (op, (count, mb)) in &compaction_mb {
+        let _ = writeln!(
+            out,
+            "op {op}: {count} compaction(s), {mb:.1} MB of full-snapshot bursts \
+             on the checkpoint path"
         );
     }
     for (op, started) in &slices_started {
@@ -464,6 +507,7 @@ fn main() {
     let mut partitioned = false;
     let mut pcfg = wasp_state::PartitionConfig::default();
     let mut state_mb = 60.0f64;
+    let mut compact_every = COMPACTION_EVERY_N_ROUNDS;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -584,6 +628,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            // Compaction round-count trigger for --scenario compaction;
+            // 0 runs the unbounded-chain control arm.
+            "--compact-every" => {
+                compact_every = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--echo" => echo = true,
             "--xray" => {
                 cfg.xray.get_or_insert(XRAY_DEFAULT_WINDOW_S);
@@ -647,6 +699,30 @@ fn main() {
                 metrics: res.metrics,
                 e2e_selectivity: 1.0,
                 xray: res.xray,
+                replay_p95_s: None,
+                compaction_mb: None,
+            }
+        }
+        "compaction" => {
+            let policy = if compact_every == 0 {
+                wasp_state::CompactionPolicy::unbounded()
+            } else {
+                wasp_state::CompactionPolicy::every_n_rounds(compact_every)
+            };
+            let res = run_compaction_experiment(policy, state_mb, &cfg);
+            skewed_note = format!(
+                "\ncompaction experiment ({} MB stage, {} chain): \
+                 recovery replay p95 {:.2}s, {:.1} MB of full-snapshot bursts\n",
+                state_mb, res.label, res.replay_p95_s, res.compaction_mb
+            );
+            ExperimentResult {
+                label: res.label,
+                query: "topk (delta chain)".to_string(),
+                metrics: res.metrics,
+                e2e_selectivity: 1.0,
+                xray: res.xray,
+                replay_p95_s: Some(res.replay_p95_s),
+                compaction_mb: Some(res.compaction_mb),
             }
         }
         _ => usage(),

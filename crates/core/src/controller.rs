@@ -437,9 +437,15 @@ impl WaspController {
         let plan = engine.plan().clone();
         self.policy.observe(&plan, snap);
         let est = WorkloadEstimate::from_snapshot(&plan, snap);
-        let actions =
-            self.policy
-                .emergency_actions(&plan, snap, &est, engine.network(), engine.now());
+        let replay = Self::replay_estimates(engine, &plan);
+        let actions = self.policy.emergency_actions_with_replay(
+            &plan,
+            snap,
+            &est,
+            engine.network(),
+            engine.now(),
+            &replay,
+        );
         let mut any_failed = false;
         let mut any_applied = false;
         for (op, action) in actions {
@@ -654,6 +660,19 @@ impl WaspController {
         }
     }
 
+    /// The engine's modeled recovery-replay estimates (`op → seconds`,
+    /// base snapshot plus delta chain at the replay bandwidth) for the
+    /// emergency audit trail. Empty unless delta-chain compaction
+    /// modeling is on, so the audit output is unchanged otherwise.
+    fn replay_estimates(
+        engine: &Engine,
+        plan: &wasp_streamsim::plan::LogicalPlan,
+    ) -> std::collections::BTreeMap<wasp_streamsim::ids::OpId, f64> {
+        plan.op_ids()
+            .filter_map(|op| engine.recovery_replay_estimate(op).map(|s| (op, s)))
+            .collect()
+    }
+
     /// The emergency path driven by *detector* verdicts instead of
     /// truth state. No global backoff gate: the per-command retry
     /// machinery owns re-sends, and the per-operator cooldown (started
@@ -664,9 +683,15 @@ impl WaspController {
         let plan = engine.plan().clone();
         self.policy.observe(&plan, view);
         let est = WorkloadEstimate::from_snapshot(&plan, view);
-        let actions =
-            self.policy
-                .emergency_actions(&plan, view, &est, engine.network(), engine.now());
+        let replay = Self::replay_estimates(engine, &plan);
+        let actions = self.policy.emergency_actions_with_replay(
+            &plan,
+            view,
+            &est,
+            engine.network(),
+            engine.now(),
+            &replay,
+        );
         for (op, action) in actions {
             let cooled_until = self.emergency_cooldowns.get(&op).copied().unwrap_or(0.0);
             if now < cooled_until {

@@ -28,7 +28,7 @@ use wasp_netsim::network::Network;
 use wasp_netsim::site::SiteId;
 use wasp_netsim::units::SimTime;
 use wasp_optimizer::migration::{plan_migration, MigrationStrategy};
-use wasp_optimizer::partition::plan_partitioned_migration;
+use wasp_optimizer::partition::{plan_partitioned_migration, replay_bound_s};
 use wasp_optimizer::placement::{PlacementProblem, PlacementRequest};
 use wasp_streamsim::engine::Command;
 use wasp_streamsim::ids::OpId;
@@ -80,6 +80,17 @@ pub struct PolicyConfig {
     /// coarse estimate would have rejected it. Must match the engine's
     /// configured model for the estimate to be honest.
     pub state: wasp_state::StateModel,
+    /// Recovery-replay budget (seconds). When set and the state model
+    /// runs delta-chain compaction, re-assignment is withheld for any
+    /// stage whose worst-case recovery replay (base snapshot plus the
+    /// longest chain the compaction triggers admit, at the configured
+    /// replay bandwidth — [`wasp_optimizer::partition::replay_bound_s`])
+    /// exceeds the budget: moving such a stage only deepens the
+    /// downtime a subsequent failure would cost. An unbounded chain
+    /// has an infinite worst case, so every re-assignment is rejected
+    /// until a compaction trigger is configured. `None` (the default)
+    /// disables the gate.
+    pub max_replay_s: Option<f64>,
 }
 
 impl Default for PolicyConfig {
@@ -98,6 +109,7 @@ impl Default for PolicyConfig {
             skip_state: false,
             emergency_cooldown_s: 60.0,
             state: wasp_state::StateModel::Coarse,
+            max_replay_s: None,
         }
     }
 }
@@ -600,6 +612,31 @@ impl Policy {
                 return None;
             }
         }
+        // Recovery-replay budget (§ checkpoint compaction): refuse to
+        // move a stateful stage whose worst-case chain replay after a
+        // failure would exceed the budget — re-placement does not make
+        // the chain shorter, and an unbounded chain (no compaction
+        // trigger) has an infinite worst case.
+        if let (Some(budget), Some(pc)) = (self.cfg.max_replay_s, self.cfg.state.partition_config())
+        {
+            let worst = (state_total.0 > 0.0)
+                .then(|| replay_bound_s(pc, state_total.0))
+                .flatten();
+            if let Some(est_s) = worst {
+                if est_s > budget {
+                    self.audit_rejected(
+                        t,
+                        "re-assign",
+                        Some(op),
+                        RejectReason::ReplayTooSlow {
+                            est_s,
+                            max_replay_s: budget,
+                        },
+                    );
+                    return None;
+                }
+            }
+        }
         let transfers = if self.cfg.skip_state {
             Vec::new()
         } else {
@@ -732,6 +769,26 @@ impl Policy {
         net: &Network,
         t: SimTime,
     ) -> Vec<(OpId, Action)> {
+        self.emergency_actions_with_replay(plan, snap, est, net, t, &BTreeMap::new())
+    }
+
+    /// [`Policy::emergency_actions`] with the engine's modeled recovery
+    /// replay estimates (`op → seconds`, from the delta-chain replay
+    /// path). The estimates do not veto anything — a stage on a dead
+    /// site must move regardless — but they are folded into the audit
+    /// trail so the decision record shows the recovery time the chain
+    /// model charged. With an empty map the audit output is identical
+    /// to [`Policy::emergency_actions`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn emergency_actions_with_replay(
+        &self,
+        plan: &LogicalPlan,
+        snap: &QuerySnapshot,
+        est: &WorkloadEstimate,
+        net: &Network,
+        t: SimTime,
+        replay: &BTreeMap<OpId, f64>,
+    ) -> Vec<(OpId, Action)> {
         let mut actions = Vec::new();
         if snap.failed_sites.is_empty() {
             return actions;
@@ -841,14 +898,19 @@ impl Policy {
             } else {
                 migration.transfers
             };
+            let replay_note = replay
+                .get(&op)
+                .map(|s| format!("; modeled recovery replay {s:.1}s"))
+                .unwrap_or_default();
             self.audit_considered(
                 t,
                 "emergency re-assign",
                 Some(op),
                 None,
                 &format!(
-                    "move off failed site(s); {} transfer(s) from surviving sites",
-                    transfers.len()
+                    "move off failed site(s); {} transfer(s) from surviving sites{}",
+                    transfers.len(),
+                    replay_note
                 ),
             );
             actions.push((

@@ -1,0 +1,286 @@
+//! Recovery-correctness regression campaign for checkpoint delta
+//! chains (ISSUE 10).
+//!
+//! Two guarantees are pinned here:
+//!
+//! * **modeled downtime is monotone in chain length** — at a fixed
+//!   replay bandwidth, a failure that strikes after more unfolded
+//!   checkpoint rounds replays strictly more volume and stalls the
+//!   stage strictly longer (a seeded campaign across partition-hash
+//!   seeds and failure times);
+//! * **the `max_replay_s` gate never admits an over-budget plan** —
+//!   audit-replayed from recorded telemetry: every re-assignment the
+//!   policy admits has a worst-case chain replay within the budget,
+//!   and under an unbounded chain (infinite worst case) every
+//!   re-assignment is rejected with `ReplayTooSlow`.
+
+use wasp_core::prelude::*;
+use wasp_core::test_util::three_site_world;
+use wasp_netsim::dynamics::{DynamicsScript, Failure};
+use wasp_netsim::site::SiteId;
+use wasp_netsim::trace::FactorSeries;
+use wasp_netsim::units::{MegaBytes, SimTime};
+use wasp_optimizer::partition::replay_bound_s;
+use wasp_state::{CompactionPolicy, PartitionConfig, StateModel};
+use wasp_streamsim::engine::{CheckpointTarget, Engine, EngineConfig};
+use wasp_streamsim::operator::{OperatorKind, OperatorSpec};
+use wasp_streamsim::physical::PhysicalPlan;
+use wasp_streamsim::plan::LogicalPlanBuilder;
+use wasp_streamsim::prelude::*;
+use wasp_telemetry::{Event, Recording, RejectReason, Telemetry};
+
+/// Replay bandwidth shared by every run of the campaign (the
+/// [`wasp_state::CompactionConfig`] default).
+const REPLAY_MB_PER_S: f64 = 50.0;
+const STATE_MB: f64 = 40.0;
+const CHECKPOINT_INTERVAL_S: f64 = 15.0;
+
+/// `src(edge) → agg(stateful, 40 MB) → sink`, aggregation hosted at
+/// dc1, checkpoints shipped to dc2. The script is built from the
+/// host's id so a run can target it with faults or stragglers.
+fn stateful_engine(
+    script_of: impl FnOnce(SiteId) -> DynamicsScript,
+    policy: CompactionPolicy,
+    seed: u64,
+) -> (Engine, OpId, SiteId) {
+    let (net, edge, dc1, dc2) = three_site_world(100.0);
+    let host = dc1;
+    let script = script_of(host);
+    let mut p = LogicalPlanBuilder::new("recovery");
+    let s = p.add(OperatorSpec::new(
+        "src",
+        OperatorKind::Source {
+            site: edge,
+            base_rate: 2000.0,
+            event_bytes: 100.0,
+        },
+    ));
+    let a = p.add(
+        OperatorSpec::new("agg", OperatorKind::WindowAggregate { window_s: 10.0 })
+            .with_selectivity(0.5)
+            .with_cost_us(300.0)
+            .with_state(wasp_streamsim::operator::StateModel::Fixed(MegaBytes(
+                STATE_MB,
+            ))),
+    );
+    let k = p.add(OperatorSpec::new("sink", OperatorKind::Sink { site: None }));
+    p.connect(s, a);
+    p.connect(a, k);
+    let plan = p.build().unwrap();
+    let mut physical = PhysicalPlan::initial(&plan, dc2);
+    physical.set_placement(a, Placement::single(host, 1));
+    let cfg = EngineConfig {
+        dt: 0.5,
+        state_model: StateModel::Partitioned(PartitionConfig {
+            seed,
+            compaction: policy,
+            ..PartitionConfig::default()
+        }),
+        checkpoint_interval_s: CHECKPOINT_INTERVAL_S,
+        checkpoint_target: CheckpointTarget::Remote(dc2),
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(net, script, plan, physical, cfg).unwrap();
+    (engine, a, host)
+}
+
+/// Seeded campaign: with an unbounded chain (no compaction trigger),
+/// a failure that strikes later finds a longer chain — and the
+/// modeled replay stall grows strictly with it, at exactly the fixed
+/// replay bandwidth. Holds across partition-hash seeds.
+#[test]
+fn modeled_downtime_is_monotone_in_chain_length() {
+    for seed in [1u64, 7, 42] {
+        let mut campaign: Vec<(u32, f64, f64)> = Vec::new();
+        for fail_at in [75.0, 150.0, 300.0] {
+            let script = |host| {
+                DynamicsScript::none().with_failure(Failure {
+                    at: SimTime(fail_at),
+                    restore_after: 10.0,
+                    site: Some(host),
+                })
+            };
+            let (mut engine, _op, host) =
+                stateful_engine(script, CompactionPolicy::unbounded(), seed);
+            engine.run(fail_at + 30.0);
+            let replays: Vec<_> = engine
+                .state_timeline()
+                .replays
+                .iter()
+                .filter(|r| r.site == host)
+                .collect();
+            assert_eq!(
+                replays.len(),
+                1,
+                "seed {seed}, failure at {fail_at}: expected one replay, got {:?}",
+                engine.state_timeline().replays
+            );
+            let r = replays[0];
+            assert!(
+                (r.replay_s - (r.base_mb + r.delta_mb) / REPLAY_MB_PER_S).abs() < 1e-9,
+                "replay stall must be volume / bandwidth: {r:?}"
+            );
+            assert_eq!(r.base_mb, 0.0, "unbounded chain never compacts");
+            campaign.push((r.rounds, r.delta_mb, r.replay_s));
+        }
+        for pair in campaign.windows(2) {
+            let (r0, mb0, s0) = pair[0];
+            let (r1, mb1, s1) = pair[1];
+            assert!(
+                r1 > r0,
+                "seed {seed}: later failure must find a longer chain ({campaign:?})"
+            );
+            assert!(
+                mb1 > mb0 && s1 > s0,
+                "seed {seed}: downtime must grow with chain length ({campaign:?})"
+            );
+        }
+    }
+}
+
+/// The same campaign with a round-count trigger: compaction bounds the
+/// chain, so the replay stall no longer grows with the failure time —
+/// every stall stays under the trigger's worst case while the
+/// unbounded arm blows past it.
+#[test]
+fn compaction_caps_the_modeled_downtime() {
+    let n = 4u32;
+    // Worst case the trigger admits: a base snapshot plus up to n
+    // rounds each bounded by the live size.
+    let worst_s = (STATE_MB + n as f64 * STATE_MB) / REPLAY_MB_PER_S;
+    for fail_at in [150.0, 300.0] {
+        let script = |host| {
+            DynamicsScript::none().with_failure(Failure {
+                at: SimTime(fail_at),
+                restore_after: 10.0,
+                site: Some(host),
+            })
+        };
+        let (mut engine, _op, host) =
+            stateful_engine(script, CompactionPolicy::every_n_rounds(n), 1);
+        engine.run(fail_at + 30.0);
+        let timeline = engine.state_timeline();
+        assert!(
+            !timeline.compactions.is_empty(),
+            "the trigger must have fired before t={fail_at}"
+        );
+        let r = timeline
+            .replays
+            .iter()
+            .find(|r| r.site == host)
+            .expect("the failure must replay the chain");
+        assert!(r.rounds <= n, "chain {} exceeds the trigger {n}", r.rounds);
+        assert!(r.base_mb > 0.0, "replay must start from a full snapshot");
+        assert!(
+            r.replay_s <= worst_s + 1e-9,
+            "stall {}s exceeds the trigger's worst case {worst_s}s",
+            r.replay_s
+        );
+    }
+}
+
+/// Drives the WASP controller against a compute straggler that forces
+/// a re-assignment of the stateful stage, recording the policy audit.
+fn straggler_run(policy: CompactionPolicy, budget: f64) -> (Engine, OpId, SiteId, Recording) {
+    let script = |host| {
+        DynamicsScript::none().with_straggler(host, FactorSeries::steps(1.0, &[(120.0, 0.25)]))
+    };
+    let (mut engine, op, host) = stateful_engine(script, policy, 1);
+    let cfg = PolicyConfig {
+        allow_scale: false,
+        allow_replan: false,
+        scale_down: false,
+        state: StateModel::Partitioned(PartitionConfig::with_compaction(policy)),
+        max_replay_s: Some(budget),
+        ..PolicyConfig::default()
+    };
+    let (tel, handle) = Telemetry::recording();
+    let mut wasp = WaspController::new(cfg).with_telemetry(tel);
+    run_controlled(&mut engine, &mut wasp, 600.0, 40.0);
+    (engine, op, host, handle.recording())
+}
+
+/// Audit-replay of the `max_replay_s` gate:
+///
+/// * bounded chain (worst case within budget) — re-assignments are
+///   admitted, no `ReplayTooSlow` rejection appears, and every
+///   admitted re-assignment's recomputed worst-case replay is within
+///   the budget;
+/// * unbounded chain (infinite worst case) — every re-assignment is
+///   rejected with `ReplayTooSlow`, none is ever applied, and the
+///   stage never leaves the straggler.
+#[test]
+fn replay_budget_gate_never_admits_an_overbudget_plan() {
+    let budget = 5.0;
+
+    // Bounded: worst case (40 + 2×40)/50 = 2.4 s ≤ 5 s.
+    let bounded = CompactionPolicy::every_n_rounds(2);
+    let (engine, op, host, rec) = straggler_run(bounded, budget);
+    let pc = PartitionConfig::with_compaction(bounded);
+    let mut admitted = 0u32;
+    for (_, _, ev) in rec.events() {
+        match ev {
+            Event::CandidateRejected { reason, .. } => {
+                assert!(
+                    !matches!(reason, RejectReason::ReplayTooSlow { .. }),
+                    "a within-budget plan was rejected: {reason:?}"
+                );
+            }
+            Event::DecisionTaken { action, .. } if action == "re-assign" => {
+                admitted += 1;
+                // Replay the gate's own arithmetic for the admitted
+                // plan: the stage's worst-case recovery must fit.
+                let worst = replay_bound_s(&pc, STATE_MB).unwrap();
+                assert!(
+                    worst <= budget,
+                    "admitted re-assign has worst-case replay {worst}s > budget {budget}s"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(admitted > 0, "the straggler must force a re-assignment");
+    assert_ne!(
+        engine.physical().placement(op).sites(),
+        vec![host],
+        "the admitted re-assignment must move the stage off the straggler"
+    );
+
+    // Unbounded: no trigger → infinite worst case → always rejected.
+    let (engine, op, host, rec) = straggler_run(CompactionPolicy::unbounded(), budget);
+    let mut rejected = 0u32;
+    for (_, _, ev) in rec.events() {
+        match ev {
+            Event::CandidateRejected {
+                action,
+                reason:
+                    RejectReason::ReplayTooSlow {
+                        est_s,
+                        max_replay_s,
+                    },
+                ..
+            } => {
+                assert_eq!(action, "re-assign");
+                assert_eq!(*max_replay_s, budget);
+                assert!(
+                    est_s.is_infinite(),
+                    "an unbounded chain's worst case is infinite, got {est_s}"
+                );
+                rejected += 1;
+            }
+            Event::DecisionTaken { action, .. } | Event::CommandApplied { label: action } => {
+                assert!(
+                    !action.contains("re-assign"),
+                    "an over-budget re-assignment was admitted: {action}"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(rejected > 0, "the gate must have fired at least once");
+    assert_eq!(
+        engine.physical().placement(op).sites(),
+        vec![host],
+        "with every re-assignment rejected the stage must stay put"
+    );
+}

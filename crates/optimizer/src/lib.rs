@@ -51,7 +51,7 @@ pub mod replan;
 pub mod prelude {
     pub use crate::matching::Bipartite;
     pub use crate::migration::{plan_migration, MigrationPlan, MigrationStrategy};
-    pub use crate::partition::{plan_partitioned_migration, PartitionedPlan};
+    pub use crate::partition::{plan_partitioned_migration, replay_bound_s, PartitionedPlan};
     pub use crate::placement::{PlacementProblem, PlacementRequest, DEFAULT_ALPHA};
     pub use crate::replan::{JoinTree, PlanChoice, ReplanProblem, StreamLeaf};
 }

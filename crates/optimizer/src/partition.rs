@@ -25,7 +25,49 @@ use wasp_netsim::network::Network;
 use wasp_netsim::site::SiteId;
 use wasp_netsim::units::{MegaBytes, SimTime};
 use wasp_state::scheduler::{pipeline_schedule_lineage, PartitionSchedule, SliceSpec};
-use wasp_state::{PartitionConfig, SplitEvent, StateStore};
+use wasp_state::{CompactionPolicy, PartitionConfig, SplitEvent, StateStore};
+
+/// Worst-case recovery replay time a stage of `full_mb` live state can
+/// accrue under `cfg.compaction` before the next compaction fires.
+///
+/// Recovery after a failure replays the base snapshot plus every delta
+/// round still on the chain, so the bound is `(full_mb + worst chain
+/// mass) / replay_mb_per_s`, where the worst chain mass is the
+/// tightest cap any set trigger imposes:
+///
+/// * `every_n_rounds = n` — each round's delta is at most the full
+///   state (everything dirty), so the chain holds ≤ `n × full_mb`;
+/// * `max_chain_mb = m` — the chain compacts once its delta mass
+///   exceeds `m`;
+/// * `max_replay_s = s` — the chain compacts once replay would exceed
+///   `s`, i.e. delta mass ≤ `(s × bw − full_mb)⁺`.
+///
+/// Returns `None` when compaction modeling is off (the engine charges
+/// no replay at all), and `+∞` for an unbounded chain (modeling on,
+/// no trigger set) — a `max_replay_s` policy gate must reject every
+/// plan in that regime.
+pub fn replay_bound_s(cfg: &PartitionConfig, full_mb: f64) -> Option<f64> {
+    let c = match &cfg.compaction {
+        CompactionPolicy::None => return None,
+        CompactionPolicy::Model(c) => c,
+    };
+    let full = full_mb.max(0.0);
+    let bw = c.replay_mb_per_s.max(1e-9);
+    let mut chain_cap = f64::INFINITY;
+    if let Some(n) = c.every_n_rounds {
+        chain_cap = chain_cap.min(n.max(1) as f64 * full);
+    }
+    if let Some(mb) = c.max_chain_mb {
+        chain_cap = chain_cap.min(mb.max(0.0));
+    }
+    if let Some(s) = c.max_replay_s {
+        chain_cap = chain_cap.min((s.max(0.0) * bw - full).max(0.0));
+    }
+    if chain_cap.is_infinite() {
+        return Some(f64::INFINITY);
+    }
+    Some((full + chain_cap) / bw)
+}
 
 /// A partition-granularity migration plan: the coarse min-max plan it
 /// refines plus the pipelined per-partition schedule.
@@ -238,6 +280,36 @@ mod tests {
             .transfers
             .iter()
             .all(|t| t.origin == t.partition));
+    }
+
+    #[test]
+    fn replay_bound_tracks_the_tightest_trigger() {
+        use wasp_state::CompactionConfig;
+        // Modeling off: no bound at all.
+        assert_eq!(replay_bound_s(&PartitionConfig::default(), 100.0), None);
+        // Unbounded chain: infinite bound.
+        let unbounded = PartitionConfig::with_compaction(CompactionPolicy::unbounded());
+        assert_eq!(replay_bound_s(&unbounded, 100.0), Some(f64::INFINITY));
+        // every_n_rounds: base + n full-size rounds at 50 MB/s.
+        let rounds = PartitionConfig::with_compaction(CompactionPolicy::every_n_rounds(3));
+        assert_eq!(replay_bound_s(&rounds, 100.0), Some(400.0 / 50.0));
+        // The tightest of several triggers wins.
+        let mixed = PartitionConfig::with_compaction(CompactionPolicy::Model(CompactionConfig {
+            every_n_rounds: Some(3),
+            max_chain_mb: Some(50.0),
+            max_replay_s: None,
+            ..CompactionConfig::default()
+        }));
+        assert_eq!(replay_bound_s(&mixed, 100.0), Some(150.0 / 50.0));
+        // max_replay_s caps chain mass at (s·bw − full)⁺.
+        let timed = PartitionConfig::with_compaction(CompactionPolicy::Model(CompactionConfig {
+            max_replay_s: Some(4.0),
+            ..CompactionConfig::default()
+        }));
+        assert_eq!(replay_bound_s(&timed, 100.0), Some(200.0 / 50.0));
+        // Base alone already over the replay budget: chain cap clamps
+        // to zero, bound is just the base replay.
+        assert_eq!(replay_bound_s(&timed, 500.0), Some(500.0 / 50.0));
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Checkpoint delta chains and full-snapshot compaction (ROADMAP
+//! item 2; the recovery-time modeling of Daedalus and the
+//! checkpoint-integrated reconfiguration of Madsen et al.).
+//!
+//! Incremental checkpoints (PR 7/9) upload only the dirty delta each
+//! round — cheap while running, but recovery must *replay* every
+//! round since the last full snapshot: base snapshot + `k` deltas read
+//! back at the replay bandwidth. A [`DeltaChain`] records exactly that
+//! lineage per stage, and a [`CompactionPolicy`] decides when to fold
+//! it: compaction emits one full-snapshot upload whose volume equals
+//! the stage's live state size, resetting the chain to length zero.
+//!
+//! The chain is split-lineage-aware: each round's per-partition volume
+//! is keyed by the partition's *origin* (pre-split root,
+//! [`crate::StateStore::origin_of`]), so rounds recorded before a
+//! runtime key-range split still cover the children's keys after it.
+//!
+//! `CompactionPolicy::None` (the default) disables the whole
+//! subsystem: no chain is recorded and every pre-existing run stays
+//! byte-identical.
+
+/// Whether (and how) a store models its checkpoint delta chain.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CompactionPolicy {
+    /// No chain modeling at all — checkpoint rounds are independent
+    /// and recovery charges no replay (the PR 9 semantics, and the
+    /// default: byte-identical to pre-chain builds).
+    #[default]
+    None,
+    /// Record the delta chain and replay it on recovery; compact
+    /// (emit a full snapshot) when any configured trigger fires.
+    Model(CompactionConfig),
+}
+
+impl CompactionPolicy {
+    /// True when chain modeling is on.
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, CompactionPolicy::Model(_))
+    }
+
+    /// The compaction configuration, when modeling is on.
+    pub fn config(&self) -> Option<&CompactionConfig> {
+        match self {
+            CompactionPolicy::None => None,
+            CompactionPolicy::Model(cfg) => Some(cfg),
+        }
+    }
+
+    /// Chain modeling with a round-count trigger and defaults
+    /// otherwise: compact after `n` delta rounds.
+    pub fn every_n_rounds(n: u32) -> CompactionPolicy {
+        CompactionPolicy::Model(CompactionConfig {
+            every_n_rounds: Some(n),
+            ..CompactionConfig::default()
+        })
+    }
+
+    /// Chain modeling with *no* trigger: the chain grows without
+    /// bound and recovery replays all of it. This is the control arm
+    /// of the compaction experiments — replay is modeled but never
+    /// amortized by a full snapshot.
+    pub fn unbounded() -> CompactionPolicy {
+        CompactionPolicy::Model(CompactionConfig::default())
+    }
+}
+
+/// When to fold the delta chain into a full snapshot. Every trigger
+/// is optional; with all three unset the chain is unbounded (replay
+/// modeled, never compacted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionConfig {
+    /// Compact after this many delta rounds since the last full
+    /// snapshot.
+    pub every_n_rounds: Option<u32>,
+    /// Compact once the chain's accumulated delta volume exceeds this
+    /// many megabytes.
+    pub max_chain_mb: Option<f64>,
+    /// Compact once the modeled replay time (at
+    /// [`CompactionConfig::replay_mb_per_s`]) exceeds this many
+    /// seconds — the direct recovery-time bound.
+    pub max_replay_s: Option<f64>,
+    /// Bandwidth at which recovery reads back and applies the chain
+    /// (base snapshot + deltas), MB/s. This is storage/apply
+    /// throughput, not a WAN link.
+    pub replay_mb_per_s: f64,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig {
+            every_n_rounds: None,
+            max_chain_mb: None,
+            max_replay_s: None,
+            replay_mb_per_s: 50.0,
+        }
+    }
+}
+
+impl CompactionConfig {
+    /// The first trigger the chain currently fires, as a stable label
+    /// (`"rounds"`, `"chain-mb"`, `"replay-s"`), or `None` while no
+    /// trigger fires. Trigger order is fixed, so the label is
+    /// deterministic.
+    pub fn trigger(&self, chain: &DeltaChain) -> Option<&'static str> {
+        if let Some(n) = self.every_n_rounds {
+            if chain.len() as u32 >= n.max(1) {
+                return Some("rounds");
+            }
+        }
+        if let Some(mb) = self.max_chain_mb {
+            if chain.delta_mb() > mb {
+                return Some("chain-mb");
+            }
+        }
+        if let Some(s) = self.max_replay_s {
+            if chain.replay_seconds(self.replay_mb_per_s) > s {
+                return Some("replay-s");
+            }
+        }
+        None
+    }
+
+    /// A short human label for the configured trigger set (e.g.
+    /// `"every-4-rounds"`, `"chain-64MB"`, `"replay-5s"`, joined with
+    /// `+` when several are set), or `None` when no trigger is
+    /// configured (an unbounded chain).
+    pub fn trigger_label(&self) -> Option<String> {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(n) = self.every_n_rounds {
+            parts.push(format!("every-{n}-rounds"));
+        }
+        if let Some(mb) = self.max_chain_mb {
+            parts.push(format!("chain-{mb:.0}MB"));
+        }
+        if let Some(s) = self.max_replay_s {
+            parts.push(format!("replay-{s:.0}s"));
+        }
+        if parts.is_empty() {
+            None
+        } else {
+            Some(parts.join("+"))
+        }
+    }
+}
+
+/// One incremental checkpoint round in a chain: the per-partition
+/// delta volumes (keyed by the partition's pre-split *origin* id) and
+/// the stage's full size at round time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRound {
+    /// `(origin partition id, delta megabytes)` pairs, ascending by
+    /// id. Children created by runtime splits fold into their origin,
+    /// so a round stays valid across later splits.
+    pub per_partition_mb: Vec<(u32, f64)>,
+    /// Total delta volume of the round (the upload it cost).
+    pub delta_mb: f64,
+    /// The stage's full state size at round time.
+    pub full_mb: f64,
+}
+
+/// The ordered delta rounds since the last full snapshot, plus the
+/// snapshot itself. Recovery replays `base_mb + Σ delta_mb` at the
+/// replay bandwidth; compaction resets the chain to length zero.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaChain {
+    /// Volume of the last full snapshot (0 before the first
+    /// compaction: nothing durable beyond the deltas themselves).
+    pub base_mb: f64,
+    /// Delta rounds since the snapshot, oldest first.
+    pub rounds: Vec<DeltaRound>,
+}
+
+impl DeltaChain {
+    /// An empty chain (no snapshot, no rounds).
+    pub fn new() -> DeltaChain {
+        DeltaChain::default()
+    }
+
+    /// Rounds since the last full snapshot.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// True when no round has been recorded since the last snapshot.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Accumulated delta volume of the chain (excluding the base).
+    pub fn delta_mb(&self) -> f64 {
+        self.rounds.iter().map(|r| r.delta_mb).sum()
+    }
+
+    /// Everything recovery must read back: base snapshot + deltas.
+    pub fn replay_mb(&self) -> f64 {
+        self.base_mb + self.delta_mb()
+    }
+
+    /// Modeled replay time at `mb_per_s` (clamped to a sane floor so
+    /// a degenerate bandwidth cannot divide by zero).
+    pub fn replay_seconds(&self, mb_per_s: f64) -> f64 {
+        self.replay_mb() / mb_per_s.max(1e-9)
+    }
+
+    /// The full state size replay reconstructs: the size at the most
+    /// recent round, or the base snapshot if no round followed it.
+    pub fn reconstructed_full_mb(&self) -> f64 {
+        self.rounds
+            .last()
+            .map(|r| r.full_mb)
+            .unwrap_or(self.base_mb)
+    }
+
+    /// Appends one checkpoint round.
+    pub fn record_round(&mut self, round: DeltaRound) {
+        self.rounds.push(round);
+    }
+
+    /// Folds the chain into a full snapshot of `live_mb`: the base
+    /// becomes the live size, the rounds clear, and the snapshot's
+    /// upload volume (== `live_mb`) is returned. Idempotent: a second
+    /// compaction at the same live size is a no-op returning the same
+    /// volume.
+    pub fn compact(&mut self, live_mb: f64) -> f64 {
+        self.base_mb = live_mb.max(0.0);
+        self.rounds.clear();
+        self.base_mb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(deltas: &[(u32, f64)], full: f64) -> DeltaRound {
+        DeltaRound {
+            per_partition_mb: deltas.to_vec(),
+            delta_mb: deltas.iter().map(|&(_, m)| m).sum(),
+            full_mb: full,
+        }
+    }
+
+    #[test]
+    fn replay_volume_is_base_plus_deltas() {
+        let mut c = DeltaChain::new();
+        assert_eq!(c.replay_mb(), 0.0);
+        c.compact(100.0);
+        c.record_round(round(&[(0, 4.0), (3, 6.0)], 110.0));
+        c.record_round(round(&[(1, 5.0)], 115.0));
+        assert_eq!(c.len(), 2);
+        assert!((c.delta_mb() - 15.0).abs() < 1e-12);
+        assert!((c.replay_mb() - 115.0).abs() < 1e-12);
+        assert!((c.replay_seconds(50.0) - 2.3).abs() < 1e-12);
+        assert!((c.reconstructed_full_mb() - 115.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compaction_resets_the_chain_and_is_idempotent() {
+        let mut c = DeltaChain::new();
+        c.record_round(round(&[(0, 10.0)], 10.0));
+        let up1 = c.compact(42.0);
+        assert_eq!(up1, 42.0);
+        assert!(c.is_empty());
+        assert_eq!(c.replay_mb(), 42.0);
+        let snapshot = c.clone();
+        let up2 = c.compact(42.0);
+        assert_eq!(up2, up1);
+        assert_eq!(c, snapshot, "second compaction is a no-op");
+    }
+
+    #[test]
+    fn triggers_fire_in_fixed_order() {
+        let cfg = CompactionConfig {
+            every_n_rounds: Some(2),
+            max_chain_mb: Some(5.0),
+            max_replay_s: Some(1.0),
+            replay_mb_per_s: 50.0,
+        };
+        let mut c = DeltaChain::new();
+        assert_eq!(cfg.trigger(&c), None);
+        c.record_round(round(&[(0, 60.0)], 60.0));
+        // One round: both volume (60 > 5) and replay (1.2 s > 1)
+        // fire; the volume trigger wins by order.
+        assert_eq!(cfg.trigger(&c), Some("chain-mb"));
+        c.record_round(round(&[(0, 0.1)], 60.0));
+        assert_eq!(cfg.trigger(&c), Some("rounds"));
+        let unbounded = CompactionConfig::default();
+        assert_eq!(unbounded.trigger(&c), None, "no trigger when unset");
+    }
+
+    #[test]
+    fn replay_trigger_counts_the_base_snapshot() {
+        let cfg = CompactionConfig {
+            max_replay_s: Some(2.0),
+            replay_mb_per_s: 50.0,
+            ..CompactionConfig::default()
+        };
+        let mut c = DeltaChain::new();
+        c.compact(99.0);
+        assert_eq!(cfg.trigger(&c), None, "99/50 < 2");
+        c.record_round(round(&[(0, 2.0)], 101.0));
+        assert_eq!(cfg.trigger(&c), Some("replay-s"), "101/50 > 2");
+    }
+
+    #[test]
+    fn policy_constructors() {
+        assert!(!CompactionPolicy::None.is_enabled());
+        assert!(CompactionPolicy::None.config().is_none());
+        let every = CompactionPolicy::every_n_rounds(4);
+        assert_eq!(every.config().unwrap().every_n_rounds, Some(4));
+        let unbounded = CompactionPolicy::unbounded();
+        let cfg = unbounded.config().unwrap();
+        assert!(cfg.every_n_rounds.is_none());
+        assert!(cfg.max_chain_mb.is_none());
+        assert!(cfg.max_replay_s.is_none());
+        assert_eq!(CompactionPolicy::default(), CompactionPolicy::None);
+    }
+}

@@ -35,10 +35,12 @@
 //! default) preserves the original single-blob semantics bit-exactly,
 //! `Partitioned` enables everything above.
 
+pub mod chain;
 pub mod scheduler;
 pub mod store;
 pub mod timeline;
 
+pub use chain::{CompactionConfig, CompactionPolicy, DeltaChain, DeltaRound};
 pub use store::{CheckpointDelta, SplitEvent, StateStore};
 
 use rand::rngs::StdRng;
@@ -97,6 +99,12 @@ pub struct PartitionConfig {
     /// disables splitting and keeps every run byte-identical to the
     /// flat fixed-bucket model.
     pub split_threshold: Option<f64>,
+    /// Checkpoint delta-chain modeling and full-snapshot compaction.
+    /// [`CompactionPolicy::None`] (the default) records no chain and
+    /// charges no recovery replay — byte-identical to pre-chain
+    /// builds; [`CompactionPolicy::Model`] records the chain, replays
+    /// it on recovery, and compacts when a trigger fires.
+    pub compaction: CompactionPolicy,
 }
 
 impl Default for PartitionConfig {
@@ -106,6 +114,7 @@ impl Default for PartitionConfig {
             zipf_exponent: 1.0,
             seed: 0,
             split_threshold: None,
+            compaction: CompactionPolicy::None,
         }
     }
 }
@@ -124,6 +133,15 @@ impl PartitionConfig {
     pub fn with_split_threshold(threshold: f64) -> PartitionConfig {
         PartitionConfig {
             split_threshold: Some(threshold),
+            ..PartitionConfig::default()
+        }
+    }
+
+    /// A config with delta-chain modeling under `policy`, defaults
+    /// otherwise.
+    pub fn with_compaction(policy: CompactionPolicy) -> PartitionConfig {
+        PartitionConfig {
+            compaction: policy,
             ..PartitionConfig::default()
         }
     }

@@ -26,7 +26,9 @@
 //! its origin's id, and splitting partitions the parent's dirty mass
 //! onto the children without creating or destroying any.
 
+use crate::chain::{CompactionPolicy, DeltaChain, DeltaRound};
 use crate::{partition_weights, PartitionConfig};
+use std::collections::BTreeMap;
 
 /// One runtime key-range split, in the order it was performed.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +86,17 @@ pub struct StateStore {
     /// Zipf exponent of the key distribution, reused to re-seed the
     /// two halves' weight shares on a split.
     zipf_exponent: f64,
+    /// Delta-chain modeling policy (from the partition config).
+    /// `None` records no chain at all — the pre-chain semantics.
+    compaction: CompactionPolicy,
+    /// Checkpoint rounds since the last full snapshot (always empty
+    /// under `CompactionPolicy::None`).
+    chain: DeltaChain,
+    /// True iff any write landed since the last checkpoint — lets a
+    /// clean checkpoint round return without touching the partition
+    /// map (conservative: never true on a store with real dirt
+    /// pending, may be true when writes were capped away).
+    any_dirty: bool,
 }
 
 impl StateStore {
@@ -116,6 +129,9 @@ impl StateStore {
             rng_state: cfg.seed ^ stream.wrapping_mul(0xD6E8_FEB8_6659_FD93),
             split_seed: cfg.seed ^ stream.wrapping_mul(0xA076_1D64_78BD_642F),
             zipf_exponent: cfg.zipf_exponent,
+            compaction: cfg.compaction,
+            chain: DeltaChain::new(),
+            any_dirty: false,
         }
     }
 
@@ -283,6 +299,7 @@ impl StateStore {
         if mb <= 0.0 {
             return;
         }
+        self.any_dirty = true;
         for i in 0..self.dirty_mb.len() {
             let cap = self.partition_mb(i);
             self.dirty_mb[i] = (self.dirty_mb[i] + mb * self.weights[i]).min(cap);
@@ -301,6 +318,7 @@ impl StateStore {
         if mb <= 0.0 || self.weights.is_empty() {
             return;
         }
+        self.any_dirty = true;
         self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.rng_state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -334,22 +352,90 @@ impl StateStore {
     }
 
     /// Takes an incremental checkpoint: drains the dirty set and
-    /// returns the delta volume it uploaded.
+    /// returns the delta volume it uploaded. When delta-chain modeling
+    /// is on ([`CompactionPolicy::Model`]) a non-empty round is also
+    /// appended to the chain, its per-partition volumes keyed by each
+    /// partition's pre-split origin so the round stays valid across
+    /// later runtime splits.
+    ///
+    /// A store with no writes since the last checkpoint returns an
+    /// empty delta without allocating or iterating the partition map
+    /// (idle stages with thousands of partitions used to pay a full
+    /// sweep per round for nothing).
     pub fn take_checkpoint(&mut self) -> CheckpointDelta {
+        if !self.any_dirty {
+            return CheckpointDelta {
+                delta_mb: 0.0,
+                full_mb: self.total_mb,
+                dirty_partitions: 0,
+            };
+        }
+        self.any_dirty = false;
+        let chained = self.compaction.is_enabled();
         let mut delta = 0.0;
         let mut dirty = 0u32;
-        for d in &mut self.dirty_mb {
+        let mut raw: Vec<(usize, f64)> = Vec::new();
+        for (i, d) in self.dirty_mb.iter_mut().enumerate() {
             if *d > 1e-12 {
                 dirty += 1;
             }
+            if chained && *d > 0.0 {
+                raw.push((i, *d));
+            }
             delta += *d;
             *d = 0.0;
+        }
+        if chained && delta > 0.0 {
+            let mut per: BTreeMap<u32, f64> = BTreeMap::new();
+            for &(i, mb) in &raw {
+                *per.entry(self.origin_of(i as u32)).or_insert(0.0) += mb;
+            }
+            self.chain.record_round(DeltaRound {
+                per_partition_mb: per.into_iter().collect(),
+                delta_mb: delta,
+                full_mb: self.total_mb,
+            });
         }
         CheckpointDelta {
             delta_mb: delta,
             full_mb: self.total_mb,
             dirty_partitions: dirty,
         }
+    }
+
+    /// The checkpoint delta chain (always empty under
+    /// [`CompactionPolicy::None`]).
+    pub fn chain(&self) -> &DeltaChain {
+        &self.chain
+    }
+
+    /// The store's delta-chain policy.
+    pub fn compaction(&self) -> &CompactionPolicy {
+        &self.compaction
+    }
+
+    /// The trigger the chain currently fires under the store's
+    /// compaction policy (`None` under [`CompactionPolicy::None`] or
+    /// while no trigger fires).
+    pub fn should_compact(&self) -> Option<&'static str> {
+        self.compaction.config()?.trigger(&self.chain)
+    }
+
+    /// Folds the chain into a full snapshot of the live state and
+    /// returns its upload volume (== `total_mb`). A no-op returning
+    /// 0 under [`CompactionPolicy::None`] — there is no chain to fold.
+    pub fn compact(&mut self) -> f64 {
+        if !self.compaction.is_enabled() {
+            return 0.0;
+        }
+        self.chain.compact(self.total_mb)
+    }
+
+    /// Modeled recovery replay time for this store's chain (`None`
+    /// under [`CompactionPolicy::None`]: recovery charges no replay).
+    pub fn replay_seconds(&self) -> Option<f64> {
+        let cfg = self.compaction.config()?;
+        Some(self.chain.replay_seconds(cfg.replay_mb_per_s))
     }
 
     /// Splits `mb` (a site-level blob of this stage's state) into
@@ -565,6 +651,103 @@ mod tests {
             assert_eq!(s.origin_of(i), i, "originals are their own origin");
         }
         assert_eq!(s.splits(), &[ev1, ev2]);
+    }
+
+    #[test]
+    fn clean_checkpoint_early_returns_an_empty_delta() {
+        // Regression pin for the zero-dirty fast path: a store that
+        // took no writes since its last checkpoint must report exactly
+        // the empty delta, including straight after construction,
+        // after a drained round, and at large partition counts.
+        let mut s = StateStore::new(&PartitionConfig::with_partitions(4096), 11);
+        s.set_total_mb(512.0);
+        let empty = CheckpointDelta {
+            delta_mb: 0.0,
+            full_mb: 512.0,
+            dirty_partitions: 0,
+        };
+        assert_eq!(s.take_checkpoint(), empty, "fresh store is clean");
+        s.record_writes_sampled(3.0);
+        let ck = s.take_checkpoint();
+        assert!(ck.delta_mb > 0.0);
+        assert_eq!(s.take_checkpoint(), empty, "drained store is clean");
+        // The fast path and the sweep agree: forcing the sweep via a
+        // zero-volume flag state is impossible from the public API, so
+        // pin the observable contract instead — repeated clean rounds
+        // stay byte-identical.
+        assert_eq!(s.take_checkpoint(), s.take_checkpoint());
+    }
+
+    #[test]
+    fn chain_records_rounds_and_compaction_folds_them() {
+        let cfg = PartitionConfig {
+            compaction: crate::chain::CompactionPolicy::every_n_rounds(3),
+            ..PartitionConfig::default()
+        };
+        let mut s = StateStore::new(&cfg, 5);
+        s.set_total_mb(160.0);
+        assert!(s.chain().is_empty());
+        s.record_writes(10.0);
+        let ck = s.take_checkpoint();
+        assert_eq!(s.chain().len(), 1);
+        let round = &s.chain().rounds[0];
+        assert_eq!(round.delta_mb, ck.delta_mb);
+        assert_eq!(round.full_mb, 160.0);
+        let per_sum: f64 = round.per_partition_mb.iter().map(|&(_, m)| m).sum();
+        assert!((per_sum - ck.delta_mb).abs() < 1e-9);
+        // Clean rounds don't lengthen the chain.
+        s.take_checkpoint();
+        assert_eq!(s.chain().len(), 1);
+        s.record_writes(5.0);
+        s.take_checkpoint();
+        s.record_writes(5.0);
+        s.take_checkpoint();
+        assert_eq!(s.chain().len(), 3);
+        assert_eq!(s.should_compact(), Some("rounds"));
+        let up = s.compact();
+        assert!((up - 160.0).abs() < 1e-12, "snapshot uploads live size");
+        assert!(s.chain().is_empty());
+        assert_eq!(s.chain().base_mb, 160.0);
+        assert_eq!(s.should_compact(), None);
+        assert_eq!(s.replay_seconds(), Some(160.0 / 50.0));
+    }
+
+    #[test]
+    fn chain_rounds_fold_split_children_into_their_origin() {
+        let cfg = PartitionConfig {
+            compaction: crate::chain::CompactionPolicy::unbounded(),
+            ..PartitionConfig::default()
+        };
+        let mut s = StateStore::new(&cfg, 5);
+        s.set_total_mb(160.0);
+        let hot = s
+            .weights()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let ev = s.split(hot).unwrap();
+        let gr = s.split(ev.child as usize).unwrap();
+        s.record_writes(10.0); // dirties parent, child and grandchild
+        s.take_checkpoint();
+        let round = &s.chain().rounds[0];
+        for &(id, _) in &round.per_partition_mb {
+            assert!(id < 16, "round ids must be pre-split origins: {id}");
+            assert_ne!(id, gr.child);
+        }
+        assert!((round.delta_mb - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compaction_none_records_no_chain() {
+        let mut s = store();
+        s.record_writes(10.0);
+        s.take_checkpoint();
+        assert!(s.chain().is_empty());
+        assert_eq!(s.compact(), 0.0);
+        assert_eq!(s.replay_seconds(), None);
+        assert_eq!(s.should_compact(), None);
     }
 
     #[test]

@@ -82,6 +82,48 @@ impl PartitionTransferRecord {
     }
 }
 
+/// One delta-chain compaction: the chain folded into a full snapshot
+/// whose upload volume equals the stage's live state size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionRecord {
+    /// Simulated time the compaction was taken.
+    pub t_s: f64,
+    /// Stage id.
+    pub op: u32,
+    /// Full-snapshot upload volume (== live state size).
+    pub upload_mb: f64,
+    /// Delta rounds the snapshot folded away.
+    pub chain_rounds: u32,
+    /// Which policy trigger fired (`"rounds"`, `"chain-mb"`,
+    /// `"replay-s"`).
+    pub trigger: String,
+    /// When the snapshot's WAN upload landed (`Some(t_s)` immediately
+    /// for site-local snapshots; `None` while still in flight or
+    /// superseded).
+    pub end_s: Option<f64>,
+}
+
+/// One modeled recovery replay after a failure hit a stage: the base
+/// snapshot plus every chain round read back at the replay bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReplayRecord {
+    /// Simulated time the failure was applied.
+    pub t_s: f64,
+    /// Stage id.
+    pub op: u32,
+    /// Failed site that triggered the replay.
+    pub site: SiteId,
+    /// Base full-snapshot volume replayed.
+    pub base_mb: f64,
+    /// Accumulated delta volume replayed on top of the base.
+    pub delta_mb: f64,
+    /// Chain length (delta rounds) at failure time.
+    pub rounds: u32,
+    /// Modeled replay time — processing for the stage stalls this
+    /// long past the failure.
+    pub replay_s: f64,
+}
+
 /// Everything the partitioned state subsystem did during a run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StateTimeline {
@@ -92,6 +134,12 @@ pub struct StateTimeline {
     /// Runtime key-range splits, in execution order (empty unless
     /// `split_threshold` is set).
     pub splits: Vec<PartitionSplitRecord>,
+    /// Delta-chain compactions, in time order (empty unless
+    /// compaction modeling is on).
+    pub compactions: Vec<CompactionRecord>,
+    /// Modeled recovery replays, in time order (empty unless
+    /// compaction modeling is on).
+    pub replays: Vec<RecoveryReplayRecord>,
 }
 
 impl StateTimeline {
@@ -103,7 +151,11 @@ impl StateTimeline {
     /// True when nothing was recorded (always the case under
     /// `StateModel::Coarse`).
     pub fn is_empty(&self) -> bool {
-        self.checkpoints.is_empty() && self.transfers.is_empty() && self.splits.is_empty()
+        self.checkpoints.is_empty()
+            && self.transfers.is_empty()
+            && self.splits.is_empty()
+            && self.compactions.is_empty()
+            && self.replays.is_empty()
     }
 
     /// Downtimes of all completed partition transfers, in completion
@@ -132,6 +184,29 @@ impl StateTimeline {
     /// Total delta volume uploaded by incremental checkpoints.
     pub fn total_delta_mb(&self) -> f64 {
         self.checkpoints.iter().map(|c| c.delta_mb).sum()
+    }
+
+    /// Total full-snapshot volume uploaded by compactions.
+    pub fn total_compaction_mb(&self) -> f64 {
+        // fold from +0.0: an empty `Iterator::sum::<f64>` yields -0.0,
+        // which renders as "-0.0 MB" in reports.
+        self.compactions
+            .iter()
+            .fold(0.0, |acc, c| acc + c.upload_mb)
+    }
+
+    /// The `q`-quantile of modeled recovery replay times (nearest
+    /// rank), if any replay was recorded.
+    pub fn replay_quantile(&self, q: f64) -> Option<f64> {
+        let mut r: Vec<f64> = self.replays.iter().map(|x| x.replay_s).collect();
+        if r.is_empty() {
+            return None;
+        }
+        r.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((q.clamp(0.0, 1.0) * r.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(r.len() - 1);
+        Some(r[idx])
     }
 }
 

@@ -1,0 +1,224 @@
+//! Property suite for checkpoint delta chains and compaction
+//! (ISSUE 10).
+//!
+//! The chain is what recovery replays, so these invariants keep the
+//! modeled downtime honest: for *arbitrary* write/checkpoint/compact
+//! (and split) interleavings, chain mass equals exactly what the
+//! checkpoint rounds uploaded, replay reconstructs the same full state
+//! a fresh snapshot would, compaction is idempotent and deterministic
+//! across clones, and split lineage keeps every round attributable to
+//! a pre-split origin partition.
+//!
+//! Case count: 128 by default, raised in CI via `PROPTEST_CASES`
+//! (the `compaction-invariants` job runs 512).
+
+use proptest::prelude::*;
+use wasp_state::{CompactionPolicy, PartitionConfig, StateStore};
+
+/// `PROPTEST_CASES` override (the vendored proptest only honours the
+/// in-config count, so the env var is resolved here).
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+fn chained_config(partitions: u32, zipf_exponent: f64, seed: u64) -> PartitionConfig {
+    PartitionConfig {
+        partitions,
+        zipf_exponent,
+        seed,
+        compaction: CompactionPolicy::unbounded(),
+        ..PartitionConfig::default()
+    }
+}
+
+/// One step of an interleaved workload, decoded from a generated
+/// `(tag, megabytes, pick)` tuple (the vendored proptest has no
+/// `prop_oneof`): tag 0 = write `mb`, 1 = checkpoint, 2 = compact,
+/// 3 = split partition `pick % partitions`.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write(f64),
+    Checkpoint,
+    Compact,
+    Split(usize),
+}
+
+fn decode(step: (u8, f64, usize)) -> Op {
+    match step.0 % 4 {
+        0 => Op::Write(step.1),
+        1 => Op::Checkpoint,
+        2 => Op::Compact,
+        _ => Op::Split(step.2),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Chain mass conservation: the chain's accumulated delta volume
+    /// equals exactly the sum of the checkpoint deltas taken since the
+    /// last compaction, and the base equals the last compaction's
+    /// upload.
+    #[test]
+    fn chain_mass_equals_checkpoint_uploads(
+        n_parts in 1u32..32,
+        zipf in 0.0f64..2.5,
+        seed in 0u64..u64::MAX,
+        stream in 0u64..u64::MAX,
+        total in 0.5f64..500.0,
+        writes in proptest::collection::vec(0.0f64..40.0, 1..20),
+    ) {
+        let cfg = chained_config(n_parts, zipf, seed);
+        let mut s = StateStore::new(&cfg, stream);
+        s.set_total_mb(total);
+        let base = s.compact();
+        prop_assert_eq!(base, total, "compaction uploads the live size");
+        let mut uploaded = 0.0;
+        for &w in &writes {
+            s.record_writes(w);
+            uploaded += s.take_checkpoint().delta_mb;
+        }
+        let chain = s.chain();
+        prop_assert!(
+            (chain.delta_mb() - uploaded).abs() < 1e-9 * uploaded.max(1.0),
+            "chain mass {} vs checkpoint uploads {}",
+            chain.delta_mb(),
+            uploaded
+        );
+        prop_assert_eq!(chain.base_mb, total);
+        prop_assert!(
+            (chain.replay_mb() - (total + uploaded)).abs() < 1e-9 * (total + uploaded).max(1.0)
+        );
+        // Each round's per-origin slices sum back to the round total.
+        for r in &chain.rounds {
+            let per: f64 = r.per_partition_mb.iter().map(|&(_, m)| m).sum();
+            prop_assert!(
+                (per - r.delta_mb).abs() < 1e-9 * r.delta_mb.max(1.0),
+                "round slices {} vs delta {}",
+                per,
+                r.delta_mb
+            );
+        }
+    }
+
+    /// Replaying the chain reconstructs the same full state size an
+    /// immediate full snapshot would report.
+    #[test]
+    fn replay_reconstructs_the_live_full_size(
+        n_parts in 1u32..32,
+        zipf in 0.0f64..2.5,
+        seed in 0u64..u64::MAX,
+        stream in 0u64..u64::MAX,
+        totals in proptest::collection::vec(0.5f64..500.0, 1..12),
+        writes in 0.1f64..40.0,
+    ) {
+        let cfg = chained_config(n_parts, zipf, seed);
+        let mut s = StateStore::new(&cfg, stream);
+        // Grow/shrink the live size between rounds; every round is
+        // dirty, so each records the full size at its time.
+        for &t in &totals {
+            s.set_total_mb(t);
+            s.record_writes(writes);
+            let ck = s.take_checkpoint();
+            prop_assert!(ck.delta_mb > 0.0, "writes must dirty the store");
+        }
+        // A fresh full snapshot reports the live size; the chain's
+        // replay reconstructs the same number (the last round's full).
+        let probe = s.clone().take_checkpoint().full_mb;
+        prop_assert_eq!(s.chain().reconstructed_full_mb(), probe);
+        prop_assert_eq!(probe, *totals.last().unwrap());
+    }
+
+    /// Compaction is deterministic across clones and idempotent: two
+    /// identical stores compact to identical chains with identical
+    /// upload volumes, and compacting twice changes nothing.
+    #[test]
+    fn compaction_is_deterministic_and_idempotent(
+        n_parts in 1u32..32,
+        zipf in 0.0f64..2.5,
+        seed in 0u64..u64::MAX,
+        stream in 0u64..u64::MAX,
+        total in 0.5f64..500.0,
+        writes in proptest::collection::vec(0.0f64..40.0, 0..10),
+    ) {
+        let cfg = chained_config(n_parts, zipf, seed);
+        let mut a = StateStore::new(&cfg, stream);
+        a.set_total_mb(total);
+        for &w in &writes {
+            a.record_writes(w);
+            let _ = a.take_checkpoint();
+        }
+        let mut b = a.clone();
+        let ua = a.compact();
+        let ub = b.compact();
+        prop_assert_eq!(ua, ub, "clones must compact identically");
+        prop_assert_eq!(a.chain(), b.chain());
+        prop_assert!(a.chain().is_empty());
+        prop_assert_eq!(a.chain().base_mb, total);
+        // Idempotent: a second compaction at the same live size is a
+        // no-op returning the same volume.
+        let snapshot = a.chain().clone();
+        prop_assert_eq!(a.compact(), ua);
+        prop_assert_eq!(a.chain(), &snapshot);
+    }
+
+    /// Arbitrary split/checkpoint/compact interleavings keep the chain
+    /// valid: mass conservation against the uploads since the last
+    /// compaction, origin lineage inside the pre-split id range, and a
+    /// replay estimate consistent with the chain's own arithmetic.
+    #[test]
+    fn chains_stay_valid_across_interleavings(
+        n_parts in 1u32..32,
+        zipf in 0.0f64..2.5,
+        seed in 0u64..u64::MAX,
+        stream in 0u64..u64::MAX,
+        total in 0.5f64..500.0,
+        steps in proptest::collection::vec((0u8..4, 0.0f64..40.0, 0usize..4096), 0..40),
+    ) {
+        let cfg = chained_config(n_parts, zipf, seed);
+        let mut s = StateStore::new(&cfg, stream);
+        s.set_total_mb(total);
+        let mut uploaded_since_compact = 0.0;
+        let mut base = 0.0;
+        for &step in &steps {
+            match decode(step) {
+                Op::Write(mb) => s.record_writes(mb),
+                Op::Checkpoint => {
+                    uploaded_since_compact += s.take_checkpoint().delta_mb;
+                }
+                Op::Compact => {
+                    base = s.compact();
+                    prop_assert_eq!(base, total);
+                    uploaded_since_compact = 0.0;
+                }
+                Op::Split(p) => {
+                    let n = s.partitions();
+                    let _ = s.split(p % n);
+                }
+            }
+            let chain = s.chain();
+            prop_assert!(
+                (chain.delta_mb() - uploaded_since_compact).abs()
+                    < 1e-9 * uploaded_since_compact.max(1.0),
+                "chain mass {} vs uploads {}",
+                chain.delta_mb(),
+                uploaded_since_compact
+            );
+            prop_assert_eq!(chain.base_mb, base);
+            // Lineage: every round slice keys a pre-split origin.
+            for r in &chain.rounds {
+                for &(origin, mb) in &r.per_partition_mb {
+                    prop_assert!(origin < n_parts.max(1), "origin {origin} out of range");
+                    prop_assert!(mb > 0.0, "empty slice recorded");
+                }
+            }
+            // The store's replay estimate is the chain's arithmetic at
+            // the configured bandwidth.
+            let bw = cfg.compaction.config().unwrap().replay_mb_per_s;
+            prop_assert_eq!(s.replay_seconds().unwrap(), chain.replay_seconds(bw));
+        }
+    }
+}

@@ -751,6 +751,23 @@ struct TransferProgress {
     remaining_mb: f64,
 }
 
+/// One stage-site share of a delta-chain compaction's full-snapshot
+/// upload. Unlike incremental checkpoint uploads these are *not*
+/// superseded by the next round — the snapshot burst runs to
+/// completion, contending with stream traffic the whole way — but a
+/// later compaction of the same op replaces any still-unfinished
+/// flights (the stale snapshot is abandoned).
+#[derive(Debug, Clone)]
+struct CompactionFlight {
+    op: OpId,
+    from: SiteId,
+    to: SiteId,
+    remaining_mb: f64,
+    /// Index of the compaction's record in the state timeline, to
+    /// stamp `end_s` when the last flight of the burst lands.
+    record: usize,
+}
+
 /// One partition slice of a partitioned migration. Slices of the same
 /// `(from, to)` link drain sequentially (pipelined); only the head
 /// slice of each link is in flight — and paused — at a time.
@@ -842,6 +859,15 @@ struct EngineMetrics {
     /// unless `split_threshold` is configured, so both the coarse and
     /// the flat-partitioned registry shapes are unchanged).
     partition_splits: Option<Counter>,
+    /// Chain length (delta rounds since the last full snapshot)
+    /// observed per stage per checkpoint round (`None` unless
+    /// delta-chain modeling is on, so pre-chain registry shapes are
+    /// unchanged).
+    chain_len: Option<Histogram>,
+    /// Full-snapshot upload volume per compaction.
+    compaction_mb: Option<Histogram>,
+    /// Modeled chain-replay stall per failure recovery.
+    replay_seconds: Option<Histogram>,
     /// Per-sink per-component delay-attribution histograms, indexed by
     /// `OpId::index()` then [`Component`] discriminant (`None` for
     /// non-sinks or when xray is off, so default registries are
@@ -861,6 +887,9 @@ impl EngineMetrics {
             .partition_config()
             .and_then(|pc| pc.split_threshold)
             .is_some();
+        let compaction = state
+            .partition_config()
+            .is_some_and(|pc| pc.compaction.is_enabled());
         let mut processed = Vec::with_capacity(plan.len());
         let mut emitted = Vec::with_capacity(plan.len());
         let mut queue = Vec::with_capacity(plan.len());
@@ -981,6 +1010,27 @@ impl EngineMetrics {
                     &[],
                 )
             }),
+            chain_len: compaction.then(|| {
+                hub.histogram(
+                    "wasp_checkpoint_chain_len",
+                    "Delta rounds since the last full snapshot, per stage per round",
+                    &[],
+                )
+            }),
+            compaction_mb: compaction.then(|| {
+                hub.histogram(
+                    "wasp_checkpoint_compaction_mb",
+                    "Full-snapshot upload volume per delta-chain compaction",
+                    &[],
+                )
+            }),
+            replay_seconds: compaction.then(|| {
+                hub.histogram(
+                    "wasp_checkpoint_replay_seconds",
+                    "Modeled chain-replay stall per failure recovery",
+                    &[],
+                )
+            }),
             xray_comps,
         }
     }
@@ -1034,6 +1084,14 @@ pub struct Engine {
     /// In-flight checkpoint uploads to remote storage (never suspend
     /// execution; only consume bandwidth).
     checkpoint_uploads: Vec<TransferProgress>,
+    /// In-flight full-snapshot uploads from delta-chain compactions
+    /// (empty unless compaction modeling is on). They consume
+    /// bandwidth like checkpoint uploads but survive later rounds.
+    compaction_uploads: Vec<CompactionFlight>,
+    /// Per-op modeled recovery replay: processing stalls until the
+    /// stored time (empty unless compaction modeling is on). Not a
+    /// migration — emergency re-deployments proceed during the stall.
+    recovery_replays: BTreeMap<OpId, f64>,
     /// Checkpoint rounds taken and rounds whose uploads were
     /// superseded before completing.
     ckpt_rounds: u32,
@@ -1117,6 +1175,8 @@ impl Engine {
             drop_slo,
             last_link_usage: BTreeMap::new(),
             checkpoint_uploads: Vec::new(),
+            compaction_uploads: Vec::new(),
+            recovery_replays: BTreeMap::new(),
             ckpt_rounds: 0,
             ckpt_incomplete: 0,
             pending_events: Vec::new(),
@@ -1927,6 +1987,11 @@ impl Engine {
         // derived from the op id so each stage shuffles its hot
         // partition independently.
         self.stores.clear();
+        // Stores (and their delta chains) are rebuilt from scratch, so
+        // in-flight compaction uploads and replay stalls from the old
+        // deployment no longer describe anything real.
+        self.compaction_uploads.clear();
+        self.recovery_replays.clear();
         if let Some(pc) = self.cfg.state_model.partition_config() {
             let pc = *pc;
             for op in self.plan.op_ids() {
@@ -2621,6 +2686,7 @@ impl Engine {
                 // replay — clean ones are already durable from the
                 // last incremental round — so the redo volume scales
                 // by the dirty key-weight fraction.
+                let mut hit: Vec<(OpId, SiteId)> = Vec::new();
                 for (&(op, site), g) in self.groups.iter_mut() {
                     if f.affects(site, SimTime(t0)) {
                         let lost = g.since_ckpt.drain();
@@ -2628,11 +2694,70 @@ impl Engine {
                             Some(store) => {
                                 let frac = store.dirty_weight_fraction();
                                 g.redo.push_all(CohortQueue::scaled(&lost, frac));
+                                if store.compaction().is_enabled()
+                                    && !hit.iter().any(|&(o, _)| o == op)
+                                {
+                                    hit.push((op, site));
+                                }
                             }
                             None => g.redo.push_all(lost),
                         }
                     }
                 }
+                // Chain replay instead of a flat restore: recovery
+                // reads the base snapshot plus every delta round back
+                // at the replay bandwidth, so chain length directly
+                // lengthens the stall.
+                for (op, site) in hit {
+                    self.start_recovery_replay(op, site, t0);
+                }
+            }
+        }
+    }
+
+    /// Starts the modeled chain replay for `op` after a failure at
+    /// `site`: processing for the op stalls until the chain (base
+    /// snapshot + deltas) has been read back at the configured replay
+    /// bandwidth. Overlapping replays keep the later deadline. Not a
+    /// migration, so emergency re-deployments proceed during the
+    /// stall — downtime is `max(reassign time, replay time)`.
+    fn start_recovery_replay(&mut self, op: OpId, site: SiteId, t0: f64) {
+        let store = &self.stores[&op];
+        let Some(cfg) = store.compaction().config() else {
+            return;
+        };
+        let chain = store.chain();
+        let base_mb = chain.base_mb;
+        let delta_mb = chain.delta_mb();
+        let rounds = chain.len() as u32;
+        let replay_s = chain.replay_seconds(cfg.replay_mb_per_s);
+        let ready = t0 + replay_s;
+        let e = self.recovery_replays.entry(op).or_insert(ready);
+        if *e < ready {
+            *e = ready;
+        }
+        self.state_timeline
+            .replays
+            .push(wasp_state::timeline::RecoveryReplayRecord {
+                t_s: t0,
+                op: op.0,
+                site,
+                base_mb,
+                delta_mb,
+                rounds,
+                replay_s,
+            });
+        self.tel.emit(t0, || TelEvent::RecoveryReplay {
+            op: op.0,
+            site: site.0 as u32,
+            replay_mb: base_mb + delta_mb,
+            rounds,
+            replay_s,
+        });
+        self.metrics.annotate(SimTime(t0), "recovery-replay");
+        if let Some(em) = &self.em {
+            if let Some(h) = &em.replay_seconds {
+                h.observe(replay_s, 1.0);
             }
         }
     }
@@ -2778,15 +2903,110 @@ impl Engine {
                 full_mb: delta.full_mb,
                 dirty_partitions: delta.dirty_partitions,
             });
+            // Delta-chain bookkeeping: observe the chain length each
+            // round and fold the chain into a full snapshot when a
+            // compaction trigger fires.
+            let store = &self.stores[&op];
+            if store.compaction().is_enabled() {
+                if let Some(em) = &self.em {
+                    if let Some(h) = &em.chain_len {
+                        h.observe(store.chain().len() as f64, 1.0);
+                    }
+                }
+                if let Some(trigger) = store.should_compact() {
+                    self.compact_op(op, trigger, t0);
+                }
+            }
             out.insert(op, delta);
         }
         out
+    }
+
+    /// Folds `op`'s delta chain into a full snapshot and schedules
+    /// the snapshot upload. Under remote checkpointing each stage-site
+    /// group ships its live state share to the rendezvous target as a
+    /// real flight (the burst contends with stream traffic in
+    /// `transfer_step`); under localized checkpointing the snapshot is
+    /// written in place at zero WAN cost. Either way the chain resets,
+    /// so the next recovery replays from the fresh base.
+    fn compact_op(&mut self, op: OpId, trigger: &'static str, t0: f64) {
+        let store = self.stores.get_mut(&op).expect("compacting a known store");
+        let chain_rounds = store.chain().len() as u32;
+        let upload_mb = store.compact();
+        // A newer snapshot supersedes any unfinished flights of an
+        // earlier compaction of this op (the stale one is abandoned).
+        self.compaction_uploads.retain(|f| f.op != op);
+        let record = self.state_timeline.compactions.len();
+        let mut flights: Vec<CompactionFlight> = Vec::new();
+        if let CheckpointTarget::Remote(target) = self.cfg.checkpoint_target {
+            for (&(gop, site), g) in self.groups.iter() {
+                if gop != op || site == target || g.state_mb <= 0.0 {
+                    continue;
+                }
+                if self.script.site_failed(site, SimTime(t0)) {
+                    continue;
+                }
+                flights.push(CompactionFlight {
+                    op,
+                    from: site,
+                    to: target,
+                    remaining_mb: g.state_mb,
+                    record,
+                });
+            }
+        }
+        let local = flights.is_empty();
+        self.compaction_uploads.extend(flights);
+        self.state_timeline
+            .compactions
+            .push(wasp_state::timeline::CompactionRecord {
+                t_s: t0,
+                op: op.0,
+                upload_mb,
+                chain_rounds,
+                trigger: trigger.to_string(),
+                end_s: local.then_some(t0),
+            });
+        self.tel.emit(t0, || TelEvent::CheckpointCompaction {
+            op: op.0,
+            upload_mb,
+            chain_rounds,
+            trigger: trigger.to_string(),
+        });
+        self.metrics.annotate(SimTime(t0), "compaction");
+        if let Some(em) = &self.em {
+            if let Some(h) = &em.compaction_mb {
+                h.observe(upload_mb, 1.0);
+            }
+        }
     }
 
     /// Megabytes of checkpoint uploads still in flight (remote
     /// checkpointing only).
     pub fn pending_checkpoint_upload_mb(&self) -> f64 {
         self.checkpoint_uploads.iter().map(|t| t.remaining_mb).sum()
+    }
+
+    /// Megabytes of compaction full-snapshot uploads still in flight
+    /// (delta-chain modeling with remote checkpointing only).
+    pub fn pending_compaction_upload_mb(&self) -> f64 {
+        self.compaction_uploads.iter().map(|f| f.remaining_mb).sum()
+    }
+
+    /// Modeled chain-replay time a failure hitting `op` would cost
+    /// right now: base snapshot + accumulated deltas at the replay
+    /// bandwidth. `None` when the op has no partitioned store or
+    /// delta-chain modeling is off. Controllers read this on the
+    /// emergency path to see the recovery cost the current chain
+    /// implies.
+    pub fn recovery_replay_estimate(&self, op: OpId) -> Option<f64> {
+        self.stores.get(&op)?.replay_seconds()
+    }
+
+    /// Simulated time until which `op`'s processing is stalled by an
+    /// in-progress chain replay, if one is running.
+    pub fn recovery_replay_until(&self, op: OpId) -> Option<f64> {
+        self.recovery_replays.get(&op).copied()
     }
 
     /// `(rounds, superseded)`: how many remote checkpoint rounds were
@@ -3019,6 +3239,23 @@ impl Engine {
             flow_edges.push(None);
             admissions.push(0.0);
         }
+        // Compaction full-snapshot bursts contend for the links too
+        // (empty unless delta-chain modeling is on with remote
+        // checkpointing).
+        let mut comp_flow_index: Vec<(usize, usize)> = Vec::new(); // (flight idx, flow idx)
+        for (ci, up) in self.compaction_uploads.iter().enumerate() {
+            if up.remaining_mb <= 1e-9
+                || self.site_failed(up.from, t0)
+                || self.site_failed(up.to, t0)
+            {
+                continue;
+            }
+            let mbps = up.remaining_mb * 8.0 / dt;
+            comp_flow_index.push((ci, flows.len()));
+            flows.push(FlowDemand::new(up.from, up.to, Mbps(mbps)));
+            flow_edges.push(None);
+            admissions.push(0.0);
+        }
         // Migration transfers compete for the same links.
         let mut mig_flow_index: Vec<(usize, usize, usize)> = Vec::new(); // (mig, transfer, flow idx)
         for (mi, m) in self.migrations.iter().enumerate() {
@@ -3189,6 +3426,35 @@ impl Engine {
             up.remaining_mb = (up.remaining_mb - moved_mb).max(0.0);
         }
         self.checkpoint_uploads.retain(|t| t.remaining_mb > 1e-9);
+        // Progress compaction bursts; a record closes when the last
+        // flight of its burst lands.
+        if !comp_flow_index.is_empty() {
+            for (ci, fi) in comp_flow_index {
+                let moved_mb = rates[fi].0 / 8.0 * dt;
+                let up = &mut self.compaction_uploads[ci];
+                up.remaining_mb = (up.remaining_mb - moved_mb).max(0.0);
+            }
+            let finished: std::collections::BTreeSet<usize> = self
+                .compaction_uploads
+                .iter()
+                .filter(|f| f.remaining_mb <= 1e-9)
+                .map(|f| f.record)
+                .collect();
+            let still: std::collections::BTreeSet<usize> = self
+                .compaction_uploads
+                .iter()
+                .filter(|f| f.remaining_mb > 1e-9)
+                .map(|f| f.record)
+                .collect();
+            for ri in finished.difference(&still) {
+                if let Some(r) = self.state_timeline.compactions.get_mut(*ri) {
+                    if r.end_s.is_none() {
+                        r.end_s = Some(t0 + dt);
+                    }
+                }
+            }
+            self.compaction_uploads.retain(|f| f.remaining_mb > 1e-9);
+        }
         // Trim empty edge buffers.
         self.edges.retain(|_, q| !q.is_empty());
     }
@@ -3221,6 +3487,11 @@ impl Engine {
     ///    therefore bit-identical for every thread count.
     fn process_step(&mut self, t0: f64, dt: f64) -> (f64, f64) {
         let t1 = t0 + dt;
+        // Expired chain-replay stalls release their ops (empty unless
+        // compaction modeling is on).
+        if !self.recovery_replays.is_empty() {
+            self.recovery_replays.retain(|_, ready| t0 < *ready);
+        }
         // --- shard: one task per (op, site), in sequential order ---
         let topo: Vec<OpId> = self.plan.topo_order().to_vec();
         // Partitioned migrations pause only the partitions in flight:
@@ -3245,6 +3516,9 @@ impl Engine {
         let mut tasks: Vec<ProcTask> = Vec::new();
         for &op in &topo {
             let suspended = self.is_suspended(op);
+            // Chain replay stalls the whole op (its state is not yet
+            // reconstructed anywhere) — attributed as failure pause.
+            let replaying = self.recovery_replays.contains_key(&op);
             let paused = inflight.get(&op).copied().unwrap_or(0.0);
             for site in self.physical.placement(op).sites() {
                 let compute_factor = if paused > 0.0 {
@@ -3256,8 +3530,8 @@ impl Engine {
                 tasks.push(ProcTask {
                     op,
                     site,
-                    blocked: failed || suspended,
-                    blocked_by_failure: failed,
+                    blocked: failed || suspended || replaying,
+                    blocked_by_failure: failed || replaying,
                     paused_frac: paused,
                     compute_factor,
                     group: self.groups.remove(&(op, site)),

@@ -342,6 +342,150 @@ fn disabled_splitting_leaves_every_section_8_scenario_untouched() {
     }
 }
 
+/// `CompactionPolicy::None` (the default) pins the PR 9 partitioned
+/// path with the delta-chain machinery compiled in but disabled: for
+/// every §8 scenario *and* the skewed-split scenario, a config
+/// spelling the policy out explicitly is byte-identical to the default
+/// config at jobs 1/2/8, and no chain event (compaction, recovery
+/// replay) may appear anywhere in the audit.
+#[test]
+fn disabled_compaction_leaves_every_scenario_untouched() {
+    type ScenarioRun = Box<dyn Fn(&ScenarioConfig) -> ExperimentResult>;
+    let scenarios: Vec<(&str, ScenarioRun)> = vec![
+        (
+            "section_8_4/topk",
+            Box::new(|cfg| run_section_8_4(QueryKind::TopK, ControllerKind::Wasp, cfg)),
+        ),
+        (
+            "section_8_4/advertising",
+            Box::new(|cfg| run_section_8_4(QueryKind::Advertising, ControllerKind::Wasp, cfg)),
+        ),
+        (
+            "section_8_5/topk",
+            Box::new(|cfg| run_section_8_5(ControllerKind::Wasp, cfg)),
+        ),
+        (
+            "section_8_6/live",
+            Box::new(|cfg| run_section_8_6(ControllerKind::Wasp, cfg)),
+        ),
+    ];
+    let default_cfg = wasp_state::StateModel::Partitioned(wasp_state::PartitionConfig::default());
+    let explicit_none = wasp_state::StateModel::Partitioned(
+        wasp_state::PartitionConfig::with_compaction(wasp_state::CompactionPolicy::None),
+    );
+    for (name, run) in &scenarios {
+        let (metrics_ref, audit_ref) = scenario_state_digest(run.as_ref(), default_cfg, 1);
+        assert!(
+            !audit_ref.contains("CheckpointCompaction") && !audit_ref.contains("RecoveryReplay"),
+            "{name}: CompactionPolicy::None must never emit chain events"
+        );
+        for jobs in [1, 2, 8] {
+            let (metrics, audit) = scenario_state_digest(run.as_ref(), explicit_none, jobs);
+            if let Some(diff) = first_divergence(&metrics_ref, &metrics) {
+                panic!("{name} compaction-off (jobs={jobs}): RunMetrics diverged — {diff}");
+            }
+            if let Some(diff) = first_divergence(&audit_ref, &audit) {
+                panic!("{name} compaction-off (jobs={jobs}): decision audit diverged — {diff}");
+            }
+        }
+    }
+    // The skewed-split scenario too: splitting plus an explicit
+    // disabled policy reproduces the plain skewed-split digests.
+    let (metrics_ref, audit_ref, timeline_ref) = skewed_split_digest(1);
+    for jobs in [1, 2, 8] {
+        let (metrics, audit, timeline) = skewed_split_none_digest(jobs);
+        if let Some(diff) = first_divergence(&metrics_ref, &metrics) {
+            panic!("skewed-split compaction-off (jobs={jobs}): RunMetrics diverged — {diff}");
+        }
+        if let Some(diff) = first_divergence(&audit_ref, &audit) {
+            panic!("skewed-split compaction-off (jobs={jobs}): decision audit diverged — {diff}");
+        }
+        if let Some(diff) = first_divergence(&timeline_ref, &timeline) {
+            panic!("skewed-split compaction-off (jobs={jobs}): state timeline diverged — {diff}");
+        }
+    }
+}
+
+/// [`skewed_split_digest`] with the compaction policy spelled out as
+/// `None` next to the split threshold.
+fn skewed_split_none_digest(jobs: usize) -> (String, String, String) {
+    let (tel, handle) = Telemetry::recording();
+    let cfg = ScenarioConfig {
+        seed: 4,
+        dt: 0.5,
+        telemetry: tel,
+        metrics: MetricsHub::recording(10.0),
+        jobs,
+        ..ScenarioConfig::default()
+    };
+    let state = wasp_state::StateModel::Partitioned(wasp_state::PartitionConfig {
+        split_threshold: Some(SKEWED_SPLIT_THRESHOLD),
+        compaction: wasp_state::CompactionPolicy::None,
+        ..wasp_state::PartitionConfig::default()
+    });
+    let r = run_skewed_state_experiment(state, 60.0, &cfg);
+    (
+        canonical_json(&r.metrics),
+        to_jsonl(&handle.recording()).unwrap(),
+        format!("{:?}", r.timeline),
+    )
+}
+
+/// Runs the compaction scenario (delta chains, full-snapshot bursts,
+/// scripted failures, recovery replays) and returns (metrics JSON,
+/// audit JSONL, state-timeline digest).
+fn compaction_scenario_digest(jobs: usize) -> (String, String, String) {
+    let (tel, handle) = Telemetry::recording();
+    let cfg = ScenarioConfig {
+        seed: 4,
+        dt: 0.5,
+        telemetry: tel,
+        metrics: MetricsHub::recording(10.0),
+        jobs,
+        ..ScenarioConfig::default()
+    };
+    let r = run_compaction_experiment(
+        wasp_state::CompactionPolicy::every_n_rounds(COMPACTION_EVERY_N_ROUNDS),
+        48.0,
+        &cfg,
+    );
+    (
+        canonical_json(&r.metrics),
+        to_jsonl(&handle.recording()).unwrap(),
+        format!("{:?}", r.timeline),
+    )
+}
+
+/// The chain machinery's own determinism pin: the compaction scenario
+/// — chains recorded every round, full-snapshot flights contending on
+/// the WAN, three scripted failures replaying the chain — is
+/// byte-identical at engine parallelism 1, 2 and 8, including the full
+/// compaction/replay timeline.
+#[test]
+fn compaction_scenario_bit_identical_across_thread_counts() {
+    let (metrics_ref, audit_ref, timeline_ref) = compaction_scenario_digest(1);
+    assert!(
+        audit_ref.contains("CheckpointCompaction"),
+        "the compaction scenario must actually compact"
+    );
+    assert!(
+        audit_ref.contains("RecoveryReplay"),
+        "the compaction scenario must actually replay on failure"
+    );
+    for jobs in THREADS {
+        let (metrics, audit, timeline) = compaction_scenario_digest(jobs);
+        if let Some(diff) = first_divergence(&metrics_ref, &metrics) {
+            panic!("compaction (jobs={jobs}): RunMetrics diverged — {diff}");
+        }
+        if let Some(diff) = first_divergence(&audit_ref, &audit) {
+            panic!("compaction (jobs={jobs}): decision audit diverged — {diff}");
+        }
+        if let Some(diff) = first_divergence(&timeline_ref, &timeline) {
+            panic!("compaction (jobs={jobs}): state timeline diverged — {diff}");
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // 2. Chaos sweep: seeded fault campaigns, recordings + snapshots.
 // ---------------------------------------------------------------------

@@ -28,6 +28,9 @@ pub enum RejectReason {
     NoImprovement,
     /// The planned state migration would exceed `t_max`.
     MigrationTooSlow { est_s: f64, t_max_s: f64 },
+    /// The plan's worst-case checkpoint-chain replay on recovery
+    /// would exceed the policy's `max_replay_s` bound.
+    ReplayTooSlow { est_s: f64, max_replay_s: f64 },
     /// The required parallelism exceeds `p_max`.
     ParallelismCapExceeded { required: u32, p_max: u32 },
     /// DS2-style estimate did not ask for more tasks than we have.
@@ -56,6 +59,12 @@ impl RejectReason {
             RejectReason::NoImprovement => "solver kept the current placement".into(),
             RejectReason::MigrationTooSlow { est_s, t_max_s } => {
                 format!("migration would take {est_s:.1}s > t_max {t_max_s:.1}s")
+            }
+            RejectReason::ReplayTooSlow {
+                est_s,
+                max_replay_s,
+            } => {
+                format!("recovery replay could take {est_s:.1}s > max_replay {max_replay_s:.1}s")
             }
             RejectReason::ParallelismCapExceeded { required, p_max } => {
                 format!("needs parallelism {required} > p_max {p_max}")
@@ -166,6 +175,25 @@ pub enum Event {
         delta_mb: f64,
         full_mb: f64,
         dirty_partitions: u32,
+    },
+    /// One stage's delta chain folded into a full snapshot: the
+    /// upload volume equals the stage's live state size, and the
+    /// chain resets to length zero.
+    CheckpointCompaction {
+        op: u32,
+        upload_mb: f64,
+        chain_rounds: u32,
+        trigger: String,
+    },
+    /// A failure hit a stage with delta-chain modeling on: recovery
+    /// replays the base snapshot plus every chain round at the replay
+    /// bandwidth, stalling the stage for `replay_s`.
+    RecoveryReplay {
+        op: u32,
+        site: u32,
+        replay_mb: f64,
+        rounds: u32,
+        replay_s: f64,
     },
     /// The migration path bisected a hot partition's key range before
     /// expanding slices (runtime splitting, `split_threshold`): the
@@ -323,6 +351,8 @@ impl Event {
             Event::CheckpointRound { .. } => "checkpoint",
             Event::CheckpointStalled { .. } => "checkpoint-stalled",
             Event::CheckpointDelta { .. } => "checkpoint-delta",
+            Event::CheckpointCompaction { .. } => "checkpoint-compaction",
+            Event::RecoveryReplay { .. } => "recovery-replay",
             Event::PartitionSplit { .. } => "partition-split",
             Event::PartitionTransferStarted { .. } => "partition-transfer-start",
             Event::PartitionTransferCompleted { .. } => "partition-transfer-end",
@@ -405,6 +435,25 @@ impl Event {
             } => format!(
                 "checkpoint delta (op {op}): {delta_mb:.1} MB of {full_mb:.1} MB \
                  ({dirty_partitions} dirty partitions)"
+            ),
+            Event::CheckpointCompaction {
+                op,
+                upload_mb,
+                chain_rounds,
+                trigger,
+            } => format!(
+                "compaction (op {op}, trigger {trigger}): full snapshot {upload_mb:.1} MB \
+                 folds {chain_rounds} delta rounds"
+            ),
+            Event::RecoveryReplay {
+                op,
+                site,
+                replay_mb,
+                rounds,
+                replay_s,
+            } => format!(
+                "recovery replay (op {op}, site {site}): {replay_mb:.1} MB over \
+                 {rounds} rounds -> {replay_s:.1}s stall"
             ),
             Event::PartitionSplit {
                 parent,

@@ -47,10 +47,11 @@ pub mod prelude {
         advertising_campaign, events_of_interest, topk_topics, QueryKind, DEFAULT_RATE,
     };
     pub use crate::scenarios::{
-        build_engine, overhead_breakdown, recovery_times, run_custom, run_migration_experiment,
-        run_section_8_4, run_section_8_5, run_section_8_6, run_skewed_split_experiment,
-        run_skewed_state_experiment, ControllerKind, CustomRun, ExperimentResult, MigrationResult,
-        MigrationVariant, OverheadBreakdown, ScenarioConfig, SkewedStateResult,
+        build_engine, overhead_breakdown, recovery_times, run_compaction_experiment, run_custom,
+        run_migration_experiment, run_section_8_4, run_section_8_5, run_section_8_6,
+        run_skewed_split_experiment, run_skewed_state_experiment, CompactionRunResult,
+        ControllerKind, CustomRun, ExperimentResult, MigrationResult, MigrationVariant,
+        OverheadBreakdown, ScenarioConfig, SkewedStateResult, COMPACTION_EVERY_N_ROUNDS,
         SKEWED_SPLIT_THRESHOLD, XRAY_DEFAULT_WINDOW_S,
     };
     pub use crate::twitter::TwitterTrace;

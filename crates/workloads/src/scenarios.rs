@@ -211,6 +211,12 @@ pub struct ExperimentResult {
     /// Latency attribution (`Some` only when `ScenarioConfig::xray`
     /// was set).
     pub xray: Option<wasp_xray::XrayRun>,
+    /// 95th-percentile modeled recovery replay (seconds); `Some` only
+    /// for delta-chain scenarios ([`run_compaction_experiment`]).
+    pub replay_p95_s: Option<f64>,
+    /// Total full-snapshot compaction volume (MB); `Some` only for
+    /// delta-chain scenarios.
+    pub compaction_mb: Option<f64>,
 }
 
 impl ExperimentResult {
@@ -298,6 +304,8 @@ fn run_scenario(
         metrics: engine.into_metrics(),
         e2e_selectivity: e2e,
         xray,
+        replay_p95_s: None,
+        compaction_mb: None,
     }
 }
 
@@ -456,6 +464,8 @@ pub fn run_custom(run: CustomRun, cfg: &ScenarioConfig) -> (ExperimentResult, f6
             metrics: engine.into_metrics(),
             e2e_selectivity: e2e,
             xray,
+            replay_p95_s: None,
+            compaction_mb: None,
         },
         final_alpha,
     )
@@ -802,6 +812,124 @@ pub fn run_skewed_split_experiment(state_mb: f64, cfg: &ScenarioConfig) -> Skewe
     )
 }
 
+/// Canonical compaction cadence of the compaction scenario (the
+/// BENCH_pr10 baseline row and the differential suite use it): a full
+/// snapshot every 4 delta rounds keeps recovery replay near one
+/// snapshot's worth while the unbounded arm accrues every round since
+/// t = 0.
+pub const COMPACTION_EVERY_N_ROUNDS: u32 = 4;
+
+/// Result of one arm of the checkpoint-compaction experiment.
+#[derive(Debug)]
+pub struct CompactionRunResult {
+    /// `"every-4-rounds"` / `"unbounded-chain"` style arm label.
+    pub label: String,
+    /// Full recording.
+    pub metrics: RunMetrics,
+    /// Checkpoint/compaction/replay timeline.
+    pub timeline: wasp_state::timeline::StateTimeline,
+    /// 95th-percentile modeled recovery replay over the scripted
+    /// failures, seconds (0 when no failure hit the stage).
+    pub replay_p95_s: f64,
+    /// Total full-snapshot volume the compactions uploaded.
+    pub compaction_mb: f64,
+    /// Latency-attribution snapshot when [`ScenarioConfig::xray`] is
+    /// set.
+    pub xray: Option<wasp_xray::XrayRun>,
+}
+
+/// Checkpoint-compaction experiment: a stateful Top-K stage under
+/// partitioned state with delta-chain modeling, *remote* checkpointing
+/// (rounds and compaction snapshots travel the WAN and contend with
+/// stream traffic), and three scripted failures of the stage's host at
+/// t = 150/300/450 (restored after 20 s each). No controller
+/// adaptation runs, so every failure hits the same host and recovery
+/// replays the chain as it stood at that moment:
+///
+/// * under [`CompactionPolicy::unbounded`] the chain grows for the
+///   whole run, so each successive failure replays strictly more;
+/// * under a bounded policy (e.g. every
+///   [`COMPACTION_EVERY_N_ROUNDS`] rounds) the chain is periodically
+///   folded into a full snapshot — recovery replays at most the base
+///   plus a few rounds, at the cost of visible full-size upload
+///   bursts on the checkpoint path.
+///
+/// The acceptance test pins the headline inequality: bounded-arm
+/// replay p95 strictly below the unbounded arm's.
+pub fn run_compaction_experiment(
+    policy: wasp_state::CompactionPolicy,
+    state_mb: f64,
+    cfg: &ScenarioConfig,
+) -> CompactionRunResult {
+    let tb = Testbed::paper(cfg.seed);
+    let sink = tb.data_centers()[0];
+    let mut plan = QueryKind::TopK.build_default(tb.edges(), sink);
+    plan = override_state(plan, state_mb);
+    let net = tb.static_network();
+    let physical =
+        initial_deployment(&plan, &net, 0.8).unwrap_or_else(|_| PhysicalPlan::initial(&plan, sink));
+    let stateful_op = plan.stateful_ops()[0];
+    let host = physical.placement(stateful_op).sites()[0];
+    // Snapshots rendezvous at a data center that is not the stage's
+    // host, so checkpoint rounds and compaction bursts are real WAN
+    // flights.
+    let target = tb
+        .data_centers()
+        .iter()
+        .copied()
+        .find(|&s| s != host)
+        .unwrap_or(sink);
+    let mut script = DynamicsScript::none();
+    for at in [150.0, 300.0, 450.0] {
+        script = script.with_failure(wasp_netsim::dynamics::Failure {
+            at: wasp_netsim::units::SimTime(at),
+            restore_after: 20.0,
+            site: Some(host),
+        });
+    }
+    let state =
+        wasp_state::StateModel::Partitioned(wasp_state::PartitionConfig::with_compaction(policy));
+    let engine_cfg = EngineConfig {
+        dt: cfg.dt,
+        state_model: state,
+        checkpoint_interval_s: 15.0,
+        checkpoint_target: wasp_streamsim::engine::CheckpointTarget::Remote(target),
+        ..EngineConfig::default()
+    };
+    let mut engine =
+        Engine::new(net, script, plan, physical, engine_cfg).expect("validated deployment");
+    engine.set_parallelism(cfg.jobs);
+    engine.set_telemetry(cfg.telemetry.clone());
+    if let Some(w) = cfg.xray {
+        engine.enable_xray(w);
+    }
+    engine.set_metrics(cfg.metrics.clone());
+    // No adaptation: the stage stays on its host, so every scripted
+    // failure replays the chain the checkpoint path built up.
+    let mut ctrl = NoAdaptController;
+    run_controlled(&mut engine, &mut ctrl, 600.0, cfg.monitor_interval_s);
+    let timeline = engine.state_timeline().clone();
+    let xray = engine.take_xray();
+    let metrics = engine.into_metrics();
+    let replay_p95_s = timeline.replay_quantile(0.95).unwrap_or(0.0);
+    let compaction_mb = timeline.total_compaction_mb();
+    let label = match &policy {
+        wasp_state::CompactionPolicy::None => "no-chain".to_string(),
+        wasp_state::CompactionPolicy::Model(c) => match c.trigger_label() {
+            Some(l) => l,
+            None => "unbounded-chain".to_string(),
+        },
+    };
+    CompactionRunResult {
+        label,
+        metrics,
+        timeline,
+        replay_p95_s,
+        compaction_mb,
+        xray,
+    }
+}
+
 /// Rebuilds a plan with its (single) fixed-state stage resized.
 fn override_state(plan: LogicalPlan, state_mb: f64) -> LogicalPlan {
     use wasp_streamsim::plan::LogicalPlanBuilder;
@@ -1040,5 +1168,70 @@ mod tests {
             worst_split <= worst_flat + 1e-9,
             "worst split {worst_split} vs worst flat {worst_flat}"
         );
+    }
+
+    #[test]
+    fn compaction_bounds_recovery_replay() {
+        let bounded = run_compaction_experiment(
+            wasp_state::CompactionPolicy::every_n_rounds(COMPACTION_EVERY_N_ROUNDS),
+            48.0,
+            &quick_cfg(),
+        );
+        let unbounded = run_compaction_experiment(
+            wasp_state::CompactionPolicy::unbounded(),
+            48.0,
+            &quick_cfg(),
+        );
+        // Both arms saw the same three scripted failures and modeled a
+        // replay for each.
+        assert_eq!(bounded.timeline.replays.len(), 3, "{bounded:?}");
+        assert_eq!(unbounded.timeline.replays.len(), 3, "{unbounded:?}");
+        // The unbounded chain accrues every round since t = 0, so each
+        // successive failure replays strictly more.
+        let u: Vec<f64> = unbounded
+            .timeline
+            .replays
+            .iter()
+            .map(|r| r.replay_s)
+            .collect();
+        assert!(u.windows(2).all(|w| w[0] < w[1]), "unbounded replays {u:?}");
+        // The headline acceptance inequality: compaction-enabled
+        // recovery p95 strictly below the unbounded-chain p95.
+        assert!(
+            bounded.replay_p95_s < unbounded.replay_p95_s,
+            "bounded p95 {} must beat unbounded p95 {}",
+            bounded.replay_p95_s,
+            unbounded.replay_p95_s
+        );
+        // The burst is visible: compactions happened, each one's
+        // full-snapshot upload completed as a real WAN flight…
+        assert!(!bounded.timeline.compactions.is_empty());
+        assert!(bounded
+            .timeline
+            .compactions
+            .iter()
+            .all(|c| c.end_s.is_some_and(|e| e > c.t_s)));
+        // …and bounded: every upload is exactly the live state size,
+        // never a multiple of it.
+        for c in &bounded.timeline.compactions {
+            assert!(
+                c.upload_mb <= 48.0 + 1e-9,
+                "compaction burst {c:?} exceeds the live state"
+            );
+            assert_eq!(c.chain_rounds, COMPACTION_EVERY_N_ROUNDS, "{c:?}");
+        }
+        assert!(
+            (bounded.compaction_mb - 48.0 * bounded.timeline.compactions.len() as f64).abs() < 1e-6
+        );
+        // The control arm never compacts.
+        assert!(unbounded.timeline.compactions.is_empty());
+        assert_eq!(unbounded.compaction_mb, 0.0);
+        // Bounded recovery stays near one snapshot's worth: base is
+        // always the last full snapshot and the chain at failure time
+        // is shorter than the cadence.
+        for r in &bounded.timeline.replays {
+            assert!(r.base_mb > 0.0, "replay {r:?} lost its base snapshot");
+            assert!(r.rounds < COMPACTION_EVERY_N_ROUNDS, "replay {r:?}");
+        }
     }
 }
